@@ -1,0 +1,252 @@
+(* The icdb command-line tool.
+
+   - [icdb shell]    interactive CQL, as in Appendix B §4 ("ICDB provides
+                     an interactive user interface program. A user can
+                     enter the command description string and the user
+                     interface program will call ICDB and display the
+                     result on the screen.")
+   - [icdb catalog]  list predefined components, functions, attributes
+   - [icdb gen]      one-shot component generation from flags
+   - [icdb cells]    print the technology cell library *)
+
+open Cmdliner
+open Icdb
+open Icdb_cql
+
+let print_results results =
+  List.iter
+    (fun (key, r) ->
+      match r with
+      | Exec.Rstr s ->
+          Printf.printf "%s:\n%s\n" key s
+      | Exec.Rint i -> Printf.printf "%s: %d\n" key i
+      | Exec.Rfloat f -> Printf.printf "%s: %g\n" key f
+      | Exec.Rstrs l -> Printf.printf "%s: %s\n" key (String.concat " " l))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* shell                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_sql server stmt =
+  match Icdb_reldb.Sql.exec (Server.db server) stmt with
+  | Icdb_reldb.Sql.Affected n -> Printf.printf "%d row(s)\n" n
+  | Icdb_reldb.Sql.Relation rel ->
+      let cols = List.map fst rel.Icdb_reldb.Query.rschema in
+      print_endline (String.concat " | " cols);
+      List.iter
+        (fun row ->
+          print_endline
+            (String.concat " | "
+               (Array.to_list (Array.map Icdb_reldb.Value.to_string row))))
+        rel.Icdb_reldb.Query.rrows
+
+let shell () =
+  let server = Server.create () in
+  print_endline "ICDB interactive CQL shell.";
+  print_endline "Enter a command terminated by a blank line (empty command quits).";
+  print_endline "Lines starting with !sql query the metadata database directly.";
+  print_endline "Example:";
+  print_endline "  command:request_component;";
+  print_endline "  component_name:counter;";
+  print_endline "  attribute:(size:5);";
+  print_endline "  instance:?s";
+  let rec read_command acc =
+    print_string (if acc = [] then "icdb> " else "....> ");
+    match In_channel.input_line stdin with
+    | None -> None
+    | Some "" -> if acc = [] then None else Some (String.concat "\n" (List.rev acc))
+    | Some line
+      when acc = [] && String.length line > 5 && String.sub line 0 5 = "!sql " ->
+        Some line
+    | Some line -> read_command (line :: acc)
+  in
+  let rec loop () =
+    match read_command [] with
+    | None -> print_endline "bye."
+    | Some cmd ->
+        (try
+           if String.length cmd > 5 && String.sub cmd 0 5 = "!sql " then
+             run_sql server (String.sub cmd 5 (String.length cmd - 5))
+           else print_results (Exec.run server cmd)
+         with
+         | Exec.Cql_error msg -> Printf.printf "CQL error: %s\n" msg
+         | Server.Icdb_error msg -> Printf.printf "ICDB error: %s\n" msg
+         | Icdb_reldb.Sql.Sql_error msg -> Printf.printf "SQL error: %s\n" msg);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let catalog () =
+  Printf.printf "%-18s %-14s %-38s %s\n" "component" "implementation"
+    "functions" "attributes (defaults)";
+  print_endline (String.make 100 '-');
+  List.iter
+    (fun (c : Icdb_genus.Component.t) ->
+      Printf.printf "%-18s %-14s %-38s %s\n" c.Icdb_genus.Component.comp_name
+        c.Icdb_genus.Component.implementation
+        (String.concat ","
+           (List.map Icdb_genus.Func.to_string
+              (c.Icdb_genus.Component.functions_of [])))
+        (String.concat ", "
+           (List.map
+              (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+              c.Icdb_genus.Component.attributes)))
+    Icdb_genus.Component.all
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen component size strategy clock_width layout_out =
+  let server = Server.create () in
+  let strategy =
+    match strategy with
+    | "fastest" -> Icdb_timing.Sizing.Fastest
+    | "cheapest" -> Icdb_timing.Sizing.Cheapest
+    | _ -> Icdb_timing.Sizing.Balanced
+  in
+  let constraints =
+    { Icdb_timing.Sizing.default_constraints with
+      strategy;
+      clock_width }
+  in
+  let inst =
+    Server.request_component server
+      (Spec.make ~constraints
+         (Spec.From_component
+            { component; attributes = [ ("size", size) ]; functions = [] }))
+  in
+  Printf.printf "instance: %s (%d gates, constraints %s)\n" inst.Instance.id
+    (Instance.gate_count inst)
+    (if inst.Instance.constraints_met then "met" else "NOT met");
+  print_endline "-- delay --";
+  print_endline (Instance.delay_string inst);
+  print_endline "-- shape function --";
+  print_endline (Instance.shape_string inst);
+  print_endline "-- connection info --";
+  print_endline (Instance.connect_string inst);
+  match layout_out with
+  | None -> ()
+  | Some path ->
+      let _, cif, _ = Server.request_layout server inst.Instance.id () in
+      Out_channel.with_open_text path (fun oc -> output_string oc cif);
+      Printf.printf "CIF layout written to %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* cells                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cells () =
+  Printf.printf "%-10s %5s %8s %6s %6s %6s %6s\n" "cell" "T" "width" "X" "Y"
+    "Z" "setup";
+  print_endline (String.make 56 '-');
+  List.iter
+    (fun (c : Icdb_logic.Celllib.t) ->
+      Printf.printf "%-10s %5d %8.1f %6.2f %6.2f %6.2f %6.1f\n"
+        c.Icdb_logic.Celllib.cname c.Icdb_logic.Celllib.transistors
+        c.Icdb_logic.Celllib.width c.Icdb_logic.Celllib.x_delay
+        c.Icdb_logic.Celllib.y_delay c.Icdb_logic.Celllib.z_delay
+        c.Icdb_logic.Celllib.setup)
+    Icdb_logic.Celllib.all
+
+(* ------------------------------------------------------------------ *)
+(* hls                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let hls dfg_name clock pessimism with_rtl =
+  let dfg =
+    match dfg_name with
+    | "diffeq" -> Icdb_hls.Dfg.diffeq
+    | "fir4" -> Icdb_hls.Dfg.fir4
+    | other ->
+        Printf.eprintf "unknown dataflow graph %s (try diffeq or fir4)\n" other;
+        exit 1
+  in
+  let server = Server.create () in
+  let r = Icdb_hls.Schedule.run server dfg ~clock ~pessimism in
+  print_string (Icdb_hls.Schedule.to_string r);
+  if with_rtl then begin
+    let ctrl = Icdb_hls.Controller.generate server r in
+    Printf.printf "\ncontroller (%d gates):\n%s\n"
+      (Instance.gate_count ctrl.Icdb_hls.Controller.c_instance)
+      ctrl.Icdb_hls.Controller.c_iif;
+    let dp = Icdb_hls.Datapath.generate server r in
+    Printf.printf "datapath cluster: %d gates, %d muxes, %d registered results\n"
+      (Instance.gate_count dp.Icdb_hls.Datapath.d_instance)
+      dp.Icdb_hls.Datapath.d_muxes
+      (List.length dp.Icdb_hls.Datapath.d_registers)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let shell_cmd =
+  Cmd.v (Cmd.info "shell" ~doc:"Interactive CQL shell")
+    Term.(const shell $ const ())
+
+let catalog_cmd =
+  Cmd.v (Cmd.info "catalog" ~doc:"List the predefined component catalog")
+    Term.(const catalog $ const ())
+
+let cells_cmd =
+  Cmd.v (Cmd.info "cells" ~doc:"Print the technology cell library")
+    Term.(const cells $ const ())
+
+let gen_cmd =
+  let component =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"COMPONENT")
+  in
+  let size =
+    Arg.(value & opt int 4 & info [ "size"; "n" ] ~doc:"Bit width")
+  in
+  let strategy =
+    Arg.(value & opt string "balanced"
+         & info [ "strategy" ] ~doc:"fastest | cheapest | balanced")
+  in
+  let clock_width =
+    Arg.(value & opt (some float) None
+         & info [ "clock-width" ] ~doc:"Minimum clock width bound (ns)")
+  in
+  let layout =
+    Arg.(value & opt (some string) None
+         & info [ "layout" ] ~doc:"Write a CIF layout to FILE" ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate one component and print its reports")
+    Term.(const gen $ component $ size $ strategy $ clock_width $ layout)
+
+let hls_cmd =
+  let dfg =
+    Arg.(value & pos 0 string "diffeq" & info [] ~docv:"DFG"
+           ~doc:"Dataflow graph: diffeq or fir4")
+  in
+  let clock =
+    Arg.(value & opt float 30.0 & info [ "clock" ] ~doc:"Clock period (ns)")
+  in
+  let pessimism =
+    Arg.(value & opt float 1.0
+         & info [ "pessimism" ]
+             ~doc:"Delay margin factor (1.0 = ICDB numbers, 1.6 = generic library)")
+  in
+  let rtl =
+    Arg.(value & flag & info [ "rtl" ] ~doc:"Also generate controller and datapath")
+  in
+  Cmd.v
+    (Cmd.info "hls" ~doc:"Schedule a dataflow graph against ICDB (Figure 1)")
+    Term.(const hls $ dfg $ clock $ pessimism $ rtl)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "icdb" ~version:"1.0.0"
+      ~doc:"Intelligent Component Database for behavioral synthesis"
+  in
+  exit (Cmd.eval (Cmd.group ~default info
+                    [ shell_cmd; catalog_cmd; gen_cmd; cells_cmd; hls_cmd ]))

@@ -1,0 +1,1 @@
+examples/adder_subtractor.ml: Gate_sim Icdb Icdb_genus Icdb_iif Icdb_sim Instance List Printf Server Spec String

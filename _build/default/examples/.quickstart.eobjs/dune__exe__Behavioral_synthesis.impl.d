@@ -1,0 +1,1 @@
+examples/behavioral_synthesis.ml: Controller Datapath Dfg Floorplan Icdb Icdb_hls Icdb_layout Icdb_timing Instance List Printf Schedule Server String

@@ -1,0 +1,1 @@
+examples/control_logic.ml: Icdb Icdb_layout Icdb_timing Instance List Printf Server Sizing Spec

@@ -1,0 +1,1 @@
+examples/counter_explorer.ml: Icdb Icdb_genus Icdb_timing Instance List Printf Server Spec Sta String

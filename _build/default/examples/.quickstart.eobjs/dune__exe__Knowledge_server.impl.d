@@ -1,0 +1,1 @@
+examples/knowledge_server.ml: Generator Icdb Icdb_logic Icdb_netlist Icdb_sim Icdb_timing Instance List Netlist Printf Server Spec String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Exec Icdb Icdb_cql Printf Server String

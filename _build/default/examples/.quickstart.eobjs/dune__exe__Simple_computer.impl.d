@@ -1,0 +1,1 @@
+examples/simple_computer.ml: Floorplan Icdb Icdb_layout Instance List Printf Server Shape Spec String

@@ -1,0 +1,1 @@
+examples/simple_computer.mli:

@@ -1,0 +1,101 @@
+(* The Figure 1 flow, end to end: a behavioral description (dataflow
+   graph) is scheduled and bound using ICDB's component information,
+   then the bound functional units are floorplanned from their shape
+   functions — behavioral synthesis sitting on top of the component
+   server, exactly as the paper draws it.
+
+   Run with: dune exec examples/behavioral_synthesis.exe *)
+
+open Icdb
+open Icdb_hls
+open Icdb_layout
+
+let () =
+  let server = Server.create () in
+  let dfg = Dfg.diffeq in
+  Printf.printf "behavioral input: %s (%d operations)\n\n" dfg.Dfg.dfg_name
+    (List.length dfg.Dfg.ops);
+
+  (* 1. explore clock periods with ICDB's delay figures *)
+  print_endline "-- schedule exploration (ICDB delays) --";
+  let candidates =
+    List.map
+      (fun clock -> Schedule.run server dfg ~clock ~pessimism:1.0)
+      [ 20.0; 30.0; 60.0; 120.0 ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  clock %5.0f ns: %2d steps, latency %6.0f ns, %d units, %7.0f um2\n"
+        r.Schedule.r_clock r.Schedule.r_steps r.Schedule.r_latency
+        (List.length r.Schedule.r_units) r.Schedule.r_unit_area)
+    candidates;
+
+  (* pick the smallest-latency point, then the cheaper of any tie *)
+  let best =
+    List.fold_left
+      (fun acc r ->
+        if r.Schedule.r_latency < acc.Schedule.r_latency
+           || (r.Schedule.r_latency = acc.Schedule.r_latency
+               && r.Schedule.r_unit_area < acc.Schedule.r_unit_area)
+        then r
+        else acc)
+      (List.hd candidates) candidates
+  in
+  Printf.printf "\nchosen: %.0f ns clock\n\n" best.Schedule.r_clock;
+  print_string (Schedule.to_string best);
+
+  (* 2. the same schedule if the tool only had a generic library *)
+  let generic = Schedule.run server dfg ~clock:best.Schedule.r_clock ~pessimism:1.6 in
+  Printf.printf
+    "\nwith generic-library margins instead of ICDB numbers: %d steps \
+     (latency %.0f ns, +%.0f%%)\n"
+    generic.Schedule.r_steps generic.Schedule.r_latency
+    (100.0
+     *. (generic.Schedule.r_latency -. best.Schedule.r_latency)
+     /. best.Schedule.r_latency);
+
+  (* 3. synthesize the controller through ICDB (§3.2.2's control-logic
+     request) *)
+  let ctrl = Controller.generate server best in
+  Printf.printf "\n-- generated controller (%s) --\n"
+    ctrl.Controller.c_instance.Instance.id;
+  Printf.printf "%d gates, CW %.1f ns, control signals: %s\n"
+    (Instance.gate_count ctrl.Controller.c_instance)
+    ctrl.Controller.c_instance.Instance.report.Icdb_timing.Sta.clock_width
+    (String.concat " " ctrl.Controller.c_outputs);
+
+  (* 4. wire the datapath RTL (muxes + registers) and estimate it as a
+     VHDL cluster (§6.3) *)
+  let dp = Datapath.generate server best in
+  Printf.printf
+    "\n-- datapath cluster (%s) --\n%d gates after flattening, %d operand \
+     muxes, results registered: %s\n"
+    dp.Datapath.d_instance.Instance.id
+    (Instance.gate_count dp.Datapath.d_instance)
+    dp.Datapath.d_muxes
+    (String.concat " " dp.Datapath.d_registers);
+
+  (* 5. floorplan the bound datapath (plus the controller) from the
+     shape functions *)
+  let blocks =
+    { Floorplan.bname = "control";
+      bshapes = ctrl.Controller.c_instance.Instance.shape }
+    :: List.map
+         (fun u ->
+           { Floorplan.bname = u.Schedule.u_name;
+             bshapes = u.Schedule.u_instance.Instance.shape })
+         best.Schedule.r_units
+  in
+  let plan = Floorplan.best_of_blocks ~aspect:(Some 1.0) blocks in
+  Printf.printf "\n-- floorplan (%d units + control) --\n"
+    (List.length best.Schedule.r_units);
+  Printf.printf "chip: %.0f x %.0f um = %.0f um2 (aspect %.2f)\n"
+    plan.Floorplan.rwidth plan.Floorplan.rheight plan.Floorplan.rarea
+    (plan.Floorplan.rwidth /. plan.Floorplan.rheight);
+  List.iter
+    (fun p ->
+      Printf.printf "  %-22s at (%5.0f,%5.0f)  %5.0f x %5.0f  (%d strips)\n"
+        p.Floorplan.pname p.Floorplan.px p.Floorplan.py p.Floorplan.pwidth
+        p.Floorplan.pheight p.Floorplan.pstrips)
+    plan.Floorplan.rplacements

@@ -1,0 +1,75 @@
+(* Control-logic generation (§3.2.2, specification type 3).
+
+   A control-logic synthesis tool produces boolean equations and a
+   register list for a design's controller; ICDB turns them into a
+   component: optimized gates, delay report, shape function, layout.
+
+   Run with: dune exec examples/control_logic.exe *)
+
+open Icdb
+open Icdb_timing
+
+(* A 3-state instruction-fetch controller: one-hot state register with
+   next-state and output logic, written directly in IIF. *)
+let controller_iif =
+  {|
+NAME:FETCH_CTRL;
+INORDER: GO, MEM_RDY, CLK, RESET;
+OUTORDER: MEM_REQ, IR_LOAD, PC_INC;
+PIIFVARIABLE: S_IDLE, S_WAIT, S_DONE, N_IDLE, N_WAIT, N_DONE;
+{
+  /* next-state logic */
+  N_IDLE = S_IDLE*!GO + S_DONE;
+  N_WAIT = S_IDLE*GO + S_WAIT*!MEM_RDY;
+  N_DONE = S_WAIT*MEM_RDY;
+
+  /* one-hot state register, reset into IDLE */
+  S_IDLE = N_IDLE @(~r CLK) ~a(1/(RESET));
+  S_WAIT = N_WAIT @(~r CLK) ~a(0/(RESET));
+  S_DONE = N_DONE @(~r CLK) ~a(0/(RESET));
+
+  /* outputs */
+  MEM_REQ = S_WAIT;
+  IR_LOAD = S_DONE;
+  PC_INC  = S_DONE;
+}
+|}
+
+let () =
+  let server = Server.create () in
+  let inst =
+    Server.request_component server
+      (Spec.make ~name_hint:"fetch_ctrl"
+         ~constraints:
+           { Sizing.default_constraints with clock_width = Some 20.0 }
+         (Spec.From_iif controller_iif))
+  in
+  Printf.printf "generated %s: %d gates, constraints %s\n\n" inst.Instance.id
+    (Instance.gate_count inst)
+    (if inst.Instance.constraints_met then "met" else "NOT met");
+  print_endline "-- delay report --";
+  print_endline (Instance.delay_string inst);
+  print_endline "-- shape function --";
+  print_endline (Instance.shape_string inst);
+  print_endline "";
+  print_endline "-- VHDL netlist (for the system simulation of §3.3) --";
+  print_endline (Instance.vhdl_head inst);
+
+  (* The controller reaches layout like any catalog part: tall/thin for
+     a left-column placement, short/wide for a bottom-row placement
+     (the Figure 13 choice). *)
+  let tall =
+    List.hd (List.rev inst.Instance.shape)  (* most strips: narrowest *)
+  in
+  let wide = List.hd inst.Instance.shape in
+  Printf.printf "tall/thin alternative: %d strips, %.0f x %.0f um\n"
+    tall.Icdb_layout.Shape.alt_strips tall.Icdb_layout.Shape.alt_width
+    tall.Icdb_layout.Shape.alt_height;
+  Printf.printf "short/wide alternative: %d strips, %.0f x %.0f um\n"
+    wide.Icdb_layout.Shape.alt_strips wide.Icdb_layout.Shape.alt_width
+    wide.Icdb_layout.Shape.alt_height;
+  let _, _, file =
+    Server.request_layout server inst.Instance.id
+      ~alternative:tall.Icdb_layout.Shape.alt_index ()
+  in
+  Printf.printf "tall layout written to %s\n" file

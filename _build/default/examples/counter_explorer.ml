@@ -1,0 +1,71 @@
+(* Design exploration over counter implementations (the Figure 5
+   story): a behavioral-synthesis tool needs an up-counter; ICDB offers
+   every architecture/attribute combination with delay and area, so the
+   tool can pick per its constraints instead of settling for one fixed
+   part.
+
+   Run with: dune exec examples/counter_explorer.exe *)
+
+open Icdb
+open Icdb_timing
+
+let variants =
+  [ ("ripple", [ ("type", 1); ("load", 0); ("enable", 0); ("up_or_down", 1) ]);
+    ("sync up", [ ("type", 2); ("load", 0); ("enable", 0); ("up_or_down", 1) ]);
+    ("sync up + enable",
+     [ ("type", 2); ("load", 0); ("enable", 1); ("up_or_down", 1) ]);
+    ("sync up/down", [ ("type", 2); ("load", 0); ("enable", 0); ("up_or_down", 3) ]);
+    ("sync up/down + parallel load",
+     [ ("type", 2); ("load", 1); ("enable", 1); ("up_or_down", 3) ]) ]
+
+let () =
+  let server = Server.create () in
+  Printf.printf "%-30s %10s %10s %10s %8s\n" "5-bit counter implementation"
+    "WD(Q[4])" "CW (ns)" "area um2" "gates";
+  print_endline (String.make 74 '-');
+  let results =
+    List.map
+      (fun (name, attrs) ->
+        let inst =
+          Server.request_component server
+            (Spec.make
+               (Spec.From_component
+                  { component = "counter";
+                    attributes = ("size", 5) :: attrs;
+                    functions = [ Icdb_genus.Func.INC ] }))
+        in
+        let wd = List.assoc "Q[4]" inst.Instance.report.Sta.output_delays in
+        Printf.printf "%-30s %10.1f %10.1f %10.0f %8d\n" name wd
+          inst.Instance.report.Sta.clock_width
+          (Instance.best_area inst)
+          (Instance.gate_count inst);
+        (name, wd, inst))
+      variants
+  in
+  (* A scheduler with a 15 ns Q-settling budget picks the cheapest
+     implementation meeting it. *)
+  let budget = 15.0 in
+  print_newline ();
+  let fitting =
+    List.filter (fun (_, wd, _) -> wd <= budget) results
+    |> List.sort (fun (_, _, a) (_, _, b) ->
+           compare (Instance.best_area a) (Instance.best_area b))
+  in
+  (match fitting with
+   | (name, wd, inst) :: _ ->
+       Printf.printf
+         "under a %.0f ns settling budget the tool binds: %s (%.1f ns, %.0f um2)\n"
+         budget name wd (Instance.best_area inst)
+   | [] -> Printf.printf "no implementation meets %.0f ns\n" budget);
+  (* And with no budget at all, the smallest part wins. *)
+  let smallest =
+    List.sort
+      (fun (_, _, a) (_, _, b) ->
+        compare (Instance.best_area a) (Instance.best_area b))
+      results
+  in
+  match smallest with
+  | (name, _, inst) :: _ ->
+      Printf.printf "with no timing budget the smallest is: %s (%.0f um2)\n"
+        name (Instance.best_area inst)
+  | [] -> ()

@@ -1,0 +1,65 @@
+(* Quickstart: ask ICDB for a five-bit up counter and read back the
+   §3.3 information — delay report, shape function, connection info.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Icdb
+open Icdb_cql
+
+let () =
+  let server = Server.create () in
+
+  (* The §3.2.2 request: a five-bit counter that can increment, with a
+     clock-width bound, through the CQL interface. *)
+  let results =
+    Exec.run server
+      "command:request_component;\n\
+       component_name:counter;\n\
+       attribute:(size:5);\n\
+       function:(INC);\n\
+       clock_width:40;\n\
+       generated_component:?s"
+  in
+  let id = Exec.get_string results "generated_component" in
+  Printf.printf "generated component instance: %s\n\n" id;
+
+  (* The §3.3 instance query: delay and shape function. *)
+  let info =
+    Exec.run server ~args:[ Exec.Astr id ]
+      "command:instance_query;\n\
+       generated_component:%s;\n\
+       delay:?s;\n\
+       shape_function:?s;\n\
+       connect:?s"
+  in
+  print_endline "-- delay report (CW / WD / SD, ns) --";
+  print_endline (Exec.get_string info "delay");
+  print_endline "-- shape function (strip alternatives) --";
+  print_endline (Exec.get_string info "shape_function");
+  print_endline "";
+  print_endline "-- connection information --";
+  print_endline (Exec.get_string info "connect");
+
+  (* Generate the layout of shape alternative 2 with assigned ports. *)
+  let pins =
+    "CLK left s1.0\n\
+     LOAD left s2.0\n\
+     DWUP left s3.0\n\
+     D[0] top 10\nD[1] top 20\nD[2] top 30\nD[3] top 40\nD[4] top 50\n\
+     MINMAX right s2.0\n\
+     Q[0] bottom 10\nQ[1] bottom 20\nQ[2] bottom 30\nQ[3] bottom 40\n\
+     Q[4] bottom 50"
+  in
+  let layout =
+    Exec.run server
+      ~args:[ Exec.Astr id; Exec.Astr pins ]
+      "command:request_component;\n\
+       instance:%s;\n\
+       alternative:2;\n\
+       port_position:%s;\n\
+       CIF_layout:?s"
+  in
+  let cif = Exec.get_string layout "CIF_layout" in
+  Printf.printf "\n-- CIF layout (%d bytes) written to %s --\n"
+    (String.length cif)
+    (Exec.get_string layout "CIF_file")

@@ -1,0 +1,145 @@
+(* The simple computer of Figure 13: datapath components and generated
+   control logic are floorplanned two ways — control placed as a
+   tall/thin column on the left, or as a short/wide row at the bottom —
+   and the resulting chip areas and aspect ratios compared.
+
+   Run with: dune exec examples/simple_computer.exe *)
+
+open Icdb
+open Icdb_layout
+
+let control_iif =
+  {|
+NAME:CPU_CTRL;
+INORDER: OP0, OP1, Z, CLK, RESET;
+OUTORDER: ALU_C0, ALU_C1, ALU_C2, ACC_LD, PC_EN, MEM_RD, MEM_WR;
+PIIFVARIABLE: S0, S1, N0, N1, FETCH, EXEC, WRITE;
+{
+  /* two-bit state counter: fetch -> exec -> write -> fetch */
+  FETCH = !S0*!S1;
+  EXEC  = S0*!S1;
+  WRITE = !S0*S1;
+  N0 = FETCH;
+  N1 = EXEC*OP1;
+  S0 = N0 @(~r CLK) ~a(0/(RESET));
+  S1 = N1 @(~r CLK) ~a(0/(RESET));
+
+  /* decoded control signals */
+  ALU_C2 = EXEC;
+  ALU_C1 = EXEC*OP1*Z;
+  ALU_C0 = EXEC*OP0;
+  ACC_LD = EXEC;
+  PC_EN  = FETCH + WRITE*!Z;
+  MEM_RD = FETCH;
+  MEM_WR = WRITE*OP0;
+}
+|}
+
+let request server ?name_hint source = Server.request_component server (Spec.make ?name_hint source)
+
+let comp server name attrs =
+  request server
+    (Spec.From_component { component = name; attributes = attrs; functions = [] })
+
+let () =
+  let server = Server.create () in
+  (* Datapath: 8-bit ALU, accumulator, operand register, operand mux,
+     and a program counter built from the counter component. *)
+  let alu = comp server "alu" [ ("size", 8) ] in
+  let acc = comp server "register" [ ("size", 8) ] in
+  let opreg = comp server "register" [ ("size", 8) ] in
+  let mux = comp server "mux_scl" [ ("size", 8) ] in
+  let pc =
+    comp server "counter"
+      [ ("size", 8); ("type", 2); ("load", 1); ("enable", 1); ("up_or_down", 1) ]
+  in
+  let ctrl = request server ~name_hint:"cpu_ctrl" (Spec.From_iif control_iif) in
+  Printf.printf "components generated: %s\n\n"
+    (String.concat ", "
+       (List.map
+          (fun i -> Printf.sprintf "%s(%d gates)" i.Instance.id (Instance.gate_count i))
+          [ alu; acc; opreg; mux; pc; ctrl ]));
+
+  let block name (i : Instance.t) =
+    { Floorplan.bname = name; bshapes = i.Instance.shape }
+  in
+  let datapath_blocks =
+    [ block "alu" alu; block "acc" acc; block "opreg" opreg;
+      block "mux" mux; block "pc" pc ]
+  in
+  let datapath = Floorplan.auto datapath_blocks in
+
+  (* control shapes, constrained by intended placement *)
+  let ctrl_shapes = ctrl.Instance.shape in
+  let tall =
+    List.filter (fun a -> a.Shape.alt_width <= a.Shape.alt_height) ctrl_shapes
+  in
+  let wide =
+    List.filter (fun a -> a.Shape.alt_width >= a.Shape.alt_height) ctrl_shapes
+  in
+  let ctrl_block shapes =
+    Floorplan.of_block { Floorplan.bname = "control"; bshapes = shapes }
+  in
+  let pick shapes fallback = if shapes = [] then fallback else shapes in
+
+  (* Variant 1: control column on the left of the datapath. *)
+  let left =
+    Floorplan.best ~aspect:(Some 1.0)
+      (Floorplan.beside (ctrl_block (pick tall ctrl_shapes)) datapath)
+  in
+  (* Variant 2: control row under the datapath. *)
+  let bottom =
+    Floorplan.best ~aspect:(Some 2.0)
+      (Floorplan.above datapath (ctrl_block (pick wide ctrl_shapes)))
+  in
+
+  let show name (r : Floorplan.result) =
+    Printf.printf "%s: %.0fum x %.0fum = %.0f um2 (aspect %.2f)\n" name
+      r.Floorplan.rwidth r.Floorplan.rheight r.Floorplan.rarea
+      (r.Floorplan.rwidth /. r.Floorplan.rheight);
+    List.iter
+      (fun p ->
+        Printf.printf "    %-8s at (%6.0f,%6.0f)  %5.0f x %5.0f  (%d strips)\n"
+          p.Floorplan.pname p.Floorplan.px p.Floorplan.py p.Floorplan.pwidth
+          p.Floorplan.pheight p.Floorplan.pstrips)
+      r.Floorplan.rplacements
+  in
+  show "control at LEFT  " left;
+  print_newline ();
+  show "control at BOTTOM" bottom;
+  print_newline ();
+  let better, worse, b, w =
+    if left.Floorplan.rarea <= bottom.Floorplan.rarea then
+      ("left", "bottom", left, bottom)
+    else ("bottom", "left", bottom, left)
+  in
+  Printf.printf
+    "the %s placement wins: %.0f vs %.0f um2 (%.0f%% of the %s variant)\n"
+    better b.Floorplan.rarea w.Floorplan.rarea
+    (100.0 *. b.Floorplan.rarea /. w.Floorplan.rarea)
+    worse;
+
+  (* Emit the CIF of each component at the strip count the winning
+     floorplan chose. *)
+  let by_id =
+    [ ("alu", alu); ("acc", acc); ("opreg", opreg); ("mux", mux); ("pc", pc);
+      ("control", ctrl) ]
+  in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p.Floorplan.pname by_id with
+      | Some inst ->
+          let alt =
+            List.find_opt
+              (fun a -> a.Shape.alt_strips = p.Floorplan.pstrips)
+              inst.Instance.shape
+          in
+          let alternative =
+            match alt with Some a -> a.Shape.alt_index | None -> 0
+          in
+          let _, _, file =
+            Server.request_layout server inst.Instance.id ~alternative ()
+          in
+          Printf.printf "  %s layout -> %s\n" p.Floorplan.pname file
+      | None -> ())
+    b.Floorplan.rplacements

@@ -1,0 +1,1 @@
+lib/baseline/compare.ml: Fixed_lib Float Generic_lib Icdb Icdb_timing Instance List Printf Server Spec

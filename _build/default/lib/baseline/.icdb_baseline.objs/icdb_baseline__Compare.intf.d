@@ -1,0 +1,1 @@
+lib/baseline/compare.mli: Fixed_lib Icdb Server

@@ -1,0 +1,1 @@
+lib/baseline/fixed_lib.ml: Float Icdb Icdb_logic Icdb_timing Instance List Printf Server Sizing Spec Sta

@@ -1,0 +1,1 @@
+lib/baseline/fixed_lib.mli: Icdb Icdb_timing Instance Server Sizing

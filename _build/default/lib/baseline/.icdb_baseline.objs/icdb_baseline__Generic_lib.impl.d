@@ -1,0 +1,1 @@
+lib/baseline/generic_lib.ml: Float Icdb Icdb_timing Instance List Server Spec

@@ -1,0 +1,1 @@
+lib/baseline/generic_lib.mli: Icdb Instance Server

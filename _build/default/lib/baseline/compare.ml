@@ -1,0 +1,113 @@
+(* Design-quality comparison: the same allocation served by ICDB, by a
+   fixed component library, and by a generic library (the paper's §1
+   argument, quantified). *)
+
+open Icdb
+
+type need = {
+  n_component : string;
+  n_size : int;
+  n_active_low_inputs : int;  (* polarity mismatches vs the catalog *)
+  n_max_delay : float option; (* per-component delay budget, ns *)
+}
+
+type verdict = {
+  v_approach : string;
+  v_total_area : float;
+  v_worst_delay : float;     (* slowest component: sets the clock *)
+  v_violations : int;        (* components whose budget was missed *)
+  v_relaxed_ns : float;      (* total ns of constraint relaxation *)
+  v_shape_alternatives : int; (* floorplanning freedom: total shapes *)
+}
+
+let icdb_verdict server needs =
+  let results =
+    List.map
+      (fun n ->
+        let constraints =
+          match n.n_max_delay with
+          | Some d ->
+              { Icdb_timing.Sizing.default_constraints with
+                comb_delays = [ ("*", d) ];
+                clock_width = Some d }
+          | None -> Icdb_timing.Sizing.default_constraints
+        in
+        (* polarity mismatches cost ICDB nothing: it generates the part
+           with the right attribute (inverted ports are free) *)
+        Server.request_component server
+          (Spec.make ~constraints
+             (Spec.From_component
+                { component = n.n_component;
+                  attributes = [ ("size", n.n_size) ];
+                  functions = [] })))
+      needs
+  in
+  let total_area =
+    List.fold_left (fun acc i -> acc +. Instance.best_area i) 0.0 results
+  in
+  let worst_delay =
+    List.fold_left
+      (fun acc i ->
+        List.fold_left
+          (fun acc (_, wd) -> Float.max acc wd)
+          (Float.max acc i.Instance.report.Icdb_timing.Sta.clock_width)
+          i.Instance.report.Icdb_timing.Sta.output_delays)
+      0.0 results
+  in
+  let violations =
+    List.length (List.filter (fun i -> not i.Instance.constraints_met) results)
+  in
+  let shapes =
+    List.fold_left (fun acc i -> acc + List.length i.Instance.shape) 0 results
+  in
+  { v_approach = "icdb";
+    v_total_area = total_area;
+    v_worst_delay = worst_delay;
+    v_violations = violations;
+    v_relaxed_ns = 0.0;
+    v_shape_alternatives = shapes }
+
+let fixed_verdict fixed needs =
+  let results =
+    List.map
+      (fun n ->
+        Fixed_lib.request fixed ~component:n.n_component ~size:n.n_size
+          ~active_low_inputs:n.n_active_low_inputs ?max_delay:n.n_max_delay ())
+      needs
+  in
+  { v_approach = "fixed";
+    v_total_area =
+      List.fold_left (fun acc r -> acc +. r.Fixed_lib.area) 0.0 results;
+    v_worst_delay =
+      List.fold_left (fun acc r -> Float.max acc r.Fixed_lib.worst_delay) 0.0
+        results;
+    v_violations =
+      List.length (List.filter (fun r -> r.Fixed_lib.violation > 0.0) results);
+    v_relaxed_ns =
+      List.fold_left (fun acc r -> acc +. r.Fixed_lib.violation) 0.0 results;
+    (* fixed parts come in the one shape they were laid out in *)
+    v_shape_alternatives = List.length results }
+
+let generic_verdict server needs =
+  let results =
+    List.map
+      (fun n ->
+        Generic_lib.request server ~component:n.n_component ~size:n.n_size)
+      needs
+  in
+  { v_approach = "generic";
+    v_total_area =
+      List.fold_left (fun acc r -> acc +. r.Generic_lib.assumed_area) 0.0 results;
+    v_worst_delay =
+      List.fold_left
+        (fun acc r -> Float.max acc r.Generic_lib.assumed_delay)
+        0.0 results;
+    v_violations = 0;  (* nothing to violate: there were no numbers *)
+    v_relaxed_ns = 0.0;
+    v_shape_alternatives = 0 }
+
+let verdict_to_string v =
+  Printf.sprintf
+    "%-8s area=%9.0f um2  worst-delay=%6.1f ns  violations=%d  relaxed=%.1f ns  shapes=%d"
+    v.v_approach v.v_total_area v.v_worst_delay v.v_violations v.v_relaxed_ns
+    v.v_shape_alternatives

@@ -1,0 +1,27 @@
+(** Design-quality comparison: the same allocation served by ICDB, the
+    fixed library and the generic library — the §1 argument,
+    quantified (bench experiment E13). *)
+
+open Icdb
+
+type need = {
+  n_component : string;
+  n_size : int;
+  n_active_low_inputs : int;  (** polarity mismatches vs the catalog *)
+  n_max_delay : float option; (** per-component delay budget, ns *)
+}
+
+type verdict = {
+  v_approach : string;
+  v_total_area : float;
+  v_worst_delay : float;       (** slowest component: sets the clock *)
+  v_violations : int;          (** components whose budget was missed *)
+  v_relaxed_ns : float;        (** total constraint relaxation *)
+  v_shape_alternatives : int;  (** floorplanning freedom *)
+}
+
+val icdb_verdict : Server.t -> need list -> verdict
+val fixed_verdict : Fixed_lib.t -> need list -> verdict
+val generic_verdict : Server.t -> need list -> verdict
+
+val verdict_to_string : verdict -> string

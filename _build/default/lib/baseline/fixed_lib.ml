@@ -1,0 +1,141 @@
+(* The fixed component library baseline (§1).
+
+   The traditional approach ICDB replaces: a catalog of pre-generated
+   parts at a few discrete sizes and speed grades. Requests must settle
+   for the nearest larger part (wasting bits), pad mismatched attributes
+   with inverters, and relax timing constraints the catalog cannot
+   meet — exactly the failure modes the paper's introduction lists. *)
+
+open Icdb
+open Icdb_timing
+
+type entry = {
+  e_component : string;
+  e_size : int;
+  e_grade : Sizing.strategy;
+  e_instance : Instance.t;
+}
+
+type t = {
+  entries : entry list;
+}
+
+type response = {
+  chosen : entry;
+  oversize_bits : int;        (* requested < catalog size: wasted width *)
+  padding_gates : int;        (* inverters added for attribute mismatch *)
+  area : float;               (* catalog part + padding *)
+  worst_delay : float;        (* including padding *)
+  clock_width : float;
+  violation : float;          (* ns the request's bound is exceeded by *)
+}
+
+exception No_part of string
+
+let catalog_sizes = [ 4; 8; 16 ]
+let grades = [ Sizing.Cheapest; Sizing.Fastest ]
+
+(* Pre-generate every catalog part once, through the same generation
+   pipeline ICDB uses, so the comparison is apples-to-apples. *)
+let build server components =
+  let entries =
+    List.concat_map
+      (fun comp ->
+        List.concat_map
+          (fun size ->
+            List.map
+              (fun grade ->
+                let spec =
+                  Spec.make
+                    ~constraints:
+                      { Sizing.default_constraints with strategy = grade }
+                    (Spec.From_component
+                       { component = comp;
+                         attributes = [ ("size", size) ];
+                         functions = [] })
+                in
+                { e_component = comp;
+                  e_size = size;
+                  e_grade = grade;
+                  e_instance = Server.request_component server spec })
+              grades)
+          catalog_sizes)
+      components
+  in
+  { entries }
+
+let inverter_area =
+  let c = Icdb_logic.Celllib.inv in
+  Icdb_logic.Celllib.sized_width c 1.0 *. Icdb_logic.Celllib.cell_height
+
+let inverter_delay = Icdb_logic.Celllib.inv.Icdb_logic.Celllib.y_delay
+
+let worst_output_delay (i : Instance.t) =
+  List.fold_left
+    (fun acc (_, wd) -> Float.max acc wd)
+    0.0 i.Instance.report.Sta.output_delays
+
+(* [request] picks the cheapest catalog part that can serve the need.
+   [active_low_inputs] counts data inputs whose polarity mismatches and
+   must be padded with inverters (the §1 example). *)
+let request t ~component ~size ?(active_low_inputs = 0) ?max_delay () =
+  let candidates =
+    List.filter
+      (fun e -> e.e_component = component && e.e_size >= size)
+      t.entries
+  in
+  if candidates = [] then
+    raise
+      (No_part (Printf.sprintf "no %s of size >= %d in the fixed library"
+                  component size));
+  let evaluate e =
+    let padding_gates = active_low_inputs in
+    let wd =
+      worst_output_delay e.e_instance
+      +. (float_of_int padding_gates *. inverter_delay)
+    in
+    let area =
+      Instance.best_area e.e_instance
+      +. (float_of_int padding_gates *. inverter_area)
+    in
+    let violation =
+      match max_delay with
+      | Some bound -> Float.max 0.0 (wd -. bound)
+      | None -> 0.0
+    in
+    { chosen = e;
+      oversize_bits = e.e_size - size;
+      padding_gates;
+      area;
+      worst_delay = wd;
+      clock_width =
+        e.e_instance.Instance.report.Sta.clock_width
+        +. (float_of_int padding_gates *. inverter_delay);
+      violation }
+  in
+  let responses = List.map evaluate candidates in
+  (* prefer meeting the bound; among those, smallest area *)
+  let meets, misses = List.partition (fun r -> r.violation = 0.0) responses in
+  let best rs =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some b -> if r.area < b.area then Some r else acc)
+      None rs
+  in
+  match best meets with
+  | Some r -> r
+  | None -> (
+      (* constraint unreachable with the catalog: the tool must relax,
+         taking the least-violating part *)
+      match
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | None -> Some r
+            | Some b -> if r.violation < b.violation then Some r else acc)
+          None misses
+      with
+      | Some r -> r
+      | None -> assert false)

@@ -1,0 +1,48 @@
+(** The fixed component library baseline (§1): a catalog of
+    pre-generated parts at discrete sizes and speed grades. Requests
+    settle for the nearest larger part (wasting bits), pad mismatched
+    polarities with inverters, and relax timing the catalog cannot
+    meet — the failure modes the paper's introduction lists. *)
+
+open Icdb
+open Icdb_timing
+
+type entry = {
+  e_component : string;
+  e_size : int;
+  e_grade : Sizing.strategy;
+  e_instance : Instance.t;
+}
+
+type t = { entries : entry list }
+
+type response = {
+  chosen : entry;
+  oversize_bits : int;   (** catalog width minus requested width *)
+  padding_gates : int;   (** inverters added for polarity mismatch *)
+  area : float;          (** part plus padding, µm² *)
+  worst_delay : float;   (** including padding, ns *)
+  clock_width : float;
+  violation : float;     (** ns over the request's bound; 0 if met *)
+}
+
+exception No_part of string
+
+val catalog_sizes : int list
+(** Widths pre-generated per component (4, 8, 16). *)
+
+val build : Server.t -> string list -> t
+(** Pre-generate the catalog for the named components through the same
+    pipeline ICDB uses (both cheapest and fastest grades). *)
+
+val request :
+  t ->
+  component:string ->
+  size:int ->
+  ?active_low_inputs:int ->
+  ?max_delay:float ->
+  unit ->
+  response
+(** Cheapest catalog part serving the need; prefers parts meeting
+    [max_delay], otherwise returns the least-violating one (the tool
+    must relax). @raise No_part when nothing is wide enough. *)

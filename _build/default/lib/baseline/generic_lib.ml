@@ -1,0 +1,49 @@
+(* The generic component library baseline (§1).
+
+   The other traditional approach: a library of abstract component
+   kinds with no delay or area figures ("when using a generic library,
+   a synthesis tool does not have information on the component's delay
+   or area"). A tool scheduling against it must budget worst-case
+   margins; the resulting designs are correct but over-provisioned, and
+   no shape function exists for floorplanning. *)
+
+open Icdb
+
+(* Pessimism factors a careful tool applies when it has no numbers:
+   clock periods padded by 60%, area budgeted at 50% over typical. *)
+let delay_margin = 1.6
+let area_margin = 1.5
+
+type response = {
+  assumed_delay : float;     (* what the tool must budget, ns *)
+  assumed_area : float;      (* budgeted floor area, µm² *)
+  actual_instance : Instance.t;  (* ground truth, known only after layout *)
+  delay_overbudget : float;  (* budgeted - actual *)
+  area_overbudget : float;
+  has_shape_function : bool; (* always false: generic parts have none *)
+}
+
+(* The tool requests a kind + size; the generic library gives no
+   numbers, so the budget is the margin times the eventually-realized
+   figures (the tool would use table margins; using actuals x margin
+   keeps the comparison conservative toward the baseline). *)
+let request server ~component ~size =
+  let spec =
+    Spec.make
+      (Spec.From_component
+         { component; attributes = [ ("size", size) ]; functions = [] })
+  in
+  let inst = Server.request_component server spec in
+  let actual_delay =
+    List.fold_left
+      (fun acc (_, wd) -> Float.max acc wd)
+      inst.Instance.report.Icdb_timing.Sta.clock_width
+      inst.Instance.report.Icdb_timing.Sta.output_delays
+  in
+  let actual_area = Instance.best_area inst in
+  { assumed_delay = actual_delay *. delay_margin;
+    assumed_area = actual_area *. area_margin;
+    actual_instance = inst;
+    delay_overbudget = actual_delay *. (delay_margin -. 1.0);
+    area_overbudget = actual_area *. (area_margin -. 1.0);
+    has_shape_function = false }

@@ -1,0 +1,23 @@
+(** The generic component library baseline (§1): abstract component
+    kinds with no delay or area figures. A tool scheduling against it
+    budgets worst-case margins, and no shape function exists for
+    floorplanning. *)
+
+open Icdb
+
+val delay_margin : float
+(** Pessimism a careful tool applies with no numbers (1.6). *)
+
+val area_margin : float
+(** Area budget factor (1.5). *)
+
+type response = {
+  assumed_delay : float;        (** what the tool must budget, ns *)
+  assumed_area : float;         (** budgeted floor area, µm² *)
+  actual_instance : Instance.t; (** ground truth, known only after layout *)
+  delay_overbudget : float;     (** budgeted minus actual *)
+  area_overbudget : float;
+  has_shape_function : bool;    (** always false *)
+}
+
+val request : Server.t -> component:string -> size:int -> response

@@ -1,0 +1,1 @@
+lib/core/attributes.ml: Flat Icdb_iif List String

@@ -1,0 +1,1 @@
+lib/core/generator.ml: Celllib Flat Icdb_iif Icdb_logic Icdb_netlist Network Opt Techmap

@@ -1,0 +1,1 @@
+lib/core/generator.mli: Icdb_iif Icdb_netlist

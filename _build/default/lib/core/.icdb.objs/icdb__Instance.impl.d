@@ -1,0 +1,1 @@
+lib/core/instance.ml: Icdb_genus Icdb_iif Icdb_layout Icdb_netlist Icdb_timing Lazy List Netlist Power Printf Shape Spec Sta String Vhdl

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Icdb_genus Icdb_iif Icdb_layout Icdb_netlist Icdb_timing Lazy Netlist Power Shape Spec Sta

@@ -1,0 +1,1 @@
+lib/core/server.mli: Generator Icdb_genus Icdb_iif Icdb_layout Icdb_reldb Instance Spec

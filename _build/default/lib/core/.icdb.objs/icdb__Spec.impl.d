@@ -1,0 +1,1 @@
+lib/core/spec.ml: Buffer Hashtbl Icdb_genus Icdb_timing List Printf Sizing

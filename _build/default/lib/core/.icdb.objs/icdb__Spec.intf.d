@@ -1,0 +1,1 @@
+lib/core/spec.mli: Icdb_genus Icdb_timing Sizing

@@ -1,0 +1,213 @@
+(* The predefined component attributes of Appendix B §3:
+
+     size, input_latch, output_latch, input_type, output_type,
+     output_tri_state
+
+   [size] (and other structural attributes) parameterize the IIF
+   implementation; the remaining five are *universal*: they transform
+   any catalog component's interface, which is exactly the flexibility
+   the paper's abstract claims ("describe a component with different
+   attributes (such as active low/high input, tri-state output)").
+   Rather than demanding every IIF description anticipate them, ICDB
+   applies them as rewrites of the flattened design:
+
+   - input_type = 0:  data inputs are active low (pads inverted);
+   - output_type = 0: data outputs are active low;
+   - input_latch = 1: data inputs pass through a transparent-high
+     latch gated by CLK;
+   - output_latch = 1: data outputs are registered on rising CLK;
+   - output_tri_state = 1: data outputs drive through tri-states
+     enabled by a new OE input. *)
+
+open Icdb_iif
+
+type t = {
+  input_active_low : bool;
+  output_active_low : bool;
+  input_latch : bool;
+  output_latch : bool;
+  output_tri_state : bool;
+}
+
+let universal_names =
+  [ "input_type"; "output_type"; "input_latch"; "output_latch";
+    "output_tri_state" ]
+
+let default =
+  { input_active_low = false;
+    output_active_low = false;
+    input_latch = false;
+    output_latch = false;
+    output_tri_state = false }
+
+let is_trivial t = t = default
+
+(* Separate the universal attributes from the component-specific ones.
+   Conventions follow the paper: input_type/output_type are 1 for
+   active high (the default) and 0 for active low; the others are
+   0/1 flags. *)
+let split attrs =
+  let get name d =
+    match List.assoc_opt name attrs with Some v -> v | None -> d
+  in
+  let t =
+    { input_active_low = get "input_type" 1 = 0;
+      output_active_low = get "output_type" 1 = 0;
+      input_latch = get "input_latch" 0 = 1;
+      output_latch = get "output_latch" 0 = 1;
+      output_tri_state = get "output_tri_state" 0 = 1 }
+  in
+  let rest = List.filter (fun (n, _) -> not (List.mem n universal_names)) attrs in
+  (t, rest)
+
+(* ------------------------------------------------------------------ *)
+(* Flat-design rewriting                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_net old_ new_ e =
+  match e with
+  | Flat.Fconst _ -> e
+  | Flat.Fnet n -> if n = old_ then Flat.Fnet new_ else e
+  | Flat.Fnot e -> Flat.Fnot (subst_net old_ new_ e)
+  | Flat.Fand es -> Flat.Fand (List.map (subst_net old_ new_) es)
+  | Flat.For_ es -> Flat.For_ (List.map (subst_net old_ new_) es)
+  | Flat.Fxor (a, b) -> Flat.Fxor (subst_net old_ new_ a, subst_net old_ new_ b)
+  | Flat.Fxnor (a, b) -> Flat.Fxnor (subst_net old_ new_ a, subst_net old_ new_ b)
+  | Flat.Fbuf e -> Flat.Fbuf (subst_net old_ new_ e)
+  | Flat.Fschmitt e -> Flat.Fschmitt (subst_net old_ new_ e)
+  | Flat.Fdelay (e, d) -> Flat.Fdelay (subst_net old_ new_ e, d)
+  | Flat.Ftri { data; enable } ->
+      Flat.Ftri { data = subst_net old_ new_ data;
+                  enable = subst_net old_ new_ enable }
+  | Flat.Fwor es -> Flat.Fwor (List.map (subst_net old_ new_) es)
+
+let subst_equation old_ new_ eq =
+  match eq with
+  | Flat.Comb { target; rhs } ->
+      Flat.Comb { target; rhs = subst_net old_ new_ rhs }
+  | Flat.Ff { target; data; rising; clock; asyncs } ->
+      Flat.Ff
+        { target;
+          data = subst_net old_ new_ data;
+          rising;
+          clock = subst_net old_ new_ clock;
+          asyncs =
+            List.map
+              (fun (a : Flat.async) ->
+                { a with cond = subst_net old_ new_ a.cond })
+              asyncs }
+  | Flat.Latch { target; data; transparent_high; gate } ->
+      Flat.Latch
+        { target;
+          data = subst_net old_ new_ data;
+          transparent_high;
+          gate = subst_net old_ new_ gate }
+
+(* Expanded net names of a declared port base: "D" covers "D" and
+   every "D[i]". *)
+let bits_of_port nets base =
+  List.filter
+    (fun n ->
+      n = base
+      || (String.length n > String.length base
+          && String.sub n 0 (String.length base + 1) = base ^ "["))
+    nets
+
+let clock_net = "CLK"
+let oe_net = "OE"
+
+(* [apply flat t ~data_inputs ~data_outputs] rewrites the flattened
+   design per the universal attributes. [data_inputs]/[data_outputs]
+   are port base names (buses expand automatically); clock and control
+   ports are untouched. *)
+let apply (flat : Flat.t) (t : t) ~data_inputs ~data_outputs =
+  if is_trivial t then flat
+  else begin
+    let equations = ref flat.fequations in
+    let inputs = ref flat.finputs in
+    let internals = ref flat.finternals in
+    let in_bits =
+      List.concat_map (bits_of_port flat.finputs) data_inputs
+    in
+    let out_bits =
+      List.concat_map (bits_of_port flat.foutputs) data_outputs
+    in
+    let need_clock = t.input_latch || t.output_latch in
+    if need_clock && not (List.mem clock_net !inputs) then
+      inputs := !inputs @ [ clock_net ];
+    (* inputs: core reads p$i, which is some function of pad p *)
+    if t.input_active_low || t.input_latch then
+      List.iter
+        (fun p ->
+          let core = p ^ "$i" in
+          equations := List.map (subst_equation p core) !equations;
+          let padded =
+            if t.input_active_low then Flat.Fnot (Flat.Fnet p)
+            else Flat.Fnet p
+          in
+          let eq =
+            if t.input_latch then
+              Flat.Latch
+                { target = core;
+                  data = padded;
+                  transparent_high = true;
+                  gate = Flat.Fnet clock_net }
+            else Flat.Comb { target = core; rhs = padded }
+          in
+          equations := eq :: !equations;
+          internals := core :: !internals)
+        in_bits;
+    (* outputs: pad o is derived from core o$c *)
+    if t.output_active_low || t.output_latch || t.output_tri_state then begin
+      if t.output_tri_state && not (List.mem oe_net !inputs) then
+        inputs := !inputs @ [ oe_net ];
+      List.iter
+        (fun o ->
+          let core = o ^ "$c" in
+          (* the driving equation now targets the core net; internal
+             feedback keeps reading the core value *)
+          equations :=
+            List.map
+              (fun eq ->
+                let eq = subst_equation o core eq in
+                match eq with
+                | Flat.Comb r when r.target = o ->
+                    Flat.Comb { r with target = core }
+                | Flat.Ff r when r.target = o -> Flat.Ff { r with target = core }
+                | Flat.Latch r when r.target = o ->
+                    Flat.Latch { r with target = core }
+                | eq -> eq)
+              !equations;
+          internals := core :: !internals;
+          let staged = ref (Flat.Fnet core) in
+          if t.output_active_low then staged := Flat.Fnot !staged;
+          let eq =
+            if t.output_latch then begin
+              let reg = o ^ "$r" in
+              internals := reg :: !internals;
+              equations :=
+                Flat.Ff
+                  { target = reg; data = !staged; rising = true;
+                    clock = Flat.Fnet clock_net; asyncs = [] }
+                :: !equations;
+              staged := Flat.Fnet reg;
+              if t.output_tri_state then
+                Flat.Comb
+                  { target = o;
+                    rhs = Flat.Ftri { data = !staged; enable = Flat.Fnet oe_net } }
+              else Flat.Comb { target = o; rhs = !staged }
+            end
+            else if t.output_tri_state then
+              Flat.Comb
+                { target = o;
+                  rhs = Flat.Ftri { data = !staged; enable = Flat.Fnet oe_net } }
+            else Flat.Comb { target = o; rhs = !staged }
+          in
+          equations := !equations @ [ eq ])
+        out_bits
+    end;
+    { flat with
+      finputs = !inputs;
+      finternals = Flat.uniq !internals;
+      fequations = !equations }
+  end

@@ -1,0 +1,23 @@
+(** Component generators (§4.2 tool management).
+
+    Each generator turns a flat IIF description into a cell netlist;
+    the shared estimators then produce delay/shape figures. New
+    generators arrive through the knowledge server
+    ({!Server.insert_generator}); a request may name the generator to
+    use. *)
+
+type t = {
+  gen_name : string;
+  gen_description : string;
+  synthesize : Icdb_iif.Flat.t -> Icdb_netlist.Netlist.t;
+}
+
+val milo : t
+(** The full flow: multi-level optimization plus tree-covering mapping
+    over the whole cell library. The default. *)
+
+val direct : t
+(** Quick-turnaround flow: sweep only, NAND2/INV covering. Faster and
+    larger; useful for estimation passes and as an ablation baseline. *)
+
+val builtins : t list

@@ -1,0 +1,70 @@
+(* A component instance: the design ICDB generated for one
+   request_component (Appendix B §2). Carries everything the instance
+   queries of §3.3 serve: the netlist, the delay report, the shape
+   function, functions, connection information. *)
+
+open Icdb_netlist
+open Icdb_timing
+open Icdb_layout
+
+type t = {
+  id : string;                       (* e.g. "counter_1" *)
+  spec : Spec.t;
+  flat : Icdb_iif.Flat.t option;     (* None for VHDL-cluster instances *)
+  netlist : Netlist.t;               (* optimized, mapped, sized *)
+  report : Sta.report;
+  shape : Shape.t;
+  functions : Icdb_genus.Func.t list;
+  connections : Icdb_genus.Connect.t list;
+  component : string option;         (* catalog component, if any *)
+  equivalent_ports : string list list;   (* interchangeable port groups *)
+  inverted_ports : (string * string) list;(* port -> active-low twin *)
+  constraints_met : bool;
+  power : Power.report Lazy.t;       (* simulated on first query *)
+}
+
+(* §3.3 strings served to tools *)
+
+let delay_string t = Sta.report_to_string t.report
+
+let shape_string t = Shape.to_string t.shape
+
+let area_listing t =
+  String.concat "\n"
+    (List.map
+       (fun (a : Shape.alternative) ->
+         Printf.sprintf "strip = %d width = %.0f height = %.0f area = %.0f"
+           a.Shape.alt_strips a.Shape.alt_width a.Shape.alt_height
+           a.Shape.alt_area)
+       t.shape)
+
+let connect_string t = Icdb_genus.Connect.all_to_string t.connections
+
+let functions_string t =
+  String.concat " " (List.map Icdb_genus.Func.to_string t.functions)
+
+let vhdl_netlist t = Vhdl.architecture_of { t.netlist with Netlist.name = t.id }
+
+let vhdl_head t = Vhdl.entity_of { t.netlist with Netlist.name = t.id }
+
+let best_area t = (Shape.best_area t.shape).Shape.alt_area
+
+let gate_count t = Netlist.instance_count t.netlist
+
+let power_string t = Power.report_to_string (Lazy.force t.power)
+
+(* "I0 = I1" lines: ports the optimizer may swap freely (§3.3). *)
+let equivalent_ports_string t =
+  match t.equivalent_ports with
+  | [] -> "(none)"
+  | groups ->
+      String.concat "\n" (List.map (String.concat " = ") groups)
+
+(* "OEQ / ONEQ" lines: an output and its active-low twin, letting the
+   optimizer absorb inverters (§3.3). *)
+let inverted_ports_string t =
+  match t.inverted_ports with
+  | [] -> "(none)"
+  | pairs ->
+      String.concat "\n"
+        (List.map (fun (a, b) -> Printf.sprintf "%s / %s" a b) pairs)

@@ -1,0 +1,62 @@
+(** A component instance: the design ICDB generated for one
+    request_component (Appendix B §2), carrying everything the §3.3
+    instance queries serve. *)
+
+open Icdb_netlist
+open Icdb_timing
+open Icdb_layout
+
+type t = {
+  id : string;                        (** e.g. "counter_1" *)
+  spec : Spec.t;
+  flat : Icdb_iif.Flat.t option;      (** None for VHDL-cluster instances *)
+  netlist : Netlist.t;                (** optimized, mapped, sized *)
+  report : Sta.report;
+  shape : Shape.t;
+  functions : Icdb_genus.Func.t list;
+  connections : Icdb_genus.Connect.t list;
+  component : string option;          (** catalog component, if any *)
+  equivalent_ports : string list list;
+  inverted_ports : (string * string) list;
+  constraints_met : bool;             (** the request's bounds were reached *)
+  power : Power.report Lazy.t;        (** simulated on first query *)
+}
+
+(** {1 The §3.3 query strings} *)
+
+val delay_string : t -> string
+(** CW / WD / SD listing. *)
+
+val shape_string : t -> string
+(** [Alternative=k width=... height=...] listing. *)
+
+val area_listing : t -> string
+(** [strip = k width = ... height = ... area = ...] listing
+    (App B §5.3). *)
+
+val connect_string : t -> string
+(** [## function ... / ** port value] blocks (§4.1). *)
+
+val functions_string : t -> string
+
+val vhdl_netlist : t -> string
+(** Structural VHDL architecture (for system simulation). *)
+
+val vhdl_head : t -> string
+(** The entity declaration only (the VHDL_head query). *)
+
+val power_string : t -> string
+
+val equivalent_ports_string : t -> string
+(** "I0 = I1" lines: ports the optimizer may swap freely. *)
+
+val inverted_ports_string : t -> string
+(** "OEQ / ONEQ" lines: outputs with active-low twins, letting the
+    optimizer absorb inverters. *)
+
+(** {1 Summary figures} *)
+
+val best_area : t -> float
+(** Area of the best shape alternative, µm². *)
+
+val gate_count : t -> int

@@ -1,0 +1,521 @@
+(* The ICDB component server (§2).
+
+   Serves components to synthesis tools: given attributes and
+   constraints it dynamically generates component instances through the
+   full generation path of Figure 8 (IIF expansion, logic optimization,
+   technology mapping, transistor sizing, delay and shape estimation)
+   and answers queries about implementations and generated instances.
+
+   Metadata lives in the relational engine (the INGRES role); bulk
+   design data (IIF sources, VHDL netlists, CIF layouts) lives in plain
+   files under a workspace directory (the UNIX-file-system role), and
+   tools fetch file names from the database, exactly as §2.3 describes. *)
+
+open Icdb_iif
+open Icdb_logic
+open Icdb_netlist
+open Icdb_timing
+open Icdb_layout
+open Icdb_reldb
+open Icdb_genus
+
+exception Icdb_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Icdb_error s)) fmt
+
+type design_book = {
+  mutable kept : string list;          (* instances in the component list *)
+  mutable tx_created : string list option;  (* instances made in the open tx *)
+}
+
+type t = {
+  db : Db.t;
+  workspace : string;
+  registry : (string, Ast.design) Hashtbl.t;   (* IIF implementations *)
+  generators : (string, Generator.t) Hashtbl.t;(* tool management (§4.2) *)
+  instances : (string, Instance.t) Hashtbl.t;  (* id -> instance *)
+  cache : (string, string) Hashtbl.t;          (* spec key -> instance id *)
+  designs : (string, design_book) Hashtbl.t;   (* component lists (App B §7) *)
+  mutable seq : int;
+  verify : bool;  (* simulate generated netlists against their IIF spec *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Creation and knowledge acquisition                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_workspace () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "icdb_ws_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let write_file t name contents =
+  let path = Filename.concat t.workspace name in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents);
+  path
+
+let setup_tables db =
+  ignore
+    (Db.create_table db "components"
+       [ ("name", Value.Tstr); ("implementation", Value.Tstr) ]);
+  ignore
+    (Db.create_table db "component_functions"
+       [ ("component", Value.Tstr); ("func", Value.Tstr) ]);
+  ignore
+    (Db.create_table db "implementations"
+       [ ("name", Value.Tstr); ("format", Value.Tstr); ("file", Value.Tstr) ]);
+  ignore
+    (Db.create_table db "instances"
+       [ ("id", Value.Tstr); ("component", Value.Tstr); ("gates", Value.Tint);
+         ("area", Value.Tfloat); ("clock_width", Value.Tfloat);
+         ("constraints_met", Value.Tbool); ("file", Value.Tstr) ])
+
+let workspace t = t.workspace
+
+let db t = t.db
+
+(* Register an IIF implementation: parse, remember, record in the
+   database and keep the source in the workspace (knowledge acquisition
+   of §2.2). *)
+let insert_implementation t name source =
+  let design =
+    try Parser.parse source with
+    | Parser.Parse_error (msg, line) ->
+        fail "implementation %s: parse error at line %d: %s" name line msg
+    | Lexer.Lex_error (msg, line) ->
+        fail "implementation %s: lex error at line %d: %s" name line msg
+  in
+  Hashtbl.replace t.registry name design;
+  let file = write_file t (name ^ ".iif") source in
+  Table.insert (Db.table t.db "implementations")
+    [ Value.Str name; Value.Str "IIF"; Value.Str file ];
+  design
+
+let create ?(verify = true) ?workspace () =
+  let workspace =
+    match workspace with Some w -> w | None -> fresh_workspace ()
+  in
+  let db = Db.create () in
+  setup_tables db;
+  let t =
+    { db; workspace;
+      registry = Hashtbl.create 32;
+      generators = Hashtbl.create 4;
+      instances = Hashtbl.create 64;
+      cache = Hashtbl.create 64;
+      designs = Hashtbl.create 8;
+      seq = 0;
+      verify }
+  in
+  List.iter
+    (fun g -> Hashtbl.replace t.generators g.Generator.gen_name g)
+    Generator.builtins;
+  (* load the generic component library *)
+  List.iter
+    (fun (name, source) -> ignore (insert_implementation t name source))
+    Builtin.sources;
+  List.iter
+    (fun (c : Component.t) ->
+      Table.insert (Db.table db "components")
+        [ Value.Str c.Component.comp_name; Value.Str c.Component.implementation ];
+      List.iter
+        (fun f ->
+          Table.insert (Db.table db "component_functions")
+            [ Value.Str c.Component.comp_name; Value.Str (Func.to_string f) ])
+        (c.Component.functions_of []))
+    Component.all;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Catalog queries (§3.2.1)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Components performing all of [funcs], via the SQL layer. *)
+let function_query t funcs =
+  match funcs with
+  | [] -> List.map (fun c -> c.Component.comp_name) Component.all
+  | funcs ->
+      let matching f =
+        let rel =
+          Sql.select t.db
+            (Printf.sprintf
+               "SELECT component FROM component_functions WHERE func = '%s'"
+               (Func.to_string f))
+        in
+        Query.column_values rel "component"
+        |> List.map Value.to_string
+      in
+      let sets = List.map matching funcs in
+      (match sets with
+       | [] -> []
+       | first :: rest ->
+           List.filter
+             (fun c -> List.for_all (List.mem c) rest)
+             (List.sort_uniq String.compare first))
+
+(* Implementations able to perform the functions (via their catalog
+   components). *)
+let implementation_query t funcs =
+  function_query t funcs
+  |> List.filter_map (fun name ->
+         Option.map
+           (fun c -> c.Component.implementation)
+           (Component.find name))
+  |> List.sort_uniq String.compare
+
+(* Functions a component (or one of its implementations) performs. *)
+let component_query t name =
+  ignore t;
+  match Component.find name with
+  | Some c -> c.Component.functions_of []
+  | None -> (
+      (* maybe an implementation name *)
+      match
+        List.find_opt
+          (fun c -> c.Component.implementation = name)
+          Component.all
+      with
+      | Some c -> c.Component.functions_of []
+      | None -> fail "unknown component %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Generation (§3.2.2, Figure 8)                                       *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_design t name =
+  match Hashtbl.find_opt t.registry name with
+  | Some d -> Some d
+  | None -> None
+
+let expand_design t design params =
+  let flat =
+    try Expander.expand ~registry:(lookup_design t) design params with
+    | Expander.Expand_error msg -> fail "expansion failed: %s" msg
+  in
+  match Flat.validate flat with
+  | [] -> flat
+  | problems ->
+      fail "%s: %s" flat.Flat.fname
+        (String.concat "; " (List.map Flat.problem_to_string problems))
+
+(* Knowledge-server side: register an additional component generator. *)
+let insert_generator t g =
+  Hashtbl.replace t.generators g.Generator.gen_name g
+
+let generator_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.generators []
+  |> List.sort String.compare
+
+let generator_of t spec =
+  match spec.Spec.generator with
+  | None -> Generator.milo
+  | Some name -> (
+      match Hashtbl.find_opt t.generators name with
+      | Some g -> g
+      | None -> fail "unknown component generator %s" name)
+
+let synthesize_flat t spec flat =
+  let g = generator_of t spec in
+  try g.Generator.synthesize flat with
+  | Techmap.Map_error msg -> fail "technology mapping failed: %s" msg
+  | Network.Network_error msg -> fail "network construction failed: %s" msg
+
+let verify_instance flat netlist =
+  let n_inputs = List.length flat.Flat.finputs in
+  let sequential =
+    List.exists Flat.is_sequential flat.Flat.fequations
+  in
+  if (not sequential) && n_inputs > 14 then ()  (* too wide to enumerate *)
+  else
+    match Icdb_sim.Equiv.check ~steps:120 flat netlist with
+    | Icdb_sim.Equiv.Equivalent -> ()
+    | m ->
+        fail "generated netlist does not match its IIF specification: %s"
+          (Icdb_sim.Equiv.result_to_string m)
+
+let next_id t base =
+  t.seq <- t.seq + 1;
+  Printf.sprintf "%s_%d" (String.lowercase_ascii base) t.seq
+
+let functions_of_design design =
+  List.map Func.of_string design.Ast.dfunctions
+
+(* The paper relaxes unreachable constraints instead of failing
+   (App B §5): we size best-effort and report whether the result meets
+   the request. *)
+let resolve_source t spec =
+  match spec.Spec.source with
+  | Spec.From_component { component; attributes; functions } -> (
+      match Component.find component with
+      | None -> fail "unknown component %s" component
+      | Some c ->
+          (* the five universal attributes (input/output polarity,
+             latches, tri-state) apply to every component; the rest
+             must belong to this one (App B §3) *)
+          let universal, specific = Attributes.split attributes in
+          Component.check_attributes c specific;
+          let have = c.Component.functions_of specific in
+          List.iter
+            (fun f ->
+              if not (List.exists (Func.equal f) have) then
+                fail "component %s with these attributes cannot perform %s"
+                  component (Func.to_string f))
+            functions;
+          let params = c.Component.params_of specific in
+          let design =
+            match lookup_design t c.Component.implementation with
+            | Some d -> d
+            | None -> fail "missing implementation %s" c.Component.implementation
+          in
+          let flat = expand_design t design params in
+          let data_ports role =
+            List.filter_map
+              (fun (p : Component.port) ->
+                if p.Component.role = role then Some p.Component.port_name
+                else None)
+              c.Component.ports
+          in
+          let flat =
+            Attributes.apply flat universal
+              ~data_inputs:(data_ports Component.Data_in)
+              ~data_outputs:(data_ports Component.Data_out)
+          in
+          (Some flat, Some c, specific, c.Component.comp_name)
+      )
+  | Spec.From_implementation { implementation; params } -> (
+      match lookup_design t implementation with
+      | None -> fail "unknown implementation %s" implementation
+      | Some design ->
+          let flat = expand_design t design params in
+          let comp =
+            List.find_opt
+              (fun c -> c.Component.implementation = implementation)
+              Component.all
+          in
+          (Some flat, comp, params, implementation))
+  | Spec.From_iif source ->
+      let design =
+        try Parser.parse source with
+        | Parser.Parse_error (msg, line) ->
+            fail "IIF parse error at line %d: %s" line msg
+        | Lexer.Lex_error (msg, line) ->
+            fail "IIF lex error at line %d: %s" line msg
+      in
+      if design.Ast.dparams <> [] then
+        fail "IIF specification %s still has parameters %s" design.Ast.dname
+          (String.concat ", " design.Ast.dparams);
+      let flat = expand_design t design [] in
+      (Some flat, None, [], design.Ast.dname)
+  | Spec.From_vhdl_netlist _ -> (None, None, [], "cluster")
+
+let generate_netlist t spec =
+  match spec.Spec.source with
+  | Spec.From_vhdl_netlist src ->
+      let parsed =
+        try Vhdl.parse src with Vhdl.Vhdl_error msg -> fail "VHDL: %s" msg
+      in
+      let resolve name =
+        match Hashtbl.find_opt t.instances name with
+        | Some inst -> Some inst.Instance.netlist
+        | None -> None
+      in
+      (try Vhdl.flatten parsed ~resolve with
+       | Vhdl.Vhdl_error msg -> fail "VHDL: %s" msg)
+  | _ -> assert false
+
+let request_component t (spec : Spec.t) =
+  let key = Spec.cache_key spec in
+  match Hashtbl.find_opt t.cache key with
+  | Some id -> Hashtbl.find t.instances id
+  | None ->
+      let flat, comp, attributes, base = resolve_source t spec in
+      let netlist =
+        match flat with
+        | Some flat -> synthesize_flat t spec flat
+        | None -> generate_netlist t spec
+      in
+      (match flat with
+       | Some flat when t.verify -> verify_instance flat netlist
+       | _ -> ());
+      let sized = Sizing.size_to_constraints netlist spec.Spec.constraints in
+      let report =
+        Sta.analyze ~port_loads:spec.Spec.constraints.Sizing.port_loads sized
+      in
+      let shape = Shape.of_netlist sized in
+      let functions, connections =
+        match comp with
+        | Some c ->
+            (c.Component.functions_of attributes,
+             c.Component.connections_of attributes)
+        | None -> (
+            match flat, spec.Spec.source with
+            | Some _, Spec.From_iif src ->
+                (functions_of_design (Parser.parse src), [])
+            | _ -> ([], []))
+      in
+      let id =
+        match spec.Spec.name_hint with
+        | Some n ->
+            if Hashtbl.mem t.instances n then
+              fail "instance name %s already in use" n
+            else n
+        | None -> next_id t base
+      in
+      let constraints_met =
+        Sizing.meets_constraints sized spec.Spec.constraints
+      in
+      let inst =
+        { Instance.id;
+          spec;
+          flat;
+          netlist = sized;
+          report;
+          shape;
+          functions;
+          connections;
+          component = Option.map (fun c -> c.Component.comp_name) comp;
+          equivalent_ports =
+            (match comp with
+             | Some c -> c.Component.equivalent_ports
+             | None -> []);
+          inverted_ports =
+            (match comp with
+             | Some c -> c.Component.inverted_ports
+             | None -> []);
+          constraints_met;
+          power = lazy (Power.estimate sized) }
+      in
+      Hashtbl.replace t.instances id inst;
+      Hashtbl.replace t.cache key id;
+      (* persist: netlist file + database row *)
+      let file = write_file t (id ^ ".vhdl") (Instance.vhdl_netlist inst) in
+      Table.insert (Db.table t.db "instances")
+        [ Value.Str id;
+          Value.Str (match inst.Instance.component with Some c -> c | None -> "-");
+          Value.Int (Instance.gate_count inst);
+          Value.Float (Instance.best_area inst);
+          Value.Float report.Sta.clock_width;
+          Value.Bool constraints_met;
+          Value.Str file ];
+      (* a layout-target request (§6.1) goes all the way to CIF now,
+         at the best-area shape alternative *)
+      (match spec.Spec.target with
+       | Spec.Logic -> ()
+       | Spec.Layout ->
+           let alt = Shape.best_area shape in
+           let port_specs =
+             Ports.default ~inputs:sized.Netlist.inputs
+               ~outputs:sized.Netlist.outputs
+           in
+           let _, cif =
+             Cif.generate sized ~strips:alt.Shape.alt_strips ~port_specs
+           in
+           ignore
+             (write_file t
+                (Printf.sprintf "%s_s%d.cif" id alt.Shape.alt_strips)
+                cif));
+      (* record in the open transaction, if any *)
+      Hashtbl.iter
+        (fun _ book ->
+          match book.tx_created with
+          | Some created -> book.tx_created <- Some (id :: created)
+          | None -> ())
+        t.designs;
+      inst
+
+(* ------------------------------------------------------------------ *)
+(* Instance queries (§3.3)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_instance t id =
+  match Hashtbl.find_opt t.instances id with
+  | Some i -> i
+  | None -> fail "unknown component instance %s" id
+
+(* Layout generation for a chosen shape alternative (§3.3): returns the
+   CIF text and the file it was stored in. *)
+let request_layout t id ?(alternative = 0) ?port_specs () =
+  let inst = find_instance t id in
+  let shape = inst.Instance.shape in
+  let alt =
+    if alternative = 0 then Shape.best_area shape
+    else
+      match
+        List.find_opt (fun a -> a.Shape.alt_index = alternative) shape
+      with
+      | Some a -> a
+      | None -> fail "instance %s has no shape alternative %d" id alternative
+  in
+  let specs =
+    match port_specs with
+    | Some s -> s
+    | None ->
+        Ports.default ~inputs:inst.Instance.netlist.Netlist.inputs
+          ~outputs:inst.Instance.netlist.Netlist.outputs
+  in
+  let layout, cif =
+    Cif.generate inst.Instance.netlist ~strips:alt.Shape.alt_strips
+      ~port_specs:specs
+  in
+  let file = write_file t (Printf.sprintf "%s_s%d.cif" id alt.Shape.alt_strips) cif in
+  (layout, cif, file)
+
+(* ------------------------------------------------------------------ *)
+(* Component list management (Appendix B §7)                           *)
+(* ------------------------------------------------------------------ *)
+
+let start_design t name =
+  if Hashtbl.mem t.designs name then fail "design %s already started" name;
+  Hashtbl.replace t.designs name { kept = []; tx_created = None }
+
+let get_design t name =
+  match Hashtbl.find_opt t.designs name with
+  | Some d -> d
+  | None -> fail "design %s not started" name
+
+let start_transaction t name =
+  let d = get_design t name in
+  if d.tx_created <> None then fail "design %s already has an open transaction" name;
+  d.tx_created <- Some []
+
+let put_in_component_list t name inst_id =
+  let d = get_design t name in
+  ignore (find_instance t inst_id);
+  if not (List.mem inst_id d.kept) then d.kept <- inst_id :: d.kept
+
+let delete_instance t id =
+  (match Hashtbl.find_opt t.instances id with
+   | Some inst ->
+       Hashtbl.remove t.instances id;
+       Hashtbl.remove t.cache (Spec.cache_key inst.Instance.spec)
+   | None -> ());
+  let tbl = Db.table t.db "instances" in
+  ignore (Table.delete tbl (fun row -> Table.get row tbl "id" = Value.Str id))
+
+let end_transaction t name =
+  let d = get_design t name in
+  match d.tx_created with
+  | None -> fail "design %s has no open transaction" name
+  | Some created ->
+      (* instances generated during the transaction and not put in the
+         component list are deleted (App B §7) *)
+      List.iter
+        (fun id -> if not (List.mem id d.kept) then delete_instance t id)
+        created;
+      d.tx_created <- None
+
+let end_design t name =
+  let d = get_design t name in
+  List.iter (fun id -> delete_instance t id) d.kept;
+  Hashtbl.remove t.designs name
+
+let component_list t name = List.rev (get_design t name).kept
+
+let instance_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.instances []
+  |> List.sort String.compare

@@ -1,0 +1,95 @@
+(** The ICDB component server (§2): serves components to synthesis
+    tools given attributes and constraints, running the full generation
+    path of Figure 8 (IIF expansion, logic optimization, technology
+    mapping, verification by simulation, transistor sizing, delay and
+    shape estimation) and answering queries about implementations and
+    generated instances.
+
+    Metadata lives in the relational engine (the INGRES role); bulk
+    design data — IIF sources, VHDL netlists, CIF layouts — lives in
+    plain files under a workspace directory (the UNIX-file-system
+    role), exactly as §2.3 describes. *)
+
+type t
+
+exception Icdb_error of string
+
+val create : ?verify:bool -> ?workspace:string -> unit -> t
+(** A server preloaded with the generic component library and the
+    builtin generators. [verify] (default true) simulates every
+    generated netlist against its IIF specification and fails loudly
+    on mismatch. [workspace] defaults to a fresh temp directory. *)
+
+val workspace : t -> string
+
+val db : t -> Icdb_reldb.Db.t
+(** The metadata database (the INGRES role): components,
+    component_functions, implementations and instances tables, queryable
+    through [Icdb_reldb.Sql]. *)
+
+(** {1 Knowledge acquisition (§2.2, §4.2)} *)
+
+val insert_implementation : t -> string -> string -> Icdb_iif.Ast.design
+(** Register an IIF implementation source under a name; it becomes
+    available to requests and as a SUBFUNCTION.
+    @raise Icdb_error on parse errors. *)
+
+val insert_generator : t -> Generator.t -> unit
+(** Register an additional component generator. *)
+
+val generator_names : t -> string list
+
+(** {1 Catalog queries (§3.2.1)} *)
+
+val function_query : t -> Icdb_genus.Func.t list -> string list
+(** Components performing {e all} the given functions (an empty list
+    returns the whole catalog). Answered through the SQL layer. *)
+
+val implementation_query : t -> Icdb_genus.Func.t list -> string list
+
+val component_query : t -> string -> Icdb_genus.Func.t list
+(** Functions a component (or implementation) performs.
+    @raise Icdb_error on unknown names. *)
+
+(** {1 Generation (§3.2.2)} *)
+
+val request_component : t -> Spec.t -> Instance.t
+(** Generate (or fetch from the cache — identical specifications are
+    never regenerated, §2.2) a component instance. Constraints are
+    best-effort, as in the paper: check
+    [Instance.constraints_met].
+    @raise Icdb_error on unknown components/implementations, function
+    mismatches, expansion or mapping failures, or verification
+    mismatches. *)
+
+val find_instance : t -> string -> Instance.t
+(** @raise Icdb_error on unknown ids. *)
+
+val instance_ids : t -> string list
+
+val request_layout :
+  t ->
+  string ->
+  ?alternative:int ->
+  ?port_specs:Icdb_layout.Ports.spec list ->
+  unit ->
+  Icdb_layout.Cif.layout * string * string
+(** [request_layout t id ~alternative ~port_specs ()] lays the instance
+    out at the chosen shape alternative (0 = best area) with the given
+    port positions (§3.3), returning the layout, the CIF text, and the
+    workspace file it was stored in. *)
+
+(** {1 Component list management (Appendix B §7)} *)
+
+val start_design : t -> string -> unit
+val start_transaction : t -> string -> unit
+val put_in_component_list : t -> string -> string -> unit
+
+val end_transaction : t -> string -> unit
+(** Deletes every instance generated during the transaction that was
+    not put in the component list. *)
+
+val end_design : t -> string -> unit
+(** Deletes the design's kept instances and forgets the design. *)
+
+val component_list : t -> string -> string list

@@ -1,0 +1,82 @@
+(* Component specifications: what a synthesis tool hands to
+   request_component (§3.2.2). Three source kinds, as in the paper:
+   a catalog component (or implementation) with attribute values, an
+   IIF description (control logic), or a VHDL netlist clustering
+   previously generated instances. *)
+
+open Icdb_timing
+
+type source =
+  | From_component of {
+      component : string;                (* catalog name, e.g. "counter" *)
+      attributes : (string * int) list;
+      functions : Icdb_genus.Func.t list; (* required functions, may be [] *)
+    }
+  | From_implementation of {
+      implementation : string;           (* IIF design name *)
+      params : (string * int) list;
+    }
+  | From_iif of string                   (* raw IIF source text *)
+  | From_vhdl_netlist of string          (* structural VHDL cluster *)
+
+type target = Logic | Layout
+
+type t = {
+  source : source;
+  constraints : Sizing.constraints;
+  target : target;
+  name_hint : string option;  (* user-chosen instance name *)
+  generator : string option;  (* component generator to use (§4.2) *)
+}
+
+let make ?(constraints = Sizing.default_constraints) ?(target = Logic)
+    ?name_hint ?generator source =
+  { source; constraints; target; name_hint; generator }
+
+(* Canonical cache key: identical specifications must reuse the stored
+   instance instead of regenerating (§2.2). *)
+let cache_key t =
+  let b = Buffer.create 128 in
+  (match t.source with
+   | From_component { component; attributes; functions } ->
+       Buffer.add_string b ("C:" ^ component);
+       List.iter
+         (fun (k, v) -> Buffer.add_string b (Printf.sprintf ";%s=%d" k v))
+         (List.sort compare attributes);
+       List.iter
+         (fun f -> Buffer.add_string b (";f" ^ Icdb_genus.Func.to_string f))
+         functions
+   | From_implementation { implementation; params } ->
+       Buffer.add_string b ("I:" ^ implementation);
+       List.iter
+         (fun (k, v) -> Buffer.add_string b (Printf.sprintf ";%s=%d" k v))
+         (List.sort compare params)
+   | From_iif src ->
+       Buffer.add_string b ("F:" ^ string_of_int (Hashtbl.hash src))
+   | From_vhdl_netlist src ->
+       Buffer.add_string b ("V:" ^ string_of_int (Hashtbl.hash src)));
+  let c = t.constraints in
+  Buffer.add_string b
+    (Printf.sprintf "|cw=%s"
+       (match c.Sizing.clock_width with Some f -> string_of_float f | None -> "-"));
+  List.iter
+    (fun (p, d) -> Buffer.add_string b (Printf.sprintf ";cd%s=%g" p d))
+    (List.sort compare c.Sizing.comb_delays);
+  (match c.Sizing.setup_bound with
+   | Some f -> Buffer.add_string b (Printf.sprintf ";su=%g" f)
+   | None -> ());
+  List.iter
+    (fun (p, l) -> Buffer.add_string b (Printf.sprintf ";ol%s=%g" p l))
+    (List.sort compare c.Sizing.port_loads);
+  Buffer.add_string b
+    (match c.Sizing.strategy with
+     | Sizing.Fastest -> ";fast"
+     | Sizing.Cheapest -> ";cheap"
+     | Sizing.Balanced -> "");
+  (match t.generator with
+   | Some g -> Buffer.add_string b (";gen=" ^ g)
+   | None -> ());
+  (match t.target with
+   | Logic -> ()
+   | Layout -> Buffer.add_string b ";layout");
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Component specifications: what a synthesis tool hands to
+    request_component (§3.2.2). *)
+
+open Icdb_timing
+
+(** The three specification sources of §3.2.2, plus explicit
+    implementation selection. *)
+type source =
+  | From_component of {
+      component : string;                 (** catalog name, e.g. "counter" *)
+      attributes : (string * int) list;   (** missing ones take defaults *)
+      functions : Icdb_genus.Func.t list; (** required functions (may be []) *)
+    }
+  | From_implementation of {
+      implementation : string;            (** IIF design name *)
+      params : (string * int) list;       (** all IIF parameters *)
+    }
+  | From_iif of string        (** raw IIF source (control logic) *)
+  | From_vhdl_netlist of string
+      (** structural VHDL clustering generated instances (§6.3) *)
+
+type target = Logic | Layout
+
+type t = {
+  source : source;
+  constraints : Sizing.constraints;
+  target : target;
+  name_hint : string option;  (** user-chosen instance name *)
+  generator : string option;  (** component generator to use (§4.2) *)
+}
+
+val make :
+  ?constraints:Sizing.constraints ->
+  ?target:target ->
+  ?name_hint:string ->
+  ?generator:string ->
+  source ->
+  t
+
+val cache_key : t -> string
+(** Canonical key: identical specifications reuse the stored instance
+    instead of regenerating (§2.2). Covers source, constraints and
+    generator (not the name hint). *)

@@ -1,0 +1,1 @@
+lib/cql/command.ml: List Option Printf String

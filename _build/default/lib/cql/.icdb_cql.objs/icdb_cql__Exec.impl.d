@@ -1,0 +1,1 @@
+lib/cql/exec.ml: Command Icdb Icdb_genus Icdb_layout Icdb_timing Instance List Printf Server Spec String

@@ -1,0 +1,1 @@
+lib/cql/exec.mli: Icdb

@@ -1,0 +1,166 @@
+(* CQL command strings (§3.2, Appendix B §4).
+
+   A command is a list of [keyword : value] terms separated by
+   semicolons. Values are names, numbers, parenthesised lists
+   ("(INC)", "(size:5)", "(O[7]:20,Cout:20)") or variable slots:
+   "%x" marks an input supplied by the caller, "?x" an output ICDB
+   fills in; x is s/d/r (string/int/float), with "[]" for arrays and
+   "f" for file names. *)
+
+type slot =
+  | Sstr
+  | Sint
+  | Sfloat
+  | Sfile
+  | Sstr_arr
+  | Sint_arr
+  | Sfloat_arr
+
+type rhs =
+  | Name of string                       (* counter, fastest, Q[4] *)
+  | Number of float                      (* 30, 29.5 *)
+  | Tuple of (string * string option) list  (* (INC) or (size:5, ...) *)
+  | In_slot of slot                      (* %s *)
+  | Out_slot of slot                     (* ?s[] *)
+
+type term = { key : string; rhs : rhs }
+
+type t = term list
+
+exception Cql_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Cql_error s)) fmt
+
+let slot_of_string s =
+  match s with
+  | "s" -> Sstr
+  | "d" -> Sint
+  | "r" -> Sfloat
+  | "f" -> Sfile
+  | "s[]" -> Sstr_arr
+  | "d[]" -> Sint_arr
+  | "r[]" -> Sfloat_arr
+  | s -> fail "unknown variable type %s" s
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '[' || c = ']' || c = '.' || c = '-' || c = '+'
+
+(* Read one balanced value string up to ; (or end), trimming spaces. *)
+let parse src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\t' || src.[!pos] = '\n'
+                       || src.[!pos] = '\r')
+    do incr pos done
+  in
+  let read_name () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && is_name_char src.[!pos] do incr pos done;
+    if !pos = start then fail "expected a name at position %d" start;
+    String.sub src start (!pos - start)
+  in
+  let read_slot_type () =
+    (* after % or ? : letter plus optional [] *)
+    let start = !pos in
+    if !pos < n
+       && (src.[!pos] = 's' || src.[!pos] = 'd' || src.[!pos] = 'r'
+           || src.[!pos] = 'f')
+    then begin
+      incr pos;
+      if !pos + 1 < n && src.[!pos] = '[' && src.[!pos + 1] = ']' then
+        pos := !pos + 2
+    end;
+    String.sub src start (!pos - start)
+  in
+  let read_tuple () =
+    (* after '(': entries name [: value] separated by , until ')' *)
+    let entries = ref [] in
+    let rec entry () =
+      skip_ws ();
+      let name = read_name () in
+      skip_ws ();
+      if !pos < n && src.[!pos] = ':' then begin
+        incr pos;
+        skip_ws ();
+        let v = read_name () in
+        entries := (name, Some v) :: !entries
+      end
+      else entries := (name, None) :: !entries;
+      skip_ws ();
+      if !pos < n && src.[!pos] = ',' then begin
+        incr pos;
+        entry ()
+      end
+      else if !pos < n && src.[!pos] = ')' then incr pos
+      else fail "expected , or ) in list at position %d" !pos
+    in
+    skip_ws ();
+    if !pos < n && src.[!pos] = ')' then incr pos else entry ();
+    List.rev !entries
+  in
+  let read_rhs () =
+    skip_ws ();
+    if !pos >= n then fail "missing value at end of command"
+    else
+      match src.[!pos] with
+      | '(' ->
+          incr pos;
+          Tuple (read_tuple ())
+      | '%' ->
+          incr pos;
+          In_slot (slot_of_string (read_slot_type ()))
+      | '?' ->
+          incr pos;
+          Out_slot (slot_of_string (read_slot_type ()))
+      | c when c = '-' || (c >= '0' && c <= '9') -> (
+          let start = !pos in
+          incr pos;
+          while !pos < n
+                && ((src.[!pos] >= '0' && src.[!pos] <= '9') || src.[!pos] = '.')
+          do incr pos done;
+          let text = String.sub src start (!pos - start) in
+          match float_of_string_opt text with
+          | Some f -> Number f
+          | None -> Name text)
+      | _ -> Name (read_name ())
+  in
+  let terms = ref [] in
+  let rec term () =
+    skip_ws ();
+    if !pos < n then begin
+      let key = read_name () in
+      skip_ws ();
+      if !pos >= n || src.[!pos] <> ':' then
+        fail "expected : after keyword %s" key;
+      incr pos;
+      let rhs = read_rhs () in
+      terms := { key; rhs } :: !terms;
+      skip_ws ();
+      if !pos < n then
+        if src.[!pos] = ';' then begin
+          incr pos;
+          term ()
+        end
+        else fail "expected ; after term %s at position %d" key !pos
+    end
+  in
+  term ();
+  List.rev !terms
+
+(* ------------------------------------------------------------------ *)
+(* Access helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let find t key = List.find_opt (fun term -> term.key = key) t
+
+let find_any t keys =
+  List.find_map (fun k -> Option.map (fun term -> (k, term)) (find t k)) keys
+
+let command_name t =
+  match find t "command" with
+  | Some { rhs = Name n; _ } -> n
+  | Some _ -> fail "command keyword needs a name value"
+  | None -> fail "missing command keyword"

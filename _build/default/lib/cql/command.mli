@@ -1,0 +1,40 @@
+(** CQL command strings (§3.2, Appendix B §4).
+
+    A command is a list of [keyword : value] terms separated by
+    semicolons. Values are names, numbers, parenthesised lists
+    ("(INC)", "(size:5)", "(O[7]:20,Cout:20)") or variable slots:
+    "%x" marks an input supplied by the caller, "?x" an output ICDB
+    fills in; x is s/d/r/f (string/int/float/file), with "[]" for
+    arrays. *)
+
+type slot =
+  | Sstr
+  | Sint
+  | Sfloat
+  | Sfile
+  | Sstr_arr
+  | Sint_arr
+  | Sfloat_arr
+
+type rhs =
+  | Name of string                          (** counter, fastest, Q[4] *)
+  | Number of float
+  | Tuple of (string * string option) list  (** (INC) or (size:5, ...) *)
+  | In_slot of slot                         (** %s *)
+  | Out_slot of slot                        (** ?s[] *)
+
+type term = { key : string; rhs : rhs }
+
+type t = term list
+
+exception Cql_error of string
+
+val parse : string -> t
+(** @raise Cql_error on malformed input. *)
+
+val find : t -> string -> term option
+val find_any : t -> string list -> (string * term) option
+
+val command_name : t -> string
+(** Value of the [command:] keyword.
+    @raise Cql_error when missing. *)

@@ -1,0 +1,1 @@
+lib/genus/component.ml: Connect Func List Printf String

@@ -1,0 +1,1 @@
+lib/genus/component.mli: Connect Func

@@ -1,0 +1,1 @@
+lib/genus/connect.ml: Func List Printf String

@@ -1,0 +1,1 @@
+lib/genus/func.mli:

@@ -1,0 +1,570 @@
+(* Predefined components (Appendix B §2-§3): the catalog of standard
+   microarchitecture parts ICDB knows, each linked to a parameterized
+   IIF implementation, with attribute defaults, the functions performed
+   (derived from attribute values), connection information, equivalent
+   ports and inverted ports. *)
+
+type port_role = Data_in | Data_out | Control_in | Clock_in
+
+type port = {
+  port_name : string;
+  role : port_role;
+  bus : bool;  (* indexed by the size attribute *)
+}
+
+type t = {
+  comp_name : string;                (* e.g. "counter" *)
+  implementation : string;           (* builtin IIF design name *)
+  attributes : (string * int) list;  (* attribute -> default value *)
+  ports : port list;
+  (* attribute values -> IIF parameter values *)
+  params_of : (string * int) list -> (string * int) list;
+  (* attribute values -> functions this configuration performs *)
+  functions_of : (string * int) list -> Func.t list;
+  (* attribute values -> connection info per function *)
+  connections_of : (string * int) list -> Connect.t list;
+  equivalent_ports : string list list;  (* interchangeable port groups *)
+  inverted_ports : (string * string) list;  (* port -> active-low twin *)
+}
+
+let attr attrs defaults name =
+  match List.assoc_opt name attrs with
+  | Some v -> v
+  | None -> (
+      match List.assoc_opt name defaults with
+      | Some v -> v
+      | None -> invalid_arg ("unknown attribute " ^ name))
+
+let in_ name = { port_name = name; role = Data_in; bus = false }
+let in_bus name = { port_name = name; role = Data_in; bus = true }
+let out name = { port_name = name; role = Data_out; bus = false }
+let out_bus name = { port_name = name; role = Data_out; bus = true }
+let ctl name = { port_name = name; role = Control_in; bus = false }
+let clk name = { port_name = name; role = Clock_in; bus = false }
+
+let pm f c = Connect.Port_map { func_port = f; comp_port = c; active_high = true }
+let cv ?note p v = Connect.Control { port = p; value = v; note }
+
+(* ------------------------------------------------------------------ *)
+(* counter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter =
+  let defaults =
+    [ ("size", 4); ("type", 2); ("load", 1); ("enable", 1); ("up_or_down", 3) ]
+  in
+  let functions_of attrs =
+    let a n = attr attrs defaults n in
+    [ Func.INC; Func.COUNTER ]
+    @ (if a "up_or_down" >= 2 then [ Func.DEC ] else [])
+    @ if a "load" = 1 then [ Func.LOAD; Func.STORAGE ] else []
+  in
+  let connections_of attrs =
+    let a n = attr attrs defaults n in
+    let updown = a "up_or_down" = 3 in
+    let has_enable = a "enable" = 1 in
+    let has_load = a "load" = 1 in
+    let common =
+      (if has_enable then [ cv "ENA" 1 ] else [])
+      @ (if has_load then [ cv "LOAD" 1 ] else [])
+      @ [ cv ~note:"edge_trigger" "CLK" 1 ]
+    in
+    [ { Connect.cfunc = Func.INC;
+        lines =
+          [ pm "OO" "Q" ] @ (if updown then [ cv "DWUP" 0 ] else []) @ common } ]
+    @ (if a "up_or_down" >= 2 then
+         [ { Connect.cfunc = Func.DEC;
+             lines = [ pm "OO" "Q" ]
+                     @ (if updown then [ cv "DWUP" 1 ] else [])
+                     @ common } ]
+       else [])
+    @
+    if has_load then
+      [ { Connect.cfunc = Func.LOAD;
+          lines = [ pm "I0" "D"; pm "OO" "Q"; cv "LOAD" 0 ] } ]
+    else []
+  in
+  { comp_name = "counter";
+    implementation = "COUNTER";
+    attributes = defaults;
+    ports =
+      [ in_bus "D"; clk "CLK"; ctl "LOAD"; ctl "ENA"; ctl "DWUP";
+        out_bus "Q"; out "MINMAX"; out "RCLK" ];
+    params_of = (fun attrs -> List.map (fun (n, _) -> (n, attr attrs defaults n)) defaults);
+    functions_of;
+    connections_of;
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+(* ------------------------------------------------------------------ *)
+(* register                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let register =
+  let defaults = [ ("size", 4); ("load", 1) ] in
+  { comp_name = "register";
+    implementation = "REGISTER";
+    attributes = defaults;
+    ports = [ in_bus "I"; ctl "LOAD"; clk "CLK"; out_bus "Q" ];
+    params_of = (fun attrs -> List.map (fun (n, _) -> (n, attr attrs defaults n)) defaults);
+    functions_of = (fun _ -> [ Func.STORAGE; Func.STORE; Func.LOAD ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.STORE;
+            lines = [ pm "I0" "I"; pm "OO" "Q"; cv "LOAD" 1;
+                      cv ~note:"edge_trigger" "CLK" 1 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+(* ------------------------------------------------------------------ *)
+(* adder                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let adder =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "adder";
+    implementation = "ADDER";
+    attributes = defaults;
+    ports = [ in_bus "I0"; in_bus "I1"; in_ "Cin"; out_bus "O"; out "Cout" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.ADD ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.ADD;
+            lines = [ pm "I0" "I0"; pm "I1" "I1"; pm "Cin" "Cin";
+                      pm "OO" "O"; pm "Cout" "Cout" ] } ]);
+    equivalent_ports = [ [ "I0"; "I1" ] ];
+    inverted_ports = [] }
+
+(* ------------------------------------------------------------------ *)
+(* adder_subtractor                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let adder_subtractor =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "adder_subtractor";
+    implementation = "ADDSUB";
+    attributes = defaults;
+    ports = [ in_bus "A"; in_bus "B"; ctl "ADDSUB"; out_bus "O"; out "Cout" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.ADD; Func.SUB ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.ADD;
+            lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "O"; cv "ADDSUB" 0 ] };
+          { Connect.cfunc = Func.SUB;
+            lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "O"; cv "ADDSUB" 1 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+(* ------------------------------------------------------------------ *)
+(* alu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let alu =
+  let defaults = [ ("size", 4) ] in
+  let op f c2 c1 c0 =
+    { Connect.cfunc = f;
+      lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "O";
+                cv "C2" c2; cv "C1" c1; cv "C0" c0 ] }
+  in
+  { comp_name = "alu";
+    implementation = "ALU";
+    attributes = defaults;
+    ports =
+      [ in_bus "A"; in_bus "B"; ctl "C0"; ctl "C1"; ctl "C2";
+        out_bus "O"; out "Cout" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of =
+      (fun _ -> [ Func.ADD; Func.SUB; Func.AND; Func.OR; Func.XOR; Func.NOT ]);
+    connections_of =
+      (fun _ ->
+        [ op Func.AND 0 0 0; op Func.OR 0 0 1; op Func.XOR 0 1 0;
+          op Func.NOT 0 1 1; op Func.ADD 1 0 0; op Func.SUB 1 0 1 ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+(* ------------------------------------------------------------------ *)
+(* comparator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let comparator =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "comparator";
+    implementation = "COMPARATOR";
+    attributes = defaults;
+    ports = [ in_bus "A"; in_bus "B"; out "OEQ"; out "ONEQ"; out "OGT"; out "OLT" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.EQ; Func.NEQ; Func.GT; Func.LT ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.EQ; lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "OEQ" ] };
+          { Connect.cfunc = Func.NEQ; lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "ONEQ" ] };
+          { Connect.cfunc = Func.GT; lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "OGT" ] };
+          { Connect.cfunc = Func.LT; lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "OLT" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [ ("OEQ", "ONEQ") ] }
+
+(* ------------------------------------------------------------------ *)
+(* mux / decoder / shifter / logic unit / tri-state                    *)
+(* ------------------------------------------------------------------ *)
+
+let mux_scl =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "mux_scl";
+    implementation = "MUX2";
+    attributes = defaults;
+    ports = [ in_bus "I0"; in_bus "I1"; ctl "SEL"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.MUX_SCL ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.MUX_SCL;
+            lines = [ pm "I0" "I0"; pm "I1" "I1"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let decoder =
+  let defaults = [ ("size", 2) ] in
+  { comp_name = "decode";
+    implementation = "DECODER";
+    attributes = defaults;
+    ports = [ in_bus "I"; ctl "EN"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.DECODE ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.DECODE;
+            lines = [ pm "I0" "I"; pm "OO" "O"; cv "EN" 1 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let shifter =
+  let defaults = [ ("size", 4); ("shift_distance", 1) ] in
+  { comp_name = "shifter";
+    implementation = "SHL0";
+    attributes = defaults;
+    ports = [ in_bus "I"; out_bus "O" ];
+    params_of =
+      (fun attrs ->
+        [ ("size", attr attrs defaults "size");
+          ("shift_distance", attr attrs defaults "shift_distance") ]);
+    functions_of =
+      (fun attrs ->
+        if attr attrs defaults "shift_distance" = 1 then [ Func.SHL1; Func.SHL ]
+        else [ Func.SHL ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.SHL; lines = [ pm "I0" "I"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let logic_unit =
+  let defaults = [ ("size", 4) ] in
+  let op f s1 s0 =
+    { Connect.cfunc = f;
+      lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "O"; cv "S1" s1; cv "S0" s0 ] }
+  in
+  { comp_name = "logic_unit";
+    implementation = "LOGIC_UNIT";
+    attributes = defaults;
+    ports = [ in_bus "A"; in_bus "B"; ctl "S0"; ctl "S1"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.AND; Func.OR; Func.XOR; Func.NOT ]);
+    connections_of =
+      (fun _ ->
+        [ op Func.AND 0 0; op Func.OR 0 1; op Func.XOR 1 0; op Func.NOT 1 1 ]);
+    equivalent_ports = [ [ "A"; "B" ] ];
+    inverted_ports = [] }
+
+let and_gate =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "and_gate";
+    implementation = "ANDN";
+    attributes = defaults;
+    ports = [ in_bus "I0"; out "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.AND ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.AND; lines = [ pm "I0" "I0"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let multiplier =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "multiplier";
+    implementation = "MULTIPLIER";
+    attributes = defaults;
+    ports = [ in_bus "A"; in_bus "B"; out_bus "P" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.MUL ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.MUL;
+            lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "P" ] } ]);
+    equivalent_ports = [ [ "A"; "B" ] ];
+    inverted_ports = [] }
+
+let divider =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "divider";
+    implementation = "DIVIDER";
+    attributes = defaults;
+    ports = [ in_bus "A"; in_bus "B"; out_bus "Q"; out_bus "REM" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.DIV ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.DIV;
+            lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "Q"; pm "O1" "REM" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let barrel_shifter =
+  let defaults = [ ("size", 8); ("stages", 3) ] in
+  { comp_name = "barrel_shifter";
+    implementation = "BARREL_SHIFTER";
+    attributes = defaults;
+    ports = [ in_bus "I"; in_bus "S"; out_bus "O" ];
+    params_of =
+      (fun attrs ->
+        [ ("size", attr attrs defaults "size");
+          ("stages", attr attrs defaults "stages") ]);
+    functions_of = (fun _ -> [ Func.SHL ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.SHL;
+            lines = [ pm "I0" "I"; pm "I1" "S"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let shift_register =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "shift_register";
+    implementation = "SHIFT_REGISTER";
+    attributes = defaults;
+    ports =
+      [ in_bus "I"; in_ "SIN"; ctl "LOAD"; ctl "SHIFT"; clk "CLK";
+        out_bus "Q"; out "SOUT" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.SHL1; Func.STORAGE; Func.STORE ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.SHL1;
+            lines = [ pm "OO" "Q"; cv "SHIFT" 1; cv "LOAD" 0;
+                      cv ~note:"edge_trigger" "CLK" 1 ] };
+          { Connect.cfunc = Func.STORE;
+            lines = [ pm "I0" "I"; pm "OO" "Q"; cv "LOAD" 1;
+                      cv ~note:"edge_trigger" "CLK" 1 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let register_file =
+  let defaults = [ ("size", 4); ("abits", 2) ] in
+  { comp_name = "register_file";
+    implementation = "REGISTER_FILE";
+    attributes = defaults;
+    ports =
+      [ in_bus "D"; in_bus "WA"; in_bus "RA"; ctl "WE"; clk "CLK"; out_bus "Q" ];
+    params_of =
+      (fun attrs ->
+        [ ("size", attr attrs defaults "size");
+          ("abits", attr attrs defaults "abits") ]);
+    functions_of = (fun _ -> [ Func.MEMORY; Func.READ; Func.WRITE; Func.STORAGE ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.WRITE;
+            lines = [ pm "I0" "D"; pm "I1" "WA"; cv "WE" 1;
+                      cv ~note:"edge_trigger" "CLK" 1 ] };
+          { Connect.cfunc = Func.READ;
+            lines = [ pm "I0" "RA"; pm "OO" "Q"; cv "WE" 0 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let memory =
+  { register_file with
+    comp_name = "memory";
+    attributes = [ ("size", 8); ("abits", 3) ] }
+
+let mux_scg =
+  let defaults = [ ("size", 4); ("ways", 2) ] in
+  { comp_name = "mux_scg";
+    implementation = "MUXG";
+    attributes = defaults;
+    ports = [ in_bus "I"; in_bus "G"; out_bus "O" ];
+    params_of =
+      (fun attrs ->
+        [ ("size", attr attrs defaults "size");
+          ("ways", attr attrs defaults "ways") ]);
+    functions_of = (fun _ -> [ Func.MUX_SCG ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.MUX_SCG;
+            lines = [ pm "I0" "I"; pm "I1" "G"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let encoder =
+  let defaults = [ ("size", 3) ] in
+  { comp_name = "encode";
+    implementation = "ENCODER";
+    attributes = defaults;
+    ports = [ in_bus "I"; out_bus "O"; out "VALID" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.ENCODE ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.ENCODE; lines = [ pm "I0" "I"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let concat =
+  let defaults = [ ("asize", 4); ("bsize", 4) ] in
+  { comp_name = "concat";
+    implementation = "CONCAT";
+    attributes = defaults;
+    ports = [ in_bus "A"; in_bus "B"; out_bus "O" ];
+    params_of =
+      (fun attrs ->
+        [ ("asize", attr attrs defaults "asize");
+          ("bsize", attr attrs defaults "bsize") ]);
+    functions_of = (fun _ -> [ Func.CONCAT ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.CONCAT;
+            lines = [ pm "I0" "A"; pm "I1" "B"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let extract =
+  let defaults = [ ("size", 8); ("low", 0); ("width", 4) ] in
+  { comp_name = "extract";
+    implementation = "EXTRACT";
+    attributes = defaults;
+    ports = [ in_bus "I"; out_bus "O" ];
+    params_of =
+      (fun attrs ->
+        [ ("size", attr attrs defaults "size");
+          ("low", attr attrs defaults "low");
+          ("width", attr attrs defaults "width") ]);
+    functions_of = (fun _ -> [ Func.EXTRACT ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.EXTRACT; lines = [ pm "I0" "I"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let clock_driver =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "clock_driver";
+    implementation = "CLK_DRIVER";
+    attributes = defaults;
+    ports = [ in_ "I"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.CLK_DR; Func.BUF ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.CLK_DR; lines = [ pm "I0" "I"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let schmitt_trigger =
+  let defaults = [ ("size", 1) ] in
+  { comp_name = "schmitt_trigger";
+    implementation = "SCHMITT_TRIG";
+    attributes = defaults;
+    ports = [ in_bus "I"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.SCHM_TGR ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.SCHM_TGR; lines = [ pm "I0" "I"; pm "OO" "O" ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let bus =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "bus";
+    implementation = "WOR_BUS2";
+    attributes = defaults;
+    ports = [ in_bus "I0"; in_bus "I1"; ctl "EN0"; ctl "EN1"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.BUS; Func.WIRE_OR ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.BUS;
+            lines = [ pm "I0" "I0"; pm "I1" "I1"; pm "OO" "O";
+                      cv "EN0" 1; cv "EN1" 1 ] } ]);
+    equivalent_ports = [ [ "I0"; "I1" ] ];
+    inverted_ports = [] }
+
+let tri_state =
+  let defaults = [ ("size", 4) ] in
+  { comp_name = "tri_state";
+    implementation = "TRIBUF";
+    attributes = defaults;
+    ports = [ in_bus "I"; ctl "EN"; out_bus "O" ];
+    params_of = (fun attrs -> [ ("size", attr attrs defaults "size") ]);
+    functions_of = (fun _ -> [ Func.TRI_STATE ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.TRI_STATE;
+            lines = [ pm "I0" "I"; pm "OO" "O"; cv "EN" 1 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+let stack =
+  let defaults = [ ("size", 4); ("abits", 2) ] in
+  { comp_name = "stack";
+    implementation = "STACK";
+    attributes = defaults;
+    ports =
+      [ in_bus "D"; ctl "PUSH"; ctl "POP"; clk "CLK"; ctl "RESET";
+        out_bus "Q"; out "EMPTY"; out "FULL" ];
+    params_of =
+      (fun attrs ->
+        [ ("size", attr attrs defaults "size");
+          ("abits", attr attrs defaults "abits") ]);
+    functions_of = (fun _ -> [ Func.PUSH; Func.POP; Func.STORAGE ]);
+    connections_of =
+      (fun _ ->
+        [ { Connect.cfunc = Func.PUSH;
+            lines = [ pm "I0" "D"; cv "PUSH" 1; cv "POP" 0;
+                      cv ~note:"edge_trigger" "CLK" 1 ] };
+          { Connect.cfunc = Func.POP;
+            lines = [ pm "OO" "Q"; cv "PUSH" 0; cv "POP" 1;
+                      cv ~note:"edge_trigger" "CLK" 1 ] } ]);
+    equivalent_ports = [];
+    inverted_ports = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ counter; register; adder; adder_subtractor; alu; comparator; mux_scl;
+    mux_scg; decoder; encoder; shifter; barrel_shifter; shift_register;
+    logic_unit; and_gate; tri_state; multiplier; divider; register_file;
+    memory; stack; concat; extract; clock_driver; schmitt_trigger; bus ]
+
+let find name =
+  let n = String.lowercase_ascii name in
+  List.find_opt (fun c -> c.comp_name = n) all
+
+(* Components (by name) performing every function in [funcs]. *)
+let performing funcs =
+  List.filter
+    (fun c ->
+      let fs = c.functions_of [] in
+      List.for_all (fun f -> List.exists (Func.equal f) fs) funcs)
+    all
+
+(* Validate attribute names against the component's attribute list. *)
+let check_attributes c attrs =
+  List.iter
+    (fun (n, _) ->
+      if not (List.mem_assoc n c.attributes) then
+        invalid_arg
+          (Printf.sprintf "component %s has no attribute %s" c.comp_name n))
+    attrs

@@ -1,0 +1,44 @@
+(** Predefined components (Appendix B §2-§3): the catalog of standard
+    microarchitecture parts, each linked to a parameterized IIF
+    implementation, with attribute defaults, functions performed
+    (derived from attribute values), connection information,
+    equivalent ports and inverted ports. *)
+
+type port_role = Data_in | Data_out | Control_in | Clock_in
+
+type port = {
+  port_name : string;
+  role : port_role;
+  bus : bool;  (** indexed by the size attribute *)
+}
+
+type t = {
+  comp_name : string;                (** e.g. "counter" *)
+  implementation : string;           (** builtin IIF design name *)
+  attributes : (string * int) list;  (** attribute -> default value *)
+  ports : port list;
+  params_of : (string * int) list -> (string * int) list;
+      (** attribute values -> IIF parameter values (defaults filled in) *)
+  functions_of : (string * int) list -> Func.t list;
+      (** functions this configuration performs *)
+  connections_of : (string * int) list -> Connect.t list;
+  equivalent_ports : string list list;  (** interchangeable port groups *)
+  inverted_ports : (string * string) list;  (** port -> active-low twin *)
+}
+
+val all : t list
+(** The full catalog (counter, register, adder, adder_subtractor, alu,
+    comparator, muxes, decoder, encoder, shifters, multiplier, divider,
+    register file, memory, concat/extract, clock driver, schmitt
+    trigger, bus, ...). *)
+
+val find : string -> t option
+(** Case-insensitive lookup by component name. *)
+
+val performing : Func.t list -> t list
+(** Components performing all the given functions (at their default
+    attributes). *)
+
+val check_attributes : t -> (string * int) list -> unit
+(** @raise Invalid_argument when a name is not one of the component's
+    attributes. *)

@@ -1,0 +1,42 @@
+(* Connection information (§4.1, Appendix B §5.4): how to wire a
+   component so it executes one of its functions — which component port
+   realises each function operand, and the control values that invoke
+   the function. *)
+
+type line =
+  | Port_map of {
+      func_port : string;   (* operand name of the function: I0, I1, OO... *)
+      comp_port : string;   (* component port realising it *)
+      active_high : bool;
+    }
+  | Control of {
+      port : string;        (* control port of the component *)
+      value : int;          (* 0 / 1 code *)
+      note : string option; (* e.g. "edge_trigger" *)
+    }
+
+type t = {
+  cfunc : Func.t;
+  lines : line list;
+}
+
+(* The paper's textual format:
+     ## function INC
+     OO is OO high
+     ** DWUP 0
+     ** CLK 1 edge_trigger *)
+let to_string { cfunc; lines } =
+  let line = function
+    | Port_map { func_port; comp_port; active_high } ->
+        Printf.sprintf "%s is %s %s" func_port comp_port
+          (if active_high then "high" else "low")
+    | Control { port; value; note } -> (
+        match note with
+        | Some n -> Printf.sprintf "** %s %d %s" port value n
+        | None -> Printf.sprintf "** %s %d" port value)
+  in
+  String.concat "\n"
+    (Printf.sprintf "## function %s" (Func.to_string cfunc)
+     :: List.map line lines)
+
+let all_to_string ts = String.concat "\n" (List.map to_string ts)

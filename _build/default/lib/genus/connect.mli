@@ -1,0 +1,32 @@
+(** Connection information (§4.1, Appendix B §5.4): how to wire a
+    component so it executes one of its functions — which component
+    port realizes each function operand, and the control codes that
+    invoke the function. *)
+
+type line =
+  | Port_map of {
+      func_port : string;   (** operand of the function: I0, I1, OO, ... *)
+      comp_port : string;   (** component port realising it *)
+      active_high : bool;
+    }
+  | Control of {
+      port : string;
+      value : int;
+      note : string option;  (** e.g. "edge_trigger" *)
+    }
+
+type t = {
+  cfunc : Func.t;
+  lines : line list;
+}
+
+val to_string : t -> string
+(** The paper's format:
+    {v
+## function INC
+OO is Q high
+** DWUP 0
+** CLK 1 edge_trigger
+    v} *)
+
+val all_to_string : t list -> string

@@ -1,0 +1,70 @@
+(* The GENUS-style function taxonomy (Appendix B §2): the operations a
+   microarchitecture component may perform. Synthesis tools query the
+   database by these names. *)
+
+type t =
+  (* logic *)
+  | AND | OR | NOT | NAND | NOR | XOR | XNOR
+  (* arithmetic *)
+  | ADD | SUB | MUL | DIV | INC | DEC
+  (* relations *)
+  | EQ | NEQ | GT | GE | LT | LE
+  (* select *)
+  | MUX_SCL | MUX_SCG
+  (* shifts *)
+  | SHL1 | SHR1 | ROTL1 | ROTR1 | ASHL1 | ASHR1
+  | SHL | SHR | ROTL | ROTR | ASHL | ASHR
+  (* coding *)
+  | ENCODE | DECODE
+  (* interface *)
+  | BUF | CLK_DR | SCHM_TGR | TRI_STATE
+  (* wire *)
+  | PORT | BUS | WIRE_OR
+  (* switch box *)
+  | CONCAT | EXTRACT
+  (* clocking *)
+  | CLK_GEN | DELAY
+  (* memory *)
+  | LOAD | STORE | MEMORY | READ | WRITE | PUSH | POP
+  (* composite roles used by allocation (§4.1) *)
+  | STORAGE | COUNTER
+  (* escape hatch for user-defined functions *)
+  | Custom of string
+
+let to_string = function
+  | AND -> "AND" | OR -> "OR" | NOT -> "NOT" | NAND -> "NAND" | NOR -> "NOR"
+  | XOR -> "XOR" | XNOR -> "XNOR"
+  | ADD -> "ADD" | SUB -> "SUB" | MUL -> "MUL" | DIV -> "DIV"
+  | INC -> "INC" | DEC -> "DEC"
+  | EQ -> "EQ" | NEQ -> "NEQ" | GT -> "GT" | GE -> "GE" | LT -> "LT" | LE -> "LE"
+  | MUX_SCL -> "MUX_SCL" | MUX_SCG -> "MUX_SCG"
+  | SHL1 -> "SHL1" | SHR1 -> "SHR1" | ROTL1 -> "ROTL1" | ROTR1 -> "ROTR1"
+  | ASHL1 -> "ASHL1" | ASHR1 -> "ASHR1"
+  | SHL -> "SHL" | SHR -> "SHR" | ROTL -> "ROTL" | ROTR -> "ROTR"
+  | ASHL -> "ASHL" | ASHR -> "ASHR"
+  | ENCODE -> "ENCODE" | DECODE -> "DECODE"
+  | BUF -> "BUF" | CLK_DR -> "CLK_DR" | SCHM_TGR -> "SCHM_TGR"
+  | TRI_STATE -> "TRI_STATE"
+  | PORT -> "PORT" | BUS -> "BUS" | WIRE_OR -> "WIRE_OR"
+  | CONCAT -> "CONCAT" | EXTRACT -> "EXTRACT"
+  | CLK_GEN -> "CLK_GEN" | DELAY -> "DELAY"
+  | LOAD -> "LOAD" | STORE -> "STORE" | MEMORY -> "MEMORY"
+  | READ -> "READ" | WRITE -> "WRITE" | PUSH -> "PUSH" | POP -> "POP"
+  | STORAGE -> "STORAGE" | COUNTER -> "COUNTER"
+  | Custom s -> s
+
+let known =
+  [ AND; OR; NOT; NAND; NOR; XOR; XNOR; ADD; SUB; MUL; DIV; INC; DEC;
+    EQ; NEQ; GT; GE; LT; LE; MUX_SCL; MUX_SCG;
+    SHL1; SHR1; ROTL1; ROTR1; ASHL1; ASHR1; SHL; SHR; ROTL; ROTR; ASHL; ASHR;
+    ENCODE; DECODE; BUF; CLK_DR; SCHM_TGR; TRI_STATE; PORT; BUS; WIRE_OR;
+    CONCAT; EXTRACT; CLK_GEN; DELAY; LOAD; STORE; MEMORY; READ; WRITE; PUSH;
+    POP; STORAGE; COUNTER ]
+
+let of_string s =
+  let u = String.uppercase_ascii s in
+  match List.find_opt (fun f -> to_string f = u) known with
+  | Some f -> f
+  | None -> Custom u
+
+let equal a b = to_string a = to_string b

@@ -1,0 +1,29 @@
+(** The GENUS-style function taxonomy (Appendix B §2): the operations a
+    microarchitecture component may perform. Synthesis tools query the
+    database by these names. *)
+
+type t =
+  | AND | OR | NOT | NAND | NOR | XOR | XNOR
+  | ADD | SUB | MUL | DIV | INC | DEC
+  | EQ | NEQ | GT | GE | LT | LE
+  | MUX_SCL | MUX_SCG
+  | SHL1 | SHR1 | ROTL1 | ROTR1 | ASHL1 | ASHR1
+  | SHL | SHR | ROTL | ROTR | ASHL | ASHR
+  | ENCODE | DECODE
+  | BUF | CLK_DR | SCHM_TGR | TRI_STATE
+  | PORT | BUS | WIRE_OR
+  | CONCAT | EXTRACT
+  | CLK_GEN | DELAY
+  | LOAD | STORE | MEMORY | READ | WRITE | PUSH | POP
+  | STORAGE | COUNTER
+  | Custom of string  (** user-defined functions *)
+
+val to_string : t -> string
+
+val known : t list
+(** Every predefined function, in taxonomy order. *)
+
+val of_string : string -> t
+(** Case-insensitive; unknown names become [Custom]. *)
+
+val equal : t -> t -> bool

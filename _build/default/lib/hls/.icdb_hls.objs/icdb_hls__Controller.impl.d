@@ -1,0 +1,1 @@
+lib/hls/controller.ml: Buffer Component Connect Dfg Func Hashtbl Icdb Icdb_genus Instance List Printf Schedule Server Spec String

@@ -1,0 +1,1 @@
+lib/hls/controller.mli: Icdb Instance Schedule Server

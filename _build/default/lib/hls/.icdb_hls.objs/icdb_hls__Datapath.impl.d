@@ -1,0 +1,1 @@
+lib/hls/datapath.ml: Buffer Component Controller Dfg Func Hashtbl Icdb Icdb_genus Icdb_netlist Instance List Printf Schedule Server Spec String

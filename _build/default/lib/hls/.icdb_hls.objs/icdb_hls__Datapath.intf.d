@@ -1,0 +1,1 @@
+lib/hls/datapath.mli: Icdb Instance Schedule Server

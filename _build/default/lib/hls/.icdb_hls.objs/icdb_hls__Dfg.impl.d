@@ -1,0 +1,1 @@
+lib/hls/dfg.ml: Icdb_genus List Printf

@@ -1,0 +1,1 @@
+lib/hls/dfg.mli: Icdb_genus

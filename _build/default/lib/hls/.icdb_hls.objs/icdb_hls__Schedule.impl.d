@@ -1,0 +1,1 @@
+lib/hls/schedule.ml: Buffer Dfg Float Func Hashtbl Icdb Icdb_genus Icdb_timing Instance List Printf Server Spec

@@ -1,0 +1,1 @@
+lib/hls/schedule.mli: Dfg Icdb Icdb_genus Instance Server

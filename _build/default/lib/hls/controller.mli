@@ -1,0 +1,30 @@
+(** Controller synthesis from a schedule (§3.2.2's type-3 request).
+
+    Derives a one-hot ring state machine — one state per control step,
+    asynchronous RESET into step 0 — with start strobes for every
+    functional unit, per-function control codes from the §4.1
+    connection information, and a DONE strobe; emits it as IIF and
+    generates it through ICDB like any other component. *)
+
+open Icdb
+
+exception Controller_error of string
+
+type t = {
+  c_iif : string;           (** the generated IIF source *)
+  c_instance : Instance.t;  (** generated (and verified) through ICDB *)
+  c_outputs : string list;  (** control signal names, DONE last *)
+}
+
+val sanitize : string -> string
+
+(** State encoding: a one-hot ring (one flip-flop per step, trivial
+    next-state logic) or a log2-encoded register with decoders (fewer
+    flip-flops, more combinational logic). *)
+type encoding = One_hot | Binary
+
+val iif_of : ?encoding:encoding -> Schedule.result -> string * string list
+(** The IIF text and its output signal names.
+    @raise Controller_error on empty schedules. *)
+
+val generate : ?encoding:encoding -> Server.t -> Schedule.result -> t

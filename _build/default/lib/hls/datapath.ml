@@ -1,0 +1,317 @@
+(* Datapath construction from a schedule.
+
+   Completes the Figure 1 flow: the bound functional units are wired
+   into an RTL datapath — operand multiplexers where a unit serves
+   several operations, registers for values crossing control steps —
+   and the whole structure is handed back to ICDB as a VHDL netlist
+   cluster (§6.3), which flattens it against the generated component
+   netlists and estimates area, delay and shape for the partitioner. *)
+
+open Icdb
+open Icdb_genus
+
+exception Datapath_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Datapath_error s)) fmt
+
+type t = {
+  d_vhdl : string;            (* the cluster netlist source *)
+  d_instance : Instance.t;    (* the flattened, estimated cluster *)
+  d_registers : string list;  (* op ids whose results are registered *)
+  d_muxes : int;              (* operand multiplexers inserted *)
+}
+
+let bus name width = List.init width (fun i -> Printf.sprintf "%s[%d]" name i)
+
+(* Data ports of the component serving [func], split by shape. *)
+let unit_ports func =
+  let component, _ = Schedule.component_for func in
+  match Component.find component with
+  | None -> fail "unknown component %s" component
+  | Some c ->
+      let ins r =
+        List.filter (fun p -> p.Component.role = r) c.Component.ports
+      in
+      (component,
+       List.filter (fun p -> p.Component.bus) (ins Component.Data_in),
+       List.filter (fun p -> not p.Component.bus) (ins Component.Data_in),
+       ins Component.Control_in,
+       ins Component.Clock_in,
+       List.filter (fun p -> p.Component.bus) (ins Component.Data_out),
+       List.filter (fun p -> not p.Component.bus) (ins Component.Data_out))
+
+(* Result net base for an op executing on its unit. *)
+let result_base func unit =
+  match func with
+  | Func.EQ -> `Scalar (unit ^ "$OEQ")
+  | Func.NEQ -> `Scalar (unit ^ "$ONEQ")
+  | Func.GT | Func.GE -> `Scalar (unit ^ "$OGT")
+  | Func.LT | Func.LE -> `Scalar (unit ^ "$OLT")
+  | _ -> `Bus (unit ^ "$out")
+
+let scalar_out_port = function
+  | Func.EQ -> "OEQ"
+  | Func.NEQ -> "ONEQ"
+  | Func.GT | Func.GE -> "OGT"
+  | Func.LT | Func.LE -> "OLT"
+  | _ -> "O"
+
+let sanitize = Controller.sanitize
+
+(* [generate server r] builds and estimates the datapath. *)
+let generate server (r : Schedule.result) =
+  let ops = r.Schedule.r_ops in
+  let op_by_id id =
+    List.find (fun s -> s.Schedule.so_op.Dfg.op_id = id) ops
+  in
+  let ops_of_unit u =
+    List.filter (fun s -> s.Schedule.so_unit = u) ops
+    |> List.sort (fun a b -> compare a.Schedule.so_start_step b.Schedule.so_start_step)
+  in
+  let consumers id =
+    List.filter (fun s -> List.mem id s.Schedule.so_op.Dfg.op_deps) ops
+  in
+  (* an op's result is registered when read in a later step or never
+     read at all (it is a datapath output) *)
+  let registered s =
+    let cs = consumers s.Schedule.so_op.Dfg.op_id in
+    cs = []
+    || List.exists (fun c -> c.Schedule.so_start_step > s.Schedule.so_end_step) cs
+  in
+  (* --- gather the sub-component instances -------------------------- *)
+  let instances = ref [] in  (* Vhdl.parsed_instance list, reversed *)
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let muxes = ref 0 in
+  let add_input n = if not (List.mem n !inputs) then inputs := n :: !inputs in
+  let add_instance label comp ports =
+    instances :=
+      { Icdb_netlist.Vhdl.pi_label = label; pi_component = comp;
+        pi_ports = ports }
+      :: !instances
+  in
+  let resolve_tbl = Hashtbl.create 16 in  (* component id -> netlist *)
+  let remember (inst : Instance.t) =
+    Hashtbl.replace resolve_tbl inst.Instance.id inst.Instance.netlist;
+    inst.Instance.id
+  in
+  let nc = ref 0 in
+  let dangling () = incr nc; Printf.sprintf "nc%d" !nc in
+  add_input "CLK";
+  (* source net for op [id]'s result as seen by a consumer in
+     [reader_step] *)
+  let source_bits id reader_step width =
+    let s = op_by_id id in
+    let unit = sanitize s.Schedule.so_unit in
+    let direct =
+      match result_base s.Schedule.so_op.Dfg.op_func unit with
+      | `Bus base -> bus base width
+      | `Scalar n -> [ n ]
+    in
+    if registered s && reader_step > s.Schedule.so_end_step then
+      bus (unit ^ "$" ^ id ^ "$q") (List.length direct)
+    else direct
+  in
+  (* --- functional units (+ operand muxes) -------------------------- *)
+  List.iter
+    (fun (u : Schedule.unit_info) ->
+      let unit = sanitize u.Schedule.u_name in
+      let uops = ops_of_unit u.Schedule.u_name in
+      let func = (List.hd uops).Schedule.so_op.Dfg.op_func in
+      let comp, bus_ins, scalar_ins, ctl_ins, clk_ins, bus_outs, scalar_outs =
+        unit_ports func
+      in
+      ignore comp;
+      let w = u.Schedule.u_width in
+      let ways = List.length uops in
+      let port_map = ref [] in
+      let map_bit formal actual = port_map := (formal, actual) :: !port_map in
+      (* operand buses: per-op sources, muxed when shared *)
+      List.iteri
+        (fun bus_idx p ->
+          let port = p.Component.port_name in
+          let source_for (s : Schedule.scheduled_op) =
+            match List.nth_opt s.Schedule.so_op.Dfg.op_deps bus_idx with
+            | Some dep -> source_bits dep s.Schedule.so_start_step w
+            | None ->
+                (* external operand *)
+                let base =
+                  Printf.sprintf "%s_%s" s.Schedule.so_op.Dfg.op_id port
+                in
+                let bits = bus base w in
+                List.iter add_input bits;
+                bits
+          in
+          let feed =
+            if ways = 1 then source_for (List.hd uops)
+            else begin
+              (* k-way one-hot mux in front of this bus *)
+              incr muxes;
+              let mux_inst =
+                Server.request_component server
+                  (Spec.make
+                     (Spec.From_component
+                        { component = "mux_scg";
+                          attributes = [ ("size", w); ("ways", ways) ];
+                          functions = [] }))
+              in
+              let mux_comp = remember mux_inst in
+              let out_base = Printf.sprintf "%s$%s$m" unit port in
+              let mmap = ref [] in
+              List.iteri
+                (fun k s ->
+                  let bits = source_for s in
+                  List.iteri
+                    (fun b actual ->
+                      mmap := (Printf.sprintf "I[%d]" ((k * w) + b), actual) :: !mmap)
+                    bits;
+                  let sel = Printf.sprintf "SEL_%s_%d" unit k in
+                  add_input sel;
+                  mmap := (Printf.sprintf "G[%d]" k, sel) :: !mmap)
+                uops;
+              List.iteri
+                (fun b formal_bit ->
+                  mmap := (Printf.sprintf "O[%d]" b, formal_bit) :: !mmap)
+                (bus out_base w);
+              add_instance (Printf.sprintf "%s_%s_mux" unit port) mux_comp
+                (List.rev !mmap);
+              bus out_base w
+            end
+          in
+          List.iteri
+            (fun b actual -> map_bit (Printf.sprintf "%s[%d]" port b) actual)
+            feed)
+        bus_ins;
+      (* scalar data / control inputs become shared cluster inputs *)
+      List.iter
+        (fun p ->
+          let n = Printf.sprintf "%s_%s" unit p.Component.port_name in
+          add_input n;
+          map_bit p.Component.port_name n)
+        (scalar_ins @ ctl_ins);
+      List.iter (fun p -> map_bit p.Component.port_name "CLK") clk_ins;
+      (* outputs: the result bus plus dangling nets for the rest;
+         bit counts come from the generated netlist itself (a
+         multiplier's product is twice the operand width) *)
+      let netlist_bits port =
+        List.filter
+          (fun n ->
+            n = port
+            || (String.length n > String.length port
+                && String.sub n 0 (String.length port + 1) = port ^ "["))
+          (u.Schedule.u_instance.Instance.netlist.Icdb_netlist.Netlist.inputs
+          @ u.Schedule.u_instance.Instance.netlist.Icdb_netlist.Netlist.outputs)
+      in
+      List.iter
+        (fun p ->
+          let port = p.Component.port_name in
+          List.iteri
+            (fun b formal_bit ->
+              let actual =
+                if port = "O" || port = "P" || port = "Q" then
+                  Printf.sprintf "%s$out[%d]" unit b
+                else dangling ()
+              in
+              map_bit formal_bit actual)
+            (netlist_bits port))
+        bus_outs;
+      List.iter
+        (fun p ->
+          let port = p.Component.port_name in
+          let actual =
+            if port = scalar_out_port func then unit ^ "$" ^ port
+            else dangling ()
+          in
+          map_bit port actual)
+        scalar_outs;
+      add_instance unit (remember u.Schedule.u_instance) (List.rev !port_map))
+    r.Schedule.r_units;
+  (* comparator-style scalar results need the unit$OXX alias used by
+     source_bits *)
+  (* --- result registers --------------------------------------------- *)
+  let registered_ids = ref [] in
+  List.iter
+    (fun s ->
+      if registered s then begin
+        let id = s.Schedule.so_op.Dfg.op_id in
+        let unit = sanitize s.Schedule.so_unit in
+        let direct =
+          match result_base s.Schedule.so_op.Dfg.op_func unit with
+          | `Bus base -> bus base s.Schedule.so_op.Dfg.op_width
+          | `Scalar n -> [ n ]
+        in
+        let w = List.length direct in
+        let reg_inst =
+          Server.request_component server
+            (Spec.make
+               (Spec.From_component
+                  { component = "register";
+                    attributes = [ ("size", w); ("load", 1) ];
+                    functions = [] }))
+        in
+        let reg_comp = remember reg_inst in
+        let q_base = unit ^ "$" ^ id ^ "$q" in
+        let ld = "LD_" ^ id in
+        add_input ld;
+        let pmap =
+          List.mapi (fun b a -> (Printf.sprintf "I[%d]" b, a)) direct
+          @ [ ("LOAD", ld); ("CLK", "CLK") ]
+          @ List.mapi
+              (fun b a -> (Printf.sprintf "Q[%d]" b, a))
+              (if consumers id = [] then begin
+                 (* datapath output *)
+                 let out_bits = bus ("out_" ^ id) w in
+                 List.iter
+                   (fun o -> if not (List.mem o !outputs) then outputs := o :: !outputs)
+                   out_bits;
+                 out_bits
+               end
+               else bus q_base w)
+        in
+        registered_ids := id :: !registered_ids;
+        add_instance ("reg_" ^ id) reg_comp pmap
+      end)
+    ops;
+  (* --- assemble, emit, and request the cluster ---------------------- *)
+  let parsed =
+    { Icdb_netlist.Vhdl.p_name = "dp_" ^ sanitize r.Schedule.r_dfg;
+      p_inputs = List.rev !inputs;
+      p_outputs = List.rev !outputs;
+      p_instances = List.rev !instances }
+  in
+  (* textual VHDL for the record (and to exercise the parser path) *)
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "entity %s is port (\n" parsed.Icdb_netlist.Vhdl.p_name);
+  let ports =
+    List.map (fun n -> (n, "in")) parsed.Icdb_netlist.Vhdl.p_inputs
+    @ List.map (fun n -> (n, "out")) parsed.Icdb_netlist.Vhdl.p_outputs
+  in
+  List.iteri
+    (fun i (n, dir) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s : %s bit%s\n" n dir
+           (if i = List.length ports - 1 then "" else ";")))
+    ports;
+  Buffer.add_string buf
+    (Printf.sprintf ");\nend %s;\narchitecture s of %s is\nbegin\n"
+       parsed.Icdb_netlist.Vhdl.p_name parsed.Icdb_netlist.Vhdl.p_name);
+  List.iter
+    (fun (pi : Icdb_netlist.Vhdl.parsed_instance) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s: %s port map (%s);\n" pi.Icdb_netlist.Vhdl.pi_label
+           pi.Icdb_netlist.Vhdl.pi_component
+           (String.concat ", "
+              (List.map
+                 (fun (f, a) -> Printf.sprintf "%s => %s" f a)
+                 pi.Icdb_netlist.Vhdl.pi_ports))))
+    parsed.Icdb_netlist.Vhdl.p_instances;
+  Buffer.add_string buf "end s;\n";
+  let vhdl = Buffer.contents buf in
+  let instance =
+    Server.request_component server (Spec.make (Spec.From_vhdl_netlist vhdl))
+  in
+  { d_vhdl = vhdl;
+    d_instance = instance;
+    d_registers = List.rev !registered_ids;
+    d_muxes = !muxes }

@@ -1,0 +1,26 @@
+(** Datapath construction from a schedule.
+
+    Wires the bound functional units into RTL — one-hot operand
+    multiplexers where a unit serves several operations, registers for
+    results crossing control steps or leaving the datapath — and hands
+    the structure back to ICDB as a VHDL netlist cluster (§6.3) for
+    flattening and area/delay/shape estimation.
+
+    Cluster interface: CLK; [LD_<op>] register strobes;
+    [SEL_<unit>_<k>] mux guards; [<op>_<port>[i]] external operands;
+    [<unit>_<port>] shared scalar/control pins; outputs
+    [out_<op>[i]] for sink results. The controller of {!Controller}
+    drives the strobes. *)
+
+open Icdb
+
+exception Datapath_error of string
+
+type t = {
+  d_vhdl : string;            (** the cluster netlist source *)
+  d_instance : Instance.t;    (** the flattened, estimated cluster *)
+  d_registers : string list;  (** op ids whose results are registered *)
+  d_muxes : int;              (** operand multiplexers inserted *)
+}
+
+val generate : Server.t -> Schedule.result -> t

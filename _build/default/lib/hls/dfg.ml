@@ -1,0 +1,100 @@
+(* Dataflow graphs: the input of the behavioral-synthesis client.
+
+   Figure 1 puts ICDB underneath behavioral synthesis tools; this
+   module and {!Schedule} are a small such tool — enough of a scheduler
+   and allocator to demonstrate (and benchmark) how component delay,
+   area and function information drives scheduling, chaining and
+   binding decisions. *)
+
+type op = {
+  op_id : string;
+  op_func : Icdb_genus.Func.t;
+  op_width : int;
+  op_deps : string list;  (* ids of operations producing our operands *)
+}
+
+type t = {
+  dfg_name : string;
+  ops : op list;
+}
+
+exception Dfg_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Dfg_error s)) fmt
+
+let find t id =
+  match List.find_opt (fun o -> o.op_id = id) t.ops with
+  | Some o -> o
+  | None -> fail "unknown operation %s" id
+
+(* Validate: unique ids, known dependencies, no cycles. Returns the
+   operations in a topological order. *)
+let validate t =
+  let ids = List.map (fun o -> o.op_id) t.ops in
+  if List.length ids <> List.length (List.sort_uniq compare ids) then
+    fail "duplicate operation ids in %s" t.dfg_name;
+  List.iter
+    (fun o ->
+      List.iter
+        (fun d ->
+          if not (List.mem d ids) then
+            fail "operation %s depends on unknown %s" o.op_id d)
+        o.op_deps)
+    t.ops;
+  (* Kahn topological sort *)
+  let remaining = ref t.ops in
+  let placed = ref [] in
+  let placed_ids = ref [] in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    let ready, blocked =
+      List.partition
+        (fun o -> List.for_all (fun d -> List.mem d !placed_ids) o.op_deps)
+        !remaining
+    in
+    if ready <> [] then begin
+      progress := true;
+      placed := !placed @ ready;
+      placed_ids := !placed_ids @ List.map (fun o -> o.op_id) ready;
+      remaining := blocked
+    end
+  done;
+  if !remaining <> [] then fail "dependency cycle in %s" t.dfg_name;
+  !placed
+
+(* The classic differential-equation benchmark of the HLS literature
+   (HAL: y'' + 3xy' + 3y = 0 integration step), expressed over 8-bit
+   operators. *)
+let diffeq =
+  { dfg_name = "diffeq";
+    ops =
+      [ { op_id = "m1"; op_func = Icdb_genus.Func.MUL; op_width = 8; op_deps = [] };
+        { op_id = "m2"; op_func = Icdb_genus.Func.MUL; op_width = 8; op_deps = [] };
+        { op_id = "m3"; op_func = Icdb_genus.Func.MUL; op_width = 8;
+          op_deps = [ "m1" ] };
+        { op_id = "m4"; op_func = Icdb_genus.Func.MUL; op_width = 8;
+          op_deps = [ "m2" ] };
+        { op_id = "s1"; op_func = Icdb_genus.Func.SUB; op_width = 8;
+          op_deps = [ "m3" ] };
+        { op_id = "s2"; op_func = Icdb_genus.Func.SUB; op_width = 8;
+          op_deps = [ "s1"; "m4" ] };
+        { op_id = "a1"; op_func = Icdb_genus.Func.ADD; op_width = 8;
+          op_deps = [] };
+        { op_id = "c1"; op_func = Icdb_genus.Func.LT; op_width = 8;
+          op_deps = [ "a1" ] } ] }
+
+(* A small FIR-like pipeline: four multiplies into an adder tree. *)
+let fir4 =
+  { dfg_name = "fir4";
+    ops =
+      [ { op_id = "m0"; op_func = Icdb_genus.Func.MUL; op_width = 6; op_deps = [] };
+        { op_id = "m1"; op_func = Icdb_genus.Func.MUL; op_width = 6; op_deps = [] };
+        { op_id = "m2"; op_func = Icdb_genus.Func.MUL; op_width = 6; op_deps = [] };
+        { op_id = "m3"; op_func = Icdb_genus.Func.MUL; op_width = 6; op_deps = [] };
+        { op_id = "a0"; op_func = Icdb_genus.Func.ADD; op_width = 6;
+          op_deps = [ "m0"; "m1" ] };
+        { op_id = "a1"; op_func = Icdb_genus.Func.ADD; op_width = 6;
+          op_deps = [ "m2"; "m3" ] };
+        { op_id = "a2"; op_func = Icdb_genus.Func.ADD; op_width = 6;
+          op_deps = [ "a0"; "a1" ] } ] }

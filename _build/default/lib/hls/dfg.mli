@@ -1,0 +1,30 @@
+(** Dataflow graphs: the behavioral input of the synthesis client
+    (Figure 1). *)
+
+type op = {
+  op_id : string;
+  op_func : Icdb_genus.Func.t;
+  op_width : int;
+  op_deps : string list;  (** ids of operations producing our operands *)
+}
+
+type t = {
+  dfg_name : string;
+  ops : op list;
+}
+
+exception Dfg_error of string
+
+val find : t -> string -> op
+(** @raise Dfg_error on unknown ids. *)
+
+val validate : t -> op list
+(** Check ids, dependencies and acyclicity; returns the operations in
+    topological order. @raise Dfg_error otherwise. *)
+
+val diffeq : t
+(** The classic HAL differential-equation benchmark (four multiplies,
+    two subtracts, an add and a compare over 8-bit operators). *)
+
+val fir4 : t
+(** Four multiplies into an adder tree, 6-bit. *)

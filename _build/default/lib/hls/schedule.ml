@@ -1,0 +1,232 @@
+(* Operation scheduling and resource binding against ICDB (§2.1).
+
+   The paper: "During operator scheduling, a synthesis tool can use the
+   component delay time to determine the proper clock width. A
+   behavioral synthesis tool can also use the information to decide
+   whether to chain two operations together in a single clock, or
+   whether to place an operation in a multiple clock step."
+
+   This is that tool, in miniature: ASAP list scheduling with chaining
+   under a clock-period budget, multi-cycle operations when one period
+   is not enough, and greedy functional-unit binding that reuses
+   components across steps. The component delays come from ICDB; a
+   pessimism factor models tools working against a generic library
+   instead (delay margins instead of numbers, §1). *)
+
+open Icdb
+open Icdb_genus
+
+exception Schedule_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Schedule_error s)) fmt
+
+type scheduled_op = {
+  so_op : Dfg.op;
+  so_unit : string;        (* bound functional unit *)
+  so_start_step : int;     (* control step the op starts in *)
+  so_end_step : int;       (* step it finishes in (multi-cycle ops) *)
+  so_start_offset : float; (* ns into the start step (chaining) *)
+  so_delay : float;        (* ns through the component *)
+}
+
+type unit_info = {
+  u_name : string;          (* e.g. "mul8_0" *)
+  u_component : string;
+  u_width : int;
+  u_instance : Instance.t;
+}
+
+type result = {
+  r_dfg : string;
+  r_clock : float;             (* the clock period scheduled against *)
+  r_steps : int;               (* schedule length in control steps *)
+  r_ops : scheduled_op list;
+  r_units : unit_info list;
+  r_unit_area : float;         (* µm², functional units only *)
+  r_register_bits : int;       (* values alive across a step boundary *)
+  r_latency : float;           (* steps * clock, ns *)
+}
+
+(* Which catalog component serves a function, and its relevant output
+   for delay purposes. *)
+let component_for func =
+  match func with
+  | Func.ADD -> ("adder", "O")
+  | Func.SUB -> ("adder_subtractor", "O")
+  | Func.MUL -> ("multiplier", "P")
+  | Func.DIV -> ("divider", "Q")
+  | Func.EQ | Func.NEQ | Func.GT | Func.GE | Func.LT | Func.LE ->
+      ("comparator", "OGT")
+  | Func.AND | Func.OR | Func.XOR | Func.NOT -> ("logic_unit", "O")
+  | Func.SHL -> ("barrel_shifter", "O")
+  | Func.MUX_SCL -> ("mux_scl", "O")
+  | f -> fail "no functional unit for %s" (Func.to_string f)
+
+(* Worst output delay of an instance: what the scheduler budgets per
+   operation. *)
+let worst_delay (i : Instance.t) =
+  List.fold_left
+    (fun acc (_, wd) -> Float.max acc wd)
+    0.0 i.Instance.report.Icdb_timing.Sta.output_delays
+
+(* Fetch (cached) the component instance for a function at a width. *)
+let unit_instance server func width =
+  let component, _ = component_for func in
+  Server.request_component server
+    (Spec.make
+       (Spec.From_component
+          { component; attributes = [ ("size", width) ]; functions = [] }))
+
+(* [run server dfg ~clock ~pessimism] schedules [dfg] against a clock
+   period. [pessimism] scales every component delay the tool believes
+   (1.0 = ICDB's real numbers; >1 models a generic library's margins).
+   Operations chain within a step while budget remains; an operation
+   longer than one period becomes multi-cycle. Binding greedily reuses
+   the unit of the same (component, width) whose previous operation
+   finished earliest. *)
+let run server (dfg : Dfg.t) ~clock ~pessimism =
+  if clock <= 0.0 then fail "clock period must be positive";
+  let ops = Dfg.validate dfg in
+  (* operation delays as the tool believes them *)
+  let delays = Hashtbl.create 16 in
+  let instances = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Dfg.op) ->
+      let key = (o.Dfg.op_func, o.Dfg.op_width) in
+      if not (Hashtbl.mem delays key) then begin
+        let inst = unit_instance server o.Dfg.op_func o.Dfg.op_width in
+        Hashtbl.replace instances key inst;
+        Hashtbl.replace delays key (worst_delay inst *. pessimism)
+      end)
+    ops;
+  (* All times in absolute ns on the control-step grid. *)
+  let eps = 1e-9 in
+  let step_of t = int_of_float (Float.floor ((t +. eps) /. clock)) in
+  let boundary_after t = Float.ceil ((t -. eps) /. clock) *. clock in
+  let offset_in_step t =
+    Float.max 0.0 (t -. (Float.floor ((t +. eps) /. clock) *. clock))
+  in
+  (* availability time of each scheduled op's result *)
+  let avail = Hashtbl.create 16 in
+  let scheduled = ref [] in
+  (* greedy binding state: per (component,width), (unit name, busy-until) *)
+  let units = Hashtbl.create 8 in
+  let unit_count = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Dfg.op) ->
+      let key = (o.Dfg.op_func, o.Dfg.op_width) in
+      let d = Hashtbl.find delays key in
+      if d > clock *. 64.0 then
+        fail "operation %s (%.1f ns) cannot fit any reasonable schedule at %.1f ns"
+          o.Dfg.op_id d clock;
+      let t_ready =
+        List.fold_left
+          (fun acc dep -> Float.max acc (Hashtbl.find avail dep))
+          0.0 o.Dfg.op_deps
+      in
+      (* chain into the partial step if the op fits before the edge;
+         a longer op starts at the next boundary (multi-cycle) *)
+      let fits_chained = offset_in_step t_ready +. d <= clock +. eps in
+      let start =
+        if fits_chained then t_ready else boundary_after t_ready
+      in
+      let finish = start +. d in
+      (* chained results are usable immediately; multi-cycle results
+         are registered and usable from the following boundary *)
+      let t_avail =
+        if fits_chained && step_of start = step_of (finish -. eps) then finish
+        else boundary_after finish
+      in
+      (* bind to a unit of this kind free at our start time *)
+      let pool =
+        match Hashtbl.find_opt units key with Some l -> l | None -> []
+      in
+      let free = List.filter (fun (_, busy) -> busy <= start +. eps) pool in
+      let u_name, pool =
+        match free with
+        | (name, _) :: _ -> (name, List.filter (fun (n, _) -> n <> name) pool)
+        | [] ->
+            let n =
+              match Hashtbl.find_opt unit_count key with Some c -> c | None -> 0
+            in
+            Hashtbl.replace unit_count key (n + 1);
+            let component, _ = component_for o.Dfg.op_func in
+            (Printf.sprintf "%s%d_%d" component o.Dfg.op_width n, pool)
+      in
+      Hashtbl.replace units key ((u_name, t_avail) :: pool);
+      Hashtbl.replace avail o.Dfg.op_id t_avail;
+      scheduled :=
+        { so_op = o;
+          so_unit = u_name;
+          so_start_step = step_of start;
+          so_end_step = step_of (finish -. eps);
+          so_start_offset = offset_in_step start;
+          so_delay = d }
+        :: !scheduled)
+    ops;
+  let scheduled = List.rev !scheduled in
+  let steps =
+    1 + List.fold_left (fun acc s -> max acc s.so_end_step) 0 scheduled
+  in
+  (* distinct units with their areas *)
+  let unit_infos =
+    Hashtbl.fold
+      (fun (func, width) pool acc ->
+        let inst = Hashtbl.find instances (func, width) in
+        let component, _ = component_for func in
+        List.map
+          (fun (name, _) ->
+            { u_name = name; u_component = component; u_width = width;
+              u_instance = inst })
+          pool
+        @ acc)
+      units []
+    |> List.sort (fun a b -> compare a.u_name b.u_name)
+  in
+  let unit_area =
+    List.fold_left (fun acc u -> acc +. Instance.best_area u.u_instance) 0.0
+      unit_infos
+  in
+  (* registers: a value produced in step s and consumed by an op
+     starting in a later step must be stored *)
+  let register_bits =
+    List.fold_left
+      (fun acc s ->
+        let consumed_later =
+          List.exists
+            (fun s2 ->
+              List.mem s.so_op.Dfg.op_id s2.so_op.Dfg.op_deps
+              && s2.so_start_step > s.so_end_step)
+            scheduled
+        in
+        if consumed_later then acc + s.so_op.Dfg.op_width else acc)
+      0 scheduled
+  in
+  { r_dfg = dfg.Dfg.dfg_name;
+    r_clock = clock;
+    r_steps = steps;
+    r_ops = scheduled;
+    r_units = unit_infos;
+    r_unit_area = unit_area;
+    r_register_bits = register_bits;
+    r_latency = float_of_int steps *. clock }
+
+let to_string r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s @ %.1f ns clock: %d steps (latency %.1f ns), %d units, %.0f um2, %d reg bits\n"
+       r.r_dfg r.r_clock r.r_steps r.r_latency (List.length r.r_units)
+       r.r_unit_area r.r_register_bits);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-4s %-4s step %d%s on %-8s (%.1f ns, chained at %.1f)\n"
+           s.so_op.Dfg.op_id
+           (Func.to_string s.so_op.Dfg.op_func)
+           s.so_start_step
+           (if s.so_end_step > s.so_start_step then
+              Printf.sprintf "-%d" s.so_end_step
+            else "")
+           s.so_unit s.so_delay s.so_start_offset))
+    r.r_ops;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Operation scheduling and resource binding against ICDB (§2.1).
+
+    ASAP list scheduling with chaining under a clock-period budget,
+    multi-cycle operations when one period is not enough, and greedy
+    functional-unit binding that reuses components across steps.
+    Component delays come from ICDB; a pessimism factor models tools
+    working against a generic library instead (§1). *)
+
+open Icdb
+
+exception Schedule_error of string
+
+type scheduled_op = {
+  so_op : Dfg.op;
+  so_unit : string;         (** bound functional unit *)
+  so_start_step : int;
+  so_end_step : int;        (** > start for multi-cycle operations *)
+  so_start_offset : float;  (** ns into the start step (chaining) *)
+  so_delay : float;
+}
+
+type unit_info = {
+  u_name : string;          (** e.g. "multiplier8_0" *)
+  u_component : string;
+  u_width : int;
+  u_instance : Instance.t;
+}
+
+type result = {
+  r_dfg : string;
+  r_clock : float;
+  r_steps : int;
+  r_ops : scheduled_op list;
+  r_units : unit_info list;
+  r_unit_area : float;       (** µm², functional units only *)
+  r_register_bits : int;     (** values alive across a step boundary *)
+  r_latency : float;         (** steps × clock, ns *)
+}
+
+val component_for : Icdb_genus.Func.t -> string * string
+(** Catalog component serving a function (and its primary output).
+    @raise Schedule_error for functions with no functional unit. *)
+
+val unit_instance : Server.t -> Icdb_genus.Func.t -> int -> Instance.t
+(** The (cached) component instance for a function at a width. *)
+
+val run : Server.t -> Dfg.t -> clock:float -> pessimism:float -> result
+(** Schedule a dataflow graph against a clock period; [pessimism]
+    scales every believed delay (1.0 = ICDB's numbers).
+    @raise Schedule_error on non-positive clocks or impossible fits.
+    @raise Dfg.Dfg_error on malformed graphs. *)
+
+val to_string : result -> string

@@ -1,0 +1,1 @@
+lib/iif/ast.ml: List Printf String

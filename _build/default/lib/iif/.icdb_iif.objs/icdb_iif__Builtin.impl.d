@@ -1,0 +1,1 @@
+lib/iif/builtin.ml: Expander Flat Lazy List Parser Printf String

@@ -1,0 +1,1 @@
+lib/iif/builtin.mli: Ast Flat

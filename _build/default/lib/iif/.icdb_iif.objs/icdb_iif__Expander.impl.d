@@ -1,0 +1,1 @@
+lib/iif/expander.ml: Ast Flat Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/iif/expander.mli: Ast Flat Hashtbl

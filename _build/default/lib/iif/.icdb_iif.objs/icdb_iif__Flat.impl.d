@@ -1,0 +1,1 @@
+lib/iif/flat.ml: Buffer Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/iif/flat.mli: Buffer

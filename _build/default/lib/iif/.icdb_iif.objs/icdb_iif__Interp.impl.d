@@ -1,0 +1,1 @@
+lib/iif/interp.ml: Flat Fun Hashtbl List Printf

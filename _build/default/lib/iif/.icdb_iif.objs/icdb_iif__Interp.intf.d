@@ -1,0 +1,1 @@
+lib/iif/interp.mli: Flat

@@ -1,0 +1,1 @@
+lib/iif/lexer.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/iif/parser.ml: Array Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/iif/parser.mli: Ast

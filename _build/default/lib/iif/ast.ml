@@ -1,0 +1,154 @@
+(* Abstract syntax of IIF, the Irvine Intermediate Form (paper Appendix A).
+
+   IIF extends the Berkeley EQN boolean-equation format with clocking
+   (`@`), asynchronous set/reset (`~a`), interface operators
+   (`~b ~s ~d ~t ~w`) and C-like programming structures (`#if`, `#for`,
+   `#c_line`, subfunction calls) for parameterized components. *)
+
+(* ------------------------------------------------------------------ *)
+(* C expressions: integer expressions over parameters and variables    *)
+(* ------------------------------------------------------------------ *)
+
+type cbinop =
+  | Cadd | Csub | Cmul | Cdiv | Cmod | Cexp
+  | Clt | Cle | Cgt | Cge | Ceq | Cneq
+  | Cand | Cor
+
+type cexpr =
+  | Cint of int
+  | Cvar of string
+  | Cneg of cexpr
+  | Cnot of cexpr
+  | Cbin of cbinop * cexpr * cexpr
+
+(* ------------------------------------------------------------------ *)
+(* Signals and boolean expressions                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A reference to a (possibly indexed) signal, e.g. [Q[i+1]]. *)
+type sigref = { base : string; indices : cexpr list }
+
+type edge =
+  | Rising   (* ~r : edge-triggered on rise *)
+  | Falling  (* ~f : edge-triggered on fall *)
+  | High     (* ~h : level-sensitive latch, transparent high *)
+  | Low      (* ~l : level-sensitive latch, transparent low *)
+
+type expr =
+  | Sig of sigref
+  | Lit of int                         (* 0 or 1 in a logic position *)
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr                 (* (+) *)
+  | Xnor of expr * expr                (* (.) *)
+  | Buf of expr                        (* ~b *)
+  | Schmitt of expr                    (* ~s *)
+  | Delay of expr * cexpr              (* e ~d 10 *)
+  | Tristate of expr * expr            (* data ~t control *)
+  | Wire_or of expr * expr             (* a ~w b *)
+  | Edge of edge * expr                (* ~r clk, inside an @ clock spec *)
+  | At of expr * expr                  (* data @ clockspec *)
+  | Async of expr * (expr * expr) list (* e ~a (value/cond, ...) *)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type assign_op =
+  | Set       (* =    *)
+  | Agg_or    (* +=   *)
+  | Agg_and   (* *=   *)
+  | Agg_xor   (* (+)= *)
+  | Agg_xnor  (* (.)= *)
+
+type stmt =
+  | Assign of sigref * assign_op * expr
+  | If of cexpr * stmt * stmt option
+  | For of { var : string; init : cexpr; cond : cexpr; step : int; body : stmt }
+  | Cline of (string * cexpr) list     (* #c_line v = e; *)
+  | Call of string * cexpr list        (* #NAME(arg, ...): macro expansion *)
+  | Block of stmt list
+
+(* ------------------------------------------------------------------ *)
+(* Designs                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Declared signal: plain ([ssize = None]) or a bus [name[size]]. *)
+type sdecl = { sname : string; ssize : cexpr option }
+
+type design = {
+  dname : string;
+  dfunctions : string list;    (* FUNCTIONS: names this design performs *)
+  dparams : string list;       (* PARAMETER: user-supplied values *)
+  dvars : string list;         (* VARIABLE: loop/work variables *)
+  dinputs : sdecl list;        (* INORDER *)
+  doutputs : sdecl list;       (* OUTORDER *)
+  dinternal : sdecl list;      (* PIIFVARIABLE *)
+  dsubfunctions : string list; (* SUBFUNCTION: other designs called *)
+  dsubcomponents : string list;(* SUBCOMPONENT *)
+  dbody : stmt list;
+}
+
+(* Formals of a design viewed as a macro: parameters then signals in
+   declaration order, as required by the IIF expander's positional
+   parameter files (Appendix A.1). *)
+let formals d =
+  d.dparams
+  @ List.map (fun s -> s.sname) d.dinputs
+  @ List.map (fun s -> s.sname) d.doutputs
+  @ List.map (fun s -> s.sname) d.dinternal
+
+let rec cexpr_vars = function
+  | Cint _ -> []
+  | Cvar v -> [ v ]
+  | Cneg e | Cnot e -> cexpr_vars e
+  | Cbin (_, a, b) -> cexpr_vars a @ cexpr_vars b
+
+(* Pretty-printers used in error messages and tests. *)
+
+let cbinop_name = function
+  | Cadd -> "+" | Csub -> "-" | Cmul -> "*" | Cdiv -> "/" | Cmod -> "%"
+  | Cexp -> "**" | Clt -> "<" | Cle -> "<=" | Cgt -> ">" | Cge -> ">="
+  | Ceq -> "==" | Cneq -> "!=" | Cand -> "&&" | Cor -> "||"
+
+let rec cexpr_to_string = function
+  | Cint i -> string_of_int i
+  | Cvar v -> v
+  | Cneg e -> "-" ^ cexpr_to_string e
+  | Cnot e -> "!" ^ cexpr_to_string e
+  | Cbin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (cexpr_to_string a) (cbinop_name op)
+        (cexpr_to_string b)
+
+let sigref_to_string { base; indices } =
+  base
+  ^ String.concat ""
+      (List.map (fun i -> "[" ^ cexpr_to_string i ^ "]") indices)
+
+let edge_to_string = function
+  | Rising -> "~r" | Falling -> "~f" | High -> "~h" | Low -> "~l"
+
+let rec expr_to_string = function
+  | Sig s -> sigref_to_string s
+  | Lit i -> string_of_int i
+  | Not e -> "!" ^ atom e
+  | And (a, b) -> atom a ^ "*" ^ atom b
+  | Or (a, b) -> atom a ^ " + " ^ atom b
+  | Xor (a, b) -> atom a ^ "(+)" ^ atom b
+  | Xnor (a, b) -> atom a ^ "(.)" ^ atom b
+  | Buf e -> "~b " ^ atom e
+  | Schmitt e -> "~s " ^ atom e
+  | Delay (e, d) -> atom e ^ " ~d " ^ cexpr_to_string d
+  | Tristate (d, c) -> atom d ^ " ~t " ^ atom c
+  | Wire_or (a, b) -> atom a ^ " ~w " ^ atom b
+  | Edge (ed, e) -> edge_to_string ed ^ " " ^ atom e
+  | At (d, c) -> atom d ^ " @(" ^ expr_to_string c ^ ")"
+  | Async (e, specs) ->
+      let spec (v, c) = expr_to_string v ^ "/" ^ atom c in
+      atom e ^ " ~a (" ^ String.concat "," (List.map spec specs) ^ ")"
+
+and atom e =
+  match e with
+  | Sig _ | Lit _ | Not _ -> expr_to_string e
+  | _ -> "(" ^ expr_to_string e ^ ")"

@@ -1,0 +1,658 @@
+(* The generic component library's parameterized IIF descriptions.
+
+   These are the component implementations ICDB ships with (§2.2): each
+   is IIF source text, parsed on demand. The COUNTER description follows
+   the paper's §3.1 example (74191-style counter with architecture type,
+   parallel load, enable and count-direction options). *)
+
+let counter =
+  {|
+NAME:COUNTER;
+FUNCTIONS: INC;
+PARAMETER: size, type, load, enable, up_or_down;
+INORDER: D[size], CLK, LOAD, ENA, DWUP;
+OUTORDER: Q[size], MINMAX, RCLK;
+PIIFVARIABLE: C[size+1], OVFUNF, CLKO;
+VARIABLE: i;
+SUBFUNCTION: RIPPLE_COUNTER;
+{
+  #if (type == 1)
+  {
+    /* Asynchronous (ripple) architecture: small but slow to settle. */
+    #RIPPLE_COUNTER(size);
+    OVFUNF *= 1;
+    #for(i=0;i<size;i++) OVFUNF *= Q[i];
+    MINMAX = CLK*OVFUNF;
+    RCLK = CLK*OVFUNF + !OVFUNF;
+  }
+  #else
+  {
+    /* Synchronous architecture with carry chain. */
+    C[0] = 1;
+    #if (enable) CLKO = CLK @(~h ENA);
+    #else CLKO = CLK;
+    #for(i=0;i<size;i++)
+    {
+      #if (up_or_down == 1) C[i+1] = C[i]*Q[i];             /* up only */
+      #else #if (up_or_down == 2) C[i+1] = C[i]*!Q[i];      /* down only */
+      #else C[i+1] = C[i]*(Q[i](+)DWUP);                    /* up/down */
+      #if (load)
+        Q[i] = (Q[i](+)C[i]) @(~r CLKO) ~a(0/(!LOAD*!D[i]), 1/(!LOAD*D[i]));
+      #else
+        Q[i] = (Q[i](+)C[i]) @(~r CLKO);
+    }
+    OVFUNF = C[size];
+    MINMAX = CLK*OVFUNF;
+    RCLK = CLK*OVFUNF + !OVFUNF;
+  }
+}
+|}
+
+let ripple_counter =
+  {|
+NAME:RIPPLE_COUNTER;
+FUNCTIONS: INC;
+PARAMETER: size;
+INORDER: CLK;
+OUTORDER: Q[size];
+VARIABLE: i;
+{
+  Q[0] = (!Q[0]) @(~r CLK);
+  #for(i=1;i<size;i++)
+    Q[i] = (!Q[i]) @(~f Q[i-1]);
+}
+|}
+
+let adder =
+  {|
+NAME:ADDER;
+FUNCTIONS: ADD;
+PARAMETER: size;
+INORDER: I0[size], I1[size], Cin;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1];
+VARIABLE: i;
+{
+  C[0]=Cin;
+  #for(i=0;i<size;i++)
+  {
+    O[i] = I0[i] (+) I1[i] (+) C[i];
+    C[i+1] = I0[i]*I1[i] + I0[i]*C[i] + I1[i]*C[i];
+  }
+  Cout = C[size];
+}
+|}
+
+let addsub =
+  {|
+NAME:ADDSUB;
+FUNCTIONS: ADD, SUB;
+PARAMETER: size;
+INORDER: A[size], B[size], ADDSUB;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1], B1[size];
+VARIABLE: i;
+SUBFUNCTION: ADDER;
+{
+  #for(i=0;i<size;i++)
+    B1[i] = ADDSUB (+) B[i];
+  #ADDER(size, A, B1, ADDSUB, O, Cout, C);
+}
+|}
+
+let register =
+  {|
+NAME:REGISTER;
+FUNCTIONS: STORAGE;
+PARAMETER: size, load;
+INORDER: I[size], LOAD, CLK;
+OUTORDER: Q[size];
+PIIFVARIABLE: CP;
+VARIABLE: i;
+{
+  CP = ~b CLK;
+  #for(i=0;i<size;i++)
+  {
+    #if (load) Q[i] = (I[i]*LOAD + Q[i]*!LOAD) @(~r CP);
+    #else Q[i] = I[i] @(~r CP);
+  }
+}
+|}
+
+let shl0 =
+  {|
+NAME:SHL0;
+FUNCTIONS: SHL;
+PARAMETER: size, shift_distance;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  #for(i=0;i<size;i++)
+  {
+    #if (i <= shift_distance - 1) O[i] = 0;
+    #else O[i] = I[i-shift_distance];
+  }
+}
+|}
+
+let andn =
+  {|
+NAME:ANDN;
+FUNCTIONS: AND;
+PARAMETER: size;
+INORDER: I0[size];
+OUTORDER: O;
+VARIABLE: i;
+{
+  #for(i=0;i<size;i++) O *= I0[i];
+}
+|}
+
+let mux2 =
+  {|
+NAME:MUX2;
+FUNCTIONS: MUX_SCL;
+PARAMETER: size;
+INORDER: I0[size], I1[size], SEL;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  #for(i=0;i<size;i++) O[i] = I0[i]*!SEL + I1[i]*SEL;
+}
+|}
+
+let decoder =
+  {|
+NAME:DECODER;
+FUNCTIONS: DECODE;
+PARAMETER: size;
+INORDER: I[size], EN;
+OUTORDER: O[2**size];
+VARIABLE: i, j;
+{
+  #for(i=0; i<2**size; i++)
+  {
+    O[i] *= EN;
+    #for(j=0; j<size; j++)
+    {
+      #if ((i / (2**j)) % 2 == 1) O[i] *= I[j];
+      #else O[i] *= !I[j];
+    }
+  }
+}
+|}
+
+let comparator =
+  {|
+NAME:COMPARATOR;
+FUNCTIONS: EQ, NEQ, GT, LT;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: OEQ, ONEQ, OGT, OLT;
+PIIFVARIABLE: E[size+1], G[size+1], L[size+1];
+VARIABLE: i;
+{
+  E[0]=1;
+  G[0]=0;
+  L[0]=0;
+  /* Scan from the most significant bit down. */
+  #for(i=0;i<size;i++)
+  {
+    E[i+1] = E[i] * (A[size-1-i] (.) B[size-1-i]);
+    G[i+1] = G[i] + E[i]*A[size-1-i]*!B[size-1-i];
+    L[i+1] = L[i] + E[i]*!A[size-1-i]*B[size-1-i];
+  }
+  OEQ = E[size];
+  ONEQ = !E[size];
+  OGT = G[size];
+  OLT = L[size];
+}
+|}
+
+(* Operation select C2 C1 C0: 000 AND, 001 OR, 010 XOR, 011 NOT A,
+   100 ADD, 101 SUB. *)
+let alu =
+  {|
+NAME:ALU;
+FUNCTIONS: ADD, SUB, AND, OR, XOR, NOT;
+PARAMETER: size;
+INORDER: A[size], B[size], C0, C1, C2;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1], BX[size], SUM[size], LOG[size], SUBSEL;
+VARIABLE: i;
+{
+  SUBSEL = C2*!C1*C0;
+  C[0] = SUBSEL;
+  #for(i=0;i<size;i++)
+  {
+    BX[i] = B[i] (+) SUBSEL;
+    SUM[i] = A[i] (+) BX[i] (+) C[i];
+    C[i+1] = A[i]*BX[i] + A[i]*C[i] + BX[i]*C[i];
+    LOG[i] = !C1*!C0*A[i]*B[i] + !C1*C0*(A[i]+B[i])
+           + C1*!C0*(A[i](+)B[i]) + C1*C0*!A[i];
+    O[i] = C2*SUM[i] + !C2*LOG[i];
+  }
+  Cout = C[size]*C2;
+}
+|}
+
+let tribuf =
+  {|
+NAME:TRIBUF;
+FUNCTIONS: TRI_STATE;
+PARAMETER: size;
+INORDER: I[size], EN;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  #for(i=0;i<size;i++) O[i] = I[i] ~t EN;
+}
+|}
+
+let encoder =
+  {|
+NAME:ENCODER;
+FUNCTIONS: ENCODE;
+PARAMETER: size;
+INORDER: I[2**size];
+OUTORDER: O[size], VALID;
+VARIABLE: i, j;
+{
+  /* one-hot to binary; VALID flags any active input */
+  #for(i=0; i<2**size; i++)
+  {
+    VALID += I[i];
+    #for(j=0; j<size; j++)
+      #if ((i / (2**j)) % 2 == 1) O[j] += I[i];
+  }
+}
+|}
+
+let barrel_shifter =
+  {|
+NAME:BARREL_SHIFTER;
+FUNCTIONS: SHL;
+PARAMETER: size, stages;
+INORDER: I[size], S[stages];
+OUTORDER: O[size];
+PIIFVARIABLE: T[(stages+1)*size];
+VARIABLE: i, k;
+{
+  /* logarithmic shifter: stage k shifts by 2**k when S[k] is set */
+  #for(i=0;i<size;i++) T[i] = I[i];
+  #for(k=0;k<stages;k++)
+    #for(i=0;i<size;i++)
+    {
+      #if (i >= 2**k)
+        T[(k+1)*size+i] = T[k*size+i]*!S[k] + T[k*size+i-2**k]*S[k];
+      #else
+        T[(k+1)*size+i] = T[k*size+i]*!S[k];
+    }
+  #for(i=0;i<size;i++) O[i] = T[stages*size+i];
+}
+|}
+
+let shift_register =
+  {|
+NAME:SHIFT_REGISTER;
+FUNCTIONS: SHL1, STORAGE;
+PARAMETER: size;
+INORDER: I[size], SIN, LOAD, SHIFT, CLK;
+OUTORDER: Q[size], SOUT;
+VARIABLE: i;
+{
+  /* LOAD wins over SHIFT; otherwise hold */
+  Q[0] = (I[0]*LOAD + SIN*SHIFT*!LOAD + Q[0]*!LOAD*!SHIFT) @(~r CLK);
+  #for(i=1;i<size;i++)
+    Q[i] = (I[i]*LOAD + Q[i-1]*SHIFT*!LOAD + Q[i]*!LOAD*!SHIFT) @(~r CLK);
+  SOUT = Q[size-1];
+}
+|}
+
+let multiplier =
+  {|
+NAME:MULTIPLIER;
+FUNCTIONS: MUL;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: P[2*size];
+PIIFVARIABLE: PP[size*size], SROW[size*size], CROW[size*(size+1)];
+VARIABLE: i, j;
+{
+  /* array multiplier: row i accumulates the partial product A*B[i] */
+  #for(i=0;i<size;i++)
+    #for(j=0;j<size;j++)
+      PP[i*size+j] = A[j]*B[i];
+  #for(j=0;j<size;j++) SROW[j] = PP[j];
+  CROW[size] = 0;
+  P[0] = SROW[0];
+  #for(i=1;i<size;i++)
+  {
+    CROW[i*(size+1)] = 0;
+    #for(j=0;j<size;j++)
+    {
+      #if (j < size-1)
+      {
+        SROW[i*size+j] = SROW[(i-1)*size+j+1] (+) PP[i*size+j]
+                       (+) CROW[i*(size+1)+j];
+        CROW[i*(size+1)+j+1] = SROW[(i-1)*size+j+1]*PP[i*size+j]
+                             + SROW[(i-1)*size+j+1]*CROW[i*(size+1)+j]
+                             + PP[i*size+j]*CROW[i*(size+1)+j];
+      }
+      #else
+      {
+        SROW[i*size+j] = CROW[(i-1)*(size+1)+size] (+) PP[i*size+j]
+                       (+) CROW[i*(size+1)+j];
+        CROW[i*(size+1)+j+1] = CROW[(i-1)*(size+1)+size]*PP[i*size+j]
+                             + CROW[(i-1)*(size+1)+size]*CROW[i*(size+1)+j]
+                             + PP[i*size+j]*CROW[i*(size+1)+j];
+      }
+    }
+    P[i] = SROW[i*size];
+  }
+  #for(j=1;j<size;j++) P[size-1+j] = SROW[(size-1)*size+j];
+  P[2*size-1] = CROW[(size-1)*(size+1)+size];
+}
+|}
+
+let divider =
+  {|
+NAME:DIVIDER;
+FUNCTIONS: DIV;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: Q[size], REM[size];
+PIIFVARIABLE: R[(size+1)*(size+1)], RS[size*(size+1)], DIF[size*(size+1)],
+              BOR[size*(size+2)];
+VARIABLE: k, j;
+{
+  /* restoring array divider: step k produces quotient bit size-1-k */
+  #for(j=0;j<=size;j++) R[j] = 0;
+  #for(k=0;k<size;k++)
+  {
+    /* shift the running remainder left, bringing in dividend bit */
+    RS[k*(size+1)] = A[size-1-k];
+    #for(j=1;j<=size;j++) RS[k*(size+1)+j] = R[k*(size+1)+j-1];
+    /* trial subtraction of the (zero-extended) divisor */
+    BOR[k*(size+2)] = 0;
+    #for(j=0;j<=size;j++)
+    {
+      #if (j < size)
+      {
+        DIF[k*(size+1)+j] = RS[k*(size+1)+j] (+) B[j] (+) BOR[k*(size+2)+j];
+        BOR[k*(size+2)+j+1] = !RS[k*(size+1)+j]*B[j]
+                            + !RS[k*(size+1)+j]*BOR[k*(size+2)+j]
+                            + B[j]*BOR[k*(size+2)+j];
+      }
+      #else
+      {
+        DIF[k*(size+1)+j] = RS[k*(size+1)+j] (+) BOR[k*(size+2)+j];
+        BOR[k*(size+2)+j+1] = !RS[k*(size+1)+j]*BOR[k*(size+2)+j];
+      }
+    }
+    Q[size-1-k] = !BOR[k*(size+2)+size+1];
+    /* keep the difference when it did not borrow */
+    #for(j=0;j<=size;j++)
+      R[(k+1)*(size+1)+j] = DIF[k*(size+1)+j]*Q[size-1-k]
+                          + RS[k*(size+1)+j]*!Q[size-1-k];
+  }
+  #for(j=0;j<size;j++) REM[j] = R[size*(size+1)+j];
+}
+|}
+
+let register_file =
+  {|
+NAME:REGISTER_FILE;
+FUNCTIONS: MEMORY, READ, WRITE, STORAGE;
+PARAMETER: size, abits;
+INORDER: D[size], WA[abits], RA[abits], WE, CLK;
+OUTORDER: Q[size];
+PIIFVARIABLE: M[(2**abits)*size], WSEL[2**abits], RSEL[2**abits];
+VARIABLE: w, b, j;
+{
+  #for(w=0; w<2**abits; w++)
+  {
+    WSEL[w] *= WE;
+    RSEL[w] *= 1;
+    #for(j=0;j<abits;j++)
+    {
+      #if ((w / (2**j)) % 2 == 1)
+      {
+        WSEL[w] *= WA[j];
+        RSEL[w] *= RA[j];
+      }
+      #else
+      {
+        WSEL[w] *= !WA[j];
+        RSEL[w] *= !RA[j];
+      }
+    }
+    #for(b=0;b<size;b++)
+      M[w*size+b] = (D[b]*WSEL[w] + M[w*size+b]*!WSEL[w]) @(~r CLK);
+  }
+  #for(b=0;b<size;b++)
+    #for(w=0; w<2**abits; w++)
+      Q[b] += M[w*size+b]*RSEL[w];
+}
+|}
+
+let logic_unit =
+  {|
+NAME:LOGIC_UNIT;
+FUNCTIONS: AND, OR, XOR, NOT;
+PARAMETER: size;
+INORDER: A[size], B[size], S0, S1;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  /* S1 S0: 00 AND, 01 OR, 10 XOR, 11 NOT A */
+  #for(i=0;i<size;i++)
+    O[i] = !S1*!S0*A[i]*B[i] + !S1*S0*(A[i]+B[i])
+         + S1*!S0*(A[i](+)B[i]) + S1*S0*!A[i];
+}
+|}
+
+let muxg =
+  {|
+NAME:MUXG;
+FUNCTIONS: MUX_SCG;
+PARAMETER: size, ways;
+INORDER: I[ways*size], G[ways];
+OUTORDER: O[size];
+VARIABLE: w, b;
+{
+  /* select by guard: one-hot G picks a word */
+  #for(b=0;b<size;b++)
+    #for(w=0;w<ways;w++)
+      O[b] += I[w*size+b]*G[w];
+}
+|}
+
+let concat =
+  {|
+NAME:CONCAT;
+FUNCTIONS: CONCAT;
+PARAMETER: asize, bsize;
+INORDER: A[asize], B[bsize];
+OUTORDER: O[asize+bsize];
+VARIABLE: i;
+{
+  #for(i=0;i<asize;i++) O[i] = A[i];
+  #for(i=0;i<bsize;i++) O[asize+i] = B[i];
+}
+|}
+
+let extract =
+  {|
+NAME:EXTRACT;
+FUNCTIONS: EXTRACT;
+PARAMETER: size, low, width;
+INORDER: I[size];
+OUTORDER: O[width];
+VARIABLE: i;
+{
+  #for(i=0;i<width;i++) O[i] = I[low+i];
+}
+|}
+
+let clock_driver =
+  {|
+NAME:CLK_DRIVER;
+FUNCTIONS: CLK_DR, BUF;
+PARAMETER: size;
+INORDER: I;
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  #for(i=0;i<size;i++) O[i] = ~b I;
+}
+|}
+
+let schmitt_trigger =
+  {|
+NAME:SCHMITT_TRIG;
+FUNCTIONS: SCHM_TGR;
+PARAMETER: size;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  #for(i=0;i<size;i++) O[i] = ~s I[i];
+}
+|}
+
+let wor_bus2 =
+  {|
+NAME:WOR_BUS2;
+FUNCTIONS: BUS, WIRE_OR;
+PARAMETER: size;
+INORDER: I0[size], I1[size], EN0, EN1;
+OUTORDER: O[size];
+VARIABLE: b;
+{
+  /* two tri-state drivers wired onto one bus */
+  #for(b=0;b<size;b++)
+    O[b] = (I0[b] ~t EN0) ~w (I1[b] ~t EN1);
+}
+|}
+
+let stack =
+  {|
+NAME:STACK;
+FUNCTIONS: PUSH, POP, STORAGE;
+PARAMETER: size, abits;
+INORDER: D[size], PUSH, POP, CLK, RESET;
+OUTORDER: Q[size], EMPTY, FULL;
+PIIFVARIABLE: P[abits+1], PINC[abits+1], PDEC[abits+1], CI[abits+2],
+              BO[abits+2], PN[abits+1], DOPUSH, DOPOP,
+              WSEL[2**abits], RSEL[2**abits], M[(2**abits)*size], RA[abits];
+VARIABLE: j, w, b;
+{
+  /* pointer counts entries; PUSH wins over POP */
+  DOPUSH = PUSH*!FULL;
+  DOPOP = POP*!PUSH*!EMPTY;
+
+  /* increment and decrement chains */
+  CI[0] = 1;
+  BO[0] = 1;
+  #for(j=0;j<=abits;j++)
+  {
+    PINC[j] = P[j] (+) CI[j];
+    CI[j+1] = P[j]*CI[j];
+    PDEC[j] = P[j] (+) BO[j];
+    BO[j+1] = !P[j]*BO[j];
+  }
+  #for(j=0;j<=abits;j++)
+  {
+    PN[j] = PINC[j]*DOPUSH + PDEC[j]*DOPOP + P[j]*!DOPUSH*!DOPOP;
+    P[j] = PN[j] @(~r CLK) ~a(0/(RESET));
+  }
+
+  EMPTY *= 1;
+  #for(j=0;j<=abits;j++) EMPTY *= !P[j];
+  FULL = P[abits];
+
+  /* write the pushed word at the current pointer */
+  #for(w=0; w<2**abits; w++)
+  {
+    WSEL[w] *= DOPUSH;
+    #for(j=0;j<abits;j++)
+    {
+      #if ((w / (2**j)) % 2 == 1) WSEL[w] *= P[j];
+      #else WSEL[w] *= !P[j];
+    }
+    #for(b=0;b<size;b++)
+      M[w*size+b] = (D[b]*WSEL[w] + M[w*size+b]*!WSEL[w]) @(~r CLK);
+  }
+
+  /* the top of stack lives at pointer - 1 */
+  #for(j=0;j<abits;j++) RA[j] = PDEC[j];
+  #for(w=0; w<2**abits; w++)
+  {
+    RSEL[w] *= 1;
+    #for(j=0;j<abits;j++)
+    {
+      #if ((w / (2**j)) % 2 == 1) RSEL[w] *= RA[j];
+      #else RSEL[w] *= !RA[j];
+    }
+  }
+  #for(b=0;b<size;b++)
+    #for(w=0; w<2**abits; w++)
+      Q[b] += M[w*size+b]*RSEL[w];
+}
+|}
+
+let sources =
+  [ ("COUNTER", counter);
+    ("RIPPLE_COUNTER", ripple_counter);
+    ("ADDER", adder);
+    ("ADDSUB", addsub);
+    ("REGISTER", register);
+    ("SHL0", shl0);
+    ("ANDN", andn);
+    ("MUX2", mux2);
+    ("DECODER", decoder);
+    ("COMPARATOR", comparator);
+    ("ALU", alu);
+    ("TRIBUF", tribuf);
+    ("ENCODER", encoder);
+    ("BARREL_SHIFTER", barrel_shifter);
+    ("SHIFT_REGISTER", shift_register);
+    ("MULTIPLIER", multiplier);
+    ("DIVIDER", divider);
+    ("REGISTER_FILE", register_file);
+    ("LOGIC_UNIT", logic_unit);
+    ("MUXG", muxg);
+    ("CONCAT", concat);
+    ("EXTRACT", extract);
+    ("CLK_DRIVER", clock_driver);
+    ("SCHMITT_TRIG", schmitt_trigger);
+    ("WOR_BUS2", wor_bus2);
+    ("STACK", stack) ]
+
+let designs =
+  lazy
+    (List.map (fun (name, src) -> (name, Parser.parse src)) sources)
+
+let all () = Lazy.force designs
+
+let find name = List.assoc_opt name (all ())
+
+(* Registry suitable for {!Expander.expand}. *)
+let registry name = find name
+
+(* Convenience: look up, expand, and validate a builtin design. *)
+let expand_exn name params =
+  match find name with
+  | None -> raise (Expander.Expand_error ("unknown builtin design " ^ name))
+  | Some d ->
+      let flat = Expander.expand ~registry d params in
+      (match Flat.validate flat with
+       | [] -> flat
+       | problems ->
+           raise
+             (Expander.Expand_error
+                (Printf.sprintf "%s: %s" name
+                   (String.concat "; "
+                      (List.map Flat.problem_to_string problems)))))

@@ -1,0 +1,54 @@
+(** The generic component library's parameterized IIF descriptions
+    (§2.2): the component implementations ICDB ships with, as IIF
+    source text, parsed on demand.
+
+    Individual sources ([counter], [adder], ...) are exposed so tests
+    and documentation can quote them; prefer {!find}/{!expand_exn}. *)
+
+val counter : string
+(** §3.1's 74191-style counter: parameters [size], [type] (1 = ripple,
+    2 = synchronous), [load], [enable], [up_or_down] (1 up, 2 down,
+    3 both). *)
+
+val ripple_counter : string
+val adder : string
+val addsub : string
+val register : string
+val shl0 : string
+val andn : string
+val mux2 : string
+val decoder : string
+val comparator : string
+val alu : string
+val tribuf : string
+val encoder : string
+val barrel_shifter : string
+val shift_register : string
+val multiplier : string
+val divider : string
+val register_file : string
+val logic_unit : string
+val muxg : string
+val concat : string
+val extract : string
+val clock_driver : string
+val schmitt_trigger : string
+val wor_bus2 : string
+val stack : string
+
+val sources : (string * string) list
+(** Every builtin design: (name, IIF source). *)
+
+val all : unit -> (string * Ast.design) list
+(** Parsed designs (parsed once, lazily). *)
+
+val find : string -> Ast.design option
+
+val registry : string -> Ast.design option
+(** Lookup function suitable for {!Expander.expand}'s [~registry]. *)
+
+val expand_exn : string -> (string * int) list -> Flat.t
+(** Expand a builtin by name with parameter values and validate the
+    result.
+    @raise Expander.Expand_error on unknown designs, bad parameters,
+    or structural problems in the flattened design. *)

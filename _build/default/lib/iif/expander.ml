@@ -1,0 +1,339 @@
+(* The IIF expander: parameterized IIF -> flat IIF.
+
+   Evaluates C expressions, unrolls #for loops, resolves #if choices and
+   inlines subfunction calls by macro substitution (call-by-name, as
+   Appendix A specifies). The result is a {!Flat.t} suitable for logic
+   synthesis. *)
+
+open Ast
+
+exception Expand_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Expand_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* C expression evaluation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec ipow base e =
+  if e < 0 then fail "negative exponent in C expression"
+  else if e = 0 then 1
+  else base * ipow base (e - 1)
+
+let rec eval_cexpr vars = function
+  | Cint i -> i
+  | Cvar v -> (
+      match Hashtbl.find_opt vars v with
+      | Some i -> i
+      | None -> fail "unbound variable %s in C expression" v)
+  | Cneg e -> -eval_cexpr vars e
+  | Cnot e -> if eval_cexpr vars e = 0 then 1 else 0
+  | Cbin (op, a, b) -> (
+      let x = eval_cexpr vars a and y = eval_cexpr vars b in
+      let bool_ c = if c then 1 else 0 in
+      match op with
+      | Cadd -> x + y
+      | Csub -> x - y
+      | Cmul -> x * y
+      | Cdiv -> if y = 0 then fail "division by zero" else x / y
+      | Cmod -> if y = 0 then fail "modulo by zero" else x mod y
+      | Cexp -> ipow x y
+      | Clt -> bool_ (x < y)
+      | Cle -> bool_ (x <= y)
+      | Cgt -> bool_ (x > y)
+      | Cge -> bool_ (x >= y)
+      | Ceq -> bool_ (x = y)
+      | Cneq -> bool_ (x <> y)
+      | Cand -> bool_ (x <> 0 && y <> 0)
+      | Cor -> bool_ (x <> 0 || y <> 0))
+
+(* ------------------------------------------------------------------ *)
+(* Expansion context                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* What a signal base name stands for in the current scope. *)
+type binding =
+  | Base of string    (* renamed base; indices still apply *)
+  | Const of bool     (* tied to logic 0 or 1 *)
+
+type ctx = {
+  registry : string -> design option;  (* subfunction lookup *)
+  vars : (string, int) Hashtbl.t;
+  subst : (string, binding) Hashtbl.t;
+  equations : (string, Flat.equation) Hashtbl.t;  (* target -> equation *)
+  order : string list ref;             (* targets in first-assign order *)
+  fresh : int ref;                     (* shared across nested calls *)
+  depth : int;
+}
+
+let max_depth = 32
+
+let resolve_base ctx base =
+  match Hashtbl.find_opt ctx.subst base with
+  | Some b -> b
+  | None -> Base base
+
+let net_name base indices =
+  base ^ String.concat "" (List.map (fun i -> "[" ^ string_of_int i ^ "]") indices)
+
+let resolve_sigref ctx { base; indices } =
+  let idx = List.map (eval_cexpr ctx.vars) indices in
+  match resolve_base ctx base with
+  | Base b -> `Net (net_name b idx)
+  | Const c ->
+      if idx <> [] then fail "indexed reference to constant-tied signal %s" base;
+      `Const c
+
+(* ------------------------------------------------------------------ *)
+(* Expression conversion                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_fexpr ctx e : Flat.fexpr =
+  match e with
+  | Lit 0 -> Fconst false
+  | Lit 1 -> Fconst true
+  | Lit n -> fail "logic literal must be 0 or 1, got %d" n
+  | Sig s -> (
+      match resolve_sigref ctx s with
+      | `Net n -> Fnet n
+      | `Const c -> Fconst c)
+  | Not e -> Fnot (to_fexpr ctx e)
+  | And (a, b) -> (
+      match to_fexpr ctx a, to_fexpr ctx b with
+      | Fand xs, Fand ys -> Fand (xs @ ys)
+      | Fand xs, y -> Fand (xs @ [ y ])
+      | x, Fand ys -> Fand (x :: ys)
+      | x, y -> Fand [ x; y ])
+  | Or (a, b) -> (
+      match to_fexpr ctx a, to_fexpr ctx b with
+      | For_ xs, For_ ys -> For_ (xs @ ys)
+      | For_ xs, y -> For_ (xs @ [ y ])
+      | x, For_ ys -> For_ (x :: ys)
+      | x, y -> For_ [ x; y ])
+  | Xor (a, b) -> Fxor (to_fexpr ctx a, to_fexpr ctx b)
+  | Xnor (a, b) -> Fxnor (to_fexpr ctx a, to_fexpr ctx b)
+  | Buf e -> Fbuf (to_fexpr ctx e)
+  | Schmitt e -> Fschmitt (to_fexpr ctx e)
+  | Delay (e, d) -> Fdelay (to_fexpr ctx e, float_of_int (eval_cexpr ctx.vars d))
+  | Tristate (d, c) -> Ftri { data = to_fexpr ctx d; enable = to_fexpr ctx c }
+  | Wire_or (a, b) -> (
+      match to_fexpr ctx a, to_fexpr ctx b with
+      | Fwor xs, Fwor ys -> Fwor (xs @ ys)
+      | Fwor xs, y -> Fwor (xs @ [ y ])
+      | x, Fwor ys -> Fwor (x :: ys)
+      | x, y -> Fwor [ x; y ])
+  | Edge _ -> fail "edge operator (~r/~f/~h/~l) outside a clock specification"
+  | At _ -> fail "@ clocking is only allowed at the top of an equation"
+  | Async _ -> fail "~a is only allowed at the top of a clocked equation"
+
+(* Peel the sequential structure off an assignment's right-hand side:
+   [data @(edge clk) ~a(v/c, ...)]. *)
+let to_equation ctx target rhs : Flat.equation =
+  let asyncs, rhs =
+    match rhs with
+    | Async (inner, specs) ->
+        let conv (v, c) =
+          let value =
+            match to_fexpr ctx v with
+            | Fconst b -> b
+            | _ -> fail "asynchronous value must be the constant 0 or 1"
+          in
+          { Flat.value; cond = to_fexpr ctx c }
+        in
+        (List.map conv specs, inner)
+    | rhs -> ([], rhs)
+  in
+  match rhs with
+  | At (data, clockspec) -> (
+      let data = to_fexpr ctx data in
+      match clockspec with
+      | Edge (Rising, c) ->
+          Ff { target; data; rising = true; clock = to_fexpr ctx c; asyncs }
+      | Edge (Falling, c) ->
+          Ff { target; data; rising = false; clock = to_fexpr ctx c; asyncs }
+      | Edge (High, c) ->
+          if asyncs <> [] then fail "~a is not supported on latches (net %s)" target;
+          Latch { target; data; transparent_high = true; gate = to_fexpr ctx c }
+      | Edge (Low, c) ->
+          if asyncs <> [] then fail "~a is not supported on latches (net %s)" target;
+          Latch { target; data; transparent_high = false; gate = to_fexpr ctx c }
+      | _ -> fail "clock specification for %s lacks an edge operator" target)
+  | rhs ->
+      if asyncs <> [] then fail "~a without @ clocking on net %s" target;
+      Comb { target; rhs = to_fexpr ctx rhs }
+
+let record ctx target eq =
+  if Hashtbl.mem ctx.equations target then
+    fail "net %s assigned more than once" target
+  else begin
+    Hashtbl.add ctx.equations target eq;
+    ctx.order := target :: !(ctx.order)
+  end
+
+let record_aggregate ctx target combine rhs =
+  match Hashtbl.find_opt ctx.equations target with
+  | None ->
+      Hashtbl.add ctx.equations target (Flat.Comb { target; rhs });
+      ctx.order := target :: !(ctx.order)
+  | Some (Flat.Comb { rhs = old; _ }) ->
+      Hashtbl.replace ctx.equations target
+        (Flat.Comb { target; rhs = combine old rhs })
+  | Some (Flat.Ff _ | Flat.Latch _) ->
+      fail "aggregate assignment to clocked net %s" target
+
+(* ------------------------------------------------------------------ *)
+(* Statement expansion                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let max_loop_iterations = 65536
+
+let rec exec_stmt ctx = function
+  | Block stmts -> List.iter (exec_stmt ctx) stmts
+  | Cline assigns ->
+      List.iter
+        (fun (v, e) -> Hashtbl.replace ctx.vars v (eval_cexpr ctx.vars e))
+        assigns
+  | If (cond, then_, else_) ->
+      if eval_cexpr ctx.vars cond <> 0 then exec_stmt ctx then_
+      else Option.iter (exec_stmt ctx) else_
+  | For { var; init; cond; step; body } ->
+      Hashtbl.replace ctx.vars var (eval_cexpr ctx.vars init);
+      let guard = ref 0 in
+      while eval_cexpr ctx.vars cond <> 0 do
+        incr guard;
+        if !guard > max_loop_iterations then
+          fail "for-loop over %s exceeded %d iterations" var max_loop_iterations;
+        exec_stmt ctx body;
+        Hashtbl.replace ctx.vars var (Hashtbl.find ctx.vars var + step)
+      done
+  | Assign (target, op, rhs) -> (
+      let tname =
+        match resolve_sigref ctx target with
+        | `Net n -> n
+        | `Const _ -> fail "cannot assign to constant-tied signal %s" target.base
+      in
+      match op with
+      | Set -> record ctx tname (to_equation ctx tname rhs)
+      | Agg_or ->
+          let combine a b =
+            match a with
+            | Flat.For_ xs -> Flat.For_ (xs @ [ b ])
+            | a -> Flat.For_ [ a; b ]
+          in
+          record_aggregate ctx tname combine (to_fexpr ctx rhs)
+      | Agg_and ->
+          let combine a b =
+            match a with
+            | Flat.Fand xs -> Flat.Fand (xs @ [ b ])
+            | a -> Flat.Fand [ a; b ]
+          in
+          record_aggregate ctx tname combine (to_fexpr ctx rhs)
+      | Agg_xor ->
+          record_aggregate ctx tname (fun a b -> Flat.Fxor (a, b))
+            (to_fexpr ctx rhs)
+      | Agg_xnor ->
+          record_aggregate ctx tname (fun a b -> Flat.Fxnor (a, b))
+            (to_fexpr ctx rhs))
+  | Call (name, actuals) -> expand_call ctx name actuals
+
+and expand_call ctx name actuals =
+  if ctx.depth >= max_depth then
+    fail "subfunction nesting exceeds %d (recursive IIF?)" max_depth;
+  let callee =
+    match ctx.registry name with
+    | Some d -> d
+    | None -> fail "unknown subfunction %s" name
+  in
+  let formals = formals callee in
+  let n_params = List.length callee.dparams in
+  if List.length actuals > List.length formals then
+    fail "too many arguments in call to %s" name;
+  let vars = Hashtbl.create 16 in
+  let subst = Hashtbl.create 16 in
+  incr ctx.fresh;
+  let instance = Printf.sprintf "%s_%d" name !(ctx.fresh) in
+  let bind_signal formal = function
+    | Some (Cvar base) -> Hashtbl.replace subst formal (resolve_base ctx base)
+    | Some (Cint 0) -> Hashtbl.replace subst formal (Const false)
+    | Some (Cint 1) -> Hashtbl.replace subst formal (Const true)
+    | Some e ->
+        (* An index-free computed actual is meaningless for a signal. *)
+        fail "call to %s: signal formal %s bound to C expression %s" name
+          formal (cexpr_to_string e)
+    | None ->
+        (* Unsupplied I/O connects by name in the caller's scope;
+           unsupplied internals get fresh names. *)
+        let is_internal =
+          List.exists (fun s -> s.sname = formal) callee.dinternal
+        in
+        if is_internal then
+          Hashtbl.replace subst formal (Base (instance ^ "_" ^ formal))
+        else Hashtbl.replace subst formal (resolve_base ctx formal)
+  in
+  List.iteri
+    (fun i formal ->
+      let actual = List.nth_opt actuals i in
+      if i < n_params then
+        match actual with
+        | Some e -> Hashtbl.replace vars formal (eval_cexpr ctx.vars e)
+        | None -> fail "call to %s: parameter %s not supplied" name formal
+      else bind_signal formal actual)
+    formals;
+  let ctx' = { ctx with vars; subst; depth = ctx.depth + 1 } in
+  List.iter (exec_stmt ctx') callee.dbody
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let expand_ports vars decls =
+  List.concat_map
+    (fun { sname; ssize } ->
+      match ssize with
+      | None -> [ sname ]
+      | Some e ->
+          let size = eval_cexpr vars e in
+          if size < 0 then fail "negative bus size for %s" sname;
+          List.init size (fun i -> Printf.sprintf "%s[%d]" sname i))
+    decls
+
+(* [expand ~registry design params] flattens [design] with the given
+   parameter values. [registry] resolves SUBFUNCTION names. *)
+let expand ?(registry = fun _ -> None) design params =
+  let vars = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p params with
+      | Some v -> Hashtbl.replace vars p v
+      | None -> fail "parameter %s of %s not supplied" p design.dname)
+    design.dparams;
+  List.iter
+    (fun (p, _) ->
+      if not (List.mem p design.dparams) then
+        fail "%s is not a parameter of %s" p design.dname)
+    params;
+  let ctx =
+    { registry;
+      vars;
+      subst = Hashtbl.create 16;
+      equations = Hashtbl.create 64;
+      order = ref [];
+      fresh = ref 0;
+      depth = 0 }
+  in
+  List.iter (exec_stmt ctx) design.dbody;
+  let finputs = expand_ports vars design.dinputs in
+  let foutputs = expand_ports vars design.doutputs in
+  let declared_internals = expand_ports vars design.dinternal in
+  let targets = List.rev !(ctx.order) in
+  (* Internals: declared ones plus any fresh nets introduced by calls. *)
+  let io = finputs @ foutputs in
+  let extra =
+    List.filter (fun t -> not (List.mem t io) && not (List.mem t declared_internals)) targets
+  in
+  let fequations = List.map (Hashtbl.find ctx.equations) targets in
+  { Flat.fname = design.dname;
+    finputs;
+    foutputs;
+    finternals = Flat.uniq (declared_internals @ extra);
+    fequations }

@@ -1,0 +1,26 @@
+(** The IIF expander: parameterized IIF to flat IIF.
+
+    Evaluates C expressions, unrolls [#for] loops, resolves [#if]
+    choices and inlines subfunction calls by call-by-name macro
+    substitution, producing a {!Flat.t} for logic synthesis
+    (Appendix A). *)
+
+exception Expand_error of string
+
+val eval_cexpr : (string, int) Hashtbl.t -> Ast.cexpr -> int
+(** Evaluate a C expression under a variable binding.
+    @raise Expand_error on unbound variables or division by zero. *)
+
+val expand :
+  ?registry:(string -> Ast.design option) ->
+  Ast.design ->
+  (string * int) list ->
+  Flat.t
+(** [expand ~registry design params] flattens [design] with the given
+    parameter values. [registry] resolves SUBFUNCTION names to their
+    designs (default: none available). Unsupplied I/O formals of a
+    callee connect by name in the caller's scope; unsupplied internals
+    receive fresh names.
+    @raise Expand_error on missing/unknown parameters, recursive
+    subfunctions, double-driven nets, or malformed sequential
+    expressions. *)

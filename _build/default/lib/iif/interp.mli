@@ -1,0 +1,31 @@
+(** Reference interpreter for flat IIF designs.
+
+    Two-valued, cycle-oriented semantics used as the specification
+    oracle for synthesized netlists: combinational equations settle to
+    a fixpoint, latches hold when opaque, flip-flops sample on their
+    configured edge with asynchronous set/reset taking priority, and
+    rippled clocks (registers clocking registers) are iterated to
+    quiescence. All state starts at zero. *)
+
+exception Unstable of string
+(** Combinational feedback failed to reach a fixpoint (design name). *)
+
+type t
+
+val create : Flat.t -> t
+
+val step : t -> (string * bool) list -> unit
+(** Apply input values and settle the design. The caller drives clocks
+    explicitly like a testbench:
+    [step st [("CLK", false)]; step st [("CLK", true)]].
+    @raise Invalid_argument if a named net is not an input.
+    @raise Unstable on oscillating feedback. *)
+
+val value : t -> string -> bool
+(** Current value of any net (undriven nets read false). *)
+
+val poke : t -> string -> bool -> unit
+(** Force a net (e.g. to establish register state before a test). *)
+
+val outputs : t -> (string * bool) list
+(** All primary outputs, in declaration order. *)

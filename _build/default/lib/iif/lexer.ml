@@ -1,0 +1,172 @@
+(* Hand-written lexer for IIF. Produces a token array with line numbers
+   for error reporting. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | HASH_IF
+  | HASH_ELSE
+  | HASH_FOR
+  | HASH_CLINE
+  | HASH_CALL of string
+  | LBRACE | RBRACE
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COLON | SEMI | COMMA
+  | PLUS | STAR | BANG | MINUS
+  | XOR | XNOR                       (* (+) (.) *)
+  | EQ | PLUSEQ | STAREQ | XOREQ | XNOREQ
+  | AT
+  | TILDE_A | TILDE_B | TILDE_S | TILDE_D | TILDE_T | TILDE_W
+  | TILDE_R | TILDE_F | TILDE_H | TILDE_L
+  | SLASH | PERCENT | DSTAR
+  | LT | LE | GT | GE | EQEQ | NEQ | ANDAND | OROR
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+exception Lex_error of string * int  (* message, line *)
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | HASH_IF -> "#if" | HASH_ELSE -> "#else" | HASH_FOR -> "#for"
+  | HASH_CLINE -> "#c_line"
+  | HASH_CALL s -> "#" ^ s
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COLON -> ":" | SEMI -> ";" | COMMA -> ","
+  | PLUS -> "+" | STAR -> "*" | BANG -> "!" | MINUS -> "-"
+  | XOR -> "(+)" | XNOR -> "(.)"
+  | EQ -> "=" | PLUSEQ -> "+=" | STAREQ -> "*=" | XOREQ -> "(+)="
+  | XNOREQ -> "(.)="
+  | AT -> "@"
+  | TILDE_A -> "~a" | TILDE_B -> "~b" | TILDE_S -> "~s" | TILDE_D -> "~d"
+  | TILDE_T -> "~t" | TILDE_W -> "~w"
+  | TILDE_R -> "~r" | TILDE_F -> "~f" | TILDE_H -> "~h" | TILDE_L -> "~l"
+  | SLASH -> "/" | PERCENT -> "%" | DSTAR -> "**"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "=="
+  | NEQ -> "!=" | ANDAND -> "&&" | OROR -> "||"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push t = toks := (t, !line) :: !toks in
+  let err msg = raise (Lex_error (msg, !line)) in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec loop i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\n' -> incr line; loop (i + 1)
+      | ' ' | '\t' | '\r' -> loop (i + 1)
+      | '/' when peek (i + 1) = Some '*' ->
+          (* comment: skip to *\/ *)
+          let rec skip j =
+            if j + 1 >= n then err "unterminated comment"
+            else if src.[j] = '\n' then begin incr line; skip (j + 1) end
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else skip (j + 1)
+          in
+          loop (skip (i + 2))
+      | '{' -> push LBRACE; loop (i + 1)
+      | '}' -> push RBRACE; loop (i + 1)
+      | '[' -> push LBRACKET; loop (i + 1)
+      | ']' -> push RBRACKET; loop (i + 1)
+      | ')' -> push RPAREN; loop (i + 1)
+      | ':' -> push COLON; loop (i + 1)
+      | ';' -> push SEMI; loop (i + 1)
+      | ',' -> push COMMA; loop (i + 1)
+      | '@' -> push AT; loop (i + 1)
+      | '%' -> push PERCENT; loop (i + 1)
+      | '(' -> (
+          (* disambiguate (+), (.), (+)=, (.)= from plain parenthesis *)
+          match peek (i + 1), peek (i + 2) with
+          | Some '+', Some ')' ->
+              if peek (i + 3) = Some '=' then begin push XOREQ; loop (i + 4) end
+              else begin push XOR; loop (i + 3) end
+          | Some '.', Some ')' ->
+              if peek (i + 3) = Some '=' then begin push XNOREQ; loop (i + 4) end
+              else begin push XNOR; loop (i + 3) end
+          | _ -> push LPAREN; loop (i + 1))
+      | '+' -> (
+          match peek (i + 1) with
+          | Some '+' -> push PLUSPLUS; loop (i + 2)
+          | Some '=' -> push PLUSEQ; loop (i + 2)
+          | _ -> push PLUS; loop (i + 1))
+      | '-' -> (
+          match peek (i + 1) with
+          | Some '-' -> push MINUSMINUS; loop (i + 2)
+          | _ -> push MINUS; loop (i + 1))
+      | '*' -> (
+          match peek (i + 1) with
+          | Some '*' -> push DSTAR; loop (i + 2)
+          | Some '=' -> push STAREQ; loop (i + 2)
+          | _ -> push STAR; loop (i + 1))
+      | '!' -> (
+          match peek (i + 1) with
+          | Some '=' -> push NEQ; loop (i + 2)
+          | _ -> push BANG; loop (i + 1))
+      | '=' -> (
+          match peek (i + 1) with
+          | Some '=' -> push EQEQ; loop (i + 2)
+          | _ -> push EQ; loop (i + 1))
+      | '<' -> (
+          match peek (i + 1) with
+          | Some '=' -> push LE; loop (i + 2)
+          | _ -> push LT; loop (i + 1))
+      | '>' -> (
+          match peek (i + 1) with
+          | Some '=' -> push GE; loop (i + 2)
+          | _ -> push GT; loop (i + 1))
+      | '&' when peek (i + 1) = Some '&' -> push ANDAND; loop (i + 2)
+      | '|' when peek (i + 1) = Some '|' -> push OROR; loop (i + 2)
+      | '/' -> push SLASH; loop (i + 1)
+      | '~' -> (
+          let t =
+            match peek (i + 1) with
+            | Some 'a' -> TILDE_A | Some 'b' -> TILDE_B | Some 's' -> TILDE_S
+            | Some 'd' -> TILDE_D | Some 't' -> TILDE_T | Some 'w' -> TILDE_W
+            | Some 'r' -> TILDE_R | Some 'f' -> TILDE_F | Some 'h' -> TILDE_H
+            | Some 'l' -> TILDE_L
+            | _ -> err "expected operator letter after ~"
+          in
+          push t;
+          loop (i + 2))
+      | '#' -> (
+          let j = ref (i + 1) in
+          while !j < n && is_ident_char src.[!j] do incr j done;
+          let word = String.sub src (i + 1) (!j - i - 1) in
+          (match String.lowercase_ascii word with
+           | "if" -> push HASH_IF
+           | "else" -> push HASH_ELSE
+           | "for" -> push HASH_FOR
+           | "c_line" | "cline" -> push HASH_CLINE
+           | "" -> err "expected name after #"
+           | _ -> push (HASH_CALL word));
+          loop !j)
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && is_digit src.[!j] do incr j done;
+          push (INT (int_of_string (String.sub src i (!j - i))));
+          loop !j
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident_char src.[!j] do incr j done;
+          push (IDENT (String.sub src i (!j - i)));
+          loop !j
+      | c -> err (Printf.sprintf "unexpected character %C" c)
+  in
+  loop 0;
+  push EOF;
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,395 @@
+(* Recursive-descent parser for IIF (grammar in paper Appendix A.2). *)
+
+open Ast
+
+exception Parse_error of string * int  (* message, line *)
+
+type state = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let err st fmt =
+  Printf.ksprintf (fun msg -> raise (Parse_error (msg, line st))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    err st "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> err st "expected identifier, found %s" (Lexer.token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* C expressions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec cexpr st = c_or st
+
+and c_or st =
+  let left = c_and st in
+  match peek st with
+  | Lexer.OROR -> advance st; Cbin (Cor, left, c_or st)
+  | _ -> left
+
+and c_and st =
+  let left = c_eq st in
+  match peek st with
+  | Lexer.ANDAND -> advance st; Cbin (Cand, left, c_and st)
+  | _ -> left
+
+and c_eq st =
+  let left = c_rel st in
+  match peek st with
+  | Lexer.EQEQ -> advance st; Cbin (Ceq, left, c_rel st)
+  | Lexer.NEQ -> advance st; Cbin (Cneq, left, c_rel st)
+  (* Tolerate a single '=' as equality inside conditions: the paper's
+     examples write [#if(i=size)]. *)
+  | Lexer.EQ -> advance st; Cbin (Ceq, left, c_rel st)
+  | _ -> left
+
+and c_rel st =
+  let left = c_add st in
+  match peek st with
+  | Lexer.LT -> advance st; Cbin (Clt, left, c_add st)
+  | Lexer.LE -> advance st; Cbin (Cle, left, c_add st)
+  | Lexer.GT -> advance st; Cbin (Cgt, left, c_add st)
+  | Lexer.GE -> advance st; Cbin (Cge, left, c_add st)
+  | _ -> left
+
+and c_add st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Cbin (Cadd, left, c_mul st))
+    | Lexer.MINUS -> advance st; loop (Cbin (Csub, left, c_mul st))
+    | _ -> left
+  in
+  loop (c_mul st)
+
+and c_mul st =
+  let rec loop left =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (Cbin (Cmul, left, c_pow st))
+    | Lexer.SLASH -> advance st; loop (Cbin (Cdiv, left, c_pow st))
+    | Lexer.PERCENT -> advance st; loop (Cbin (Cmod, left, c_pow st))
+    | _ -> left
+  in
+  loop (c_pow st)
+
+and c_pow st =
+  let left = c_unary st in
+  match peek st with
+  | Lexer.DSTAR -> advance st; Cbin (Cexp, left, c_pow st)
+  | _ -> left
+
+and c_unary st =
+  match peek st with
+  | Lexer.MINUS -> advance st; Cneg (c_unary st)
+  | Lexer.BANG -> advance st; Cnot (c_unary st)
+  | _ -> c_atom st
+
+and c_atom st =
+  match peek st with
+  | Lexer.INT i -> advance st; Cint i
+  | Lexer.IDENT v -> advance st; Cvar v
+  | Lexer.LPAREN ->
+      advance st;
+      let e = cexpr st in
+      expect st Lexer.RPAREN;
+      e
+  | t -> err st "expected a C expression, found %s" (Lexer.token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Boolean expressions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec sigref_tail st base =
+  let rec indices acc =
+    match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let e = cexpr st in
+        expect st Lexer.RBRACKET;
+        indices (e :: acc)
+    | _ -> List.rev acc
+  in
+  { base; indices = indices [] }
+
+(* Full expression with the postfix sequential/interface operators. *)
+and expr st =
+  let rec loop left =
+    match peek st with
+    | Lexer.AT ->
+        advance st;
+        expect st Lexer.LPAREN;
+        let clk = expr st in
+        expect st Lexer.RPAREN;
+        loop (At (left, clk))
+    | Lexer.TILDE_A ->
+        advance st;
+        expect st Lexer.LPAREN;
+        let rec specs acc =
+          let v = or_expr st in
+          expect st Lexer.SLASH;
+          let c = or_expr st in
+          match peek st with
+          | Lexer.COMMA -> advance st; specs ((v, c) :: acc)
+          | _ -> List.rev ((v, c) :: acc)
+        in
+        let sp = specs [] in
+        expect st Lexer.RPAREN;
+        loop (Async (left, sp))
+    | Lexer.TILDE_D ->
+        advance st;
+        let d = c_atom st in
+        loop (Delay (left, d))
+    | Lexer.TILDE_T ->
+        advance st;
+        let c = or_expr st in
+        loop (Tristate (left, c))
+    | Lexer.TILDE_W ->
+        advance st;
+        let r = or_expr st in
+        loop (Wire_or (left, r))
+    | _ -> left
+  in
+  loop (or_expr st)
+
+and or_expr st =
+  let rec loop left =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Or (left, and_expr st))
+    | _ -> left
+  in
+  loop (and_expr st)
+
+and and_expr st =
+  let rec loop left =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (And (left, xor_expr st))
+    | _ -> left
+  in
+  loop (xor_expr st)
+
+and xor_expr st =
+  let rec loop left =
+    match peek st with
+    | Lexer.XOR -> advance st; loop (Xor (left, unary st))
+    | Lexer.XNOR -> advance st; loop (Xnor (left, unary st))
+    | _ -> left
+  in
+  loop (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.BANG -> advance st; Not (unary st)
+  | Lexer.TILDE_B -> advance st; Buf (unary st)
+  | Lexer.TILDE_S -> advance st; Schmitt (unary st)
+  | Lexer.TILDE_R -> advance st; Edge (Rising, unary st)
+  | Lexer.TILDE_F -> advance st; Edge (Falling, unary st)
+  | Lexer.TILDE_H -> advance st; Edge (High, unary st)
+  | Lexer.TILDE_L -> advance st; Edge (Low, unary st)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Lexer.IDENT base ->
+      advance st;
+      Sig (sigref_tail st base)
+  | Lexer.INT i when i = 0 || i = 1 ->
+      advance st;
+      Lit i
+  | Lexer.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.RPAREN;
+      e
+  | t -> err st "expected an expression, found %s" (Lexer.token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt st =
+  match peek st with
+  | Lexer.LBRACE ->
+      advance st;
+      let rec body acc =
+        match peek st with
+        | Lexer.RBRACE -> advance st; List.rev acc
+        | _ -> body (stmt st :: acc)
+      in
+      Block (body [])
+  | Lexer.HASH_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let cond = cexpr st in
+      expect st Lexer.RPAREN;
+      let then_ = stmt st in
+      (match peek st with
+       | Lexer.HASH_ELSE ->
+           advance st;
+           let else_ = stmt st in
+           If (cond, then_, Some else_)
+       | _ -> If (cond, then_, None))
+  | Lexer.HASH_FOR ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let var = ident st in
+      expect st Lexer.EQ;
+      let init = cexpr st in
+      expect st Lexer.SEMI;
+      let cond = cexpr st in
+      expect st Lexer.SEMI;
+      let var2 = ident st in
+      if var2 <> var then
+        err st "for-loop step must use the loop variable %s" var;
+      let step =
+        match peek st with
+        | Lexer.PLUSPLUS -> advance st; 1
+        | Lexer.MINUSMINUS -> advance st; -1
+        | t -> err st "expected ++ or --, found %s" (Lexer.token_name t)
+      in
+      expect st Lexer.RPAREN;
+      let body = stmt st in
+      For { var; init; cond; step; body }
+  | Lexer.HASH_CLINE ->
+      advance st;
+      let rec assigns acc =
+        let v = ident st in
+        expect st Lexer.EQ;
+        let e = cexpr st in
+        match peek st with
+        | Lexer.COMMA -> advance st; assigns ((v, e) :: acc)
+        | _ ->
+            expect st Lexer.SEMI;
+            List.rev ((v, e) :: acc)
+      in
+      Cline (assigns [])
+  | Lexer.HASH_CALL name ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let rec args acc =
+        match peek st with
+        | Lexer.RPAREN -> advance st; List.rev acc
+        | Lexer.COMMA -> advance st; args acc
+        | _ -> args (cexpr st :: acc)
+      in
+      let a = args [] in
+      expect st Lexer.SEMI;
+      Call (name, a)
+  | Lexer.IDENT base -> (
+      advance st;
+      let target = sigref_tail st base in
+      let op =
+        match peek st with
+        | Lexer.EQ -> Set
+        | Lexer.PLUSEQ -> Agg_or
+        | Lexer.STAREQ -> Agg_and
+        | Lexer.XOREQ -> Agg_xor
+        | Lexer.XNOREQ -> Agg_xnor
+        | t -> err st "expected an assignment operator, found %s" (Lexer.token_name t)
+      in
+      advance st;
+      let rhs = expr st in
+      expect st Lexer.SEMI;
+      Assign (target, op, rhs))
+  | t -> err st "expected a statement, found %s" (Lexer.token_name t)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations and designs                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sdecl st =
+  let sname = ident st in
+  match peek st with
+  | Lexer.LBRACKET ->
+      advance st;
+      let e = cexpr st in
+      expect st Lexer.RBRACKET;
+      { sname; ssize = Some e }
+  | _ -> { sname; ssize = None }
+
+let sdecl_list st =
+  let rec loop acc =
+    let d = sdecl st in
+    match peek st with
+    | Lexer.COMMA -> advance st; loop (d :: acc)
+    | _ ->
+        expect st Lexer.SEMI;
+        List.rev (d :: acc)
+  in
+  loop []
+
+let name_list st = List.map (fun d -> d.sname) (sdecl_list st)
+
+let design_of_tokens toks =
+  let st = { toks; pos = 0 } in
+  let dname = ref "" in
+  let dfunctions = ref [] in
+  let dparams = ref [] in
+  let dvars = ref [] in
+  let dinputs = ref [] in
+  let doutputs = ref [] in
+  let dinternal = ref [] in
+  let dsubfunctions = ref [] in
+  let dsubcomponents = ref [] in
+  let rec decls () =
+    match peek st with
+    | Lexer.IDENT kw -> (
+        advance st;
+        expect st Lexer.COLON;
+        (match String.uppercase_ascii kw with
+         | "NAME" ->
+             dname := ident st;
+             expect st Lexer.SEMI
+         | "FUNCTIONS" | "FUNCTION" -> dfunctions := !dfunctions @ name_list st
+         | "PARAMETER" -> dparams := !dparams @ name_list st
+         | "VARIABLE" -> dvars := !dvars @ name_list st
+         | "INORDER" -> dinputs := !dinputs @ sdecl_list st
+         | "OUTORDER" -> doutputs := !doutputs @ sdecl_list st
+         | "PIIFVARIABLE" -> dinternal := !dinternal @ sdecl_list st
+         | "SUBFUNCTION" -> dsubfunctions := !dsubfunctions @ name_list st
+         | "SUBCOMPONENT" -> dsubcomponents := !dsubcomponents @ name_list st
+         | _ -> err st "unknown declaration keyword %s" kw);
+        decls ())
+    | Lexer.LBRACE -> ()
+    | t -> err st "expected a declaration or '{', found %s" (Lexer.token_name t)
+  in
+  decls ();
+  let body =
+    match stmt st with
+    | Block stmts -> stmts
+    | s -> [ s ]
+  in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | t -> err st "trailing input after design body: %s" (Lexer.token_name t));
+  if !dname = "" then err st "design has no NAME declaration";
+  { dname = !dname;
+    dfunctions = !dfunctions;
+    dparams = !dparams;
+    dvars = !dvars;
+    dinputs = !dinputs;
+    doutputs = !doutputs;
+    dinternal = !dinternal;
+    dsubfunctions = !dsubfunctions;
+    dsubcomponents = !dsubcomponents;
+    dbody = body }
+
+let parse src = design_of_tokens (Lexer.tokenize src)
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src; pos = 0 } in
+  let e = expr st in
+  (match peek st with
+   | Lexer.EOF | Lexer.SEMI -> ()
+   | t -> err st "trailing input after expression: %s" (Lexer.token_name t));
+  e

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for IIF source text (grammar: paper
+    Appendix A.2). *)
+
+exception Parse_error of string * int
+(** Message and source line of a syntax error. *)
+
+val parse : string -> Ast.design
+(** Parse a complete IIF design: declarations followed by a braced
+    statement body.
+    @raise Parse_error on malformed input.
+    @raise Lexer.Lex_error on invalid tokens. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single IIF expression (used by tests and tools).
+    @raise Parse_error on malformed or trailing input. *)

@@ -1,0 +1,1 @@
+lib/layout/area_est.ml: Array Float Fun Icdb_logic Icdb_netlist List Netlist Printf Rng Strip

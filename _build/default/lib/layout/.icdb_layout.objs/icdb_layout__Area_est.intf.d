@@ -1,0 +1,1 @@
+lib/layout/area_est.mli: Icdb_netlist

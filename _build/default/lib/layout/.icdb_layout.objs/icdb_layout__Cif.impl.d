@@ -1,0 +1,1 @@
+lib/layout/cif.ml: Area_est Array Buffer Float Icdb_logic Icdb_netlist List Netlist Ports Printf Strip

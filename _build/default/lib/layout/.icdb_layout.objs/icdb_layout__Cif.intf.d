@@ -1,0 +1,1 @@
+lib/layout/cif.mli: Icdb_netlist Ports Strip

@@ -1,0 +1,1 @@
+lib/layout/floorplan.ml: Array Float List Shape

@@ -1,0 +1,1 @@
+lib/layout/ports.ml: List String

@@ -1,0 +1,1 @@
+lib/layout/ports.mli:

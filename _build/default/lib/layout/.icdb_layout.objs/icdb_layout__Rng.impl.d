@@ -1,0 +1,1 @@
+lib/layout/rng.ml: Array Int64

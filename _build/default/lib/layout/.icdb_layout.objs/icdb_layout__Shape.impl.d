@@ -1,0 +1,1 @@
+lib/layout/shape.ml: Area_est Float Icdb_netlist List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/layout/strip.ml: Array Celllib Float Hashtbl Icdb_logic Icdb_netlist List Netlist

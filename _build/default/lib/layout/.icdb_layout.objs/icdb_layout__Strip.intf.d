@@ -1,0 +1,1 @@
+lib/layout/strip.mli: Icdb_netlist Netlist

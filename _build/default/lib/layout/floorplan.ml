@@ -1,0 +1,175 @@
+(* Slicing floorplanner over shape functions.
+
+   Combines component shape functions (Figure 6) into chip-level
+   floorplans (Figure 13): a slicing tree whose leaves pick one shape
+   alternative per block and whose internal nodes stack horizontally or
+   vertically. Candidate lists are pruned to Pareto-optimal (width,
+   height) points as they combine, and a subset-DP search finds the
+   best slicing tree for small block counts. *)
+
+type block = {
+  bname : string;
+  bshapes : Shape.t;
+}
+
+type placement = {
+  pname : string;
+  px : float;
+  py : float;
+  pwidth : float;
+  pheight : float;
+  pstrips : int;  (* shape alternative used (strip count), 0 for composites *)
+}
+
+(* A candidate: bounding box plus a builder producing placements given
+   the candidate's origin. *)
+type candidate = {
+  cwidth : float;
+  cheight : float;
+  build : float -> float -> placement list;
+}
+
+type result = {
+  rwidth : float;
+  rheight : float;
+  rarea : float;
+  rplacements : placement list;
+}
+
+let of_block b : candidate list =
+  List.map
+    (fun (a : Shape.alternative) ->
+      { cwidth = a.Shape.alt_width;
+        cheight = a.Shape.alt_height;
+        build =
+          (fun x y ->
+            [ { pname = b.bname;
+                px = x;
+                py = y;
+                pwidth = a.Shape.alt_width;
+                pheight = a.Shape.alt_height;
+                pstrips = a.Shape.alt_strips } ]) })
+    b.bshapes
+
+let pareto (cands : candidate list) =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.cwidth b.cwidth with
+        | 0 -> compare a.cheight b.cheight
+        | c -> c)
+      cands
+  in
+  let rec keep best_h = function
+    | [] -> []
+    | c :: rest ->
+        if c.cheight < best_h -. 1e-9 then c :: keep c.cheight rest
+        else keep best_h rest
+  in
+  keep infinity sorted
+
+let cap = 24
+
+let prune cands =
+  let p = pareto cands in
+  if List.length p <= cap then p
+  else begin
+    (* thin by keeping evenly spaced entries *)
+    let arr = Array.of_list p in
+    let n = Array.length arr in
+    List.init cap (fun i -> arr.(i * n / cap))
+  end
+
+(* Horizontal composition: blocks side by side (widths add). *)
+let beside (a : candidate list) (b : candidate list) =
+  prune
+    (List.concat_map
+       (fun ca ->
+         List.map
+           (fun cb ->
+             { cwidth = ca.cwidth +. cb.cwidth;
+               cheight = Float.max ca.cheight cb.cheight;
+               build =
+                 (fun x y -> ca.build x y @ cb.build (x +. ca.cwidth) y) })
+           b)
+       a)
+
+(* Vertical composition: blocks stacked (heights add). *)
+let above (a : candidate list) (b : candidate list) =
+  prune
+    (List.concat_map
+       (fun ca ->
+         List.map
+           (fun cb ->
+             { cwidth = Float.max ca.cwidth cb.cwidth;
+               cheight = ca.cheight +. cb.cheight;
+               build =
+                 (fun x y -> ca.build x y @ cb.build x (y +. ca.cheight)) })
+           b)
+       a)
+
+let best ?(aspect = None) (cands : candidate list) =
+  match cands with
+  | [] -> invalid_arg "Floorplan.best: no candidates"
+  | cands ->
+      let score c =
+        let area = c.cwidth *. c.cheight in
+        match aspect with
+        | None -> area
+        | Some target ->
+            (* penalize deviation from the requested aspect ratio *)
+            let r = c.cwidth /. c.cheight in
+            area *. (1.0 +. (Float.abs (r -. target) /. target))
+      in
+      let best =
+        List.fold_left
+          (fun acc c -> if score c < score acc then c else acc)
+          (List.hd cands) cands
+      in
+      { rwidth = best.cwidth;
+        rheight = best.cheight;
+        rarea = best.cwidth *. best.cheight;
+        rplacements = best.build 0.0 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Subset-DP optimal slicing                                           *)
+(* ------------------------------------------------------------------ *)
+
+let max_auto_blocks = 8
+
+(* Best candidate set for every subset of blocks: a singleton subset is
+   the block's shapes; a larger subset is the Pareto merge over all
+   2-partitions combined both ways. *)
+let auto (blocks : block list) =
+  let n = List.length blocks in
+  if n = 0 then invalid_arg "Floorplan.auto: no blocks";
+  if n > max_auto_blocks then
+    invalid_arg "Floorplan.auto: too many blocks for exhaustive slicing";
+  let arr = Array.of_list blocks in
+  let memo = Array.make (1 lsl n) [] in
+  for i = 0 to n - 1 do
+    memo.(1 lsl i) <- prune (of_block arr.(i))
+  done;
+  for set = 1 to (1 lsl n) - 1 do
+    if memo.(set) = [] && set land (set - 1) <> 0 then begin
+      let acc = ref [] in
+      (* enumerate proper sub-partitions; fix the lowest bit in [sub]
+         to halve the enumeration *)
+      let low = set land -set in
+      let rest = set lxor low in
+      let sub = ref rest in
+      while !sub > 0 do
+        let a = low lor (rest lxor !sub) in
+        let b = !sub in
+        if a land b = 0 && a lor b = set && memo.(a) <> [] && memo.(b) <> []
+        then
+          acc := beside memo.(a) memo.(b) @ above memo.(a) memo.(b) @ !acc;
+        sub := (!sub - 1) land rest
+      done;
+      (* also the partition where sub = 0 means b empty: skip *)
+      memo.(set) <- prune !acc
+    end
+  done;
+  memo.((1 lsl n) - 1)
+
+let best_of_blocks ?aspect blocks = best ?aspect (auto blocks)

@@ -1,0 +1,55 @@
+(** Slicing floorplanner over shape functions (Figure 13).
+
+    Blocks carry their shape functions; compositions stack them beside
+    or above each other, pruning candidate (width, height) sets to
+    Pareto-optimal points; a subset-DP search finds the best slicing
+    tree for small block counts. *)
+
+type block = {
+  bname : string;
+  bshapes : Shape.t;
+}
+
+type placement = {
+  pname : string;
+  px : float;
+  py : float;
+  pwidth : float;
+  pheight : float;
+  pstrips : int;  (** shape alternative used (strip count) *)
+}
+
+type candidate = {
+  cwidth : float;
+  cheight : float;
+  build : float -> float -> placement list;
+      (** placements given the candidate's origin *)
+}
+
+type result = {
+  rwidth : float;
+  rheight : float;
+  rarea : float;
+  rplacements : placement list;
+}
+
+val of_block : block -> candidate list
+val pareto : candidate list -> candidate list
+
+val beside : candidate list -> candidate list -> candidate list
+(** Horizontal composition: widths add, heights max. Pruned. *)
+
+val above : candidate list -> candidate list -> candidate list
+(** Vertical composition: heights add, widths max. Pruned. *)
+
+val best : ?aspect:float option -> candidate list -> result
+(** Minimum area, optionally penalizing deviation from a target
+    width/height ratio. @raise Invalid_argument on empty input. *)
+
+val max_auto_blocks : int
+
+val auto : block list -> candidate list
+(** Optimal slicing over all partitions (subset DP).
+    @raise Invalid_argument beyond {!max_auto_blocks} blocks. *)
+
+val best_of_blocks : ?aspect:float option -> block list -> result

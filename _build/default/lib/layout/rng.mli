@@ -1,0 +1,12 @@
+(** Small deterministic PRNG (splitmix64) so layout estimates are
+    reproducible run-to-run. *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument on bound <= 0. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,193 @@
+(* Strip-based standard-cell placement (the LES substitute, §4.3.2).
+
+   A layout is a number of horizontal strips; each strip holds a row of
+   cells between a shared Vdd/Vss rail pair; routing channels run
+   between strips. Placements order cells to keep connected cells in
+   the same or adjacent strips (snake order after a connectivity-driven
+   linear arrangement). *)
+
+open Icdb_netlist
+open Icdb_logic
+
+type placed_cell = {
+  pc_inst : Netlist.instance;
+  pc_width : float;
+  pc_strip : int;     (* 0 = bottom *)
+  pc_x : float;       (* left edge within the strip *)
+}
+
+type t = {
+  netlist : Netlist.t;
+  strips : int;
+  cells : placed_cell list;
+  strip_widths : float array;
+}
+
+let cell_gap = 4.0  (* µm between adjacent cells in a strip *)
+
+let instance_width (i : Netlist.instance) =
+  match Celllib.find i.cell with
+  | Some c -> Celllib.sized_width c i.size
+  | None -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Linear arrangement                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Order instances so that connected instances sit close together:
+   start from the instance with the largest connectivity, repeatedly
+   append the unplaced instance most connected to the placed set. *)
+let connectivity_order (nl : Netlist.t) =
+  let insts = Array.of_list nl.Netlist.instances in
+  let n = Array.length insts in
+  if n = 0 then []
+  else begin
+    (* net -> instance indices *)
+    let on_net = Hashtbl.create 64 in
+    Array.iteri
+      (fun idx (i : Netlist.instance) ->
+        List.iter
+          (fun (_, net) ->
+            let prev =
+              match Hashtbl.find_opt on_net net with Some l -> l | None -> []
+            in
+            Hashtbl.replace on_net net (idx :: prev))
+          i.conns)
+      insts;
+    let degree = Array.make n 0 in
+    Hashtbl.iter
+      (fun _ idxs ->
+        let k = List.length idxs in
+        List.iter (fun i -> degree.(i) <- degree.(i) + k - 1) idxs)
+      on_net;
+    let placed = Array.make n false in
+    let attraction = Array.make n 0 in
+    let order = ref [] in
+    let place idx =
+      placed.(idx) <- true;
+      order := idx :: !order;
+      List.iter
+        (fun (_, net) ->
+          match Hashtbl.find_opt on_net net with
+          | Some idxs ->
+              List.iter
+                (fun j -> if not placed.(j) then attraction.(j) <- attraction.(j) + 1)
+                idxs
+          | None -> ())
+        insts.(idx).conns
+    in
+    (* seed: the most connected instance (ties by index for determinism) *)
+    let seed = ref 0 in
+    for i = 1 to n - 1 do
+      if degree.(i) > degree.(!seed) then seed := i
+    done;
+    place !seed;
+    for _ = 2 to n do
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if not placed.(i) then
+          match !best with
+          | -1 -> best := i
+          | b ->
+              if attraction.(i) > attraction.(b)
+                 || (attraction.(i) = attraction.(b) && degree.(i) > degree.(b))
+              then best := i
+      done;
+      place !best
+    done;
+    List.rev_map (fun idx -> insts.(idx)) !order
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Strip assignment                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Snake the linear order across [strips] rows, balancing total width:
+   cut the sequence into contiguous chunks of roughly equal width. *)
+let place (nl : Netlist.t) ~strips =
+  if strips < 1 then invalid_arg "Strip.place: strips must be >= 1";
+  let order = connectivity_order nl in
+  let widths = List.map instance_width order in
+  let total = List.fold_left ( +. ) 0.0 widths in
+  let target = total /. float_of_int strips in
+  let cells = ref [] in
+  let strip = ref 0 in
+  let x = ref 0.0 in
+  let strip_widths = Array.make strips 0.0 in
+  List.iter2
+    (fun inst w ->
+      (* move to the next strip when the current one reaches its share
+         (never beyond the last strip) *)
+      if !x > 0.0 && !x +. (w /. 2.0) > target && !strip < strips - 1 then begin
+        strip_widths.(!strip) <- !x -. cell_gap;
+        incr strip;
+        x := 0.0
+      end;
+      cells := { pc_inst = inst; pc_width = w; pc_strip = !strip; pc_x = !x } :: !cells;
+      x := !x +. w +. cell_gap)
+    order widths;
+  if !x > 0.0 then strip_widths.(!strip) <- !x -. cell_gap;
+  (* snake: reverse cell order in odd strips so the sequence meanders *)
+  let cells =
+    List.map
+      (fun c ->
+        if c.pc_strip mod 2 = 1 then
+          { c with pc_x = strip_widths.(c.pc_strip) -. c.pc_x -. c.pc_width }
+        else c)
+      !cells
+  in
+  { netlist = nl; strips; cells = List.rev cells; strip_widths }
+
+let width t = Array.fold_left Float.max 0.0 t.strip_widths
+
+(* Centre coordinates used by the track estimator and the CIF writer.
+   Strips stack bottom-up; channel heights are added by the caller. *)
+let cell_center _t c =
+  let x = c.pc_x +. (c.pc_width /. 2.0) in
+  (x, c.pc_strip)
+
+let cells_of_strip t k = List.filter (fun c -> c.pc_strip = k) t.cells
+
+(* Horizontal span of each net, per channel: a net connecting cells in
+   strips [a..b] occupies the channels between them over the x-range of
+   its pins. Returns for each channel (0 .. strips-2, channel k between
+   strip k and k+1) the summed span length. *)
+let channel_spans t =
+  let channels = Array.make (max 1 (t.strips - 1)) 0.0 in
+  let pins = Hashtbl.create 64 in  (* net -> (x, strip) list *)
+  List.iter
+    (fun c ->
+      let x, s = cell_center t c in
+      List.iter
+        (fun (_, net) ->
+          let prev =
+            match Hashtbl.find_opt pins net with Some l -> l | None -> []
+          in
+          Hashtbl.replace pins net ((x, s) :: prev))
+        c.pc_inst.Netlist.conns)
+    t.cells;
+  Hashtbl.iter
+    (fun _net pin_list ->
+      match pin_list with
+      | [] | [ _ ] -> ()
+      | pins ->
+          let xs = List.map fst pins in
+          let ss = List.map snd pins in
+          let x0 = List.fold_left Float.min infinity xs in
+          let x1 = List.fold_left Float.max neg_infinity xs in
+          let s0 = List.fold_left min max_int ss in
+          let s1 = List.fold_left max min_int ss in
+          let span = Float.max (x1 -. x0) 8.0 in
+          if s0 = s1 then begin
+            (* same-strip net still needs track room in an adjacent
+               channel *)
+            let ch = min s0 (Array.length channels - 1) in
+            if Array.length channels > 0 then
+              channels.(max 0 ch) <- channels.(max 0 ch) +. (span /. 2.0)
+          end
+          else
+            for ch = s0 to s1 - 1 do
+              channels.(ch) <- channels.(ch) +. span
+            done)
+    pins;
+  channels

@@ -1,0 +1,1 @@
+lib/logic/celllib.ml: Flat Hashtbl Icdb_iif List

@@ -1,0 +1,1 @@
+lib/logic/celllib.mli: Flat Icdb_iif

@@ -1,0 +1,1 @@
+lib/logic/factor.ml: Array Flat Icdb_iif List Sop

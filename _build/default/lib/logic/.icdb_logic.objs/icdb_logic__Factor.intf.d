@@ -1,0 +1,1 @@
+lib/logic/factor.mli: Icdb_iif Sop

@@ -1,0 +1,1 @@
+lib/logic/network.ml: Flat Hashtbl Icdb_iif List Option Printf

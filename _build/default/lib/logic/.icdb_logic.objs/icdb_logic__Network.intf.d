@@ -1,0 +1,1 @@
+lib/logic/network.mli: Flat Hashtbl Icdb_iif

@@ -1,0 +1,1 @@
+lib/logic/opt.ml: Array Factor Flat Hashtbl Icdb_iif List Network Printf Sop

@@ -1,0 +1,1 @@
+lib/logic/opt.mli: Hashtbl Icdb_iif Network

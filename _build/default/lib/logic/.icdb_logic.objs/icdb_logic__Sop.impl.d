@@ -1,0 +1,1 @@
+lib/logic/sop.ml: Array Flat Fun Hashtbl Icdb_iif List

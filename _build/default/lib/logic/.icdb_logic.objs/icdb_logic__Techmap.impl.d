@@ -1,0 +1,1 @@
+lib/logic/techmap.ml: Array Celllib Flat Float Hashtbl Icdb_iif Icdb_netlist List Network Printf

@@ -1,0 +1,1 @@
+lib/logic/techmap.mli: Celllib Icdb_netlist Network

@@ -1,0 +1,93 @@
+(* Algebraic factoring of two-level functions (the optimizer's
+   level-reduction step, §4.3.1 phase 2).
+
+   Recursive best-literal division: pull out the literal shared by the
+   most cubes, factor the quotient and remainder, recurse. Produces a
+   multi-level expression with fewer literals than the flat SOP. *)
+
+open Icdb_iif
+
+let literal_of fanins v pos =
+  if pos then Flat.Fnet fanins.(v) else Flat.Fnot (Flat.Fnet fanins.(v))
+
+let cube_expr fanins nvars (c : Sop.implicant) =
+  let lits = ref [] in
+  for v = nvars - 1 downto 0 do
+    if c.Sop.mask land (1 lsl v) = 0 then
+      lits := literal_of fanins v (c.Sop.bits land (1 lsl v) <> 0) :: !lits
+  done;
+  match !lits with
+  | [] -> Flat.Fconst true
+  | [ l ] -> l
+  | ls -> Flat.Fand ls
+
+let mk_or = function
+  | [] -> Flat.Fconst false
+  | [ e ] -> e
+  | es -> Flat.For_ es
+
+let mk_and a b =
+  match a, b with
+  | Flat.Fconst true, x | x, Flat.Fconst true -> x
+  | Flat.Fconst false, _ | _, Flat.Fconst false -> Flat.Fconst false
+  | Flat.Fand xs, Flat.Fand ys -> Flat.Fand (xs @ ys)
+  | Flat.Fand xs, y -> Flat.Fand (xs @ [ y ])
+  | x, Flat.Fand ys -> Flat.Fand (x :: ys)
+  | x, y -> Flat.Fand [ x; y ]
+
+(* Count occurrences of each literal; returns the best (var, polarity)
+   shared by at least two cubes, or None. *)
+let best_literal nvars cubes =
+  let pos = Array.make nvars 0 and neg = Array.make nvars 0 in
+  List.iter
+    (fun (c : Sop.implicant) ->
+      for v = 0 to nvars - 1 do
+        if c.Sop.mask land (1 lsl v) = 0 then
+          if c.Sop.bits land (1 lsl v) <> 0 then pos.(v) <- pos.(v) + 1
+          else neg.(v) <- neg.(v) + 1
+      done)
+    cubes;
+  let best = ref None in
+  for v = 0 to nvars - 1 do
+    let consider count polarity =
+      if count >= 2 then
+        match !best with
+        | None -> best := Some (v, polarity, count)
+        | Some (_, _, c) -> if count > c then best := Some (v, polarity, count)
+    in
+    consider pos.(v) true;
+    consider neg.(v) false
+  done;
+  match !best with Some (v, p, _) -> Some (v, p) | None -> None
+
+let has_literal v pos (c : Sop.implicant) =
+  c.Sop.mask land (1 lsl v) = 0
+  && (c.Sop.bits land (1 lsl v) <> 0) = pos
+
+let drop_literal v (c : Sop.implicant) =
+  { Sop.bits = c.Sop.bits land lnot (1 lsl v);
+    Sop.mask = c.Sop.mask lor (1 lsl v) }
+
+(* [factor fanins sop] rebuilds [sop] as a factored expression over the
+   fanin names. *)
+let factor fanins sop =
+  let nvars = Sop.nvars sop in
+  let rec go cubes =
+    match cubes with
+    | [] -> Flat.Fconst false
+    | _ when List.exists (fun (c : Sop.implicant) ->
+                 c.Sop.mask land ((1 lsl nvars) - 1) = (1 lsl nvars) - 1) cubes ->
+        Flat.Fconst true
+    | [ c ] -> cube_expr fanins nvars c
+    | cubes -> (
+        match best_literal nvars cubes with
+        | None -> mk_or (List.map (cube_expr fanins nvars) cubes)
+        | Some (v, pos) ->
+            let inside, outside = List.partition (has_literal v pos) cubes in
+            let quotient = List.map (drop_literal v) inside in
+            let lead = mk_and (literal_of fanins v pos) (go quotient) in
+            if outside = [] then lead else mk_or [ lead; go outside ])
+  in
+  if nvars = 0 then
+    (if Sop.is_zero sop then Flat.Fconst false else Flat.Fconst true)
+  else go (Sop.cubes sop)

@@ -1,0 +1,10 @@
+(** Algebraic factoring of two-level functions (the optimizer's
+    level-reduction step, §4.3.1).
+
+    Recursive best-literal division: pull out the literal shared by the
+    most cubes, factor quotient and remainder, recurse. *)
+
+val factor : string array -> Sop.t -> Icdb_iif.Flat.fexpr
+(** [factor fanins sop] rebuilds [sop] as a multi-level expression over
+    the fanin names, preserving the function while reducing literal
+    count. Minimize the SOP first for best results. *)

@@ -1,0 +1,219 @@
+(* Boolean network: the logic optimizer's working representation.
+
+   Built from a flat IIF design by separating combinational cones from
+   registers, latches and interface elements. Gate nodes carry arbitrary
+   combinational expressions over net names; optimization passes rewrite
+   them, and the technology mapper finally lowers them to cells. *)
+
+open Icdb_iif
+
+type element =
+  | Gate of { out : string; expr : Flat.fexpr }
+  | Reg of {
+      out : string;
+      data : string;
+      clock : string;
+      rising : bool;
+      set : string option;    (* net: async set condition, active high *)
+      reset : string option;  (* net: async reset condition, active high *)
+    }
+  | Lat of { out : string; data : string; gate : string; transparent_high : bool }
+  | Tri of { out : string; data : string; enable : string }
+  | Delay_el of { out : string; input : string; ns : float }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  mutable elements : element list;  (* in creation order *)
+}
+
+exception Network_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Network_error s)) fmt
+
+let element_out = function
+  | Gate { out; _ } | Reg { out; _ } | Lat { out; _ } | Tri { out; _ }
+  | Delay_el { out; _ } -> out
+
+let element_reads = function
+  | Gate { expr; _ } -> Flat.fexpr_nets expr
+  | Reg { data; clock; set; reset; _ } ->
+      [ data; clock ] @ Option.to_list set @ Option.to_list reset
+  | Lat { data; gate; _ } -> [ data; gate ]
+  | Tri { data; enable; _ } -> [ data; enable ]
+  | Delay_el { input; _ } -> [ input ]
+
+(* ------------------------------------------------------------------ *)
+(* Construction from flat IIF                                          *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable acc : element list;
+  mutable counter : int;
+}
+
+let fresh b base =
+  b.counter <- b.counter + 1;
+  Printf.sprintf "%s$%d" base b.counter
+
+let add b el = b.acc <- el :: b.acc
+
+(* Ensure an expression is available on a net; trivial nets pass
+   through, anything else gets a gate on a fresh (or given) net. *)
+let as_net b ~hint expr =
+  match expr with
+  | Flat.Fnet n -> n
+  | expr ->
+      let n = fresh b hint in
+      add b (Gate { out = n; expr });
+      n
+
+(* Interface operators are only meaningful at the top of an equation;
+   check the rest of a cone is pure logic. *)
+let rec check_pure target = function
+  | Flat.Fconst _ | Flat.Fnet _ -> ()
+  | Flat.Fnot e | Flat.Fbuf e | Flat.Fschmitt e -> check_pure target e
+  | Flat.Fand es | Flat.For_ es -> List.iter (check_pure target) es
+  | Flat.Fxor (a, b) | Flat.Fxnor (a, b) ->
+      check_pure target a;
+      check_pure target b
+  | Flat.Fdelay _ -> fail "net %s: ~d nested inside logic" target
+  | Flat.Ftri _ -> fail "net %s: ~t nested inside logic" target
+  | Flat.Fwor _ -> fail "net %s: ~w nested inside logic" target
+
+let lower_comb b target rhs =
+  match rhs with
+  | Flat.Ftri { data; enable } ->
+      check_pure target data;
+      check_pure target enable;
+      let d = as_net b ~hint:(target ^ "$d") data in
+      let e = as_net b ~hint:(target ^ "$en") enable in
+      add b (Tri { out = target; data = d; enable = e })
+  | Flat.Fwor es ->
+      (* Each driver becomes a tri-state contribution on the shared net;
+         plain expressions drive through an always-enabled buffer. *)
+      List.iter
+        (fun e ->
+          match e with
+          | Flat.Ftri { data; enable } ->
+              check_pure target data;
+              check_pure target enable;
+              let d = as_net b ~hint:(target ^ "$d") data in
+              let en = as_net b ~hint:(target ^ "$en") enable in
+              add b (Tri { out = target; data = d; enable = en })
+          | e ->
+              check_pure target e;
+              let d = as_net b ~hint:(target ^ "$d") e in
+              add b (Tri { out = target; data = d; enable = "$const1" }))
+        es
+  | Flat.Fdelay (e, ns) ->
+      check_pure target e;
+      let d = as_net b ~hint:(target ^ "$d") e in
+      add b (Delay_el { out = target; input = d; ns })
+  | rhs ->
+      check_pure target rhs;
+      add b (Gate { out = target; expr = rhs })
+
+(* Merge same-polarity async conditions into one OR'd condition net. *)
+let async_cond b target suffix conds =
+  match conds with
+  | [] -> None
+  | [ c ] -> Some (as_net b ~hint:(target ^ suffix) c)
+  | cs ->
+      let n = fresh b (target ^ suffix) in
+      add b (Gate { out = n; expr = Flat.For_ cs });
+      Some n
+
+let of_flat (flat : Flat.t) =
+  let b = { acc = []; counter = 0 } in
+  List.iter
+    (fun eq ->
+      match eq with
+      | Flat.Comb { target; rhs } -> lower_comb b target rhs
+      | Flat.Ff { target; data; rising; clock; asyncs } ->
+          check_pure target data;
+          check_pure target clock;
+          let d = as_net b ~hint:(target ^ "$D") data in
+          let ck = as_net b ~hint:(target ^ "$CK") clock in
+          let sets =
+            List.filter_map
+              (fun (a : Flat.async) -> if a.value then Some a.cond else None)
+              asyncs
+          in
+          let resets =
+            List.filter_map
+              (fun (a : Flat.async) -> if a.value then None else Some a.cond)
+              asyncs
+          in
+          List.iter (check_pure target) (sets @ resets);
+          let set = async_cond b target "$S" sets in
+          let reset = async_cond b target "$R" resets in
+          add b (Reg { out = target; data = d; clock = ck; rising; set; reset })
+      | Flat.Latch { target; data; transparent_high; gate } ->
+          check_pure target data;
+          check_pure target gate;
+          let d = as_net b ~hint:(target ^ "$D") data in
+          let g = as_net b ~hint:(target ^ "$G") gate in
+          add b (Lat { out = target; data = d; gate = g; transparent_high }))
+    flat.Flat.fequations;
+  { name = flat.Flat.fname;
+    inputs = flat.Flat.finputs;
+    outputs = flat.Flat.foutputs;
+    elements = List.rev b.acc }
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gates t =
+  List.filter_map
+    (fun el -> match el with Gate { out; expr } -> Some (out, expr)
+                           | Reg _ | Lat _ | Tri _ | Delay_el _ -> None)
+    t.elements
+
+let driver_table t =
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun el ->
+      let out = element_out el in
+      (* multiple Tri drivers on one net are legal *)
+      match el, Hashtbl.find_opt h out with
+      | Tri _, _ -> ()
+      | _, Some _ -> fail "net %s has multiple drivers" out
+      | _, None -> Hashtbl.replace h out el)
+    t.elements;
+  h
+
+(* Nets that must survive optimization: outputs and every net read by a
+   sequential or interface element. *)
+let visible_nets t =
+  let keep = Hashtbl.create 32 in
+  List.iter (fun o -> Hashtbl.replace keep o ()) t.outputs;
+  List.iter
+    (fun el ->
+      match el with
+      | Gate _ -> ()
+      | Reg _ | Lat _ | Tri _ | Delay_el _ ->
+          Hashtbl.replace keep (element_out el) ();
+          List.iter (fun n -> Hashtbl.replace keep n ()) (element_reads el))
+    t.elements;
+  keep
+
+(* Count of logic literals over all gate nodes (the optimizer's cost). *)
+let literal_count t =
+  let rec lits = function
+    | Flat.Fconst _ -> 0
+    | Flat.Fnet _ -> 1
+    | Flat.Fnot e | Flat.Fbuf e | Flat.Fschmitt e -> lits e
+    | Flat.Fand es | Flat.For_ es ->
+        List.fold_left (fun a e -> a + lits e) 0 es
+    | Flat.Fxor (a, b) | Flat.Fxnor (a, b) -> lits a + lits b
+    | Flat.Fdelay (e, _) -> lits e
+    | Flat.Ftri { data; enable } -> lits data + lits enable
+    | Flat.Fwor es -> List.fold_left (fun a e -> a + lits e) 0 es
+  in
+  List.fold_left
+    (fun acc el ->
+      match el with Gate { expr; _ } -> acc + lits expr | _ -> acc)
+    0 t.elements

@@ -1,0 +1,56 @@
+(** Boolean network: the logic optimizer's working representation.
+
+    Built from a flat IIF design by separating combinational cones from
+    registers, latches and interface elements. Gate nodes carry
+    combinational expressions over net names; optimization passes
+    rewrite them in place and the technology mapper lowers them to
+    cells. *)
+
+open Icdb_iif
+
+type element =
+  | Gate of { out : string; expr : Flat.fexpr }
+  | Reg of {
+      out : string;
+      data : string;
+      clock : string;
+      rising : bool;
+      set : string option;    (** async set condition net, active high *)
+      reset : string option;  (** async reset condition net, active high *)
+    }
+  | Lat of { out : string; data : string; gate : string;
+             transparent_high : bool }
+  | Tri of { out : string; data : string; enable : string }
+      (** several [Tri]s may share an output net (a wired bus);
+          enable "$const1" is an always-on driver *)
+  | Delay_el of { out : string; input : string; ns : float }
+
+type t = {
+  name : string;
+  inputs : string list;
+  outputs : string list;
+  mutable elements : element list;  (** in creation order *)
+}
+
+exception Network_error of string
+
+val element_out : element -> string
+val element_reads : element -> string list
+
+val of_flat : Flat.t -> t
+(** Lower a flat design: FF/latch data, clock and async conditions get
+    their own cone nets; tri-states and wired-ors become [Tri]
+    elements; [~d] becomes a delay element.
+    @raise Network_error on interface operators nested inside logic. *)
+
+val gates : t -> (string * Flat.fexpr) list
+
+val driver_table : t -> (string, element) Hashtbl.t
+(** @raise Network_error on non-bus multiple drivers. *)
+
+val visible_nets : t -> (string, unit) Hashtbl.t
+(** Nets that must survive optimization: outputs plus everything read
+    or driven by sequential/interface elements. *)
+
+val literal_count : t -> int
+(** Logic literals over all gate nodes (the optimizer's cost). *)

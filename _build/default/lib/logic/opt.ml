@@ -1,0 +1,368 @@
+(* Multi-level logic optimization (the MILO substitute, §4.3.1).
+
+   The script mirrors the paper's six-step description:
+   1. sequential constructs were already removed ({!Network.of_flat});
+   2. node functions are minimized (Quine–McCluskey) and factored;
+   3. levels shrink by eliminating small single-fanout nodes into their
+      readers and re-factoring;
+   4. technology mapping then combines gates into complex gates
+      ({!Techmap});
+   5. sequential logic is reinserted (registers survive as elements);
+   6. transistor sizing happens downstream (Icdb_timing.Sizing). *)
+
+open Icdb_iif
+
+(* ------------------------------------------------------------------ *)
+(* Expression utilities                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_nets map e =
+  match e with
+  | Flat.Fconst _ -> e
+  | Flat.Fnet n -> (
+      match Hashtbl.find_opt map n with Some e' -> e' | None -> e)
+  | Flat.Fnot e -> Flat.Fnot (subst_nets map e)
+  | Flat.Fand es -> Flat.Fand (List.map (subst_nets map) es)
+  | Flat.For_ es -> Flat.For_ (List.map (subst_nets map) es)
+  | Flat.Fxor (a, b) -> Flat.Fxor (subst_nets map a, subst_nets map b)
+  | Flat.Fxnor (a, b) -> Flat.Fxnor (subst_nets map a, subst_nets map b)
+  | Flat.Fbuf e -> Flat.Fbuf (subst_nets map e)
+  | Flat.Fschmitt e -> Flat.Fschmitt (subst_nets map e)
+  | Flat.Fdelay (e, d) -> Flat.Fdelay (subst_nets map e, d)
+  | Flat.Ftri { data; enable } ->
+      Flat.Ftri { data = subst_nets map data; enable = subst_nets map enable }
+  | Flat.Fwor es -> Flat.Fwor (List.map (subst_nets map) es)
+
+(* Constant folding and local identities. *)
+let rec fold e =
+  match e with
+  | Flat.Fconst _ | Flat.Fnet _ -> e
+  | Flat.Fnot e -> (
+      match fold e with
+      | Flat.Fconst b -> Flat.Fconst (not b)
+      | Flat.Fnot inner -> inner
+      | e -> Flat.Fnot e)
+  | Flat.Fand es -> (
+      let es = List.map fold es in
+      if List.exists (fun e -> e = Flat.Fconst false) es then Flat.Fconst false
+      else
+        let es =
+          List.concat_map
+            (fun e ->
+              match e with
+              | Flat.Fconst true -> []
+              | Flat.Fand inner -> inner
+              | e -> [ e ])
+            es
+        in
+        match es with [] -> Flat.Fconst true | [ e ] -> e | es -> Flat.Fand es)
+  | Flat.For_ es -> (
+      let es = List.map fold es in
+      if List.exists (fun e -> e = Flat.Fconst true) es then Flat.Fconst true
+      else
+        let es =
+          List.concat_map
+            (fun e ->
+              match e with
+              | Flat.Fconst false -> []
+              | Flat.For_ inner -> inner
+              | e -> [ e ])
+            es
+        in
+        match es with [] -> Flat.Fconst false | [ e ] -> e | es -> Flat.For_ es)
+  | Flat.Fxor (a, b) -> (
+      match fold a, fold b with
+      | Flat.Fconst x, Flat.Fconst y -> Flat.Fconst (x <> y)
+      | Flat.Fconst false, e | e, Flat.Fconst false -> e
+      | Flat.Fconst true, e | e, Flat.Fconst true -> Flat.Fnot e
+      | a, b -> Flat.Fxor (a, b))
+  | Flat.Fxnor (a, b) -> (
+      match fold a, fold b with
+      | Flat.Fconst x, Flat.Fconst y -> Flat.Fconst (x = y)
+      | Flat.Fconst true, e | e, Flat.Fconst true -> e
+      | Flat.Fconst false, e | e, Flat.Fconst false -> Flat.Fnot e
+      | a, b -> Flat.Fxnor (a, b))
+  | Flat.Fbuf e -> Flat.Fbuf (fold e)
+  | Flat.Fschmitt e -> Flat.Fschmitt (fold e)
+  | Flat.Fdelay (e, d) -> Flat.Fdelay (fold e, d)
+  | Flat.Ftri { data; enable } -> (
+      match fold enable with
+      | Flat.Fconst true -> fold data
+      | enable -> Flat.Ftri { data = fold data; enable })
+  | Flat.Fwor es -> Flat.Fwor (List.map fold es)
+
+(* Pure AND/OR/NOT cone (minimizable via SOP)? *)
+let rec is_sop_friendly = function
+  | Flat.Fconst _ | Flat.Fnet _ -> true
+  | Flat.Fnot e -> is_sop_friendly e
+  | Flat.Fand es | Flat.For_ es -> List.for_all is_sop_friendly es
+  | Flat.Fxor _ | Flat.Fxnor _ | Flat.Fbuf _ | Flat.Fschmitt _
+  | Flat.Fdelay _ | Flat.Ftri _ | Flat.Fwor _ -> false
+
+let support e = Flat.uniq (Flat.fexpr_nets e)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: constant propagation, alias inlining, dead-node removal      *)
+(* ------------------------------------------------------------------ *)
+
+let sweep (net : Network.t) =
+  let open Network in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let visible = visible_nets net in
+    (* Pass 1: fold every gate; collect aliases and constants. *)
+    let repl = Hashtbl.create 16 in
+    net.elements <-
+      List.map
+        (fun el ->
+          match el with
+          | Gate { out; expr } ->
+              let expr = fold expr in
+              (match expr with
+               | Flat.Fconst _ when not (Hashtbl.mem visible out) ->
+                   Hashtbl.replace repl out expr
+               | Flat.Fnet _ when not (Hashtbl.mem visible out) ->
+                   Hashtbl.replace repl out expr
+               | _ -> ());
+              Gate { out; expr }
+          | el -> el)
+        net.elements;
+    if Hashtbl.length repl > 0 then changed := true;
+    (* Close alias chains (t2 -> t1 -> a) so one substitution pass never
+       leaves a reference to a gate being dropped. Chains are acyclic
+       (single drivers, combinational), but bound the loop anyway. *)
+    let rec close expr guard =
+      if guard = 0 then expr
+      else
+        let expr' = fold (subst_nets repl expr) in
+        if expr' = expr then expr else close expr' (guard - 1)
+    in
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) repl [] in
+    List.iter
+      (fun k -> Hashtbl.replace repl k (close (Hashtbl.find repl k) 64))
+      keys;
+    (* Pass 2: substitute aliases/constants into every reader, dropping
+       the replaced gates. *)
+    if Hashtbl.length repl > 0 then
+      net.elements <-
+        List.filter_map
+          (fun el ->
+            match el with
+            | Gate { out; _ } when Hashtbl.mem repl out -> None
+            | Gate { out; expr } ->
+                Some (Gate { out; expr = fold (subst_nets repl expr) })
+            | el -> Some el)
+          net.elements;
+    (* Alias substitution cannot reach sequential pins (they reference
+       nets by name); give aliased nets a concrete driver when a
+       sequential element reads them. *)
+    let needed = Hashtbl.create 16 in
+    List.iter
+      (fun el ->
+        match el with
+        | Gate _ -> ()
+        | el ->
+            List.iter
+              (fun n -> if Hashtbl.mem repl n then Hashtbl.replace needed n ())
+              (element_reads el))
+      net.elements;
+    Hashtbl.iter
+      (fun n () ->
+        net.elements <-
+          Gate { out = n; expr = Hashtbl.find repl n } :: net.elements)
+      needed;
+    (* Pass 3: drop unread, invisible gates. *)
+    let visible = visible_nets net in
+    let read = Hashtbl.create 64 in
+    List.iter
+      (fun el ->
+        List.iter (fun n -> Hashtbl.replace read n ()) (element_reads el))
+      net.elements;
+    let before = List.length net.elements in
+    net.elements <-
+      List.filter
+        (fun el ->
+          match el with
+          | Gate { out; _ } -> Hashtbl.mem read out || Hashtbl.mem visible out
+          | _ -> true)
+        net.elements;
+    if List.length net.elements <> before then changed := true
+  done
+
+(* ------------------------------------------------------------------ *)
+(* XOR / buffer extraction                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull XOR/XNOR/BUF/SCHMITT subtrees out of mixed gates so the
+   remaining AND/OR/NOT logic is SOP-friendly. *)
+let extract_special (net : Network.t) =
+  let open Network in
+  let counter = ref 0 in
+  let extra = ref [] in
+  let fresh out =
+    incr counter;
+    Printf.sprintf "%s$x%d" out !counter
+  in
+  let rec walk out ~top e =
+    match e with
+    | Flat.Fconst _ | Flat.Fnet _ -> e
+    | Flat.Fnot e -> Flat.Fnot (walk out ~top:false e)
+    | Flat.Fand es -> Flat.Fand (List.map (walk out ~top:false) es)
+    | Flat.For_ es -> Flat.For_ (List.map (walk out ~top:false) es)
+    | Flat.Fxor (a, b) ->
+        let a = hoist out a and b = hoist out b in
+        let x = Flat.Fxor (a, b) in
+        if top then x else hoist_expr out x
+    | Flat.Fxnor (a, b) ->
+        let a = hoist out a and b = hoist out b in
+        let x = Flat.Fxnor (a, b) in
+        if top then x else hoist_expr out x
+    | Flat.Fbuf e ->
+        let e = hoist out e in
+        if top then Flat.Fbuf e else hoist_expr out (Flat.Fbuf e)
+    | Flat.Fschmitt e ->
+        let e = hoist out e in
+        if top then Flat.Fschmitt e else hoist_expr out (Flat.Fschmitt e)
+    | Flat.Fdelay (e, d) -> Flat.Fdelay (walk out ~top:false e, d)
+    | Flat.Ftri { data; enable } ->
+        Flat.Ftri
+          { data = walk out ~top:false data; enable = walk out ~top:false enable }
+    | Flat.Fwor es -> Flat.Fwor (List.map (walk out ~top:false) es)
+  (* hoist: ensure a subexpression is a plain net (possibly extracting). *)
+  and hoist out e =
+    match walk out ~top:false e with
+    | (Flat.Fnet _ | Flat.Fconst _) as e -> e
+    | e -> hoist_expr out e
+  and hoist_expr out e =
+    let n = fresh out in
+    extra := Gate { out = n; expr = e } :: !extra;
+    Flat.Fnet n
+  in
+  net.elements <-
+    List.map
+      (fun el ->
+        match el with
+        | Gate { out; expr } -> Gate { out; expr = walk out ~top:true expr }
+        | el -> el)
+      net.elements;
+  net.elements <- net.elements @ List.rev !extra
+
+(* ------------------------------------------------------------------ *)
+(* Node minimization                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let minimize_expr expr =
+  if not (is_sop_friendly expr) then expr
+  else
+    let fanins = Array.of_list (support expr) in
+    if Array.length fanins = 0 then fold expr
+    else
+      match Sop.of_fexpr fanins expr with
+      | sop ->
+          let minimized = Sop.minimize sop in
+          fold (Factor.factor fanins minimized)
+      | exception Sop.Too_wide -> expr
+
+let minimize_nodes (net : Network.t) =
+  let open Network in
+  net.elements <-
+    List.map
+      (fun el ->
+        match el with
+        | Gate { out; expr } -> Gate { out; expr = minimize_expr expr }
+        | el -> el)
+      net.elements
+
+(* ------------------------------------------------------------------ *)
+(* Eliminate: collapse single-fanout nodes into their reader           *)
+(* ------------------------------------------------------------------ *)
+
+let max_collapse_support = 12
+
+let eliminate (net : Network.t) =
+  let open Network in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let visible = visible_nets net in
+    (* fanout census over gate reads only *)
+    let reads = Hashtbl.create 64 in
+    List.iter
+      (fun el ->
+        let bump n =
+          Hashtbl.replace reads n
+            (1 + match Hashtbl.find_opt reads n with Some c -> c | None -> 0)
+        in
+        List.iter bump (element_reads el))
+      net.elements;
+    (* candidates: SOP-friendly gate, invisible, read exactly once, and
+       that single read is from another SOP-friendly gate *)
+    let gate_exprs = Hashtbl.create 64 in
+    List.iter
+      (fun el ->
+        match el with
+        | Gate { out; expr } -> Hashtbl.replace gate_exprs out expr
+        | _ -> ())
+      net.elements;
+    let candidate out expr =
+      (not (Hashtbl.mem visible out))
+      && Hashtbl.find_opt reads out = Some 1
+      && is_sop_friendly expr
+    in
+    (* find one reader gate per candidate and inline if support is ok *)
+    let inlined = Hashtbl.create 8 in
+    net.elements <-
+      List.map
+        (fun el ->
+          match el with
+          | Gate { out; expr } when is_sop_friendly expr ->
+              let sub = Hashtbl.create 4 in
+              List.iter
+                (fun n ->
+                  if not (Hashtbl.mem inlined n) then
+                    match Hashtbl.find_opt gate_exprs n with
+                    | Some e when candidate n e && n <> out ->
+                        let merged_support =
+                          List.length
+                            (Flat.uniq (support expr @ support e))
+                        in
+                        if merged_support <= max_collapse_support then begin
+                          Hashtbl.replace sub n e;
+                          Hashtbl.replace inlined n ()
+                        end
+                    | _ -> ())
+                (support expr);
+              if Hashtbl.length sub > 0 then begin
+                changed := true;
+                let expr = minimize_expr (fold (subst_nets sub expr)) in
+                (* keep the expression table fresh so later inlinings of
+                   this gate use its rewritten form *)
+                Hashtbl.replace gate_exprs out expr;
+                Gate { out; expr }
+              end
+              else el
+          | el -> el)
+        net.elements;
+    if Hashtbl.length inlined > 0 then
+      net.elements <-
+        List.filter
+          (fun el ->
+            match el with
+            | Gate { out; _ } -> not (Hashtbl.mem inlined out)
+            | _ -> true)
+          net.elements
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The optimization script                                             *)
+(* ------------------------------------------------------------------ *)
+
+let optimize (net : Network.t) =
+  sweep net;
+  extract_special net;
+  sweep net;
+  minimize_nodes net;
+  eliminate net;
+  minimize_nodes net;
+  sweep net

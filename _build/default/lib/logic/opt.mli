@@ -1,0 +1,42 @@
+(** Multi-level logic optimization (the MILO substitute, §4.3.1).
+
+    Passes rewrite the {!Network.t}'s combinational gate nodes in
+    place; sequential and interface elements are never touched, so any
+    pass sequence preserves the design's function (checked by the fuzz
+    suite against the reference interpreter). *)
+
+val subst_nets :
+  (string, Icdb_iif.Flat.fexpr) Hashtbl.t ->
+  Icdb_iif.Flat.fexpr ->
+  Icdb_iif.Flat.fexpr
+(** Replace net reads by expressions. *)
+
+val fold : Icdb_iif.Flat.fexpr -> Icdb_iif.Flat.fexpr
+(** Constant folding and local identities (x*1, x+0, !!x, ...). *)
+
+val is_sop_friendly : Icdb_iif.Flat.fexpr -> bool
+(** Pure AND/OR/NOT cone, minimizable through {!Sop}. *)
+
+val sweep : Network.t -> unit
+(** Constant propagation, alias inlining and dead-node removal, to a
+    fixpoint. Also the minimal preparation the technology mapper
+    needs (resolves constants feeding sequential elements). *)
+
+val extract_special : Network.t -> unit
+(** Hoist XOR/XNOR/BUF/SCHMITT subtrees out of mixed gates into their
+    own nodes so the remaining logic is SOP-friendly. *)
+
+val minimize_expr : Icdb_iif.Flat.fexpr -> Icdb_iif.Flat.fexpr
+(** Minimize one SOP-friendly expression (truth table -> QM -> factor);
+    returns the input unchanged if it is too wide or not SOP-friendly. *)
+
+val minimize_nodes : Network.t -> unit
+(** Apply {!minimize_expr} to every gate node. *)
+
+val eliminate : Network.t -> unit
+(** Collapse single-fanout invisible nodes into their reader and
+    re-minimize, bounded by a support-size limit (level reduction). *)
+
+val optimize : Network.t -> unit
+(** The full script: sweep, extract, minimize, eliminate, minimize,
+    sweep. *)

@@ -1,0 +1,229 @@
+(* Two-level (sum-of-products) representation and minimization.
+
+   Used node-locally by the logic optimizer: node functions are small
+   (a handful of fanins), so exact Quine–McCluskey prime generation with
+   an essential-then-greedy cover is affordable and deterministic. *)
+
+(* An implicant over [nvars] variables: [bits] gives the value of the
+   cared-about variables, [mask] has a 1 for every don't-care position. *)
+type implicant = { bits : int; mask : int }
+
+type t = {
+  nvars : int;
+  implicants : implicant list;
+}
+
+let nvars t = t.nvars
+
+let cubes t = t.implicants
+
+let zero nvars = { nvars; implicants = [] }
+
+let one nvars = { nvars; implicants = [ { bits = 0; mask = (1 lsl nvars) - 1 } ] }
+
+let is_zero t = t.implicants = []
+
+let is_one t =
+  let full = (1 lsl t.nvars) - 1 in
+  List.exists (fun i -> i.mask land full = full) t.implicants
+
+(* Does implicant [i] cover minterm [m]? *)
+let covers i m = i.bits land lnot i.mask = m land lnot i.mask
+
+let eval t assignment =
+  (* [assignment] bit i = value of variable i *)
+  List.exists (fun i -> covers i assignment) t.implicants
+
+let of_minterms nvars minterms =
+  if nvars > 20 then invalid_arg "Sop.of_minterms: too many variables";
+  { nvars;
+    implicants = List.map (fun m -> { bits = m; mask = 0 }) minterms }
+
+let minterms t =
+  let n = 1 lsl t.nvars in
+  let out = ref [] in
+  for m = n - 1 downto 0 do
+    if eval t m then out := m :: !out
+  done;
+  !out
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+(* Literal count of an implicant: variables not masked out. *)
+let implicant_literals t i = t.nvars - popcount i.mask
+
+let literal_count t =
+  List.fold_left (fun acc i -> acc + implicant_literals t i) 0 t.implicants
+
+(* ------------------------------------------------------------------ *)
+(* Quine–McCluskey prime implicant generation                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Combine two implicants differing in exactly one cared bit. *)
+let try_combine a b =
+  if a.mask <> b.mask then None
+  else
+    let diff = (a.bits lxor b.bits) land lnot a.mask in
+    if diff <> 0 && diff land (diff - 1) = 0 then
+      Some { bits = a.bits land lnot diff; mask = a.mask lor diff }
+    else None
+
+let prime_implicants _nvars minterms =
+  if minterms = [] then []
+  else begin
+    let current = ref (List.map (fun m -> { bits = m; mask = 0 }) minterms) in
+    let primes = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      let arr = Array.of_list !current in
+      let n = Array.length arr in
+      let used = Array.make n false in
+      let next = Hashtbl.create 64 in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          match try_combine arr.(i) arr.(j) with
+          | Some c ->
+              used.(i) <- true;
+              used.(j) <- true;
+              Hashtbl.replace next (c.bits, c.mask) c
+          | None -> ()
+        done
+      done;
+      for i = 0 to n - 1 do
+        if not used.(i) then primes := arr.(i) :: !primes
+      done;
+      let merged = Hashtbl.fold (fun _ c acc -> c :: acc) next [] in
+      if merged = [] then continue_ := false else current := merged
+    done;
+    (* dedupe primes *)
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun p ->
+        if Hashtbl.mem seen (p.bits, p.mask) then false
+        else begin
+          Hashtbl.add seen (p.bits, p.mask) ();
+          true
+        end)
+      !primes
+    |> List.sort compare
+  end
+
+(* Cover selection: essential primes first, then greedily pick the prime
+   covering the most remaining minterms (ties broken by fewer literals,
+   then lexicographically, for determinism). *)
+let select_cover nvars primes minterms =
+  ignore nvars;
+  let remaining = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace remaining m ()) minterms;
+  let chosen = ref [] in
+  let choose p =
+    chosen := p :: !chosen;
+    List.iter
+      (fun m -> if covers p m then Hashtbl.remove remaining m)
+      minterms
+  in
+  (* essential primes *)
+  List.iter
+    (fun m ->
+      if Hashtbl.mem remaining m then begin
+        match List.filter (fun p -> covers p m) primes with
+        | [ p ] when not (List.mem p !chosen) -> choose p
+        | _ -> ()
+      end)
+    minterms;
+  (* greedy for the rest *)
+  while Hashtbl.length remaining > 0 do
+    let best = ref None in
+    List.iter
+      (fun p ->
+        if not (List.mem p !chosen) then begin
+          let gain =
+            Hashtbl.fold
+              (fun m () acc -> if covers p m then acc + 1 else acc)
+              remaining 0
+          in
+          if gain > 0 then
+            match !best with
+            | None -> best := Some (p, gain)
+            | Some (bp, bg) ->
+                if gain > bg
+                   || (gain = bg && popcount p.mask > popcount bp.mask)
+                   || (gain = bg && popcount p.mask = popcount bp.mask
+                       && compare p bp < 0)
+                then best := Some (p, gain)
+        end)
+      primes;
+    match !best with
+    | Some (p, _) -> choose p
+    | None -> Hashtbl.reset remaining (* unreachable: primes cover all *)
+  done;
+  List.rev !chosen
+
+let minimize t =
+  let ms = minterms t in
+  if ms = [] then zero t.nvars
+  else
+    let primes = prime_implicants t.nvars ms in
+    { t with implicants = select_cover t.nvars primes ms }
+
+(* ------------------------------------------------------------------ *)
+(* Conversion to/from flat expressions over a fanin list               *)
+(* ------------------------------------------------------------------ *)
+
+open Icdb_iif
+
+exception Too_wide
+
+let max_truth_table_vars = 12
+
+(* Build the SOP of [expr] treating [fanins] as its variables (index i
+   of the array = variable i). @raise Too_wide beyond
+   [max_truth_table_vars]; @raise Invalid_argument on sequential or
+   interface operators. *)
+let of_fexpr fanins expr =
+  let n = Array.length fanins in
+  if n > max_truth_table_vars then raise Too_wide;
+  let index = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) fanins;
+  let rec ev assignment e =
+    match e with
+    | Flat.Fconst b -> b
+    | Flat.Fnet v -> (
+        match Hashtbl.find_opt index v with
+        | Some i -> (assignment lsr i) land 1 = 1
+        | None -> invalid_arg ("Sop.of_fexpr: unknown fanin " ^ v))
+    | Flat.Fnot e -> not (ev assignment e)
+    | Flat.Fand es -> List.for_all (ev assignment) es
+    | Flat.For_ es -> List.exists (ev assignment) es
+    | Flat.Fxor (a, b) -> ev assignment a <> ev assignment b
+    | Flat.Fxnor (a, b) -> ev assignment a = ev assignment b
+    | Flat.Fbuf e | Flat.Fschmitt e -> ev assignment e
+    | Flat.Fdelay _ | Flat.Ftri _ | Flat.Fwor _ ->
+        invalid_arg "Sop.of_fexpr: interface operator in logic cone"
+  in
+  let ms = ref [] in
+  for m = (1 lsl n) - 1 downto 0 do
+    if ev m expr then ms := m :: !ms
+  done;
+  of_minterms n !ms
+
+(* Rebuild a (two-level) expression over fanin names. *)
+let to_fexpr fanins t =
+  let lit i v =
+    if i.mask land (1 lsl v) <> 0 then None
+    else if i.bits land (1 lsl v) <> 0 then Some (Flat.Fnet fanins.(v))
+    else Some (Flat.Fnot (Flat.Fnet fanins.(v)))
+  in
+  let cube_expr i =
+    let lits = List.filter_map (lit i) (List.init t.nvars Fun.id) in
+    match lits with
+    | [] -> Flat.Fconst true
+    | [ l ] -> l
+    | ls -> Flat.Fand ls
+  in
+  match t.implicants with
+  | [] -> Flat.Fconst false
+  | [ c ] -> cube_expr c
+  | cs -> Flat.For_ (List.map cube_expr cs)

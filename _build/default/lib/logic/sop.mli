@@ -1,0 +1,59 @@
+(** Two-level (sum-of-products) representation and exact minimization.
+
+    Used node-locally by the optimizer: node functions are small, so
+    Quine–McCluskey prime generation with an essential-then-greedy
+    cover is affordable and deterministic. *)
+
+type implicant = { bits : int; mask : int }
+(** An implicant over [n] variables: [bits] holds the values of the
+    cared-about positions, [mask] has a 1 wherever the variable is
+    absent from the cube. *)
+
+type t
+
+val nvars : t -> int
+val cubes : t -> implicant list
+
+val zero : int -> t
+(** The constant-false function over [n] variables. *)
+
+val one : int -> t
+(** The constant-true function over [n] variables. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val covers : implicant -> int -> bool
+(** [covers i m]: does implicant [i] contain minterm [m]? *)
+
+val eval : t -> int -> bool
+(** Evaluate at a minterm (bit [i] of the integer = variable [i]). *)
+
+val of_minterms : int -> int list -> t
+(** Build from an explicit minterm list.
+    @raise Invalid_argument beyond 20 variables. *)
+
+val minterms : t -> int list
+
+val popcount : int -> int
+
+val literal_count : t -> int
+(** Total literals over all cubes (the optimizer's cost measure). *)
+
+val minimize : t -> t
+(** Quine–McCluskey prime implicants plus an essential-then-greedy
+    cover. Preserves the function; never increases the literal count
+    of a minterm-canonical input. Deterministic. *)
+
+exception Too_wide
+
+val max_truth_table_vars : int
+
+val of_fexpr : string array -> Icdb_iif.Flat.fexpr -> t
+(** Truth-table conversion of a combinational expression, treating the
+    array entries as variables 0..n-1.
+    @raise Too_wide beyond {!max_truth_table_vars} variables.
+    @raise Invalid_argument on interface operators or unknown nets. *)
+
+val to_fexpr : string array -> t -> Icdb_iif.Flat.fexpr
+(** Rebuild a two-level expression over the given fanin names. *)

@@ -1,0 +1,463 @@
+(* Technology mapping: boolean network -> cell netlist.
+
+   Classic tree covering: gate expressions are decomposed into a
+   hash-consed NAND2/INV subject DAG (XOR/XNOR/BUF/SCHMITT stay
+   primitive and map one-to-one); the DAG is broken into trees at
+   multi-fanout and boundary points; dynamic programming picks the
+   minimum-transistor cover from the cell library's pattern set. *)
+
+open Icdb_iif
+
+exception Map_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Map_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Subject graph                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type snode =
+  | Svar of string
+  | Sconst of bool
+  | Sinv of int
+  | Snand of int * int
+  | Sxor of int * int
+  | Sxnor of int * int
+  | Sbuf of int
+  | Sschmitt of int
+
+type graph = {
+  mutable nodes : snode array;
+  mutable count : int;
+  cons : (snode, int) Hashtbl.t;
+}
+
+let new_graph () = { nodes = Array.make 256 (Sconst false); count = 0;
+                     cons = Hashtbl.create 256 }
+
+let node g i = g.nodes.(i)
+
+let mk g n =
+  match Hashtbl.find_opt g.cons n with
+  | Some i -> i
+  | None ->
+      if g.count = Array.length g.nodes then begin
+        let bigger = Array.make (2 * g.count) (Sconst false) in
+        Array.blit g.nodes 0 bigger 0 g.count;
+        g.nodes <- bigger
+      end;
+      let i = g.count in
+      g.nodes.(i) <- n;
+      g.count <- g.count + 1;
+      Hashtbl.replace g.cons n i;
+      i
+
+let mk_inv g a =
+  match node g a with
+  | Sinv x -> x                       (* double inversion cancels *)
+  | Sconst b -> mk g (Sconst (not b))
+  | _ -> mk g (Sinv a)
+
+let mk_nand g a b =
+  match node g a, node g b with
+  | Sconst false, _ | _, Sconst false -> mk g (Sconst true)
+  | Sconst true, _ -> mk_inv g b
+  | _, Sconst true -> mk_inv g a
+  | _ ->
+      (* canonical operand order for hash-consing *)
+      let a, b = if a <= b then (a, b) else (b, a) in
+      mk g (Snand (a, b))
+
+let mk_and g a b = mk_inv g (mk_nand g a b)
+let mk_or g a b = mk_nand g (mk_inv g a) (mk_inv g b)
+
+let mk_xor g a b =
+  match node g a, node g b with
+  | Sconst false, _ -> b
+  | _, Sconst false -> a
+  | Sconst true, _ -> mk_inv g b
+  | _, Sconst true -> mk_inv g a
+  | _ ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      mk g (Sxor (a, b))
+
+let mk_xnor g a b =
+  match node g a, node g b with
+  | Sconst false, _ -> mk_inv g b
+  | _, Sconst false -> mk_inv g a
+  | Sconst true, _ -> b
+  | _, Sconst true -> a
+  | _ ->
+      let a, b = if a <= b then (a, b) else (b, a) in
+      mk g (Sxnor (a, b))
+
+(* ------------------------------------------------------------------ *)
+(* Building the graph from a network                                   *)
+(* ------------------------------------------------------------------ *)
+
+type build_state = {
+  g : graph;
+  net : Network.t;
+  gate_of : (string, Flat.fexpr) Hashtbl.t;  (* net -> driving gate expr *)
+  visible : (string, unit) Hashtbl.t;
+  memo : (string, int) Hashtbl.t;            (* net -> subject node *)
+  mutable in_progress : string list;
+}
+
+let rec build_net st n =
+  match Hashtbl.find_opt st.memo n with
+  | Some id -> id
+  | None ->
+      if List.mem n st.in_progress then
+        fail "combinational cycle through net %s" n;
+      let id =
+        match Hashtbl.find_opt st.gate_of n with
+        | Some expr when not (Hashtbl.mem st.visible n) ->
+            st.in_progress <- n :: st.in_progress;
+            let id = build_expr st expr in
+            st.in_progress <- List.tl st.in_progress;
+            id
+        | _ -> mk st.g (Svar n)
+      in
+      Hashtbl.replace st.memo n id;
+      id
+
+and build_expr st e =
+  let fold_left1 f = function
+    | [] -> invalid_arg "empty operand list"
+    | x :: rest -> List.fold_left f x rest
+  in
+  match e with
+  | Flat.Fconst b -> mk st.g (Sconst b)
+  | Flat.Fnet n -> build_net st n
+  | Flat.Fnot e -> mk_inv st.g (build_expr st e)
+  | Flat.Fand es -> fold_left1 (mk_and st.g) (List.map (build_expr st) es)
+  | Flat.For_ es -> fold_left1 (mk_or st.g) (List.map (build_expr st) es)
+  | Flat.Fxor (a, b) -> mk_xor st.g (build_expr st a) (build_expr st b)
+  | Flat.Fxnor (a, b) -> mk_xnor st.g (build_expr st a) (build_expr st b)
+  | Flat.Fbuf e -> mk st.g (Sbuf (build_expr st e))
+  | Flat.Fschmitt e -> mk st.g (Sschmitt (build_expr st e))
+  | Flat.Fdelay _ | Flat.Ftri _ | Flat.Fwor _ ->
+      fail "interface operator reached the mapper inside a logic cone"
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching and covering                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Try to match [pattern] at node [id]; interior pattern nodes may not
+   cross materialized boundaries. Returns leaf node ids (with
+   duplicates if the pattern binds one leaf twice). *)
+let rec match_pattern g materialized pattern id ~root =
+  let interior_ok i = root || not materialized.(i) in
+  match pattern with
+  | Celllib.Pleaf -> Some [ id ]
+  | Celllib.Pinv p -> (
+      if not (interior_ok id) then None
+      else
+        match node g id with
+        | Sinv child -> match_pattern g materialized p child ~root:false
+        | _ -> None)
+  | Celllib.Pnand (p1, p2) -> (
+      if not (interior_ok id) then None
+      else
+        match node g id with
+        | Snand (a, b) -> (
+            let try_order x y =
+              match match_pattern g materialized p1 x ~root:false with
+              | None -> None
+              | Some l1 -> (
+                  match match_pattern g materialized p2 y ~root:false with
+                  | None -> None
+                  | Some l2 -> Some (l1 @ l2))
+            in
+            match try_order a b with
+            | Some r -> Some r
+            | None -> if a = b then None else try_order b a)
+        | _ -> None)
+
+type mapper = {
+  st : build_state;
+  materialized : bool array;
+  matchable : Celllib.t list;         (* pattern cells available for covering *)
+  best : (int, float * Celllib.t * int list) Hashtbl.t;  (* node -> cost, cell, leaves *)
+  names : (int, string) Hashtbl.t;    (* node -> assigned net name *)
+  mutable instances : Icdb_netlist.Netlist.instance list;
+  mutable inst_counter : int;
+  mutable fresh_net : int;
+}
+
+let rec best_cover m id =
+  match Hashtbl.find_opt m.best id with
+  | Some r -> r
+  | None ->
+      let r =
+        match node m.st.g id with
+        | Svar _ | Sconst _ | Sxor _ | Sxnor _ | Sbuf _ | Sschmitt _ ->
+            (* hard boundary: materialization cost accounted elsewhere *)
+            (0.0, Celllib.inv (* dummy, never used *), [])
+        | Sinv _ | Snand _ ->
+            let best = ref None in
+            List.iter
+              (fun (cell : Celllib.t) ->
+                List.iter
+                  (fun pattern ->
+                    match
+                      match_pattern m.st.g m.materialized pattern id ~root:true
+                    with
+                    | None -> ()
+                    | Some leaves ->
+                        if List.for_all (fun l -> l <> id) leaves then begin
+                          let cost =
+                            float_of_int cell.Celllib.transistors
+                            +. List.fold_left
+                                 (fun acc l -> acc +. leaf_cost m l)
+                                 0.0 leaves
+                          in
+                          match !best with
+                          | None -> best := Some (cost, cell, leaves)
+                          | Some (c, _, _) ->
+                              if cost < c then best := Some (cost, cell, leaves)
+                        end)
+                  cell.Celllib.patterns)
+              m.matchable;
+            (match !best with
+             | Some r -> r
+             | None -> fail "no matching cell for subject node %d" id)
+      in
+      Hashtbl.replace m.best id r;
+      r
+
+and leaf_cost m id =
+  if m.materialized.(id) then 0.0
+  else
+    match node m.st.g id with
+    | Svar _ | Sconst _ -> 0.0
+    | Sxor _ | Sxnor _ -> 10.0
+    | Sbuf _ -> 4.0
+    | Sschmitt _ -> 6.0
+    | Sinv _ | Snand _ ->
+        let c, _, _ = best_cover m id in
+        c
+
+let fresh_net m =
+  m.fresh_net <- m.fresh_net + 1;
+  Printf.sprintf "$m%d" m.fresh_net
+
+let add_instance m cell conns size =
+  m.inst_counter <- m.inst_counter + 1;
+  m.instances <-
+    { Icdb_netlist.Netlist.inst_name = Printf.sprintf "U%d" m.inst_counter;
+      cell;
+      size;
+      conns }
+    :: m.instances
+
+(* Materialize node [id] onto a net and return the net name. *)
+let rec emit m id =
+  match Hashtbl.find_opt m.names id with
+  | Some n -> n
+  | None ->
+      let name =
+        match node m.st.g id with
+        | Svar n -> n
+        | Sconst b ->
+            let n = if b then "$const1" else "$const0" in
+            add_instance m (if b then "TIE1" else "TIE0") [ ("Y", n) ] 1.0;
+            n
+        | Sxor (a, b) ->
+            let na = emit m a and nb = emit m b in
+            let out = fresh_net m in
+            add_instance m "XOR2" [ ("A", na); ("B", nb); ("Y", out) ] 1.0;
+            out
+        | Sxnor (a, b) ->
+            let na = emit m a and nb = emit m b in
+            let out = fresh_net m in
+            add_instance m "XNOR2" [ ("A", na); ("B", nb); ("Y", out) ] 1.0;
+            out
+        | Sbuf a ->
+            let na = emit m a in
+            let out = fresh_net m in
+            add_instance m "BUF" [ ("A", na); ("Y", out) ] 1.0;
+            out
+        | Sschmitt a ->
+            let na = emit m a in
+            let out = fresh_net m in
+            add_instance m "SCHMITT" [ ("A", na); ("Y", out) ] 1.0;
+            out
+        | Sinv _ | Snand _ ->
+            let _, cell, leaves = best_cover m id in
+            let leaf_nets = List.map (emit m) leaves in
+            let out = fresh_net m in
+            let conns =
+              List.map2 (fun pin n -> (pin, n)) cell.Celllib.inputs leaf_nets
+              @ [ (cell.Celllib.output, out) ]
+            in
+            add_instance m cell.Celllib.cname conns 1.0;
+            out
+      in
+      Hashtbl.replace m.names id name;
+      name
+
+(* Materialize node [id] onto a *specific* net name. If the node already
+   has a name, tie the two with a buffer. *)
+let emit_named m id name =
+  match Hashtbl.find_opt m.names id with
+  | None -> (
+      match node m.st.g id with
+      | Svar n when n = name -> Hashtbl.replace m.names id name
+      | Svar n ->
+          (* alias of another net: explicit buffer *)
+          add_instance m "BUF" [ ("A", n); ("Y", name) ] 1.0;
+          (* do not rename the var node itself *)
+          ()
+      | Sconst b ->
+          add_instance m (if b then "TIE1" else "TIE0") [ ("Y", name) ] 1.0
+      | Sxor (a, b) ->
+          let na = emit m a and nb = emit m b in
+          add_instance m "XOR2" [ ("A", na); ("B", nb); ("Y", name) ] 1.0;
+          Hashtbl.replace m.names id name
+      | Sxnor (a, b) ->
+          let na = emit m a and nb = emit m b in
+          add_instance m "XNOR2" [ ("A", na); ("B", nb); ("Y", name) ] 1.0;
+          Hashtbl.replace m.names id name
+      | Sbuf a ->
+          let na = emit m a in
+          add_instance m "BUF" [ ("A", na); ("Y", name) ] 1.0;
+          Hashtbl.replace m.names id name
+      | Sschmitt a ->
+          let na = emit m a in
+          add_instance m "SCHMITT" [ ("A", na); ("Y", name) ] 1.0;
+          Hashtbl.replace m.names id name
+      | Sinv _ | Snand _ ->
+          let _, cell, leaves = best_cover m id in
+          let leaf_nets = List.map (emit m) leaves in
+          let conns =
+            List.map2 (fun pin n -> (pin, n)) cell.Celllib.inputs leaf_nets
+            @ [ (cell.Celllib.output, name) ]
+          in
+          add_instance m cell.Celllib.cname conns 1.0;
+          Hashtbl.replace m.names id name)
+  | Some existing ->
+      if existing <> name then
+        add_instance m "BUF" [ ("A", existing); ("Y", name) ] 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [map network] lowers a boolean network to a cell netlist.
+   [cells] restricts the pattern library available to the tree coverer
+   (default: every matchable cell); INV and NAND2 must be included so
+   any subject graph stays coverable. *)
+let map ?(cells = Celllib.matchable) (network : Network.t) =
+  let open Network in
+  let g = new_graph () in
+  let gate_of = Hashtbl.create 64 in
+  List.iter (fun (out, expr) -> Hashtbl.replace gate_of out expr)
+    (Network.gates network);
+  let visible = Network.visible_nets network in
+  let st = { g; net = network; gate_of; visible;
+             memo = Hashtbl.create 128; in_progress = [] } in
+  (* Bind every visible gate output (and output nets) to subject nodes. *)
+  let bindings = ref [] in  (* (net, node id), in network order *)
+  List.iter
+    (fun el ->
+      match el with
+      | Gate { out; expr } when Hashtbl.mem visible out ->
+          let id = build_expr st expr in
+          Hashtbl.replace st.memo out id;
+          bindings := (out, id) :: !bindings
+      | _ -> ())
+    network.elements;
+  let bindings = List.rev !bindings in
+  (* Fanout census to find shared nodes. *)
+  let parents = Array.make g.count 0 in
+  let bump i = parents.(i) <- parents.(i) + 1 in
+  for i = 0 to g.count - 1 do
+    match g.nodes.(i) with
+    | Svar _ | Sconst _ -> ()
+    | Sinv a | Sbuf a | Sschmitt a -> bump a
+    | Snand (a, b) | Sxor (a, b) | Sxnor (a, b) -> bump a; bump b
+  done;
+  List.iter (fun (_, id) -> bump id) bindings;
+  let materialized = Array.make g.count false in
+  for i = 0 to g.count - 1 do
+    (match g.nodes.(i) with
+     | Svar _ | Sconst _ | Sxor _ | Sxnor _ | Sbuf _ | Sschmitt _ ->
+         materialized.(i) <- true
+     | Sinv _ | Snand _ -> if parents.(i) > 1 then materialized.(i) <- true);
+    (* children of hard primitives must exist as nets *)
+    match g.nodes.(i) with
+    | Sxor (a, b) | Sxnor (a, b) ->
+        materialized.(a) <- true;
+        materialized.(b) <- true
+    | Sbuf a | Sschmitt a -> materialized.(a) <- true
+    | Svar _ | Sconst _ | Sinv _ | Snand _ -> ()
+  done;
+  List.iter (fun (_, id) -> materialized.(id) <- true) bindings;
+  let m =
+    { st; materialized;
+      matchable = List.filter (fun c -> c.Celllib.patterns <> []) cells;
+      best = Hashtbl.create 128;
+      names = Hashtbl.create 128;
+      instances = [];
+      inst_counter = 0;
+      fresh_net = 0 }
+  in
+  (* Emit visible logic cones under their real names. *)
+  List.iter (fun (out, id) -> emit_named m id out) bindings;
+  (* Sequential and interface elements map directly to cells. *)
+  let inverted_clock = Hashtbl.create 8 in
+  let invert_clock net =
+    match Hashtbl.find_opt inverted_clock net with
+    | Some n -> n
+    | None ->
+        let n = fresh_net m in
+        add_instance m "INV" [ ("A", net); ("Y", n) ] 1.0;
+        Hashtbl.replace inverted_clock net n;
+        n
+  in
+  List.iter
+    (fun el ->
+      match el with
+      | Gate _ -> ()
+      | Reg { out; data; clock; rising; set; reset } ->
+          let cell =
+            Celllib.ff_cell ~has_set:(set <> None) ~has_reset:(reset <> None)
+          in
+          let ck = if rising then clock else invert_clock clock in
+          let conns =
+            [ ("D", data); ("CK", ck) ]
+            @ (match set with Some s -> [ ("S", s) ] | None -> [])
+            @ (match reset with Some r -> [ ("R", r) ] | None -> [])
+            @ [ ("Q", out) ]
+          in
+          add_instance m cell.Celllib.cname conns 1.0
+      | Lat { out; data; gate; transparent_high } ->
+          let cell = Celllib.latch_cell ~transparent_high in
+          add_instance m cell.Celllib.cname
+            [ ("D", data); ("G", gate); ("Q", out) ] 1.0
+      | Tri { out; data; enable } ->
+          if enable = "$const1" then
+            add_instance m "BUF" [ ("A", data); ("Y", out) ] 1.0
+          else
+            add_instance m "TBUF" [ ("A", data); ("EN", enable); ("Y", out) ] 1.0
+      | Delay_el { out; input; ns } ->
+          (* approximate a transport delay with a buffer chain *)
+          let buf_delay = 1.0 in
+          let n = max 1 (int_of_float (Float.ceil (ns /. buf_delay))) in
+          let rec chain i src =
+            if i = n then
+              add_instance m "BUF" [ ("A", src); ("Y", out) ] 1.0
+            else begin
+              let mid = fresh_net m in
+              add_instance m "BUF" [ ("A", src); ("Y", mid) ] 1.0;
+              chain (i + 1) mid
+            end
+          in
+          chain 1 input)
+    network.elements;
+  { Icdb_netlist.Netlist.name = network.name;
+    inputs = network.inputs;
+    outputs = network.outputs;
+    instances = List.rev m.instances }

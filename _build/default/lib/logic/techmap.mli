@@ -1,0 +1,20 @@
+(** Technology mapping: boolean network to cell netlist.
+
+    Gate expressions are decomposed into a hash-consed NAND2/INV
+    subject DAG (XOR/XNOR/BUF/SCHMITT remain primitive and map
+    one-to-one); the DAG is split into trees at multi-fanout and
+    boundary points, and dynamic programming picks the
+    minimum-transistor cover from the cell library's pattern set.
+    Sequential and interface elements map directly to their cells,
+    with falling-edge clocks realized by an inserted inverter. *)
+
+exception Map_error of string
+
+val map :
+  ?cells:Celllib.t list -> Network.t -> Icdb_netlist.Netlist.t
+(** [map network] lowers a (swept) boolean network to a cell netlist.
+    [cells] restricts the pattern library available to the covering
+    (default: all matchable cells); INV and NAND2 must be included so
+    every subject graph stays coverable.
+    @raise Map_error on combinational cycles or unlowered interface
+    operators. *)

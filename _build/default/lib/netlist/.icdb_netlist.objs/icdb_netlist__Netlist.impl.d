@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Hashtbl List Printf String

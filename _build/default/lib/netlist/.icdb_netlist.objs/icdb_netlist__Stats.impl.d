@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/vhdl.ml: Buffer List Netlist Printf String

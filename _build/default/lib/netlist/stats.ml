@@ -1,0 +1,99 @@
+(* Netlist statistics: levelization and fanout/structure summaries used
+   by reports and by tools deciding whether a component needs
+   buffering or re-synthesis. *)
+
+exception Stats_error of string
+
+type t = {
+  gates : int;
+  nets : int;
+  max_fanout : int;
+  avg_fanout : float;
+  logic_depth : int;       (* gate stages on the longest comb path *)
+  sequential : int;        (* instances with no combinational function *)
+  fanout_histogram : (int * int) list;  (* fanout -> net count *)
+}
+
+(* [analyze nl ~is_output_pin ~is_sequential] computes the summary.
+   [is_sequential cell] marks instances treated as path endpoints. *)
+let analyze (nl : Netlist.t) ~is_output_pin ~is_sequential =
+  let fanouts = Netlist.fanouts nl ~is_output_pin in
+  let drivers = Netlist.drivers nl ~is_output_pin in
+  let nets = Netlist.nets nl in
+  let fanout_of n =
+    match Hashtbl.find_opt fanouts n with
+    | Some l -> List.length l
+    | None -> 0
+  in
+  let max_fanout = List.fold_left (fun a n -> max a (fanout_of n)) 0 nets in
+  let total_fanout = List.fold_left (fun a n -> a + fanout_of n) 0 nets in
+  let histo = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      let f = fanout_of n in
+      Hashtbl.replace histo f
+        (1 + match Hashtbl.find_opt histo f with Some c -> c | None -> 0))
+    nets;
+  let fanout_histogram =
+    Hashtbl.fold (fun f c acc -> (f, c) :: acc) histo []
+    |> List.sort compare
+  in
+  (* levelization: depth of each net = gate stages from inputs or
+     sequential outputs *)
+  let memo = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 16 in
+  let rec depth net =
+    match Hashtbl.find_opt memo net with
+    | Some d -> d
+    | None ->
+        if Hashtbl.mem on_stack net then
+          raise (Stats_error ("combinational cycle through " ^ net));
+        Hashtbl.replace on_stack net ();
+        let d =
+          match Hashtbl.find_opt drivers net with
+          | None | Some [] -> 0
+          | Some ((inst, _) :: _) ->
+              if is_sequential inst.Netlist.cell then 0
+              else
+                1
+                + List.fold_left
+                    (fun acc (pin, n) ->
+                      if is_output_pin inst.Netlist.cell pin then acc
+                      else max acc (depth n))
+                    0 inst.Netlist.conns
+        in
+        Hashtbl.remove on_stack net;
+        Hashtbl.replace memo net d;
+        d
+  in
+  (* endpoints: outputs and sequential instance inputs *)
+  let logic_depth = ref 0 in
+  List.iter (fun o -> logic_depth := max !logic_depth (depth o)) nl.Netlist.outputs;
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      if is_sequential inst.cell then
+        List.iter
+          (fun (pin, n) ->
+            if not (is_output_pin inst.cell pin) then
+              logic_depth := max !logic_depth (depth n))
+          inst.conns)
+    nl.Netlist.instances;
+  let sequential =
+    List.length
+      (List.filter (fun (i : Netlist.instance) -> is_sequential i.cell)
+         nl.Netlist.instances)
+  in
+  { gates = Netlist.instance_count nl;
+    nets = List.length nets;
+    max_fanout;
+    avg_fanout =
+      (if nets = [] then 0.0
+       else float_of_int total_fanout /. float_of_int (List.length nets));
+    logic_depth = !logic_depth;
+    sequential;
+    fanout_histogram }
+
+let to_string s =
+  Printf.sprintf
+    "gates %d  nets %d  depth %d  seq %d  max-fanout %d  avg-fanout %.2f"
+    s.gates s.nets s.logic_depth s.sequential s.max_fanout s.avg_fanout

@@ -1,0 +1,25 @@
+(** Netlist statistics: levelization and structure summaries used by
+    reports and by tools deciding whether a component needs buffering
+    or re-synthesis. *)
+
+exception Stats_error of string
+
+type t = {
+  gates : int;
+  nets : int;
+  max_fanout : int;
+  avg_fanout : float;
+  logic_depth : int;  (** gate stages on the longest combinational path *)
+  sequential : int;
+  fanout_histogram : (int * int) list;  (** fanout -> net count *)
+}
+
+val analyze :
+  Netlist.t ->
+  is_output_pin:(string -> string -> bool) ->
+  is_sequential:(string -> bool) ->
+  t
+(** [is_sequential cell] marks instances treated as path endpoints.
+    @raise Stats_error on combinational cycles. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/reldb/db.ml: Array Fun Hashtbl List Printf String Table Value

@@ -1,0 +1,1 @@
+lib/reldb/db.mli: Table

@@ -1,0 +1,1 @@
+lib/reldb/query.ml: Array Float Hashtbl List String Table Value

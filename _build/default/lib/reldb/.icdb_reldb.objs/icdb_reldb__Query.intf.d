@@ -1,0 +1,1 @@
+lib/reldb/query.mli: Table Value

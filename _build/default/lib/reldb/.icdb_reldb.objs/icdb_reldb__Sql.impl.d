@@ -1,0 +1,1 @@
+lib/reldb/sql.ml: Buffer Db List Printf Query String Table Value

@@ -1,0 +1,1 @@
+lib/reldb/sql.mli: Db Query

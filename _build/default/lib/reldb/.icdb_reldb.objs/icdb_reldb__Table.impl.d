@@ -1,0 +1,1 @@
+lib/reldb/table.ml: Array Hashtbl List Printf Value

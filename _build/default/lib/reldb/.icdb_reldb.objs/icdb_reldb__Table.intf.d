@@ -1,0 +1,1 @@
+lib/reldb/table.mli: Value

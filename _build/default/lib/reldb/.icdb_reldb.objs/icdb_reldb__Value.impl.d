@@ -1,0 +1,1 @@
+lib/reldb/value.ml: Bool Buffer Float Format Int Printf String

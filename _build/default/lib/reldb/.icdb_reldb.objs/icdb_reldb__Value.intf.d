@@ -1,0 +1,1 @@
+lib/reldb/value.mli: Format

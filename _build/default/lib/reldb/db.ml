@@ -1,0 +1,156 @@
+exception Db_error of string
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable snapshots : (string * Table.t) list list;  (* stack of table copies *)
+}
+
+let db_err fmt = Printf.ksprintf (fun s -> raise (Db_error s)) fmt
+
+let create () = { tables = Hashtbl.create 16; snapshots = [] }
+
+let create_table t name schema =
+  if Hashtbl.mem t.tables name then db_err "table %s already exists" name;
+  let tbl = Table.create name schema in
+  Hashtbl.add t.tables name tbl;
+  tbl
+
+let table_opt t name = Hashtbl.find_opt t.tables name
+
+let table t name =
+  match table_opt t name with
+  | Some tbl -> tbl
+  | None -> db_err "no table %s" name
+
+let drop_table t name =
+  if not (Hashtbl.mem t.tables name) then db_err "no table %s" name;
+  Hashtbl.remove t.tables name
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
+  |> List.sort String.compare
+
+let begin_tx t =
+  let snap =
+    Hashtbl.fold (fun name tbl acc -> (name, Table.copy tbl) :: acc) t.tables []
+  in
+  t.snapshots <- snap :: t.snapshots
+
+let commit t =
+  match t.snapshots with
+  | [] -> db_err "commit: no active transaction"
+  | _ :: rest -> t.snapshots <- rest
+
+let rollback t =
+  match t.snapshots with
+  | [] -> db_err "rollback: no active transaction"
+  | snap :: rest ->
+      (* Tables created during the transaction are dropped; snapshotted
+         tables are restored. *)
+      let snap_names = List.map fst snap in
+      let current = table_names t in
+      List.iter
+        (fun name ->
+          if not (List.mem name snap_names) then Hashtbl.remove t.tables name)
+        current;
+      List.iter
+        (fun (name, copy) ->
+          match Hashtbl.find_opt t.tables name with
+          | Some tbl -> Table.restore tbl ~from:copy
+          | None -> Hashtbl.add t.tables name copy)
+        snap;
+      t.snapshots <- rest
+
+let in_tx t = t.snapshots <> []
+
+let with_tx t f =
+  begin_tx t;
+  match f () with
+  | result ->
+      commit t;
+      result
+  | exception e ->
+      rollback t;
+      raise e
+
+(* Persistence format, line-oriented:
+     TABLE <name>
+     COL <name> <ty>
+     ROW
+     <encoded value>        (one per column)
+     END                    (end of table)  *)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun name ->
+          let tbl = table t name in
+          Printf.fprintf oc "TABLE %s\n" name;
+          List.iter
+            (fun (col, ty) ->
+              Printf.fprintf oc "COL %s %s\n" col (Value.ty_name ty))
+            (Table.schema tbl);
+          List.iter
+            (fun row ->
+              output_string oc "ROW\n";
+              Array.iter
+                (fun v -> Printf.fprintf oc "%s\n" (Value.encode v))
+                row)
+            (Table.rows tbl);
+          output_string oc "END\n")
+        (table_names t))
+
+let ty_of_name = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstr
+  | "bool" -> Value.Tbool
+  | s -> db_err "unknown type %s" s
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let t = create () in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      let lines = List.rev !lines in
+      let rec parse_tables = function
+        | [] -> ()
+        | line :: rest when String.length line > 6 && String.sub line 0 6 = "TABLE " ->
+            let name = String.sub line 6 (String.length line - 6) in
+            parse_cols name [] rest
+        | "" :: rest -> parse_tables rest
+        | line :: _ -> db_err "load: expected TABLE, got %S" line
+      and parse_cols name cols = function
+        | line :: rest when String.length line > 4 && String.sub line 0 4 = "COL " -> (
+            match String.split_on_char ' ' line with
+            | [ "COL"; col; ty ] -> parse_cols name ((col, ty_of_name ty) :: cols) rest
+            | _ -> db_err "load: malformed column line %S" line)
+        | rest ->
+            let tbl = create_table t name (List.rev cols) in
+            parse_rows tbl (List.length cols) rest
+      and parse_rows tbl arity = function
+        | "ROW" :: rest ->
+            let rec take k acc = function
+              | rest when k = 0 -> (List.rev acc, rest)
+              | v :: rest -> take (k - 1) (Value.decode v :: acc) rest
+              | [] -> db_err "load: truncated row"
+            in
+            let values, rest = take arity [] rest in
+            Table.insert tbl values;
+            parse_rows tbl arity rest
+        | "END" :: rest -> parse_tables rest
+        | line :: _ -> db_err "load: expected ROW or END, got %S" line
+        | [] -> db_err "load: missing END"
+      in
+      parse_tables lines;
+      t)

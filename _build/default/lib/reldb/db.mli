@@ -1,0 +1,51 @@
+(** A database: a set of named tables with snapshot transactions and
+    textual persistence.
+
+    This plays the role INGRES plays in the paper (§2.3): ICDB metadata
+    (component definitions, implementations, generators, instances)
+    lives here, while bulk design data lives in ordinary files. *)
+
+type t
+
+exception Db_error of string
+
+val create : unit -> t
+
+val create_table : t -> string -> Table.schema -> Table.t
+(** @raise Db_error if a table with that name exists. *)
+
+val table : t -> string -> Table.t
+(** @raise Db_error if absent. *)
+
+val table_opt : t -> string -> Table.t option
+val drop_table : t -> string -> unit
+val table_names : t -> string list
+(** Sorted list of table names. *)
+
+(** {1 Transactions}
+
+    Snapshot-based: [begin_tx] snapshots every table; [rollback]
+    restores the snapshots; [commit] discards them. Transactions nest
+    by stacking snapshots. *)
+
+val begin_tx : t -> unit
+val commit : t -> unit
+(** @raise Db_error when no transaction is active. *)
+
+val rollback : t -> unit
+(** @raise Db_error when no transaction is active. *)
+
+val in_tx : t -> bool
+
+val with_tx : t -> (unit -> 'a) -> 'a
+(** Run a function inside a transaction; commit on return, roll back and
+    re-raise on exception. *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write the whole database to one text file. *)
+
+val load : string -> t
+(** Read a database written by {!save}.
+    @raise Db_error on malformed input. *)

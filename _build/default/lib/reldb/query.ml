@@ -1,0 +1,128 @@
+type rel = {
+  rschema : Table.schema;
+  rrows : Table.row list;
+}
+
+type pred =
+  | True
+  | Eq of string * Value.t
+  | Neq of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | Like of string * string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let of_table t = { rschema = Table.schema t; rrows = Table.rows t }
+
+let col_index rel col =
+  let rec loop i = function
+    | [] -> raise (Table.Schema_error ("no column " ^ col))
+    | (c, _) :: rest -> if String.equal c col then i else loop (i + 1) rest
+  in
+  loop 0 rel.rschema
+
+let field rel row col = row.(col_index rel col)
+
+(* Numeric-coercing comparison used by ordering predicates. *)
+let cmp_values a b =
+  match a, b with
+  | Value.Int x, Value.Float y -> Float.compare (float_of_int x) y
+  | Value.Float x, Value.Int y -> Float.compare x (float_of_int y)
+  | _ -> Value.compare a b
+
+let contains_substring ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+
+let rec eval_pred rel p row =
+  match p with
+  | True -> true
+  | Eq (c, v) -> cmp_values (field rel row c) v = 0
+  | Neq (c, v) -> cmp_values (field rel row c) v <> 0
+  | Lt (c, v) -> cmp_values (field rel row c) v < 0
+  | Le (c, v) -> cmp_values (field rel row c) v <= 0
+  | Gt (c, v) -> cmp_values (field rel row c) v > 0
+  | Ge (c, v) -> cmp_values (field rel row c) v >= 0
+  | Like (c, pat) -> (
+      match field rel row c with
+      | Value.Str s -> contains_substring ~needle:pat s
+      | Value.Int _ | Value.Float _ | Value.Bool _ -> false)
+  | And (a, b) -> eval_pred rel a row && eval_pred rel b row
+  | Or (a, b) -> eval_pred rel a row || eval_pred rel b row
+  | Not a -> not (eval_pred rel a row)
+
+let select p rel =
+  { rel with rrows = List.filter (eval_pred rel p) rel.rrows }
+
+let project cols rel =
+  let idxs = List.map (col_index rel) cols in
+  let rschema = List.map (fun i -> List.nth rel.rschema i) idxs in
+  let take row = Array.of_list (List.map (fun i -> row.(i)) idxs) in
+  { rschema; rrows = List.map take rel.rrows }
+
+let rename pairs rel =
+  let ren (c, ty) =
+    match List.assoc_opt c pairs with Some c' -> (c', ty) | None -> (c, ty)
+  in
+  { rel with rschema = List.map ren rel.rschema }
+
+let join left right ~on:(lc, rc) =
+  let li = col_index left lc and ri = col_index right rc in
+  let left_names = List.map fst left.rschema in
+  let disamb (c, ty) =
+    if List.mem c left_names then (c ^ "'", ty) else (c, ty)
+  in
+  let rschema = left.rschema @ List.map disamb right.rschema in
+  let rrows =
+    List.concat_map
+      (fun lrow ->
+        List.filter_map
+          (fun rrow ->
+            if cmp_values lrow.(li) rrow.(ri) = 0 then
+              Some (Array.append lrow rrow)
+            else None)
+          right.rrows)
+      left.rrows
+  in
+  { rschema; rrows }
+
+let order_by col ?(desc = false) rel =
+  let i = col_index rel col in
+  let cmp a b =
+    let c = cmp_values a.(i) b.(i) in
+    if desc then -c else c
+  in
+  { rel with rrows = List.stable_sort cmp rel.rrows }
+
+let distinct rel =
+  let seen = Hashtbl.create 64 in
+  let keep row =
+    let key = String.concat "\x00" (Array.to_list (Array.map Value.encode row)) in
+    if Hashtbl.mem seen key then false
+    else begin
+      Hashtbl.add seen key ();
+      true
+    end
+  in
+  { rel with rrows = List.filter keep rel.rrows }
+
+let limit n rel =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  { rel with rrows = take (max 0 n) rel.rrows }
+
+let count rel = List.length rel.rrows
+
+let column_values rel col =
+  let i = col_index rel col in
+  List.map (fun row -> row.(i)) rel.rrows

@@ -1,0 +1,61 @@
+(** Relational-algebra combinators over {!Table}.
+
+    Results are transient relations: a schema plus materialized rows.
+    These are the primitives the SQL layer ({!Sql}) and the ICDB server
+    compile their requests into. *)
+
+type rel = {
+  rschema : Table.schema;
+  rrows : Table.row list;
+}
+
+type pred =
+  | True
+  | Eq of string * Value.t
+  | Neq of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | Like of string * string  (** substring match on string columns *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+val of_table : Table.t -> rel
+(** Snapshot of a table as a relation. *)
+
+val field : rel -> Table.row -> string -> Value.t
+(** Field access by column name. @raise Table.Schema_error if unknown. *)
+
+val eval_pred : rel -> pred -> Table.row -> bool
+(** Evaluate a predicate against a row of the given relation. Numeric
+    comparisons between [Int] and [Float] coerce to float. *)
+
+val select : pred -> rel -> rel
+(** Keep the rows satisfying the predicate. *)
+
+val project : string list -> rel -> rel
+(** Keep (and reorder to) the named columns. *)
+
+val rename : (string * string) list -> rel -> rel
+(** Rename columns, [(old, new)] pairs. *)
+
+val join : rel -> rel -> on:(string * string) -> rel
+(** Equijoin: rows of the product where [left.col1 = right.col2]. The
+    right relation's columns are prefixed with its join column's table
+    disambiguator only when names collide, by appending ["'"], so the
+    result schema has unique names. *)
+
+val order_by : string -> ?desc:bool -> rel -> rel
+(** Stable sort on one column. *)
+
+val distinct : rel -> rel
+(** Remove duplicate rows, keeping first occurrences. *)
+
+val limit : int -> rel -> rel
+
+val count : rel -> int
+
+val column_values : rel -> string -> Value.t list
+(** All values of one column, in row order. *)

@@ -1,0 +1,232 @@
+type result =
+  | Relation of Query.rel
+  | Affected of int
+
+exception Sql_error of string
+
+let sql_err fmt = Printf.ksprintf (fun s -> raise (Sql_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Word of string   (* keyword or identifier; keywords matched case-insensitively *)
+  | Str_lit of string
+  | Num of string
+  | Punct of char    (* ( ) , *  *)
+  | Op of string     (* = != <> < <= > >= *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let rec loop i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '(' | ')' | ',' | '*' -> push (Punct s.[i]); loop (i + 1)
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then sql_err "unterminated string literal"
+            else if s.[j] = '\'' then j + 1
+            else begin
+              Buffer.add_char buf s.[j];
+              str (j + 1)
+            end
+          in
+          let j = str (i + 1) in
+          push (Str_lit (Buffer.contents buf));
+          loop j
+      | '=' -> push (Op "="); loop (i + 1)
+      | '!' when i + 1 < n && s.[i + 1] = '=' -> push (Op "!="); loop (i + 2)
+      | '<' when i + 1 < n && s.[i + 1] = '>' -> push (Op "!="); loop (i + 2)
+      | '<' when i + 1 < n && s.[i + 1] = '=' -> push (Op "<="); loop (i + 2)
+      | '<' -> push (Op "<"); loop (i + 1)
+      | '>' when i + 1 < n && s.[i + 1] = '=' -> push (Op ">="); loop (i + 2)
+      | '>' -> push (Op ">"); loop (i + 1)
+      | c when (c >= '0' && c <= '9') || c = '-' || c = '.' ->
+          let j = ref i in
+          incr j;
+          while !j < n && ((s.[!j] >= '0' && s.[!j] <= '9') || s.[!j] = '.'
+                           || s.[!j] = 'e' || s.[!j] = 'E' || s.[!j] = '-')
+          do incr j done;
+          push (Num (String.sub s i (!j - i)));
+          loop !j
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do incr j done;
+          push (Word (String.sub s i (!j - i)));
+          loop !j
+      | c -> sql_err "unexpected character %c" c
+  in
+  loop 0;
+  List.rev !toks
+
+let kw_eq w kw = String.lowercase_ascii w = kw
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_literal = function
+  | Str_lit s :: rest -> (Value.Str s, rest)
+  | Num n :: rest ->
+      let v =
+        if String.contains n '.' || String.contains n 'e'
+           || String.contains n 'E'
+        then Value.Float (float_of_string n)
+        else Value.Int (int_of_string n)
+      in
+      (v, rest)
+  | Word w :: rest when kw_eq w "true" -> (Value.Bool true, rest)
+  | Word w :: rest when kw_eq w "false" -> (Value.Bool false, rest)
+  | _ -> sql_err "expected a literal"
+
+let rec parse_or toks =
+  let left, toks = parse_and toks in
+  match toks with
+  | Word w :: rest when kw_eq w "or" ->
+      let right, rest = parse_or rest in
+      (Query.Or (left, right), rest)
+  | _ -> (left, toks)
+
+and parse_and toks =
+  let left, toks = parse_not toks in
+  match toks with
+  | Word w :: rest when kw_eq w "and" ->
+      let right, rest = parse_and rest in
+      (Query.And (left, right), rest)
+  | _ -> (left, toks)
+
+and parse_not = function
+  | Word w :: rest when kw_eq w "not" ->
+      let p, rest = parse_not rest in
+      (Query.Not p, rest)
+  | Punct '(' :: rest -> (
+      let p, rest = parse_or rest in
+      match rest with
+      | Punct ')' :: rest -> (p, rest)
+      | _ -> sql_err "expected )")
+  | Word col :: Op op :: rest ->
+      let lit, rest = parse_literal rest in
+      let atom =
+        match op with
+        | "=" -> Query.Eq (col, lit)
+        | "!=" -> Query.Neq (col, lit)
+        | "<" -> Query.Lt (col, lit)
+        | "<=" -> Query.Le (col, lit)
+        | ">" -> Query.Gt (col, lit)
+        | ">=" -> Query.Ge (col, lit)
+        | op -> sql_err "unknown operator %s" op
+      in
+      (atom, rest)
+  | Word col :: Word w :: rest when kw_eq w "like" -> (
+      match rest with
+      | Str_lit pat :: rest -> (Query.Like (col, pat), rest)
+      | _ -> sql_err "LIKE expects a string literal")
+  | _ -> sql_err "malformed condition"
+
+let parse_where toks =
+  match toks with
+  | Word w :: rest when kw_eq w "where" -> parse_or rest
+  | _ -> (Query.True, toks)
+
+let rec parse_column_list acc = function
+  | Word col :: Punct ',' :: rest -> parse_column_list (col :: acc) rest
+  | Word col :: rest -> (List.rev (col :: acc), rest)
+  | _ -> sql_err "expected a column name"
+
+let exec db stmt =
+  match tokenize stmt with
+  | Word w :: rest when kw_eq w "select" -> (
+      let cols, rest =
+        match rest with
+        | Punct '*' :: rest -> (None, rest)
+        | rest ->
+            let cols, rest = parse_column_list [] rest in
+            (Some cols, rest)
+      in
+      match rest with
+      | Word f :: Word tbl_name :: rest when kw_eq f "from" ->
+          let tbl = Db.table db tbl_name in
+          let pred, rest = parse_where rest in
+          let rel = Query.select pred (Query.of_table tbl) in
+          let rel, rest =
+            match rest with
+            | Word o :: Word b :: Word col :: rest
+              when kw_eq o "order" && kw_eq b "by" -> (
+                match rest with
+                | Word d :: rest when kw_eq d "desc" ->
+                    (Query.order_by col ~desc:true rel, rest)
+                | rest -> (Query.order_by col rel, rest))
+            | rest -> (rel, rest)
+          in
+          let rel, rest =
+            match rest with
+            | Word l :: Num n :: rest when kw_eq l "limit" ->
+                (Query.limit (int_of_string n) rel, rest)
+            | rest -> (rel, rest)
+          in
+          if rest <> [] then sql_err "trailing tokens after SELECT";
+          (* Project last so ORDER BY may reference unselected columns. *)
+          let rel =
+            match cols with Some cols -> Query.project cols rel | None -> rel
+          in
+          Relation rel
+      | _ -> sql_err "expected FROM <table>")
+  | Word w :: Word i :: Word tbl_name :: rest
+    when kw_eq w "insert" && kw_eq i "into" -> (
+      let tbl = Db.table db tbl_name in
+      match rest with
+      | Word v :: Punct '(' :: rest when kw_eq v "values" ->
+          let rec values acc rest =
+            let lit, rest = parse_literal rest in
+            match rest with
+            | Punct ',' :: rest -> values (lit :: acc) rest
+            | Punct ')' :: rest -> (List.rev (lit :: acc), rest)
+            | _ -> sql_err "expected , or ) in VALUES"
+          in
+          let vals, rest = values [] rest in
+          if rest <> [] then sql_err "trailing tokens after INSERT";
+          Table.insert tbl vals;
+          Affected 1
+      | _ -> sql_err "expected VALUES (...)")
+  | Word w :: Word tbl_name :: Word s :: rest
+    when kw_eq w "update" && kw_eq s "set" ->
+      let tbl = Db.table db tbl_name in
+      let rec assigns acc = function
+        | Word col :: Op "=" :: rest ->
+            let lit, rest = parse_literal rest in
+            let acc = (col, lit) :: acc in
+            (match rest with
+             | Punct ',' :: rest -> assigns acc rest
+             | rest -> (List.rev acc, rest))
+        | _ -> sql_err "expected col = literal in SET"
+      in
+      let sets, rest = assigns [] rest in
+      let pred, rest = parse_where rest in
+      if rest <> [] then sql_err "trailing tokens after UPDATE";
+      let rel = Query.of_table tbl in
+      let n = Table.update tbl (Query.eval_pred rel pred) (fun _ -> sets) in
+      Affected n
+  | Word w :: Word f :: Word tbl_name :: rest
+    when kw_eq w "delete" && kw_eq f "from" ->
+      let tbl = Db.table db tbl_name in
+      let pred, rest = parse_where rest in
+      if rest <> [] then sql_err "trailing tokens after DELETE";
+      let rel = Query.of_table tbl in
+      let n = Table.delete tbl (Query.eval_pred rel pred) in
+      Affected n
+  | _ -> sql_err "unsupported statement"
+
+let select db stmt =
+  match exec db stmt with
+  | Relation rel -> rel
+  | Affected _ -> sql_err "expected a SELECT statement"

@@ -1,0 +1,26 @@
+(** A small SQL subset, matching the paper's "ICDB uses SQL to query
+    this data from INGRES" (§2.3).
+
+    Supported statements:
+    - [SELECT col, ... | * FROM table [WHERE cond] [ORDER BY col [DESC]] [LIMIT n]]
+    - [INSERT INTO table VALUES (lit, ...)]
+    - [UPDATE table SET col = lit, ... [WHERE cond]]
+    - [DELETE FROM table [WHERE cond]]
+
+    Conditions combine [col op literal] atoms with [AND]/[OR]/[NOT] and
+    parentheses; operators are [=], [!=], [<>], [<], [<=], [>], [>=] and
+    [LIKE] (substring). Literals: integers, floats, ['strings'], [true],
+    [false]. Keywords are case-insensitive. *)
+
+type result =
+  | Relation of Query.rel  (** from SELECT *)
+  | Affected of int        (** rows touched by INSERT/UPDATE/DELETE *)
+
+exception Sql_error of string
+
+val exec : Db.t -> string -> result
+(** Parse and run one statement. @raise Sql_error on syntax errors,
+    [Db.Db_error] / [Table.Schema_error] on semantic ones. *)
+
+val select : Db.t -> string -> Query.rel
+(** Like {!exec} but requires a SELECT. @raise Sql_error otherwise. *)

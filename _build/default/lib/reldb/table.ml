@@ -1,0 +1,113 @@
+type schema = (string * Value.ty) list
+type row = Value.t array
+
+exception Schema_error of string
+
+type t = {
+  tbl_name : string;
+  tbl_schema : schema;
+  index : (string, int) Hashtbl.t;  (* column name -> position *)
+  mutable data : row list;          (* reverse insertion order *)
+  mutable count : int;
+}
+
+let schema_err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
+
+let create tbl_name tbl_schema =
+  if tbl_schema = [] then schema_err "table %s: empty schema" tbl_name;
+  let index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (col, _) ->
+      if Hashtbl.mem index col then
+        schema_err "table %s: duplicate column %s" tbl_name col;
+      Hashtbl.add index col i)
+    tbl_schema;
+  { tbl_name; tbl_schema; index; data = []; count = 0 }
+
+let name t = t.tbl_name
+let schema t = t.tbl_schema
+let cardinality t = t.count
+
+let column_index t col =
+  match Hashtbl.find_opt t.index col with
+  | Some i -> i
+  | None -> schema_err "table %s: no column %s" t.tbl_name col
+
+let check_row t values =
+  let arity = List.length t.tbl_schema in
+  if List.length values <> arity then
+    schema_err "table %s: expected %d values" t.tbl_name arity;
+  List.iter2
+    (fun (col, ty) v ->
+      if Value.ty_of v <> ty then
+        schema_err "table %s: column %s expects %s, got %s" t.tbl_name col
+          (Value.ty_name ty)
+          (Value.ty_name (Value.ty_of v)))
+    t.tbl_schema values
+
+let insert t values =
+  check_row t values;
+  t.data <- Array.of_list values :: t.data;
+  t.count <- t.count + 1
+
+let insert_assoc t bindings =
+  let lookup (col, _ty) =
+    match List.assoc_opt col bindings with
+    | Some v -> v
+    | None -> schema_err "table %s: column %s not bound" t.tbl_name col
+  in
+  List.iter
+    (fun (col, _) ->
+      if not (Hashtbl.mem t.index col) then
+        schema_err "table %s: no column %s" t.tbl_name col)
+    bindings;
+  insert t (List.map lookup t.tbl_schema)
+
+let rows t = List.rev_map Array.copy t.data
+
+let get row t col = row.(column_index t col)
+
+let filter t pred = List.filter pred (rows t)
+
+let update t pred assign =
+  let updated = ref 0 in
+  let apply row =
+    if pred row then begin
+      incr updated;
+      let row' = Array.copy row in
+      List.iter
+        (fun (col, v) ->
+          let i = column_index t col in
+          let (_, ty) = List.nth t.tbl_schema i in
+          if Value.ty_of v <> ty then
+            schema_err "table %s: column %s expects %s" t.tbl_name col
+              (Value.ty_name ty);
+          row'.(i) <- v)
+        (assign row);
+      row'
+    end
+    else row
+  in
+  t.data <- List.map apply t.data;
+  !updated
+
+let delete t pred =
+  let before = t.count in
+  t.data <- List.filter (fun r -> not (pred r)) t.data;
+  t.count <- List.length t.data;
+  before - t.count
+
+let clear t =
+  t.data <- [];
+  t.count <- 0
+
+let copy t =
+  { t with
+    data = List.map Array.copy t.data;
+    index = Hashtbl.copy t.index }
+
+let restore t ~from =
+  if from.tbl_schema <> t.tbl_schema then
+    schema_err "restore: schema mismatch for table %s" t.tbl_name;
+  t.data <- List.map Array.copy from.data;
+  t.count <- from.count

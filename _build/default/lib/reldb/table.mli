@@ -1,0 +1,59 @@
+(** In-memory relations with named, typed columns.
+
+    A table owns its schema and rows. Rows are value arrays in schema
+    order; all mutating operations type-check values against the schema.
+    Row order is insertion order (stable), as synthesis tools rely on
+    deterministic listings. *)
+
+type schema = (string * Value.ty) list
+(** Column names with their types, in column order. Names are unique. *)
+
+type row = Value.t array
+
+type t
+
+exception Schema_error of string
+(** Raised on arity/type mismatches, duplicate or unknown columns. *)
+
+val create : string -> schema -> t
+(** [create name schema] is an empty table.
+    @raise Schema_error on duplicate column names or an empty schema. *)
+
+val name : t -> string
+val schema : t -> schema
+val cardinality : t -> int
+
+val column_index : t -> string -> int
+(** Position of a column. @raise Schema_error if unknown. *)
+
+val insert : t -> Value.t list -> unit
+(** Append a row. @raise Schema_error on arity or type mismatch. *)
+
+val insert_assoc : t -> (string * Value.t) list -> unit
+(** Append a row given as column bindings; every column must be bound. *)
+
+val rows : t -> row list
+(** All rows in insertion order. The arrays are copies: mutating them
+    does not affect the table. *)
+
+val get : row -> t -> string -> Value.t
+(** [get row t col] is the field of [row] at column [col] of [t]. *)
+
+val filter : t -> (row -> bool) -> row list
+(** Rows satisfying a predicate, in order. *)
+
+val update : t -> (row -> bool) -> (row -> (string * Value.t) list) -> int
+(** [update t pred assign] rewrites the given columns of each matching
+    row; returns the number of rows updated. *)
+
+val delete : t -> (row -> bool) -> int
+(** Remove matching rows; returns the number removed. *)
+
+val clear : t -> unit
+
+val copy : t -> t
+(** Deep copy (used by transaction snapshots). *)
+
+val restore : t -> from:t -> unit
+(** Overwrite the contents of a table with those of a snapshot that has
+    the same schema. *)

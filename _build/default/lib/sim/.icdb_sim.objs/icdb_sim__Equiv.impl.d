@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Bool Flat Gate_sim Icdb_iif Interp List Printf Random String

@@ -1,0 +1,1 @@
+lib/sim/equiv.mli: Icdb_iif Icdb_netlist

@@ -1,0 +1,1 @@
+lib/sim/event_sim.ml: Celllib Float Fun Hashtbl Icdb_iif Icdb_logic Icdb_netlist List Netlist Option Printf

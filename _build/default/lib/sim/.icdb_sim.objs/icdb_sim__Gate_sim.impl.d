@@ -1,0 +1,1 @@
+lib/sim/gate_sim.ml: Celllib Fun Hashtbl Icdb_iif Icdb_logic Icdb_netlist List Netlist Printf

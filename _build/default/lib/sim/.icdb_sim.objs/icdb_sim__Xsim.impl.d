@@ -1,0 +1,1 @@
+lib/sim/xsim.ml: Celllib Hashtbl Icdb_iif Icdb_logic Icdb_netlist List Netlist Printf

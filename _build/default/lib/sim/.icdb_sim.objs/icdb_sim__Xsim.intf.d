@@ -1,0 +1,1 @@
+lib/sim/xsim.mli: Icdb_netlist

@@ -1,0 +1,36 @@
+(** Equivalence checking between a flat IIF specification and a mapped
+    netlist.
+
+    Both simulators start from the all-zero state, so identical input
+    sequences must produce identical output sequences. Combinational
+    designs are enumerated exhaustively (up to {!max_exhaustive}
+    inputs); sequential designs are driven with a deterministic
+    pseudo-random sequence. *)
+
+type result =
+  | Equivalent
+  | Mismatch of {
+      step : int;
+      inputs : (string * bool) list;
+      expected : (string * bool) list;  (** from the IIF reference *)
+      got : (string * bool) list;       (** from the netlist *)
+    }
+
+val is_combinational : Icdb_iif.Flat.t -> bool
+
+val max_exhaustive : int
+(** Widest input count enumerated exhaustively (14). *)
+
+val check_combinational :
+  Icdb_iif.Flat.t -> Icdb_netlist.Netlist.t -> result
+(** Exhaustive check. @raise Invalid_argument beyond {!max_exhaustive}. *)
+
+val check_sequential :
+  ?steps:int -> ?seed:int -> Icdb_iif.Flat.t -> Icdb_netlist.Netlist.t -> result
+(** Randomized sequence check, deterministic in [seed]. *)
+
+val check :
+  ?steps:int -> ?seed:int -> Icdb_iif.Flat.t -> Icdb_netlist.Netlist.t -> result
+(** Exhaustive when possible, randomized otherwise. *)
+
+val result_to_string : result -> string

@@ -1,0 +1,30 @@
+(** Gate-level simulator over cell netlists (the VHDL-simulator role in
+    the Figure 8 generation path).
+
+    Cells evaluate through their library logic functions; flip-flops
+    are rising-edge (the mapper inverts falling-edge clocks), latches
+    hold when opaque, and tri-state groups resolve as wired-or with
+    bus-keeper behaviour. Semantics mirror {!Icdb_iif.Interp} so the
+    two can be compared step by step. *)
+
+exception Sim_error of string
+
+type t
+
+val create : Icdb_netlist.Netlist.t -> t
+(** @raise Sim_error on unknown cells or unconnected pins (lazily, at
+    first evaluation for some conditions). *)
+
+val step : t -> (string * bool) list -> unit
+(** Apply input values, settle combinational logic and update
+    registers (iterating for rippled clocks).
+    @raise Sim_error if a named net is not an input, or on oscillating
+    feedback. *)
+
+val value : t -> string -> bool
+(** Current value of a net ("$const0"/"$const1" read as constants). *)
+
+val outputs : t -> (string * bool) list
+
+val poke : t -> string -> bool -> unit
+(** Force a net value. *)

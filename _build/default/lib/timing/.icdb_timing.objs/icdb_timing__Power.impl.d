@@ -1,0 +1,1 @@
+lib/timing/power.ml: Celllib Hashtbl Icdb_logic Icdb_netlist Icdb_sim List Netlist Printf Random String

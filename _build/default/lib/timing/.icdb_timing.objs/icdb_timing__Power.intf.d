@@ -1,0 +1,1 @@
+lib/timing/power.mli: Icdb_netlist

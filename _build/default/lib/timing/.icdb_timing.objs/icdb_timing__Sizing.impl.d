@@ -1,0 +1,1 @@
+lib/timing/sizing.ml: Float Icdb_netlist List Netlist Sta

@@ -1,0 +1,1 @@
+lib/timing/sizing.mli: Icdb_netlist Sta

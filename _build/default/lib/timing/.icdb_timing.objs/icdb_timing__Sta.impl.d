@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Buffer Celllib Float Hashtbl Icdb_logic Icdb_netlist List Netlist Option Printf String

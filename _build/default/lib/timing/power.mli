@@ -1,0 +1,25 @@
+(** Power estimation (§1 lists power among the figures the database
+    serves).
+
+    Dynamic power comes from measured switching activity: the netlist
+    is driven with a deterministic pseudo-random vector sequence
+    (clock-like inputs toggle every vector) and per-instance output
+    toggles are counted. Static power is a per-transistor leakage
+    term. *)
+
+type report = {
+  vectors : int;                        (** simulation length *)
+  dynamic_mw : float;                   (** at {!reference_mhz} *)
+  static_uw : float;
+  reference_mhz : float;
+  activities : (string * float) list;   (** instance -> toggles/vector *)
+}
+
+val reference_mhz : float
+
+val estimate :
+  ?vectors:int -> ?seed:int -> Icdb_netlist.Netlist.t -> report
+(** Deterministic in [seed]; default 64 vectors. *)
+
+val report_to_string : report -> string
+(** One-line summary plus the five hottest instances. *)

@@ -1,0 +1,168 @@
+(* Transistor sizing (the TILOS/Aesop substitute, §4.3 step 4).
+
+   Greedy sensitivity-based sizing on the linear delay model: while a
+   timing constraint is violated, walk the critical path and enlarge the
+   instance whose upsizing buys the most delay for the least area.
+   Constraints follow CQL's request_component keywords: comb_delay
+   triples (output, max delay, output load), set-up time bound, clock
+   width bound, or a strategy (fastest / cheapest). *)
+
+open Icdb_netlist
+
+type strategy = Fastest | Cheapest | Balanced
+
+type constraints = {
+  clock_width : float option;           (* CW upper bound, ns *)
+  comb_delays : (string * float) list;  (* output port -> WD bound *)
+  setup_bound : float option;           (* max SD over all inputs *)
+  port_loads : (string * float) list;   (* output port -> unit-transistor load *)
+  strategy : strategy;
+}
+
+let default_constraints =
+  { clock_width = None;
+    comb_delays = [];
+    setup_bound = None;
+    port_loads = [];
+    strategy = Balanced }
+
+let max_size = 8.0
+let size_step = 1.3
+let max_iterations = 400
+
+(* Worst violation in ns; <= 0 when all constraints are met. *)
+let violation (r : Sta.report) c =
+  let v = ref neg_infinity in
+  (match c.clock_width with
+   | Some bound -> v := Float.max !v (r.Sta.clock_width -. bound)
+   | None -> ());
+  List.iter
+    (fun (port, bound) ->
+      if port = "*" then
+        (* the CQL "comb_delay:<n>" form: bound every output *)
+        List.iter
+          (fun (_, wd) -> v := Float.max !v (wd -. bound))
+          r.Sta.output_delays
+      else
+        match List.assoc_opt port r.Sta.output_delays with
+        | Some wd -> v := Float.max !v (wd -. bound)
+        | None -> ())
+    c.comb_delays;
+  (match c.setup_bound with
+   | Some bound ->
+       List.iter
+         (fun (_, sd) -> v := Float.max !v (sd -. bound))
+         r.Sta.setup_times
+   | None -> ());
+  if !v = neg_infinity then 0.0 else !v
+
+(* A figure of merit to minimize for the strategies. *)
+let merit (r : Sta.report) nl = function
+  | Fastest ->
+      r.Sta.clock_width
+      +. List.fold_left (fun acc (_, wd) -> Float.max acc wd) 0.0
+           r.Sta.output_delays
+  | Cheapest | Balanced -> Sta.cell_area nl
+
+let resize nl inst_name factor =
+  { nl with
+    Netlist.instances =
+      List.map
+        (fun (i : Netlist.instance) ->
+          if i.inst_name = inst_name then
+            { i with size = Float.min max_size (i.size *. factor) }
+          else i)
+        nl.Netlist.instances }
+
+(* Candidate instances: the TILOS move — only gates on the current
+   critical path are worth upsizing; trying each of those and keeping
+   the best violation-improvement per added area is cheap because the
+   path is short compared to the netlist. *)
+let best_upsize nl c current_violation =
+  let base_area = Sta.cell_area nl in
+  let try_candidates candidates =
+    List.fold_left
+      (fun best (i : Netlist.instance) ->
+        if i.size >= max_size then best
+        else
+          let nl' = resize nl i.inst_name size_step in
+          let r' = Sta.analyze ~port_loads:c.port_loads nl' in
+          let v' = violation r' c in
+          let gain = current_violation -. v' in
+          if gain <= 1e-9 then best
+          else
+            let cost = Float.max 1.0 (Sta.cell_area nl' -. base_area) in
+            let score = gain /. cost in
+            match best with
+            | Some (_, _, best_score) when best_score >= score -> best
+            | _ -> Some (i.inst_name, nl', score))
+      None candidates
+  in
+  let on_path = Sta.critical_instances ~port_loads:c.port_loads nl in
+  let path_candidates =
+    List.filter (fun (i : Netlist.instance) -> List.mem i.inst_name on_path)
+      nl.Netlist.instances
+  in
+  (* the violated constraint may not lie on the globally-worst path
+     (e.g. a clock-width bound while an untimed output is slower);
+     fall back to the full netlist when the path offers no gain *)
+  match try_candidates path_candidates with
+  | Some r -> Some r
+  | None -> try_candidates nl.Netlist.instances
+
+(* Meet the constraints by greedy upsizing. Returns the sized netlist
+   (best effort: if constraints are unreachable the largest-improvement
+   netlist found is returned along with the final report). *)
+let size_to_constraints (nl : Netlist.t) (c : constraints) =
+  match c.strategy with
+  | Cheapest -> nl  (* minimum area: leave everything at size 1 *)
+  | Fastest ->
+      (* upsize gates on the critical path while the merit (delay)
+         keeps dropping measurably *)
+      let rec loop nl iters =
+        if iters >= max_iterations then nl
+        else
+          let r = Sta.analyze ~port_loads:c.port_loads nl in
+          let m = merit r nl Fastest in
+          let on_path = Sta.critical_instances ~port_loads:c.port_loads nl in
+          let candidates =
+            List.filter
+              (fun (i : Netlist.instance) -> List.mem i.inst_name on_path)
+              nl.Netlist.instances
+          in
+          let candidates =
+            if candidates = [] then nl.Netlist.instances else candidates
+          in
+          let candidate =
+            List.fold_left
+              (fun best (i : Netlist.instance) ->
+                if i.size >= max_size then best
+                else
+                  let nl' = resize nl i.inst_name size_step in
+                  let r' = Sta.analyze ~port_loads:c.port_loads nl' in
+                  let m' = merit r' nl' Fastest in
+                  match best with
+                  | Some (_, bm) when bm <= m' -> best
+                  | _ -> if m' < m -. 1e-6 then Some (nl', m') else best)
+              None candidates
+          in
+          match candidate with
+          | Some (nl', _) -> loop nl' (iters + 1)
+          | None -> nl
+      in
+      loop nl 0
+  | Balanced ->
+      let rec loop nl iters =
+        let r = Sta.analyze ~port_loads:c.port_loads nl in
+        let v = violation r c in
+        if v <= 0.0 || iters >= max_iterations then nl
+        else
+          match best_upsize nl c v with
+          | Some (_, nl', _) -> loop nl' (iters + 1)
+          | None -> nl
+      in
+      loop nl 0
+
+let meets_constraints nl c =
+  let r = Sta.analyze ~port_loads:c.port_loads nl in
+  violation r c <= 0.0

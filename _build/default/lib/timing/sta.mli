@@ -1,0 +1,37 @@
+(** Static timing analysis over cell netlists.
+
+    Implements the paper's delay estimator (§4.4.1): each cell carries
+    X (delay per unit transistor load), Y (intrinsic) and Z (per
+    fanout); an output's delay is [load*X + Y + fanout*Z] and a path
+    sums its cells. Produces the §3.3 report: CW (minimum clock
+    width), WD (worst clock-to-output delay per output) and SD (setup
+    time per input). Register launch times include clock-network
+    arrival, so rippled-clock counters time correctly. *)
+
+exception Timing_error of string
+
+type report = {
+  clock_width : float;                     (** CW, ns *)
+  output_delays : (string * float) list;   (** WD per output port *)
+  setup_times : (string * float) list;     (** SD per input port *)
+}
+
+val analyze :
+  ?port_loads:(string * float) list -> Icdb_netlist.Netlist.t -> report
+(** [analyze ~port_loads nl] runs timing with external unit-transistor
+    loads on the named output ports (the CQL [oload] figures).
+    @raise Timing_error on unknown cells or timing loops. *)
+
+val critical_instances :
+  ?port_loads:(string * float) list -> Icdb_netlist.Netlist.t -> string list
+(** Instance names on the worst path (endpoint with the latest
+    arrival, walked back through worst-arrival fanins). The sizer
+    restricts its upsizing candidates to these. *)
+
+val cell_area : Icdb_netlist.Netlist.t -> float
+(** Total sized cell area in µm² (widths times the strip height): the
+    pre-layout figure sizing optimizes against. *)
+
+val report_to_string : report -> string
+(** The §3.3 textual listing: [CW ...], [WD <port> ...],
+    [SD <port> ...] lines. *)

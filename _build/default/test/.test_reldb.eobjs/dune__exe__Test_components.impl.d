@@ -1,0 +1,1 @@
+test/test_components.ml: Alcotest Builtin Equiv Icdb_iif Icdb_logic Icdb_sim Interp List Network Opt Printf QCheck QCheck_alcotest Techmap

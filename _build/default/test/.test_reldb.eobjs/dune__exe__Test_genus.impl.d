@@ -1,0 +1,1 @@
+test/test_genus.ml: Alcotest Component Connect Func Icdb Icdb_genus Icdb_iif Instance List Printf Server Spec String

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Controller Datapath Dfg Hashtbl Icdb Icdb_genus Icdb_hls Icdb_logic Icdb_netlist Icdb_sim Lazy List Printf Schedule String

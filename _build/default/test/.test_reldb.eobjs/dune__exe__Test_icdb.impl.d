@@ -1,0 +1,1 @@
+test/test_icdb.ml: Alcotest Command Exec Filename Icdb Icdb_cql Icdb_genus Icdb_layout Icdb_timing Instance List Obj Printf Server Spec String Sys

@@ -1,0 +1,1 @@
+test/test_iif.ml: Alcotest Array Ast Buffer Builtin Expander Flat Icdb_iif Interp Lexer List Parser Printf QCheck QCheck_alcotest String

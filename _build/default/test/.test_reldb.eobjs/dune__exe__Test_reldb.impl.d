@@ -1,0 +1,1 @@
+test/test_reldb.ml: Alcotest Array Db Filename Gen Icdb_reldb List QCheck QCheck_alcotest Query Sql String Sys Table Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Builtin Celllib Event_sim Float Gate_sim Icdb_iif Icdb_logic Icdb_netlist Icdb_sim Icdb_timing List Netlist Network Opt Printf Random Stats String Techmap Xsim

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Builtin Icdb_iif Icdb_logic Icdb_netlist Icdb_timing List Netlist Network Opt Printf QCheck QCheck_alcotest Sizing Sta String Techmap

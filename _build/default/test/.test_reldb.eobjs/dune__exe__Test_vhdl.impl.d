@@ -1,0 +1,1 @@
+test/test_vhdl.ml: Alcotest Builtin Compare Fixed_lib Generic_lib Icdb Icdb_baseline Icdb_iif Icdb_logic Icdb_netlist Lazy List Netlist Network Opt Server String Techmap Vhdl

@@ -1,0 +1,323 @@
+(* Tests for the extended generic component library: functional
+   correctness against arithmetic on the reference interpreter, plus
+   spec-vs-netlist equivalence through the full generation pipeline. *)
+
+open Icdb_iif
+open Icdb_logic
+open Icdb_sim
+
+let check = Alcotest.check
+
+let expand = Builtin.expand_exn
+
+let synthesize flat =
+  let net = Network.of_flat flat in
+  Opt.optimize net;
+  Techmap.map net
+
+let drive_bus base width x =
+  List.init width (fun i -> (Printf.sprintf "%s[%d]" base i, (x lsr i) land 1 = 1))
+
+let read_bus st base width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v lsl 1)
+         lor (if Interp.value st (Printf.sprintf "%s[%d]" base i) then 1 else 0)
+  done;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter-level correctness                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_multiplier_exhaustive () =
+  let st = Interp.create (expand "MULTIPLIER" [ ("size", 3) ]) in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      Interp.step st (drive_bus "A" 3 a @ drive_bus "B" 3 b);
+      check Alcotest.int (Printf.sprintf "%d*%d" a b) (a * b) (read_bus st "P" 6)
+    done
+  done
+
+let test_multiplier_4bit_samples () =
+  let st = Interp.create (expand "MULTIPLIER" [ ("size", 4) ]) in
+  List.iter
+    (fun (a, b) ->
+      Interp.step st (drive_bus "A" 4 a @ drive_bus "B" 4 b);
+      check Alcotest.int (Printf.sprintf "%d*%d" a b) (a * b) (read_bus st "P" 8))
+    [ (15, 15); (12, 11); (9, 7); (1, 15); (0, 13); (8, 8) ]
+
+let test_divider_exhaustive () =
+  let st = Interp.create (expand "DIVIDER" [ ("size", 3) ]) in
+  for a = 0 to 7 do
+    for b = 1 to 7 do
+      Interp.step st (drive_bus "A" 3 a @ drive_bus "B" 3 b);
+      check Alcotest.int (Printf.sprintf "%d/%d" a b) (a / b) (read_bus st "Q" 3);
+      check Alcotest.int (Printf.sprintf "%d mod %d" a b) (a mod b)
+        (read_bus st "REM" 3)
+    done
+  done
+
+let test_barrel_shifter () =
+  let st = Interp.create (expand "BARREL_SHIFTER" [ ("size", 8); ("stages", 3) ]) in
+  List.iter
+    (fun (x, s) ->
+      Interp.step st (drive_bus "I" 8 x @ drive_bus "S" 3 s);
+      check Alcotest.int
+        (Printf.sprintf "%d << %d" x s)
+        ((x lsl s) land 255)
+        (read_bus st "O" 8))
+    [ (1, 0); (1, 7); (0b10110011, 3); (255, 1); (0b1111, 4) ]
+
+let test_shift_register () =
+  let st = Interp.create (expand "SHIFT_REGISTER" [ ("size", 4) ]) in
+  let step ?(load = false) ?(shift = false) ?(sin = false) ?(i = 0) clk =
+    Interp.step st
+      (drive_bus "I" 4 i
+      @ [ ("SIN", sin); ("LOAD", load); ("SHIFT", shift); ("CLK", clk) ])
+  in
+  step false;
+  (* parallel load 0b1010 *)
+  step ~load:true ~i:10 false;
+  step ~load:true ~i:10 true;
+  check Alcotest.int "loaded" 10 (read_bus st "Q" 4);
+  (* shift in a 1 *)
+  step ~shift:true ~sin:true false;
+  step ~shift:true ~sin:true true;
+  check Alcotest.int "shifted" ((10 lsl 1) land 15 lor 1) (read_bus st "Q" 4);
+  check Alcotest.bool "sout is old msb" true (Interp.value st "SOUT" = ((10 lsl 1) land 8 <> 0));
+  (* hold *)
+  step false;
+  step true;
+  check Alcotest.int "held" 5 (read_bus st "Q" 4)
+
+let test_encoder () =
+  let st = Interp.create (expand "ENCODER" [ ("size", 3) ]) in
+  for v = 0 to 7 do
+    Interp.step st (drive_bus "I" 8 (1 lsl v));
+    check Alcotest.int (Printf.sprintf "encode %d" v) v (read_bus st "O" 3);
+    check Alcotest.bool "valid" true (Interp.value st "VALID")
+  done;
+  Interp.step st (drive_bus "I" 8 0);
+  check Alcotest.bool "invalid when no input" false (Interp.value st "VALID")
+
+let test_register_file () =
+  let st = Interp.create (expand "REGISTER_FILE" [ ("size", 4); ("abits", 2) ]) in
+  let write addr data =
+    let base w =
+      drive_bus "D" 4 data @ drive_bus "WA" 2 addr @ drive_bus "RA" 2 addr
+      @ [ ("WE", w) ]
+    in
+    Interp.step st (("CLK", false) :: base true);
+    Interp.step st (("CLK", true) :: base true)
+  in
+  let read addr =
+    Interp.step st
+      (("CLK", false) :: ("WE", false)
+      :: (drive_bus "D" 4 0 @ drive_bus "WA" 2 0 @ drive_bus "RA" 2 addr));
+    read_bus st "Q" 4
+  in
+  write 0 3;
+  write 1 7;
+  write 2 12;
+  write 3 9;
+  check Alcotest.int "word 0" 3 (read 0);
+  check Alcotest.int "word 1" 7 (read 1);
+  check Alcotest.int "word 2" 12 (read 2);
+  check Alcotest.int "word 3" 9 (read 3);
+  (* overwrite one word; others untouched *)
+  write 1 15;
+  check Alcotest.int "word 1 rewritten" 15 (read 1);
+  check Alcotest.int "word 2 untouched" 12 (read 2)
+
+let test_logic_unit_ops () =
+  let st = Interp.create (expand "LOGIC_UNIT" [ ("size", 4) ]) in
+  let op s1 s0 a b =
+    Interp.step st
+      (drive_bus "A" 4 a @ drive_bus "B" 4 b @ [ ("S0", s0); ("S1", s1) ]);
+    read_bus st "O" 4
+  in
+  check Alcotest.int "and" (12 land 10) (op false false 12 10);
+  check Alcotest.int "or" (12 lor 10) (op false true 12 10);
+  check Alcotest.int "xor" (12 lxor 10) (op true false 12 10);
+  check Alcotest.int "not" (lnot 12 land 15) (op true true 12 0)
+
+let test_muxg () =
+  let st = Interp.create (expand "MUXG" [ ("size", 4); ("ways", 3) ]) in
+  let words = [ 5; 9; 14 ] in
+  let word_bits =
+    List.concat
+      (List.mapi
+         (fun i x ->
+           List.init 4 (fun b ->
+               (Printf.sprintf "I[%d]" ((i * 4) + b), (x lsr b) land 1 = 1)))
+         words)
+  in
+  List.iteri
+    (fun w expected ->
+      Interp.step st
+        (word_bits @ List.init 3 (fun g -> (Printf.sprintf "G[%d]" g, g = w)));
+      check Alcotest.int (Printf.sprintf "way %d" w) expected (read_bus st "O" 4))
+    words
+
+let test_concat_extract () =
+  let st = Interp.create (expand "CONCAT" [ ("asize", 3); ("bsize", 5) ]) in
+  Interp.step st (drive_bus "A" 3 5 @ drive_bus "B" 5 19);
+  check Alcotest.int "concat" (5 lor (19 lsl 3)) (read_bus st "O" 8);
+  let st = Interp.create (expand "EXTRACT" [ ("size", 8); ("low", 2); ("width", 4) ]) in
+  Interp.step st (drive_bus "I" 8 0b10110100);
+  check Alcotest.int "extract" 0b1101 (read_bus st "O" 4)
+
+let test_clock_driver_and_schmitt () =
+  let st = Interp.create (expand "CLK_DRIVER" [ ("size", 4) ]) in
+  Interp.step st [ ("I", true) ];
+  check Alcotest.int "all high" 15 (read_bus st "O" 4);
+  let st = Interp.create (expand "SCHMITT_TRIG" [ ("size", 2) ]) in
+  Interp.step st [ ("I[0]", true); ("I[1]", false) ];
+  check Alcotest.bool "pass through" true
+    (Interp.value st "O[0]" && not (Interp.value st "O[1]"))
+
+let test_wor_bus () =
+  let st = Interp.create (expand "WOR_BUS2" [ ("size", 4) ]) in
+  let dr i0 i1 e0 e1 =
+    Interp.step st
+      (drive_bus "I0" 4 i0 @ drive_bus "I1" 4 i1 @ [ ("EN0", e0); ("EN1", e1) ]);
+    read_bus st "O" 4
+  in
+  check Alcotest.int "driver 0" 5 (dr 5 9 true false);
+  check Alcotest.int "driver 1" 9 (dr 5 9 false true);
+  check Alcotest.int "wired or of both" (5 lor 9) (dr 5 9 true true);
+  (* both disabled: bus keeps its value *)
+  check Alcotest.int "bus keeper" (5 lor 9) (dr 0 0 false false)
+
+let test_stack () =
+  let st = Interp.create (expand "STACK" [ ("size", 4); ("abits", 2) ]) in
+  let step ?(push = false) ?(pop = false) ?(rst = false) ?(d = 0) clk =
+    Interp.step st
+      (drive_bus "D" 4 d
+      @ [ ("PUSH", push); ("POP", pop); ("CLK", clk); ("RESET", rst) ])
+  in
+  let top () = read_bus st "Q" 4 in
+  step ~rst:true false;
+  step false;
+  check Alcotest.bool "starts empty" true (Interp.value st "EMPTY");
+  (* push 5, 9, 12: LIFO order out *)
+  List.iter
+    (fun v -> step ~push:true ~d:v false; step ~push:true ~d:v true)
+    [ 5; 9; 12 ];
+  check Alcotest.int "top after pushes" 12 (top ());
+  check Alcotest.bool "not empty" false (Interp.value st "EMPTY");
+  step ~pop:true false;
+  step ~pop:true true;
+  check Alcotest.int "pop reveals 9" 9 (top ());
+  step ~pop:true false;
+  step ~pop:true true;
+  check Alcotest.int "pop reveals 5" 5 (top ());
+  (* fill to capacity (4): pushes beyond are ignored *)
+  List.iter
+    (fun v -> step ~push:true ~d:v false; step ~push:true ~d:v true)
+    [ 1; 2; 3 ];
+  check Alcotest.bool "full" true (Interp.value st "FULL");
+  step ~push:true ~d:15 false;
+  step ~push:true ~d:15 true;
+  check Alcotest.int "overflow push ignored" 3 (top ());
+  (* pop to empty: pops beyond are ignored *)
+  for _ = 1 to 4 do
+    step ~pop:true false;
+    step ~pop:true true
+  done;
+  check Alcotest.bool "empty again" true (Interp.value st "EMPTY");
+  step ~pop:true false;
+  step ~pop:true true;
+  check Alcotest.bool "underflow pop ignored" true (Interp.value st "EMPTY")
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline equivalence for the new components                         *)
+(* ------------------------------------------------------------------ *)
+
+let equiv_case name flat =
+  Alcotest.test_case name `Quick (fun () ->
+      let nl = synthesize flat in
+      match Equiv.check flat nl with
+      | Equiv.Equivalent -> ()
+      | m -> Alcotest.fail (Equiv.result_to_string m))
+
+let equivalence_suite =
+  [ equiv_case "encoder3" (expand "ENCODER" [ ("size", 3) ]);
+    equiv_case "barrel8" (expand "BARREL_SHIFTER" [ ("size", 8); ("stages", 3) ]);
+    equiv_case "shift_register4" (expand "SHIFT_REGISTER" [ ("size", 4) ]);
+    equiv_case "multiplier3" (expand "MULTIPLIER" [ ("size", 3) ]);
+    equiv_case "multiplier4" (expand "MULTIPLIER" [ ("size", 4) ]);
+    equiv_case "divider3" (expand "DIVIDER" [ ("size", 3) ]);
+    equiv_case "divider4" (expand "DIVIDER" [ ("size", 4) ]);
+    equiv_case "register_file" (expand "REGISTER_FILE" [ ("size", 2); ("abits", 2) ]);
+    equiv_case "logic_unit4" (expand "LOGIC_UNIT" [ ("size", 4) ]);
+    equiv_case "muxg" (expand "MUXG" [ ("size", 3); ("ways", 3) ]);
+    equiv_case "concat" (expand "CONCAT" [ ("asize", 3); ("bsize", 4) ]);
+    equiv_case "extract" (expand "EXTRACT" [ ("size", 8); ("low", 3); ("width", 3) ]);
+    equiv_case "clock_driver" (expand "CLK_DRIVER" [ ("size", 4) ]);
+    equiv_case "schmitt" (expand "SCHMITT_TRIG" [ ("size", 2) ]);
+    equiv_case "wor_bus" (expand "WOR_BUS2" [ ("size", 3) ]);
+    equiv_case "stack" (expand "STACK" [ ("size", 2); ("abits", 2) ]) ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_multiplier =
+  QCheck.Test.make ~name:"multiplier computes a*b" ~count:100
+    QCheck.(pair (int_bound 31) (int_bound 31))
+    (fun (a, b) ->
+      let st = Interp.create (expand "MULTIPLIER" [ ("size", 5) ]) in
+      Interp.step st (drive_bus "A" 5 a @ drive_bus "B" 5 b);
+      read_bus st "P" 10 = a * b)
+
+let prop_divider =
+  QCheck.Test.make ~name:"divider computes quotient and remainder" ~count:100
+    QCheck.(pair (int_bound 31) (int_range 1 31))
+    (fun (a, b) ->
+      let st = Interp.create (expand "DIVIDER" [ ("size", 5) ]) in
+      Interp.step st (drive_bus "A" 5 a @ drive_bus "B" 5 b);
+      read_bus st "Q" 5 = a / b && read_bus st "REM" 5 = a mod b)
+
+let prop_barrel =
+  QCheck.Test.make ~name:"barrel shifter shifts" ~count:100
+    QCheck.(pair (int_bound 255) (int_bound 7))
+    (fun (x, s) ->
+      let st =
+        Interp.create (expand "BARREL_SHIFTER" [ ("size", 8); ("stages", 3) ])
+      in
+      Interp.step st (drive_bus "I" 8 x @ drive_bus "S" 3 s);
+      read_bus st "O" 8 = (x lsl s) land 255)
+
+let prop_div_mul_inverse =
+  QCheck.Test.make ~name:"a = q*b + r with r < b" ~count:100
+    QCheck.(pair (int_bound 15) (int_range 1 15))
+    (fun (a, b) ->
+      let st = Interp.create (expand "DIVIDER" [ ("size", 4) ]) in
+      Interp.step st (drive_bus "A" 4 a @ drive_bus "B" 4 b);
+      let q = read_bus st "Q" 4 and r = read_bus st "REM" 4 in
+      (q * b) + r = a && r < b)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_multiplier; prop_divider; prop_barrel; prop_div_mul_inverse ]
+
+let () =
+  Alcotest.run "components"
+    [ ("interp",
+       [ Alcotest.test_case "multiplier 3-bit exhaustive" `Quick test_multiplier_exhaustive;
+         Alcotest.test_case "multiplier 4-bit samples" `Quick test_multiplier_4bit_samples;
+         Alcotest.test_case "divider 3-bit exhaustive" `Quick test_divider_exhaustive;
+         Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+         Alcotest.test_case "shift register" `Quick test_shift_register;
+         Alcotest.test_case "encoder" `Quick test_encoder;
+         Alcotest.test_case "register file" `Quick test_register_file;
+         Alcotest.test_case "logic unit" `Quick test_logic_unit_ops;
+         Alcotest.test_case "mux by guard" `Quick test_muxg;
+         Alcotest.test_case "concat/extract" `Quick test_concat_extract;
+         Alcotest.test_case "clock driver / schmitt" `Quick test_clock_driver_and_schmitt;
+         Alcotest.test_case "wired-or bus" `Quick test_wor_bus;
+         Alcotest.test_case "stack LIFO" `Quick test_stack ]);
+      ("equivalence", equivalence_suite);
+      ("properties", props) ]

@@ -1,0 +1,200 @@
+(* Tests for the GENUS-style catalog: naming and taxonomy invariants,
+   plus a sweep proving every predefined component generates through the
+   full server pipeline with verification enabled. *)
+
+open Icdb_genus
+open Icdb
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Func                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_func_roundtrip () =
+  List.iter
+    (fun f ->
+      check Alcotest.bool
+        ("roundtrip " ^ Func.to_string f)
+        true
+        (Func.equal f (Func.of_string (Func.to_string f))))
+    Func.known
+
+let test_func_names_unique () =
+  let names = List.map Func.to_string Func.known in
+  check Alcotest.int "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_func_custom () =
+  match Func.of_string "MY_WEIRD_OP" with
+  | Func.Custom "MY_WEIRD_OP" -> ()
+  | _ -> Alcotest.fail "expected Custom"
+
+let test_func_case_insensitive () =
+  check Alcotest.bool "add lowercase" true
+    (Func.equal Func.ADD (Func.of_string "add"))
+
+(* ------------------------------------------------------------------ *)
+(* Component catalog invariants                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalog_names_unique () =
+  let names = List.map (fun c -> c.Component.comp_name) Component.all in
+  check Alcotest.int "unique component names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_catalog_size () =
+  (* the paper's predefined list has ~25 entries; ours should approach it *)
+  check Alcotest.bool "at least 20 components" true
+    (List.length Component.all >= 20)
+
+let test_catalog_every_component_has_functions () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool (c.Component.comp_name ^ " has functions") true
+        (c.Component.functions_of [] <> []))
+    Component.all
+
+let test_catalog_every_component_has_ports () =
+  List.iter
+    (fun c ->
+      let has_out =
+        List.exists
+          (fun p -> p.Component.role = Component.Data_out)
+          c.Component.ports
+      in
+      check Alcotest.bool (c.Component.comp_name ^ " has an output") true has_out)
+    Component.all
+
+let test_catalog_implementations_exist () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool
+        (c.Component.comp_name ^ " implementation parses")
+        true
+        (Icdb_iif.Builtin.find c.Component.implementation <> None))
+    Component.all
+
+let test_catalog_defaults_expand () =
+  (* the default attribute values must be accepted by the IIF design *)
+  List.iter
+    (fun c ->
+      let params = c.Component.params_of [] in
+      let flat = Icdb_iif.Builtin.expand_exn c.Component.implementation params in
+      check Alcotest.bool (c.Component.comp_name ^ " expands") true
+        (flat.Icdb_iif.Flat.fequations <> []))
+    Component.all
+
+let test_connections_reference_real_ports () =
+  List.iter
+    (fun c ->
+      let port_names = List.map (fun p -> p.Component.port_name) c.Component.ports in
+      List.iter
+        (fun (conn : Connect.t) ->
+          List.iter
+            (fun line ->
+              match line with
+              | Connect.Port_map { comp_port; _ } ->
+                  check Alcotest.bool
+                    (Printf.sprintf "%s: %s is a port" c.Component.comp_name comp_port)
+                    true (List.mem comp_port port_names)
+              | Connect.Control { port; _ } ->
+                  check Alcotest.bool
+                    (Printf.sprintf "%s: control %s is a port" c.Component.comp_name port)
+                    true (List.mem port port_names))
+            conn.Connect.lines)
+        (c.Component.connections_of []))
+    Component.all
+
+let test_performing () =
+  let storage = Component.performing [ Func.STORAGE ] in
+  let names = List.map (fun c -> c.Component.comp_name) storage in
+  check Alcotest.bool "register stores" true (List.mem "register" names);
+  check Alcotest.bool "register_file stores" true (List.mem "register_file" names);
+  check Alcotest.bool "adder does not store" true (not (List.mem "adder" names))
+
+let test_check_attributes () =
+  match Component.find "counter" with
+  | None -> Alcotest.fail "counter missing"
+  | Some c -> (
+      Component.check_attributes c [ ("size", 4) ];
+      try
+        Component.check_attributes c [ ("bogus", 1) ];
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+let test_connect_format () =
+  match Component.find "alu" with
+  | None -> Alcotest.fail "alu missing"
+  | Some c ->
+      let s = Connect.all_to_string (c.Component.connections_of []) in
+      let contains needle =
+        let nh = String.length s and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub s i nn = needle || at (i + 1)) in
+        at 0
+      in
+      check Alcotest.bool "## function ADD" true (contains "## function ADD");
+      check Alcotest.bool "** C2 1" true (contains "** C2 1")
+
+(* ------------------------------------------------------------------ *)
+(* Every catalog component generates through the verified pipeline     *)
+(* ------------------------------------------------------------------ *)
+
+let generation_sweep () =
+  let server = Server.create ~verify:true () in
+  List.iter
+    (fun (c : Component.t) ->
+      (* small attribute values keep verification fast *)
+      let small (n, d) =
+        match n with
+        | "size" -> (n, min d 3)
+        | "abits" -> (n, 2)
+        | "asize" | "bsize" -> (n, 2)
+        | "stages" -> (n, 2)
+        | "width" -> (n, 2)
+        | _ -> (n, d)
+      in
+      let attributes = List.map small c.Component.attributes in
+      (* barrel shifter: size must cover 2^stages *)
+      let attributes =
+        if c.Component.comp_name = "barrel_shifter" then
+          [ ("size", 4); ("stages", 2) ]
+        else attributes
+      in
+      let inst =
+        Server.request_component server
+          (Spec.make
+             (Spec.From_component
+                { component = c.Component.comp_name; attributes; functions = [] }))
+      in
+      check Alcotest.bool
+        (c.Component.comp_name ^ " generated and verified")
+        true
+        (Instance.gate_count inst > 0))
+    Component.all
+
+let () =
+  Alcotest.run "genus"
+    [ ("func",
+       [ Alcotest.test_case "roundtrip" `Quick test_func_roundtrip;
+         Alcotest.test_case "unique names" `Quick test_func_names_unique;
+         Alcotest.test_case "custom escape" `Quick test_func_custom;
+         Alcotest.test_case "case insensitive" `Quick test_func_case_insensitive ]);
+      ("catalog",
+       [ Alcotest.test_case "unique names" `Quick test_catalog_names_unique;
+         Alcotest.test_case "catalog size" `Quick test_catalog_size;
+         Alcotest.test_case "all have functions" `Quick
+           test_catalog_every_component_has_functions;
+         Alcotest.test_case "all have outputs" `Quick
+           test_catalog_every_component_has_ports;
+         Alcotest.test_case "implementations exist" `Quick
+           test_catalog_implementations_exist;
+         Alcotest.test_case "defaults expand" `Quick test_catalog_defaults_expand;
+         Alcotest.test_case "connections use real ports" `Quick
+           test_connections_reference_real_ports;
+         Alcotest.test_case "performing" `Quick test_performing;
+         Alcotest.test_case "check_attributes" `Quick test_check_attributes;
+         Alcotest.test_case "connect format" `Quick test_connect_format ]);
+      ("generation",
+       [ Alcotest.test_case "every catalog component generates" `Slow
+           generation_sweep ]) ]

@@ -1,0 +1,651 @@
+(* Tests for the IIF language: lexer, parser, expander, interpreter. *)
+
+open Icdb_iif
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let toks src = Array.to_list (Lexer.tokenize src) |> List.map fst
+
+let test_lex_operators () =
+  check Alcotest.bool "xor token" true
+    (toks "A (+) B" = Lexer.[ IDENT "A"; XOR; IDENT "B"; EOF ]);
+  check Alcotest.bool "xnor token" true
+    (toks "A (.) B" = Lexer.[ IDENT "A"; XNOR; IDENT "B"; EOF ]);
+  check Alcotest.bool "paren vs xor" true
+    (toks "(A+B)" = Lexer.[ LPAREN; IDENT "A"; PLUS; IDENT "B"; RPAREN; EOF ]);
+  check Alcotest.bool "aggregate xor" true
+    (toks "O (+)= A" = Lexer.[ IDENT "O"; XOREQ; IDENT "A"; EOF ]);
+  check Alcotest.bool "tilde ops" true
+    (toks "~a ~r ~l" = Lexer.[ TILDE_A; TILDE_R; TILDE_L; EOF ])
+
+let test_lex_hash () =
+  check Alcotest.bool "#if/#else/#for" true
+    (toks "#if #else #for #c_line" =
+       Lexer.[ HASH_IF; HASH_ELSE; HASH_FOR; HASH_CLINE; EOF ]);
+  check Alcotest.bool "call" true
+    (toks "#ADDER(size)" =
+       Lexer.[ HASH_CALL "ADDER"; LPAREN; IDENT "size"; RPAREN; EOF ])
+
+let test_lex_comment () =
+  check Alcotest.bool "comment skipped" true
+    (toks "A /* up counter\n only */ B" = Lexer.[ IDENT "A"; IDENT "B"; EOF ])
+
+let test_lex_increment () =
+  check Alcotest.bool "++ and +=" true
+    (toks "i++ x += 1" =
+       Lexer.[ IDENT "i"; PLUSPLUS; IDENT "x"; PLUSEQ; INT 1; EOF ])
+
+let test_lex_error_line () =
+  (try
+     ignore (Lexer.tokenize "A\nB\n$");
+     Alcotest.fail "expected lex error"
+   with Lexer.Lex_error (_, line) -> check Alcotest.int "line" 3 line)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_expr_precedence () =
+  (* AND binds tighter than OR; XOR binds tighter than AND. *)
+  let e = Parser.parse_expr "a + b*c" in
+  check Alcotest.bool "a + (b*c)" true
+    (match e with
+     | Ast.Or (Ast.Sig { base = "a"; _ }, Ast.And (_, _)) -> true
+     | _ -> false);
+  let e = Parser.parse_expr "a * b(+)c" in
+  check Alcotest.bool "a * (b xor c)" true
+    (match e with
+     | Ast.And (Ast.Sig { base = "a"; _ }, Ast.Xor (_, _)) -> true
+     | _ -> false)
+
+let test_parse_sequential () =
+  let e = Parser.parse_expr "(Q(+)Cin) @(~r CLKO) ~a(0/(!LOAD*!Din),1/(!LOAD*Din))" in
+  match e with
+  | Ast.Async (Ast.At (Ast.Xor _, Ast.Edge (Ast.Rising, _)), specs) ->
+      check Alcotest.int "two async specs" 2 (List.length specs)
+  | _ -> Alcotest.fail ("unexpected shape: " ^ Ast.expr_to_string e)
+
+let test_parse_latched_clock () =
+  let e = Parser.parse_expr "CLK @(~h ENA)" in
+  match e with
+  | Ast.At (Ast.Sig { base = "CLK"; _ }, Ast.Edge (Ast.High, _)) -> ()
+  | _ -> Alcotest.fail "expected latch clock spec"
+
+let test_parse_interface_ops () =
+  (match Parser.parse_expr "A ~d 10" with
+   | Ast.Delay (_, Ast.Cint 10) -> ()
+   | _ -> Alcotest.fail "delay");
+  (match Parser.parse_expr "Q ~t control" with
+   | Ast.Tristate (_, Ast.Sig { base = "control"; _ }) -> ()
+   | _ -> Alcotest.fail "tristate");
+  (match Parser.parse_expr "A ~w B" with
+   | Ast.Wire_or (_, _) -> ()
+   | _ -> Alcotest.fail "wire-or");
+  (match Parser.parse_expr "~b Clock" with
+   | Ast.Buf _ -> ()
+   | _ -> Alcotest.fail "buffer");
+  match Parser.parse_expr "~s Y" with
+  | Ast.Schmitt _ -> ()
+  | _ -> Alcotest.fail "schmitt"
+
+let test_parse_design_decls () =
+  let d = Parser.parse Builtin.adder in
+  check Alcotest.string "name" "ADDER" d.Ast.dname;
+  check Alcotest.(list string) "params" [ "size" ] d.Ast.dparams;
+  check Alcotest.(list string) "functions" [ "ADD" ] d.Ast.dfunctions;
+  check Alcotest.int "inputs" 3 (List.length d.Ast.dinputs);
+  check Alcotest.int "outputs" 2 (List.length d.Ast.doutputs);
+  check Alcotest.bool "I0 is a bus" true
+    ((List.hd d.Ast.dinputs).Ast.ssize <> None)
+
+let test_parse_counter_design () =
+  let d = Parser.parse Builtin.counter in
+  check Alcotest.string "name" "COUNTER" d.Ast.dname;
+  check Alcotest.(list string) "params"
+    [ "size"; "type"; "load"; "enable"; "up_or_down" ] d.Ast.dparams;
+  check Alcotest.(list string) "subfunctions" [ "RIPPLE_COUNTER" ]
+    d.Ast.dsubfunctions
+
+let test_parse_all_builtins () =
+  List.iter
+    (fun (name, src) ->
+      let d = Parser.parse src in
+      check Alcotest.string ("name of " ^ name) name d.Ast.dname)
+    Builtin.sources
+
+let test_parse_error_reports_line () =
+  (try
+     ignore (Parser.parse "NAME:X;\nINORDER: A;\nOUTORDER: B;\n{\n  B = ;\n}");
+     Alcotest.fail "expected parse error"
+   with Parser.Parse_error (_, line) -> check Alcotest.int "line" 5 line)
+
+let test_parse_for_loop () =
+  let d =
+    Parser.parse
+      "NAME:X; PARAMETER: n; INORDER: A[n]; OUTORDER: O; VARIABLE: i;\n\
+       { #for(i=0;i<n;i++) O += A[i]; }"
+  in
+  match d.Ast.dbody with
+  | [ Ast.For { var = "i"; step = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single for loop"
+
+let test_parse_downward_for () =
+  let d =
+    Parser.parse
+      "NAME:X; PARAMETER: n; INORDER: A[n]; OUTORDER: O; VARIABLE: i;\n\
+       { #for(i=n-1;i>=0;i--) O += A[i]; }"
+  in
+  match d.Ast.dbody with
+  | [ Ast.For { step = -1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a downward for loop"
+
+(* ------------------------------------------------------------------ *)
+(* Expander                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let expand_builtin = Builtin.expand_exn
+
+let test_expand_adder4 () =
+  (* Appendix A expands the 4-bit adder into 4 sum + 5 carry equations. *)
+  let flat = expand_builtin "ADDER" [ ("size", 4) ] in
+  check Alcotest.int "inputs: 2*4 + Cin" 9 (List.length flat.Flat.finputs);
+  check Alcotest.int "outputs: 4 + Cout" 5 (List.length flat.Flat.foutputs);
+  (* C[0]=Cin, 4 sums, 4 carries, Cout *)
+  check Alcotest.int "equations" 10 (List.length flat.Flat.fequations);
+  check Alcotest.(list string) "input order"
+    [ "I0[0]"; "I0[1]"; "I0[2]"; "I0[3]"; "I1[0]"; "I1[1]"; "I1[2]"; "I1[3]";
+      "Cin" ]
+    flat.Flat.finputs
+
+let test_expand_validate_clean () =
+  List.iter
+    (fun (name, params) ->
+      let flat = expand_builtin name params in
+      check Alcotest.(list string) (name ^ " validates") []
+        (List.map Flat.problem_to_string (Flat.validate flat)))
+    [ ("ADDER", [ ("size", 8) ]);
+      ("ADDSUB", [ ("size", 4) ]);
+      ("REGISTER", [ ("size", 4); ("load", 1) ]);
+      ("SHL0", [ ("size", 8); ("shift_distance", 3) ]);
+      ("ANDN", [ ("size", 5) ]);
+      ("MUX2", [ ("size", 4) ]);
+      ("DECODER", [ ("size", 3) ]);
+      ("COMPARATOR", [ ("size", 4) ]);
+      ("ALU", [ ("size", 4) ]);
+      ("TRIBUF", [ ("size", 4) ]);
+      ("COUNTER",
+       [ ("size", 4); ("type", 2); ("load", 1); ("enable", 1); ("up_or_down", 3) ]);
+      ("COUNTER",
+       [ ("size", 5); ("type", 1); ("load", 0); ("enable", 0); ("up_or_down", 1) ]) ]
+
+let test_expand_addsub_inlines_adder () =
+  (* The ADDSUB calls #ADDER by macro substitution: B1 xor gates plus the
+     adder's equations must appear, with the adder's carry nets renamed
+     to the caller's C. *)
+  let flat = expand_builtin "ADDSUB" [ ("size", 4) ] in
+  let targets = List.map Flat.target_of flat.Flat.fequations in
+  check Alcotest.bool "B1[3] present" true (List.mem "B1[3]" targets);
+  check Alcotest.bool "C[0] driven by inlined adder" true (List.mem "C[0]" targets);
+  check Alcotest.bool "O[3] driven" true (List.mem "O[3]" targets);
+  check Alcotest.bool "Cout driven" true (List.mem "Cout" targets)
+
+let test_expand_counter_ff_count () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 4); ("type", 2); ("load", 1); ("enable", 1); ("up_or_down", 3) ]
+  in
+  let ffs =
+    List.filter (fun eq -> match eq with Flat.Ff _ -> true | _ -> false)
+      flat.Flat.fequations
+  in
+  let latches =
+    List.filter (fun eq -> match eq with Flat.Latch _ -> true | _ -> false)
+      flat.Flat.fequations
+  in
+  check Alcotest.int "4 flip-flops" 4 (List.length ffs);
+  check Alcotest.int "1 clock-gating latch" 1 (List.length latches);
+  (* parallel load: each FF carries two async specs *)
+  List.iter
+    (fun eq ->
+      match eq with
+      | Flat.Ff { asyncs; _ } -> check Alcotest.int "async load" 2 (List.length asyncs)
+      | _ -> ())
+    ffs
+
+let test_expand_ripple_uses_q_clocks () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 3); ("type", 1); ("load", 0); ("enable", 0); ("up_or_down", 1) ]
+  in
+  let clock_of tgt =
+    List.find_map
+      (fun eq ->
+        match eq with
+        | Flat.Ff { target; clock; rising; _ } when target = tgt ->
+            Some (clock, rising)
+        | _ -> None)
+      flat.Flat.fequations
+  in
+  (match clock_of "Q[0]" with
+   | Some (Flat.Fnet "CLK", true) -> ()
+   | _ -> Alcotest.fail "Q[0] should clock on rising CLK");
+  match clock_of "Q[2]" with
+  | Some (Flat.Fnet "Q[1]", false) -> ()
+  | _ -> Alcotest.fail "Q[2] should clock on falling Q[1]"
+
+let test_expand_missing_param () =
+  (try
+     ignore (expand_builtin "ADDER" []);
+     Alcotest.fail "expected expand error"
+   with Expander.Expand_error msg ->
+     check Alcotest.bool "mentions size" true
+       (String.length msg > 0 && String.sub msg 0 14 = "parameter size"))
+
+let test_expand_unknown_param () =
+  (try
+     ignore (expand_builtin "ADDER" [ ("size", 4); ("bogus", 1) ]);
+     Alcotest.fail "expected expand error"
+   with Expander.Expand_error _ -> ())
+
+let test_expand_double_drive_rejected () =
+  let d =
+    Parser.parse
+      "NAME:X; INORDER: A; OUTORDER: O;\n{ O = A; O = !A; }"
+  in
+  (try
+     ignore (Expander.expand d []);
+     Alcotest.fail "expected expand error"
+   with Expander.Expand_error _ -> ())
+
+let test_expand_aggregate_and () =
+  let flat = expand_builtin "ANDN" [ ("size", 3) ] in
+  match flat.Flat.fequations with
+  | [ Flat.Comb { target = "O"; rhs = Flat.Fand nets } ] ->
+      check Alcotest.int "three conjuncts" 3 (List.length nets)
+  | _ -> Alcotest.fail "expected one aggregate AND equation"
+
+let test_expand_decoder_minterm () =
+  let flat = expand_builtin "DECODER" [ ("size", 2) ] in
+  check Alcotest.int "4 outputs" 5 (List.length flat.Flat.foutputs + 1);
+  (* O[2] = EN * I[1] * !I[0]: binary 10 *)
+  let eq =
+    List.find
+      (fun e -> Flat.target_of e = "O[2]")
+      flat.Flat.fequations
+  in
+  match eq with
+  | Flat.Comb { rhs = Flat.Fand [ Flat.Fnet "EN"; Flat.Fnot (Flat.Fnet "I[0]");
+                                  Flat.Fnet "I[1]" ]; _ } -> ()
+  | Flat.Comb { rhs; _ } ->
+      Alcotest.failf "unexpected O[2] equation: %s"
+        (let b = Buffer.create 64 in Flat.print_fexpr b rhs; Buffer.contents b)
+  | _ -> Alcotest.fail "O[2] should be combinational"
+
+let test_expand_cline_arithmetic () =
+  (* the Appendix A C(n,m) example: #c_line computing with a loop *)
+  let d =
+    Parser.parse
+      "NAME:CNM; PARAMETER: n, m; INORDER: A; OUTORDER: O[10];\n\
+       VARIABLE: i, cnm;\n\
+       {\n\
+         #c_line cnm = 1;\n\
+         #for(i=1;i<=m;i++)\n\
+           #c_line cnm = cnm * (n-i+1) / i;\n\
+         O[cnm] = A;\n\
+         #for(i=0;i<10;i++)\n\
+           #if (i != cnm) O[i] = 0;\n\
+       }"
+  in
+  (* C(4,2) = 6: the wire lands on O[6] *)
+  let flat = Expander.expand d [ ("n", 4); ("m", 2) ] in
+  let eq =
+    List.find (fun e -> Flat.target_of e = "O[6]") flat.Flat.fequations
+  in
+  (match eq with
+   | Flat.Comb { rhs = Flat.Fnet "A"; _ } -> ()
+   | _ -> Alcotest.fail "O[6] should be wired to A")
+
+let test_expand_call_with_constant_signal () =
+  (* the appendix parameter files tie signals to 0: "adderl 4 A B 0 ..." *)
+  let d =
+    Parser.parse
+      "NAME:W; PARAMETER: size; INORDER: X[size], Y[size];\n\
+       OUTORDER: S[size], CO;\n\
+       PIIFVARIABLE: CC[size+1];\n\
+       VARIABLE: i;\n\
+       SUBFUNCTION: ADDER;\n\
+       { #ADDER(size, X, Y, 0, S, CO, CC); }"
+  in
+  let flat = Expander.expand ~registry:Builtin.registry d [ ("size", 3) ] in
+  check Alcotest.(list string) "validates" []
+    (List.map Flat.problem_to_string (Flat.validate flat));
+  (* Cin tied to 0: plain addition *)
+  let st = Interp.create flat in
+  Interp.step st
+    (List.init 3 (fun i -> (Printf.sprintf "X[%d]" i, (5 lsr i) land 1 = 1))
+    @ List.init 3 (fun i -> (Printf.sprintf "Y[%d]" i, (2 lsr i) land 1 = 1)));
+  let s =
+    List.fold_left
+      (fun a i ->
+        (a * 2)
+        + if Interp.value st (Printf.sprintf "S[%d]" (2 - i)) then 1 else 0)
+      0 [ 0; 1; 2 ]
+  in
+  check Alcotest.int "5+2 with tied carry" 7 s
+
+let test_milo_format () =
+  let flat = expand_builtin "ADDER" [ ("size", 2) ] in
+  let text = Flat.to_milo flat in
+  check Alcotest.bool "has NAME" true
+    (String.length text > 5 && String.sub text 0 5 = "NAME=");
+  (* XOR prints as != per the appendix *)
+  check Alcotest.bool "xor as !=" true
+    (let rec find i =
+       i + 2 <= String.length text
+       && (String.sub text i 2 = "!=" || find (i + 1))
+     in
+     find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Read a bus value as an integer. *)
+let read_bus st base width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v lsl 1) lor (if Interp.value st (Printf.sprintf "%s[%d]" base i) then 1 else 0)
+  done;
+  !v
+
+let drive_bus base width x =
+  List.init width (fun i -> (Printf.sprintf "%s[%d]" base i, (x lsr i) land 1 = 1))
+
+let test_interp_adder_exhaustive () =
+  let flat = expand_builtin "ADDER" [ ("size", 4) ] in
+  let st = Interp.create flat in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      Interp.step st
+        (drive_bus "I0" 4 a @ drive_bus "I1" 4 b @ [ ("Cin", false) ]);
+      let sum = read_bus st "O" 4 in
+      let cout = Interp.value st "Cout" in
+      let expect = a + b in
+      check Alcotest.int (Printf.sprintf "%d+%d" a b) (expect land 15) sum;
+      check Alcotest.bool "carry" (expect > 15) cout
+    done
+  done
+
+let test_interp_addsub () =
+  let flat = expand_builtin "ADDSUB" [ ("size", 4) ] in
+  let st = Interp.create flat in
+  (* subtract: ADDSUB=1 computes A - B (two's complement) *)
+  Interp.step st
+    (drive_bus "A" 4 9 @ drive_bus "B" 4 3 @ [ ("ADDSUB", true) ]);
+  check Alcotest.int "9-3" 6 (read_bus st "O" 4);
+  Interp.step st
+    (drive_bus "A" 4 5 @ drive_bus "B" 4 2 @ [ ("ADDSUB", false) ]);
+  check Alcotest.int "5+2" 7 (read_bus st "O" 4)
+
+let clock_pulse st other =
+  Interp.step st (("CLK", false) :: other);
+  Interp.step st (("CLK", true) :: other)
+
+let test_interp_sync_up_counter () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 4); ("type", 2); ("load", 0); ("enable", 0); ("up_or_down", 1) ]
+  in
+  let st = Interp.create flat in
+  let others = drive_bus "D" 4 0 @ [ ("LOAD", true); ("ENA", true); ("DWUP", false) ] in
+  Interp.step st (("CLK", false) :: others);
+  for expected = 1 to 20 do
+    clock_pulse st others;
+    check Alcotest.int (Printf.sprintf "count %d" expected) (expected land 15)
+      (read_bus st "Q" 4)
+  done
+
+let test_interp_counter_enable_gates () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 4); ("type", 2); ("load", 0); ("enable", 1); ("up_or_down", 1) ]
+  in
+  let st = Interp.create flat in
+  let en b = drive_bus "D" 4 0 @ [ ("LOAD", true); ("ENA", b); ("DWUP", false) ] in
+  Interp.step st (("CLK", false) :: en true);
+  clock_pulse st (en true);
+  clock_pulse st (en true);
+  check Alcotest.int "counted to 2" 2 (read_bus st "Q" 4);
+  (* disable: clock pulses must not advance the count *)
+  clock_pulse st (en false);
+  clock_pulse st (en false);
+  check Alcotest.int "frozen at 2" 2 (read_bus st "Q" 4);
+  clock_pulse st (en true);
+  check Alcotest.int "resumes at 3" 3 (read_bus st "Q" 4)
+
+let test_interp_counter_async_load () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 4); ("type", 2); ("load", 1); ("enable", 0); ("up_or_down", 1) ]
+  in
+  let st = Interp.create flat in
+  let others ~load ~d =
+    drive_bus "D" 4 d @ [ ("LOAD", load); ("ENA", true); ("DWUP", false) ]
+  in
+  Interp.step st (("CLK", false) :: others ~load:true ~d:0);
+  (* LOAD is active low: dropping it loads D asynchronously. *)
+  Interp.step st (("CLK", false) :: others ~load:false ~d:11);
+  check Alcotest.int "loaded 11 without clock" 11 (read_bus st "Q" 4);
+  Interp.step st (("CLK", false) :: others ~load:true ~d:11);
+  clock_pulse st (others ~load:true ~d:11);
+  check Alcotest.int "counts from loaded value" 12 (read_bus st "Q" 4)
+
+let test_interp_updown () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 4); ("type", 2); ("load", 0); ("enable", 0); ("up_or_down", 3) ]
+  in
+  let st = Interp.create flat in
+  let others dir = drive_bus "D" 4 0 @ [ ("LOAD", true); ("ENA", true); ("DWUP", dir) ] in
+  Interp.step st (("CLK", false) :: others false);
+  clock_pulse st (others false);
+  clock_pulse st (others false);
+  clock_pulse st (others false);
+  check Alcotest.int "up to 3" 3 (read_bus st "Q" 4);
+  (* DWUP=1 counts down *)
+  clock_pulse st (others true);
+  clock_pulse st (others true);
+  check Alcotest.int "down to 1" 1 (read_bus st "Q" 4)
+
+let test_interp_ripple_counter () =
+  let flat =
+    expand_builtin "COUNTER"
+      [ ("size", 4); ("type", 1); ("load", 0); ("enable", 0); ("up_or_down", 1) ]
+  in
+  let st = Interp.create flat in
+  let others = drive_bus "D" 4 0 @ [ ("LOAD", true); ("ENA", true); ("DWUP", false) ] in
+  Interp.step st (("CLK", false) :: others);
+  for expected = 1 to 18 do
+    clock_pulse st others;
+    check Alcotest.int (Printf.sprintf "ripple count %d" expected)
+      (expected land 15) (read_bus st "Q" 4)
+  done
+
+let test_interp_register_load () =
+  let flat = expand_builtin "REGISTER" [ ("size", 4); ("load", 1) ] in
+  let st = Interp.create flat in
+  let inp ~load ~i = drive_bus "I" 4 i @ [ ("LOAD", load) ] in
+  Interp.step st (("CLK", false) :: inp ~load:true ~i:9);
+  Interp.step st (("CLK", true) :: inp ~load:true ~i:9);
+  check Alcotest.int "loaded 9" 9 (read_bus st "Q" 4);
+  (* LOAD low: holds *)
+  Interp.step st (("CLK", false) :: inp ~load:false ~i:5);
+  Interp.step st (("CLK", true) :: inp ~load:false ~i:5);
+  check Alcotest.int "held 9" 9 (read_bus st "Q" 4)
+
+let test_interp_mux_decoder_comparator () =
+  let mux = Interp.create (expand_builtin "MUX2" [ ("size", 2) ]) in
+  Interp.step mux (drive_bus "I0" 2 1 @ drive_bus "I1" 2 2 @ [ ("SEL", false) ]);
+  check Alcotest.int "mux sel0" 1 (read_bus mux "O" 2);
+  Interp.step mux (drive_bus "I0" 2 1 @ drive_bus "I1" 2 2 @ [ ("SEL", true) ]);
+  check Alcotest.int "mux sel1" 2 (read_bus mux "O" 2);
+  let dec = Interp.create (expand_builtin "DECODER" [ ("size", 2) ]) in
+  Interp.step dec (drive_bus "I" 2 2 @ [ ("EN", true) ]);
+  check Alcotest.int "one-hot" 4 (read_bus dec "O" 4);
+  Interp.step dec (drive_bus "I" 2 2 @ [ ("EN", false) ]);
+  check Alcotest.int "disabled" 0 (read_bus dec "O" 4);
+  let cmp = Interp.create (expand_builtin "COMPARATOR" [ ("size", 4) ]) in
+  let pairs = [ (3, 3); (5, 2); (2, 5); (15, 0); (0, 0); (8, 9) ] in
+  List.iter
+    (fun (a, b) ->
+      Interp.step cmp (drive_bus "A" 4 a @ drive_bus "B" 4 b);
+      check Alcotest.bool (Printf.sprintf "%d=%d" a b) (a = b) (Interp.value cmp "OEQ");
+      check Alcotest.bool (Printf.sprintf "%d>%d" a b) (a > b) (Interp.value cmp "OGT");
+      check Alcotest.bool (Printf.sprintf "%d<%d" a b) (a < b) (Interp.value cmp "OLT"))
+    pairs
+
+let test_interp_alu () =
+  let st = Interp.create (expand_builtin "ALU" [ ("size", 4) ]) in
+  let op c2 c1 c0 a b =
+    Interp.step st
+      (drive_bus "A" 4 a @ drive_bus "B" 4 b
+      @ [ ("C0", c0); ("C1", c1); ("C2", c2) ]);
+    read_bus st "O" 4
+  in
+  check Alcotest.int "and" (12 land 10) (op false false false 12 10);
+  check Alcotest.int "or" (12 lor 10) (op false false true 12 10);
+  check Alcotest.int "xor" (12 lxor 10) (op false true false 12 10);
+  check Alcotest.int "not" (lnot 12 land 15) (op false true true 12 0);
+  check Alcotest.int "add" 7 (op true false false 3 4);
+  check Alcotest.int "sub" 2 (op true false true 9 7)
+
+let test_interp_shifter () =
+  let st = Interp.create (expand_builtin "SHL0" [ ("size", 8); ("shift_distance", 2) ]) in
+  Interp.step st (drive_bus "I" 8 0b1011);
+  check Alcotest.int "shl2" (0b1011 lsl 2) (read_bus st "O" 8)
+
+let test_interp_tristate_bus_keeper () =
+  let st = Interp.create (expand_builtin "TRIBUF" [ ("size", 1) ]) in
+  Interp.step st [ ("I[0]", true); ("EN", true) ];
+  check Alcotest.bool "driven high" true (Interp.value st "O[0]");
+  Interp.step st [ ("I[0]", false); ("EN", false) ];
+  check Alcotest.bool "keeps value when disabled" true (Interp.value st "O[0]")
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_adder_matches_arithmetic =
+  QCheck.Test.make ~name:"n-bit adder computes a+b" ~count:200
+    QCheck.(triple (int_bound 255) (int_bound 255) bool)
+    (fun (a, b, cin) ->
+      let flat = expand_builtin "ADDER" [ ("size", 8) ] in
+      let st = Interp.create flat in
+      Interp.step st
+        (drive_bus "I0" 8 a @ drive_bus "I1" 8 b @ [ ("Cin", cin) ]);
+      let expect = a + b + if cin then 1 else 0 in
+      read_bus st "O" 8 = expect land 255
+      && Interp.value st "Cout" = (expect > 255))
+
+let prop_addsub_subtracts =
+  QCheck.Test.make ~name:"addsub computes a-b mod 2^n" ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let flat = expand_builtin "ADDSUB" [ ("size", 8) ] in
+      let st = Interp.create flat in
+      Interp.step st (drive_bus "A" 8 a @ drive_bus "B" 8 b @ [ ("ADDSUB", true) ]);
+      read_bus st "O" 8 = (a - b) land 255)
+
+let prop_counter_counts_mod_2n =
+  QCheck.Test.make ~name:"sync counter counts pulses mod 2^n" ~count:30
+    QCheck.(pair (int_range 2 6) (int_bound 40))
+    (fun (size, pulses) ->
+      let flat =
+        expand_builtin "COUNTER"
+          [ ("size", size); ("type", 2); ("load", 0); ("enable", 0);
+            ("up_or_down", 1) ]
+      in
+      let st = Interp.create flat in
+      let others =
+        drive_bus "D" size 0 @ [ ("LOAD", true); ("ENA", true); ("DWUP", false) ]
+      in
+      Interp.step st (("CLK", false) :: others);
+      for _ = 1 to pulses do
+        clock_pulse st others
+      done;
+      read_bus st "Q" size = pulses mod (1 lsl size))
+
+let prop_expander_deterministic =
+  QCheck.Test.make ~name:"expansion is deterministic" ~count:20
+    QCheck.(int_range 1 8)
+    (fun size ->
+      let f1 = expand_builtin "ADDER" [ ("size", size) ] in
+      let f2 = expand_builtin "ADDER" [ ("size", size) ] in
+      Flat.to_milo f1 = Flat.to_milo f2)
+
+let prop_decoder_one_hot =
+  QCheck.Test.make ~name:"decoder output is one-hot when enabled" ~count:50
+    QCheck.(int_bound 7)
+    (fun v ->
+      let st = Interp.create (expand_builtin "DECODER" [ ("size", 3) ]) in
+      Interp.step st (drive_bus "I" 3 v @ [ ("EN", true) ]);
+      read_bus st "O" 8 = 1 lsl v)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_adder_matches_arithmetic; prop_addsub_subtracts;
+      prop_counter_counts_mod_2n; prop_expander_deterministic;
+      prop_decoder_one_hot ]
+
+let () =
+  Alcotest.run "iif"
+    [ ("lexer",
+       [ Alcotest.test_case "operators" `Quick test_lex_operators;
+         Alcotest.test_case "hash directives" `Quick test_lex_hash;
+         Alcotest.test_case "comments" `Quick test_lex_comment;
+         Alcotest.test_case "increment ops" `Quick test_lex_increment;
+         Alcotest.test_case "error line" `Quick test_lex_error_line ]);
+      ("parser",
+       [ Alcotest.test_case "precedence" `Quick test_parse_expr_precedence;
+         Alcotest.test_case "sequential expr" `Quick test_parse_sequential;
+         Alcotest.test_case "latched clock" `Quick test_parse_latched_clock;
+         Alcotest.test_case "interface ops" `Quick test_parse_interface_ops;
+         Alcotest.test_case "adder decls" `Quick test_parse_design_decls;
+         Alcotest.test_case "counter design" `Quick test_parse_counter_design;
+         Alcotest.test_case "all builtins parse" `Quick test_parse_all_builtins;
+         Alcotest.test_case "error line" `Quick test_parse_error_reports_line;
+         Alcotest.test_case "for loop" `Quick test_parse_for_loop;
+         Alcotest.test_case "downward for" `Quick test_parse_downward_for ]);
+      ("expander",
+       [ Alcotest.test_case "adder4 shape" `Quick test_expand_adder4;
+         Alcotest.test_case "all builtins validate" `Quick test_expand_validate_clean;
+         Alcotest.test_case "addsub inlines adder" `Quick test_expand_addsub_inlines_adder;
+         Alcotest.test_case "counter FFs and latch" `Quick test_expand_counter_ff_count;
+         Alcotest.test_case "ripple clock chain" `Quick test_expand_ripple_uses_q_clocks;
+         Alcotest.test_case "missing parameter" `Quick test_expand_missing_param;
+         Alcotest.test_case "unknown parameter" `Quick test_expand_unknown_param;
+         Alcotest.test_case "double drive rejected" `Quick test_expand_double_drive_rejected;
+         Alcotest.test_case "aggregate and" `Quick test_expand_aggregate_and;
+         Alcotest.test_case "decoder minterm" `Quick test_expand_decoder_minterm;
+         Alcotest.test_case "c_line arithmetic" `Quick test_expand_cline_arithmetic;
+         Alcotest.test_case "call with constant signal" `Quick
+           test_expand_call_with_constant_signal;
+         Alcotest.test_case "milo format" `Quick test_milo_format ]);
+      ("interp",
+       [ Alcotest.test_case "adder exhaustive" `Quick test_interp_adder_exhaustive;
+         Alcotest.test_case "addsub" `Quick test_interp_addsub;
+         Alcotest.test_case "sync up counter" `Quick test_interp_sync_up_counter;
+         Alcotest.test_case "enable gating" `Quick test_interp_counter_enable_gates;
+         Alcotest.test_case "async parallel load" `Quick test_interp_counter_async_load;
+         Alcotest.test_case "up/down" `Quick test_interp_updown;
+         Alcotest.test_case "ripple counter" `Quick test_interp_ripple_counter;
+         Alcotest.test_case "register load" `Quick test_interp_register_load;
+         Alcotest.test_case "mux/decoder/comparator" `Quick test_interp_mux_decoder_comparator;
+         Alcotest.test_case "alu ops" `Quick test_interp_alu;
+         Alcotest.test_case "shifter" `Quick test_interp_shifter;
+         Alcotest.test_case "tristate keeper" `Quick test_interp_tristate_bus_keeper ]);
+      ("properties", props) ]

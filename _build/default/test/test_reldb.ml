@@ -1,0 +1,512 @@
+(* Tests for the relational engine (INGRES substitute). *)
+
+open Icdb_reldb
+
+let check = Alcotest.check
+let vint i = Value.Int i
+let vstr s = Value.Str s
+let vfloat f = Value.Float f
+let vbool b = Value.Bool b
+
+let sample_components () =
+  let t =
+    Table.create "components"
+      [ ("name", Value.Tstr); ("size", Value.Tint); ("area", Value.Tfloat);
+        ("sequential", Value.Tbool) ]
+  in
+  Table.insert t [ vstr "counter"; vint 5; vfloat 37.3; vbool true ];
+  Table.insert t [ vstr "adder"; vint 8; vfloat 21.0; vbool false ];
+  Table.insert t [ vstr "register"; vint 4; vfloat 12.5; vbool true ];
+  Table.insert t [ vstr "alu"; vint 8; vfloat 55.0; vbool false ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_roundtrip () =
+  let values =
+    [ vint 42; vint (-7); vfloat 3.25; vfloat (-0.5); vstr "hello";
+      vstr "with\nnewline\tand\\slash"; vstr ""; vbool true; vbool false ]
+  in
+  List.iter
+    (fun v ->
+      check Alcotest.bool "roundtrip" true
+        (Value.equal v (Value.decode (Value.encode v))))
+    values
+
+let test_value_equal_across_types () =
+  check Alcotest.bool "int<>float" false (Value.equal (vint 1) (vfloat 1.0));
+  check Alcotest.bool "str<>bool" false (Value.equal (vstr "true") (vbool true))
+
+let test_value_compare_total () =
+  let vs = [ vint 3; vint 1; vfloat 2.0; vstr "b"; vstr "a"; vbool false ] in
+  let sorted = List.sort Value.compare vs in
+  check Alcotest.int "stable size" (List.length vs) (List.length sorted);
+  check Alcotest.bool "ints first, ordered" true
+    (match sorted with
+     | Value.Int 1 :: Value.Int 3 :: _ -> true
+     | _ -> false)
+
+let test_value_escape_injective () =
+  let nasty = [ "a\\nb"; "a\nb"; "a\\\nb"; "\\"; "\n"; "" ] in
+  let encoded = List.map Value.escape nasty in
+  let distinct = List.sort_uniq String.compare encoded in
+  check Alcotest.int "no collisions" (List.length nasty) (List.length distinct);
+  List.iter
+    (fun s -> check Alcotest.string "unescape" s (Value.unescape (Value.escape s)))
+    nasty
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_insert_and_rows () =
+  let t = sample_components () in
+  check Alcotest.int "cardinality" 4 (Table.cardinality t);
+  let names =
+    List.map (fun r -> Value.to_string (Table.get r t "name")) (Table.rows t)
+  in
+  check Alcotest.(list string) "insertion order"
+    [ "counter"; "adder"; "register"; "alu" ] names
+
+let test_table_type_mismatch () =
+  let t = sample_components () in
+  Alcotest.check_raises "type error"
+    (Table.Schema_error "table components: column size expects int, got string")
+    (fun () -> Table.insert t [ vstr "x"; vstr "bad"; vfloat 1.0; vbool true ])
+
+let test_table_arity_mismatch () =
+  let t = sample_components () in
+  Alcotest.check_raises "arity error"
+    (Table.Schema_error "table components: expected 4 values")
+    (fun () -> Table.insert t [ vstr "x" ])
+
+let test_table_duplicate_column () =
+  Alcotest.check_raises "dup column"
+    (Table.Schema_error "table bad: duplicate column a")
+    (fun () ->
+      ignore (Table.create "bad" [ ("a", Value.Tint); ("a", Value.Tstr) ]))
+
+let test_table_insert_assoc () =
+  let t = sample_components () in
+  Table.insert_assoc t
+    [ ("area", vfloat 9.9); ("name", vstr "mux"); ("sequential", vbool false);
+      ("size", vint 2) ];
+  check Alcotest.int "inserted" 5 (Table.cardinality t);
+  let last = List.nth (Table.rows t) 4 in
+  check Alcotest.string "name bound" "mux" (Value.to_string (Table.get last t "name"))
+
+let test_table_insert_assoc_missing () =
+  let t = sample_components () in
+  Alcotest.check_raises "missing binding"
+    (Table.Schema_error "table components: column area not bound")
+    (fun () -> Table.insert_assoc t [ ("name", vstr "x"); ("size", vint 1);
+                                      ("sequential", vbool true) ])
+
+let test_table_update () =
+  let t = sample_components () in
+  let n =
+    Table.update t
+      (fun r -> Table.get r t "size" = vint 8)
+      (fun _ -> [ ("area", vfloat 99.0) ])
+  in
+  check Alcotest.int "two rows updated" 2 n;
+  let areas =
+    Table.filter t (fun r -> Table.get r t "size" = vint 8)
+    |> List.map (fun r -> Table.get r t "area")
+  in
+  List.iter (fun a -> check Alcotest.bool "updated" true (Value.equal a (vfloat 99.0))) areas
+
+let test_table_delete () =
+  let t = sample_components () in
+  let n = Table.delete t (fun r -> Table.get r t "sequential" = vbool true) in
+  check Alcotest.int "deleted" 2 n;
+  check Alcotest.int "remaining" 2 (Table.cardinality t)
+
+let test_table_rows_are_copies () =
+  let t = sample_components () in
+  (match Table.rows t with
+   | row :: _ -> row.(0) <- vstr "clobbered"
+   | [] -> Alcotest.fail "expected rows");
+  match Table.rows t with
+  | row :: _ ->
+      check Alcotest.string "unaffected" "counter" (Value.to_string row.(0))
+  | [] -> Alcotest.fail "expected rows"
+
+let test_table_copy_restore () =
+  let t = sample_components () in
+  let snap = Table.copy t in
+  ignore (Table.delete t (fun _ -> true));
+  check Alcotest.int "emptied" 0 (Table.cardinality t);
+  Table.restore t ~from:snap;
+  check Alcotest.int "restored" 4 (Table.cardinality t)
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rel () = Query.of_table (sample_components ())
+
+let test_query_select_eq () =
+  let r = Query.select (Query.Eq ("name", vstr "adder")) (rel ()) in
+  check Alcotest.int "one row" 1 (Query.count r)
+
+let test_query_select_numeric_coercion () =
+  (* Int column compared against a Float literal must coerce. *)
+  let r = Query.select (Query.Ge ("size", vfloat 5.0)) (rel ()) in
+  check Alcotest.int "three rows >= 5" 3 (Query.count r)
+
+let test_query_select_and_or_not () =
+  let p =
+    Query.And
+      ( Query.Eq ("sequential", vbool true),
+        Query.Not (Query.Eq ("name", vstr "register")) )
+  in
+  let r = Query.select p (rel ()) in
+  check Alcotest.int "only counter" 1 (Query.count r);
+  let r2 =
+    Query.select
+      (Query.Or (Query.Eq ("name", vstr "alu"), Query.Eq ("name", vstr "adder")))
+      (rel ())
+  in
+  check Alcotest.int "two" 2 (Query.count r2)
+
+let test_query_like () =
+  let r = Query.select (Query.Like ("name", "der")) (rel ()) in
+  check Alcotest.int "adder matches" 1 (Query.count r);
+  let r2 = Query.select (Query.Like ("name", "")) (rel ()) in
+  check Alcotest.int "empty pattern matches all" 4 (Query.count r2)
+
+let test_query_project_reorders () =
+  let r = Query.project [ "area"; "name" ] (rel ()) in
+  check Alcotest.(list string) "schema" [ "area"; "name" ]
+    (List.map fst r.Query.rschema);
+  match r.Query.rrows with
+  | row :: _ -> check Alcotest.string "first col is area" "37.3" (Value.to_string row.(0))
+  | [] -> Alcotest.fail "rows expected"
+
+let test_query_order_by () =
+  let r = Query.order_by "area" (rel ()) in
+  let names = Query.column_values r "name" |> List.map Value.to_string in
+  check Alcotest.(list string) "ascending area"
+    [ "register"; "adder"; "counter"; "alu" ] names;
+  let r = Query.order_by "area" ~desc:true (rel ()) in
+  let names = Query.column_values r "name" |> List.map Value.to_string in
+  check Alcotest.(list string) "descending area"
+    [ "alu"; "counter"; "adder"; "register" ] names
+
+let test_query_join () =
+  let impls =
+    Table.create "impls" [ ("comp", Value.Tstr); ("impl", Value.Tstr) ]
+  in
+  Table.insert impls [ vstr "counter"; vstr "ripple" ];
+  Table.insert impls [ vstr "counter"; vstr "synchronous" ];
+  Table.insert impls [ vstr "adder"; vstr "ripple_carry" ];
+  let j = Query.join (rel ()) (Query.of_table impls) ~on:("name", "comp") in
+  check Alcotest.int "join rows" 3 (Query.count j);
+  let impls_of_counter =
+    Query.select (Query.Eq ("name", vstr "counter")) j
+    |> fun r -> Query.column_values r "impl" |> List.map Value.to_string
+  in
+  check Alcotest.(list string) "counter impls" [ "ripple"; "synchronous" ]
+    impls_of_counter
+
+let test_query_join_name_collision () =
+  let other = Table.create "o" [ ("name", Value.Tstr); ("x", Value.Tint) ] in
+  Table.insert other [ vstr "adder"; vint 1 ];
+  let j = Query.join (rel ()) (Query.of_table other) ~on:("name", "name") in
+  let cols = List.map fst j.Query.rschema in
+  check Alcotest.bool "disambiguated" true (List.mem "name'" cols)
+
+let test_query_distinct_limit () =
+  let t = Table.create "d" [ ("v", Value.Tint) ] in
+  List.iter (fun i -> Table.insert t [ vint i ]) [ 1; 2; 2; 3; 1 ];
+  let r = Query.distinct (Query.of_table t) in
+  check Alcotest.int "distinct" 3 (Query.count r);
+  check Alcotest.int "limit" 2 (Query.count (Query.limit 2 r));
+  check Alcotest.int "limit 0" 0 (Query.count (Query.limit 0 r))
+
+(* ------------------------------------------------------------------ *)
+(* Db: transactions + persistence                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mkdb () =
+  let db = Db.create () in
+  let t = Db.create_table db "comps" [ ("name", Value.Tstr); ("n", Value.Tint) ] in
+  Table.insert t [ vstr "a"; vint 1 ];
+  Table.insert t [ vstr "b"; vint 2 ];
+  db
+
+let test_db_rollback () =
+  let db = mkdb () in
+  Db.begin_tx db;
+  Table.insert (Db.table db "comps") [ vstr "c"; vint 3 ];
+  ignore (Db.create_table db "scratch" [ ("x", Value.Tint) ]);
+  Db.rollback db;
+  check Alcotest.int "insert undone" 2 (Table.cardinality (Db.table db "comps"));
+  check Alcotest.bool "created table dropped" true
+    (Db.table_opt db "scratch" = None)
+
+let test_db_commit () =
+  let db = mkdb () in
+  Db.begin_tx db;
+  Table.insert (Db.table db "comps") [ vstr "c"; vint 3 ];
+  Db.commit db;
+  check Alcotest.int "kept" 3 (Table.cardinality (Db.table db "comps"));
+  check Alcotest.bool "no tx" false (Db.in_tx db)
+
+let test_db_nested_tx () =
+  let db = mkdb () in
+  Db.begin_tx db;
+  Table.insert (Db.table db "comps") [ vstr "c"; vint 3 ];
+  Db.begin_tx db;
+  Table.insert (Db.table db "comps") [ vstr "d"; vint 4 ];
+  Db.rollback db;
+  check Alcotest.int "inner undone" 3 (Table.cardinality (Db.table db "comps"));
+  Db.commit db;
+  check Alcotest.int "outer kept" 3 (Table.cardinality (Db.table db "comps"))
+
+let test_db_with_tx_exn () =
+  let db = mkdb () in
+  (try
+     Db.with_tx db (fun () ->
+         Table.insert (Db.table db "comps") [ vstr "c"; vint 3 ];
+         failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.int "rolled back on exn" 2 (Table.cardinality (Db.table db "comps"))
+
+let test_db_save_load () =
+  let db = mkdb () in
+  let t2 = Db.create_table db "delays"
+      [ ("port", Value.Tstr); ("wd", Value.Tfloat); ("seq", Value.Tbool) ] in
+  Table.insert t2 [ vstr "Q[4]"; vfloat 8.5; vbool true ];
+  Table.insert t2 [ vstr "line\nbreak"; vfloat (-1.5); vbool false ];
+  let path = Filename.temp_file "icdb_reldb" ".db" in
+  Db.save db path;
+  let db' = Db.load path in
+  Sys.remove path;
+  check Alcotest.(list string) "tables" [ "comps"; "delays" ] (Db.table_names db');
+  check Alcotest.int "rows back" 2 (Table.cardinality (Db.table db' "delays"));
+  let rows = Table.rows (Db.table db' "delays") in
+  (match rows with
+   | [ r1; r2 ] ->
+       check Alcotest.string "str" "Q[4]" (Value.to_string r1.(0));
+       check Alcotest.string "newline preserved" "line\nbreak" (Value.to_string r2.(0));
+       check Alcotest.bool "float" true (Value.equal r1.(1) (vfloat 8.5))
+   | _ -> Alcotest.fail "expected 2 rows")
+
+let test_db_missing_table () =
+  let db = mkdb () in
+  Alcotest.check_raises "no table" (Db.Db_error "no table nope") (fun () ->
+      ignore (Db.table db "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Sql                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sqldb () =
+  let db = Db.create () in
+  let t =
+    Db.create_table db "impls"
+      [ ("name", Value.Tstr); ("comp", Value.Tstr); ("size", Value.Tint);
+        ("area", Value.Tfloat) ]
+  in
+  Table.insert t [ vstr "ripple"; vstr "counter"; vint 5; vfloat 17.2 ];
+  Table.insert t [ vstr "sync_up"; vstr "counter"; vint 5; vfloat 23.6 ];
+  Table.insert t [ vstr "sync_updown"; vstr "counter"; vint 5; vfloat 37.3 ];
+  Table.insert t [ vstr "ripple_carry"; vstr "adder"; vint 8; vfloat 21.0 ];
+  db
+
+let run_select db q =
+  match Sql.exec db q with
+  | Sql.Relation r -> r
+  | Sql.Affected _ -> Alcotest.fail "expected relation"
+
+let test_sql_select_star () =
+  let r = run_select (sqldb ()) "SELECT * FROM impls" in
+  check Alcotest.int "all rows" 4 (Query.count r);
+  check Alcotest.int "all cols" 4 (List.length r.Query.rschema)
+
+let test_sql_select_where () =
+  let r =
+    run_select (sqldb ())
+      "SELECT name FROM impls WHERE comp = 'counter' AND area < 30.0"
+  in
+  let names = Query.column_values r "name" |> List.map Value.to_string in
+  check Alcotest.(list string) "cheap counters" [ "ripple"; "sync_up" ] names
+
+let test_sql_select_or_parens () =
+  let r =
+    run_select (sqldb ())
+      "SELECT name FROM impls WHERE (comp = 'adder' OR name = 'ripple') AND size >= 5"
+  in
+  check Alcotest.int "two rows" 2 (Query.count r)
+
+let test_sql_like () =
+  let r = run_select (sqldb ()) "SELECT name FROM impls WHERE name LIKE 'sync'" in
+  check Alcotest.int "two sync impls" 2 (Query.count r)
+
+let test_sql_order_limit () =
+  let r =
+    run_select (sqldb ())
+      "SELECT name FROM impls WHERE comp = 'counter' ORDER BY area DESC LIMIT 1"
+  in
+  check Alcotest.(list string) "largest counter" [ "sync_updown" ]
+    (Query.column_values r "name" |> List.map Value.to_string)
+
+let test_sql_insert_update_delete () =
+  let db = sqldb () in
+  (match Sql.exec db "INSERT INTO impls VALUES ('cla', 'adder', 8, 35.5)" with
+   | Sql.Affected 1 -> ()
+   | _ -> Alcotest.fail "insert");
+  (match Sql.exec db "UPDATE impls SET area = 36.0 WHERE name = 'cla'" with
+   | Sql.Affected 1 -> ()
+   | _ -> Alcotest.fail "update");
+  let r = run_select db "SELECT area FROM impls WHERE name = 'cla'" in
+  check Alcotest.bool "updated" true
+    (Value.equal (List.hd (Query.column_values r "area")) (vfloat 36.0));
+  (match Sql.exec db "DELETE FROM impls WHERE comp = 'adder'" with
+   | Sql.Affected 2 -> ()
+   | _ -> Alcotest.fail "delete");
+  let r = run_select db "SELECT * FROM impls" in
+  check Alcotest.int "three left" 3 (Query.count r)
+
+let test_sql_case_insensitive_keywords () =
+  let r = run_select (sqldb ()) "select name from impls where size > 5" in
+  check Alcotest.int "one" 1 (Query.count r)
+
+let test_sql_syntax_error () =
+  let db = sqldb () in
+  (try
+     ignore (Sql.exec db "SELECT FROM");
+     Alcotest.fail "should raise"
+   with Sql.Sql_error _ -> ())
+
+let test_sql_string_with_spaces () =
+  let db = Db.create () in
+  let t = Db.create_table db "files" [ ("k", Value.Tstr) ] in
+  ignore t;
+  (match Sql.exec db "INSERT INTO files VALUES ('a b c.cif')" with
+   | Sql.Affected 1 -> ()
+   | _ -> Alcotest.fail "insert");
+  let r = run_select db "SELECT k FROM files WHERE k = 'a b c.cif'" in
+  check Alcotest.int "found" 1 (Query.count r)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ map (fun i -> Value.Int i) small_signed_int;
+        map (fun f -> Value.Float f) (float_bound_inclusive 1000.0);
+        map (fun s -> Value.Str s) (string_size (int_bound 12));
+        map (fun b -> Value.Bool b) bool ])
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"value encode/decode roundtrip" ~count:500 arb_value
+    (fun v -> Value.equal v (Value.decode (Value.encode v)))
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"value compare reflexive" ~count:200 arb_value
+    (fun v -> Value.compare v v = 0)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"value compare antisymmetric" ~count:500
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      Value.compare a b = -Value.compare b a)
+
+let prop_select_idempotent =
+  QCheck.Test.make ~name:"select idempotent" ~count:100
+    QCheck.(list_of_size Gen.(int_bound 20) (pair small_int (string_gen_of_size Gen.(int_bound 8) Gen.printable)))
+    (fun rows ->
+      let t = Table.create "p" [ ("n", Value.Tint); ("s", Value.Tstr) ] in
+      List.iter (fun (n, s) -> Table.insert t [ vint n; vstr s ]) rows;
+      let p = Query.Gt ("n", vint 10) in
+      let r1 = Query.select p (Query.of_table t) in
+      let r2 = Query.select p r1 in
+      Query.count r1 = Query.count r2)
+
+let prop_project_preserves_count =
+  QCheck.Test.make ~name:"project preserves row count" ~count:100
+    QCheck.(list_of_size Gen.(int_bound 20) small_int)
+    (fun ns ->
+      let t = Table.create "p" [ ("n", Value.Tint); ("m", Value.Tint) ] in
+      List.iter (fun n -> Table.insert t [ vint n; vint (n * 2) ]) ns;
+      let r = Query.of_table t in
+      Query.count (Query.project [ "m" ] r) = Query.count r)
+
+let prop_save_load_identity =
+  QCheck.Test.make ~name:"db save/load identity" ~count:50
+    QCheck.(list_of_size Gen.(int_bound 15)
+              (pair (string_gen_of_size Gen.(int_bound 8) Gen.printable) small_int))
+    (fun rows ->
+      let db = Db.create () in
+      let t = Db.create_table db "t" [ ("s", Value.Tstr); ("n", Value.Tint) ] in
+      List.iter (fun (s, n) -> Table.insert t [ vstr s; vint n ]) rows;
+      let path = Filename.temp_file "icdb_prop" ".db" in
+      Db.save db path;
+      let db' = Db.load path in
+      Sys.remove path;
+      let r = Query.of_table (Db.table db' "t") in
+      let orig = Query.of_table t in
+      Query.count r = Query.count orig
+      && List.for_all2
+           (fun a b -> Array.for_all2 Value.equal a b)
+           orig.Query.rrows r.Query.rrows)
+
+let props = List.map QCheck_alcotest.to_alcotest
+    [ prop_value_roundtrip; prop_compare_reflexive; prop_compare_antisym;
+      prop_select_idempotent; prop_project_preserves_count;
+      prop_save_load_identity ]
+
+let () =
+  Alcotest.run "reldb"
+    [ ("value",
+       [ Alcotest.test_case "encode/decode roundtrip" `Quick test_value_roundtrip;
+         Alcotest.test_case "no cross-type equality" `Quick test_value_equal_across_types;
+         Alcotest.test_case "total order" `Quick test_value_compare_total;
+         Alcotest.test_case "escape injective" `Quick test_value_escape_injective ]);
+      ("table",
+       [ Alcotest.test_case "insert and rows" `Quick test_table_insert_and_rows;
+         Alcotest.test_case "type mismatch" `Quick test_table_type_mismatch;
+         Alcotest.test_case "arity mismatch" `Quick test_table_arity_mismatch;
+         Alcotest.test_case "duplicate column" `Quick test_table_duplicate_column;
+         Alcotest.test_case "insert_assoc" `Quick test_table_insert_assoc;
+         Alcotest.test_case "insert_assoc missing" `Quick test_table_insert_assoc_missing;
+         Alcotest.test_case "update" `Quick test_table_update;
+         Alcotest.test_case "delete" `Quick test_table_delete;
+         Alcotest.test_case "rows are copies" `Quick test_table_rows_are_copies;
+         Alcotest.test_case "copy/restore" `Quick test_table_copy_restore ]);
+      ("query",
+       [ Alcotest.test_case "select eq" `Quick test_query_select_eq;
+         Alcotest.test_case "numeric coercion" `Quick test_query_select_numeric_coercion;
+         Alcotest.test_case "and/or/not" `Quick test_query_select_and_or_not;
+         Alcotest.test_case "like" `Quick test_query_like;
+         Alcotest.test_case "project reorders" `Quick test_query_project_reorders;
+         Alcotest.test_case "order_by" `Quick test_query_order_by;
+         Alcotest.test_case "join" `Quick test_query_join;
+         Alcotest.test_case "join name collision" `Quick test_query_join_name_collision;
+         Alcotest.test_case "distinct/limit" `Quick test_query_distinct_limit ]);
+      ("db",
+       [ Alcotest.test_case "rollback" `Quick test_db_rollback;
+         Alcotest.test_case "commit" `Quick test_db_commit;
+         Alcotest.test_case "nested tx" `Quick test_db_nested_tx;
+         Alcotest.test_case "with_tx exn" `Quick test_db_with_tx_exn;
+         Alcotest.test_case "save/load" `Quick test_db_save_load;
+         Alcotest.test_case "missing table" `Quick test_db_missing_table ]);
+      ("sql",
+       [ Alcotest.test_case "select star" `Quick test_sql_select_star;
+         Alcotest.test_case "select where" `Quick test_sql_select_where;
+         Alcotest.test_case "or/parens" `Quick test_sql_select_or_parens;
+         Alcotest.test_case "like" `Quick test_sql_like;
+         Alcotest.test_case "order/limit" `Quick test_sql_order_limit;
+         Alcotest.test_case "insert/update/delete" `Quick test_sql_insert_update_delete;
+         Alcotest.test_case "case-insensitive keywords" `Quick test_sql_case_insensitive_keywords;
+         Alcotest.test_case "syntax error" `Quick test_sql_syntax_error;
+         Alcotest.test_case "string with spaces" `Quick test_sql_string_with_spaces ]);
+      ("properties", props) ]

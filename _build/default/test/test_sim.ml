@@ -1,0 +1,326 @@
+(* Tests for the four-valued simulator (initialization analysis) and
+   the netlist statistics module. *)
+
+open Icdb_iif
+open Icdb_logic
+open Icdb_netlist
+open Icdb_sim
+
+let check = Alcotest.check
+
+let synthesize flat =
+  let net = Network.of_flat flat in
+  Opt.optimize net;
+  Techmap.map net
+
+let counter_nl ?(load = 1) () =
+  synthesize
+    (Builtin.expand_exn "COUNTER"
+       [ ("size", 4); ("type", 2); ("load", load); ("enable", 0);
+         ("up_or_down", 1) ])
+
+(* ------------------------------------------------------------------ *)
+(* Xsim: four-valued semantics                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_x_logic_tables () =
+  check Alcotest.bool "0 and X = 0" true (Xsim.v_and Xsim.V0 Xsim.VX = Xsim.V0);
+  check Alcotest.bool "1 and X = X" true (Xsim.v_and Xsim.V1 Xsim.VX = Xsim.VX);
+  check Alcotest.bool "1 or X = 1" true (Xsim.v_or Xsim.V1 Xsim.VX = Xsim.V1);
+  check Alcotest.bool "0 or X = X" true (Xsim.v_or Xsim.V0 Xsim.VX = Xsim.VX);
+  check Alcotest.bool "not X = X" true (Xsim.v_not Xsim.VX = Xsim.VX);
+  check Alcotest.bool "X xor 1 = X" true (Xsim.v_xor Xsim.VX Xsim.V1 = Xsim.VX);
+  check Alcotest.bool "Z reads as X" true (Xsim.v_not Xsim.VZ = Xsim.VX);
+  check Alcotest.bool "resolve Z Z = Z" true (Xsim.resolve Xsim.VZ Xsim.VZ = Xsim.VZ);
+  check Alcotest.bool "resolve 1 Z = 1" true (Xsim.resolve Xsim.V1 Xsim.VZ = Xsim.V1);
+  check Alcotest.bool "resolve 1 0 = X" true (Xsim.resolve Xsim.V1 Xsim.V0 = Xsim.VX)
+
+let test_x_combinational_defined () =
+  (* fully-driven combinational logic produces no X *)
+  let nl = synthesize (Builtin.expand_exn "ADDER" [ ("size", 3) ]) in
+  let st = Xsim.create nl in
+  Xsim.step st
+    (List.map (fun n -> (n, Xsim.V0)) nl.Netlist.inputs);
+  check Alcotest.(list string) "no undefined outputs" []
+    (Xsim.undefined_outputs st)
+
+let test_x_controlling_value_masks_x () =
+  (* 0 on one AND input defines the output even when the other is X *)
+  let nl =
+    { Netlist.name = "m"; inputs = [ "a"; "b" ]; outputs = [ "y" ];
+      instances =
+        [ { Netlist.inst_name = "u"; cell = "AND2"; size = 1.0;
+            conns = [ ("A", "a"); ("B", "b"); ("Y", "y") ] } ] }
+  in
+  let st = Xsim.create nl in
+  Xsim.step st [ ("a", Xsim.V0); ("b", Xsim.VX) ];
+  check Alcotest.bool "0 wins" true (Xsim.value st "y" = Xsim.V0);
+  Xsim.step st [ ("a", Xsim.V1); ("b", Xsim.VX) ];
+  check Alcotest.bool "X passes" true (Xsim.value st "y" = Xsim.VX)
+
+let test_x_registers_start_unknown () =
+  let nl = counter_nl ~load:0 () in
+  let st = Xsim.create nl in
+  (* clock it without any reset: counts from X, outputs stay X *)
+  let zeros = List.map (fun n -> (n, Xsim.V0)) nl.Netlist.inputs in
+  let with_clk v =
+    List.map (fun (n, x) -> if n = "CLK" then (n, v) else (n, x)) zeros
+  in
+  Xsim.step st (with_clk Xsim.V0);
+  Xsim.step st (with_clk Xsim.V1);
+  Xsim.step st (with_clk Xsim.V0);
+  Xsim.step st (with_clk Xsim.V1);
+  check Alcotest.bool "Q still unknown without reset" true
+    (List.exists
+       (fun o -> String.length o >= 1 && o.[0] = 'Q')
+       (Xsim.undefined_outputs st))
+
+let test_x_async_load_defines () =
+  (* the parallel-load counter initializes through its async load *)
+  let nl = counter_nl ~load:1 () in
+  let base = [ ("CLK", false); ("LOAD", true); ("DWUP", false);
+               ("D[0]", false); ("D[1]", false); ("D[2]", false);
+               ("D[3]", false); ("ENA", false) ] in
+  let pulse_load =
+    List.map (fun (n, v) -> (n, if n = "LOAD" then false else v)) base
+  in
+  let _, undefined =
+    Xsim.initialization_check nl
+      ~sequence:[ pulse_load; base;
+                  List.map (fun (n, v) -> (n, if n = "CLK" then true else v)) base ]
+  in
+  let qs = List.filter (fun o -> o.[0] = 'Q') undefined in
+  check Alcotest.(list string) "all Q defined after async load" [] qs
+
+let test_x_initialization_check_reports () =
+  let nl = counter_nl ~load:0 () in
+  (* no reset facility at all: the check must report the Q outputs *)
+  let seq = [ [ ("CLK", false) ]; [ ("CLK", true) ] ] in
+  let _, undefined = Xsim.initialization_check nl ~sequence:seq in
+  check Alcotest.bool "reports undefined state" true (undefined <> [])
+
+let test_x_matches_boolean_sim_when_driven () =
+  (* once state is initialized, Xsim agrees with the 2-valued sim *)
+  let flat = Builtin.expand_exn "COMPARATOR" [ ("size", 3) ] in
+  let nl = synthesize flat in
+  let xst = Xsim.create nl in
+  let bst = Gate_sim.create nl in
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 40 do
+    let assignment =
+      List.map (fun n -> (n, Random.State.bool rng)) nl.Netlist.inputs
+    in
+    Gate_sim.step bst assignment;
+    Xsim.step xst (List.map (fun (n, b) -> (n, Xsim.of_bool b)) assignment);
+    List.iter
+      (fun (o, b) ->
+        check Alcotest.bool ("output " ^ o) true
+          (Xsim.value xst o = Xsim.of_bool b))
+      (Gate_sim.outputs bst)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let analyze nl =
+  Stats.analyze nl ~is_output_pin:Celllib.is_output_pin
+    ~is_sequential:(fun cell ->
+      match Celllib.find cell with
+      | Some c -> (
+          match c.Celllib.kind with
+          | Celllib.Ff _ | Celllib.Latch_cell _ -> true
+          | _ -> false)
+      | None -> false)
+
+let test_stats_adder_depth_grows () =
+  let depth size =
+    (analyze (synthesize (Builtin.expand_exn "ADDER" [ ("size", size) ])))
+      .Stats.logic_depth
+  in
+  check Alcotest.bool "carry chain deepens" true (depth 8 > depth 4);
+  check Alcotest.bool "positive" true (depth 2 > 0)
+
+let test_stats_counter_sequential_count () =
+  let s = analyze (counter_nl ()) in
+  check Alcotest.int "4 FFs" 4 s.Stats.sequential;
+  check Alcotest.bool "gates counted" true (s.Stats.gates > 10);
+  check Alcotest.bool "histogram sums to nets" true
+    (List.fold_left (fun a (_, c) -> a + c) 0 s.Stats.fanout_histogram
+     = s.Stats.nets)
+
+let test_stats_inverter_chain () =
+  let chain n =
+    { Netlist.name = "chain"; inputs = [ "a" ]; outputs = [ "y" ];
+      instances =
+        List.init n (fun i ->
+            { Netlist.inst_name = Printf.sprintf "u%d" i; cell = "INV";
+              size = 1.0;
+              conns =
+                [ ("A", if i = 0 then "a" else Printf.sprintf "n%d" i);
+                  ("Y", if i = n - 1 then "y" else Printf.sprintf "n%d" (i + 1)) ] }) }
+  in
+  let s = analyze (chain 5) in
+  check Alcotest.int "depth = chain length" 5 s.Stats.logic_depth;
+  check Alcotest.int "max fanout 1" 1 s.Stats.max_fanout
+
+let test_stats_cycle_detected () =
+  let nl =
+    { Netlist.name = "cyc"; inputs = [ "a" ]; outputs = [ "y" ];
+      instances =
+        [ { Netlist.inst_name = "u1"; cell = "NAND2"; size = 1.0;
+            conns = [ ("A", "a"); ("B", "y"); ("Y", "t") ] };
+          { Netlist.inst_name = "u2"; cell = "INV"; size = 1.0;
+            conns = [ ("A", "t"); ("Y", "y") ] } ] }
+  in
+  (try
+     ignore (analyze nl);
+     Alcotest.fail "expected Stats_error"
+   with Stats.Stats_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven timing simulation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let drive_bus base width x =
+  List.init width (fun i -> (Printf.sprintf "%s[%d]" base i, (x lsr i) land 1 = 1))
+
+let test_event_matches_gate_sim () =
+  let flat = Builtin.expand_exn "ADDER" [ ("size", 4) ] in
+  let nl = synthesize flat in
+  let ev = Event_sim.create nl in
+  let gs = Gate_sim.create nl in
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 30 do
+    let vec = List.map (fun n -> (n, Random.State.bool rng)) nl.Netlist.inputs in
+    let _ = Event_sim.apply ev vec in
+    Gate_sim.step gs vec;
+    List.iter
+      (fun (o, b) ->
+        check Alcotest.bool ("output " ^ o) b (Event_sim.value ev o))
+      (Gate_sim.outputs gs)
+  done
+
+let test_event_settle_below_sta_bound () =
+  (* measured settling can never exceed the static worst case (same
+     delay model, STA takes the max over all paths) *)
+  let flat = Builtin.expand_exn "ADDER" [ ("size", 6) ] in
+  let nl = synthesize flat in
+  let bound =
+    List.fold_left
+      (fun acc (_, wd) -> Float.max acc wd)
+      0.0 (Icdb_timing.Sta.analyze nl).Icdb_timing.Sta.output_delays
+  in
+  let ev = Event_sim.create nl in
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 25 do
+    let vec = List.map (fun n -> (n, Random.State.bool rng)) nl.Netlist.inputs in
+    let settle, _ = Event_sim.apply ev vec in
+    check Alcotest.bool
+      (Printf.sprintf "settle %.2f <= bound %.2f" settle bound)
+      true (settle <= bound +. 0.001)
+  done
+
+let test_event_worst_vector_near_bound () =
+  (* the carry-ripple vector exercises the critical path: measured time
+     should be a large fraction of the STA bound *)
+  let flat = Builtin.expand_exn "ADDER" [ ("size", 6) ] in
+  let nl = synthesize flat in
+  let bound =
+    List.fold_left
+      (fun acc (_, wd) -> Float.max acc wd)
+      0.0 (Icdb_timing.Sta.analyze nl).Icdb_timing.Sta.output_delays
+  in
+  let ev = Event_sim.create nl in
+  (* all ones + carry-in toggling 0->1 ripples through every stage *)
+  let _ =
+    Event_sim.apply ev
+      (drive_bus "I0" 6 63 @ drive_bus "I1" 6 0 @ [ ("Cin", false) ])
+  in
+  let settle, _ = Event_sim.apply ev [ ("Cin", true) ] in
+  check Alcotest.bool
+    (Printf.sprintf "ripple %.2f vs bound %.2f" settle bound)
+    true
+    (settle > bound *. 0.4 && settle <= bound +. 0.001)
+
+let test_event_counts_glitches () =
+  (* reconvergent paths with unequal depth glitch: y = a xor (a through
+     two inverters) momentarily pulses when a toggles *)
+  let nl =
+    { Netlist.name = "g"; inputs = [ "a" ]; outputs = [ "y" ];
+      instances =
+        [ { Netlist.inst_name = "i1"; cell = "INV"; size = 1.0;
+            conns = [ ("A", "a"); ("Y", "n1") ] };
+          { Netlist.inst_name = "i2"; cell = "INV"; size = 1.0;
+            conns = [ ("A", "n1"); ("Y", "n2") ] };
+          { Netlist.inst_name = "x"; cell = "XOR2"; size = 1.0;
+            conns = [ ("A", "a"); ("B", "n2"); ("Y", "y") ] } ] }
+  in
+  let ev = Event_sim.create nl in
+  let _, t1 = Event_sim.apply ev [ ("a", true) ] in
+  (* y ends where it began (a xor a = 0) but transitioned in between *)
+  check Alcotest.bool "y settles low" false (Event_sim.value ev "y");
+  check Alcotest.bool
+    (Printf.sprintf "glitch seen (%d transitions)" t1)
+    true (t1 >= 5)
+  (* a, n1, n2 plus at least an up-down pulse on y *)
+
+let test_event_counter_clocks () =
+  let flat =
+    Builtin.expand_exn "COUNTER"
+      [ ("size", 3); ("type", 2); ("load", 0); ("enable", 0); ("up_or_down", 1) ]
+  in
+  let nl = synthesize flat in
+  let ev = Event_sim.create nl in
+  let others = drive_bus "D" 3 0 @ [ ("LOAD", true); ("ENA", true); ("DWUP", false) ] in
+  let _ = Event_sim.apply ev (("CLK", false) :: others) in
+  for expected = 1 to 5 do
+    let _ = Event_sim.apply ev [ ("CLK", true) ] in
+    let _ = Event_sim.apply ev [ ("CLK", false) ] in
+    let q =
+      List.fold_left
+        (fun acc i ->
+          (acc * 2)
+          + if Event_sim.value ev (Printf.sprintf "Q[%d]" (2 - i)) then 1 else 0)
+        0 [ 0; 1; 2 ]
+    in
+    check Alcotest.int (Printf.sprintf "count %d" expected) expected q
+  done
+
+let test_event_time_advances () =
+  let flat = Builtin.expand_exn "MUX2" [ ("size", 2) ] in
+  let nl = synthesize flat in
+  let ev = Event_sim.create nl in
+  let t0 = Event_sim.now ev in
+  let _ = Event_sim.apply ev (drive_bus "I0" 2 3 @ drive_bus "I1" 2 0 @ [ ("SEL", false) ]) in
+  check Alcotest.bool "time moved" true (Event_sim.now ev > t0)
+
+let () =
+  Alcotest.run "sim4+stats"
+    [ ("xsim",
+       [ Alcotest.test_case "logic tables" `Quick test_x_logic_tables;
+         Alcotest.test_case "comb fully defined" `Quick test_x_combinational_defined;
+         Alcotest.test_case "controlling value masks X" `Quick
+           test_x_controlling_value_masks_x;
+         Alcotest.test_case "registers start unknown" `Quick
+           test_x_registers_start_unknown;
+         Alcotest.test_case "async load defines" `Quick test_x_async_load_defines;
+         Alcotest.test_case "initialization check" `Quick
+           test_x_initialization_check_reports;
+         Alcotest.test_case "matches boolean sim" `Quick
+           test_x_matches_boolean_sim_when_driven ]);
+      ("event",
+       [ Alcotest.test_case "matches gate sim" `Quick test_event_matches_gate_sim;
+         Alcotest.test_case "settle below STA bound" `Quick
+           test_event_settle_below_sta_bound;
+         Alcotest.test_case "worst vector near bound" `Quick
+           test_event_worst_vector_near_bound;
+         Alcotest.test_case "counts glitches" `Quick test_event_counts_glitches;
+         Alcotest.test_case "counter clocks" `Quick test_event_counter_clocks;
+         Alcotest.test_case "time advances" `Quick test_event_time_advances ]);
+      ("stats",
+       [ Alcotest.test_case "adder depth grows" `Quick test_stats_adder_depth_grows;
+         Alcotest.test_case "counter sequential" `Quick
+           test_stats_counter_sequential_count;
+         Alcotest.test_case "inverter chain" `Quick test_stats_inverter_chain;
+         Alcotest.test_case "cycle detected" `Quick test_stats_cycle_detected ]) ]

@@ -1,0 +1,224 @@
+(* Tests for static timing analysis and transistor sizing. *)
+
+open Icdb_iif
+open Icdb_logic
+open Icdb_netlist
+open Icdb_timing
+
+let check = Alcotest.check
+
+let synthesize flat =
+  let net = Network.of_flat flat in
+  Opt.optimize net;
+  Techmap.map net
+
+let counter ?(size = 5) ?(typ = 2) ?(load = 0) ?(enable = 0) ?(ud = 1) () =
+  synthesize
+    (Builtin.expand_exn "COUNTER"
+       [ ("size", size); ("type", typ); ("load", load); ("enable", enable);
+         ("up_or_down", ud) ])
+
+let adder size = synthesize (Builtin.expand_exn "ADDER" [ ("size", size) ])
+
+(* ------------------------------------------------------------------ *)
+(* STA basics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sta_single_inverter () =
+  let nl =
+    { Netlist.name = "inv1";
+      inputs = [ "a" ];
+      outputs = [ "y" ];
+      instances =
+        [ { Netlist.inst_name = "U1"; cell = "INV"; size = 1.0;
+            conns = [ ("A", "a"); ("Y", "y") ] } ] }
+  in
+  let r = Sta.analyze nl in
+  (* no load, no fanout readers: delay = Y = 0.4, plus Z*1 for the output *)
+  let wd = List.assoc "y" r.Sta.output_delays in
+  check Alcotest.bool "intrinsic-ish delay" true (wd > 0.3 && wd < 1.0);
+  check Alcotest.(list (pair string (float 0.001))) "no setup" [ ("a", 0.0) ]
+    r.Sta.setup_times
+
+let test_sta_chain_adds_delays () =
+  let chain n =
+    let instances =
+      List.init n (fun i ->
+          { Netlist.inst_name = Printf.sprintf "U%d" i;
+            cell = "INV";
+            size = 1.0;
+            conns =
+              [ ("A", if i = 0 then "a" else Printf.sprintf "n%d" i);
+                ("Y", if i = n - 1 then "y" else Printf.sprintf "n%d" (i + 1)) ] })
+    in
+    { Netlist.name = "chain"; inputs = [ "a" ]; outputs = [ "y" ]; instances }
+  in
+  let wd n =
+    List.assoc "y" (Sta.analyze (chain n)).Sta.output_delays
+  in
+  check Alcotest.bool "monotone in depth" true (wd 4 > wd 2 && wd 8 > wd 4);
+  (* roughly linear: doubling the chain roughly doubles the delay *)
+  let r = wd 8 /. wd 4 in
+  check Alcotest.bool "roughly linear" true (r > 1.6 && r < 2.4)
+
+let test_sta_load_increases_delay () =
+  let nl = adder 4 in
+  let base = Sta.analyze nl in
+  let loaded = Sta.analyze ~port_loads:[ ("O[3]", 40.0) ] nl in
+  let wd r = List.assoc "O[3]" r.Sta.output_delays in
+  check Alcotest.bool "more load, more delay" true (wd loaded > wd base)
+
+let test_sta_counter_report_shape () =
+  let nl = counter ~size:5 ~load:1 ~enable:1 ~ud:3 () in
+  let r = Sta.analyze nl in
+  (* the §3.3 report: CW positive, Q outputs fast (just clk->Q), MINMAX
+     slower (carry chain), DWUP has a setup time *)
+  check Alcotest.bool "CW positive" true (r.Sta.clock_width > 0.0);
+  let wd p = List.assoc p r.Sta.output_delays in
+  check Alcotest.bool "MINMAX slower than Q[0]" true (wd "MINMAX" > wd "Q[0]");
+  let sd = List.assoc "DWUP" r.Sta.setup_times in
+  check Alcotest.bool "DWUP has setup" true (sd > 0.0);
+  check Alcotest.bool "CW covers DWUP setup" true (r.Sta.clock_width >= sd)
+
+let test_sta_ripple_slower_than_sync () =
+  (* ripple counter: Q[4] settles after the whole flip-flop chain *)
+  let wd nl port = List.assoc port (Sta.analyze nl).Sta.output_delays in
+  let sync = counter ~typ:2 () in
+  let ripple = counter ~typ:1 () in
+  check Alcotest.bool "ripple Q[4] slower" true
+    (wd ripple "Q[4]" > wd sync "Q[4]")
+
+let test_sta_adder_carry_grows () =
+  let wd size =
+    let nl = adder size in
+    List.assoc "Cout" (Sta.analyze nl).Sta.output_delays
+  in
+  check Alcotest.bool "8-bit carry slower than 4-bit" true (wd 8 > wd 4)
+
+let test_sta_comb_only_no_cw_from_regs () =
+  let nl = adder 4 in
+  let r = Sta.analyze nl in
+  (* no registers: CW reduces to the worst input->reg setup = 0 *)
+  check Alcotest.(float 0.001) "CW 0 for comb" 0.0 r.Sta.clock_width
+
+let test_report_format () =
+  let nl = counter ~size:3 ~load:1 ~enable:1 ~ud:3 () in
+  let r = Sta.analyze nl in
+  let s = Sta.report_to_string r in
+  check Alcotest.bool "has CW line" true (String.length s > 3 && String.sub s 0 3 = "CW ");
+  check Alcotest.bool "mentions WD Q[2]" true
+    (let re = "WD Q[2]" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sizing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_sizing_cheapest_keeps_sizes () =
+  let nl = adder 4 in
+  let sized =
+    Sizing.size_to_constraints nl
+      { Sizing.default_constraints with strategy = Sizing.Cheapest }
+  in
+  List.iter
+    (fun (i : Netlist.instance) ->
+      check (Alcotest.float 0.0001) "size 1" 1.0 i.size)
+    sized.Netlist.instances
+
+let test_sizing_fastest_reduces_delay () =
+  let nl = adder 4 in
+  let before = List.assoc "Cout" (Sta.analyze nl).Sta.output_delays in
+  let sized =
+    Sizing.size_to_constraints nl
+      { Sizing.default_constraints with strategy = Sizing.Fastest }
+  in
+  let after = List.assoc "Cout" (Sta.analyze sized).Sta.output_delays in
+  check Alcotest.bool
+    (Printf.sprintf "delay %.2f -> %.2f" before after)
+    true (after < before);
+  check Alcotest.bool "area grew" true
+    (Sta.cell_area sized > Sta.cell_area nl)
+
+let test_sizing_meets_comb_delay () =
+  let nl = adder 4 in
+  let before = List.assoc "Cout" (Sta.analyze nl).Sta.output_delays in
+  (* ask for 15% faster than unsized *)
+  let bound = before *. 0.85 in
+  let c =
+    { Sizing.default_constraints with
+      comb_delays = [ ("Cout", bound) ] }
+  in
+  let sized = Sizing.size_to_constraints nl c in
+  check Alcotest.bool "constraint met" true (Sizing.meets_constraints sized c)
+
+let test_sizing_clock_width_constraint () =
+  let nl = counter ~size:4 ~load:1 ~enable:1 ~ud:3 () in
+  let cw0 = (Sta.analyze nl).Sta.clock_width in
+  let c =
+    { Sizing.default_constraints with clock_width = Some (cw0 *. 0.9) }
+  in
+  let sized = Sizing.size_to_constraints nl c in
+  let cw1 = (Sta.analyze sized).Sta.clock_width in
+  check Alcotest.bool
+    (Printf.sprintf "CW %.2f -> %.2f (bound %.2f)" cw0 cw1 (cw0 *. 0.9))
+    true (cw1 <= cw0 *. 0.9 +. 1e-6)
+
+let test_sizing_load_costs_area () =
+  (* Figure 10's mechanism: same clock-width bound under growing output
+     load costs (modest) area. *)
+  let nl = counter ~size:4 ~load:1 ~enable:1 ~ud:3 () in
+  let cw0 = (Sta.analyze nl).Sta.clock_width in
+  let area_for load =
+    let ports = List.map (fun o -> (o, load)) [ "Q[0]"; "Q[1]"; "Q[2]"; "Q[3]" ] in
+    let c =
+      { Sizing.default_constraints with
+        clock_width = Some cw0;
+        port_loads = ports }
+    in
+    Sta.cell_area (Sizing.size_to_constraints nl c)
+  in
+  let a10 = area_for 10.0 and a50 = area_for 50.0 in
+  check Alcotest.bool
+    (Printf.sprintf "area(50)=%.0f >= area(10)=%.0f" a50 a10)
+    true (a50 >= a10)
+
+let prop_sizing_never_breaks_function =
+  (* sizing only changes the [size] field; cells and connectivity stay *)
+  QCheck.Test.make ~name:"sizing preserves structure" ~count:5
+    QCheck.(int_range 2 5)
+    (fun size ->
+      let nl = adder size in
+      let sized =
+        Sizing.size_to_constraints nl
+          { Sizing.default_constraints with strategy = Sizing.Fastest }
+      in
+      List.length sized.Netlist.instances = List.length nl.Netlist.instances
+      && List.for_all2
+           (fun (a : Netlist.instance) (b : Netlist.instance) ->
+             a.cell = b.cell && a.conns = b.conns && b.size >= a.size)
+           nl.Netlist.instances sized.Netlist.instances)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_sizing_never_breaks_function ]
+
+let () =
+  Alcotest.run "timing"
+    [ ("sta",
+       [ Alcotest.test_case "single inverter" `Quick test_sta_single_inverter;
+         Alcotest.test_case "chain adds delays" `Quick test_sta_chain_adds_delays;
+         Alcotest.test_case "load increases delay" `Quick test_sta_load_increases_delay;
+         Alcotest.test_case "counter report shape" `Quick test_sta_counter_report_shape;
+         Alcotest.test_case "ripple slower than sync" `Quick test_sta_ripple_slower_than_sync;
+         Alcotest.test_case "adder carry grows" `Quick test_sta_adder_carry_grows;
+         Alcotest.test_case "comb has zero CW" `Quick test_sta_comb_only_no_cw_from_regs;
+         Alcotest.test_case "report format" `Quick test_report_format ]);
+      ("sizing",
+       [ Alcotest.test_case "cheapest keeps sizes" `Quick test_sizing_cheapest_keeps_sizes;
+         Alcotest.test_case "fastest reduces delay" `Quick test_sizing_fastest_reduces_delay;
+         Alcotest.test_case "meets comb delay" `Quick test_sizing_meets_comb_delay;
+         Alcotest.test_case "clock width constraint" `Quick test_sizing_clock_width_constraint;
+         Alcotest.test_case "load costs area" `Quick test_sizing_load_costs_area ]);
+      ("properties", props) ]
