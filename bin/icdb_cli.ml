@@ -41,8 +41,7 @@ let run_sql server stmt =
                (Array.to_list (Array.map Icdb_reldb.Value.to_string row))))
         rel.Icdb_reldb.Query.rrows
 
-let shell () =
-  let server = Server.create () in
+let shell_loop server =
   print_endline "ICDB interactive CQL shell.";
   print_endline "Enter a command terminated by a blank line (empty command quits).";
   print_endline "Lines starting with !sql query the metadata database directly.";
@@ -76,6 +75,41 @@ let shell () =
         loop ()
   in
   loop ()
+
+let shell workspace durable =
+  match Server.create ?workspace ~durable () with
+  | exception Server.Icdb_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | server ->
+      if durable then
+        Printf.printf "journaling to %s\n"
+          (Filename.concat (Server.workspace server) "icdb.journal");
+      shell_loop server
+
+(* ------------------------------------------------------------------ *)
+(* recover                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let recover workspace interactive =
+  match Server.reopen ~workspace () with
+  | exception Server.Icdb_error msg ->
+      Printf.eprintf "recovery failed: %s\n" msg;
+      exit 1
+  | server, r ->
+      Printf.printf "recovered workspace %s\n" workspace;
+      Printf.printf "  journal entries replayed: %d\n" r.Server.rr_entries_replayed;
+      if r.Server.rr_torn_tail then
+        print_endline "  torn journal tail truncated";
+      if r.Server.rr_rolled_back_tx then
+        print_endline "  uncommitted transaction rolled back";
+      Printf.printf "  instances: %s\n"
+        (match r.Server.rr_instances with
+         | [] -> "(none)"
+         | ids -> String.concat " " ids);
+      List.iter (Printf.printf "  dropped: %s\n") r.Server.rr_dropped;
+      List.iter (Printf.printf "  removed orphan: %s\n") r.Server.rr_orphans;
+      if interactive then shell_loop server
 
 (* ------------------------------------------------------------------ *)
 (* catalog                                                             *)
@@ -187,8 +221,32 @@ let hls dfg_name clock pessimism with_rtl =
 (* ------------------------------------------------------------------ *)
 
 let shell_cmd =
+  let workspace =
+    Arg.(value & opt (some string) None
+         & info [ "workspace" ] ~doc:"Workspace directory" ~docv:"DIR")
+  in
+  let durable =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:"Journal every mutation so the workspace survives a crash \
+                   (recover it with $(b,icdb recover))")
+  in
   Cmd.v (Cmd.info "shell" ~doc:"Interactive CQL shell")
-    Term.(const shell $ const ())
+    Term.(const shell $ workspace $ durable)
+
+let recover_cmd =
+  let workspace =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKSPACE"
+           ~doc:"Workspace directory of a durable server")
+  in
+  let interactive =
+    Arg.(value & flag
+         & info [ "shell" ] ~doc:"Drop into the CQL shell after recovery")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild a durable server from its workspace after a crash")
+    Term.(const recover $ workspace $ interactive)
 
 let catalog_cmd =
   Cmd.v (Cmd.info "catalog" ~doc:"List the predefined component catalog")
@@ -244,9 +302,11 @@ let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
 let () =
+  Faultinject.init_from_env ();
   let info =
     Cmd.info "icdb" ~version:"1.0.0"
       ~doc:"Intelligent Component Database for behavioral synthesis"
   in
   exit (Cmd.eval (Cmd.group ~default info
-                    [ shell_cmd; catalog_cmd; gen_cmd; cells_cmd; hls_cmd ]))
+                    [ shell_cmd; recover_cmd; catalog_cmd; gen_cmd; cells_cmd;
+                      hls_cmd ]))

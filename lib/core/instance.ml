@@ -20,6 +20,7 @@ type t = {
   equivalent_ports : string list list;   (* interchangeable port groups *)
   inverted_ports : (string * string) list;(* port -> active-low twin *)
   constraints_met : bool;
+  degraded : bool;                   (* generated via a fallback path *)
   power : Power.report Lazy.t;       (* simulated on first query *)
 }
 

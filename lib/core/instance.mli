@@ -19,6 +19,10 @@ type t = {
   equivalent_ports : string list list;
   inverted_ports : (string * string) list;
   constraints_met : bool;             (** the request's bounds were reached *)
+  degraded : bool;                    (** generated via a fallback path: the
+                                          preferred generator or the sizing
+                                          pass failed and the server degraded
+                                          gracefully instead of aborting *)
   power : Power.report Lazy.t;        (** simulated on first query *)
 }
 

@@ -9,7 +9,14 @@
    Metadata lives in the relational engine (the INGRES role); bulk
    design data (IIF sources, VHDL netlists, CIF layouts) lives in plain
    files under a workspace directory (the UNIX-file-system role), and
-   tools fetch file names from the database, exactly as §2.3 describes. *)
+   tools fetch file names from the database, exactly as §2.3 describes.
+
+   Durability: a durable server journals every dynamic database
+   mutation (Journal/Db.replay_journal) and writes every workspace file
+   atomically (temp + rename), so [reopen] can reconstruct the full
+   server state after a crash at any point. The static catalog and the
+   builtin component library are deterministic and are rebuilt by
+   bootstrap rather than journaled. *)
 
 open Icdb_iif
 open Icdb_logic
@@ -22,6 +29,16 @@ open Icdb_genus
 exception Icdb_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Icdb_error s)) fmt
+
+(* Faults escaping the pipeline surface to callers as Icdb_error; an
+   injected Crash is never converted — it simulates the process dying. *)
+let fault_boundary f =
+  try f () with
+  | Fault.Fault (kind, msg) ->
+      fail "%s fault: %s" (Fault.kind_to_string kind) msg
+
+let () =
+  Journal.append_hook := (fun () -> Faultinject.hit Faultinject.Journal_append)
 
 type design_book = {
   mutable kept : string list;          (* instances in the component list *)
@@ -38,26 +55,68 @@ type t = {
   designs : (string, design_book) Hashtbl.t;   (* component lists (App B §7) *)
   mutable seq : int;
   verify : bool;  (* simulate generated netlists against their IIF spec *)
+  durable : bool; (* journal + snapshot live in the workspace *)
+}
+
+type recovery_report = {
+  rr_entries_replayed : int;   (* journal entries re-applied *)
+  rr_torn_tail : bool;         (* a torn/corrupt journal tail was cut *)
+  rr_rolled_back_tx : bool;    (* an uncommitted App B §7 tx was undone *)
+  rr_instances : string list;  (* instance ids reconstructed *)
+  rr_dropped : string list;    (* rows dropped: artifact missing or corrupt *)
+  rr_orphans : string list;    (* stray workspace files removed *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Creation and knowledge acquisition                                  *)
 (* ------------------------------------------------------------------ *)
 
-let fresh_workspace () =
-  let dir =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "icdb_ws_%d" (Unix.getpid ()))
-  in
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-  dir
+let ws_journal ws = Filename.concat ws "icdb.journal"
+let ws_snapshot ws = Filename.concat ws "icdb.snapshot"
 
+let ws_counter = ref 0
+
+(* Each call makes a directory nobody else owns: a per-process counter
+   plus a random tag, retrying on EEXIST, so two servers in one process
+   (or a pid reuse across boots) never share a workspace. *)
+let fresh_workspace () =
+  let tmp = Filename.get_temp_dir_name () in
+  let rec attempt tries =
+    incr ws_counter;
+    let dir =
+      Filename.concat tmp
+        (Printf.sprintf "icdb_ws_%d_%d_%04x" (Unix.getpid ()) !ws_counter
+           (Random.bits () land 0xffff))
+    in
+    match Unix.mkdir dir 0o755 with
+    | () -> dir
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) when tries < 1000 ->
+        attempt (tries + 1)
+  in
+  attempt 0
+
+(* Atomic workspace write: the file either keeps its old contents or
+   carries the complete new ones — a crash in between leaves only a
+   ".tmp" orphan that reopen sweeps up. *)
 let write_file t name contents =
   let path = Filename.concat t.workspace name in
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc contents);
-  path
+  let tmp = path ^ ".tmp" in
+  Fault.with_retry (fun () ->
+      (try
+         let oc = open_out tmp in
+         Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+             output_string oc contents)
+       with Sys_error msg -> Fault.fault Fault.Resource "writing %s: %s" tmp msg);
+      Faultinject.hit Faultinject.File_write;
+      (try Sys.rename tmp path
+       with Sys_error msg ->
+         Fault.fault Fault.Resource "renaming %s: %s" tmp msg);
+      path)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
 
 let setup_tables db =
   ignore
@@ -73,7 +132,8 @@ let setup_tables db =
     (Db.create_table db "instances"
        [ ("id", Value.Tstr); ("component", Value.Tstr); ("gates", Value.Tint);
          ("area", Value.Tfloat); ("clock_width", Value.Tfloat);
-         ("constraints_met", Value.Tbool); ("file", Value.Tstr) ])
+         ("constraints_met", Value.Tbool); ("file", Value.Tstr);
+         ("degraded", Value.Tbool); ("spec_key", Value.Tstr) ])
 
 let workspace t = t.workspace
 
@@ -83,6 +143,7 @@ let db t = t.db
    database and keep the source in the workspace (knowledge acquisition
    of §2.2). *)
 let insert_implementation t name source =
+  fault_boundary @@ fun () ->
   let design =
     try Parser.parse source with
     | Parser.Parse_error (msg, line) ->
@@ -92,14 +153,44 @@ let insert_implementation t name source =
   in
   Hashtbl.replace t.registry name design;
   let file = write_file t (name ^ ".iif") source in
-  Table.insert (Db.table t.db "implementations")
+  Db.insert t.db "implementations"
     [ Value.Str name; Value.Str "IIF"; Value.Str file ];
   design
 
-let create ?(verify = true) ?workspace () =
+(* The generic component library and the catalog rows are deterministic
+   knowledge, so they are rebuilt by both [create] and [reopen] (with
+   the journal detached) instead of being journaled. *)
+let bootstrap_static t =
+  List.iter
+    (fun (name, source) -> ignore (insert_implementation t name source))
+    Builtin.sources;
+  List.iter
+    (fun (c : Component.t) ->
+      Db.insert t.db "components"
+        [ Value.Str c.Component.comp_name; Value.Str c.Component.implementation ];
+      List.iter
+        (fun f ->
+          Db.insert t.db "component_functions"
+            [ Value.Str c.Component.comp_name; Value.Str (Func.to_string f) ])
+        (c.Component.functions_of []))
+    Component.all
+
+let register_builtin_generators t =
+  List.iter
+    (fun g -> Hashtbl.replace t.generators g.Generator.gen_name g)
+    Generator.builtins
+
+let create ?(verify = true) ?workspace ?(durable = false) () =
   let workspace =
-    match workspace with Some w -> w | None -> fresh_workspace ()
+    match workspace with
+    | Some w ->
+        if not (Sys.file_exists w) then Unix.mkdir w 0o755;
+        w
+    | None -> fresh_workspace ()
   in
+  if durable && Sys.file_exists (ws_journal workspace) then
+    fail "workspace %s already has a journal; use reopen to recover it"
+      workspace;
   let db = Db.create () in
   setup_tables db;
   let t =
@@ -110,32 +201,22 @@ let create ?(verify = true) ?workspace () =
       cache = Hashtbl.create 64;
       designs = Hashtbl.create 8;
       seq = 0;
-      verify }
+      verify;
+      durable }
   in
-  List.iter
-    (fun g -> Hashtbl.replace t.generators g.Generator.gen_name g)
-    Generator.builtins;
-  (* load the generic component library *)
-  List.iter
-    (fun (name, source) -> ignore (insert_implementation t name source))
-    Builtin.sources;
-  List.iter
-    (fun (c : Component.t) ->
-      Table.insert (Db.table db "components")
-        [ Value.Str c.Component.comp_name; Value.Str c.Component.implementation ];
-      List.iter
-        (fun f ->
-          Table.insert (Db.table db "component_functions")
-            [ Value.Str c.Component.comp_name; Value.Str (Func.to_string f) ])
-        (c.Component.functions_of []))
-    Component.all;
+  register_builtin_generators t;
+  bootstrap_static t;
+  if durable then Db.attach_journal db (Journal.open_append (ws_journal workspace));
   t
 
 (* ------------------------------------------------------------------ *)
 (* Catalog queries (§3.2.1)                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Components performing all of [funcs], via the SQL layer. *)
+(* Components performing all of [funcs], via the SQL layer. Values are
+   quoted with Sql.quote_string: a function name is attacker-ish input
+   (it may come straight off the CQL wire) and must never splice into
+   the statement text. *)
 let function_query t funcs =
   match funcs with
   | [] -> List.map (fun c -> c.Component.comp_name) Component.all
@@ -144,8 +225,8 @@ let function_query t funcs =
         let rel =
           Sql.select t.db
             (Printf.sprintf
-               "SELECT component FROM component_functions WHERE func = '%s'"
-               (Func.to_string f))
+               "SELECT component FROM component_functions WHERE func = %s"
+               (Sql.quote_string (Func.to_string f)))
         in
         Query.column_values rel "component"
         |> List.map Value.to_string
@@ -194,8 +275,10 @@ let lookup_design t name =
 
 let expand_design t design params =
   let flat =
-    try Expander.expand ~registry:(lookup_design t) design params with
-    | Expander.Expand_error msg -> fail "expansion failed: %s" msg
+    Fault.with_retry (fun () ->
+        Faultinject.hit Faultinject.Expand;
+        try Expander.expand ~registry:(lookup_design t) design params with
+        | Expander.Expand_error msg -> fail "expansion failed: %s" msg)
   in
   match Flat.validate flat with
   | [] -> flat
@@ -219,12 +302,6 @@ let generator_of t spec =
       | Some g -> g
       | None -> fail "unknown component generator %s" name)
 
-let synthesize_flat t spec flat =
-  let g = generator_of t spec in
-  try g.Generator.synthesize flat with
-  | Techmap.Map_error msg -> fail "technology mapping failed: %s" msg
-  | Network.Network_error msg -> fail "network construction failed: %s" msg
-
 let verify_instance flat netlist =
   let n_inputs = List.length flat.Flat.finputs in
   let sequential =
@@ -237,6 +314,78 @@ let verify_instance flat netlist =
     | m ->
         fail "generated netlist does not match its IIF specification: %s"
           (Icdb_sim.Equiv.result_to_string m)
+
+(* The preferred generator first, then every other registered one in a
+   deterministic order — the fallback chain for graceful degradation. *)
+let generation_chain t spec =
+  let preferred = generator_of t spec in
+  let rank g =
+    match g.Generator.gen_name with "milo" -> 0 | "direct" -> 1 | _ -> 2
+  in
+  let others =
+    Hashtbl.fold (fun _ g acc -> g :: acc) t.generators []
+    |> List.filter (fun g -> g.Generator.gen_name <> preferred.Generator.gen_name)
+    |> List.sort (fun a b ->
+           match compare (rank a) (rank b) with
+           | 0 -> String.compare a.Generator.gen_name b.Generator.gen_name
+           | c -> c)
+  in
+  preferred :: others
+
+(* Synthesize with bounded retry (transient faults) and generator
+   fallback: if the preferred generator fails — tool error, classified
+   fault, or a netlist that does not verify — the next registered
+   generator is tried, and success off the preferred path marks the
+   instance degraded. An injected Crash always propagates: a dead
+   process does not fall back. *)
+let synthesize_with_fallback t spec flat =
+  let attempt g =
+    Fault.with_retry (fun () ->
+        Faultinject.hit Faultinject.Techmap;
+        let netlist =
+          try g.Generator.synthesize flat with
+          | Techmap.Map_error msg -> fail "technology mapping failed: %s" msg
+          | Network.Network_error msg ->
+              fail "network construction failed: %s" msg
+        in
+        if t.verify then verify_instance flat netlist;
+        netlist)
+  in
+  let rec go errors = function
+    | [] ->
+        fail "generation of %s failed on every generator: %s" flat.Flat.fname
+          (String.concat "; " (List.rev errors))
+    | g :: rest -> (
+        match attempt g with
+        | netlist -> (netlist, g.Generator.gen_name)
+        | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
+        | exception Icdb_error msg ->
+            go (Printf.sprintf "%s: %s" g.Generator.gen_name msg :: errors)
+              rest
+        | exception Fault.Fault (kind, msg) ->
+            go
+              (Printf.sprintf "%s: %s fault: %s" g.Generator.gen_name
+                 (Fault.kind_to_string kind) msg
+               :: errors)
+              rest)
+  in
+  let chain = generation_chain t spec in
+  let preferred = (List.hd chain).Generator.gen_name in
+  let netlist, used = go [] chain in
+  (netlist, used <> preferred)
+
+(* Sizing failure degrades to the unsized netlist (constraints simply
+   end up unmet) rather than aborting the request. *)
+let size_with_degradation netlist constraints =
+  match
+    Fault.with_retry (fun () ->
+        Faultinject.hit Faultinject.Sizing;
+        Sizing.size_to_constraints netlist constraints)
+  with
+  | sized -> (sized, false)
+  | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
+  | exception (Fault.Fault _ | Icdb_error _ | Sta.Timing_error _) ->
+      (netlist, true)
 
 let next_id t base =
   t.seq <- t.seq + 1;
@@ -333,16 +482,17 @@ let request_component t (spec : Spec.t) =
   match Hashtbl.find_opt t.cache key with
   | Some id -> Hashtbl.find t.instances id
   | None ->
+      fault_boundary @@ fun () ->
       let flat, comp, attributes, base = resolve_source t spec in
-      let netlist =
+      let netlist, synth_degraded =
         match flat with
-        | Some flat -> synthesize_flat t spec flat
-        | None -> generate_netlist t spec
+        | Some flat -> synthesize_with_fallback t spec flat
+        | None -> (generate_netlist t spec, false)
       in
-      (match flat with
-       | Some flat when t.verify -> verify_instance flat netlist
-       | _ -> ());
-      let sized = Sizing.size_to_constraints netlist spec.Spec.constraints in
+      let sized, size_degraded =
+        size_with_degradation netlist spec.Spec.constraints
+      in
+      let degraded = synth_degraded || size_degraded in
       let report =
         Sta.analyze ~port_loads:spec.Spec.constraints.Sizing.port_loads sized
       in
@@ -388,20 +538,27 @@ let request_component t (spec : Spec.t) =
              | Some c -> c.Component.inverted_ports
              | None -> []);
           constraints_met;
+          degraded;
           power = lazy (Power.estimate sized) }
       in
-      Hashtbl.replace t.instances id inst;
-      Hashtbl.replace t.cache key id;
-      (* persist: netlist file + database row *)
-      let file = write_file t (id ^ ".vhdl") (Instance.vhdl_netlist inst) in
-      Table.insert (Db.table t.db "instances")
+      (* persist first — the exact netlist file, then the database row;
+         the recovery invariant is "a row implies its file" — then
+         publish to the in-memory maps, so a crash mid-persist leaves
+         both the disk and the memory views consistent *)
+      let file =
+        write_file t (id ^ ".vhdl")
+          (Vhdl.dump { sized with Netlist.name = id })
+      in
+      Db.insert t.db "instances"
         [ Value.Str id;
           Value.Str (match inst.Instance.component with Some c -> c | None -> "-");
           Value.Int (Instance.gate_count inst);
           Value.Float (Instance.best_area inst);
           Value.Float report.Sta.clock_width;
           Value.Bool constraints_met;
-          Value.Str file ];
+          Value.Str file;
+          Value.Bool degraded;
+          Value.Str key ];
       (* a layout-target request (§6.1) goes all the way to CIF now,
          at the best-area shape alternative *)
       (match spec.Spec.target with
@@ -419,6 +576,8 @@ let request_component t (spec : Spec.t) =
              (write_file t
                 (Printf.sprintf "%s_s%d.cif" id alt.Shape.alt_strips)
                 cif));
+      Hashtbl.replace t.instances id inst;
+      Hashtbl.replace t.cache key id;
       (* record in the open transaction, if any *)
       Hashtbl.iter
         (fun _ book ->
@@ -462,7 +621,10 @@ let request_layout t id ?(alternative = 0) ?port_specs () =
     Cif.generate inst.Instance.netlist ~strips:alt.Shape.alt_strips
       ~port_specs:specs
   in
-  let file = write_file t (Printf.sprintf "%s_s%d.cif" id alt.Shape.alt_strips) cif in
+  let file =
+    fault_boundary @@ fun () ->
+    write_file t (Printf.sprintf "%s_s%d.cif" id alt.Shape.alt_strips) cif
+  in
   (layout, cif, file)
 
 (* ------------------------------------------------------------------ *)
@@ -481,21 +643,55 @@ let get_design t name =
 let start_transaction t name =
   let d = get_design t name in
   if d.tx_created <> None then fail "design %s already has an open transaction" name;
-  d.tx_created <- Some []
+  d.tx_created <- Some [];
+  Db.mark_tx_begin t.db name
 
 let put_in_component_list t name inst_id =
   let d = get_design t name in
   ignore (find_instance t inst_id);
   if not (List.mem inst_id d.kept) then d.kept <- inst_id :: d.kept
 
+(* Is [fname] a CIF layout file of instance [id] (<id>_s<k>.cif)? *)
+let is_cif_of id fname =
+  let prefix = id ^ "_s" and suffix = ".cif" in
+  String.length fname > String.length prefix + String.length suffix
+  && String.sub fname 0 (String.length prefix) = prefix
+  && Filename.check_suffix fname suffix
+  && String.for_all
+       (fun c -> c >= '0' && c <= '9')
+       (String.sub fname (String.length prefix)
+          (String.length fname - String.length prefix - String.length suffix))
+
+(* Best-effort workspace cleanup: the instance's netlist file and any
+   CIF layouts. A file already gone is fine (ENOENT is not an error —
+   a previous crash may have taken it). *)
+let remove_instance_files t id =
+  let rm name =
+    try Sys.remove (Filename.concat t.workspace name) with Sys_error _ -> ()
+  in
+  rm (id ^ ".vhdl");
+  match Sys.readdir t.workspace with
+  | entries -> Array.iter (fun f -> if is_cif_of id f then rm f) entries
+  | exception Sys_error _ -> ()
+
 let delete_instance t id =
   (match Hashtbl.find_opt t.instances id with
-   | Some inst ->
+   | Some _ ->
        Hashtbl.remove t.instances id;
-       Hashtbl.remove t.cache (Spec.cache_key inst.Instance.spec)
+       (* scan by value: a recovered instance's live cache key is the
+          journaled spec_key, not the cache_key of its placeholder spec *)
+       let stale =
+         Hashtbl.fold
+           (fun k v acc -> if v = id then k :: acc else acc)
+           t.cache []
+       in
+       List.iter (Hashtbl.remove t.cache) stale
    | None -> ());
   let tbl = Db.table t.db "instances" in
-  ignore (Table.delete tbl (fun row -> Table.get row tbl "id" = Value.Str id))
+  ignore
+    (Db.delete_where t.db "instances" (fun row ->
+         Table.get row tbl "id" = Value.Str id));
+  remove_instance_files t id
 
 let end_transaction t name =
   let d = get_design t name in
@@ -507,7 +703,8 @@ let end_transaction t name =
       List.iter
         (fun id -> if not (List.mem id d.kept) then delete_instance t id)
         created;
-      d.tx_created <- None
+      d.tx_created <- None;
+      Db.mark_tx_commit t.db name
 
 let end_design t name =
   let d = get_design t name in
@@ -519,3 +716,225 @@ let component_list t name = List.rev (get_design t name).kept
 let instance_ids t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.instances []
   |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Reconstruct one instance from its database row and its exact-netlist
+   workspace file, re-verifying the stored figures: a mismatch between
+   the file and the row means one of them is damaged, and the instance
+   is dropped rather than served wrong. *)
+let rebuild_instance t row tbl =
+  let str c = Value.to_string (Table.get row tbl c) in
+  let id = str "id" in
+  let gates =
+    match Table.get row tbl "gates" with Value.Int n -> n | _ -> 0
+  in
+  let area =
+    match Table.get row tbl "area" with Value.Float f -> f | _ -> 0.
+  in
+  let cw =
+    match Table.get row tbl "clock_width" with Value.Float f -> f | _ -> 0.
+  in
+  let bool_col c =
+    match Table.get row tbl c with Value.Bool b -> b | _ -> false
+  in
+  let file =
+    Filename.concat t.workspace (Filename.basename (str "file"))
+  in
+  let contents =
+    try read_file file with Sys_error msg ->
+      Fault.fault Fault.Corrupt "instance %s: cannot read %s: %s" id file msg
+  in
+  let nl =
+    try Vhdl.undump contents with Vhdl.Vhdl_error msg ->
+      Fault.fault Fault.Corrupt "instance %s: bad netlist file: %s" id msg
+  in
+  if Netlist.instance_count nl <> gates then
+    Fault.fault Fault.Corrupt
+      "instance %s: file has %d gates, database says %d" id
+      (Netlist.instance_count nl) gates;
+  let shape = Shape.of_netlist nl in
+  let best = (Shape.best_area shape).Shape.alt_area in
+  if abs_float (best -. area) > 1e-6 *. (abs_float area +. 1.) then
+    Fault.fault Fault.Corrupt
+      "instance %s: file area %.3f does not match database area %.3f" id best
+      area;
+  (* delays are re-derived from the recovered netlist; CW keeps the
+     stored figure (the request's port loads are not persisted) *)
+  let report = { (Sta.analyze nl) with Sta.clock_width = cw } in
+  let component = match str "component" with "-" -> None | c -> Some c in
+  let comp = Option.bind component Component.find in
+  let functions, connections =
+    match comp with
+    | Some c -> (c.Component.functions_of [], c.Component.connections_of [])
+    | None -> ([], [])
+  in
+  { Instance.id;
+    spec = Spec.make ~name_hint:id (Spec.From_vhdl_netlist contents);
+    flat = None;
+    netlist = nl;
+    report;
+    shape;
+    functions;
+    connections;
+    component;
+    equivalent_ports =
+      (match comp with Some c -> c.Component.equivalent_ports | None -> []);
+    inverted_ports =
+      (match comp with Some c -> c.Component.inverted_ports | None -> []);
+    constraints_met = bool_col "constraints_met";
+    degraded = bool_col "degraded";
+    power = lazy (Power.estimate nl) }
+
+(* Restore the id counter so fresh requests never collide with
+   recovered instance names. *)
+let restore_seq t =
+  Hashtbl.iter
+    (fun id _ ->
+      match String.rindex_opt id '_' with
+      | None -> ()
+      | Some i -> (
+          match
+            int_of_string_opt (String.sub id (i + 1) (String.length id - i - 1))
+          with
+          | Some n when n > t.seq -> t.seq <- n
+          | _ -> ()))
+    t.instances
+
+(* Sweep files a crash may have stranded: half-written ".tmp" files and
+   netlist/layout/IIF files whose database row is gone. *)
+let sweep_orphans t =
+  let live_vhdl name = Hashtbl.mem t.instances name in
+  let removed = ref [] in
+  (match Sys.readdir t.workspace with
+   | entries ->
+       Array.iter
+         (fun f ->
+           let drop () =
+             (try Sys.remove (Filename.concat t.workspace f)
+              with Sys_error _ -> ());
+             removed := f :: !removed
+           in
+           if f = "icdb.journal" || f = "icdb.snapshot" then ()
+           else if Filename.check_suffix f ".tmp" then drop ()
+           else if Filename.check_suffix f ".vhdl" then (
+             if not (live_vhdl (Filename.chop_suffix f ".vhdl")) then drop ())
+           else if Filename.check_suffix f ".iif" then (
+             if not (Hashtbl.mem t.registry (Filename.chop_suffix f ".iif"))
+             then drop ())
+           else if Filename.check_suffix f ".cif" then
+             if
+               not
+                 (Hashtbl.fold
+                    (fun id _ acc -> acc || is_cif_of id f)
+                    t.instances false)
+             then drop ())
+         entries
+   | exception Sys_error _ -> ());
+  List.sort String.compare !removed
+
+let reopen ?(verify = true) ~workspace () =
+  if not (Sys.file_exists workspace && Sys.is_directory workspace) then
+    fail "no workspace directory %s" workspace;
+  let jpath = ws_journal workspace in
+  let spath = ws_snapshot workspace in
+  if not (Sys.file_exists jpath || Sys.file_exists spath) then
+    fail "workspace %s has no journal or snapshot (not created durable?)"
+      workspace;
+  let have_snapshot = Sys.file_exists spath in
+  let db =
+    if have_snapshot then Db.load spath
+    else (
+      let db = Db.create () in
+      setup_tables db;
+      db)
+  in
+  let t =
+    { db; workspace;
+      registry = Hashtbl.create 32;
+      generators = Hashtbl.create 4;
+      instances = Hashtbl.create 64;
+      cache = Hashtbl.create 64;
+      designs = Hashtbl.create 8;
+      seq = 0;
+      verify;
+      durable = true }
+  in
+  register_builtin_generators t;
+  (* static knowledge is rebuilt, not replayed; a snapshot already
+     carries its rows (and bootstrap would duplicate them) *)
+  if not have_snapshot then bootstrap_static t;
+  let rp = Db.replay_journal db ~journal_path:jpath in
+  Db.attach_journal db (Journal.open_append jpath);
+  (* IIF registry from the implementations table: builtin sources are
+     known in-process; acquired ones are re-read from the workspace *)
+  let dropped = ref [] in
+  let impl_tbl = Db.table db "implementations" in
+  List.iter
+    (fun row ->
+      let name = Value.to_string (Table.get row impl_tbl "name") in
+      if not (Hashtbl.mem t.registry name) then
+        let source =
+          match List.assoc_opt name Builtin.sources with
+          | Some s -> Some s
+          | None -> (
+              let file =
+                Filename.concat workspace
+                  (Filename.basename
+                     (Value.to_string (Table.get row impl_tbl "file")))
+              in
+              try Some (read_file file) with Sys_error _ -> None)
+        in
+        match source with
+        | None -> dropped := ("implementation " ^ name) :: !dropped
+        | Some src -> (
+            try Hashtbl.replace t.registry name (Parser.parse src)
+            with _ -> dropped := ("implementation " ^ name) :: !dropped))
+    (Table.rows impl_tbl);
+  List.iter
+    (fun entry ->
+      ignore
+        (Db.delete_where t.db "implementations" (fun row ->
+             "implementation "
+             ^ Value.to_string (Table.get row impl_tbl "name")
+             = entry)))
+    !dropped;
+  (* instances from their rows + exact netlist files *)
+  let inst_tbl = Db.table db "instances" in
+  List.iter
+    (fun row ->
+      let id = Value.to_string (Table.get row inst_tbl "id") in
+      match rebuild_instance t row inst_tbl with
+      | inst ->
+          Hashtbl.replace t.instances id inst;
+          let key = Value.to_string (Table.get row inst_tbl "spec_key") in
+          if key <> "" then Hashtbl.replace t.cache key id
+      | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
+      | exception Fault.Fault (_, msg) -> dropped := msg :: !dropped
+      | exception e ->
+          dropped :=
+            Printf.sprintf "instance %s: %s" id (Printexc.to_string e)
+            :: !dropped)
+    (Table.rows inst_tbl);
+  (* drop rows whose instance could not be reconstructed *)
+  ignore
+    (Db.delete_where t.db "instances" (fun row ->
+         let id = Value.to_string (Table.get row inst_tbl "id") in
+         not (Hashtbl.mem t.instances id)));
+  restore_seq t;
+  let orphans = sweep_orphans t in
+  let report =
+    { rr_entries_replayed = rp.Db.rp_applied;
+      rr_torn_tail = rp.Db.rp_torn;
+      rr_rolled_back_tx = rp.Db.rp_discarded <> [];
+      rr_instances = instance_ids t;
+      rr_dropped = List.sort String.compare !dropped;
+      rr_orphans = orphans }
+  in
+  (t, report)
+
+let checkpoint t =
+  if not t.durable then fail "server was not created durable";
+  Db.checkpoint t.db ~snapshot:(ws_snapshot t.workspace)

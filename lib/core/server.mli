@@ -8,17 +8,26 @@
     Metadata lives in the relational engine (the INGRES role); bulk
     design data — IIF sources, VHDL netlists, CIF layouts — lives in
     plain files under a workspace directory (the UNIX-file-system
-    role), exactly as §2.3 describes. *)
+    role), exactly as §2.3 describes.
+
+    A durable server additionally write-ahead-journals every dynamic
+    database mutation and writes every workspace file atomically, so
+    {!reopen} reconstructs the complete server state after a crash at
+    any point. *)
 
 type t
 
 exception Icdb_error of string
 
-val create : ?verify:bool -> ?workspace:string -> unit -> t
+val create : ?verify:bool -> ?workspace:string -> ?durable:bool -> unit -> t
 (** A server preloaded with the generic component library and the
     builtin generators. [verify] (default true) simulates every
     generated netlist against its IIF specification and fails loudly
-    on mismatch. [workspace] defaults to a fresh temp directory. *)
+    on mismatch. [workspace] defaults to a fresh temp directory unique
+    to this server. [durable] (default false) journals to
+    [<workspace>/icdb.journal] for {!reopen}.
+    @raise Icdb_error when [durable] and the workspace already holds a
+    journal — reopen that workspace instead of re-creating over it. *)
 
 val workspace : t -> string
 
@@ -67,6 +76,11 @@ val find_instance : t -> string -> Instance.t
 
 val instance_ids : t -> string list
 
+val delete_instance : t -> string -> unit
+(** Remove an instance: in-memory maps, database row, and its workspace
+    netlist/layout files (best-effort — files already gone are fine).
+    Unknown ids are a no-op. *)
+
 val request_layout :
   t ->
   string ->
@@ -93,3 +107,34 @@ val end_design : t -> string -> unit
 (** Deletes the design's kept instances and forgets the design. *)
 
 val component_list : t -> string -> string list
+
+(** {1 Crash recovery}
+
+    A durable server's workspace holds everything needed to rebuild it:
+    the journal (and optional snapshot), the IIF sources, and one
+    exact-netlist [.vhdl] file per instance. *)
+
+type recovery_report = {
+  rr_entries_replayed : int;   (** journal entries re-applied *)
+  rr_torn_tail : bool;         (** a torn/corrupt journal tail was cut *)
+  rr_rolled_back_tx : bool;    (** an uncommitted App B §7 tx was undone *)
+  rr_instances : string list;  (** instance ids reconstructed *)
+  rr_dropped : string list;    (** rows dropped: artifact missing/corrupt *)
+  rr_orphans : string list;    (** stray workspace files removed *)
+}
+
+val reopen : ?verify:bool -> workspace:string -> unit -> t * recovery_report
+(** Rebuild a durable server from its workspace after a crash (or a
+    clean exit): load the snapshot if present, re-run the deterministic
+    bootstrap otherwise, replay the journal (rolling back an
+    uncommitted transaction and truncating any torn tail), reconstruct
+    every instance from its netlist file — re-verifying gate count and
+    area against the stored row, dropping what fails — and sweep
+    half-written temp files and orphaned artifacts.
+    @raise Icdb_error when the directory is missing or holds neither a
+    journal nor a snapshot. *)
+
+val checkpoint : t -> unit
+(** Absorb the journal into [<workspace>/icdb.snapshot] (atomically)
+    and truncate it, bounding future recovery time.
+    @raise Icdb_error on a non-durable server. *)

@@ -325,7 +325,12 @@ let handle_request_component server bound =
       else if wants_output bound "component_instance" then "component_instance"
       else fail "request_component has no instance output slot"
     in
-    [ (out_key, Rstr inst.Instance.id) ]
+    let extra =
+      if wants_output bound "degraded" then
+        [ ("degraded", Rstr (if inst.Instance.degraded then "yes" else "no")) ]
+      else []
+    in
+    (out_key, Rstr inst.Instance.id) :: extra
   end
 
 let handle_instance_query server bound =
@@ -358,6 +363,8 @@ let handle_instance_query server bound =
   if wants_output bound "constraints_met" then
     add "constraints_met"
       (Rstr (if inst.Instance.constraints_met then "yes" else "no"));
+  if wants_output bound "degraded" then
+    add "degraded" (Rstr (if inst.Instance.degraded then "yes" else "no"));
   if wants_output bound "power" then
     add "power" (Rstr (Instance.power_string inst));
   if wants_output bound "equivalent_ports" then

@@ -76,6 +76,88 @@ let architecture_of (nl : Netlist.t) =
 let to_vhdl nl = entity_of nl ^ "\n" ^ architecture_of nl
 
 (* ------------------------------------------------------------------ *)
+(* Exact persistence (workspace .vhdl files)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The sanitized entity/architecture text is what external tools read,
+   but it does not round-trip: names are sanitized and drive sizes live
+   in comments. Workspace files therefore carry a machine-readable
+   trailer of "--#" comment lines (still legal VHDL) encoding the
+   netlist exactly, which crash recovery reads back with [undump]. *)
+
+let trailer_field what s =
+  if String.contains s '\t' || String.contains s '\n' || String.contains s ','
+     || String.contains s '=' then
+    fail "%s %S not representable in a netlist trailer" what s;
+  s
+
+let dump nl =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (to_vhdl nl);
+  Buffer.add_string buf
+    (Printf.sprintf "--#name\t%s\n" (trailer_field "name" nl.Netlist.name));
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "--#in\t%s\n" (trailer_field "net" n)))
+    nl.Netlist.inputs;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "--#out\t%s\n" (trailer_field "net" n)))
+    nl.Netlist.outputs;
+  List.iter
+    (fun (i : Netlist.instance) ->
+      Buffer.add_string buf
+        (Printf.sprintf "--#inst\t%s\t%s\t%h\t%s\n"
+           (trailer_field "instance" i.Netlist.inst_name)
+           (trailer_field "cell" i.Netlist.cell)
+           i.Netlist.size
+           (String.concat ","
+              (List.map
+                 (fun (p, n) ->
+                   trailer_field "pin" p ^ "=" ^ trailer_field "net" n)
+                 i.Netlist.conns))))
+    nl.Netlist.instances;
+  Buffer.contents buf
+
+let undump src =
+  let name = ref None in
+  let inputs = ref [] and outputs = ref [] and instances = ref [] in
+  let parse_conns s =
+    if s = "" then []
+    else
+      String.split_on_char ',' s
+      |> List.map (fun kv ->
+             match String.index_opt kv '=' with
+             | Some i ->
+                 (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+             | None -> fail "malformed connection %S in netlist trailer" kv)
+  in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         if String.length line > 3 && String.sub line 0 3 = "--#" then
+           let body = String.sub line 3 (String.length line - 3) in
+           match String.split_on_char '\t' body with
+           | [ "name"; n ] -> name := Some n
+           | [ "in"; n ] -> inputs := n :: !inputs
+           | [ "out"; n ] -> outputs := n :: !outputs
+           | [ "inst"; label; cell; size; conns ] ->
+               let size =
+                 match float_of_string_opt size with
+                 | Some s -> s
+                 | None -> fail "malformed size %S in netlist trailer" size
+               in
+               instances :=
+                 { Netlist.inst_name = label; cell; size;
+                   conns = parse_conns conns }
+                 :: !instances
+           | _ -> fail "malformed netlist trailer line %S" line);
+  match !name with
+  | None -> fail "missing netlist trailer (--# lines)"
+  | Some name ->
+      { Netlist.name;
+        inputs = List.rev !inputs;
+        outputs = List.rev !outputs;
+        instances = List.rev !instances }
+
+(* ------------------------------------------------------------------ *)
 (* Parser (structural subset)                                          *)
 (* ------------------------------------------------------------------ *)
 

@@ -21,6 +21,18 @@ val architecture_of : Netlist.t -> string
 val to_vhdl : Netlist.t -> string
 (** Entity followed by architecture. *)
 
+val dump : Netlist.t -> string
+(** {!to_vhdl} followed by a machine-readable "--#" comment trailer
+    that encodes the netlist exactly (original net names, drive sizes).
+    This is what the server persists to workspace [.vhdl] files so crash
+    recovery can reconstruct instances bit-for-bit.
+    @raise Vhdl_error if a name contains trailer separator characters. *)
+
+val undump : string -> Netlist.t
+(** Reconstruct the exact netlist from a {!dump} trailer (the VHDL text
+    above it is ignored). @raise Vhdl_error on a missing or malformed
+    trailer. *)
+
 (** {1 Parser (structural subset)} *)
 
 type parsed_instance = {

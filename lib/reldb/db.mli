@@ -22,6 +22,35 @@ val drop_table : t -> string -> unit
 val table_names : t -> string list
 (** Sorted list of table names. *)
 
+(** {1 Write-ahead journaling}
+
+    Once a journal is attached, every mutation made through the
+    journaled operations ([create_table], [drop_table], [insert],
+    [delete_where], the transaction marks) is logged before the caller
+    regains control. Mutations made directly through {!Table} bypass the
+    journal — durability-sensitive callers must go through this
+    module. *)
+
+val attach_journal : t -> Journal.t -> unit
+val detach_journal : t -> unit
+val journal : t -> Journal.t option
+
+val insert : t -> string -> Value.t list -> unit
+(** Journaled row insert. @raise Db_error / Table.Schema_error as the
+    unjournaled operations do. *)
+
+val delete_where : t -> string -> (Table.row -> bool) -> int
+(** Journaled delete: each removed row is logged individually so replay
+    can reproduce it exactly. Returns the number of rows removed. *)
+
+val mark_tx_begin : t -> string -> unit
+(** Journal an application-level (App B §7) transaction-begin mark.
+    Entries recorded between an uncommitted begin and the end of the
+    journal are rolled back by {!replay_journal}. No-op when no journal
+    is attached. *)
+
+val mark_tx_commit : t -> string -> unit
+
 (** {1 Transactions}
 
     Snapshot-based: [begin_tx] snapshots every table; [rollback]
@@ -49,3 +78,28 @@ val save : t -> string -> unit
 val load : string -> t
 (** Read a database written by {!save}.
     @raise Db_error on malformed input. *)
+
+(** {1 Crash recovery} *)
+
+type replay_report = {
+  rp_applied : int;                   (** entries re-applied *)
+  rp_discarded : Journal.entry list;  (** uncommitted-transaction tail *)
+  rp_torn : bool;                     (** a torn/corrupt tail was cut *)
+}
+
+val replay_journal : t -> journal_path:string -> replay_report
+(** Replay the journal over a snapshot- or bootstrap-initialised
+    database: apply the longest valid, committed prefix, roll back
+    entries belonging to an uncommitted App B §7 transaction, and
+    truncate the journal file to exactly what was applied. The journal
+    must not be attached to [t] while replaying.
+    @raise Db_error if a journal is attached. *)
+
+val recover : ?snapshot:string -> journal_path:string -> unit -> t * replay_report
+(** Load the last snapshot (or start empty when [snapshot] is absent or
+    missing) and {!replay_journal} over it. The returned database has no
+    journal attached; re-attach once ready to accept writes. *)
+
+val checkpoint : t -> snapshot:string -> unit
+(** Absorb the journal into a snapshot file (atomic rename), then
+    truncate the attached journal (if any). *)

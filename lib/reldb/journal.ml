@@ -1,0 +1,225 @@
+(* Write-ahead journal for the relational engine (the durability the
+   paper gets for free from INGRES, §2.3).
+
+   Every mutating operation on a journaled [Db.t] is appended here as a
+   typed, checksummed record *before* the caller regains control, so a
+   crash at any point loses at most the operation in flight. Recovery
+   ([Db.replay_journal] / [Db.recover]) replays the longest valid prefix
+   over the last snapshot and truncates torn or corrupt tails.
+
+   Record format, one line per record:
+
+     <crc32-hex-of-payload> TAB <payload> NL
+
+   where the payload is tab-separated fields, the first being a one-byte
+   tag:
+
+     C <table> <col>=<ty> ...     create table
+     X <table>                    drop table
+     I <table> <value> ...        insert row    (Value.encode, so tabs
+     D <table> <value> ...        delete row     and newlines are escaped)
+     B <tag>                      transaction begin   (App B §7)
+     T <tag>                      transaction commit
+
+   A record whose checksum does not match, or that does not parse, marks
+   the beginning of a torn tail: everything from it on is discarded. *)
+
+type entry =
+  | Create of string * (string * Value.ty) list
+  | Drop of string
+  | Insert of string * Value.t list
+  | Delete of string * Value.t list
+  | Tx_begin of string
+  | Tx_commit of string
+
+exception Journal_error of string
+
+let journal_err fmt = Printf.ksprintf (fun s -> raise (Journal_error s)) fmt
+
+(* Hook fired before each append; the fault-injection harness
+   (lib/core/faultinject.ml) points this at its journal-append site. *)
+let append_hook : (unit -> unit) ref = ref (fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3 polynomial, table-driven)                        *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let i =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(i) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* ------------------------------------------------------------------ *)
+(* Record encoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ty_name = Value.ty_name
+
+let ty_of_name = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstr
+  | "bool" -> Value.Tbool
+  | s -> journal_err "unknown column type %s" s
+
+let check_field what s =
+  if String.contains s '\t' || String.contains s '\n' then
+    journal_err "%s %S may not contain tabs or newlines" what s
+
+let encode_entry e =
+  let fields =
+    match e with
+    | Create (name, schema) ->
+        check_field "table name" name;
+        "C" :: name
+        :: List.map
+             (fun (col, ty) ->
+               check_field "column name" col;
+               col ^ "=" ^ ty_name ty)
+             schema
+    | Drop name ->
+        check_field "table name" name;
+        [ "X"; name ]
+    | Insert (name, values) ->
+        check_field "table name" name;
+        "I" :: name :: List.map Value.encode values
+    | Delete (name, values) ->
+        check_field "table name" name;
+        "D" :: name :: List.map Value.encode values
+    | Tx_begin tag ->
+        check_field "transaction tag" tag;
+        [ "B"; tag ]
+    | Tx_commit tag ->
+        check_field "transaction tag" tag;
+        [ "T"; tag ]
+  in
+  String.concat "\t" fields
+
+let decode_entry payload =
+  match String.split_on_char '\t' payload with
+  | "C" :: name :: cols ->
+      let schema =
+        List.map
+          (fun col ->
+            match String.rindex_opt col '=' with
+            | Some i ->
+                ( String.sub col 0 i,
+                  ty_of_name (String.sub col (i + 1) (String.length col - i - 1)) )
+            | None -> journal_err "malformed column field %S" col)
+          cols
+      in
+      Create (name, schema)
+  | [ "X"; name ] -> Drop name
+  | "I" :: name :: values -> Insert (name, List.map Value.decode values)
+  | "D" :: name :: values -> Delete (name, List.map Value.decode values)
+  | [ "B"; tag ] -> Tx_begin tag
+  | [ "T"; tag ] -> Tx_commit tag
+  | _ -> journal_err "unknown record %S" payload
+
+let encode_line e =
+  let payload = encode_entry e in
+  Printf.sprintf "%08lx\t%s\n" (crc32 payload) payload
+
+(* Returns None for a torn or corrupt line. *)
+let decode_line line =
+  match String.index_opt line '\t' with
+  | None -> None
+  | Some i ->
+      let crc_field = String.sub line 0 i in
+      let payload = String.sub line (i + 1) (String.length line - i - 1) in
+      (match Int32.of_string_opt ("0x" ^ crc_field) with
+       | Some crc when crc = crc32 payload -> (
+           match decode_entry payload with
+           | e -> Some e
+           | exception Journal_error _ -> None
+           | exception Failure _ -> None)
+       | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  jpath : string;
+  mutable oc : out_channel;
+}
+
+let path t = t.jpath
+
+let open_append jpath =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 jpath
+  in
+  { jpath; oc }
+
+let append t e =
+  !append_hook ();
+  output_string t.oc (encode_line e);
+  flush t.oc
+
+let close t = close_out t.oc
+
+(* Atomically truncate the journal: close, reopen empty. Used after a
+   snapshot checkpoint absorbs every journaled operation. *)
+let reset t =
+  close_out t.oc;
+  t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.jpath
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The longest valid record prefix of the journal at [jpath], plus
+   whether a torn/corrupt tail was found after it. A missing journal
+   reads as empty. *)
+let replay jpath =
+  if not (Sys.file_exists jpath) then ([], false)
+  else begin
+    let ic = open_in_bin jpath in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let entries = ref [] in
+        let torn = ref false in
+        (try
+           while not !torn do
+             let line = input_line ic in
+             match decode_line line with
+             | Some e -> entries := e :: !entries
+             | None -> torn := true
+           done
+         with End_of_file -> ());
+        (* a final line without a newline that still decodes is fine;
+           input_line already handled it above *)
+        (List.rev !entries, !torn))
+  end
+
+(* Rewrite the journal to contain exactly [entries] (used by recovery to
+   drop torn tails and uncommitted transactions). Write-to-temp + rename
+   so a crash during recovery cannot make things worse. *)
+let rewrite jpath entries =
+  let tmp = jpath ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun e -> output_string oc (encode_line e)) entries);
+  Sys.rename tmp jpath

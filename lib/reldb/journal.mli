@@ -1,0 +1,54 @@
+(** Write-ahead journal for {!Db} — the durability the paper gets for
+    free from INGRES (§2.3).
+
+    Each mutating operation is appended as a typed, CRC-32-checksummed,
+    line-oriented record. Recovery replays the longest valid prefix and
+    truncates torn or corrupt tails, so a crash at any point loses at
+    most the operation in flight. *)
+
+type entry =
+  | Create of string * (string * Value.ty) list  (** create table *)
+  | Drop of string                               (** drop table *)
+  | Insert of string * Value.t list              (** insert row *)
+  | Delete of string * Value.t list              (** delete one row *)
+  | Tx_begin of string   (** App B §7 transaction opened *)
+  | Tx_commit of string  (** App B §7 transaction committed *)
+
+exception Journal_error of string
+
+type t
+
+val append_hook : (unit -> unit) ref
+(** Fired before each append. The fault-injection harness
+    ([Icdb.Faultinject]) points this at its journal-append site so tests
+    can kill the server between the in-memory mutation and the log
+    write. *)
+
+val open_append : string -> t
+(** Open (creating if needed) a journal for appending. *)
+
+val path : t -> string
+
+val append : t -> entry -> unit
+(** Append one record and flush it. *)
+
+val close : t -> unit
+
+val reset : t -> unit
+(** Truncate the journal to empty (after a snapshot checkpoint has
+    absorbed every journaled operation). *)
+
+val replay : string -> entry list * bool
+(** [replay path] is the longest valid record prefix of the journal,
+    plus [true] when a torn or corrupt tail was found after it. A
+    missing file reads as empty. *)
+
+val rewrite : string -> entry list -> unit
+(** Atomically rewrite the journal to contain exactly the given entries
+    (recovery uses this to drop torn tails and uncommitted
+    transactions). *)
+
+(**/**)
+
+val crc32 : string -> int32
+(** Exposed for tests. *)

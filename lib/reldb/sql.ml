@@ -35,7 +35,13 @@ let tokenize s =
           let buf = Buffer.create 16 in
           let rec str j =
             if j >= n then sql_err "unterminated string literal"
-            else if s.[j] = '\'' then j + 1
+            else if s.[j] = '\'' then
+              (* '' inside a literal is an escaped quote *)
+              if j + 1 < n && s.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                str (j + 2)
+              end
+              else j + 1
             else begin
               Buffer.add_char buf s.[j];
               str (j + 1)
@@ -230,3 +236,27 @@ let select db stmt =
   match exec db stmt with
   | Relation rel -> rel
   | Affected _ -> sql_err "expected a SELECT statement"
+
+(* ------------------------------------------------------------------ *)
+(* Literal quoting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every statement assembled with Printf.sprintf must pass dynamic
+   strings through here: embedded quotes are doubled so the value can
+   never escape the literal and splice into the statement. *)
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+(* A typed value as a SQL literal. *)
+let quote = function
+  | Value.Str s -> quote_string s
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Bool b -> string_of_bool b

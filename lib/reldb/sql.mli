@@ -24,3 +24,13 @@ val exec : Db.t -> string -> result
 
 val select : Db.t -> string -> Query.rel
 (** Like {!exec} but requires a SELECT. @raise Sql_error otherwise. *)
+
+val quote_string : string -> string
+(** [quote_string s] is [s] as a SQL string literal, with embedded
+    quotes doubled. Every statement assembled with [Printf.sprintf] must
+    pass dynamic strings through this (or {!quote}) so a value can never
+    escape its literal and splice into the statement. *)
+
+val quote : Value.t -> string
+(** A typed value as a SQL literal; strings go through
+    {!quote_string}. *)

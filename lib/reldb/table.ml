@@ -97,6 +97,22 @@ let delete t pred =
   t.count <- List.length t.data;
   before - t.count
 
+(* Remove a single row matching [pred] (the most recently inserted one,
+   if several match). Journal replay deletes row-by-row and must not
+   collapse duplicates. *)
+let delete_one t pred =
+  let rec go = function
+    | [] -> None
+    | row :: rest when pred row -> Some rest
+    | row :: rest -> Option.map (fun l -> row :: l) (go rest)
+  in
+  match go t.data with
+  | Some data ->
+      t.data <- data;
+      t.count <- t.count - 1;
+      true
+  | None -> false
+
 let clear t =
   t.data <- [];
   t.count <- 0

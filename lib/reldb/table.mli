@@ -49,6 +49,11 @@ val update : t -> (row -> bool) -> (row -> (string * Value.t) list) -> int
 val delete : t -> (row -> bool) -> int
 (** Remove matching rows; returns the number removed. *)
 
+val delete_one : t -> (row -> bool) -> bool
+(** Remove a single matching row (the most recently inserted one if
+    several match); [false] when none matched. Journal replay deletes
+    row-by-row and must not collapse duplicate rows. *)
+
 val clear : t -> unit
 
 val copy : t -> t
