@@ -702,6 +702,119 @@ let bechamel () =
     (List.sort compare names)
 
 (* ------------------------------------------------------------------ *)
+(* E16 / cache: warm vs cold request_component                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The memoization tentpole's headline measurement: every spec is
+   requested once against an empty cache (cold = full Figure 8
+   pipeline) and [warm_reps] more times (warm = cache hit), and the
+   trajectory lands in bench_out/BENCH_cache.json so CI can track it
+   per PR. ICDB_SMOKE=1 shrinks the sweep for CI smoke runs. *)
+let cache_bench () =
+  header "E16 / cache: warm vs cold request_component";
+  let smoke = Sys.getenv_opt "ICDB_SMOKE" <> None in
+  let warm_reps = if smoke then 20 else 100 in
+  let counter ?(size = 5) ?(typ = 2) ?(load = 0) ?(enable = 0) ?(ud = 1) () =
+    Spec.make
+      (Spec.From_component
+         { component = "counter";
+           attributes =
+             [ ("size", size); ("type", typ); ("load", load);
+               ("enable", enable); ("up_or_down", ud) ];
+           functions = [] })
+  in
+  let simple comp size =
+    Spec.make
+      (Spec.From_component
+         { component = comp; attributes = [ ("size", size) ]; functions = [] })
+  in
+  let specs =
+    [ ("counter5_sync", counter ());
+      ("counter5_updown_load", counter ~ud:3 ~load:1 ~enable:1 ());
+      ("adder6", simple "adder" 6);
+      ("register8", simple "register" 8) ]
+    @
+    if smoke then []
+    else
+      [ ("counter8_ripple", counter ~size:8 ~typ:1 ());
+        ("comparator6", simple "comparator" 6);
+        ("mux4", simple "mux_scl" 4);
+        ("adder10", simple "adder" 10) ]
+  in
+  let s = Server.create () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let cold_inst, cold = time (fun () -> Server.request_component s spec) in
+        let warm_inst = ref cold_inst in
+        let (), warm_total =
+          time (fun () ->
+              for _ = 1 to warm_reps do
+                warm_inst := Server.request_component s spec
+              done)
+        in
+        let warm = warm_total /. float_of_int warm_reps in
+        assert (!warm_inst == cold_inst);  (* hits return the same instance *)
+        (name, cold, warm))
+      specs
+  in
+  Printf.printf "%-22s %10s %12s %9s\n" "spec" "cold (ms)" "warm (us)"
+    "speedup";
+  List.iter
+    (fun (name, cold, warm) ->
+      Printf.printf "%-22s %10.2f %12.2f %8.0fx\n" name (cold *. 1e3)
+        (warm *. 1e6)
+        (cold /. warm))
+    rows;
+  let cold_total = List.fold_left (fun a (_, c, _) -> a +. c) 0.0 rows in
+  let warm_total = List.fold_left (fun a (_, _, w) -> a +. w) 0.0 rows in
+  let speedup = cold_total /. warm_total in
+  let st = Server.stats s in
+  Printf.printf
+    "totals: cold %.1f ms, warm %.1f us/sweep -> %.0fx; stats: %d hits, %d \
+     reuse, %d misses, %d memo hits, %d entries\n"
+    (cold_total *. 1e3) (warm_total *. 1e6) speedup st.Server.st_hits
+    st.Server.st_reuse_hits st.Server.st_misses st.Server.st_memo_hits
+    st.Server.st_entries;
+  Printf.printf "shape check: warm >= 10x faster than cold (%b)\n"
+    (speedup >= 10.0);
+  let dir = out_dir () in
+  let path = Filename.concat dir "BENCH_cache.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"cache\",\n  \"smoke\": %b,\n  \"warm_reps\": \
+        %d,\n  \"cold_total_s\": %.6f,\n  \"warm_per_sweep_s\": %.9f,\n  \
+        \"speedup\": %.1f,\n"
+       smoke warm_reps cold_total warm_total speedup);
+  Buffer.add_string buf "  \"per_spec\": [\n";
+  List.iteri
+    (fun i (name, cold, warm) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"cold_s\": %.6f, \"warm_s\": %.9f, \
+            \"speedup\": %.1f}%s\n"
+           name cold warm (cold /. warm)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"stats\": {\"hits\": %d, \"reuse_hits\": %d, \"misses\": %d, \
+        \"evictions\": %d, \"entries\": %d, \"memo_hits\": %d, \
+        \"memo_misses\": %d}\n}\n"
+       st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
+       st.Server.st_evictions st.Server.st_entries st.Server.st_memo_hits
+       st.Server.st_memo_misses);
+  Out_channel.with_open_text path (fun oc -> output_string oc (Buffer.contents buf));
+  Printf.printf "trajectory -> %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -711,7 +824,7 @@ let experiments =
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("tab_instq", tab_instq); ("tab_connect", tab_connect);
     ("ablation", ablation); ("ablation_synth", ablation_synth); ("hls", hls);
-    ("wallclock", wallclock); ("bechamel", bechamel) ]
+    ("wallclock", wallclock); ("cache", cache_bench); ("bechamel", bechamel) ]
 
 let () =
   match Array.to_list Sys.argv with

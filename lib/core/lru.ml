@@ -1,0 +1,88 @@
+(* Bounded LRU cache: hash table for O(1) lookup, intrusive
+   doubly-linked list for O(1) recency updates and eviction. *)
+
+type ('k, 'v) node = {
+  nkey : 'k;
+  mutable nvalue : 'v;
+  mutable prev : ('k, 'v) node option;  (* toward the head (more recent) *)
+  mutable next : ('k, 'v) node option;  (* toward the tail (less recent) *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable evicted : int;
+}
+
+let create cap =
+  if cap <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { cap;
+    tbl = Hashtbl.create (min cap 64);
+    head = None;
+    tail = None;
+    evicted = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let evictions t = t.evicted
+
+let detach t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let attach_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      detach t n;
+      attach_front t n;
+      Some n.nvalue
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      detach t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.evicted <- t.evicted + 1
+
+let put t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.nvalue <- v;
+      detach t n;
+      attach_front t n
+  | None ->
+      let n = { nkey = k; nvalue = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      attach_front t n;
+      if Hashtbl.length t.tbl > t.cap then evict_lru t
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+      detach t n;
+      Hashtbl.remove t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let fold f t acc =
+  let rec go n acc =
+    match n with None -> acc | Some n -> go n.next (f n.nkey n.nvalue acc)
+  in
+  go t.head acc

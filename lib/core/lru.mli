@@ -1,0 +1,39 @@
+(** Bounded least-recently-used cache.
+
+    Backs the server's instance-reuse cache and the synthesis memo
+    table: O(1) lookup through a hash table, recency kept in an
+    intrusive doubly-linked list, evicting the least recently touched
+    binding once [capacity] is exceeded. Evictions are counted so
+    {!Server.stats} can report them. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+(** Total bindings evicted by capacity pressure since [create]
+    (explicit {!remove}s are not counted). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit marks the binding most recently used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without touching recency. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace, marking the binding most recently used; evicts
+    the least recently used binding when over capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop a binding (no-op when absent; not counted as an eviction). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every binding (the eviction counter is kept). *)
+
+val fold : ('k -> 'v -> 'a -> 'a) -> ('k, 'v) t -> 'a -> 'a
+(** Fold most-recently-used first, without touching recency. *)

@@ -51,12 +51,42 @@ type t = {
   registry : (string, Ast.design) Hashtbl.t;   (* IIF implementations *)
   generators : (string, Generator.t) Hashtbl.t;(* tool management (§4.2) *)
   instances : (string, Instance.t) Hashtbl.t;  (* id -> instance *)
-  cache : (string, string) Hashtbl.t;          (* spec key -> instance id *)
+  cache : (string, string) Lru.t;              (* exact spec key -> id *)
+  by_struct : (string, string list ref) Hashtbl.t;
+      (* structural key -> ids, oldest first: the §3.3 reuse index *)
+  synth_memo : (string, Netlist.t) Lru.t;
+      (* flat fingerprint / preferred generator -> verified netlist *)
   designs : (string, design_book) Hashtbl.t;   (* component lists (App B §7) *)
   mutable seq : int;
+  mutable hits : int;        (* exact-key cache hits *)
+  mutable reuse_hits : int;  (* §3.3 figure-based reuse hits *)
+  mutable misses : int;      (* requests that ran the generation path *)
+  mutable memo_hits : int;   (* synthesis memo hits *)
+  mutable memo_misses : int;
   verify : bool;  (* simulate generated netlists against their IIF spec *)
   durable : bool; (* journal + snapshot live in the workspace *)
 }
+
+type stats = {
+  st_hits : int;
+  st_reuse_hits : int;
+  st_misses : int;
+  st_evictions : int;
+  st_entries : int;
+  st_memo_hits : int;
+  st_memo_misses : int;
+}
+
+let stats t =
+  { st_hits = t.hits;
+    st_reuse_hits = t.reuse_hits;
+    st_misses = t.misses;
+    st_evictions = Lru.evictions t.cache;
+    st_entries = Lru.length t.cache;
+    st_memo_hits = t.memo_hits;
+    st_memo_misses = t.memo_misses }
+
+let default_cache_capacity = 512
 
 type recovery_report = {
   rr_entries_replayed : int;   (* journal entries re-applied *)
@@ -180,7 +210,8 @@ let register_builtin_generators t =
     (fun g -> Hashtbl.replace t.generators g.Generator.gen_name g)
     Generator.builtins
 
-let create ?(verify = true) ?workspace ?(durable = false) () =
+let create ?(verify = true) ?workspace ?(durable = false)
+    ?(cache_capacity = default_cache_capacity) () =
   let workspace =
     match workspace with
     | Some w ->
@@ -198,9 +229,13 @@ let create ?(verify = true) ?workspace ?(durable = false) () =
       registry = Hashtbl.create 32;
       generators = Hashtbl.create 4;
       instances = Hashtbl.create 64;
-      cache = Hashtbl.create 64;
+      cache = Lru.create cache_capacity;
+      by_struct = Hashtbl.create 64;
+      synth_memo = Lru.create cache_capacity;
       designs = Hashtbl.create 8;
       seq = 0;
+      hits = 0; reuse_hits = 0; misses = 0;
+      memo_hits = 0; memo_misses = 0;
       verify;
       durable }
   in
@@ -374,6 +409,27 @@ let synthesize_with_fallback t spec flat =
   let netlist, used = go [] chain in
   (netlist, used <> preferred)
 
+(* Memoized synthesis: the expand→optimize→map→verify chain is a pure
+   function of the flat design and the preferred generator, so its
+   (immutable) netlist is cached by content fingerprint. Only clean
+   results are kept — a degraded netlist came off the fallback path
+   and the preferred generator deserves a retry next time. The memo is
+   per-server: a fresh server always re-runs (and re-verifies) the
+   pipeline. *)
+let synthesize_memo t spec flat =
+  let mkey =
+    Flat.fingerprint flat ^ "/" ^ (generator_of t spec).Generator.gen_name
+  in
+  match Lru.find t.synth_memo mkey with
+  | Some netlist ->
+      t.memo_hits <- t.memo_hits + 1;
+      (netlist, false)
+  | None ->
+      t.memo_misses <- t.memo_misses + 1;
+      let netlist, degraded = synthesize_with_fallback t spec flat in
+      if not degraded then Lru.put t.synth_memo mkey netlist;
+      (netlist, degraded)
+
 (* Sizing failure degrades to the unsized netlist (constraints simply
    end up unmet) rather than aborting the request. *)
 let size_with_degradation netlist constraints =
@@ -477,16 +533,77 @@ let generate_netlist t spec =
        | Vhdl.Vhdl_error msg -> fail "VHDL: %s" msg)
   | _ -> assert false
 
+(* §3.3 reuse rule: an existing instance of the same structure may
+   answer a request with different constraints when its recorded
+   figures already satisfy them. Guarded tightly so the answer is
+   indistinguishable from fresh generation for the caller: the
+   instance must be clean (not degraded), have met its own request,
+   and share sizing strategy and port loads (its report was computed
+   under those loads); then its actual netlist is re-checked against
+   the new bounds. *)
+let figures_meet inst (c : Sizing.constraints) =
+  try Sizing.meets_constraints inst.Instance.netlist c with
+  | Faultinject.Crash s -> raise (Faultinject.Crash s)
+  | _ -> false
+
+let reusable spec inst =
+  let c_new = spec.Spec.constraints in
+  let c_old = inst.Instance.spec.Spec.constraints in
+  (not inst.Instance.degraded)
+  && inst.Instance.constraints_met
+  && c_old.Sizing.strategy = c_new.Sizing.strategy
+  && c_old.Sizing.port_loads = c_new.Sizing.port_loads
+  && figures_meet inst c_new
+
+let find_reusable t spec skey =
+  match Hashtbl.find_opt t.by_struct skey with
+  | None -> None
+  | Some ids ->
+      List.find_map
+        (fun id ->
+          match Hashtbl.find_opt t.instances id with
+          | Some inst when reusable spec inst -> Some inst
+          | _ -> None)
+        !ids
+
+let index_instance t ~key ~skey id =
+  Lru.put t.cache key id;
+  match Hashtbl.find_opt t.by_struct skey with
+  | Some ids -> if not (List.mem id !ids) then ids := !ids @ [ id ]
+  | None -> Hashtbl.replace t.by_struct skey (ref [ id ])
+
 let request_component t (spec : Spec.t) =
+  let spec = Spec.canonical spec in
   let key = Spec.cache_key spec in
-  match Hashtbl.find_opt t.cache key with
-  | Some id -> Hashtbl.find t.instances id
-  | None ->
+  let exact =
+    match Lru.find t.cache key with
+    | Some id -> (
+        match Hashtbl.find_opt t.instances id with
+        | Some inst -> Some inst
+        | None ->
+            (* mapping outlived its instance; drop it *)
+            Lru.remove t.cache key;
+            None)
+    | None -> None
+  in
+  match exact with
+  | Some inst ->
+      t.hits <- t.hits + 1;
+      inst
+  | None -> (
+      let skey = Spec.structural_key spec in
+      match find_reusable t spec skey with
+      | Some inst ->
+          t.reuse_hits <- t.reuse_hits + 1;
+          index_instance t ~key ~skey inst.Instance.id;
+          inst
+      | None ->
+      t.misses <- t.misses + 1;
       fault_boundary @@ fun () ->
       let flat, comp, attributes, base = resolve_source t spec in
       let netlist, synth_degraded =
         match flat with
-        | Some flat -> synthesize_with_fallback t spec flat
+        | Some flat -> synthesize_memo t spec flat
         | None -> (generate_netlist t spec, false)
       in
       let sized, size_degraded =
@@ -577,7 +694,7 @@ let request_component t (spec : Spec.t) =
                 (Printf.sprintf "%s_s%d.cif" id alt.Shape.alt_strips)
                 cif));
       Hashtbl.replace t.instances id inst;
-      Hashtbl.replace t.cache key id;
+      index_instance t ~key ~skey id;
       (* record in the open transaction, if any *)
       Hashtbl.iter
         (fun _ book ->
@@ -585,7 +702,7 @@ let request_component t (spec : Spec.t) =
           | Some created -> book.tx_created <- Some (id :: created)
           | None -> ())
         t.designs;
-      inst
+      inst)
 
 (* ------------------------------------------------------------------ *)
 (* Instance queries (§3.3)                                             *)
@@ -679,13 +796,20 @@ let delete_instance t id =
    | Some _ ->
        Hashtbl.remove t.instances id;
        (* scan by value: a recovered instance's live cache key is the
-          journaled spec_key, not the cache_key of its placeholder spec *)
+          journaled spec_key, not the cache_key of its placeholder
+          spec; reuse may also have aliased extra keys onto this id *)
        let stale =
-         Hashtbl.fold
-           (fun k v acc -> if v = id then k :: acc else acc)
-           t.cache []
+         Lru.fold (fun k v acc -> if v = id then k :: acc else acc) t.cache []
        in
-       List.iter (Hashtbl.remove t.cache) stale
+       List.iter (Lru.remove t.cache) stale;
+       let empty =
+         Hashtbl.fold
+           (fun skey ids acc ->
+             ids := List.filter (fun i -> i <> id) !ids;
+             if !ids = [] then skey :: acc else acc)
+           t.by_struct []
+       in
+       List.iter (Hashtbl.remove t.by_struct) empty
    | None -> ());
   let tbl = Db.table t.db "instances" in
   ignore
@@ -835,7 +959,8 @@ let sweep_orphans t =
    | exception Sys_error _ -> ());
   List.sort String.compare !removed
 
-let reopen ?(verify = true) ~workspace () =
+let reopen ?(verify = true)
+    ?(cache_capacity = default_cache_capacity) ~workspace () =
   if not (Sys.file_exists workspace && Sys.is_directory workspace) then
     fail "no workspace directory %s" workspace;
   let jpath = ws_journal workspace in
@@ -856,9 +981,15 @@ let reopen ?(verify = true) ~workspace () =
       registry = Hashtbl.create 32;
       generators = Hashtbl.create 4;
       instances = Hashtbl.create 64;
-      cache = Hashtbl.create 64;
+      (* the reuse cache is rebuilt from the instances table below —
+         never carried over from the crashed process's memory *)
+      cache = Lru.create cache_capacity;
+      by_struct = Hashtbl.create 64;
+      synth_memo = Lru.create cache_capacity;
       designs = Hashtbl.create 8;
       seq = 0;
+      hits = 0; reuse_hits = 0; misses = 0;
+      memo_hits = 0; memo_misses = 0;
       verify;
       durable = true }
   in
@@ -909,8 +1040,12 @@ let reopen ?(verify = true) ~workspace () =
       match rebuild_instance t row inst_tbl with
       | inst ->
           Hashtbl.replace t.instances id inst;
+          (* exact-specification reuse survives reopen via the
+             journaled spec_key; the §3.3 by_struct index does not —
+             its reuse predicate needs the creating request's full
+             constraints, which are not persisted *)
           let key = Value.to_string (Table.get row inst_tbl "spec_key") in
-          if key <> "" then Hashtbl.replace t.cache key id
+          if key <> "" then Lru.put t.cache key id
       | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
       | exception Fault.Fault (_, msg) -> dropped := msg :: !dropped
       | exception e ->

@@ -19,13 +19,22 @@ type t
 
 exception Icdb_error of string
 
-val create : ?verify:bool -> ?workspace:string -> ?durable:bool -> unit -> t
+val create :
+  ?verify:bool ->
+  ?workspace:string ->
+  ?durable:bool ->
+  ?cache_capacity:int ->
+  unit ->
+  t
 (** A server preloaded with the generic component library and the
     builtin generators. [verify] (default true) simulates every
     generated netlist against its IIF specification and fails loudly
     on mismatch. [workspace] defaults to a fresh temp directory unique
     to this server. [durable] (default false) journals to
-    [<workspace>/icdb.journal] for {!reopen}.
+    [<workspace>/icdb.journal] for {!reopen}. [cache_capacity]
+    (default 512) bounds the exact-specification reuse cache and the
+    synthesis memo; eviction never deletes instances, only the fast
+    path to them.
     @raise Icdb_error when [durable] and the workspace already holds a
     journal — reopen that workspace instead of re-creating over it. *)
 
@@ -63,13 +72,33 @@ val component_query : t -> string -> Icdb_genus.Func.t list
 (** {1 Generation (§3.2.2)} *)
 
 val request_component : t -> Spec.t -> Instance.t
-(** Generate (or fetch from the cache — identical specifications are
-    never regenerated, §2.2) a component instance. Constraints are
-    best-effort, as in the paper: check
-    [Instance.constraints_met].
+(** Generate — or reuse — a component instance. Identical (canonical)
+    specifications are never regenerated (§2.2); a request differing
+    only in constraints is answered by an existing clean instance of
+    the same structure, sizing strategy and port loads whose measured
+    figures already satisfy the new bounds (the §3.3 reuse rule),
+    re-checked against the actual netlist before serving. Everything
+    else runs the full generation path, with synthesis itself memoized
+    by flat-design fingerprint. Constraints are best-effort, as in the
+    paper: check [Instance.constraints_met].
     @raise Icdb_error on unknown components/implementations, function
     mismatches, expansion or mapping failures, or verification
     mismatches. *)
+
+(** {1 Cache observability} *)
+
+type stats = {
+  st_hits : int;        (** exact-specification cache hits *)
+  st_reuse_hits : int;  (** §3.3 figure-based reuse hits *)
+  st_misses : int;      (** requests that ran the generation path *)
+  st_evictions : int;   (** exact-cache entries evicted by capacity *)
+  st_entries : int;     (** live exact-cache entries *)
+  st_memo_hits : int;   (** synthesis-memo hits (pipeline skipped) *)
+  st_memo_misses : int; (** synthesis-memo misses (pipeline ran) *)
+}
+
+val stats : t -> stats
+(** Counters since [create]/[reopen] (reopen starts them afresh). *)
 
 val find_instance : t -> string -> Instance.t
 (** @raise Icdb_error on unknown ids. *)
@@ -123,14 +152,24 @@ type recovery_report = {
   rr_orphans : string list;    (** stray workspace files removed *)
 }
 
-val reopen : ?verify:bool -> workspace:string -> unit -> t * recovery_report
+val reopen :
+  ?verify:bool ->
+  ?cache_capacity:int ->
+  workspace:string ->
+  unit ->
+  t * recovery_report
 (** Rebuild a durable server from its workspace after a crash (or a
     clean exit): load the snapshot if present, re-run the deterministic
     bootstrap otherwise, replay the journal (rolling back an
     uncommitted transaction and truncating any torn tail), reconstruct
     every instance from its netlist file — re-verifying gate count and
     area against the stored row, dropping what fails — and sweep
-    half-written temp files and orphaned artifacts.
+    half-written temp files and orphaned artifacts. The
+    exact-specification cache is rebuilt from the recovered instances
+    table (never from the crashed process's memory); the §3.3
+    constraint-relaxed reuse index only covers instances generated
+    after the reopen, since it needs the creating request's full
+    constraints, which are not persisted.
     @raise Icdb_error when the directory is missing or holds neither a
     journal nor a snapshot. *)
 

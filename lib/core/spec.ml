@@ -2,7 +2,15 @@
    request_component (§3.2.2). Three source kinds, as in the paper:
    a catalog component (or implementation) with attribute values, an
    IIF description (control logic), or a VHDL netlist clustering
-   previously generated instances. *)
+   previously generated instances.
+
+   Specifications are kept in *canonical form* so that equal requests
+   compare and hash equal regardless of how the caller spelled them:
+   attributes and constraint lists are sorted, duplicates dropped
+   (first occurrence wins, matching List.assoc), missing catalog
+   attributes are filled with their defaults, and the default
+   generator name is normalized away. [make] canonicalizes, so any
+   spec built through the public constructor is already canonical. *)
 
 open Icdb_timing
 
@@ -29,20 +37,103 @@ type t = {
   generator : string option;  (* component generator to use (§4.2) *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The five universal attributes (App B §3) apply to every catalog
+   component; their defaults are part of every canonical attribute
+   list so that "unspecified" and "explicitly default" hash equal. *)
+let universal_defaults =
+  [ ("input_latch", 0); ("input_type", 1); ("output_latch", 0);
+    ("output_tri_state", 0); ("output_type", 1) ]
+
+(* Keep the first occurrence of each key: List.assoc semantics. *)
+let dedup_first kvs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else (
+        Hashtbl.add seen k ();
+        true))
+    kvs
+
+let sort_kv kvs =
+  List.sort (fun (a, _) (b, _) -> compare a b) (dedup_first kvs)
+
+(* Default-fill against the catalog: a request for a counter with
+   [("size", 5)] and one spelling out every default must reuse the
+   same instance (the §2.2 cache-key hazard). Unknown components are
+   left alone — the request will fail with a clear error later. *)
+let canonical_attributes component attributes =
+  let given = dedup_first attributes in
+  let defaults =
+    (match Icdb_genus.Component.find component with
+     | Some c -> c.Icdb_genus.Component.attributes
+     | None -> [])
+    @ universal_defaults
+  in
+  let filled =
+    List.fold_left
+      (fun acc (k, d) ->
+        if List.mem_assoc k acc then acc else (k, d) :: acc)
+      given defaults
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) filled
+
+let canonical t =
+  let source =
+    match t.source with
+    | From_component { component; attributes; functions } ->
+        From_component
+          { component;
+            attributes = canonical_attributes component attributes;
+            functions =
+              List.sort_uniq
+                (fun a b ->
+                  compare (Icdb_genus.Func.to_string a)
+                    (Icdb_genus.Func.to_string b))
+                functions }
+    | From_implementation { implementation; params } ->
+        From_implementation { implementation; params = sort_kv params }
+    | (From_iif _ | From_vhdl_netlist _) as s -> s
+  in
+  let c = t.constraints in
+  let constraints =
+    { c with
+      Sizing.comb_delays = sort_kv c.Sizing.comb_delays;
+      Sizing.port_loads = sort_kv c.Sizing.port_loads }
+  in
+  let generator =
+    (* milo is the default generator (§4.2): requesting it by name and
+       not requesting one at all are the same request *)
+    match t.generator with Some "milo" -> None | g -> g
+  in
+  { t with source; constraints; generator }
+
 let make ?(constraints = Sizing.default_constraints) ?(target = Logic)
     ?name_hint ?generator source =
-  { source; constraints; target; name_hint; generator }
+  canonical { source; constraints; target; name_hint; generator }
 
-(* Canonical cache key: identical specifications must reuse the stored
-   instance instead of regenerating (§2.2). *)
-let cache_key t =
+(* ------------------------------------------------------------------ *)
+(* Cache keys (§2.2, §3.3)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural part: what is generated (source, generator, target) —
+   two requests sharing it differ only in constraints, which is
+   exactly when the §3.3 reuse rule may serve one's instance for the
+   other. Raw IIF / VHDL sources are digested so the key stays short
+   and stable across processes. *)
+let structural_key t =
+  let t = canonical t in
   let b = Buffer.create 128 in
   (match t.source with
    | From_component { component; attributes; functions } ->
        Buffer.add_string b ("C:" ^ component);
        List.iter
          (fun (k, v) -> Buffer.add_string b (Printf.sprintf ";%s=%d" k v))
-         (List.sort compare attributes);
+         attributes;
        List.iter
          (fun f -> Buffer.add_string b (";f" ^ Icdb_genus.Func.to_string f))
          functions
@@ -50,29 +141,11 @@ let cache_key t =
        Buffer.add_string b ("I:" ^ implementation);
        List.iter
          (fun (k, v) -> Buffer.add_string b (Printf.sprintf ";%s=%d" k v))
-         (List.sort compare params)
+         params
    | From_iif src ->
-       Buffer.add_string b ("F:" ^ string_of_int (Hashtbl.hash src))
+       Buffer.add_string b ("F:" ^ Digest.to_hex (Digest.string src))
    | From_vhdl_netlist src ->
-       Buffer.add_string b ("V:" ^ string_of_int (Hashtbl.hash src)));
-  let c = t.constraints in
-  Buffer.add_string b
-    (Printf.sprintf "|cw=%s"
-       (match c.Sizing.clock_width with Some f -> string_of_float f | None -> "-"));
-  List.iter
-    (fun (p, d) -> Buffer.add_string b (Printf.sprintf ";cd%s=%g" p d))
-    (List.sort compare c.Sizing.comb_delays);
-  (match c.Sizing.setup_bound with
-   | Some f -> Buffer.add_string b (Printf.sprintf ";su=%g" f)
-   | None -> ());
-  List.iter
-    (fun (p, l) -> Buffer.add_string b (Printf.sprintf ";ol%s=%g" p l))
-    (List.sort compare c.Sizing.port_loads);
-  Buffer.add_string b
-    (match c.Sizing.strategy with
-     | Sizing.Fastest -> ";fast"
-     | Sizing.Cheapest -> ";cheap"
-     | Sizing.Balanced -> "");
+       Buffer.add_string b ("V:" ^ Digest.to_hex (Digest.string src)));
   (match t.generator with
    | Some g -> Buffer.add_string b (";gen=" ^ g)
    | None -> ());
@@ -80,3 +153,34 @@ let cache_key t =
    | Logic -> ()
    | Layout -> Buffer.add_string b ";layout");
   Buffer.contents b
+
+let constraint_key t =
+  let t = canonical t in
+  let c = t.constraints in
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (Printf.sprintf "cw=%s"
+       (match c.Sizing.clock_width with
+        | Some f -> string_of_float f
+        | None -> "-"));
+  List.iter
+    (fun (p, d) -> Buffer.add_string b (Printf.sprintf ";cd%s=%g" p d))
+    c.Sizing.comb_delays;
+  (match c.Sizing.setup_bound with
+   | Some f -> Buffer.add_string b (Printf.sprintf ";su=%g" f)
+   | None -> ());
+  List.iter
+    (fun (p, l) -> Buffer.add_string b (Printf.sprintf ";ol%s=%g" p l))
+    c.Sizing.port_loads;
+  Buffer.add_string b
+    (match c.Sizing.strategy with
+     | Sizing.Fastest -> ";fast"
+     | Sizing.Cheapest -> ";cheap"
+     | Sizing.Balanced -> "");
+  Buffer.contents b
+
+(* The constraint part never contains '|', so the last '|' splits a
+   stored key back into its two halves (Server.reopen relies on it). *)
+let cache_key t = structural_key t ^ "|" ^ constraint_key t
+
+let hash t = Digest.to_hex (Digest.string (cache_key t))

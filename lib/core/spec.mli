@@ -36,8 +36,36 @@ val make :
   ?generator:string ->
   source ->
   t
+(** Builds the spec in canonical form (see {!canonical}), so two
+    [make] calls describing the same request yield structurally equal
+    ([=]) values. *)
+
+val canonical : t -> t
+(** Canonical form: attributes / parameters / constraint lists sorted
+    with duplicate keys dropped (first occurrence wins), missing
+    catalog and universal attributes filled with their defaults, and
+    the default generator name ("milo") normalized to [None].
+    Idempotent. Equal requests become structurally equal specs with
+    equal {!cache_key}s and {!hash}es regardless of how the caller
+    ordered or elided attributes. *)
+
+val structural_key : t -> string
+(** What is generated — source, generator, target — with constraints
+    excluded. Two requests sharing a structural key differ only in
+    constraints; the §3.3 reuse rule may then serve one's instance for
+    the other when the recorded figures satisfy the new request. *)
+
+val constraint_key : t -> string
+(** The constraint half of {!cache_key}. Never contains ['|']. *)
 
 val cache_key : t -> string
 (** Canonical key: identical specifications reuse the stored instance
-    instead of regenerating (§2.2). Covers source, constraints and
-    generator (not the name hint). *)
+    instead of regenerating (§2.2). Equal to
+    [structural_key t ^ "|" ^ constraint_key t]; covers source,
+    constraints and generator (not the name hint). Raw IIF / VHDL
+    sources are content-digested, so keys are stable across processes
+    (they are persisted in the instances table and reloaded by
+    [Server.reopen]). *)
+
+val hash : t -> string
+(** Stable hex content hash of {!cache_key} (MD5). *)

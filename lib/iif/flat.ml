@@ -226,3 +226,11 @@ let to_milo t =
     (Printf.sprintf "OUTORDER=%s;\n" (String.concat " " t.foutputs));
   List.iter (print_equation buf) t.fequations;
   Buffer.contents buf
+
+(* Content fingerprint for memoization: the MILO text covers name,
+   port order and every equation; internals are appended since
+   to_milo omits them. *)
+let fingerprint t =
+  Digest.to_hex
+    (Digest.string
+       (to_milo t ^ "INTERNAL=" ^ String.concat " " t.finternals ^ ";\n"))

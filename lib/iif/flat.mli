@@ -77,3 +77,8 @@ val print_equation : Buffer.t -> equation -> unit
 val to_milo : t -> string
 (** The nonparameterized IIF file format of Appendix A:
     NAME=/INORDER=/OUTORDER= headers followed by the equations. *)
+
+val fingerprint : t -> string
+(** Stable hex content hash of the whole design (MILO text plus the
+    internal-net list). Two flats with equal fingerprints synthesize
+    identically; the server keys its synthesis memo on it. *)

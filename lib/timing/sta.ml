@@ -31,6 +31,7 @@ type view = {
   readers : (string, (Netlist.instance * string) list) Hashtbl.t;
   loads : (string, float) Hashtbl.t;            (* net -> unit-transistor load *)
   port_loads : (string * float) list;
+  dmemo : (string, float) Hashtbl.t;            (* instance -> output delay *)
 }
 
 let cell_of view (inst : Netlist.instance) =
@@ -59,7 +60,10 @@ let make_view ?(port_loads = []) (nl : Netlist.t) =
     (Netlist.drivers nl ~is_output_pin);
   let readers = Netlist.fanouts nl ~is_output_pin in
   let loads = Hashtbl.create 64 in
-  let view = { nl; cells; driver; readers; loads; port_loads } in
+  let view =
+    { nl; cells; driver; readers; loads; port_loads;
+      dmemo = Hashtbl.create 64 }
+  in
   List.iter
     (fun net ->
       let reader_load =
@@ -87,12 +91,23 @@ let net_fanout view net =
   | Some rs -> List.length rs
   | None -> if List.mem net view.nl.Netlist.outputs then 1 else 0
 
-(* Delay through [inst] driving its output net. *)
+(* Delay through [inst] driving its output net. Memoized per view:
+   analyze runs longest_paths once per clock phase plus once per FF
+   and per input, and every run recomputes the same cell delays. The
+   view's nets and sizes are fixed, so the delay is a pure function of
+   the instance. *)
 let instance_delay view (inst : Netlist.instance) =
-  let cell = cell_of view inst in
-  let out_net = Netlist.pin_net_exn inst cell.Celllib.output in
-  Celllib.delay cell ~size:inst.size ~load:(net_load view out_net)
-    ~fanout:(net_fanout view out_net)
+  match Hashtbl.find_opt view.dmemo inst.Netlist.inst_name with
+  | Some d -> d
+  | None ->
+      let cell = cell_of view inst in
+      let out_net = Netlist.pin_net_exn inst cell.Celllib.output in
+      let d =
+        Celllib.delay cell ~size:inst.size ~load:(net_load view out_net)
+          ~fanout:(net_fanout view out_net)
+      in
+      Hashtbl.replace view.dmemo inst.Netlist.inst_name d;
+      d
 
 let is_sequential_cell (c : Celllib.t) =
   match c.Celllib.kind with

@@ -1,0 +1,462 @@
+(* The memoization safety net: the instance-reuse cache and synthesis
+   memo must be observationally invisible — a cached answer has to be
+   bit-identical (netlist dump) and figure-identical (report, area,
+   gates) to what fresh generation would produce, across randomized
+   attribute/constraint sweeps, after eviction, and after a durable
+   reopen. Plus unit coverage for the LRU and Spec canonicalization. *)
+
+open Icdb
+open Icdb_netlist
+open Icdb_timing
+
+let check = Alcotest.check
+
+(* Netlist identity up to the instance id baked into the name. *)
+let dump_normalized inst =
+  Vhdl.dump { inst.Instance.netlist with Netlist.name = "N" }
+
+let same_answer label (a : Instance.t) (b : Instance.t) =
+  check Alcotest.string (label ^ ": netlist dump") (dump_normalized a)
+    (dump_normalized b);
+  check Alcotest.bool (label ^ ": report") true
+    (a.Instance.report = b.Instance.report);
+  check (Alcotest.float 1e-9) (label ^ ": area") (Instance.best_area a)
+    (Instance.best_area b);
+  check Alcotest.int (label ^ ": gates") (Instance.gate_count a)
+    (Instance.gate_count b);
+  check Alcotest.bool (label ^ ": constraints_met")
+    a.Instance.constraints_met b.Instance.constraints_met
+
+(* ------------------------------------------------------------------ *)
+(* LRU unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let l = Lru.create 3 in
+  Lru.put l "a" 1;
+  Lru.put l "b" 2;
+  Lru.put l "c" 3;
+  check Alcotest.int "full" 3 (Lru.length l);
+  check (Alcotest.option Alcotest.int) "find b" (Some 2) (Lru.find l "b");
+  Lru.put l "d" 4;
+  (* "a" was least recently used ("b" was touched by find) *)
+  check (Alcotest.option Alcotest.int) "a evicted" None (Lru.find l "a");
+  check (Alcotest.option Alcotest.int) "b kept" (Some 2) (Lru.find l "b");
+  check Alcotest.int "one eviction" 1 (Lru.evictions l);
+  Lru.put l "b" 20;
+  check (Alcotest.option Alcotest.int) "replace in place" (Some 20)
+    (Lru.find l "b");
+  check Alcotest.int "replace does not grow" 3 (Lru.length l);
+  Lru.remove l "b";
+  check Alcotest.int "remove shrinks" 2 (Lru.length l);
+  check Alcotest.int "remove is not an eviction" 1 (Lru.evictions l);
+  check Alcotest.bool "mem without touch" true (Lru.mem l "c");
+  let keys = Lru.fold (fun k _ acc -> k :: acc) l [] in
+  check Alcotest.int "fold sees all" 2 (List.length keys);
+  Lru.clear l;
+  check Alcotest.int "clear empties" 0 (Lru.length l);
+  (try
+     ignore (Lru.create 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_lru_eviction_order () =
+  let l = Lru.create 2 in
+  Lru.put l 1 "one";
+  Lru.put l 2 "two";
+  ignore (Lru.find l 1);  (* 1 becomes most recent *)
+  Lru.put l 3 "three";    (* evicts 2 *)
+  check Alcotest.bool "2 evicted" false (Lru.mem l 2);
+  check Alcotest.bool "1 kept" true (Lru.mem l 1);
+  check Alcotest.bool "3 kept" true (Lru.mem l 3)
+
+(* ------------------------------------------------------------------ *)
+(* Spec canonicalization (§2.2 cache-key hazard)                       *)
+(* ------------------------------------------------------------------ *)
+
+let counter_source attrs =
+  Spec.From_component { component = "counter"; attributes = attrs; functions = [] }
+
+let test_spec_attribute_order () =
+  let a = Spec.make (counter_source [ ("size", 5); ("type", 2); ("load", 1) ]) in
+  let b = Spec.make (counter_source [ ("load", 1); ("size", 5); ("type", 2) ]) in
+  check Alcotest.bool "permuted attributes: equal specs" true (a = b);
+  check Alcotest.string "permuted attributes: equal keys" (Spec.cache_key a)
+    (Spec.cache_key b);
+  check Alcotest.string "permuted attributes: equal hashes" (Spec.hash a)
+    (Spec.hash b)
+
+let test_spec_default_fill () =
+  (* elided attributes vs the same values spelled out *)
+  let elided = Spec.make (counter_source [ ("size", 5) ]) in
+  let spelled =
+    Spec.make
+      (counter_source
+         [ ("size", 5); ("type", 2); ("load", 1); ("enable", 1);
+           ("up_or_down", 3); ("input_type", 1); ("output_type", 1);
+           ("input_latch", 0); ("output_latch", 0); ("output_tri_state", 0) ])
+  in
+  check Alcotest.bool "default-filled equals spelled out" true
+    (elided = spelled);
+  check Alcotest.string "equal keys" (Spec.cache_key elided)
+    (Spec.cache_key spelled);
+  (* and the other direction: a non-default value must differ *)
+  let other = Spec.make (counter_source [ ("size", 5); ("load", 0) ]) in
+  check Alcotest.bool "non-default value differs" false (elided = other);
+  check Alcotest.bool "non-default value: different keys" false
+    (Spec.cache_key elided = Spec.cache_key other)
+
+let test_spec_generator_normalized () =
+  let implicit = Spec.make (counter_source [ ("size", 4) ]) in
+  let explicit = Spec.make ~generator:"milo" (counter_source [ ("size", 4) ]) in
+  let direct = Spec.make ~generator:"direct" (counter_source [ ("size", 4) ]) in
+  check Alcotest.string "milo explicit = implicit" (Spec.cache_key implicit)
+    (Spec.cache_key explicit);
+  check Alcotest.bool "direct differs" false
+    (Spec.cache_key implicit = Spec.cache_key direct)
+
+let test_spec_constraint_normalization () =
+  let c ls =
+    { Sizing.default_constraints with
+      Sizing.clock_width = Some 100.0;
+      Sizing.port_loads = ls }
+  in
+  let a =
+    Spec.make
+      ~constraints:(c [ ("Q[1]", 2.0); ("Q[0]", 3.0) ])
+      (counter_source [ ("size", 2) ])
+  in
+  let b =
+    Spec.make
+      ~constraints:(c [ ("Q[0]", 3.0); ("Q[1]", 2.0) ])
+      (counter_source [ ("size", 2) ])
+  in
+  check Alcotest.string "port loads sorted into the key" (Spec.cache_key a)
+    (Spec.cache_key b);
+  check Alcotest.bool "structural key excludes constraints" true
+    (Spec.structural_key a
+     = Spec.structural_key (Spec.make (counter_source [ ("size", 2) ])));
+  check Alcotest.bool "constraint key has no separator" true
+    (not (String.contains (Spec.constraint_key a) '|'))
+
+(* ------------------------------------------------------------------ *)
+(* Exact-hit behavior and counters                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_hit_stats () =
+  let s = Server.create ~verify:false () in
+  let spec = Spec.make (counter_source [ ("size", 4) ]) in
+  let a = Server.request_component s spec in
+  let b = Server.request_component s spec in
+  (* permuted spelling of the same request is still an exact hit *)
+  let c =
+    Server.request_component s
+      (Spec.make (counter_source [ ("type", 2); ("size", 4) ]))
+  in
+  check Alcotest.bool "same physical instance" true (a == b && b == c);
+  let st = Server.stats s in
+  check Alcotest.int "two hits" 2 st.Server.st_hits;
+  check Alcotest.int "one miss" 1 st.Server.st_misses;
+  check Alcotest.int "no reuse needed" 0 st.Server.st_reuse_hits;
+  check Alcotest.int "one live entry" 1 st.Server.st_entries
+
+(* ------------------------------------------------------------------ *)
+(* §3.3 figure-based reuse                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_cw cw =
+  { Sizing.default_constraints with Sizing.clock_width = Some cw }
+
+let test_reuse_when_figures_meet () =
+  let s = Server.create ~verify:false () in
+  let a =
+    Server.request_component s
+      (Spec.make ~constraints:(with_cw 1000.0) (counter_source [ ("size", 4) ]))
+  in
+  check Alcotest.bool "loose bound met" true a.Instance.constraints_met;
+  (* different constraints, same structure, figures already satisfy *)
+  let b =
+    Server.request_component s
+      (Spec.make ~constraints:(with_cw 2000.0) (counter_source [ ("size", 4) ]))
+  in
+  check Alcotest.bool "reused the existing instance" true (a == b);
+  let st = Server.stats s in
+  check Alcotest.int "one reuse hit" 1 st.Server.st_reuse_hits;
+  check Alcotest.int "one generation" 1 st.Server.st_misses;
+  (* the aliased key is now an exact hit *)
+  let b2 =
+    Server.request_component s
+      (Spec.make ~constraints:(with_cw 2000.0) (counter_source [ ("size", 4) ]))
+  in
+  check Alcotest.bool "alias cached" true (a == b2);
+  check Alcotest.int "alias exact hit" 1 (Server.stats s).Server.st_hits
+
+let test_no_reuse_when_figures_fail () =
+  let s = Server.create ~verify:false () in
+  let a =
+    Server.request_component s
+      (Spec.make ~constraints:(with_cw 1000.0) (counter_source [ ("size", 4) ]))
+  in
+  (* an unreachable bound: the existing figures cannot satisfy it *)
+  let b =
+    Server.request_component s
+      (Spec.make ~constraints:(with_cw 0.001) (counter_source [ ("size", 4) ]))
+  in
+  check Alcotest.bool "not reused" true (a != b);
+  check Alcotest.bool "fresh instance reports unmet" false
+    b.Instance.constraints_met;
+  check Alcotest.int "no reuse hit" 0 (Server.stats s).Server.st_reuse_hits;
+  check Alcotest.int "two generations" 2 (Server.stats s).Server.st_misses
+
+let test_no_reuse_across_strategy () =
+  let s = Server.create ~verify:false () in
+  let fast =
+    { Sizing.default_constraints with Sizing.strategy = Sizing.Fastest }
+  in
+  let cheap =
+    { Sizing.default_constraints with Sizing.strategy = Sizing.Cheapest }
+  in
+  let a =
+    Server.request_component s
+      (Spec.make ~constraints:fast (counter_source [ ("size", 4) ]))
+  in
+  let b =
+    Server.request_component s
+      (Spec.make ~constraints:cheap (counter_source [ ("size", 4) ]))
+  in
+  check Alcotest.bool "different sizing strategies never share" true (a != b)
+
+(* The synthesis memo: even when constraints force regeneration, the
+   expand→optimize→map→verify work is done once per flat design. *)
+let test_synth_memo () =
+  let s = Server.create () in
+  ignore
+    (Server.request_component s
+       (Spec.make ~constraints:(with_cw 0.001) (counter_source [ ("size", 3) ])));
+  ignore
+    (Server.request_component s
+       (Spec.make ~constraints:(with_cw 0.002) (counter_source [ ("size", 3) ])));
+  let st = Server.stats s in
+  check Alcotest.int "both requests generated" 2 st.Server.st_misses;
+  check Alcotest.int "pipeline ran once" 1 st.Server.st_memo_misses;
+  check Alcotest.int "memo served the second" 1 st.Server.st_memo_hits
+
+(* ------------------------------------------------------------------ *)
+(* Eviction: losing a cache entry never loses the instance             *)
+(* ------------------------------------------------------------------ *)
+
+let test_eviction_recovers_via_reuse () =
+  let s = Server.create ~verify:false ~cache_capacity:4 () in
+  let spec n = Spec.make (counter_source [ ("size", n) ]) in
+  let first = Server.request_component s (spec 2) in
+  List.iter (fun n -> ignore (Server.request_component s (spec n))) [ 3; 4; 5; 6; 7 ];
+  let st = Server.stats s in
+  check Alcotest.bool "evictions happened" true (st.Server.st_evictions >= 2);
+  check Alcotest.int "bounded" 4 st.Server.st_entries;
+  (* the first spec's key was evicted; the instance is still found
+     through the structural index, not regenerated *)
+  let again = Server.request_component s (spec 2) in
+  check Alcotest.bool "same instance served" true (first == again);
+  check Alcotest.int "via reuse, not generation" 6
+    (Server.stats s).Server.st_misses
+
+(* ------------------------------------------------------------------ *)
+(* Randomized differential sweep: cached == fresh                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap-but-varied spec space: counters across their attribute grid,
+   registers, adders, comparators and muxes, under randomized clock
+   bounds and sizing strategies. *)
+let random_spec st =
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let source =
+    match Random.State.int st 5 with
+    | 0 ->
+        let typ = pick [ 1; 2 ] in
+        let attrs =
+          if typ = 1 then [ ("size", pick [ 2; 3; 4 ]); ("type", 1) ]
+          else
+            [ ("size", pick [ 2; 3 ]); ("type", 2);
+              ("load", pick [ 0; 1 ]); ("enable", pick [ 0; 1 ]);
+              ("up_or_down", pick [ 1; 3 ]) ]
+        in
+        counter_source attrs
+    | 1 ->
+        Spec.From_component
+          { component = "register";
+            attributes = [ ("size", pick [ 2; 3; 4; 5; 6 ]) ];
+            functions = [] }
+    | 2 ->
+        Spec.From_component
+          { component = "adder";
+            attributes = [ ("size", pick [ 2; 3 ]) ];
+            functions = [] }
+    | 3 ->
+        Spec.From_component
+          { component = "comparator";
+            attributes = [ ("size", pick [ 2; 3 ]) ];
+            functions = [] }
+    | _ ->
+        Spec.From_component
+          { component = "mux_scl";
+            attributes = [ ("size", pick [ 2; 3; 4 ]) ];
+            functions = [] }
+  in
+  let constraints =
+    { Sizing.default_constraints with
+      Sizing.clock_width =
+        (match Random.State.int st 3 with
+         | 0 -> None
+         | _ -> Some (50.0 +. Random.State.float st 450.0));
+      Sizing.strategy =
+        pick [ Sizing.Balanced; Sizing.Fastest; Sizing.Cheapest ] }
+  in
+  Spec.make ~constraints source
+
+(* The same request, spelled differently: attributes reversed and two
+   universal defaults written out. Canonicalization must make it the
+   same spec. *)
+let respell spec =
+  match spec.Spec.source with
+  | Spec.From_component { component; attributes; functions } ->
+      { spec with
+        Spec.source =
+          Spec.From_component
+            { component;
+              attributes =
+                List.rev attributes
+                @ [ ("output_type", 1); ("input_latch", 0) ];
+              functions } }
+  | _ -> spec
+
+let test_differential_sweep () =
+  let st = Random.State.make [| 0xCDB |] in
+  (* distinct canonical keys, so the sweep genuinely covers >= 50
+     different specifications *)
+  let specs = Hashtbl.create 64 in
+  while Hashtbl.length specs < 55 do
+    let s = random_spec st in
+    if not (Hashtbl.mem specs (Spec.cache_key s)) then
+      Hashtbl.replace specs (Spec.cache_key s) s
+  done;
+  let specs = Hashtbl.fold (fun _ s acc -> s :: acc) specs [] in
+  let warm = Server.create ~verify:false () in
+  let fresh = Server.create ~verify:false () in
+  List.iteri
+    (fun i spec ->
+      let label = Printf.sprintf "spec %d" i in
+      let first = Server.request_component warm spec in
+      (* a cache hit must return the very same instance, even through a
+         differently spelled but equal request *)
+      let hit = Server.request_component warm (respell spec) in
+      check Alcotest.bool (label ^ ": hit is physical") true (first == hit);
+      (* and must be indistinguishable from generating from scratch *)
+      let scratch = Server.request_component fresh spec in
+      same_answer label hit scratch)
+    specs;
+  let st_warm = Server.stats warm in
+  check Alcotest.int "every respelled request hit" 55 st_warm.Server.st_hits;
+  check Alcotest.int "each spec generated at most once" 55
+    (st_warm.Server.st_misses + st_warm.Server.st_reuse_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Durable reopen: the rebuilt cache serves identical answers          *)
+(* ------------------------------------------------------------------ *)
+
+let test_reopen_differential () =
+  let st = Random.State.make [| 0xD0B |] in
+  (* distinct structures: a same-structure pair could legitimately
+     share one instance through §3.3 reuse, and only the creating
+     request's key is persisted for reopen *)
+  let specs = Hashtbl.create 16 in
+  while Hashtbl.length specs < 8 do
+    let s = random_spec st in
+    if not (Hashtbl.mem specs (Spec.structural_key s)) then
+      Hashtbl.replace specs (Spec.structural_key s) s
+  done;
+  let specs = Hashtbl.fold (fun _ s acc -> s :: acc) specs [] in
+  let server = Server.create ~verify:false ~durable:true () in
+  let ws = Server.workspace server in
+  let originals = List.map (Server.request_component server) specs in
+  (* abandon the process's memory; rebuild purely from the workspace *)
+  let server2, r = Server.reopen ~verify:false ~workspace:ws () in
+  check (Alcotest.list Alcotest.string) "nothing dropped" []
+    r.Server.rr_dropped;
+  List.iteri
+    (fun i (spec, orig) ->
+      let label = Printf.sprintf "reopened spec %d" i in
+      let inst = Server.request_component server2 spec in
+      check Alcotest.string (label ^ ": same id") orig.Instance.id
+        inst.Instance.id;
+      check Alcotest.string (label ^ ": netlist dump") (dump_normalized orig)
+        (dump_normalized inst);
+      check (Alcotest.float 1e-9) (label ^ ": area")
+        (Instance.best_area orig) (Instance.best_area inst);
+      check Alcotest.int (label ^ ": gates") (Instance.gate_count orig)
+        (Instance.gate_count inst);
+      check (Alcotest.float 1e-6) (label ^ ": clock width")
+        orig.Instance.report.Sta.clock_width
+        inst.Instance.report.Sta.clock_width)
+    (List.combine specs originals);
+  let st2 = Server.stats server2 in
+  check Alcotest.int "all exact hits after reopen" 8 st2.Server.st_hits;
+  check Alcotest.int "nothing regenerated" 0 st2.Server.st_misses
+
+(* ------------------------------------------------------------------ *)
+(* Warm speed: the acceptance floor                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_speedup () =
+  let s = Server.create ~verify:false () in
+  let spec =
+    Spec.make
+      (counter_source
+         [ ("size", 5); ("type", 2); ("load", 1); ("enable", 1);
+           ("up_or_down", 3) ])
+  in
+  let t0 = Unix.gettimeofday () in
+  let cold = Server.request_component s spec in
+  let cold_t = Unix.gettimeofday () -. t0 in
+  let reps = 50 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Server.request_component s spec)
+  done;
+  let warm_t = (Unix.gettimeofday () -. t1) /. float_of_int reps in
+  check Alcotest.bool "warm instance is the cached one" true
+    (Server.request_component s spec == cold);
+  check Alcotest.bool
+    (Printf.sprintf "warm >= 10x faster (cold %.3f ms, warm %.3f ms)"
+       (cold_t *. 1e3) (warm_t *. 1e3))
+    true
+    (cold_t >= 10.0 *. warm_t)
+
+let () =
+  Alcotest.run "cache"
+    [ ("lru",
+       [ Alcotest.test_case "basics" `Quick test_lru_basics;
+         Alcotest.test_case "eviction order" `Quick test_lru_eviction_order ]);
+      ("spec canonicalization",
+       [ Alcotest.test_case "attribute order" `Quick test_spec_attribute_order;
+         Alcotest.test_case "default fill" `Quick test_spec_default_fill;
+         Alcotest.test_case "generator normalized" `Quick
+           test_spec_generator_normalized;
+         Alcotest.test_case "constraint normalization" `Quick
+           test_spec_constraint_normalization ]);
+      ("exact cache",
+       [ Alcotest.test_case "hit stats" `Quick test_exact_hit_stats;
+         Alcotest.test_case "eviction recovers via reuse" `Quick
+           test_eviction_recovers_via_reuse ]);
+      ("figure reuse",
+       [ Alcotest.test_case "reuse when figures meet" `Quick
+           test_reuse_when_figures_meet;
+         Alcotest.test_case "no reuse when figures fail" `Quick
+           test_no_reuse_when_figures_fail;
+         Alcotest.test_case "no reuse across strategy" `Quick
+           test_no_reuse_across_strategy;
+         Alcotest.test_case "synthesis memo" `Quick test_synth_memo ]);
+      ("differential",
+       [ Alcotest.test_case "55 randomized specs" `Slow
+           test_differential_sweep;
+         Alcotest.test_case "durable reopen" `Quick test_reopen_differential;
+         Alcotest.test_case "warm speedup" `Quick test_warm_speedup ]) ]

@@ -1,0 +1,98 @@
+(* Golden-file regression for the layout back end: the CIF files
+   committed under bench_out/ (Figure 9's five counters, Figure 12's
+   shape alternatives) must be reproduced byte-for-byte by a fresh
+   server. Layout generation is deterministic — the CIF text depends
+   only on the netlist, the strip count and the port positions — so
+   any diff means the generation pipeline changed observable output.
+
+   When such a change is intentional, regenerate with
+       ICDB_BLESS=1 dune exec test/test_golden.exe
+   (or point ICDB_GOLDEN_DIR at the bench_out directory to bless or
+   compare against a different tree). *)
+
+open Icdb
+open Icdb_layout
+
+let check = Alcotest.check
+
+(* The goldens live in <repo>/bench_out; tests run under _build, so
+   walk up to the repository root (the directory holding .git). *)
+let golden_dir =
+  lazy
+    (match Sys.getenv_opt "ICDB_GOLDEN_DIR" with
+     | Some d -> d
+     | None ->
+         let rec up dir =
+           if Sys.file_exists (Filename.concat dir ".git") then
+             Filename.concat dir "bench_out"
+           else
+             let parent = Filename.dirname dir in
+             if parent = dir then
+               Alcotest.fail
+                 "repository root not found; set ICDB_GOLDEN_DIR"
+             else up parent
+         in
+         up (Sys.getcwd ()))
+
+let bless = Sys.getenv_opt "ICDB_BLESS" = Some "1"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let check_golden name cif =
+  let path = Filename.concat (Lazy.force golden_dir) name in
+  if bless then (
+    Out_channel.with_open_bin path (fun oc -> output_string oc cif);
+    Printf.printf "blessed %s (%d bytes)\n" path (String.length cif))
+  else if not (Sys.file_exists path) then
+    Alcotest.fail (Printf.sprintf "missing golden %s (run with ICDB_BLESS=1)" path)
+  else
+    check Alcotest.string (name ^ " matches byte-for-byte") (read_file path) cif
+
+let server = lazy (Server.create ~verify:false ())
+
+let counter ?(typ = 2) ?(load = 0) ?(enable = 0) ?(ud = 1) () =
+  Server.request_component (Lazy.force server)
+    (Spec.make
+       (Spec.From_component
+          { component = "counter";
+            attributes =
+              [ ("size", 5); ("type", typ); ("load", load); ("enable", enable);
+                ("up_or_down", ud) ];
+            functions = [] }))
+
+(* Figure 9: the five counter implementations at their best-area shape. *)
+let test_fig9 () =
+  List.iter
+    (fun (tag, inst) ->
+      let _, cif, _ =
+        Server.request_layout (Lazy.force server) inst.Instance.id ()
+      in
+      check_golden (Printf.sprintf "fig9_%s.cif" tag) cif)
+    [ ("ripple", counter ~typ:1 ());
+      ("sync_up", counter ());
+      ("sync_up_enable", counter ~enable:1 ());
+      ("sync_updown", counter ~ud:3 ());
+      ("sync_updown_load", counter ~ud:3 ~load:1 ~enable:1 ()) ]
+
+(* Figure 12: every shape alternative of the up/down+load counter. *)
+let test_fig12 () =
+  let inst = counter ~ud:3 ~load:1 ~enable:1 () in
+  check Alcotest.bool "has shape alternatives" true
+    (List.length inst.Instance.shape > 1);
+  List.iter
+    (fun (a : Shape.alternative) ->
+      let _, cif, _ =
+        Server.request_layout (Lazy.force server) inst.Instance.id
+          ~alternative:a.Shape.alt_index ()
+      in
+      check_golden (Printf.sprintf "fig12_strips%d.cif" a.Shape.alt_strips) cif)
+    inst.Instance.shape
+
+let () =
+  Alcotest.run "golden"
+    [ ("cif",
+       [ Alcotest.test_case "fig9 counters" `Quick test_fig9;
+         Alcotest.test_case "fig12 shapes" `Quick test_fig12 ]) ]

@@ -61,6 +61,40 @@ let test_sop_roundtrip_eval () =
     check Alcotest.bool "same function" (Sop.eval sop v) (Sop.eval sop2 v)
   done
 
+(* Property sweep: 200 seeded-random covers across 1..8 variables.
+   Quine–McCluskey output must compute exactly the same truth table
+   (checked exhaustively over all 2^n minterms) and never carry more
+   literals than the minterm-canonical input cover. Deterministic seed
+   so a failure is reproducible by case number. *)
+let test_sop_random_covers () =
+  let st = Random.State.make [| 0x50C0 |] in
+  for case = 1 to 200 do
+    let n = 1 + Random.State.int st 8 in
+    let space = 1 lsl n in
+    (* density varies per case: sparse, dense and mid covers all occur *)
+    let p = 0.05 +. Random.State.float st 0.9 in
+    let minterms =
+      List.filter (fun _ -> Random.State.float st 1.0 < p)
+        (List.init space Fun.id)
+    in
+    let sop = Sop.of_minterms n minterms in
+    let m = Sop.minimize sop in
+    for v = 0 to space - 1 do
+      if Sop.eval sop v <> Sop.eval m v then
+        Alcotest.fail
+          (Printf.sprintf
+             "case %d (%d vars, %d minterms): differs at minterm %d" case n
+             (List.length minterms) v)
+    done;
+    if Sop.literal_count m > Sop.literal_count sop then
+      Alcotest.fail
+        (Printf.sprintf "case %d (%d vars): %d literals grew to %d" case n
+           (Sop.literal_count sop) (Sop.literal_count m));
+    (* minimization is stable: minimizing again changes nothing *)
+    if Sop.literal_count (Sop.minimize m) <> Sop.literal_count m then
+      Alcotest.fail (Printf.sprintf "case %d: not idempotent" case)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Factor                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -405,7 +439,9 @@ let () =
          Alcotest.test_case "empty" `Quick test_sop_minimize_empty;
          Alcotest.test_case "xor has no merge" `Quick test_sop_xor_has_no_merge;
          Alcotest.test_case "of_fexpr" `Quick test_sop_of_fexpr;
-         Alcotest.test_case "roundtrip eval" `Quick test_sop_roundtrip_eval ]);
+         Alcotest.test_case "roundtrip eval" `Quick test_sop_roundtrip_eval;
+         Alcotest.test_case "200 random covers to 8 vars" `Slow
+           test_sop_random_covers ]);
       ("factor",
        [ Alcotest.test_case "shares literal" `Quick test_factor_shares_literal;
          Alcotest.test_case "const cases" `Quick test_factor_const_cases ]);
