@@ -815,6 +815,149 @@ let cache_bench () =
   Printf.printf "trajectory -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* E17 / phases: per-phase latency of the generation path              *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability tentpole's headline measurement: one cold
+   Layout-target request traced end to end (the full Figure 8 pipeline,
+   every phase spanned), then warm cache-hit repeats, with the
+   per-phase numbers landing in bench_out/BENCH_phases.json and the
+   cold span tree in bench_out/BENCH_trace.json (Chrome trace_event
+   JSON). Exits non-zero if any expected phase span is missing from the
+   cold trace, so CI catches instrumentation rot. *)
+let phases_bench () =
+  header "E17 / phases: per-phase latency breakdown of request_component";
+  let smoke = Sys.getenv_opt "ICDB_SMOKE" <> None in
+  let warm_reps = if smoke then 20 else 100 in
+  let spec =
+    Spec.make ~target:Spec.Layout
+      (Spec.From_component
+         { component = "counter";
+           attributes =
+             [ ("size", 5); ("type", 2); ("load", 1); ("enable", 1);
+               ("up_or_down", 3) ];
+           functions = [] })
+  in
+  Icdb_obs.Trace.set_enabled true;
+  let s = Server.create ~verify:false () in
+  let mark = Icdb_obs.Trace.finished_count () in
+  ignore (Server.request_component s spec);
+  let cold_spans = Icdb_obs.Trace.since mark in
+  for _ = 1 to warm_reps do
+    ignore (Server.request_component s spec)
+  done;
+  Icdb_obs.Trace.set_enabled false;
+  let dir = out_dir () in
+  let trace_path = Filename.concat dir "BENCH_trace.json" in
+  Icdb_obs.Trace.write_chrome ~spans:cold_spans trace_path;
+  let cold_totals = Icdb_obs.Trace.phase_totals cold_spans in
+  let cold_request =
+    match List.assoc_opt "request" cold_totals with Some t -> t | None -> 0.0
+  in
+  let st = Server.stats s in
+  Printf.printf "%-20s %12s | %7s %10s %10s %10s\n" "phase" "cold" "count"
+    "p50" "p90" "p99";
+  print_endline (String.make 76 '-');
+  List.iter
+    (fun (name, cold) ->
+      let q f =
+        match
+          List.find_opt
+            (fun (x : Icdb_obs.Metrics.summary) ->
+              x.Icdb_obs.Metrics.s_name = name)
+            st.Server.st_phases
+        with
+        | Some x -> f x
+        | None -> 0.0
+      in
+      let count =
+        match
+          List.find_opt
+            (fun (x : Icdb_obs.Metrics.summary) ->
+              x.Icdb_obs.Metrics.s_name = name)
+            st.Server.st_phases
+        with
+        | Some x -> x.Icdb_obs.Metrics.s_count
+        | None -> 0
+      in
+      Printf.printf "%-20s %12s | %7d %10s %10s %10s\n" name
+        (Icdb_obs.Metrics.pretty_s cold)
+        count
+        (Icdb_obs.Metrics.pretty_s (q (fun x -> x.Icdb_obs.Metrics.s_p50)))
+        (Icdb_obs.Metrics.pretty_s (q (fun x -> x.Icdb_obs.Metrics.s_p90)))
+        (Icdb_obs.Metrics.pretty_s (q (fun x -> x.Icdb_obs.Metrics.s_p99))))
+    cold_totals;
+  let warm_request =
+    match
+      List.find_opt
+        (fun (x : Icdb_obs.Metrics.summary) ->
+          x.Icdb_obs.Metrics.s_name = "request")
+        st.Server.st_phases
+    with
+    | Some x -> x.Icdb_obs.Metrics.s_p50
+    | None -> 0.0
+  in
+  Printf.printf
+    "cold request %s, warm request p50 %s over %d repeats\n"
+    (Icdb_obs.Metrics.pretty_s cold_request)
+    (Icdb_obs.Metrics.pretty_s warm_request)
+    warm_reps;
+  (* the once-per-request server phases plus the library-level spans a
+     cold Layout-target generation must traverse *)
+  let required =
+    [ "request"; "cache_lookup"; "resolve"; "expand"; "generator_select";
+      "synthesize"; "sizing"; "sta"; "shape"; "persist"; "cif";
+      "opt.optimize"; "techmap.map"; "sta.analyze"; "sizing.size";
+      "shape.estimate"; "cif.generate" ]
+  in
+  let missing =
+    List.filter (fun p -> not (List.mem_assoc p cold_totals)) required
+  in
+  let path = Filename.concat dir "BENCH_phases.json" in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"phases\",\n  \"smoke\": %b,\n  \
+        \"warm_reps\": %d,\n  \"cold_request_s\": %.6f,\n  \
+        \"warm_request_p50_s\": %.9f,\n"
+       smoke warm_reps cold_request warm_request);
+  Buffer.add_string buf "  \"cold_phases\": [\n";
+  List.iteri
+    (fun i (name, total) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"total_s\": %.9f}%s\n" name
+           total
+           (if i = List.length cold_totals - 1 then "" else ",")))
+    cold_totals;
+  Buffer.add_string buf "  ],\n  \"phase_summaries\": [\n";
+  List.iteri
+    (fun i (x : Icdb_obs.Metrics.summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"count\": %d, \"p50_s\": %.9f, \
+            \"p90_s\": %.9f, \"p99_s\": %.9f, \"sum_s\": %.9f}%s\n"
+           x.Icdb_obs.Metrics.s_name x.Icdb_obs.Metrics.s_count
+           x.Icdb_obs.Metrics.s_p50 x.Icdb_obs.Metrics.s_p90
+           x.Icdb_obs.Metrics.s_p99 x.Icdb_obs.Metrics.s_sum
+           (if i = List.length st.Server.st_phases - 1 then "" else ",")))
+    st.Server.st_phases;
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"missing_phases\": [%s]\n}\n"
+       (String.concat ", "
+          (List.map (fun p -> Printf.sprintf "\"%s\"" p) missing)));
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Buffer.contents buf));
+  Printf.printf "per-phase trajectory -> %s\n" path;
+  Printf.printf "cold span tree -> %s (chrome://tracing / Perfetto)\n"
+    trace_path;
+  if missing <> [] then begin
+    Printf.printf "MISSING PHASE SPANS: %s\n" (String.concat " " missing);
+    exit 1
+  end
+  else Printf.printf "shape check: all %d expected phase spans present (true)\n"
+         (List.length required)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -824,7 +967,8 @@ let experiments =
     ("fig11", fig11); ("fig12", fig12); ("fig13", fig13);
     ("tab_instq", tab_instq); ("tab_connect", tab_connect);
     ("ablation", ablation); ("ablation_synth", ablation_synth); ("hls", hls);
-    ("wallclock", wallclock); ("cache", cache_bench); ("bechamel", bechamel) ]
+    ("wallclock", wallclock); ("cache", cache_bench);
+    ("phases", phases_bench); ("bechamel", bechamel) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -76,7 +76,22 @@ let shell_loop server =
   in
   loop ()
 
-let shell workspace durable =
+let setup_logging log_level =
+  match log_level with
+  | None -> ()
+  | Some l -> (
+      match Icdb_obs.Event.level_of_string l with
+      | Some lvl ->
+          Icdb_obs.Event.set_level lvl;
+          ignore (Icdb_obs.Event.add_sink (Icdb_obs.Event.stderr_sink ()))
+      | None ->
+          Printf.eprintf
+            "error: unknown log level %s (expected debug|info|warn|error)\n" l;
+          exit 1)
+
+let shell workspace durable log_level trace_out =
+  setup_logging log_level;
+  if trace_out <> None then Icdb_obs.Trace.set_enabled true;
   match Server.create ?workspace ~durable () with
   | exception Server.Icdb_error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -85,7 +100,15 @@ let shell workspace durable =
       if durable then
         Printf.printf "journaling to %s\n"
           (Filename.concat (Server.workspace server) "icdb.journal");
-      shell_loop server
+      shell_loop server;
+      (match trace_out with
+       | None -> ()
+       | Some path ->
+           Icdb_obs.Trace.write_chrome path;
+           Printf.printf
+             "trace written to %s (load it in chrome://tracing or \
+              https://ui.perfetto.dev)\n"
+             path)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)
@@ -107,7 +130,10 @@ let recover workspace interactive =
         (match r.Server.rr_instances with
          | [] -> "(none)"
          | ids -> String.concat " " ids);
-      List.iter (Printf.printf "  dropped: %s\n") r.Server.rr_dropped;
+      List.iter
+        (fun (kind, msg) ->
+          Printf.printf "  dropped (%s): %s\n" (Fault.kind_to_string kind) msg)
+        r.Server.rr_dropped;
       List.iter (Printf.printf "  removed orphan: %s\n") r.Server.rr_orphans;
       if interactive then shell_loop server
 
@@ -217,6 +243,93 @@ let hls dfg_name clock pessimism with_rtl =
   end
 
 (* ------------------------------------------------------------------ *)
+(* stats / trace                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let workload_spec component size strategy =
+  let strategy =
+    match strategy with
+    | "fastest" -> Icdb_timing.Sizing.Fastest
+    | "cheapest" -> Icdb_timing.Sizing.Cheapest
+    | _ -> Icdb_timing.Sizing.Balanced
+  in
+  Spec.make
+    ~constraints:{ Icdb_timing.Sizing.default_constraints with strategy }
+    ~target:Spec.Layout
+    (Spec.From_component
+       { component; attributes = [ ("size", size) ]; functions = [] })
+
+(* Run a small representative workload with tracing on and print the
+   per-phase latency table, the slowest requests, and every counter the
+   instrumented code bumped. *)
+let stats component requests =
+  Icdb_obs.Trace.set_enabled true;
+  let server = Server.create ~verify:false () in
+  (try
+     for i = 0 to requests - 1 do
+       (* vary the width so the workload mixes cold generations with
+          exact-cache hits, like a real synthesis session *)
+       let size = 2 + (i mod 4) in
+       ignore (Server.request_component server (workload_spec component size "balanced"))
+     done
+   with Server.Icdb_error msg ->
+     Printf.eprintf "error: %s\n" msg;
+     exit 1);
+  let st = Server.stats server in
+  Printf.printf "%d request(s) against component %s\n\n" requests component;
+  Printf.printf
+    "cache: %d hit(s), %d reuse hit(s), %d miss(es); memo: %d/%d\n\n"
+    st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
+    st.Server.st_memo_hits st.Server.st_memo_misses;
+  Printf.printf "%-20s %7s %10s %10s %10s %10s\n" "phase" "count" "p50" "p90"
+    "p99" "total";
+  print_endline (String.make 72 '-');
+  List.iter
+    (fun (s : Icdb_obs.Metrics.summary) ->
+      Printf.printf "%-20s %7d %10s %10s %10s %10s\n" s.Icdb_obs.Metrics.s_name
+        s.Icdb_obs.Metrics.s_count
+        (Icdb_obs.Metrics.pretty_s s.Icdb_obs.Metrics.s_p50)
+        (Icdb_obs.Metrics.pretty_s s.Icdb_obs.Metrics.s_p90)
+        (Icdb_obs.Metrics.pretty_s s.Icdb_obs.Metrics.s_p99)
+        (Icdb_obs.Metrics.pretty_s s.Icdb_obs.Metrics.s_sum))
+    st.Server.st_phases;
+  (match st.Server.st_slow with
+   | [] -> ()
+   | slow ->
+       Printf.printf "\nslowest requests:\n";
+       List.iter
+         (fun (sr : Server.slow_request) ->
+           Printf.printf "  %s  %s -> %s\n"
+             (Icdb_obs.Metrics.pretty_s sr.Server.sr_seconds)
+             sr.Server.sr_key sr.Server.sr_id)
+         slow);
+  print_newline ();
+  print_string (Icdb_obs.Metrics.render ())
+
+(* Trace one request end to end and write the span tree as Chrome
+   trace_event JSON. *)
+let trace_run out component size =
+  Icdb_obs.Trace.set_enabled true;
+  let server = Server.create ~verify:false () in
+  let mark = Icdb_obs.Trace.finished_count () in
+  (match Server.request_component server (workload_spec component size "balanced") with
+   | exception Server.Icdb_error msg ->
+       Printf.eprintf "error: %s\n" msg;
+       exit 1
+   | inst ->
+       let spans = Icdb_obs.Trace.since mark in
+       Icdb_obs.Trace.write_chrome ~spans out;
+       Printf.printf "instance %s: %d span(s) written to %s\n" inst.Instance.id
+         (List.length spans) out;
+       Printf.printf "load the file in chrome://tracing or https://ui.perfetto.dev\n\n";
+       Printf.printf "%-20s %10s\n" "phase" "total";
+       print_endline (String.make 32 '-');
+       List.iter
+         (fun (name, seconds) ->
+           Printf.printf "%-20s %10s\n" name (Icdb_obs.Metrics.pretty_s seconds))
+         (Icdb_obs.Trace.phase_totals spans))
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -231,8 +344,20 @@ let shell_cmd =
              ~doc:"Journal every mutation so the workspace survives a crash \
                    (recover it with $(b,icdb recover))")
   in
+  let log_level =
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ]
+             ~doc:"Log structured events at this level and above to stderr \
+                   (debug|info|warn|error)" ~docv:"LEVEL")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Trace every request and write Chrome trace_event JSON to \
+                   FILE on exit" ~docv:"FILE")
+  in
   Cmd.v (Cmd.info "shell" ~doc:"Interactive CQL shell")
-    Term.(const shell $ workspace $ durable)
+    Term.(const shell $ workspace $ durable $ log_level $ trace_out)
 
 let recover_cmd =
   let workspace =
@@ -298,6 +423,39 @@ let hls_cmd =
     (Cmd.info "hls" ~doc:"Schedule a dataflow graph against ICDB (Figure 1)")
     Term.(const hls $ dfg $ clock $ pessimism $ rtl)
 
+let stats_cmd =
+  let component =
+    Arg.(value & opt string "counter"
+         & info [ "component" ] ~doc:"Component to request" ~docv:"NAME")
+  in
+  let requests =
+    Arg.(value & opt int 8
+         & info [ "requests"; "n" ] ~doc:"Number of requests to run")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a traced workload and print per-phase latency histograms, \
+             the slowest requests, and all pipeline counters")
+    Term.(const stats $ component $ requests)
+
+let trace_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Output file for the Chrome trace_event JSON")
+  in
+  let component =
+    Arg.(value & opt string "counter"
+         & info [ "component" ] ~doc:"Component to request" ~docv:"NAME")
+  in
+  let size =
+    Arg.(value & opt int 4 & info [ "size"; "n" ] ~doc:"Bit width")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace one component request end to end and write the span tree \
+             as Chrome trace_event JSON (chrome://tracing, Perfetto)")
+    Term.(const trace_run $ out $ component $ size)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -309,4 +467,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group ~default info
                     [ shell_cmd; recover_cmd; catalog_cmd; gen_cmd; cells_cmd;
-                      hls_cmd ]))
+                      hls_cmd; stats_cmd; trace_cmd ]))

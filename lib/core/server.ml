@@ -30,11 +30,31 @@ exception Icdb_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Icdb_error s)) fmt
 
+module Metrics = Icdb_obs.Metrics
+module Trace = Icdb_obs.Trace
+module Event = Icdb_obs.Event
+
+(* Process-wide instruments (lib/obs). Counters are always live — a
+   bump is one mutable-field update; spans cost one branch unless
+   tracing is enabled. *)
+let m_requests = Metrics.counter "server.requests"
+let m_request_errors = Metrics.counter "server.request_errors"
+let m_cache_hit = Metrics.counter "cache.hit"
+let m_cache_reuse = Metrics.counter "cache.reuse_hit"
+let m_cache_miss = Metrics.counter "cache.miss"
+let m_memo_hit = Metrics.counter "memo.hit"
+let m_memo_miss = Metrics.counter "memo.miss"
+let m_ws_retry = Metrics.counter "workspace.collision_retry"
+let m_degraded = Metrics.counter "server.degraded_instances"
+
 (* Faults escaping the pipeline surface to callers as Icdb_error; an
    injected Crash is never converted — it simulates the process dying. *)
 let fault_boundary f =
   try f () with
   | Fault.Fault (kind, msg) ->
+      Event.emit Event.Error
+        ~fields:[ ("fault", Fault.kind_to_string kind); ("detail", msg) ]
+        "fault escaped the generation pipeline";
       fail "%s fault: %s" (Fault.kind_to_string kind) msg
 
 let () =
@@ -43,6 +63,15 @@ let () =
 type design_book = {
   mutable kept : string list;          (* instances in the component list *)
   mutable tx_created : string list option;  (* instances made in the open tx *)
+}
+
+(* One traced request retained for `icdb stats`: the canonical spec
+   key, how long it took end to end, and where the time went. *)
+type slow_request = {
+  sr_key : string;
+  sr_id : string;                    (* instance id it resolved to *)
+  sr_seconds : float;
+  sr_phases : (string * float) list; (* span name -> total seconds *)
 }
 
 type t = {
@@ -63,9 +92,15 @@ type t = {
   mutable misses : int;      (* requests that ran the generation path *)
   mutable memo_hits : int;   (* synthesis memo hits *)
   mutable memo_misses : int;
+  phase_hist : (string, Metrics.histogram) Hashtbl.t;
+      (* per-server latency histogram per span name; filled only while
+         tracing is enabled *)
+  mutable slow : slow_request list;  (* slowest traced requests, desc *)
   verify : bool;  (* simulate generated netlists against their IIF spec *)
   durable : bool; (* journal + snapshot live in the workspace *)
 }
+
+let slow_capacity = 8
 
 type stats = {
   st_hits : int;
@@ -75,6 +110,10 @@ type stats = {
   st_entries : int;
   st_memo_hits : int;
   st_memo_misses : int;
+  st_phases : Metrics.summary list;
+      (* per-phase latency (p50/p90/p99), one entry per span name seen
+         by this server; empty until a request runs with tracing on *)
+  st_slow : slow_request list;  (* slowest traced requests, desc *)
 }
 
 let stats t =
@@ -84,7 +123,12 @@ let stats t =
     st_evictions = Lru.evictions t.cache;
     st_entries = Lru.length t.cache;
     st_memo_hits = t.memo_hits;
-    st_memo_misses = t.memo_misses }
+    st_memo_misses = t.memo_misses;
+    st_phases =
+      Hashtbl.fold (fun _ h acc -> Metrics.summary h :: acc) t.phase_hist []
+      |> List.sort (fun a b ->
+             String.compare a.Metrics.s_name b.Metrics.s_name);
+    st_slow = t.slow }
 
 let default_cache_capacity = 512
 
@@ -93,7 +137,10 @@ type recovery_report = {
   rr_torn_tail : bool;         (* a torn/corrupt journal tail was cut *)
   rr_rolled_back_tx : bool;    (* an uncommitted App B §7 tx was undone *)
   rr_instances : string list;  (* instance ids reconstructed *)
-  rr_dropped : string list;    (* rows dropped: artifact missing or corrupt *)
+  rr_dropped : (Fault.kind * string) list;
+      (* rows dropped, each with its fault classification — [Corrupt]
+         for damaged artifacts, [Resource] for unreadable ones — so
+         callers can react per class instead of parsing strings *)
   rr_orphans : string list;    (* stray workspace files removed *)
 }
 
@@ -106,21 +153,36 @@ let ws_snapshot ws = Filename.concat ws "icdb.snapshot"
 
 let ws_counter = ref 0
 
-(* Each call makes a directory nobody else owns: a per-process counter
-   plus a random tag, retrying on EEXIST, so two servers in one process
-   (or a pid reuse across boots) never share a workspace. *)
+(* Workspace names must be unique across *processes*, not just within
+   one: pids recycle, and OCaml's default [Random] state is
+   deterministic, so two boots that happen to share a recycled pid
+   would walk the exact same pid/counter/tag sequence. The tag
+   therefore comes from a private state seeded off the wall clock and
+   pid; [Unix.mkdir] has O_EXCL semantics (it fails with EEXIST instead
+   of adopting an existing directory), so losing the race is detected,
+   counted, and retried with a fresh tag. *)
+let ws_rng =
+  lazy
+    (Random.State.make
+       [| Unix.getpid ();
+          int_of_float (Unix.gettimeofday () *. 1e6) land 0x3FFFFFFF |])
+
 let fresh_workspace () =
   let tmp = Filename.get_temp_dir_name () in
   let rec attempt tries =
     incr ws_counter;
     let dir =
       Filename.concat tmp
-        (Printf.sprintf "icdb_ws_%d_%d_%04x" (Unix.getpid ()) !ws_counter
-           (Random.bits () land 0xffff))
+        (Printf.sprintf "icdb_ws_%d_%d_%06x" (Unix.getpid ()) !ws_counter
+           (Random.State.bits (Lazy.force ws_rng) land 0xFFFFFF))
     in
     match Unix.mkdir dir 0o755 with
     | () -> dir
     | exception Unix.Unix_error (Unix.EEXIST, _, _) when tries < 1000 ->
+        Metrics.incr m_ws_retry;
+        Event.emit Event.Warn
+          ~fields:[ ("dir", dir) ]
+          "workspace name collision; retrying with a fresh tag";
         attempt (tries + 1)
   in
   attempt 0
@@ -128,10 +190,18 @@ let fresh_workspace () =
 (* Atomic workspace write: the file either keeps its old contents or
    carries the complete new ones — a crash in between leaves only a
    ".tmp" orphan that reopen sweeps up. *)
+(* [on_retry] hook shared by every bounded-retry site: the degradation
+   trail becomes structured warn events instead of silence. *)
+let log_retry what attempt msg =
+  Event.emit Event.Warn
+    ~fields:
+      [ ("site", what); ("attempt", string_of_int attempt); ("detail", msg) ]
+    "transient fault; retrying"
+
 let write_file t name contents =
   let path = Filename.concat t.workspace name in
   let tmp = path ^ ".tmp" in
-  Fault.with_retry (fun () ->
+  Fault.with_retry ~on_retry:(log_retry "write_file") (fun () ->
       (try
          let oc = open_out tmp in
          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
@@ -236,6 +306,8 @@ let create ?(verify = true) ?workspace ?(durable = false)
       seq = 0;
       hits = 0; reuse_hits = 0; misses = 0;
       memo_hits = 0; memo_misses = 0;
+      phase_hist = Hashtbl.create 16;
+      slow = [];
       verify;
       durable }
   in
@@ -309,8 +381,10 @@ let lookup_design t name =
   | None -> None
 
 let expand_design t design params =
+  Trace.with_span "expand" @@ fun () ->
+  Trace.add_attr "design" design.Ast.dname;
   let flat =
-    Fault.with_retry (fun () ->
+    Fault.with_retry ~on_retry:(log_retry "expand") (fun () ->
         Faultinject.hit Faultinject.Expand;
         try Expander.expand ~registry:(lookup_design t) design params with
         | Expander.Expand_error msg -> fail "expansion failed: %s" msg)
@@ -375,7 +449,9 @@ let generation_chain t spec =
    process does not fall back. *)
 let synthesize_with_fallback t spec flat =
   let attempt g =
-    Fault.with_retry (fun () ->
+    Trace.with_span ~attrs:[ ("generator", g.Generator.gen_name) ] "synthesize"
+    @@ fun () ->
+    Fault.with_retry ~on_retry:(log_retry "synthesize") (fun () ->
         Faultinject.hit Faultinject.Techmap;
         let netlist =
           try g.Generator.synthesize flat with
@@ -383,8 +459,16 @@ let synthesize_with_fallback t spec flat =
           | Network.Network_error msg ->
               fail "network construction failed: %s" msg
         in
-        if t.verify then verify_instance flat netlist;
+        if t.verify then
+          Trace.with_span "verify" (fun () -> verify_instance flat netlist);
         netlist)
+  in
+  let fallback_warn g msg =
+    Event.emit Event.Warn
+      ~fields:
+        [ ("generator", g.Generator.gen_name); ("design", flat.Flat.fname);
+          ("detail", msg) ]
+      "generator failed; falling back to the next in the chain"
   in
   let rec go errors = function
     | [] ->
@@ -395,16 +479,20 @@ let synthesize_with_fallback t spec flat =
         | netlist -> (netlist, g.Generator.gen_name)
         | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
         | exception Icdb_error msg ->
+            fallback_warn g msg;
             go (Printf.sprintf "%s: %s" g.Generator.gen_name msg :: errors)
               rest
         | exception Fault.Fault (kind, msg) ->
+            fallback_warn g msg;
             go
               (Printf.sprintf "%s: %s fault: %s" g.Generator.gen_name
                  (Fault.kind_to_string kind) msg
                :: errors)
               rest)
   in
-  let chain = generation_chain t spec in
+  let chain =
+    Trace.with_span "generator_select" (fun () -> generation_chain t spec)
+  in
   let preferred = (List.hd chain).Generator.gen_name in
   let netlist, used = go [] chain in
   (netlist, used <> preferred)
@@ -423,9 +511,12 @@ let synthesize_memo t spec flat =
   match Lru.find t.synth_memo mkey with
   | Some netlist ->
       t.memo_hits <- t.memo_hits + 1;
+      Metrics.incr m_memo_hit;
+      Trace.add_attr "memo" "hit";
       (netlist, false)
   | None ->
       t.memo_misses <- t.memo_misses + 1;
+      Metrics.incr m_memo_miss;
       let netlist, degraded = synthesize_with_fallback t spec flat in
       if not degraded then Lru.put t.synth_memo mkey netlist;
       (netlist, degraded)
@@ -434,13 +525,16 @@ let synthesize_memo t spec flat =
    end up unmet) rather than aborting the request. *)
 let size_with_degradation netlist constraints =
   match
-    Fault.with_retry (fun () ->
+    Fault.with_retry ~on_retry:(log_retry "sizing") (fun () ->
         Faultinject.hit Faultinject.Sizing;
         Sizing.size_to_constraints netlist constraints)
   with
   | sized -> (sized, false)
   | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
   | exception (Fault.Fault _ | Icdb_error _ | Sta.Timing_error _) ->
+      Event.emit Event.Warn
+        ~fields:[ ("netlist", netlist.Netlist.name) ]
+        "sizing failed; degrading to the unsized netlist";
       (netlist, true)
 
 let next_id t base =
@@ -572,10 +666,9 @@ let index_instance t ~key ~skey id =
   | Some ids -> if not (List.mem id !ids) then ids := !ids @ [ id ]
   | None -> Hashtbl.replace t.by_struct skey (ref [ id ])
 
-let request_component t (spec : Spec.t) =
-  let spec = Spec.canonical spec in
-  let key = Spec.cache_key spec in
+let request_inner t (spec : Spec.t) key =
   let exact =
+    Trace.with_span "cache_lookup" @@ fun () ->
     match Lru.find t.cache key with
     | Some id -> (
         match Hashtbl.find_opt t.instances id with
@@ -589,31 +682,44 @@ let request_component t (spec : Spec.t) =
   match exact with
   | Some inst ->
       t.hits <- t.hits + 1;
+      Metrics.incr m_cache_hit;
+      Trace.add_attr "outcome" "hit";
       inst
   | None -> (
       let skey = Spec.structural_key spec in
       match find_reusable t spec skey with
       | Some inst ->
           t.reuse_hits <- t.reuse_hits + 1;
+          Metrics.incr m_cache_reuse;
+          Trace.add_attr "outcome" "reuse";
           index_instance t ~key ~skey inst.Instance.id;
           inst
       | None ->
       t.misses <- t.misses + 1;
+      Metrics.incr m_cache_miss;
+      Trace.add_attr "outcome" "generate";
       fault_boundary @@ fun () ->
-      let flat, comp, attributes, base = resolve_source t spec in
+      let flat, comp, attributes, base =
+        Trace.with_span "resolve" (fun () -> resolve_source t spec)
+      in
       let netlist, synth_degraded =
         match flat with
         | Some flat -> synthesize_memo t spec flat
-        | None -> (generate_netlist t spec, false)
+        | None ->
+            (Trace.with_span "cluster" (fun () -> generate_netlist t spec),
+             false)
       in
       let sized, size_degraded =
+        Trace.with_span "sizing" @@ fun () ->
         size_with_degradation netlist spec.Spec.constraints
       in
       let degraded = synth_degraded || size_degraded in
+      if degraded then Metrics.incr m_degraded;
       let report =
+        Trace.with_span "sta" @@ fun () ->
         Sta.analyze ~port_loads:spec.Spec.constraints.Sizing.port_loads sized
       in
-      let shape = Shape.of_netlist sized in
+      let shape = Trace.with_span "shape" (fun () -> Shape.of_netlist sized) in
       let functions, connections =
         match comp with
         | Some c ->
@@ -662,25 +768,27 @@ let request_component t (spec : Spec.t) =
          the recovery invariant is "a row implies its file" — then
          publish to the in-memory maps, so a crash mid-persist leaves
          both the disk and the memory views consistent *)
-      let file =
-        write_file t (id ^ ".vhdl")
-          (Vhdl.dump { sized with Netlist.name = id })
-      in
-      Db.insert t.db "instances"
-        [ Value.Str id;
-          Value.Str (match inst.Instance.component with Some c -> c | None -> "-");
-          Value.Int (Instance.gate_count inst);
-          Value.Float (Instance.best_area inst);
-          Value.Float report.Sta.clock_width;
-          Value.Bool constraints_met;
-          Value.Str file;
-          Value.Bool degraded;
-          Value.Str key ];
+      (Trace.with_span "persist" @@ fun () ->
+       let file =
+         write_file t (id ^ ".vhdl")
+           (Vhdl.dump { sized with Netlist.name = id })
+       in
+       Db.insert t.db "instances"
+         [ Value.Str id;
+           Value.Str (match inst.Instance.component with Some c -> c | None -> "-");
+           Value.Int (Instance.gate_count inst);
+           Value.Float (Instance.best_area inst);
+           Value.Float report.Sta.clock_width;
+           Value.Bool constraints_met;
+           Value.Str file;
+           Value.Bool degraded;
+           Value.Str key ]);
       (* a layout-target request (§6.1) goes all the way to CIF now,
          at the best-area shape alternative *)
       (match spec.Spec.target with
        | Spec.Logic -> ()
        | Spec.Layout ->
+           Trace.with_span "cif" @@ fun () ->
            let alt = Shape.best_area shape in
            let port_specs =
              Ports.default ~inputs:sized.Netlist.inputs
@@ -703,6 +811,59 @@ let request_component t (spec : Spec.t) =
           | None -> ())
         t.designs;
       inst)
+
+(* Per-request trace capture: every span the request produced feeds the
+   server's per-phase histograms, and the slowest requests are kept
+   with their phase breakdown for `icdb stats`. *)
+let record_request_trace t key mark inst =
+  let spans = Trace.since mark in
+  List.iter
+    (fun (s : Trace.span) ->
+      let h =
+        match Hashtbl.find_opt t.phase_hist s.Trace.sname with
+        | Some h -> h
+        | None ->
+            let h = Metrics.make_histogram s.Trace.sname in
+            Hashtbl.replace t.phase_hist s.Trace.sname h;
+            h
+      in
+      Metrics.observe h (Icdb_obs.Clock.ns_to_s s.Trace.sdur_ns))
+    spans;
+  match
+    List.find_opt (fun (s : Trace.span) -> s.Trace.sname = "request") spans
+  with
+  | None -> ()
+  | Some root ->
+      let entry =
+        { sr_key = key;
+          sr_id = inst.Instance.id;
+          sr_seconds = Icdb_obs.Clock.ns_to_s root.Trace.sdur_ns;
+          sr_phases = Trace.phase_totals spans }
+      in
+      t.slow <-
+        List.sort (fun a b -> compare b.sr_seconds a.sr_seconds)
+          (entry :: t.slow)
+        |> List.filteri (fun i _ -> i < slow_capacity)
+
+let request_component t (spec : Spec.t) =
+  Metrics.incr m_requests;
+  let spec = Spec.canonical spec in
+  let key = Spec.cache_key spec in
+  if not (Trace.enabled ()) then (
+    try request_inner t spec key
+    with e ->
+      Metrics.incr m_request_errors;
+      raise e)
+  else begin
+    let mark = Trace.finished_count () in
+    match Trace.with_span "request" (fun () -> request_inner t spec key) with
+    | inst ->
+        record_request_trace t key mark inst;
+        inst
+    | exception e ->
+        Metrics.incr m_request_errors;
+        raise e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Instance queries (§3.3)                                             *)
@@ -990,6 +1151,8 @@ let reopen ?(verify = true)
       seq = 0;
       hits = 0; reuse_hits = 0; misses = 0;
       memo_hits = 0; memo_misses = 0;
+      phase_hist = Hashtbl.create 16;
+      slow = [];
       verify;
       durable = true }
   in
@@ -1001,7 +1164,18 @@ let reopen ?(verify = true)
   Db.attach_journal db (Journal.open_append jpath);
   (* IIF registry from the implementations table: builtin sources are
      known in-process; acquired ones are re-read from the workspace *)
+  (* Every artifact recovery refuses to serve keeps its fault class —
+     [Resource] when the bytes are gone, [Corrupt] when they are there
+     but wrong — and is logged as a structured warn event, instead of
+     being flattened to a bare exception string. *)
   let dropped = ref [] in
+  let dropped_impls = ref [] in
+  let drop kind msg =
+    dropped := (kind, msg) :: !dropped;
+    Event.emit Event.Warn
+      ~fields:[ ("fault", Fault.kind_to_string kind); ("detail", msg) ]
+      "recovery dropped a damaged artifact"
+  in
   let impl_tbl = Db.table db "implementations" in
   List.iter
     (fun row ->
@@ -1019,19 +1193,24 @@ let reopen ?(verify = true)
               try Some (read_file file) with Sys_error _ -> None)
         in
         match source with
-        | None -> dropped := ("implementation " ^ name) :: !dropped
+        | None ->
+            dropped_impls := name :: !dropped_impls;
+            drop Fault.Resource
+              (Printf.sprintf
+                 "implementation %s: source file missing or unreadable" name)
         | Some src -> (
             try Hashtbl.replace t.registry name (Parser.parse src)
-            with _ -> dropped := ("implementation " ^ name) :: !dropped))
+            with _ ->
+              dropped_impls := name :: !dropped_impls;
+              drop Fault.Corrupt
+                (Printf.sprintf "implementation %s: source no longer parses"
+                   name)))
     (Table.rows impl_tbl);
-  List.iter
-    (fun entry ->
-      ignore
-        (Db.delete_where t.db "implementations" (fun row ->
-             "implementation "
-             ^ Value.to_string (Table.get row impl_tbl "name")
-             = entry)))
-    !dropped;
+  ignore
+    (Db.delete_where t.db "implementations" (fun row ->
+         List.mem
+           (Value.to_string (Table.get row impl_tbl "name"))
+           !dropped_impls));
   (* instances from their rows + exact netlist files *)
   let inst_tbl = Db.table db "instances" in
   List.iter
@@ -1047,11 +1226,10 @@ let reopen ?(verify = true)
           let key = Value.to_string (Table.get row inst_tbl "spec_key") in
           if key <> "" then Lru.put t.cache key id
       | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
-      | exception Fault.Fault (_, msg) -> dropped := msg :: !dropped
+      | exception Fault.Fault (kind, msg) -> drop kind msg
       | exception e ->
-          dropped :=
-            Printf.sprintf "instance %s: %s" id (Printexc.to_string e)
-            :: !dropped)
+          drop Fault.Corrupt
+            (Printf.sprintf "instance %s: %s" id (Printexc.to_string e)))
     (Table.rows inst_tbl);
   (* drop rows whose instance could not be reconstructed *)
   ignore
@@ -1065,9 +1243,18 @@ let reopen ?(verify = true)
       rr_torn_tail = rp.Db.rp_torn;
       rr_rolled_back_tx = rp.Db.rp_discarded <> [];
       rr_instances = instance_ids t;
-      rr_dropped = List.sort String.compare !dropped;
+      rr_dropped =
+        List.sort (fun (_, a) (_, b) -> String.compare a b) !dropped;
       rr_orphans = orphans }
   in
+  Event.info
+    ~fields:
+      [ ("workspace", workspace);
+        ("replayed", string_of_int report.rr_entries_replayed);
+        ("instances", string_of_int (List.length report.rr_instances));
+        ("dropped", string_of_int (List.length report.rr_dropped));
+        ("orphans", string_of_int (List.length report.rr_orphans)) ]
+    "workspace recovered";
   (t, report)
 
 let checkpoint t =

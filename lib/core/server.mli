@@ -85,7 +85,20 @@ val request_component : t -> Spec.t -> Instance.t
     mismatches, expansion or mapping failures, or verification
     mismatches. *)
 
-(** {1 Cache observability} *)
+(** {1 Observability}
+
+    Requests served while {!Icdb_obs.Trace} is enabled additionally
+    feed per-phase latency histograms and a bounded list of the slowest
+    requests, both reported through {!stats}. With tracing disabled
+    only the plain counters are maintained (the per-request cost is a
+    handful of integer increments). *)
+
+type slow_request = {
+  sr_key : string;      (** canonical cache key of the request *)
+  sr_id : string;       (** instance id that answered it *)
+  sr_seconds : float;   (** wall-clock duration of the request span *)
+  sr_phases : (string * float) list;  (** per-phase seconds, by name *)
+}
 
 type stats = {
   st_hits : int;        (** exact-specification cache hits *)
@@ -95,6 +108,9 @@ type stats = {
   st_entries : int;     (** live exact-cache entries *)
   st_memo_hits : int;   (** synthesis-memo hits (pipeline skipped) *)
   st_memo_misses : int; (** synthesis-memo misses (pipeline ran) *)
+  st_phases : Icdb_obs.Metrics.summary list;
+      (** per-phase latency summaries (traced requests only), by name *)
+  st_slow : slow_request list;  (** slowest traced requests, worst first *)
 }
 
 val stats : t -> stats
@@ -148,7 +164,9 @@ type recovery_report = {
   rr_torn_tail : bool;         (** a torn/corrupt journal tail was cut *)
   rr_rolled_back_tx : bool;    (** an uncommitted App B §7 tx was undone *)
   rr_instances : string list;  (** instance ids reconstructed *)
-  rr_dropped : string list;    (** rows dropped: artifact missing/corrupt *)
+  rr_dropped : (Fault.kind * string) list;
+      (** rows dropped, with their fault class: [Resource] when the
+          artifact's bytes are gone, [Corrupt] when present but wrong *)
   rr_orphans : string list;    (** stray workspace files removed *)
 }
 

@@ -110,6 +110,7 @@ let to_cif (l : layout) =
 
 (* One-call convenience: place, assign ports, emit CIF. *)
 let generate ?(seed = 1) (nl : Netlist.t) ~strips ~port_specs =
+  Icdb_obs.Trace.with_span "cif.generate" @@ fun () ->
   let placement = Strip.place nl ~strips in
   let spans = Strip.channel_spans placement in
   ignore spans;

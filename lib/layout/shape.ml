@@ -25,6 +25,7 @@ let max_strips_for nl =
    strip count and heights never decrease (the estimator is made
    conservative where raw channel estimates would dip). *)
 let of_netlist ?(seed = 1) (nl : Netlist.t) : t =
+  Icdb_obs.Trace.with_span "shape.estimate" @@ fun () ->
   let m = max_strips_for nl in
   let raw =
     List.map

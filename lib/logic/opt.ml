@@ -359,6 +359,7 @@ let eliminate (net : Network.t) =
 (* ------------------------------------------------------------------ *)
 
 let optimize (net : Network.t) =
+  Icdb_obs.Trace.with_span "opt.optimize" @@ fun () ->
   sweep net;
   extract_special net;
   sweep net;

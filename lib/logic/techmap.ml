@@ -350,6 +350,7 @@ let emit_named m id name =
    (default: every matchable cell); INV and NAND2 must be included so
    any subject graph stays coverable. *)
 let map ?(cells = Celllib.matchable) (network : Network.t) =
+  Icdb_obs.Trace.with_span "techmap.map" @@ fun () ->
   let open Network in
   let g = new_graph () in
   let gate_of = Hashtbl.create 64 in

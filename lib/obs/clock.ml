@@ -1,0 +1,17 @@
+(* Monotonized nanosecond clock for spans and latency metrics.
+
+   The base source is the wall clock (Unix.gettimeofday, microsecond
+   resolution on every platform we run on), guarded so that successive
+   reads never go backwards — an NTP step or a leap adjustment must not
+   produce a negative span duration. Nanoseconds in an OCaml [int]
+   (63-bit) are good until the year 2262. *)
+
+let last = ref 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  if t > !last then last := t;
+  !last
+
+let ns_to_s ns = float_of_int ns *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3

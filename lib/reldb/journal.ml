@@ -171,7 +171,11 @@ let open_append jpath =
   in
   { jpath; oc }
 
+let m_appends = Icdb_obs.Metrics.counter "journal.appends"
+
 let append t e =
+  Icdb_obs.Trace.with_span "journal.append" @@ fun () ->
+  Icdb_obs.Metrics.incr m_appends;
   !append_hook ();
   output_string t.oc (encode_line e);
   flush t.oc
@@ -191,7 +195,10 @@ let reset t =
 (* The longest valid record prefix of the journal at [jpath], plus
    whether a torn/corrupt tail was found after it. A missing journal
    reads as empty. *)
+let m_replayed = Icdb_obs.Metrics.counter "journal.replayed_entries"
+
 let replay jpath =
+  Icdb_obs.Trace.with_span "journal.replay" @@ fun () ->
   if not (Sys.file_exists jpath) then ([], false)
   else begin
     let ic = open_in_bin jpath in
@@ -210,7 +217,9 @@ let replay jpath =
          with End_of_file -> ());
         (* a final line without a newline that still decodes is fine;
            input_line already handled it above *)
-        (List.rev !entries, !torn))
+        let entries = List.rev !entries in
+        Icdb_obs.Metrics.incr ~by:(List.length entries) m_replayed;
+        (entries, !torn))
   end
 
 (* Rewrite the journal to contain exactly [entries] (used by recovery to

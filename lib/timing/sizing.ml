@@ -114,6 +114,7 @@ let best_upsize nl c current_violation =
    (best effort: if constraints are unreachable the largest-improvement
    netlist found is returned along with the final report). *)
 let size_to_constraints (nl : Netlist.t) (c : constraints) =
+  Icdb_obs.Trace.with_span "sizing.size" @@ fun () ->
   match c.strategy with
   | Cheapest -> nl  (* minimum area: leave everything at size 1 *)
   | Fastest ->

@@ -188,6 +188,7 @@ let data_pins (c : Celllib.t) =
   | Celllib.Comb | Celllib.Latch_cell _ | Celllib.Tri_cell -> []
 
 let analyze ?(port_loads = []) (nl : Netlist.t) =
+  Icdb_obs.Trace.with_span "sta.analyze" @@ fun () ->
   let view = make_view ~port_loads nl in
   let ffs = ff_instances view in
   (* arrivals from primary inputs at t=0 *)

@@ -381,7 +381,7 @@ let test_reopen_differential () =
   (* abandon the process's memory; rebuild purely from the workspace *)
   let server2, r = Server.reopen ~verify:false ~workspace:ws () in
   check (Alcotest.list Alcotest.string) "nothing dropped" []
-    r.Server.rr_dropped;
+    (List.map snd r.Server.rr_dropped);
   List.iteri
     (fun i (spec, orig) ->
       let label = Printf.sprintf "reopened spec %d" i in

@@ -1,0 +1,340 @@
+(* The observability subsystem: span nesting and ordering, histogram
+   percentile accuracy, event sinks, the disabled-mode no-op guarantee,
+   and — end to end — that a traced [Server.request_component] yields a
+   span tree covering every phase of the generation path exactly once
+   and exports as well-formed Chrome trace_event JSON. *)
+
+open Icdb
+module Trace = Icdb_obs.Trace
+module Metrics = Icdb_obs.Metrics
+module Event = Icdb_obs.Event
+
+let check = Alcotest.check
+
+(* Tracing state is global; every test starts from a clean slate and
+   leaves tracing off for its neighbours. *)
+let with_tracing f () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false; Trace.reset ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting =
+  with_tracing @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner_a" (fun () -> ());
+      Trace.with_span "inner_b" (fun () ->
+          Trace.with_span "leaf" (fun () -> ())));
+  let spans = Trace.all_finished () in
+  check Alcotest.int "four spans" 4 (List.length spans);
+  (* completion order: children before parents *)
+  check (Alcotest.list Alcotest.string) "completion order"
+    [ "inner_a"; "leaf"; "inner_b"; "outer" ]
+    (List.map (fun s -> s.Trace.sname) spans);
+  let find name = List.find (fun s -> s.Trace.sname = name) spans in
+  let outer = find "outer" in
+  check Alcotest.(option int) "outer is a root" None outer.Trace.sparent;
+  check Alcotest.(option int) "inner_a under outer" (Some outer.Trace.sid)
+    (find "inner_a").Trace.sparent;
+  check Alcotest.(option int) "inner_b under outer" (Some outer.Trace.sid)
+    (find "inner_b").Trace.sparent;
+  check Alcotest.(option int) "leaf under inner_b"
+    (Some (find "inner_b").Trace.sid)
+    (find "leaf").Trace.sparent;
+  (* intervals: children contained in the parent *)
+  List.iter
+    (fun name ->
+      let c = find name in
+      check Alcotest.bool (name ^ " starts after outer") true
+        (c.Trace.sstart_ns >= outer.Trace.sstart_ns);
+      check Alcotest.bool (name ^ " ends before outer") true
+        (c.Trace.sstart_ns + c.Trace.sdur_ns
+         <= outer.Trace.sstart_ns + outer.Trace.sdur_ns))
+    [ "inner_a"; "inner_b"; "leaf" ]
+
+let test_span_attrs_and_exceptions =
+  with_tracing @@ fun () ->
+  (try
+     Trace.with_span "failing" (fun () ->
+         Trace.add_attr "k" "v";
+         failwith "boom")
+   with Failure _ -> ());
+  match Trace.all_finished () with
+  | [ s ] ->
+      check Alcotest.string "span closed by the exception" "failing"
+        s.Trace.sname;
+      check Alcotest.bool "duration recorded" true (s.Trace.sdur_ns >= 0);
+      check Alcotest.(option string) "attribute survived" (Some "v")
+        (List.assoc_opt "k" s.Trace.sattrs)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let test_ring_bounds =
+  with_tracing @@ fun () ->
+  let saved = Trace.capacity () in
+  Trace.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_capacity saved)
+    (fun () ->
+      for i = 1 to 20 do
+        Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+      done;
+      let spans = Trace.all_finished () in
+      check Alcotest.int "ring keeps the last 8" 8 (List.length spans);
+      check (Alcotest.list Alcotest.string) "most recent retained, in order"
+        [ "s13"; "s14"; "s15"; "s16"; "s17"; "s18"; "s19"; "s20" ]
+        (List.map (fun s -> s.Trace.sname) spans);
+      check Alcotest.int "total keeps counting" 20 (Trace.finished_count ()))
+
+let test_disabled_noop () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let before = Trace.finished_count () in
+  let ran = ref 0 in
+  Trace.with_span "ghost" (fun () ->
+      incr ran;
+      Trace.add_attr "k" "v");
+  check Alcotest.int "body ran" 1 !ran;
+  check Alcotest.int "nothing recorded" before (Trace.finished_count ());
+  check Alcotest.bool "disabled stays disabled" false (Trace.enabled ())
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_percentiles () =
+  let h = Metrics.make_histogram "t" in
+  (* 1..100 ms: percentiles are known exactly, the log-scale buckets
+     carry a bounded ~13% relative error *)
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i *. 1e-3)
+  done;
+  let s = Metrics.summary h in
+  check Alcotest.int "count" 100 s.Metrics.s_count;
+  check (Alcotest.float 1e-9) "min" 1e-3 s.Metrics.s_min;
+  check (Alcotest.float 1e-9) "max" 0.1 s.Metrics.s_max;
+  let close name expected actual =
+    check Alcotest.bool
+      (Printf.sprintf "%s: %.4f within 15%% of %.4f" name actual expected)
+      true
+      (Float.abs (actual -. expected) /. expected < 0.15)
+  in
+  close "p50" 0.050 s.Metrics.s_p50;
+  close "p90" 0.090 s.Metrics.s_p90;
+  close "p99" 0.099 s.Metrics.s_p99;
+  check (Alcotest.float 1e-6) "mean is exact (tracked outside buckets)"
+    0.0505 s.Metrics.s_mean
+
+let test_histogram_single_value () =
+  let h = Metrics.make_histogram "one" in
+  Metrics.observe h 0.042;
+  let s = Metrics.summary h in
+  (* clamping to [min, max] makes a single-valued distribution exact *)
+  check (Alcotest.float 1e-9) "p50 exact" 0.042 s.Metrics.s_p50;
+  check (Alcotest.float 1e-9) "p99 exact" 0.042 s.Metrics.s_p99
+
+let test_counters () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "c" in
+  Metrics.incr c;
+  Metrics.incr ~by:5 c;
+  check Alcotest.int "counter adds up" 6 (Metrics.counter_value c);
+  check Alcotest.bool "get-or-create returns the same instrument" true
+    (Metrics.counter ~registry:r "c" == c);
+  Metrics.reset r;
+  check Alcotest.int "reset zeroes in place" 0 (Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_sink () =
+  let sink, read = Event.ring_sink 4 in
+  let saved = Event.level () in
+  Event.set_level Event.Debug;
+  let id = Event.add_sink sink in
+  Fun.protect
+    ~finally:(fun () -> Event.remove_sink id; Event.set_level saved)
+    (fun () ->
+      for i = 1 to 10 do
+        Event.emit Event.Info ~fields:[ ("i", string_of_int i) ] "tick"
+      done;
+      let events = read () in
+      check Alcotest.int "ring keeps the last 4" 4 (List.length events);
+      check (Alcotest.list Alcotest.string) "oldest first"
+        [ "7"; "8"; "9"; "10" ]
+        (List.map (fun e -> List.assoc "i" e.Event.ev_fields) events))
+
+let test_event_threshold () =
+  let sink, read = Event.ring_sink 8 in
+  let saved = Event.level () in
+  Event.set_level Event.Warn;
+  let id = Event.add_sink sink in
+  Fun.protect
+    ~finally:(fun () -> Event.remove_sink id; Event.set_level saved)
+    (fun () ->
+      Event.emit Event.Debug "below";
+      Event.emit Event.Info "below";
+      Event.emit Event.Warn "kept";
+      Event.emit Event.Error "kept";
+      check Alcotest.int "threshold filters" 2 (List.length (read ()));
+      check Alcotest.bool "no sink for debug at warn threshold" false
+        (Event.enabled Event.Debug))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export: well-formedness without a JSON library               *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny structural validator: balanced braces/brackets outside
+   strings, correct escaping inside them. Enough to catch a malformed
+   export without pulling in a parser dependency. *)
+let json_well_formed s =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  let ok = ref true in
+  String.iter
+    (fun c ->
+      if !in_str then
+        if !escaped then escaped := false
+        else if c = '\\' then escaped := true
+        else if c = '"' then in_str := false
+        else if c = '\n' then ok := false
+      else
+        match c with
+        | '"' -> in_str := true
+        | '{' | '[' -> Stdlib.incr depth
+        | '}' | ']' ->
+            Stdlib.decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let test_chrome_export =
+  with_tracing @@ fun () ->
+  Trace.with_span "root" (fun () ->
+      Trace.add_attr "quote" "say \"hi\"\nand newline";
+      Trace.with_span "child" (fun () -> ()));
+  let json = Trace.export_chrome () in
+  check Alcotest.bool "balanced and escaped" true (json_well_formed json);
+  let has needle =
+    let nn = String.length needle and ns = String.length json in
+    let rec at i = i + nn <= ns && (String.sub json i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check Alcotest.bool "complete events" true (has "\"ph\":\"X\"");
+  check Alcotest.bool "both spans named" true
+    (has "\"name\":\"root\"" && has "\"name\":\"child\"");
+  check Alcotest.bool "parent link present" true (has "\"parent_id\"");
+  check Alcotest.bool "attr escaped" true (has "say \\\"hi\\\"\\nand newline")
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a traced request covers every phase exactly once        *)
+(* ------------------------------------------------------------------ *)
+
+let counter_spec =
+  Spec.make ~target:Spec.Layout
+    (Spec.From_component
+       { component = "counter";
+         attributes =
+           [ ("size", 3); ("type", 2); ("load", 1); ("enable", 1);
+             ("up_or_down", 3) ];
+         functions = [] })
+
+let test_request_trace =
+  with_tracing @@ fun () ->
+  let server = Server.create ~verify:false () in
+  let mark = Trace.finished_count () in
+  let inst = Server.request_component server counter_spec in
+  ignore inst;
+  let spans = Trace.since mark in
+  let count name =
+    List.length (List.filter (fun s -> s.Trace.sname = name) spans)
+  in
+  (* server-level phases a cold Layout-target generation runs once *)
+  List.iter
+    (fun phase -> check Alcotest.int (phase ^ " exactly once") 1 (count phase))
+    [ "request"; "cache_lookup"; "resolve"; "expand"; "generator_select";
+      "synthesize"; "sizing"; "sta"; "shape"; "persist"; "cif";
+      "opt.optimize"; "techmap.map"; "sizing.size"; "shape.estimate";
+      "cif.generate" ];
+  (* sta.analyze is re-run by the sizing loop: at least once, and every
+     span sits under the single request root *)
+  check Alcotest.bool "sta.analyze ran" true (count "sta.analyze" >= 1);
+  let root = List.find (fun s -> s.Trace.sname = "request") spans in
+  check Alcotest.(option int) "request is the root" None root.Trace.sparent;
+  List.iter
+    (fun s ->
+      if s != root then
+        check Alcotest.bool (s.Trace.sname ^ " has a parent") true
+          (s.Trace.sparent <> None))
+    spans;
+  check Alcotest.bool "export is well-formed JSON" true
+    (json_well_formed (Trace.export_chrome ~spans ()));
+  (* the per-server stats saw the same phases *)
+  let st = Server.stats server in
+  check Alcotest.bool "per-phase histograms non-empty" true
+    (st.Server.st_phases <> []);
+  check Alcotest.bool "request phase summarized" true
+    (List.exists
+       (fun (s : Metrics.summary) -> s.Metrics.s_name = "request")
+       st.Server.st_phases);
+  check Alcotest.bool "slow-request capture populated" true
+    (st.Server.st_slow <> [])
+
+let test_warm_hit_trace =
+  with_tracing @@ fun () ->
+  let server = Server.create ~verify:false () in
+  let cold = Server.request_component server counter_spec in
+  let mark = Trace.finished_count () in
+  let warm = Server.request_component server counter_spec in
+  check Alcotest.bool "hit returns the same instance" true (cold == warm);
+  let spans = Trace.since mark in
+  check (Alcotest.list Alcotest.string) "a hit is lookup + request only"
+    [ "cache_lookup"; "request" ]
+    (List.map (fun s -> s.Trace.sname) spans)
+
+let test_disabled_request () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let server = Server.create ~verify:false () in
+  let inst = Server.request_component server counter_spec in
+  check Alcotest.bool "generation works untraced" true
+    (Instance.gate_count inst > 0);
+  check Alcotest.int "no spans recorded" 0 (Trace.finished_count ());
+  let st = Server.stats server in
+  check Alcotest.bool "no per-phase histograms untraced" true
+    (st.Server.st_phases = [])
+
+let () =
+  Alcotest.run "obs"
+    [ ( "trace",
+        [ Alcotest.test_case "span nesting and ordering" `Quick
+            test_span_nesting;
+          Alcotest.test_case "attrs survive exceptions" `Quick
+            test_span_attrs_and_exceptions;
+          Alcotest.test_case "completed-span ring is bounded" `Quick
+            test_ring_bounds;
+          Alcotest.test_case "disabled tracing is a no-op" `Quick
+            test_disabled_noop;
+          Alcotest.test_case "chrome export well-formed" `Quick
+            test_chrome_export ] );
+      ( "metrics",
+        [ Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "single-valued histogram exact" `Quick
+            test_histogram_single_value;
+          Alcotest.test_case "counters" `Quick test_counters ] );
+      ( "events",
+        [ Alcotest.test_case "ring sink bounded, oldest-first" `Quick
+            test_ring_sink;
+          Alcotest.test_case "threshold filtering" `Quick
+            test_event_threshold ] );
+      ( "pipeline",
+        [ Alcotest.test_case "request covers every phase once" `Quick
+            test_request_trace;
+          Alcotest.test_case "warm hit traces lookup only" `Quick
+            test_warm_hit_trace;
+          Alcotest.test_case "untraced request stays clean" `Quick
+            test_disabled_request ] ) ]
