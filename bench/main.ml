@@ -785,33 +785,33 @@ let cache_bench () =
     (speedup >= 10.0);
   let dir = out_dir () in
   let path = Filename.concat dir "BENCH_cache.json" in
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\n  \"experiment\": \"cache\",\n  \"smoke\": %b,\n  \"warm_reps\": \
-        %d,\n  \"cold_total_s\": %.6f,\n  \"warm_per_sweep_s\": %.9f,\n  \
-        \"speedup\": %.1f,\n"
-       smoke warm_reps cold_total warm_total speedup);
-  Buffer.add_string buf "  \"per_spec\": [\n";
-  List.iteri
-    (fun i (name, cold, warm) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": \"%s\", \"cold_s\": %.6f, \"warm_s\": %.9f, \
-            \"speedup\": %.1f}%s\n"
-           name cold warm (cold /. warm)
-           (if i = List.length rows - 1 then "" else ",")))
-    rows;
-  Buffer.add_string buf "  ],\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  \"stats\": {\"hits\": %d, \"reuse_hits\": %d, \"misses\": %d, \
-        \"evictions\": %d, \"entries\": %d, \"memo_hits\": %d, \
-        \"memo_misses\": %d}\n}\n"
-       st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
-       st.Server.st_evictions st.Server.st_entries st.Server.st_memo_hits
-       st.Server.st_memo_misses);
-  Out_channel.with_open_text path (fun oc -> output_string oc (Buffer.contents buf));
+  Bench_json.write ~path
+    (Bench_json.Obj
+       [ ("experiment", Bench_json.Str "cache");
+         ("smoke", Bench_json.Bool smoke);
+         ("warm_reps", Bench_json.Int warm_reps);
+         ("cold_total_s", Bench_json.float ~prec:6 cold_total);
+         ("warm_per_sweep_s", Bench_json.float ~prec:9 warm_total);
+         ("speedup", Bench_json.float ~prec:1 speedup);
+         ( "per_spec",
+           Bench_json.List
+             (List.map
+                (fun (name, cold, warm) ->
+                  Bench_json.Obj
+                    [ ("name", Bench_json.Str name);
+                      ("cold_s", Bench_json.float ~prec:6 cold);
+                      ("warm_s", Bench_json.float ~prec:9 warm);
+                      ("speedup", Bench_json.float ~prec:1 (cold /. warm)) ])
+                rows) );
+         ( "stats",
+           Bench_json.Obj
+             [ ("hits", Bench_json.Int st.Server.st_hits);
+               ("reuse_hits", Bench_json.Int st.Server.st_reuse_hits);
+               ("misses", Bench_json.Int st.Server.st_misses);
+               ("evictions", Bench_json.Int st.Server.st_evictions);
+               ("entries", Bench_json.Int st.Server.st_entries);
+               ("memo_hits", Bench_json.Int st.Server.st_memo_hits);
+               ("memo_misses", Bench_json.Int st.Server.st_memo_misses) ] ) ]);
   Printf.printf "trajectory -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -914,39 +914,35 @@ let phases_bench () =
     List.filter (fun p -> not (List.mem_assoc p cold_totals)) required
   in
   let path = Filename.concat dir "BENCH_phases.json" in
-  let buf = Buffer.create 2048 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "{\n  \"experiment\": \"phases\",\n  \"smoke\": %b,\n  \
-        \"warm_reps\": %d,\n  \"cold_request_s\": %.6f,\n  \
-        \"warm_request_p50_s\": %.9f,\n"
-       smoke warm_reps cold_request warm_request);
-  Buffer.add_string buf "  \"cold_phases\": [\n";
-  List.iteri
-    (fun i (name, total) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    {\"name\": \"%s\", \"total_s\": %.9f}%s\n" name
-           total
-           (if i = List.length cold_totals - 1 then "" else ",")))
-    cold_totals;
-  Buffer.add_string buf "  ],\n  \"phase_summaries\": [\n";
-  List.iteri
-    (fun i (x : Icdb_obs.Metrics.summary) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"name\": \"%s\", \"count\": %d, \"p50_s\": %.9f, \
-            \"p90_s\": %.9f, \"p99_s\": %.9f, \"sum_s\": %.9f}%s\n"
-           x.Icdb_obs.Metrics.s_name x.Icdb_obs.Metrics.s_count
-           x.Icdb_obs.Metrics.s_p50 x.Icdb_obs.Metrics.s_p90
-           x.Icdb_obs.Metrics.s_p99 x.Icdb_obs.Metrics.s_sum
-           (if i = List.length st.Server.st_phases - 1 then "" else ",")))
-    st.Server.st_phases;
-  Buffer.add_string buf
-    (Printf.sprintf "  ],\n  \"missing_phases\": [%s]\n}\n"
-       (String.concat ", "
-          (List.map (fun p -> Printf.sprintf "\"%s\"" p) missing)));
-  Out_channel.with_open_text path (fun oc ->
-      output_string oc (Buffer.contents buf));
+  Bench_json.write ~path
+    (Bench_json.Obj
+       [ ("experiment", Bench_json.Str "phases");
+         ("smoke", Bench_json.Bool smoke);
+         ("warm_reps", Bench_json.Int warm_reps);
+         ("cold_request_s", Bench_json.float ~prec:6 cold_request);
+         ("warm_request_p50_s", Bench_json.float ~prec:9 warm_request);
+         ( "cold_phases",
+           Bench_json.List
+             (List.map
+                (fun (name, total) ->
+                  Bench_json.Obj
+                    [ ("name", Bench_json.Str name);
+                      ("total_s", Bench_json.float ~prec:9 total) ])
+                cold_totals) );
+         ( "phase_summaries",
+           Bench_json.List
+             (List.map
+                (fun (x : Icdb_obs.Metrics.summary) ->
+                  Bench_json.Obj
+                    [ ("name", Bench_json.Str x.Icdb_obs.Metrics.s_name);
+                      ("count", Bench_json.Int x.Icdb_obs.Metrics.s_count);
+                      ("p50_s", Bench_json.float ~prec:9 x.Icdb_obs.Metrics.s_p50);
+                      ("p90_s", Bench_json.float ~prec:9 x.Icdb_obs.Metrics.s_p90);
+                      ("p99_s", Bench_json.float ~prec:9 x.Icdb_obs.Metrics.s_p99);
+                      ("sum_s", Bench_json.float ~prec:9 x.Icdb_obs.Metrics.s_sum) ])
+                st.Server.st_phases) );
+         ( "missing_phases",
+           Bench_json.List (List.map (fun p -> Bench_json.Str p) missing) ) ]);
   Printf.printf "per-phase trajectory -> %s\n" path;
   Printf.printf "cold span tree -> %s (chrome://tracing / Perfetto)\n"
     trace_path;
@@ -956,6 +952,107 @@ let phases_bench () =
   end
   else Printf.printf "shape check: all %d expected phase spans present (true)\n"
          (List.length required)
+
+(* ------------------------------------------------------------------ *)
+(* E18 / serve: network service throughput and latency                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The network tentpole's headline measurement: an in-process icdbd on
+   an ephemeral port, N client threads each running M CQL queries over
+   their own TCP connection (the client library is call/response and
+   not thread-safe, so one connection per thread mirrors real use).
+   Each client cold-generates one distinct component, then hammers the
+   cache-served query path — so the numbers blend one generation miss
+   per client into a hit-dominated workload, the way a synthesis tool
+   fanning out over a shared daemon would. Reports throughput and the
+   p50/p99 round-trip latency, and lands the trajectory in
+   bench_out/BENCH_serve.json. ICDB_SMOKE=1 shrinks the sweep. *)
+let serve_bench () =
+  header "E18 / serve: icdbd throughput and round-trip latency";
+  let smoke = Sys.getenv_opt "ICDB_SMOKE" <> None in
+  let clients = if smoke then 4 else 8 in
+  let queries = if smoke then 25 else 100 in
+  let sync = Icdb_net.Sync.wrap (Server.create ()) in
+  let config =
+    { Icdb_net.Service.default_config with
+      port = 0;
+      max_connections = clients + 4;
+      workers = 4;
+      max_queue = clients * 4 }
+  in
+  let svc = Icdb_net.Service.start ~config sync in
+  let port = Icdb_net.Service.port svc in
+  let run_client k =
+    let c = Icdb_net.Client.connect ~port () in
+    let gen =
+      Printf.sprintf
+        "command:request_component; component_name:counter; \
+         attribute:(size:%d); attribute:(type:2); instance:?s"
+        (3 + k)
+    in
+    let hot =
+      [| gen; "command:function_query; function:(INC); component:?s"; gen |]
+    in
+    let lat = Array.make queries 0.0 in
+    for i = 0 to queries - 1 do
+      let text = if i = 0 then gen else hot.(i mod Array.length hot) in
+      let t0 = Unix.gettimeofday () in
+      (match Icdb_net.Client.exec c text with
+      | Ok _ -> ()
+      | Error (_, msg) -> failwith ("serve bench query failed: " ^ msg));
+      lat.(i) <- Unix.gettimeofday () -. t0
+    done;
+    Icdb_net.Client.close c;
+    lat
+  in
+  let t0 = Unix.gettimeofday () in
+  (* Thread.join discards results, so each thread writes its own slot *)
+  let slots = Array.make clients [||] in
+  let threads =
+    List.init clients (fun k ->
+        Thread.create (fun () -> slots.(k) <- run_client k) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Icdb_net.Service.shutdown svc;
+  let lats = Array.concat (Array.to_list (Array.map Array.copy slots)) in
+  Array.sort compare lats;
+  let total = Array.length lats in
+  let pct p =
+    if total = 0 then 0.0
+    else
+      let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int total)) in
+      lats.(max 0 (min (total - 1) (rank - 1)))
+  in
+  let p50 = pct 50.0 and p90 = pct 90.0 and p99 = pct 99.0 in
+  let throughput = float_of_int total /. wall in
+  Printf.printf
+    "%d clients x %d queries = %d requests in %.2f s -> %.0f req/s\n" clients
+    queries total wall throughput;
+  Printf.printf "round-trip latency: p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms\n"
+    (p50 *. 1e3) (p90 *. 1e3) (p99 *. 1e3)
+    (if total = 0 then 0.0 else lats.(total - 1) *. 1e3);
+  Printf.printf "shape checks: all requests answered (%b), p99 >= p50 (%b)\n"
+    (total = clients * queries)
+    (p99 >= p50);
+  let dir = out_dir () in
+  let path = Filename.concat dir "BENCH_serve.json" in
+  Bench_json.write ~path
+    (Bench_json.Obj
+       [ ("experiment", Bench_json.Str "serve");
+         ("smoke", Bench_json.Bool smoke);
+         ("clients", Bench_json.Int clients);
+         ("queries_per_client", Bench_json.Int queries);
+         ("total_requests", Bench_json.Int total);
+         ("wall_s", Bench_json.float ~prec:6 wall);
+         ("throughput_rps", Bench_json.float ~prec:1 throughput);
+         ("p50_s", Bench_json.float ~prec:9 p50);
+         ("p90_s", Bench_json.float ~prec:9 p90);
+         ("p99_s", Bench_json.float ~prec:9 p99);
+         ( "max_s",
+           Bench_json.float ~prec:9
+             (if total = 0 then 0.0 else lats.(total - 1)) ) ]);
+  Printf.printf "trajectory -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -968,7 +1065,7 @@ let experiments =
     ("tab_instq", tab_instq); ("tab_connect", tab_connect);
     ("ablation", ablation); ("ablation_synth", ablation_synth); ("hls", hls);
     ("wallclock", wallclock); ("cache", cache_bench);
-    ("phases", phases_bench); ("bechamel", bechamel) ]
+    ("phases", phases_bench); ("serve", serve_bench); ("bechamel", bechamel) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -5,6 +5,8 @@
                      enter the command description string and the user
                      interface program will call ICDB and display the
                      result on the screen.")
+   - [icdb serve]    the same server as a network daemon (icdbd)
+   - [icdb connect]  the shell again, but against a remote icdbd
    - [icdb catalog]  list predefined components, functions, attributes
    - [icdb gen]      one-shot component generation from flags
    - [icdb cells]    print the technology cell library *)
@@ -28,53 +30,138 @@ let print_results results =
 (* shell                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let print_relation cols rows =
+  print_endline (String.concat " | " cols);
+  List.iter (fun row -> print_endline (String.concat " | " row)) rows
+
 let run_sql server stmt =
   match Icdb_reldb.Sql.exec (Server.db server) stmt with
   | Icdb_reldb.Sql.Affected n -> Printf.printf "%d row(s)\n" n
   | Icdb_reldb.Sql.Relation rel ->
-      let cols = List.map fst rel.Icdb_reldb.Query.rschema in
-      print_endline (String.concat " | " cols);
-      List.iter
-        (fun row ->
-          print_endline
-            (String.concat " | "
-               (Array.to_list (Array.map Icdb_reldb.Value.to_string row))))
-        rel.Icdb_reldb.Query.rrows
+      print_relation
+        (List.map fst rel.Icdb_reldb.Query.rschema)
+        (List.map
+           (fun row ->
+             Array.to_list (Array.map Icdb_reldb.Value.to_string row))
+           rel.Icdb_reldb.Query.rrows)
 
-let shell_loop server =
-  print_endline "ICDB interactive CQL shell.";
-  print_endline "Enter a command terminated by a blank line (empty command quits).";
-  print_endline "Lines starting with !sql query the metadata database directly.";
-  print_endline "Example:";
-  print_endline "  command:request_component;";
-  print_endline "  component_name:counter;";
-  print_endline "  attribute:(size:5);";
-  print_endline "  instance:?s";
+let has_prefix p s =
+  String.length s > String.length p && String.sub s 0 (String.length p) = p
+
+(* Run one shell command string (CQL, or "!sql ..." / "!stats") against
+   the in-process server; [true] on success, [false] with the error
+   printed otherwise — scripted callers turn [false] into a non-zero
+   exit code. *)
+let local_run server cmd =
+  try
+    if has_prefix "!sql " cmd then
+      run_sql server (String.sub cmd 5 (String.length cmd - 5))
+    else if String.trim cmd = "!stats" then begin
+      let st = Server.stats server in
+      Printf.printf
+        "cache: %d hits, %d reuse hits, %d misses; memo: %d/%d\n"
+        st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
+        st.Server.st_memo_hits st.Server.st_memo_misses;
+      print_string (Icdb_obs.Metrics.render ())
+    end
+    else print_results (Exec.run server cmd);
+    true
+  with
+  | Exec.Cql_error msg ->
+      Printf.printf "CQL error: %s\n" msg;
+      false
+  | Server.Icdb_error msg ->
+      Printf.printf "ICDB error: %s\n" msg;
+      false
+  | Icdb_reldb.Sql.Sql_error msg ->
+      Printf.printf "SQL error: %s\n" msg;
+      false
+
+(* The same commands against a remote icdbd. Transport failures raise
+   [Client.Net_error]; server-side failures print the structured error
+   frame and return [false]. *)
+let remote_run client cmd =
+  let report code msg =
+    Printf.printf "remote error (%s): %s\n"
+      (Icdb_net.Wire.error_code_to_string code) msg;
+    false
+  in
+  if has_prefix "!sql " cmd then
+    match Icdb_net.Client.sql client (String.sub cmd 5 (String.length cmd - 5)) with
+    | Ok (Icdb_net.Wire.Affected n) ->
+        Printf.printf "%d row(s)\n" n;
+        true
+    | Ok (Icdb_net.Wire.Relation { cols; rows }) ->
+        print_relation cols rows;
+        true
+    | Error (code, msg) -> report code msg
+  else if String.trim cmd = "!stats" then
+    match Icdb_net.Client.stats client with
+    | Ok text ->
+        print_string text;
+        true
+    | Error (code, msg) -> report code msg
+  else
+    match Icdb_net.Client.exec client cmd with
+    | Ok results ->
+        print_results results;
+        true
+    | Error (code, msg) -> report code msg
+
+(* Interactive loop shared by [shell] and [connect]. A command is lines
+   terminated by a blank line; EOF (Ctrl-D) exits cleanly, mid-command
+   or not. Returns the number of failed commands. *)
+let shell_loop ?(interactive = true) run_one =
+  if interactive then begin
+    print_endline "ICDB interactive CQL shell.";
+    print_endline
+      "Enter a command terminated by a blank line (empty command quits).";
+    print_endline
+      "Lines starting with !sql query the metadata database; !stats prints \
+       server metrics.";
+    print_endline "Example:";
+    print_endline "  command:request_component;";
+    print_endline "  component_name:counter;";
+    print_endline "  attribute:(size:5);";
+    print_endline "  instance:?s"
+  end;
   let rec read_command acc =
-    print_string (if acc = [] then "icdb> " else "....> ");
+    if interactive then begin
+      print_string (if acc = [] then "icdb> " else "....> ");
+      flush stdout
+    end;
     match In_channel.input_line stdin with
-    | None -> None
-    | Some "" -> if acc = [] then None else Some (String.concat "\n" (List.rev acc))
-    | Some line
-      when acc = [] && String.length line > 5 && String.sub line 0 5 = "!sql " ->
+    | None ->
+        (* EOF mid-command: drop the partial input, exit cleanly *)
+        if interactive && acc <> [] then print_newline ();
+        None
+    | Some "" ->
+        if acc = [] then None else Some (String.concat "\n" (List.rev acc))
+    | Some line when acc = [] && String.length (String.trim line) = 0 ->
+        read_command acc
+    | Some line when acc = [] && (has_prefix "!sql " line || String.trim line = "!stats") ->
         Some line
     | Some line -> read_command (line :: acc)
   in
+  let errors = ref 0 in
   let rec loop () =
     match read_command [] with
-    | None -> print_endline "bye."
+    | None -> if interactive then print_endline "bye."
     | Some cmd ->
-        (try
-           if String.length cmd > 5 && String.sub cmd 0 5 = "!sql " then
-             run_sql server (String.sub cmd 5 (String.length cmd - 5))
-           else print_results (Exec.run server cmd)
-         with
-         | Exec.Cql_error msg -> Printf.printf "CQL error: %s\n" msg
-         | Server.Icdb_error msg -> Printf.printf "ICDB error: %s\n" msg
-         | Icdb_reldb.Sql.Sql_error msg -> Printf.printf "SQL error: %s\n" msg);
+        if not (run_one cmd) then incr errors;
         loop ()
   in
-  loop ()
+  loop ();
+  !errors
+
+(* Scripted entry: run each --exec command in order; stop at the first
+   failure so scripts see where things broke. Returns the exit code. *)
+let run_execs run_one cmds =
+  let rec go = function
+    | [] -> 0
+    | cmd :: rest -> if run_one cmd then go rest else 1
+  in
+  go cmds
 
 let setup_logging log_level =
   match log_level with
@@ -89,7 +176,7 @@ let setup_logging log_level =
             "error: unknown log level %s (expected debug|info|warn|error)\n" l;
           exit 1)
 
-let shell workspace durable log_level trace_out =
+let shell workspace durable log_level trace_out execs =
   setup_logging log_level;
   if trace_out <> None then Icdb_obs.Trace.set_enabled true;
   match Server.create ?workspace ~durable () with
@@ -97,10 +184,19 @@ let shell workspace durable log_level trace_out =
       Printf.eprintf "error: %s\n" msg;
       exit 1
   | server ->
-      if durable then
+      if durable && execs = [] then
         Printf.printf "journaling to %s\n"
           (Filename.concat (Server.workspace server) "icdb.journal");
-      shell_loop server;
+      let code =
+        if execs <> [] then run_execs (local_run server) execs
+        else begin
+          let interactive = Unix.isatty Unix.stdin in
+          let errors = shell_loop ~interactive (local_run server) in
+          (* scripted (piped) sessions must be able to detect failure;
+             interactive typo-and-retry keeps exiting 0 *)
+          if (not interactive) && errors > 0 then 1 else 0
+        end
+      in
       (match trace_out with
        | None -> ()
        | Some path ->
@@ -108,7 +204,107 @@ let shell workspace durable log_level trace_out =
            Printf.printf
              "trace written to %s (load it in chrome://tracing or \
               https://ui.perfetto.dev)\n"
-             path)
+             path);
+      exit code
+
+(* ------------------------------------------------------------------ *)
+(* serve / connect                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let serve workspace durable host port port_file max_connections workers
+    max_queue request_timeout idle_timeout log_level =
+  setup_logging log_level;
+  (* a peer vanishing mid-write must surface as EPIPE, not kill icdbd *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Server.create ?workspace ~durable () with
+  | exception Server.Icdb_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | server ->
+      let sync = Icdb_net.Sync.wrap server in
+      let config =
+        { Icdb_net.Service.host;
+          port;
+          max_connections;
+          workers;
+          max_queue;
+          request_timeout_s = request_timeout;
+          idle_timeout_s = idle_timeout }
+      in
+      let svc =
+        try Icdb_net.Service.start ~config sync
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+            (Unix.error_message e);
+          exit 1
+      in
+      let bound = Icdb_net.Service.port svc in
+      Printf.printf "icdbd listening on %s:%d (workspace %s%s)\n%!" host bound
+        (Server.workspace server)
+        (if durable then ", durable" else "");
+      (match port_file with
+       | None -> ()
+       | Some path ->
+           (* written atomically so pollers never read a partial port *)
+           let tmp = path ^ ".tmp" in
+           Out_channel.with_open_text tmp (fun oc ->
+               Printf.fprintf oc "%d\n" bound);
+           Sys.rename tmp path);
+      let stop _ = Icdb_net.Service.request_shutdown svc in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Icdb_net.Service.wait svc;
+      (* every accepted request is answered; now make recovery cheap *)
+      if durable then begin
+        match Server.checkpoint server with
+        | () -> Printf.printf "checkpointed %s\n" (Server.workspace server)
+        | exception Server.Icdb_error msg ->
+            Printf.eprintf "checkpoint failed: %s\n" msg;
+            exit 1
+      end;
+      let st = Server.stats server in
+      Printf.printf
+        "served: %d cache hits, %d reuse hits, %d misses; bye.\n"
+        st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          Some ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> None)
+  | None -> None
+
+let connect endpoint execs =
+  match parse_host_port endpoint with
+  | None ->
+      Printf.eprintf "error: expected HOST:PORT, got %s\n" endpoint;
+      exit 2
+  | Some (host, port) -> (
+      match Icdb_net.Client.connect ~host ~port () with
+      | exception Icdb_net.Client.Net_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | client ->
+          let code =
+            try
+              if execs <> [] then run_execs (remote_run client) execs
+              else begin
+                let interactive = Unix.isatty Unix.stdin in
+                if interactive then
+                  Printf.printf "connected to icdbd at %s:%d\n" host port;
+                let errors = shell_loop ~interactive (remote_run client) in
+                if (not interactive) && errors > 0 then 1 else 0
+              end
+            with Icdb_net.Client.Net_error msg ->
+              Printf.eprintf "connection error: %s\n" msg;
+              1
+          in
+          Icdb_net.Client.close client;
+          exit code)
 
 (* ------------------------------------------------------------------ *)
 (* recover                                                             *)
@@ -135,7 +331,7 @@ let recover workspace interactive =
           Printf.printf "  dropped (%s): %s\n" (Fault.kind_to_string kind) msg)
         r.Server.rr_dropped;
       List.iter (Printf.printf "  removed orphan: %s\n") r.Server.rr_orphans;
-      if interactive then shell_loop server
+      if interactive then ignore (shell_loop (local_run server))
 
 (* ------------------------------------------------------------------ *)
 (* catalog                                                             *)
@@ -261,8 +457,34 @@ let workload_spec component size strategy =
 
 (* Run a small representative workload with tracing on and print the
    per-phase latency table, the slowest requests, and every counter the
-   instrumented code bumped. *)
-let stats component requests =
+   instrumented code bumped. With --connect, instead fetch the live
+   metrics of a running icdbd — cache counters, net.* admission
+   counters and the per-wire-command latency histograms. *)
+let remote_stats endpoint =
+  match parse_host_port endpoint with
+  | None ->
+      Printf.eprintf "error: expected HOST:PORT, got %s\n" endpoint;
+      exit 2
+  | Some (host, port) -> (
+      match
+        let client = Icdb_net.Client.connect ~host ~port () in
+        Fun.protect
+          ~finally:(fun () -> Icdb_net.Client.close client)
+          (fun () -> Icdb_net.Client.stats client)
+      with
+      | Ok text -> print_string text
+      | Error (code, msg) ->
+          Printf.eprintf "remote error (%s): %s\n"
+            (Icdb_net.Wire.error_code_to_string code) msg;
+          exit 1
+      | exception Icdb_net.Client.Net_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
+
+let stats component requests connect =
+  match connect with
+  | Some endpoint -> remote_stats endpoint
+  | None ->
   Icdb_obs.Trace.set_enabled true;
   let server = Server.create ~verify:false () in
   (try
@@ -356,8 +578,101 @@ let shell_cmd =
              ~doc:"Trace every request and write Chrome trace_event JSON to \
                    FILE on exit" ~docv:"FILE")
   in
+  let execs =
+    Arg.(value & opt_all string []
+         & info [ "exec"; "e" ]
+             ~doc:"Run CMD non-interactively instead of reading stdin; \
+                   repeatable, runs in order, exits non-zero at the first \
+                   failure" ~docv:"CMD")
+  in
   Cmd.v (Cmd.info "shell" ~doc:"Interactive CQL shell")
-    Term.(const shell $ workspace $ durable $ log_level $ trace_out)
+    Term.(const shell $ workspace $ durable $ log_level $ trace_out $ execs)
+
+let serve_cmd =
+  let workspace =
+    Arg.(value & opt (some string) None
+         & info [ "workspace" ] ~doc:"Workspace directory" ~docv:"DIR")
+  in
+  let durable =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:"Journal every mutation; a SIGTERM shutdown checkpoints, \
+                   and $(b,icdb recover) rebuilds the workspace after a crash")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~doc:"Bind address" ~docv:"ADDR")
+  in
+  let port =
+    Arg.(value & opt int 7601
+         & info [ "port"; "p" ]
+             ~doc:"TCP port (0 picks an ephemeral port; see --port-file)"
+             ~docv:"PORT")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ]
+             ~doc:"Write the actually-bound port to FILE (atomically) once \
+                   listening — the scripting hook for --port 0" ~docv:"FILE")
+  in
+  let max_connections =
+    Arg.(value & opt int Icdb_net.Service.default_config.max_connections
+         & info [ "max-connections" ]
+             ~doc:"Refuse connections beyond this many concurrent clients")
+  in
+  let workers =
+    Arg.(value & opt int Icdb_net.Service.default_config.workers
+         & info [ "workers" ] ~doc:"Worker threads executing requests")
+  in
+  let max_queue =
+    Arg.(value & opt int Icdb_net.Service.default_config.max_queue
+         & info [ "max-queue" ]
+             ~doc:"Shed requests once this many are queued unserved")
+  in
+  let request_timeout =
+    Arg.(value & opt float Icdb_net.Service.default_config.request_timeout_s
+         & info [ "request-timeout" ]
+             ~doc:"Requests older than this many seconds when a worker picks \
+                   them up are answered with a timeout error" ~docv:"SECONDS")
+  in
+  let idle_timeout =
+    Arg.(value & opt float Icdb_net.Service.default_config.idle_timeout_s
+         & info [ "idle-timeout" ]
+             ~doc:"Reap connections idle longer than this many seconds"
+             ~docv:"SECONDS")
+  in
+  let log_level =
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ]
+             ~doc:"Log structured events at this level and above to stderr \
+                   (debug|info|warn|error)" ~docv:"LEVEL")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the component server as a network daemon (icdbd). SIGTERM \
+             drains in-flight requests, checkpoints a durable workspace, \
+             then exits")
+    Term.(const serve $ workspace $ durable $ host $ port $ port_file
+          $ max_connections $ workers $ max_queue $ request_timeout
+          $ idle_timeout $ log_level)
+
+let connect_cmd =
+  let endpoint =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT"
+           ~doc:"Address of a running $(b,icdb serve)")
+  in
+  let execs =
+    Arg.(value & opt_all string []
+         & info [ "exec"; "e" ]
+             ~doc:"Run CMD non-interactively instead of reading stdin; \
+                   repeatable, runs in order, exits non-zero at the first \
+                   failure" ~docv:"CMD")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Interactive CQL shell against a remote icdbd — every local \
+             shell workflow, over the wire")
+    Term.(const connect $ endpoint $ execs)
 
 let recover_cmd =
   let workspace =
@@ -432,11 +747,20 @@ let stats_cmd =
     Arg.(value & opt int 8
          & info [ "requests"; "n" ] ~doc:"Number of requests to run")
   in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ]
+             ~doc:"Instead of a local workload, fetch the live metrics of \
+                   the icdbd at HOST:PORT — cache counters, net.* admission \
+                   counters, and per-wire-command latency histograms"
+             ~docv:"HOST:PORT")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a traced workload and print per-phase latency histograms, \
-             the slowest requests, and all pipeline counters")
-    Term.(const stats $ component $ requests)
+             the slowest requests, and all pipeline counters; or --connect \
+             to a live icdbd")
+    Term.(const stats $ component $ requests $ connect)
 
 let trace_cmd =
   let out =
@@ -466,5 +790,6 @@ let () =
       ~doc:"Intelligent Component Database for behavioral synthesis"
   in
   exit (Cmd.eval (Cmd.group ~default info
-                    [ shell_cmd; recover_cmd; catalog_cmd; gen_cmd; cells_cmd;
-                      hls_cmd; stats_cmd; trace_cmd ]))
+                    [ shell_cmd; serve_cmd; connect_cmd; recover_cmd;
+                      catalog_cmd; gen_cmd; cells_cmd; hls_cmd; stats_cmd;
+                      trace_cmd ]))

@@ -1,0 +1,90 @@
+(* Blocking call/response client over the icdbd wire protocol. *)
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable open_ : bool;
+}
+
+exception Net_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Net_error s)) fmt
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> fail "cannot resolve %s" host
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found -> fail "cannot resolve %s" host)
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect to %s:%d: %s" host port (Unix.error_message e));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  { fd; next_id = 0; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call t body =
+  if not t.open_ then fail "connection is closed";
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  (try Wire.write_frame t.fd (Wire.encode_request { Wire.id; body })
+   with Unix.Unix_error (e, _, _) ->
+     close t;
+     fail "send failed: %s" (Unix.error_message e));
+  (* skip unsolicited frames (a [Bye] raced with our request; an
+     id-0 notice) until our id answers, treating a server-initiated
+     close as the error it is for a caller awaiting a reply *)
+  let rec await () =
+    match Wire.read_response t.fd with
+    | Ok { Wire.id = rid; body } when rid = id -> body
+    | Ok { Wire.body = Wire.Bye; _ } ->
+        close t;
+        fail "server closed the connection"
+    | Ok _ -> await ()
+    | Error e ->
+        close t;
+        fail "receive failed: %s" (Wire.decode_error_to_string e)
+    | exception Unix.Unix_error (e, _, _) ->
+        close t;
+        fail "receive failed: %s" (Unix.error_message e)
+  in
+  await ()
+
+let exec t ?(args = []) text =
+  match call t (Wire.Cql { text; args }) with
+  | Wire.Results rs -> Ok rs
+  | Wire.Error { code; message } -> Error (code, message)
+  | _ -> fail "unexpected response to a CQL request"
+
+let sql t stmt =
+  match call t (Wire.Sql stmt) with
+  | Wire.Sql_result r -> Ok r
+  | Wire.Error { code; message } -> Error (code, message)
+  | _ -> fail "unexpected response to a SQL request"
+
+let stats t =
+  match call t Wire.Stats with
+  | Wire.Stats_report text -> Ok text
+  | Wire.Error { code; message } -> Error (code, message)
+  | _ -> fail "unexpected response to a stats request"
+
+let ping t =
+  match call t Wire.Ping with
+  | Wire.Pong -> ()
+  | _ -> fail "unexpected response to a ping"
+
+let shutdown_server t =
+  match call t Wire.Shutdown with
+  | Wire.Bye -> close t
+  | Wire.Error { message; _ } -> fail "shutdown refused: %s" message
+  | _ -> fail "unexpected response to a shutdown request"

@@ -1,0 +1,42 @@
+(** A blocking icdbd client: one TCP connection, one outstanding
+    request at a time, responses matched to requests by id.
+
+    This is what [icdb connect] and the [serve] bench drive; it is
+    intentionally tiny — the protocol does support pipelining (ids are
+    echoed), but every current caller is call/response. A [t] is not
+    thread-safe; give each thread its own connection, as the bench
+    does. *)
+
+type t
+
+exception Net_error of string
+(** Transport-level failure: connect refused, connection dropped
+    mid-reply, unparseable response, or id mismatch. Protocol-level
+    errors the server reports are returned as {!Wire.Error} values,
+    not exceptions. *)
+
+val connect : ?host:string -> port:int -> unit -> t
+(** @raise Net_error when the endpoint cannot be reached. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call : t -> Wire.req -> Wire.resp
+(** Send one request and block for its response.
+    @raise Net_error on transport failures. *)
+
+val exec :
+  t -> ?args:Icdb_cql.Exec.arg list -> string ->
+  ((string * Icdb_cql.Exec.result) list, Wire.error_code * string) result
+(** Run one CQL command remotely: the remote twin of
+    {!Icdb_cql.Exec.run}. Server-reported failures (parse errors,
+    semantic errors, shedding, timeouts) come back as [Error]. *)
+
+val sql : t -> string -> (Wire.sql_result, Wire.error_code * string) result
+val stats : t -> (string, Wire.error_code * string) result
+val ping : t -> unit
+(** @raise Net_error if the server answers anything but [Pong]. *)
+
+val shutdown_server : t -> unit
+(** Ask the server to drain and exit; returns once it acknowledges
+    with [Bye]. *)

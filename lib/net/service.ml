@@ -1,0 +1,504 @@
+(* icdbd: accept loop + per-connection readers + worker pool over one
+   locked Server.t. See service.mli for the admission-control and
+   shutdown contracts, and sync.mli for the locking discipline.
+
+   Thread ownership rules, which keep the teardown free of races:
+   - the accept thread is the only one that creates connections and the
+     only one that runs [teardown];
+   - each reader thread is the only one that reads its socket and the
+     only one that closes it (via [kill_conn], also called from its
+     [Fun.protect] finalizer);
+   - any thread may write a response, serialized by the connection's
+     write lock; writes after death are silently dropped;
+   - workers never join other threads, so a [Shutdown] frame handled in
+     a worker only flips the stop flag and lets the accept thread do
+     the teardown. *)
+
+open Icdb_obs
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  workers : int;
+  max_queue : int;
+  request_timeout_s : float;
+  idle_timeout_s : float;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 7601;
+    max_connections = 64;
+    workers = 4;
+    max_queue = 128;
+    request_timeout_s = 30.0;
+    idle_timeout_s = 300.0 }
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  peer : string;
+  wlock : Mutex.t;             (* serializes writes and the close *)
+  mutable alive : bool;        (* false once the fd is closed *)
+  mutable last_active : float; (* wall clock of the last complete frame *)
+  mutable rthread : Thread.t option;
+}
+
+type task = { tconn : conn; tframe : Wire.req Wire.frame; enqueued_at : float }
+
+type counters = {
+  c_accepted : Metrics.counter;
+  c_refused : Metrics.counter;
+  c_closed : Metrics.counter;
+  c_requests : Metrics.counter;
+  c_errors : Metrics.counter;
+  c_shed : Metrics.counter;
+  c_timeouts : Metrics.counter;
+  c_malformed : Metrics.counter;
+  c_version_mismatch : Metrics.counter;
+  c_idle_reaped : Metrics.counter;
+}
+
+type t = {
+  cfg : config;
+  sync : Sync.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  want_stop : bool Atomic.t;
+  queue : task Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  conns : (int, conn) Hashtbl.t;
+  clock : Mutex.t;        (* guards [conns] and [next_cid] *)
+  mutable next_cid : int;
+  mutable worker_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  ctr : counters;
+  mlock : Mutex.t;        (* guards get-or-create in the metrics registry *)
+  h_queue_wait : Metrics.histogram;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Send pre-encoded bytes; a dead peer just marks the connection so the
+   reader notices on its next tick. *)
+let send_bytes conn bytes =
+  Mutex.lock conn.wlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wlock)
+    (fun () ->
+      if conn.alive then
+        try Wire.write_frame conn.fd bytes
+        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+
+let send_resp conn id body = send_bytes conn (Wire.encode_response { id; body })
+
+let send_error t conn id code message =
+  Metrics.incr t.ctr.c_errors;
+  send_resp conn id (Wire.Error { code; message })
+
+(* Close the socket and unregister; the write lock orders the close
+   against any in-flight response write. Idempotent. *)
+let kill_conn t conn =
+  Mutex.lock conn.wlock;
+  let was_alive = conn.alive in
+  if was_alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock conn.wlock;
+  if was_alive then begin
+    Mutex.lock t.clock;
+    Hashtbl.remove t.conns conn.cid;
+    Mutex.unlock t.clock;
+    Metrics.incr t.ctr.c_closed;
+    Event.debug ~fields:[ ("conn", string_of_int conn.cid) ]
+      "net: connection %s closed" conn.peer
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (worker side)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Histogram get-or-create races with other workers on the registry's
+   hashtable, so it goes through one tiny lock; [observe] itself is a
+   few field updates with no safe point inside. *)
+let hist t name =
+  Mutex.lock t.mlock;
+  let h = Metrics.histogram name in
+  Mutex.unlock t.mlock;
+  h
+
+let cql_metric_name text =
+  match Icdb_cql.Command.parse text with
+  | cmd -> (
+      match Icdb_cql.Command.command_name cmd with
+      | name -> "net.cql." ^ name
+      | exception Icdb_cql.Command.Cql_error _ -> "net.cql.invalid")
+  | exception Icdb_cql.Command.Cql_error _ -> "net.cql.invalid"
+
+let stats_text t =
+  let st = Sync.with_server t.sync Icdb.Server.stats in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "server cache: %d hits, %d reuse hits, %d misses, %d evictions, %d \
+     entries; memo %d/%d\n"
+    st.Icdb.Server.st_hits st.Icdb.Server.st_reuse_hits
+    st.Icdb.Server.st_misses st.Icdb.Server.st_evictions
+    st.Icdb.Server.st_entries st.Icdb.Server.st_memo_hits
+    st.Icdb.Server.st_memo_misses;
+  Buffer.add_string buf (Metrics.render ());
+  Buffer.contents buf
+
+(* Execute one framed request to a response body, classifying every
+   expected failure as a structured error code. *)
+let execute t conn (frame : Wire.req Wire.frame) : Wire.resp =
+  match frame.body with
+  | Wire.Ping -> Wire.Pong
+  | Wire.Stats -> Wire.Stats_report (stats_text t)
+  | Wire.Shutdown ->
+      Event.info "net: shutdown requested by %s" conn.peer;
+      Atomic.set t.want_stop true;
+      Wire.Bye
+  | Wire.Sql stmt -> (
+      match
+        Sync.with_server t.sync (fun server ->
+            Icdb_reldb.Sql.exec (Icdb.Server.db server) stmt)
+      with
+      | Icdb_reldb.Sql.Affected n -> Wire.Sql_result (Wire.Affected n)
+      | Icdb_reldb.Sql.Relation rel ->
+          let cols = List.map fst rel.Icdb_reldb.Query.rschema in
+          let rows =
+            List.map
+              (fun row ->
+                Array.to_list (Array.map Icdb_reldb.Value.to_string row))
+              rel.Icdb_reldb.Query.rrows
+          in
+          Wire.Sql_result (Wire.Relation { cols; rows })
+      | exception Icdb_reldb.Sql.Sql_error msg ->
+          Wire.Error { code = Wire.Sql_error; message = msg })
+  | Wire.Cql { text; args } -> (
+      (* the span opens inside the server lock: Trace keeps one global
+         span stack, so spans are only safe while holding it *)
+      match
+        Sync.with_server t.sync (fun server ->
+            Trace.with_span "net.request"
+              ~attrs:
+                [ ("conn", string_of_int conn.cid);
+                  ("request", string_of_int frame.id) ]
+              (fun () -> Icdb_cql.Exec.run server ~args text))
+      with
+      | results -> Wire.Results results
+      | exception Icdb_cql.Exec.Cql_error msg ->
+          Wire.Error { code = Wire.Parse_error; message = msg }
+      | exception Icdb.Server.Icdb_error msg ->
+          Wire.Error { code = Wire.Exec_error; message = msg }
+      | exception Icdb_reldb.Sql.Sql_error msg ->
+          Wire.Error { code = Wire.Sql_error; message = msg })
+
+let metric_name (frame : Wire.req Wire.frame) =
+  match frame.body with
+  | Wire.Ping -> "net.ping"
+  | Wire.Stats -> "net.stats"
+  | Wire.Shutdown -> "net.shutdown"
+  | Wire.Sql _ -> "net.sql"
+  | Wire.Cql { text; _ } -> cql_metric_name text
+
+let handle_task t task =
+  let conn = task.tconn and frame = task.tframe in
+  let wait = now () -. task.enqueued_at in
+  Metrics.observe t.h_queue_wait wait;
+  if wait > t.cfg.request_timeout_s then begin
+    Metrics.incr t.ctr.c_timeouts;
+    send_error t conn frame.Wire.id Wire.Timeout
+      (Printf.sprintf "request timed out after %.1f s in queue" wait)
+  end
+  else begin
+    let t0 = now () in
+    let resp =
+      try execute t conn frame
+      with e ->
+        Wire.Error
+          { code = Wire.Internal;
+            message = "internal error: " ^ Printexc.to_string e }
+    in
+    Metrics.observe (hist t (metric_name frame)) (now () -. t0);
+    (match resp with
+     | Wire.Error _ -> Metrics.incr t.ctr.c_errors
+     | _ -> ());
+    send_resp conn frame.Wire.id resp
+  end
+
+(* Workers drain the queue completely before exiting, which is what
+   makes shutdown graceful: every request that was accepted is answered. *)
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.qlock;
+    while Queue.is_empty t.queue && not (Atomic.get t.want_stop) do
+      Condition.wait t.qcond t.qlock
+    done;
+    let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+    Mutex.unlock t.qlock;
+    match task with
+    | Some task ->
+        handle_task t task;
+        loop ()
+    | None -> () (* stopping and drained *)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Reader side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue t conn frame =
+  Metrics.incr t.ctr.c_requests;
+  if Atomic.get t.want_stop then
+    send_error t conn frame.Wire.id Wire.Shutting_down "server is shutting down"
+  else begin
+    Mutex.lock t.qlock;
+    let shed = Queue.length t.queue >= t.cfg.max_queue in
+    if not shed then begin
+      Queue.push { tconn = conn; tframe = frame; enqueued_at = now () } t.queue;
+      Condition.signal t.qcond
+    end;
+    Mutex.unlock t.qlock;
+    if shed then begin
+      Metrics.incr t.ctr.c_shed;
+      send_error t conn frame.Wire.id Wire.Overloaded
+        (Printf.sprintf "request shed: queue full (%d deep)" t.cfg.max_queue)
+    end
+  end
+
+let reader_loop t conn =
+  let rec loop () =
+    if conn.alive && not (Atomic.get t.want_stop) then begin
+      match Unix.select [ conn.fd ] [] [] 1.0 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+      | [], _, _ ->
+          if now () -. conn.last_active > t.cfg.idle_timeout_s then begin
+            Metrics.incr t.ctr.c_idle_reaped;
+            Event.info ~fields:[ ("conn", string_of_int conn.cid) ]
+              "net: reaping idle connection %s" conn.peer;
+            send_resp conn 0 Wire.Bye
+          end
+          else loop ()
+      | _ -> (
+          match Wire.read_request conn.fd with
+          | Ok frame ->
+              conn.last_active <- now ();
+              enqueue t conn frame;
+              loop ()
+          | Error Wire.Closed -> ()
+          | Error (Wire.Truncated _ as e) ->
+              Metrics.incr t.ctr.c_malformed;
+              send_error t conn 0 Wire.Protocol_error
+                (Wire.decode_error_to_string e)
+          | Error (Wire.Oversized _ as e) ->
+              (* framing is lost: error out loud, then close *)
+              Metrics.incr t.ctr.c_malformed;
+              send_error t conn 0 Wire.Protocol_error
+                (Wire.decode_error_to_string e)
+          | Error (Wire.Bad_version { id; got }) ->
+              (* the frame was fully consumed: the connection survives *)
+              Metrics.incr t.ctr.c_version_mismatch;
+              send_error t conn
+                (Option.value id ~default:0)
+                Wire.Version_mismatch
+                (Printf.sprintf
+                   "peer speaks protocol v%d, this server speaks v%d" got
+                   Wire.protocol_version);
+              conn.last_active <- now ();
+              loop ()
+          | Error (Wire.Malformed { id; reason }) ->
+              Metrics.incr t.ctr.c_malformed;
+              send_error t conn
+                (Option.value id ~default:0)
+                Wire.Protocol_error ("malformed frame: " ^ reason);
+              conn.last_active <- now ();
+              loop ()
+          | exception Unix.Unix_error _ -> ())
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                           *)
+(* ------------------------------------------------------------------ *)
+
+let admit t fd peer_addr =
+  let peer =
+    match peer_addr with
+    | Unix.ADDR_INET (a, p) ->
+        Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+    | Unix.ADDR_UNIX p -> p
+  in
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  Mutex.lock t.clock;
+  let live = Hashtbl.length t.conns in
+  let admitted = live < t.cfg.max_connections in
+  let conn =
+    if not admitted then None
+    else begin
+      t.next_cid <- t.next_cid + 1;
+      let conn =
+        { cid = t.next_cid;
+          fd;
+          peer;
+          wlock = Mutex.create ();
+          alive = true;
+          last_active = now ();
+          rthread = None }
+      in
+      Hashtbl.replace t.conns conn.cid conn;
+      Some conn
+    end
+  in
+  Mutex.unlock t.clock;
+  match conn with
+  | None ->
+      Metrics.incr t.ctr.c_refused;
+      Event.warn "net: refusing %s: %d/%d connections in use" peer live
+        t.cfg.max_connections;
+      (try
+         Wire.write_frame fd
+           (Wire.encode_response
+              { id = 0;
+                body =
+                  Wire.Error
+                    { code = Wire.Overloaded;
+                      message =
+                        Printf.sprintf "connection limit reached (%d)"
+                          t.cfg.max_connections } })
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some conn ->
+      Metrics.incr t.ctr.c_accepted;
+      Event.debug ~fields:[ ("conn", string_of_int conn.cid) ]
+        "net: accepted %s" peer;
+      let thread =
+        Thread.create
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () -> kill_conn t conn)
+              (fun () -> reader_loop t conn))
+          ()
+      in
+      conn.rthread <- Some thread
+
+let teardown t =
+  (* no new connections *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* wake idle workers so they can observe the stop flag and drain *)
+  Mutex.lock t.qlock;
+  Condition.broadcast t.qcond;
+  Mutex.unlock t.qlock;
+  List.iter Thread.join t.worker_threads;
+  (* every accepted request is now answered; say goodbye and unblock
+     any reader parked in select/read by shutting the receive side *)
+  let conns =
+    Mutex.lock t.clock;
+    let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    Mutex.unlock t.clock;
+    l
+  in
+  List.iter
+    (fun conn ->
+      send_resp conn 0 Wire.Bye;
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter
+    (fun conn -> match conn.rthread with Some th -> Thread.join th | None -> ())
+    conns;
+  Event.info "net: service stopped"
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.want_stop) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ -> (
+           match Unix.accept ~cloexec:true t.listen_fd with
+           | exception
+               Unix.Unix_error
+                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                  | Unix.ECONNABORTED), _, _) ->
+               ()
+           | fd, peer -> admit t fd peer));
+      loop ()
+    end
+  in
+  loop ();
+  teardown t
+
+let counters () =
+  { c_accepted = Metrics.counter "net.accepted";
+    c_refused = Metrics.counter "net.refused";
+    c_closed = Metrics.counter "net.closed";
+    c_requests = Metrics.counter "net.requests";
+    c_errors = Metrics.counter "net.errors";
+    c_shed = Metrics.counter "net.shed";
+    c_timeouts = Metrics.counter "net.timeouts";
+    c_malformed = Metrics.counter "net.malformed";
+    c_version_mismatch = Metrics.counter "net.version_mismatch";
+    c_idle_reaped = Metrics.counter "net.idle_reaped" }
+
+let start ?(config = default_config) sync =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let t =
+    { cfg = config;
+      sync;
+      listen_fd;
+      bound_port;
+      want_stop = Atomic.make false;
+      queue = Queue.create ();
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      conns = Hashtbl.create 64;
+      clock = Mutex.create ();
+      next_cid = 0;
+      worker_threads = [];
+      accept_thread = None;
+      ctr = counters ();
+      mlock = Mutex.create ();
+      h_queue_wait = Metrics.histogram "net.queue_wait" }
+  in
+  t.worker_threads <-
+    List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  Event.info "net: icdbd listening on %s:%d (%d workers, %d connections max)"
+    config.host bound_port (max 1 config.workers) config.max_connections;
+  t
+
+let port t = t.bound_port
+
+let request_shutdown t = Atomic.set t.want_stop true
+
+let wait t =
+  match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+let shutdown t =
+  request_shutdown t;
+  wait t

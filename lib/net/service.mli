@@ -1,0 +1,71 @@
+(** icdbd: the concurrent TCP service over an ICDB component server.
+
+    One accept loop admits connections (refusing beyond
+    [max_connections]), one reader thread per connection frames
+    requests into a bounded queue (shedding with a structured
+    [Overloaded] error when full), and a fixed worker pool executes
+    them against the shared {!Sync.t} — so network and file I/O overlap
+    while server state stays single-writer under one lock (the
+    discipline {!Sync} documents).
+
+    Admission control and timeouts:
+    - connections beyond [max_connections] get an [Error Overloaded]
+      frame and are closed before a reader is spawned;
+    - requests landing on a full queue are shed immediately with
+      [Error Overloaded];
+    - a request older than [request_timeout_s] when a worker picks it
+      up is answered [Error Timeout] without executing — a request
+      already executing is never preempted (OCaml compute cannot be
+      safely interrupted), which bounds added latency by one request's
+      service time per worker;
+    - connections idle longer than [idle_timeout_s] are reaped with a
+      [Bye] frame.
+
+    Graceful shutdown ({!request_shutdown}, a [Shutdown] frame, or
+    SIGTERM routed to {!request_shutdown} by the CLI): stop accepting,
+    drain every queued and in-flight request to its reply, send [Bye]
+    on every connection, then return from {!wait}. Durability is the
+    caller's: checkpoint after {!wait} returns, as [icdb serve] does.
+
+    Everything is instrumented through {!Icdb_obs.Metrics} under
+    [net.*]: accepted/refused/closed/requests/errors/shed/timeouts/
+    malformed/version_mismatch/idle_reaped counters, a [net.queue_wait]
+    histogram, and one latency histogram per wire command
+    ([net.cql.<command>], [net.sql], [net.stats], [net.ping]). *)
+
+type config = {
+  host : string;             (** bind address, default ["127.0.0.1"] *)
+  port : int;                (** 0 picks an ephemeral port — read it back
+                                 with {!port} *)
+  max_connections : int;
+  workers : int;
+  max_queue : int;
+  request_timeout_s : float;
+  idle_timeout_s : float;
+}
+
+val default_config : config
+(** 127.0.0.1:7601, 64 connections, 4 workers, queue of 128, 30 s
+    request timeout, 300 s idle timeout. *)
+
+type t
+
+val start : ?config:config -> Sync.t -> t
+(** Bind, listen and spawn the accept loop and worker pool; returns
+    once the socket is accepting.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port (useful with [port = 0]). *)
+
+val request_shutdown : t -> unit
+(** Ask for a graceful shutdown and return immediately. Safe to call
+    from any thread and from a signal handler. Idempotent. *)
+
+val wait : t -> unit
+(** Block until the service has fully shut down (all requests drained,
+    all connections closed, all threads joined). *)
+
+val shutdown : t -> unit
+(** [request_shutdown] + [wait]. Must not be called from one of the
+    service's own threads. *)

@@ -1,0 +1,15 @@
+(* Coarse-grained locking around Server.t — see sync.mli for why one
+   lock is the right grain. *)
+
+type t = { server : Icdb.Server.t; lock : Mutex.t; workspace : string }
+
+let wrap server =
+  { server;
+    lock = Mutex.create ();
+    workspace = Icdb.Server.workspace server }
+
+let with_server t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.server)
+
+let peek_workspace t = t.workspace

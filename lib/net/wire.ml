@@ -1,0 +1,405 @@
+(* The icdbd wire protocol codec.
+
+   Layout (everything big-endian):
+
+     u32  payload length
+     u8   protocol version
+     u8   frame kind
+     i64  request id
+     ...  body
+
+   The codec is deliberately total in both directions: every value the
+   CQL layer can return has exactly one encoding, and every byte string
+   decodes to either a frame or a classified [decode_error] that tells
+   the caller whether the stream is still framable. Malformed bodies
+   inside a well-delimited payload never lose stream sync, so the
+   server can answer them with a structured error frame and keep the
+   connection. *)
+
+type req =
+  | Ping
+  | Cql of { text : string; args : Icdb_cql.Exec.arg list }
+  | Sql of string
+  | Stats
+  | Shutdown
+
+type sql_result =
+  | Affected of int
+  | Relation of { cols : string list; rows : string list list }
+
+type error_code =
+  | Parse_error
+  | Exec_error
+  | Sql_error
+  | Protocol_error
+  | Version_mismatch
+  | Overloaded
+  | Timeout
+  | Shutting_down
+  | Internal
+
+type resp =
+  | Pong
+  | Results of (string * Icdb_cql.Exec.result) list
+  | Sql_result of sql_result
+  | Stats_report of string
+  | Error of { code : error_code; message : string }
+  | Bye
+
+type 'a frame = { id : int; body : 'a }
+
+let protocol_version = 1
+let max_payload = 16 * 1024 * 1024
+
+(* Header bytes inside the payload before the body starts. *)
+let header_bytes = 1 + 1 + 8
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Exec_error -> "exec_error"
+  | Sql_error -> "sql_error"
+  | Protocol_error -> "protocol_error"
+  | Version_mismatch -> "version_mismatch"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+(* ------------------------------------------------------------------ *)
+(* Frame kinds                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_ping = 0x01
+let kind_cql = 0x02
+let kind_sql = 0x03
+let kind_stats = 0x04
+let kind_shutdown = 0x05
+
+let kind_pong = 0x41
+let kind_results = 0x42
+let kind_sql_affected = 0x43
+let kind_sql_relation = 0x44
+let kind_stats_report = 0x45
+let kind_error = 0x46
+let kind_bye = 0x47
+
+let code_to_byte = function
+  | Parse_error -> 0
+  | Exec_error -> 1
+  | Sql_error -> 2
+  | Protocol_error -> 3
+  | Version_mismatch -> 4
+  | Overloaded -> 5
+  | Timeout -> 6
+  | Shutting_down -> 7
+  | Internal -> 8
+
+let code_of_byte = function
+  | 0 -> Some Parse_error
+  | 1 -> Some Exec_error
+  | 2 -> Some Sql_error
+  | 3 -> Some Protocol_error
+  | 4 -> Some Version_mismatch
+  | 5 -> Some Overloaded
+  | 6 -> Some Timeout
+  | 7 -> Some Shutting_down
+  | 8 -> Some Internal
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
+
+let put_u32 buf v =
+  if v < 0 then invalid_arg "Wire.put_u32: negative";
+  Buffer.add_int32_be buf (Int32.of_int v)
+
+let put_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let put_float buf v = Buffer.add_int64_be buf (Int64.bits_of_float v)
+
+let put_string buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf put l =
+  put_u32 buf (List.length l);
+  List.iter (put buf) l
+
+let put_arg buf (a : Icdb_cql.Exec.arg) =
+  match a with
+  | Icdb_cql.Exec.Astr s ->
+      put_u8 buf 0;
+      put_string buf s
+  | Icdb_cql.Exec.Aint i ->
+      put_u8 buf 1;
+      put_i64 buf i
+  | Icdb_cql.Exec.Afloat f ->
+      put_u8 buf 2;
+      put_float buf f
+  | Icdb_cql.Exec.Astrs l ->
+      put_u8 buf 3;
+      put_list buf put_string l
+
+let put_result buf (key, (r : Icdb_cql.Exec.result)) =
+  put_string buf key;
+  match r with
+  | Icdb_cql.Exec.Rstr s ->
+      put_u8 buf 0;
+      put_string buf s
+  | Icdb_cql.Exec.Rint i ->
+      put_u8 buf 1;
+      put_i64 buf i
+  | Icdb_cql.Exec.Rfloat f ->
+      put_u8 buf 2;
+      put_float buf f
+  | Icdb_cql.Exec.Rstrs l ->
+      put_u8 buf 3;
+      put_list buf put_string l
+
+let frame_bytes kind id body_writer =
+  let payload = Buffer.create 64 in
+  put_u8 payload protocol_version;
+  put_u8 payload kind;
+  put_i64 payload id;
+  body_writer payload;
+  let n = Buffer.length payload in
+  if n > max_payload then invalid_arg "Wire: frame exceeds max_payload";
+  let out = Buffer.create (n + 4) in
+  put_u32 out n;
+  Buffer.add_buffer out payload;
+  Buffer.contents out
+
+let encode_request { id; body } =
+  match body with
+  | Ping -> frame_bytes kind_ping id (fun _ -> ())
+  | Cql { text; args } ->
+      frame_bytes kind_cql id (fun buf ->
+          put_string buf text;
+          put_list buf put_arg args)
+  | Sql stmt -> frame_bytes kind_sql id (fun buf -> put_string buf stmt)
+  | Stats -> frame_bytes kind_stats id (fun _ -> ())
+  | Shutdown -> frame_bytes kind_shutdown id (fun _ -> ())
+
+let encode_response { id; body } =
+  match body with
+  | Pong -> frame_bytes kind_pong id (fun _ -> ())
+  | Results rs ->
+      frame_bytes kind_results id (fun buf -> put_list buf put_result rs)
+  | Sql_result (Affected n) ->
+      frame_bytes kind_sql_affected id (fun buf -> put_i64 buf n)
+  | Sql_result (Relation { cols; rows }) ->
+      frame_bytes kind_sql_relation id (fun buf ->
+          put_list buf put_string cols;
+          put_list buf (fun b row -> put_list b put_string row) rows)
+  | Stats_report text ->
+      frame_bytes kind_stats_report id (fun buf -> put_string buf text)
+  | Error { code; message } ->
+      frame_bytes kind_error id (fun buf ->
+          put_u8 buf (code_to_byte code);
+          put_string buf message)
+  | Bye -> frame_bytes kind_bye id (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type decode_error =
+  | Closed
+  | Truncated of string
+  | Oversized of int
+  | Bad_version of { id : int option; got : int }
+  | Malformed of { id : int option; reason : string }
+
+let decode_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated what -> Printf.sprintf "truncated frame (%s)" what
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+  | Bad_version { got; _ } ->
+      Printf.sprintf "protocol version mismatch (peer speaks v%d, this is v%d)"
+        got protocol_version
+  | Malformed { reason; _ } -> Printf.sprintf "malformed frame: %s" reason
+
+exception Bad of string
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.data then raise (Bad "body ends early")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.data c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Bad "negative length");
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = String.get_int64_be c.data c.pos in
+  c.pos <- c.pos + 8;
+  Int64.to_int v
+
+let get_float c =
+  need c 8;
+  let v = Int64.float_of_bits (String.get_int64_be c.data c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_string c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_list c get =
+  let n = get_u32 c in
+  (* an element costs at least one byte; reject counts the payload
+     cannot possibly hold so hostile frames cannot force huge allocs *)
+  if n > String.length c.data - c.pos then raise (Bad "list count too large");
+  List.init n (fun _ -> get c)
+
+let get_arg c : Icdb_cql.Exec.arg =
+  match get_u8 c with
+  | 0 -> Icdb_cql.Exec.Astr (get_string c)
+  | 1 -> Icdb_cql.Exec.Aint (get_i64 c)
+  | 2 -> Icdb_cql.Exec.Afloat (get_float c)
+  | 3 -> Icdb_cql.Exec.Astrs (get_list c get_string)
+  | t -> raise (Bad (Printf.sprintf "unknown argument tag %d" t))
+
+let get_result c =
+  let key = get_string c in
+  let r : Icdb_cql.Exec.result =
+    match get_u8 c with
+    | 0 -> Icdb_cql.Exec.Rstr (get_string c)
+    | 1 -> Icdb_cql.Exec.Rint (get_i64 c)
+    | 2 -> Icdb_cql.Exec.Rfloat (get_float c)
+    | 3 -> Icdb_cql.Exec.Rstrs (get_list c get_string)
+    | t -> raise (Bad (Printf.sprintf "unknown result tag %d" t))
+  in
+  (key, r)
+
+(* The request id sits at a fixed offset, so even a frame whose body is
+   garbage usually yields the id to address the error response to. *)
+let salvage_id payload =
+  if String.length payload >= header_bytes then
+    Some (Int64.to_int (String.get_int64_be payload 2))
+  else None
+
+let decode_payload ~decode_body payload =
+  let id = salvage_id payload in
+  if String.length payload < header_bytes then
+    Stdlib.Error (Malformed { id = None; reason = "payload shorter than header" })
+  else
+    let c = { data = payload; pos = 0 } in
+    let version = get_u8 c in
+    if version <> protocol_version then
+      Stdlib.Error (Bad_version { id; got = version })
+    else
+      let kind = get_u8 c in
+      let fid = get_i64 c in
+      match decode_body c kind with
+      | body -> (
+          match body with
+          | Some b ->
+              if c.pos <> String.length payload then
+                Stdlib.Error (Malformed { id; reason = "trailing bytes after body" })
+              else Stdlib.Ok { id = fid; body = b }
+          | None ->
+              Error
+                (Malformed
+                   { id; reason = Printf.sprintf "unknown frame kind 0x%02x" kind }))
+      | exception Bad reason -> Stdlib.Error (Malformed { id; reason })
+
+let decode_request payload =
+  decode_payload payload ~decode_body:(fun c kind ->
+      if kind = kind_ping then Some Ping
+      else if kind = kind_cql then begin
+        let text = get_string c in
+        let args = get_list c get_arg in
+        Some (Cql { text; args })
+      end
+      else if kind = kind_sql then Some (Sql (get_string c))
+      else if kind = kind_stats then Some Stats
+      else if kind = kind_shutdown then Some Shutdown
+      else None)
+
+let decode_response payload =
+  decode_payload payload ~decode_body:(fun c kind ->
+      if kind = kind_pong then Some Pong
+      else if kind = kind_results then Some (Results (get_list c get_result))
+      else if kind = kind_sql_affected then
+        Some (Sql_result (Affected (get_i64 c)))
+      else if kind = kind_sql_relation then begin
+        let cols = get_list c get_string in
+        let rows = get_list c (fun c -> get_list c get_string) in
+        Some (Sql_result (Relation { cols; rows }))
+      end
+      else if kind = kind_stats_report then Some (Stats_report (get_string c))
+      else if kind = kind_error then begin
+        let code_byte = get_u8 c in
+        let message = get_string c in
+        match code_of_byte code_byte with
+        | Some code -> Some (Error { code; message })
+        | None -> raise (Bad (Printf.sprintf "unknown error code %d" code_byte))
+      end
+      else if kind = kind_bye then Some Bye
+      else None)
+
+(* ------------------------------------------------------------------ *)
+(* Blocking transport                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n) (len - n)
+  end
+
+let write_frame fd s = write_all fd s 0 (String.length s)
+
+(* [`Eof n] = clean EOF after [n] of the wanted bytes. *)
+let read_exact fd want =
+  let buf = Bytes.create want in
+  let rec go off =
+    if off = want then `Bytes (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (want - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_payload fd =
+  match read_exact fd 4 with
+  | `Eof 0 -> Stdlib.Error Closed
+  | `Eof _ -> Stdlib.Error (Truncated "length header")
+  | `Bytes hdr -> (
+      let len = Int32.to_int (String.get_int32_be hdr 0) in
+      if len < 0 || len > max_payload then Stdlib.Error (Oversized len)
+      else
+        match read_exact fd len with
+        | `Eof _ -> Stdlib.Error (Truncated "payload")
+        | `Bytes payload -> Stdlib.Ok payload)
+
+let read_request fd =
+  match read_payload fd with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok payload -> decode_request payload
+
+let read_response fd =
+  match read_payload fd with
+  | Stdlib.Error e -> Stdlib.Error e
+  | Stdlib.Ok payload -> decode_response payload

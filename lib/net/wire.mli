@@ -1,0 +1,108 @@
+(** The icdbd wire protocol: length-prefixed, versioned binary frames.
+
+    A frame on the wire is a 4-byte big-endian payload length followed
+    by the payload:
+
+    {v
+      u32  payload length          (at most {!max_payload})
+      u8   protocol version        ({!protocol_version})
+      u8   frame kind
+      i64  request id              (echoed verbatim in the response)
+      ...  kind-specific body
+    v}
+
+    Scalars are big-endian; a string is a u32 byte count followed by
+    the bytes; a list is a u32 element count followed by the elements;
+    a float is the IEEE-754 bits as an i64. Requests and responses use
+    disjoint kind bytes so a peer speaking the wrong direction is
+    caught as {!Malformed} rather than misparsed.
+
+    Decoding classifies failures by whether the stream is still
+    framable: a bad version byte or a garbled body inside a
+    correctly-delimited payload is {e recoverable} (the frame was fully
+    consumed; the server answers with a structured [Error] frame and
+    the connection lives on), while a truncated or oversized frame
+    means byte-level sync is lost and the connection must close. *)
+
+val protocol_version : int
+val max_payload : int
+
+(** {1 Frame bodies} *)
+
+type req =
+  | Ping
+  | Cql of { text : string; args : Icdb_cql.Exec.arg list }
+      (** a CQL command string; [args] fill its %-slots in order *)
+  | Sql of string  (** a SQL statement against the metadata database *)
+  | Stats          (** rendered server + network metrics *)
+  | Shutdown       (** drain in-flight requests, checkpoint, exit *)
+
+type sql_result =
+  | Affected of int
+  | Relation of { cols : string list; rows : string list list }
+
+type error_code =
+  | Parse_error       (** CQL syntax or slot/argument mismatch *)
+  | Exec_error        (** semantic failure inside the server *)
+  | Sql_error
+  | Protocol_error    (** malformed or oversized frame *)
+  | Version_mismatch
+  | Overloaded        (** connection refused or request shed *)
+  | Timeout           (** request aged out of the queue *)
+  | Shutting_down
+  | Internal
+
+type resp =
+  | Pong
+  | Results of (string * Icdb_cql.Exec.result) list
+      (** CQL ?-slot bindings, every shape {!Icdb_cql.Exec.run} produces *)
+  | Sql_result of sql_result
+  | Stats_report of string
+  | Error of { code : error_code; message : string }
+  | Bye  (** the server is closing this connection deliberately *)
+
+type 'a frame = { id : int; body : 'a }
+
+val error_code_to_string : error_code -> string
+
+(** {1 Encoding} *)
+
+val encode_request : req frame -> string
+(** Full frame bytes, length header included. *)
+
+val encode_response : resp frame -> string
+
+(** {1 Decoding} *)
+
+type decode_error =
+  | Closed  (** clean EOF between frames *)
+  | Truncated of string
+      (** EOF or short read inside a frame: fatal, close *)
+  | Oversized of int
+      (** declared payload length beyond {!max_payload}: fatal, close *)
+  | Bad_version of { id : int option; got : int }
+      (** recoverable: answer [Error Version_mismatch] and carry on *)
+  | Malformed of { id : int option; reason : string }
+      (** recoverable: answer [Error Protocol_error] and carry on.
+          [id] is recovered from the fixed header offset when the
+          payload is long enough to hold one. *)
+
+val decode_error_to_string : decode_error -> string
+
+val decode_request : string -> (req frame, decode_error) result
+(** Decode one payload (length header already stripped). *)
+
+val decode_response : string -> (resp frame, decode_error) result
+
+(** {1 Blocking transport helpers} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write all bytes, retrying on [EINTR].
+    @raise Unix.Unix_error as [Unix.write] does (e.g. [EPIPE]). *)
+
+val read_request : Unix.file_descr -> (req frame, decode_error) result
+(** Read exactly one frame. Never raises on EOF — that is [Closed] or
+    [Truncated] — but lets genuine socket errors escape as
+    [Unix.Unix_error]. *)
+
+val read_response : Unix.file_descr -> (resp frame, decode_error) result

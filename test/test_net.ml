@@ -1,0 +1,466 @@
+(* Network layer tests: the wire codec round-trips every request and
+   response shape; malformed, truncated, oversized and wrong-version
+   frames classify as the protocol promises; and an in-process icdbd
+   serves the full CQL command set to concurrent clients, survives
+   garbage frames, enforces admission control, and loses no journaled
+   writes across a graceful shutdown. *)
+
+open Icdb
+open Icdb_net
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let strip_header s = String.sub s 4 (String.length s - 4)
+
+let rt_req ?(id = 7) body =
+  let bytes = Wire.encode_request { Wire.id; body } in
+  match Wire.decode_request (strip_header bytes) with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "decode_request: %s" (Wire.decode_error_to_string e)
+
+let rt_resp ?(id = 7) body =
+  let bytes = Wire.encode_response { Wire.id; body } in
+  match Wire.decode_response (strip_header bytes) with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "decode_response: %s" (Wire.decode_error_to_string e)
+
+let test_request_roundtrip () =
+  let reqs =
+    [ Wire.Ping;
+      Wire.Cql { text = "command:function_query; function:(INC); component:?s[]";
+                 args = [] };
+      Wire.Cql
+        { text = "command:instance_query; instance:%s; delay:?s";
+          args =
+            [ Icdb_cql.Exec.Astr "counter_1"; Icdb_cql.Exec.Aint (-42);
+              Icdb_cql.Exec.Afloat 1.5e-9;
+              Icdb_cql.Exec.Astrs [ "a"; ""; "tab\there\nnewline" ] ] };
+      Wire.Sql "SELECT name FROM components";
+      Wire.Stats;
+      Wire.Shutdown ]
+  in
+  List.iter
+    (fun body ->
+      let f = rt_req body in
+      check Alcotest.int "id" 7 f.Wire.id;
+      check Alcotest.bool "body round-trips" true (f.Wire.body = body))
+    reqs;
+  (* ids survive at full width and at zero *)
+  let f = rt_req ~id:0x1234_5678_9abc Wire.Ping in
+  check Alcotest.int "wide id" 0x1234_5678_9abc f.Wire.id;
+  let f = rt_req ~id:0 Wire.Ping in
+  check Alcotest.int "zero id" 0 f.Wire.id
+
+let all_error_codes =
+  [ Wire.Parse_error; Wire.Exec_error; Wire.Sql_error; Wire.Protocol_error;
+    Wire.Version_mismatch; Wire.Overloaded; Wire.Timeout; Wire.Shutting_down;
+    Wire.Internal ]
+
+let test_response_roundtrip () =
+  let resps =
+    [ Wire.Pong;
+      Wire.Results [];
+      Wire.Results
+        [ ("instance", Icdb_cql.Exec.Rstr "counter_1");
+          ("gates", Icdb_cql.Exec.Rint 57);
+          ("negative", Icdb_cql.Exec.Rint (-3));
+          ("clock_width", Icdb_cql.Exec.Rfloat 29.0625);
+          ("tiny", Icdb_cql.Exec.Rfloat 1.5e-9);
+          ("component", Icdb_cql.Exec.Rstrs [ "counter"; "alu" ]);
+          ("empty_list", Icdb_cql.Exec.Rstrs []);
+          ("empty_str", Icdb_cql.Exec.Rstr "") ];
+      Wire.Sql_result (Wire.Affected 42);
+      Wire.Sql_result (Wire.Relation { cols = []; rows = [] });
+      Wire.Sql_result
+        (Wire.Relation
+           { cols = [ "name"; "area" ];
+             rows = [ [ "adder"; "35.5" ]; [ "counter"; "" ] ] });
+      Wire.Stats_report "server cache: 1 hits\nnet.requests 3\n";
+      Wire.Bye ]
+    @ List.map
+        (fun code -> Wire.Error { code; message = "why: \"quoted\"\n" })
+        all_error_codes
+  in
+  List.iter
+    (fun body ->
+      let f = rt_resp body in
+      check Alcotest.int "id" 7 f.Wire.id;
+      check Alcotest.bool "body round-trips" true (f.Wire.body = body))
+    resps
+
+let test_float_bits_roundtrip () =
+  (* floats cross the wire as IEEE-754 bits, so they come back exact *)
+  List.iter
+    (fun v ->
+      match (rt_resp (Wire.Results [ ("x", Icdb_cql.Exec.Rfloat v) ])).Wire.body with
+      | Wire.Results [ ("x", Icdb_cql.Exec.Rfloat v') ] ->
+          check Alcotest.bool "bit-exact" true
+            (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v'))
+      | _ -> Alcotest.fail "shape changed in flight")
+    [ 0.1; -0.0; Float.max_float; Float.min_float; epsilon_float; 1e300 ]
+
+(* ------------------------------------------------------------------ *)
+(* Decode-error classification                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_decode_malformed () =
+  (* a too-short payload cannot even carry a header *)
+  (match Wire.decode_request "\x01" with
+   | Error (Wire.Malformed { id = None; _ }) -> ()
+   | _ -> Alcotest.fail "short payload should be Malformed without an id");
+  (* an unknown kind byte inside a well-formed header salvages the id *)
+  let good = strip_header (Wire.encode_request { Wire.id = 99; body = Wire.Ping }) in
+  let bad_kind = Bytes.of_string good in
+  Bytes.set bad_kind 1 '\xee';
+  (match Wire.decode_request (Bytes.to_string bad_kind) with
+   | Error (Wire.Malformed { id = Some 99; _ }) -> ()
+   | _ -> Alcotest.fail "unknown kind should be Malformed with salvaged id");
+  (* a response kind byte on the request side is Malformed, not misparsed *)
+  let resp = strip_header (Wire.encode_response { Wire.id = 5; body = Wire.Pong }) in
+  (match Wire.decode_request resp with
+   | Error (Wire.Malformed { id = Some 5; _ }) -> ()
+   | _ -> Alcotest.fail "response kind on request side should be Malformed");
+  (* a string length running past the payload end is caught *)
+  let sql = strip_header (Wire.encode_request { Wire.id = 3; body = Wire.Sql "SELECT" }) in
+  let truncated_body = String.sub sql 0 (String.length sql - 2) in
+  match Wire.decode_request truncated_body with
+  | Error (Wire.Malformed { id = Some 3; _ }) -> ()
+  | _ -> Alcotest.fail "short string body should be Malformed"
+
+let test_decode_bad_version () =
+  let good = strip_header (Wire.encode_request { Wire.id = 21; body = Wire.Ping }) in
+  let b = Bytes.of_string good in
+  Bytes.set b 0 '\x09';
+  match Wire.decode_request (Bytes.to_string b) with
+  | Error (Wire.Bad_version { id = Some 21; got = 9 }) -> ()
+  | _ -> Alcotest.fail "flipped version byte should be Bad_version with id"
+
+let test_read_framing_failures () =
+  let with_pipe f =
+    let r, w = Unix.pipe ~cloexec:true () in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        try Unix.close w with Unix.Unix_error _ -> ())
+      (fun () -> f r w)
+  in
+  (* clean EOF between frames *)
+  with_pipe (fun r w ->
+      Unix.close w;
+      match Wire.read_request r with
+      | Error Wire.Closed -> ()
+      | _ -> Alcotest.fail "EOF between frames should be Closed");
+  (* EOF inside a frame *)
+  with_pipe (fun r w ->
+      let frame = Wire.encode_request { Wire.id = 1; body = Wire.Stats } in
+      let partial = String.sub frame 0 (String.length frame - 3) in
+      ignore (Unix.write_substring w partial 0 (String.length partial));
+      Unix.close w;
+      match Wire.read_request r with
+      | Error (Wire.Truncated _) -> ()
+      | _ -> Alcotest.fail "EOF mid-frame should be Truncated");
+  (* a length header beyond max_payload *)
+  with_pipe (fun r w ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 (Int32.of_int (Wire.max_payload + 1));
+      ignore (Unix.write w header 0 4);
+      match Wire.read_request r with
+      | Error (Wire.Oversized n) ->
+          check Alcotest.int "declared length" (Wire.max_payload + 1) n
+      | _ -> Alcotest.fail "huge declared length should be Oversized")
+
+(* ------------------------------------------------------------------ *)
+(* Service end-to-end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quiet_events = lazy (Icdb_obs.Event.set_level Icdb_obs.Event.Error)
+
+let with_service ?(config = Service.default_config) ?(durable = false) f =
+  Lazy.force quiet_events;
+  let server = Server.create ~verify:false ~durable () in
+  let ws = Server.workspace server in
+  let sync = Sync.wrap server in
+  let svc = Service.start ~config:{ config with port = 0 } sync in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () -> f svc (Service.port svc) ws)
+
+let ok_exec client ?args text =
+  match Client.exec client ?args text with
+  | Ok results -> results
+  | Error (code, msg) ->
+      Alcotest.failf "%s failed: %s: %s" text (Wire.error_code_to_string code) msg
+
+let get_str results name =
+  match List.assoc_opt name results with
+  | Some (Icdb_cql.Exec.Rstr s) -> s
+  | _ -> Alcotest.failf "no string binding %s" name
+
+(* the full CQL command set, §3.2 + Appendix B §7, over one connection *)
+let test_service_full_cql_set () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c;
+  ignore (ok_exec c "command:start_a_design; design:chip");
+  ignore (ok_exec c "command:start_a_transaction; design:chip");
+  let r =
+    ok_exec c
+      "command:request_component; component_name:counter; attribute:(size:4); \
+       function:(INC); instance:?s"
+  in
+  let id = get_str r "instance" in
+  check Alcotest.bool "instance id" true (String.length id > 0);
+  ignore
+    (ok_exec c
+       ~args:[ Icdb_cql.Exec.Astr id ]
+       "command:put_in_component_list; design:chip; instance:%s");
+  let r =
+    ok_exec c ~args:[ Icdb_cql.Exec.Astr id ]
+      "command:instance_query; instance:%s; delay:?s; gates:?d"
+  in
+  check Alcotest.bool "delay text" true
+    (String.length (get_str r "delay") > 0);
+  let r = ok_exec c "command:component_query; component:counter; function:?s[]" in
+  (match List.assoc_opt "function" r with
+   | Some (Icdb_cql.Exec.Rstrs fs) ->
+       check Alcotest.bool "INC listed" true (List.mem "INC" fs)
+   | _ -> Alcotest.fail "component_query shape");
+  let r = ok_exec c "command:function_query; function:(INC); component:?s[]" in
+  (match List.assoc_opt "component" r with
+   | Some (Icdb_cql.Exec.Rstrs cs) ->
+       check Alcotest.bool "counter performs INC" true (List.mem "counter" cs)
+   | _ -> Alcotest.fail "function_query shape");
+  let r =
+    ok_exec c ~args:[ Icdb_cql.Exec.Astr id ]
+      "command:connect_component; instance:%s; connect:?s"
+  in
+  check Alcotest.bool "connect info" true
+    (String.length (get_str r "connect") > 0);
+  ignore (ok_exec c "command:end_a_transaction; design:chip");
+  ignore (ok_exec c "command:end_a_design; design:chip");
+  (* SQL against the metadata database over the same connection *)
+  (match Client.sql c "SELECT name FROM components" with
+   | Ok (Wire.Relation { cols; rows }) ->
+       check (Alcotest.list Alcotest.string) "cols" [ "name" ] cols;
+       check Alcotest.bool "catalog rows" true
+         (List.mem [ "counter" ] rows)
+   | Ok (Wire.Affected _) -> Alcotest.fail "SELECT answered Affected"
+   | Error (_, msg) -> Alcotest.failf "sql failed: %s" msg);
+  (match Client.sql c "SELEKT broken" with
+   | Error (Wire.Sql_error, _) -> ()
+   | _ -> Alcotest.fail "bad SQL should answer Sql_error");
+  match Client.stats c with
+  | Ok text ->
+      check Alcotest.bool "stats mention net.requests" true
+        (String.length text > 0)
+  | Error (_, msg) -> Alcotest.failf "stats failed: %s" msg
+
+(* a CQL failure is a structured reply, not a dead connection *)
+let test_service_cql_error_keeps_connection () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.exec c "command:bogus_cmd; x:?s" with
+   | Error (Wire.Parse_error, msg) ->
+       check Alcotest.bool "mentions the command" true
+         (String.length msg > 0)
+   | _ -> Alcotest.fail "unknown command should answer Parse_error");
+  (match Client.exec c "command:instance_query; instance:nope_99; delay:?s" with
+   | Error ((Wire.Exec_error | Wire.Parse_error), _) -> ()
+   | _ -> Alcotest.fail "unknown instance should answer a structured error");
+  Client.ping c (* still alive *)
+
+let test_service_concurrent_clients () =
+  with_service @@ fun _svc port _ws ->
+  let clients = 8 and iters = 3 in
+  let failures = Atomic.make 0 in
+  let ids = Array.make clients "" in
+  let run k =
+    try
+      let c = Client.connect ~port () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      for _ = 1 to iters do
+        let r =
+          ok_exec c
+            (Printf.sprintf
+               "command:request_component; component_name:counter; \
+                attribute:(size:%d); instance:?s"
+               (3 + k))
+        in
+        ids.(k) <- get_str r "instance";
+        ignore
+          (ok_exec c ~args:[ Icdb_cql.Exec.Astr ids.(k) ]
+             "command:instance_query; instance:%s; gates:?d");
+        ignore (ok_exec c "command:function_query; function:(INC); component:?s[]")
+      done
+    with _ -> Atomic.incr failures
+  in
+  let threads = List.init clients (fun k -> Thread.create run k) in
+  List.iter Thread.join threads;
+  check Alcotest.int "no client failed" 0 (Atomic.get failures);
+  (* distinct specs produced distinct instances *)
+  let sorted = List.sort_uniq String.compare (Array.to_list ids) in
+  check Alcotest.int "distinct instances" clients (List.length sorted)
+
+let raw_connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let test_service_malformed_frame_survival () =
+  with_service @@ fun _svc port _ws ->
+  let fd = raw_connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* garbage inside a well-delimited frame: structured error, conn lives *)
+  let good = Wire.encode_request { Wire.id = 77; body = Wire.Ping } in
+  let garbled = Bytes.of_string good in
+  Bytes.set garbled 5 '\xee' (* kind byte, after the 4-byte length header *);
+  Wire.write_frame fd (Bytes.to_string garbled);
+  (match Wire.read_response fd with
+   | Ok { Wire.id = 77; body = Wire.Error { code = Wire.Protocol_error; _ } } -> ()
+   | _ -> Alcotest.fail "garbled kind should answer Protocol_error with the id");
+  (* wrong version byte: structured error, conn lives *)
+  let wrong_v = Bytes.of_string good in
+  Bytes.set wrong_v 4 '\x63';
+  Wire.write_frame fd (Bytes.to_string wrong_v);
+  (match Wire.read_response fd with
+   | Ok { Wire.id = 77; body = Wire.Error { code = Wire.Version_mismatch; _ } } ->
+       ()
+   | _ -> Alcotest.fail "wrong version should answer Version_mismatch");
+  (* the same connection still serves real requests *)
+  Wire.write_frame fd good;
+  match Wire.read_response fd with
+  | Ok { Wire.id = 77; body = Wire.Pong } -> ()
+  | _ -> Alcotest.fail "connection should survive recoverable frames"
+
+let test_service_oversized_frame_closes () =
+  with_service @@ fun _svc port _ws ->
+  let fd = raw_connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Wire.max_payload + 1));
+  ignore (Unix.write fd header 0 4);
+  (match Wire.read_response fd with
+   | Ok { Wire.body = Wire.Error { code = Wire.Protocol_error; _ }; _ } -> ()
+   | _ -> Alcotest.fail "oversized frame should answer Protocol_error");
+  (* framing is unrecoverable: the server closes the connection *)
+  match Wire.read_response fd with
+  | Error Wire.Closed | Error (Wire.Truncated _) -> ()
+  | Ok _ -> Alcotest.fail "connection should close after an oversized frame"
+  | Error _ -> ()
+
+let test_service_refuses_over_limit () =
+  let config = { Service.default_config with max_connections = 1 } in
+  with_service ~config @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c (* connection 1 is registered once it answers *);
+  let fd = raw_connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (match Wire.read_response fd with
+   | Ok { Wire.id = 0; body = Wire.Error { code = Wire.Overloaded; _ } } -> ()
+   | _ -> Alcotest.fail "over-limit connect should be refused with Overloaded");
+  (* the admitted connection is unaffected *)
+  Client.ping c
+
+let test_service_request_timeout () =
+  let config = { Service.default_config with request_timeout_s = -1.0 } in
+  with_service ~config @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.exec c "command:function_query; function:(INC); component:?s[]" with
+  | Error (Wire.Timeout, _) -> ()
+  | _ -> Alcotest.fail "an already-expired deadline should answer Timeout"
+
+(* graceful shutdown drains, says Bye, and loses no journaled writes:
+   the post-shutdown reopen differential the ISSUE requires *)
+let test_service_shutdown_durable_differential () =
+  Lazy.force quiet_events;
+  let server = Server.create ~verify:false ~durable:true () in
+  let ws = Server.workspace server in
+  let sync = Sync.wrap server in
+  let svc =
+    Service.start ~config:{ Service.default_config with port = 0 } sync
+  in
+  let port = Service.port svc in
+  let c = Client.connect ~port () in
+  let gen size =
+    get_str
+      (ok_exec c
+         (Printf.sprintf
+            "command:request_component; component_name:counter; \
+             attribute:(size:%d); instance:?s"
+            size))
+      "instance"
+  in
+  let a = gen 4 in
+  let b = gen 6 in
+  Client.shutdown_server c (* Shutdown frame: drain, Bye, stop *);
+  Service.wait svc;
+  (* reopen replays the journal: everything clients wrote is back *)
+  let server2, report = Server.reopen ~verify:false ~workspace:ws () in
+  check Alcotest.bool "no torn journal tail" false report.Server.rr_torn_tail;
+  check (Alcotest.list Alcotest.string) "nothing dropped" []
+    (List.map snd report.Server.rr_dropped);
+  check
+    (Alcotest.list Alcotest.string)
+    "both journaled instances recovered"
+    (List.sort String.compare [ a; b ])
+    (Server.instance_ids server2);
+  check Alcotest.bool "no torn workspace files" true
+    (Array.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (Sys.readdir ws))
+
+let test_service_shutdown_refuses_new_requests () =
+  with_service @@ fun svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c;
+  Service.request_shutdown svc;
+  (* a request racing the drain gets a structured answer either way:
+     served if a worker grabs it, Shutting_down if admission saw the
+     flag first, or a closed connection if teardown won the race *)
+  match Client.exec c "command:function_query; function:(INC); component:?s[]" with
+  | Ok _ | Error (Wire.Shutting_down, _) -> ()
+  | Error (code, msg) ->
+      Alcotest.failf "unexpected refusal: %s: %s"
+        (Wire.error_code_to_string code) msg
+  | exception Client.Net_error _ -> ()
+
+let () =
+  Alcotest.run "net"
+    [ ( "wire",
+        [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "float bits exact" `Quick test_float_bits_roundtrip;
+          Alcotest.test_case "malformed classification" `Quick
+            test_decode_malformed;
+          Alcotest.test_case "bad version classification" `Quick
+            test_decode_bad_version;
+          Alcotest.test_case "framing failures" `Quick test_read_framing_failures ] );
+      ( "service",
+        [ Alcotest.test_case "full CQL set" `Quick test_service_full_cql_set;
+          Alcotest.test_case "CQL error keeps connection" `Quick
+            test_service_cql_error_keeps_connection;
+          Alcotest.test_case "8 concurrent clients" `Quick
+            test_service_concurrent_clients;
+          Alcotest.test_case "malformed frame survival" `Quick
+            test_service_malformed_frame_survival;
+          Alcotest.test_case "oversized frame closes" `Quick
+            test_service_oversized_frame_closes;
+          Alcotest.test_case "refuses over connection limit" `Quick
+            test_service_refuses_over_limit;
+          Alcotest.test_case "request timeout" `Quick test_service_request_timeout;
+          Alcotest.test_case "durable shutdown differential" `Quick
+            test_service_shutdown_durable_differential;
+          Alcotest.test_case "shutdown refuses new work" `Quick
+            test_service_shutdown_refuses_new_requests ] ) ]
