@@ -77,17 +77,71 @@ let local_run server cmd =
       Printf.printf "SQL error: %s\n" msg;
       false
 
+(* Render the full remote stats payload: the cache summary line, every
+   counter and gauge in the registry, histogram percentiles, and the
+   slow-query log — the same level of detail a local `icdb stats`
+   prints. *)
+let print_stats_payload (p : Icdb_net.Wire.stats_payload) =
+  let open Icdb_net.Wire in
+  print_endline p.sp_text;
+  if p.sp_counters <> [] then begin
+    print_endline "\ncounters:";
+    List.iter
+      (fun (name, v) -> Printf.printf "  %-32s %d\n" name v)
+      p.sp_counters
+  end;
+  if p.sp_gauges <> [] then begin
+    print_endline "\ngauges:";
+    List.iter
+      (fun (name, v) -> Printf.printf "  %-32s %g\n" name v)
+      p.sp_gauges
+  end;
+  if p.sp_hists <> [] then begin
+    print_endline "\nhistograms:";
+    Printf.printf "  %-32s %7s %10s %10s %10s %10s %10s\n" "name" "count"
+      "p50" "p90" "p99" "max" "total";
+    List.iter
+      (fun h ->
+        Printf.printf "  %-32s %7d %10s %10s %10s %10s %10s\n" h.hs_name
+          h.hs_count
+          (Icdb_obs.Metrics.pretty_s h.hs_p50)
+          (Icdb_obs.Metrics.pretty_s h.hs_p90)
+          (Icdb_obs.Metrics.pretty_s h.hs_p99)
+          (Icdb_obs.Metrics.pretty_s h.hs_max)
+          (Icdb_obs.Metrics.pretty_s h.hs_sum))
+      p.sp_hists
+  end;
+  if p.sp_slow <> [] then begin
+    print_endline "\nslow requests (newest first):";
+    List.iter
+      (fun e ->
+        Printf.printf "  %10s  %-20s conn=%d cache=%-4s trace=%s\n"
+          (Icdb_obs.Metrics.pretty_s e.sl_seconds)
+          e.sl_cmd e.sl_conn e.sl_cache
+          (if e.sl_trace = "" then "-" else e.sl_trace);
+        List.iter
+          (fun (phase, seconds) ->
+            Printf.printf "    %-28s %10s\n" phase
+              (Icdb_obs.Metrics.pretty_s seconds))
+          e.sl_phases)
+      p.sp_slow
+  end
+
 (* The same commands against a remote icdbd. Transport failures raise
    [Client.Net_error]; server-side failures print the structured error
-   frame and return [false]. *)
-let remote_run client cmd =
+   frame and return [false]. [trace_id] tags the server-side spans of
+   CQL commands so they can be fetched back afterwards. *)
+let remote_run ?trace_id client cmd =
   let report code msg =
     Printf.printf "remote error (%s): %s\n"
       (Icdb_net.Wire.error_code_to_string code) msg;
     false
   in
   if has_prefix "!sql " cmd then
-    match Icdb_net.Client.sql client (String.sub cmd 5 (String.length cmd - 5)) with
+    match
+      Icdb_net.Client.sql client ?trace_id
+        (String.sub cmd 5 (String.length cmd - 5))
+    with
     | Ok (Icdb_net.Wire.Affected n) ->
         Printf.printf "%d row(s)\n" n;
         true
@@ -97,12 +151,12 @@ let remote_run client cmd =
     | Error (code, msg) -> report code msg
   else if String.trim cmd = "!stats" then
     match Icdb_net.Client.stats client with
-    | Ok text ->
-        print_string text;
+    | Ok payload ->
+        print_stats_payload payload;
         true
     | Error (code, msg) -> report code msg
   else
-    match Icdb_net.Client.exec client cmd with
+    match Icdb_net.Client.exec client ?trace_id cmd with
     | Ok results ->
         print_results results;
         true
@@ -211,8 +265,15 @@ let shell workspace durable log_level trace_out execs =
 (* serve / connect                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let serve workspace durable host port port_file max_connections workers
-    max_queue request_timeout idle_timeout log_level =
+(* Written atomically so pollers never read a partial value. *)
+let write_port_file path value =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_text tmp (fun oc -> Printf.fprintf oc "%d\n" value);
+  Sys.rename tmp path
+
+let serve workspace durable host port port_file admin_port admin_port_file
+    max_connections workers max_queue request_timeout idle_timeout
+    slow_threshold log_level =
   setup_logging log_level;
   (* a peer vanishing mid-write must surface as EPIPE, not kill icdbd *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -229,7 +290,8 @@ let serve workspace durable host port port_file max_connections workers
           workers;
           max_queue;
           request_timeout_s = request_timeout;
-          idle_timeout_s = idle_timeout }
+          idle_timeout_s = idle_timeout;
+          slow_threshold_s = slow_threshold }
       in
       let svc =
         try Icdb_net.Service.start ~config sync
@@ -244,16 +306,34 @@ let serve workspace durable host port port_file max_connections workers
         (if durable then ", durable" else "");
       (match port_file with
        | None -> ()
-       | Some path ->
-           (* written atomically so pollers never read a partial port *)
-           let tmp = path ^ ".tmp" in
-           Out_channel.with_open_text tmp (fun oc ->
-               Printf.fprintf oc "%d\n" bound);
-           Sys.rename tmp path);
+       | Some path -> write_port_file path bound);
+      let admin =
+        match admin_port with
+        | None -> None
+        | Some ap -> (
+            match
+              Icdb_net.Admin.start ~host ~port:ap ~service:svc ~sync ()
+            with
+            | a ->
+                Printf.printf
+                  "admin endpoint on http://%s:%d (/healthz /readyz /metrics \
+                   /tracez /slowz)\n%!"
+                  host (Icdb_net.Admin.port a);
+                (match admin_port_file with
+                 | None -> ()
+                 | Some path -> write_port_file path (Icdb_net.Admin.port a));
+                Some a
+            | exception Unix.Unix_error (e, _, _) ->
+                Printf.eprintf "error: cannot bind admin port %d: %s\n" ap
+                  (Unix.error_message e);
+                Icdb_net.Service.shutdown svc;
+                exit 1)
+      in
       let stop _ = Icdb_net.Service.request_shutdown svc in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Icdb_net.Service.wait svc;
+      Option.iter Icdb_net.Admin.stop admin;
       (* every accepted request is answered; now make recovery cheap *)
       if durable then begin
         match Server.checkpoint server with
@@ -278,7 +358,7 @@ let parse_host_port s =
       | _ -> None)
   | None -> None
 
-let connect endpoint execs =
+let connect endpoint trace_out execs =
   match parse_host_port endpoint with
   | None ->
       Printf.eprintf "error: expected HOST:PORT, got %s\n" endpoint;
@@ -289,20 +369,77 @@ let connect endpoint execs =
           Printf.eprintf "error: %s\n" msg;
           exit 1
       | client ->
+          if trace_out <> None then Icdb_obs.Trace.set_enabled true;
+          (* with --trace-out, each command gets a distinct trace id:
+             the server tags its spans with it, and the last id is what
+             we fetch back and merge on exit. Meta commands like !stats
+             are answered outside the server's traced request path, so
+             they never become the fetch target — the merged trace
+             always shows a real query *)
+          let last_tid = ref None in
+          let cmd_no = ref 0 in
+          let run_one cmd =
+            match trace_out with
+            | None -> remote_run client cmd
+            | Some _ ->
+                incr cmd_no;
+                let tid =
+                  Printf.sprintf "cli%d.%d" (Unix.getpid ()) !cmd_no
+                in
+                if String.trim cmd <> "!stats" then last_tid := Some tid;
+                Icdb_obs.Trace.with_tag tid (fun () ->
+                    Icdb_obs.Trace.with_span "client.request" (fun () ->
+                        remote_run ~trace_id:tid client cmd))
+          in
           let code =
             try
-              if execs <> [] then run_execs (remote_run client) execs
+              if execs <> [] then run_execs run_one execs
               else begin
                 let interactive = Unix.isatty Unix.stdin in
                 if interactive then
                   Printf.printf "connected to icdbd at %s:%d\n" host port;
-                let errors = shell_loop ~interactive (remote_run client) in
+                let errors = shell_loop ~interactive run_one in
                 if (not interactive) && errors > 0 then 1 else 0
               end
             with Icdb_net.Client.Net_error msg ->
               Printf.eprintf "connection error: %s\n" msg;
               1
           in
+          (match (trace_out, !last_tid) with
+           | Some path, Some tid ->
+               (* merge the last request's client-side spans with the
+                  server-side spans fetched for the same trace id *)
+               let local = Icdb_obs.Trace.tagged tid in
+               let remote =
+                 match Icdb_net.Client.fetch_trace client tid with
+                 | Ok spans -> spans
+                 | Error (code, msg) ->
+                     Printf.eprintf
+                       "warning: could not fetch remote spans (%s): %s\n"
+                       (Icdb_net.Wire.error_code_to_string code)
+                       msg;
+                     []
+                 | exception Icdb_net.Client.Net_error msg ->
+                     Printf.eprintf
+                       "warning: could not fetch remote spans: %s\n" msg;
+                     []
+               in
+               let merged =
+                 Icdb_net.Client.merge_remote_spans ~local ~remote
+               in
+               Icdb_obs.Trace.write_chrome ~spans:merged path;
+               Printf.printf
+                 "merged trace for %s (%d client + %d server spans) written \
+                  to %s\n\
+                  load it in chrome://tracing or https://ui.perfetto.dev\n"
+                 tid (List.length local) (List.length remote) path
+           | Some path, None ->
+               Icdb_obs.Trace.write_chrome ~spans:[] path;
+               Printf.eprintf
+                 "warning: no commands were traced; wrote an empty trace to \
+                  %s\n"
+                 path
+           | None, _ -> ());
           Icdb_net.Client.close client;
           exit code)
 
@@ -472,7 +609,7 @@ let remote_stats endpoint =
           ~finally:(fun () -> Icdb_net.Client.close client)
           (fun () -> Icdb_net.Client.stats client)
       with
-      | Ok text -> print_string text
+      | Ok payload -> print_stats_payload payload
       | Error (code, msg) ->
           Printf.eprintf "remote error (%s): %s\n"
             (Icdb_net.Wire.error_code_to_string code) msg;
@@ -615,6 +752,20 @@ let serve_cmd =
              ~doc:"Write the actually-bound port to FILE (atomically) once \
                    listening — the scripting hook for --port 0" ~docv:"FILE")
   in
+  let admin_port =
+    Arg.(value & opt (some int) None
+         & info [ "admin-port" ]
+             ~doc:"Also serve an HTTP admin endpoint on this port: /healthz, \
+                   /readyz, /metrics (Prometheus text format), /tracez, \
+                   /slowz. 0 picks an ephemeral port; see --admin-port-file"
+             ~docv:"PORT")
+  in
+  let admin_port_file =
+    Arg.(value & opt (some string) None
+         & info [ "admin-port-file" ]
+             ~doc:"Write the actually-bound admin port to FILE (atomically) \
+                   once listening" ~docv:"FILE")
+  in
   let max_connections =
     Arg.(value & opt int Icdb_net.Service.default_config.max_connections
          & info [ "max-connections" ]
@@ -641,6 +792,12 @@ let serve_cmd =
              ~doc:"Reap connections idle longer than this many seconds"
              ~docv:"SECONDS")
   in
+  let slow_threshold =
+    Arg.(value & opt float Icdb_net.Service.default_config.slow_threshold_s
+         & info [ "slow-threshold" ]
+             ~doc:"Log requests at least this slow to the slow-query log \
+                   (0 logs everything, negative disables)" ~docv:"SECONDS")
+  in
   let log_level =
     Arg.(value & opt (some string) None
          & info [ "log-level" ]
@@ -653,13 +810,22 @@ let serve_cmd =
              drains in-flight requests, checkpoints a durable workspace, \
              then exits")
     Term.(const serve $ workspace $ durable $ host $ port $ port_file
-          $ max_connections $ workers $ max_queue $ request_timeout
-          $ idle_timeout $ log_level)
+          $ admin_port $ admin_port_file $ max_connections $ workers
+          $ max_queue $ request_timeout $ idle_timeout $ slow_threshold
+          $ log_level)
 
 let connect_cmd =
   let endpoint =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT"
            ~doc:"Address of a running $(b,icdb serve)")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ]
+             ~doc:"Send a trace id with every CQL command, fetch the \
+                   server-side spans of the last one back, and write the \
+                   merged client+server Chrome trace_event JSON to FILE on \
+                   exit" ~docv:"FILE")
   in
   let execs =
     Arg.(value & opt_all string []
@@ -672,7 +838,7 @@ let connect_cmd =
     (Cmd.info "connect"
        ~doc:"Interactive CQL shell against a remote icdbd — every local \
              shell workflow, over the wire")
-    Term.(const connect $ endpoint $ execs)
+    Term.(const connect $ endpoint $ trace_out $ execs)
 
 let recover_cmd =
   let workspace =

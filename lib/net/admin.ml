@@ -1,0 +1,128 @@
+(* The icdbd admin plane: an HTTP/1.0 listener on its own port serving
+   scrape and probe endpoints. Kept strictly separate from the wire
+   protocol port so an operator's curl, a Prometheus scraper, or a
+   load-balancer health check never competes with (or needs to speak)
+   the binary protocol, and so the admin surface can be bound to a
+   different, more private interface. *)
+
+open Icdb_obs
+
+type t = { http : Expo.http }
+
+let json_escape = Trace.json_escape
+
+let spans_json spans =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"spans\":[";
+  List.iteri
+    (fun i (s : Trace.span) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n{\"id\":%d,\"name\":\"%s\",\"tag\":%s,\"start_ns\":%d,\"dur_ns\":%d}"
+        s.Trace.sid
+        (json_escape s.Trace.sname)
+        (match s.Trace.stag with
+         | Some tag -> Printf.sprintf "\"%s\"" (json_escape tag)
+         | None -> "null")
+        s.Trace.sstart_ns s.Trace.sdur_ns)
+    spans;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let slow_json entries =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"slow\":[";
+  List.iteri
+    (fun i (e : Wire.slow_entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n{\"cmd\":\"%s\",\"trace\":\"%s\",\"conn\":%d,\"seconds\":%.6f,\
+         \"cache\":\"%s\",\"phases\":{"
+        (json_escape e.Wire.sl_cmd)
+        (json_escape e.Wire.sl_trace)
+        e.Wire.sl_conn e.Wire.sl_seconds
+        (json_escape e.Wire.sl_cache);
+      List.iteri
+        (fun j (name, seconds) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "\"%s\":%.6f" (json_escape name) seconds)
+        e.Wire.sl_phases;
+      Buffer.add_string buf "}}")
+    entries;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* How many recent spans /tracez returns; the ring holds far more, but
+   an admin page is for a quick look, not a full export. *)
+let tracez_limit = 256
+
+(* Readiness: the daemon is taking traffic usefully. Each check renders
+   one "name ok|FAIL" line so a failing probe says why. The workspace
+   probe actually writes a file — a read-only disk or deleted
+   workspace must turn the daemon not-ready, and only a write proves
+   writability. *)
+let readiness ~service ~sync =
+  let cfg = Service.config service in
+  let checks =
+    [ ("accepting", not (Service.stopping service));
+      ( "queue",
+        Service.queue_depth service < cfg.Service.max_queue );
+      ( "workspace",
+        let probe =
+          Filename.concat (Sync.peek_workspace sync) ".readyz-probe"
+        in
+        match
+          let oc = open_out probe in
+          output_string oc "ok";
+          close_out oc;
+          Sys.remove probe
+        with
+        | () -> true
+        | exception Sys_error _ -> false ) ]
+  in
+  let ready = List.for_all snd checks in
+  let body =
+    String.concat ""
+      (List.map
+         (fun (name, ok) ->
+           Printf.sprintf "%s %s\n" name (if ok then "ok" else "FAIL"))
+         checks)
+  in
+  (ready, body)
+
+let handler ~service ~sync path =
+  match path with
+  | "/healthz" -> Some (Expo.text "ok\n")
+  | "/readyz" ->
+      let ready, body = readiness ~service ~sync in
+      Some (Expo.text ~status:(if ready then 200 else 503) body)
+  | "/metrics" -> Some (Expo.text (Expo.prometheus ()))
+  | "/tracez" ->
+      (* the span ring is only consistent under the server lock *)
+      let spans =
+        Sync.with_server sync (fun _ ->
+            let all = Trace.all_finished () in
+            let n = List.length all in
+            if n <= tracez_limit then all
+            else List.filteri (fun i _ -> i >= n - tracez_limit) all)
+      in
+      Some (Expo.json (spans_json spans))
+  | "/slowz" -> Some (Expo.json (slow_json (Service.slow_log service)))
+  | "/" ->
+      Some
+        (Expo.text
+           "icdbd admin endpoints:\n\
+            /healthz  liveness\n\
+            /readyz   readiness (accepting, queue, workspace)\n\
+            /metrics  Prometheus text exposition\n\
+            /tracez   recent completed spans (JSON)\n\
+            /slowz    slow-query log (JSON)\n")
+  | _ -> None
+
+let start ?host ~port ~service ~sync () =
+  let http = Expo.http_start ?host ~port (handler ~service ~sync) in
+  Event.info "net: admin endpoint listening on port %d" (Expo.http_port http);
+  { http }
+
+let port t = Expo.http_port t.http
+let stop t = Expo.http_stop t.http

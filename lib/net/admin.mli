@@ -1,0 +1,30 @@
+(** The icdbd admin plane: a zero-dependency HTTP/1.0 listener on a
+    port of its own, serving operational probes over the running
+    {!Service.t}:
+
+    - [/healthz] — liveness: 200 ["ok"] while the process serves HTTP.
+    - [/readyz] — readiness: 200 when the daemon is accepting (no
+      shutdown requested), the request queue is below the shed
+      threshold, and the workspace accepts a probe write; 503 with one
+      ["name ok|FAIL"] line per check otherwise.
+    - [/metrics] — the full {!Icdb_obs.Metrics} registry in Prometheus
+      text exposition format (see {!Icdb_obs.Expo.prometheus}).
+    - [/tracez] — the most recent completed spans as JSON.
+    - [/slowz] — the slow-query log as JSON.
+
+    The listener is single-threaded and closes each connection after
+    one response — sized for scrapers and probes, not user traffic.
+    Bind it to loopback (the default) or a management interface. *)
+
+type t
+
+val start :
+  ?host:string -> port:int -> service:Service.t -> sync:Sync.t -> unit -> t
+(** Bind and start serving; [port = 0] picks an ephemeral port.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port. *)
+
+val stop : t -> unit
+(** Stop accepting and join the listener thread. *)

@@ -33,11 +33,11 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let call t body =
+let call ?ctx t body =
   if not t.open_ then fail "connection is closed";
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
-  (try Wire.write_frame t.fd (Wire.encode_request { Wire.id; body })
+  (try Wire.write_frame t.fd (Wire.encode_request ?ctx { Wire.id; body })
    with Unix.Unix_error (e, _, _) ->
      close t;
      fail "send failed: %s" (Unix.error_message e));
@@ -60,23 +60,38 @@ let call t body =
   in
   await ()
 
-let exec t ?(args = []) text =
-  match call t (Wire.Cql { text; args }) with
+let ctx_of ?trace_id ?timeout_s () =
+  match (trace_id, timeout_s) with
+  | None, None -> None
+  | _ ->
+      Some
+        { Wire.trace_id = Option.value trace_id ~default:"";
+          timeout_s = Option.value timeout_s ~default:0.0 }
+
+let exec t ?trace_id ?timeout_s ?(args = []) text =
+  let ctx = ctx_of ?trace_id ?timeout_s () in
+  match call ?ctx t (Wire.Cql { text; args }) with
   | Wire.Results rs -> Ok rs
   | Wire.Error { code; message } -> Error (code, message)
   | _ -> fail "unexpected response to a CQL request"
 
-let sql t stmt =
-  match call t (Wire.Sql stmt) with
+let sql t ?trace_id stmt =
+  match call ?ctx:(ctx_of ?trace_id ()) t (Wire.Sql stmt) with
   | Wire.Sql_result r -> Ok r
   | Wire.Error { code; message } -> Error (code, message)
   | _ -> fail "unexpected response to a SQL request"
 
 let stats t =
   match call t Wire.Stats with
-  | Wire.Stats_report text -> Ok text
+  | Wire.Stats_report payload -> Ok payload
   | Wire.Error { code; message } -> Error (code, message)
   | _ -> fail "unexpected response to a stats request"
+
+let fetch_trace t trace_id =
+  match call t (Wire.Trace_fetch trace_id) with
+  | Wire.Spans spans -> Ok spans
+  | Wire.Error { code; message } -> Error (code, message)
+  | _ -> fail "unexpected response to a trace-fetch request"
 
 let ping t =
   match call t Wire.Ping with
@@ -88,3 +103,58 @@ let shutdown_server t =
   | Wire.Bye -> close t
   | Wire.Error { message; _ } -> fail "shutdown refused: %s" message
   | _ -> fail "unexpected response to a shutdown request"
+
+(* Merge client-side spans with the server-side spans fetched for the
+   same trace id into one list suitable for Chrome export. The two
+   processes have unrelated monotonic clock bases, so absolute remote
+   timestamps are meaningless here: we shift the whole server group so
+   it is centered inside the client-side window, which puts the server
+   work visually within the client request that caused it while
+   preserving every intra-server duration and gap exactly. Client spans
+   are re-tagged "client" and server spans "server" so the export lays
+   them out as two named rows; server span ids move to a disjoint range
+   so parent links cannot collide with client ids. *)
+let merge_remote_spans ~(local : Icdb_obs.Trace.span list)
+    ~(remote : Wire.remote_span list) : Icdb_obs.Trace.span list =
+  let open Icdb_obs.Trace in
+  let locals = List.map (fun s -> { s with stag = Some "client" }) local in
+  match remote with
+  | [] -> locals
+  | _ ->
+      let rmin =
+        List.fold_left
+          (fun a (r : Wire.remote_span) -> min a r.Wire.rs_start_ns)
+          max_int remote
+      in
+      let rmax =
+        List.fold_left
+          (fun a (r : Wire.remote_span) ->
+            max a (r.Wire.rs_start_ns + max 0 r.Wire.rs_dur_ns))
+          min_int remote
+      in
+      let offset =
+        match locals with
+        | [] -> -rmin
+        | _ ->
+            let lmin =
+              List.fold_left (fun a s -> min a s.sstart_ns) max_int locals
+            in
+            let lmax =
+              List.fold_left
+                (fun a s -> max a (s.sstart_ns + max 0 s.sdur_ns))
+                min_int locals
+            in
+            ((lmin + lmax) / 2) - ((rmin + rmax) / 2)
+      in
+      let id_base = 1_000_000 in
+      locals
+      @ List.map
+          (fun (r : Wire.remote_span) ->
+            { sid = r.Wire.rs_id + id_base;
+              sparent = Option.map (fun p -> p + id_base) r.Wire.rs_parent;
+              sname = r.Wire.rs_name;
+              stag = Some "server";
+              sattrs = r.Wire.rs_attrs;
+              sstart_ns = r.Wire.rs_start_ns + offset;
+              sdur_ns = r.Wire.rs_dur_ns })
+          remote

@@ -21,22 +21,46 @@ val connect : ?host:string -> port:int -> unit -> t
 val close : t -> unit
 (** Idempotent. *)
 
-val call : t -> Wire.req -> Wire.resp
-(** Send one request and block for its response.
+val call : ?ctx:Wire.ctx -> t -> Wire.req -> Wire.resp
+(** Send one request and block for its response. [ctx] defaults to
+    {!Wire.no_ctx}.
     @raise Net_error on transport failures. *)
 
 val exec :
-  t -> ?args:Icdb_cql.Exec.arg list -> string ->
+  t -> ?trace_id:string -> ?timeout_s:float ->
+  ?args:Icdb_cql.Exec.arg list -> string ->
   ((string * Icdb_cql.Exec.result) list, Wire.error_code * string) result
 (** Run one CQL command remotely: the remote twin of
-    {!Icdb_cql.Exec.run}. Server-reported failures (parse errors,
-    semantic errors, shedding, timeouts) come back as [Error]. *)
+    {!Icdb_cql.Exec.run}. [trace_id] tags the server-side spans of this
+    request (fetch them back with {!fetch_trace}); [timeout_s] is a
+    queue deadline. Server-reported failures (parse errors, semantic
+    errors, shedding, timeouts) come back as [Error]. *)
 
-val sql : t -> string -> (Wire.sql_result, Wire.error_code * string) result
-val stats : t -> (string, Wire.error_code * string) result
+val sql :
+  t -> ?trace_id:string -> string ->
+  (Wire.sql_result, Wire.error_code * string) result
+(** [trace_id] tags the server-side spans as in {!exec}. *)
+
+val stats : t -> (Wire.stats_payload, Wire.error_code * string) result
+(** The server's full metrics registry plus its slow-query log. *)
+
+val fetch_trace :
+  t -> string -> (Wire.remote_span list, Wire.error_code * string) result
+(** The server-side spans tagged with this trace id, oldest first —
+    only spans this trace id owns, never another connection's. *)
+
 val ping : t -> unit
 (** @raise Net_error if the server answers anything but [Pong]. *)
 
 val shutdown_server : t -> unit
 (** Ask the server to drain and exit; returns once it acknowledges
     with [Bye]. *)
+
+val merge_remote_spans :
+  local:Icdb_obs.Trace.span list -> remote:Wire.remote_span list ->
+  Icdb_obs.Trace.span list
+(** One span list for Chrome export: client spans re-tagged "client",
+    server spans re-tagged "server" with their ids moved to a disjoint
+    range, and the whole server group time-shifted to sit centered
+    inside the client window (the two processes' monotonic clocks share
+    no base, so only relative placement is meaningful). *)

@@ -24,6 +24,7 @@ type config = {
   max_queue : int;
   request_timeout_s : float;
   idle_timeout_s : float;
+  slow_threshold_s : float;
 }
 
 let default_config =
@@ -33,7 +34,8 @@ let default_config =
     workers = 4;
     max_queue = 128;
     request_timeout_s = 30.0;
-    idle_timeout_s = 300.0 }
+    idle_timeout_s = 300.0;
+    slow_threshold_s = 1.0 }
 
 type conn = {
   cid : int;
@@ -45,7 +47,12 @@ type conn = {
   mutable rthread : Thread.t option;
 }
 
-type task = { tconn : conn; tframe : Wire.req Wire.frame; enqueued_at : float }
+type task = {
+  tconn : conn;
+  tframe : Wire.req Wire.frame;
+  tctx : Wire.ctx;
+  enqueued_at : float;
+}
 
 type counters = {
   c_accepted : Metrics.counter;
@@ -75,9 +82,15 @@ type t = {
   mutable worker_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
   ctr : counters;
-  mlock : Mutex.t;        (* guards get-or-create in the metrics registry *)
   h_queue_wait : Metrics.histogram;
+  (* Slow-query log: a small newest-first list of requests that took
+     longer than [slow_threshold_s], bounded at [slow_cap]. *)
+  slock : Mutex.t;
+  mutable slow : Wire.slow_entry list;
+  mutable last_slow_warn : float;  (* rate limit for the warn event *)
 }
+
+let slow_cap = 64
 
 let now () = Unix.gettimeofday ()
 
@@ -125,15 +138,6 @@ let kill_conn t conn =
 (* Request execution (worker side)                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Histogram get-or-create races with other workers on the registry's
-   hashtable, so it goes through one tiny lock; [observe] itself is a
-   few field updates with no safe point inside. *)
-let hist t name =
-  Mutex.lock t.mlock;
-  let h = Metrics.histogram name in
-  Mutex.unlock t.mlock;
-  h
-
 let cql_metric_name text =
   match Icdb_cql.Command.parse text with
   | cmd -> (
@@ -142,32 +146,131 @@ let cql_metric_name text =
       | exception Icdb_cql.Command.Cql_error _ -> "net.cql.invalid")
   | exception Icdb_cql.Command.Cql_error _ -> "net.cql.invalid"
 
-let stats_text t =
+let stats_payload t =
   let st = Sync.with_server t.sync Icdb.Server.stats in
-  let buf = Buffer.create 1024 in
-  Printf.bprintf buf
-    "server cache: %d hits, %d reuse hits, %d misses, %d evictions, %d \
-     entries; memo %d/%d\n"
-    st.Icdb.Server.st_hits st.Icdb.Server.st_reuse_hits
-    st.Icdb.Server.st_misses st.Icdb.Server.st_evictions
-    st.Icdb.Server.st_entries st.Icdb.Server.st_memo_hits
-    st.Icdb.Server.st_memo_misses;
-  Buffer.add_string buf (Metrics.render ());
-  Buffer.contents buf
+  let sp_text =
+    Printf.sprintf
+      "server cache: %d hits, %d reuse hits, %d misses, %d evictions, %d \
+       entries; memo %d/%d"
+      st.Icdb.Server.st_hits st.Icdb.Server.st_reuse_hits
+      st.Icdb.Server.st_misses st.Icdb.Server.st_evictions
+      st.Icdb.Server.st_entries st.Icdb.Server.st_memo_hits
+      st.Icdb.Server.st_memo_misses
+  in
+  let reg = Metrics.default in
+  let sp_counters =
+    List.map
+      (fun (c : Metrics.counter) -> (c.Metrics.cname, c.Metrics.count))
+      (Metrics.counters reg)
+  in
+  let sp_gauges =
+    List.map
+      (fun (g : Metrics.gauge) -> (g.Metrics.gname, g.Metrics.gvalue))
+      (Metrics.gauges reg)
+  in
+  let sp_hists =
+    List.map
+      (fun h ->
+        let s = Metrics.summary h in
+        { Wire.hs_name = s.Metrics.s_name;
+          hs_count = s.Metrics.s_count;
+          hs_sum = s.Metrics.s_sum;
+          hs_min = s.Metrics.s_min;
+          hs_max = s.Metrics.s_max;
+          hs_p50 = s.Metrics.s_p50;
+          hs_p90 = s.Metrics.s_p90;
+          hs_p99 = s.Metrics.s_p99 })
+      (Metrics.histograms reg)
+  in
+  let sp_slow =
+    Mutex.lock t.slock;
+    let l = t.slow in
+    Mutex.unlock t.slock;
+    l
+  in
+  { Wire.sp_text; sp_counters; sp_gauges; sp_hists; sp_slow }
+
+let remote_of_span (s : Trace.span) =
+  { Wire.rs_id = s.Trace.sid;
+    rs_parent = s.Trace.sparent;
+    rs_name = s.Trace.sname;
+    rs_tag = (match s.Trace.stag with Some tag -> tag | None -> "");
+    rs_start_ns = s.Trace.sstart_ns;
+    rs_dur_ns = s.Trace.sdur_ns;
+    rs_attrs = s.Trace.sattrs }
+
+(* What a worker learns while executing one request, for the slow-query
+   log: the owner tag its spans carry, whether the component cache
+   answered, and where the time went. *)
+type exec_info = {
+  mutable xi_tag : string;
+  mutable xi_cache : string;
+  mutable xi_phases : (string * float) list;
+}
+
+(* Run [f server] with every span tagged [tag]. A request that sent a
+   trace id gets tracing even when the server runs untraced: the flag
+   flip is safe because it happens under the server lock, which is
+   where all span traffic lives (see sync.mli). *)
+let with_request_trace t ~tag ~attrs info f =
+  Sync.with_server t.sync (fun server ->
+      let saved = Trace.enabled () in
+      if tag <> "" then Trace.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_enabled saved)
+        (fun () ->
+          let ch = Metrics.counter "cache.hit" in
+          let cr = Metrics.counter "cache.reuse_hit" in
+          let cm = Metrics.counter "cache.miss" in
+          let h0 = ch.Metrics.count + cr.Metrics.count in
+          let m0 = cm.Metrics.count in
+          let mark = Trace.finished_count () in
+          let run () = f server in
+          let result =
+            if tag = "" then run ()
+            else
+              Trace.with_tag tag (fun () ->
+                  Trace.with_span "net.request" ~attrs run)
+          in
+          info.xi_cache <-
+            (if ch.Metrics.count + cr.Metrics.count > h0 then "hit"
+             else if cm.Metrics.count > m0 then "miss"
+             else "-");
+          info.xi_phases <- Trace.phase_totals (Trace.since mark);
+          result))
 
 (* Execute one framed request to a response body, classifying every
    expected failure as a structured error code. *)
-let execute t conn (frame : Wire.req Wire.frame) : Wire.resp =
+let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
+    Wire.resp =
+  (* the owner tag for this request's spans: the client's trace id when
+     it sent one, else a server-assigned conn/request tag so concurrent
+     requests never interleave anonymously *)
+  let tag =
+    if ctx.Wire.trace_id <> "" then ctx.Wire.trace_id
+    else if Trace.enabled () then
+      Printf.sprintf "c%d.r%d" conn.cid frame.id
+    else ""
+  in
+  info.xi_tag <- tag;
+  let attrs =
+    [ ("conn", string_of_int conn.cid);
+      ("request", string_of_int frame.id) ]
+  in
   match frame.body with
   | Wire.Ping -> Wire.Pong
-  | Wire.Stats -> Wire.Stats_report (stats_text t)
+  | Wire.Stats -> Wire.Stats_report (stats_payload t)
+  | Wire.Trace_fetch want ->
+      (* the ring is only consistent under the server lock *)
+      let spans = Sync.with_server t.sync (fun _ -> Trace.tagged want) in
+      Wire.Spans (List.map remote_of_span spans)
   | Wire.Shutdown ->
       Event.info "net: shutdown requested by %s" conn.peer;
       Atomic.set t.want_stop true;
       Wire.Bye
   | Wire.Sql stmt -> (
       match
-        Sync.with_server t.sync (fun server ->
+        with_request_trace t ~tag ~attrs info (fun server ->
             Icdb_reldb.Sql.exec (Icdb.Server.db server) stmt)
       with
       | Icdb_reldb.Sql.Affected n -> Wire.Sql_result (Wire.Affected n)
@@ -183,15 +286,9 @@ let execute t conn (frame : Wire.req Wire.frame) : Wire.resp =
       | exception Icdb_reldb.Sql.Sql_error msg ->
           Wire.Error { code = Wire.Sql_error; message = msg })
   | Wire.Cql { text; args } -> (
-      (* the span opens inside the server lock: Trace keeps one global
-         span stack, so spans are only safe while holding it *)
       match
-        Sync.with_server t.sync (fun server ->
-            Trace.with_span "net.request"
-              ~attrs:
-                [ ("conn", string_of_int conn.cid);
-                  ("request", string_of_int frame.id) ]
-              (fun () -> Icdb_cql.Exec.run server ~args text))
+        with_request_trace t ~tag ~attrs info (fun server ->
+            Icdb_cql.Exec.run server ~args text)
       with
       | results -> Wire.Results results
       | exception Icdb_cql.Exec.Cql_error msg ->
@@ -205,29 +302,75 @@ let metric_name (frame : Wire.req Wire.frame) =
   match frame.body with
   | Wire.Ping -> "net.ping"
   | Wire.Stats -> "net.stats"
+  | Wire.Trace_fetch _ -> "net.trace_fetch"
   | Wire.Shutdown -> "net.shutdown"
   | Wire.Sql _ -> "net.sql"
   | Wire.Cql { text; _ } -> cql_metric_name text
 
+let record_slow t ~cmd ~info ~conn ~seconds =
+  let entry =
+    { Wire.sl_cmd = cmd;
+      sl_trace = info.xi_tag;
+      sl_conn = conn.cid;
+      sl_seconds = seconds;
+      sl_cache = info.xi_cache;
+      sl_phases = info.xi_phases }
+  in
+  let do_warn =
+    Mutex.lock t.slock;
+    t.slow <- entry :: (if List.length t.slow >= slow_cap then
+                          List.filteri (fun i _ -> i < slow_cap - 1) t.slow
+                        else t.slow);
+    let tnow = now () in
+    let warn = tnow -. t.last_slow_warn >= 1.0 in
+    if warn then t.last_slow_warn <- tnow;
+    Mutex.unlock t.slock;
+    warn
+  in
+  Metrics.incr (Metrics.counter "net.slow_requests");
+  if do_warn then
+    Event.warn
+      ~fields:
+        [ ("cmd", cmd);
+          ("trace", info.xi_tag);
+          ("conn", string_of_int conn.cid);
+          ("cache", info.xi_cache);
+          ("seconds", Printf.sprintf "%.3f" seconds) ]
+      "net: slow request (%.3f s > %.3f s threshold)" seconds
+      t.cfg.slow_threshold_s
+
 let handle_task t task =
-  let conn = task.tconn and frame = task.tframe in
+  let conn = task.tconn and frame = task.tframe and ctx = task.tctx in
   let wait = now () -. task.enqueued_at in
   Metrics.observe t.h_queue_wait wait;
-  if wait > t.cfg.request_timeout_s then begin
+  let deadline_missed =
+    ctx.Wire.timeout_s > 0.0 && wait > ctx.Wire.timeout_s
+  in
+  if wait > t.cfg.request_timeout_s || deadline_missed then begin
     Metrics.incr t.ctr.c_timeouts;
+    let bound =
+      if deadline_missed then ctx.Wire.timeout_s else t.cfg.request_timeout_s
+    in
     send_error t conn frame.Wire.id Wire.Timeout
-      (Printf.sprintf "request timed out after %.1f s in queue" wait)
+      (Printf.sprintf
+         "request timed out after %.3f s in queue (deadline %.3f s)" wait
+         bound)
   end
   else begin
     let t0 = now () in
+    let info = { xi_tag = ""; xi_cache = "-"; xi_phases = [] } in
     let resp =
-      try execute t conn frame
+      try execute t conn frame ctx info
       with e ->
         Wire.Error
           { code = Wire.Internal;
             message = "internal error: " ^ Printexc.to_string e }
     in
-    Metrics.observe (hist t (metric_name frame)) (now () -. t0);
+    let elapsed = now () -. t0 in
+    let cmd = metric_name frame in
+    Metrics.observe (Metrics.histogram cmd) elapsed;
+    if t.cfg.slow_threshold_s >= 0.0 && elapsed >= t.cfg.slow_threshold_s
+    then record_slow t ~cmd ~info ~conn ~seconds:elapsed;
     (match resp with
      | Wire.Error _ -> Metrics.incr t.ctr.c_errors
      | _ -> ());
@@ -256,7 +399,7 @@ let worker_loop t =
 (* Reader side                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let enqueue t conn frame =
+let enqueue t conn frame ctx =
   Metrics.incr t.ctr.c_requests;
   if Atomic.get t.want_stop then
     send_error t conn frame.Wire.id Wire.Shutting_down "server is shutting down"
@@ -264,7 +407,9 @@ let enqueue t conn frame =
     Mutex.lock t.qlock;
     let shed = Queue.length t.queue >= t.cfg.max_queue in
     if not shed then begin
-      Queue.push { tconn = conn; tframe = frame; enqueued_at = now () } t.queue;
+      Queue.push
+        { tconn = conn; tframe = frame; tctx = ctx; enqueued_at = now () }
+        t.queue;
       Condition.signal t.qcond
     end;
     Mutex.unlock t.qlock;
@@ -291,9 +436,9 @@ let reader_loop t conn =
           else loop ()
       | _ -> (
           match Wire.read_request conn.fd with
-          | Ok frame ->
+          | Ok (frame, ctx) ->
               conn.last_active <- now ();
-              enqueue t conn frame;
+              enqueue t conn frame ctx;
               loop ()
           | Error Wire.Closed -> ()
           | Error (Wire.Truncated _ as e) ->
@@ -482,8 +627,10 @@ let start ?(config = default_config) sync =
       worker_threads = [];
       accept_thread = None;
       ctr = counters ();
-      mlock = Mutex.create ();
-      h_queue_wait = Metrics.histogram "net.queue_wait" }
+      h_queue_wait = Metrics.histogram "net.queue_wait";
+      slock = Mutex.create ();
+      slow = [];
+      last_slow_warn = 0.0 }
   in
   t.worker_threads <-
     List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
@@ -493,6 +640,20 @@ let start ?(config = default_config) sync =
   t
 
 let port t = t.bound_port
+let config t = t.cfg
+let stopping t = Atomic.get t.want_stop
+
+let queue_depth t =
+  Mutex.lock t.qlock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.qlock;
+  n
+
+let slow_log t =
+  Mutex.lock t.slock;
+  let l = t.slow in
+  Mutex.unlock t.slock;
+  l
 
 let request_shutdown t = Atomic.set t.want_stop true
 

@@ -29,9 +29,19 @@
 
     Everything is instrumented through {!Icdb_obs.Metrics} under
     [net.*]: accepted/refused/closed/requests/errors/shed/timeouts/
-    malformed/version_mismatch/idle_reaped counters, a [net.queue_wait]
-    histogram, and one latency histogram per wire command
-    ([net.cql.<command>], [net.sql], [net.stats], [net.ping]). *)
+    malformed/version_mismatch/idle_reaped/slow_requests counters, a
+    [net.queue_wait] histogram, and one latency histogram per wire
+    command ([net.cql.<command>], [net.sql], [net.stats], [net.ping],
+    [net.trace_fetch]).
+
+    Per-request observability: a request whose {!Wire.ctx} carries a
+    trace id has all of its server-side spans tagged with that id (and
+    tracing force-enabled for its duration), retrievable afterwards via
+    [Trace_fetch]; a request whose ctx carries a deadline is answered
+    [Error Timeout] if it waited in the queue past that deadline; and
+    any request slower than [slow_threshold_s] lands in a bounded
+    slow-query log (newest first, rate-limited warn event) surfaced via
+    [Stats] and {!slow_log}. *)
 
 type config = {
   host : string;             (** bind address, default ["127.0.0.1"] *)
@@ -42,11 +52,13 @@ type config = {
   max_queue : int;
   request_timeout_s : float;
   idle_timeout_s : float;
+  slow_threshold_s : float;  (** requests at least this slow are logged;
+                                 0 logs everything, negative disables *)
 }
 
 val default_config : config
 (** 127.0.0.1:7601, 64 connections, 4 workers, queue of 128, 30 s
-    request timeout, 300 s idle timeout. *)
+    request timeout, 300 s idle timeout, 1 s slow threshold. *)
 
 type t
 
@@ -57,6 +69,18 @@ val start : ?config:config -> Sync.t -> t
 
 val port : t -> int
 (** The actually-bound port (useful with [port = 0]). *)
+
+val config : t -> config
+(** The configuration the service was started with. *)
+
+val stopping : t -> bool
+(** True once a shutdown has been requested (liveness turns not-ready). *)
+
+val queue_depth : t -> int
+(** Requests currently waiting for a worker. *)
+
+val slow_log : t -> Wire.slow_entry list
+(** The slow-query log, newest first, at most its bounded capacity. *)
 
 val request_shutdown : t -> unit
 (** Ask for a graceful shutdown and return immediately. Safe to call

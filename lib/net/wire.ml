@@ -16,16 +16,69 @@
    server can answer them with a structured error frame and keep the
    connection. *)
 
+(* Per-request context, carried by every v2 request immediately after
+   the id: a client-generated trace id (empty = none) and a deadline in
+   seconds (0 = none). Putting it in a fixed position rather than per
+   kind means a future request kind inherits propagation for free. *)
+type ctx = { trace_id : string; timeout_s : float }
+
+let no_ctx = { trace_id = ""; timeout_s = 0.0 }
+
 type req =
   | Ping
   | Cql of { text : string; args : Icdb_cql.Exec.arg list }
   | Sql of string
   | Stats
+  | Trace_fetch of string
   | Shutdown
 
 type sql_result =
   | Affected of int
   | Relation of { cols : string list; rows : string list list }
+
+(* A completed server-side span, flattened for the wire. [rs_parent]
+   refers to another span's [rs_id] within the same reply. *)
+type remote_span = {
+  rs_id : int;
+  rs_parent : int option;
+  rs_name : string;
+  rs_tag : string;
+  rs_start_ns : int;
+  rs_dur_ns : int;
+  rs_attrs : (string * string) list;
+}
+
+type hist_summary = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+}
+
+type slow_entry = {
+  sl_cmd : string;
+  sl_trace : string;
+  sl_conn : int;
+  sl_seconds : float;
+  sl_cache : string;
+  sl_phases : (string * float) list;
+}
+
+(* The full metrics registry plus the slow-query log: everything the
+   server knows about itself, so `icdb stats --connect` renders the
+   same detail a local `icdb stats` would. [sp_text] keeps the
+   pre-rendered cache summary for humans. *)
+type stats_payload = {
+  sp_text : string;
+  sp_counters : (string * int) list;
+  sp_gauges : (string * float) list;
+  sp_hists : hist_summary list;
+  sp_slow : slow_entry list;
+}
 
 type error_code =
   | Parse_error
@@ -42,13 +95,18 @@ type resp =
   | Pong
   | Results of (string * Icdb_cql.Exec.result) list
   | Sql_result of sql_result
-  | Stats_report of string
+  | Stats_report of stats_payload
+  | Spans of remote_span list
   | Error of { code : error_code; message : string }
   | Bye
 
 type 'a frame = { id : int; body : 'a }
 
-let protocol_version = 1
+(* v2: requests carry a trace context (trace id + deadline) after the
+   id, [Trace_fetch]/[Spans] exist, and [Stats_report] is structured.
+   v1 frames decode to the recoverable [Bad_version] so old clients get
+   a structured version-mismatch error and keep their connection. *)
+let protocol_version = 2
 let max_payload = 16 * 1024 * 1024
 
 (* Header bytes inside the payload before the body starts. *)
@@ -74,6 +132,7 @@ let kind_cql = 0x02
 let kind_sql = 0x03
 let kind_stats = 0x04
 let kind_shutdown = 0x05
+let kind_trace_fetch = 0x06
 
 let kind_pong = 0x41
 let kind_results = 0x42
@@ -82,6 +141,7 @@ let kind_sql_relation = 0x44
 let kind_stats_report = 0x45
 let kind_error = 0x46
 let kind_bye = 0x47
+let kind_spans = 0x48
 
 let code_to_byte = function
   | Parse_error -> 0
@@ -158,6 +218,62 @@ let put_result buf (key, (r : Icdb_cql.Exec.result)) =
       put_u8 buf 3;
       put_list buf put_string l
 
+let put_opt buf put = function
+  | None -> put_u8 buf 0
+  | Some v ->
+      put_u8 buf 1;
+      put buf v
+
+let put_remote_span buf s =
+  put_i64 buf s.rs_id;
+  put_opt buf put_i64 s.rs_parent;
+  put_string buf s.rs_name;
+  put_string buf s.rs_tag;
+  put_i64 buf s.rs_start_ns;
+  put_i64 buf s.rs_dur_ns;
+  put_list buf
+    (fun b (k, v) ->
+      put_string b k;
+      put_string b v)
+    s.rs_attrs
+
+let put_hist_summary buf h =
+  put_string buf h.hs_name;
+  put_i64 buf h.hs_count;
+  put_float buf h.hs_sum;
+  put_float buf h.hs_min;
+  put_float buf h.hs_max;
+  put_float buf h.hs_p50;
+  put_float buf h.hs_p90;
+  put_float buf h.hs_p99
+
+let put_slow_entry buf e =
+  put_string buf e.sl_cmd;
+  put_string buf e.sl_trace;
+  put_i64 buf e.sl_conn;
+  put_float buf e.sl_seconds;
+  put_string buf e.sl_cache;
+  put_list buf
+    (fun b (k, v) ->
+      put_string b k;
+      put_float b v)
+    e.sl_phases
+
+let put_stats_payload buf p =
+  put_string buf p.sp_text;
+  put_list buf
+    (fun b (k, v) ->
+      put_string b k;
+      put_i64 b v)
+    p.sp_counters;
+  put_list buf
+    (fun b (k, v) ->
+      put_string b k;
+      put_float b v)
+    p.sp_gauges;
+  put_list buf put_hist_summary p.sp_hists;
+  put_list buf put_slow_entry p.sp_slow
+
 let frame_bytes kind id body_writer =
   let payload = Buffer.create 64 in
   put_u8 payload protocol_version;
@@ -171,16 +287,26 @@ let frame_bytes kind id body_writer =
   Buffer.add_buffer out payload;
   Buffer.contents out
 
-let encode_request { id; body } =
+let encode_request ?(ctx = no_ctx) { id; body } =
+  let with_ctx body_writer buf =
+    put_string buf ctx.trace_id;
+    put_float buf ctx.timeout_s;
+    body_writer buf
+  in
   match body with
-  | Ping -> frame_bytes kind_ping id (fun _ -> ())
+  | Ping -> frame_bytes kind_ping id (with_ctx (fun _ -> ()))
   | Cql { text; args } ->
-      frame_bytes kind_cql id (fun buf ->
-          put_string buf text;
-          put_list buf put_arg args)
-  | Sql stmt -> frame_bytes kind_sql id (fun buf -> put_string buf stmt)
-  | Stats -> frame_bytes kind_stats id (fun _ -> ())
-  | Shutdown -> frame_bytes kind_shutdown id (fun _ -> ())
+      frame_bytes kind_cql id
+        (with_ctx (fun buf ->
+             put_string buf text;
+             put_list buf put_arg args))
+  | Sql stmt ->
+      frame_bytes kind_sql id (with_ctx (fun buf -> put_string buf stmt))
+  | Stats -> frame_bytes kind_stats id (with_ctx (fun _ -> ()))
+  | Trace_fetch tag ->
+      frame_bytes kind_trace_fetch id
+        (with_ctx (fun buf -> put_string buf tag))
+  | Shutdown -> frame_bytes kind_shutdown id (with_ctx (fun _ -> ()))
 
 let encode_response { id; body } =
   match body with
@@ -193,8 +319,10 @@ let encode_response { id; body } =
       frame_bytes kind_sql_relation id (fun buf ->
           put_list buf put_string cols;
           put_list buf (fun b row -> put_list b put_string row) rows)
-  | Stats_report text ->
-      frame_bytes kind_stats_report id (fun buf -> put_string buf text)
+  | Stats_report payload ->
+      frame_bytes kind_stats_report id (fun buf -> put_stats_payload buf payload)
+  | Spans spans ->
+      frame_bytes kind_spans id (fun buf -> put_list buf put_remote_span spans)
   | Error { code; message } ->
       frame_bytes kind_error id (fun buf ->
           put_u8 buf (code_to_byte code);
@@ -275,6 +403,54 @@ let get_arg c : Icdb_cql.Exec.arg =
   | 3 -> Icdb_cql.Exec.Astrs (get_list c get_string)
   | t -> raise (Bad (Printf.sprintf "unknown argument tag %d" t))
 
+let get_opt c get = match get_u8 c with
+  | 0 -> None
+  | 1 -> Some (get c)
+  | t -> raise (Bad (Printf.sprintf "unknown option tag %d" t))
+
+let get_pair c get_v =
+  let k = get_string c in
+  let v = get_v c in
+  (k, v)
+
+let get_remote_span c =
+  let rs_id = get_i64 c in
+  let rs_parent = get_opt c get_i64 in
+  let rs_name = get_string c in
+  let rs_tag = get_string c in
+  let rs_start_ns = get_i64 c in
+  let rs_dur_ns = get_i64 c in
+  let rs_attrs = get_list c (fun c -> get_pair c get_string) in
+  { rs_id; rs_parent; rs_name; rs_tag; rs_start_ns; rs_dur_ns; rs_attrs }
+
+let get_hist_summary c =
+  let hs_name = get_string c in
+  let hs_count = get_i64 c in
+  let hs_sum = get_float c in
+  let hs_min = get_float c in
+  let hs_max = get_float c in
+  let hs_p50 = get_float c in
+  let hs_p90 = get_float c in
+  let hs_p99 = get_float c in
+  { hs_name; hs_count; hs_sum; hs_min; hs_max; hs_p50; hs_p90; hs_p99 }
+
+let get_slow_entry c =
+  let sl_cmd = get_string c in
+  let sl_trace = get_string c in
+  let sl_conn = get_i64 c in
+  let sl_seconds = get_float c in
+  let sl_cache = get_string c in
+  let sl_phases = get_list c (fun c -> get_pair c get_float) in
+  { sl_cmd; sl_trace; sl_conn; sl_seconds; sl_cache; sl_phases }
+
+let get_stats_payload c =
+  let sp_text = get_string c in
+  let sp_counters = get_list c (fun c -> get_pair c get_i64) in
+  let sp_gauges = get_list c (fun c -> get_pair c get_float) in
+  let sp_hists = get_list c get_hist_summary in
+  let sp_slow = get_list c get_slow_entry in
+  { sp_text; sp_counters; sp_gauges; sp_hists; sp_slow }
+
 let get_result c =
   let key = get_string c in
   let r : Icdb_cql.Exec.result =
@@ -320,17 +496,29 @@ let decode_payload ~decode_body payload =
       | exception Bad reason -> Stdlib.Error (Malformed { id; reason })
 
 let decode_request payload =
-  decode_payload payload ~decode_body:(fun c kind ->
-      if kind = kind_ping then Some Ping
-      else if kind = kind_cql then begin
-        let text = get_string c in
-        let args = get_list c get_arg in
-        Some (Cql { text; args })
-      end
-      else if kind = kind_sql then Some (Sql (get_string c))
-      else if kind = kind_stats then Some Stats
-      else if kind = kind_shutdown then Some Shutdown
-      else None)
+  let decoded =
+    decode_payload payload ~decode_body:(fun c kind ->
+        let trace_id = get_string c in
+        let timeout_s = get_float c in
+        let ctx = { trace_id; timeout_s } in
+        let body =
+          if kind = kind_ping then Some Ping
+          else if kind = kind_cql then begin
+            let text = get_string c in
+            let args = get_list c get_arg in
+            Some (Cql { text; args })
+          end
+          else if kind = kind_sql then Some (Sql (get_string c))
+          else if kind = kind_stats then Some Stats
+          else if kind = kind_trace_fetch then Some (Trace_fetch (get_string c))
+          else if kind = kind_shutdown then Some Shutdown
+          else None
+        in
+        Option.map (fun b -> (b, ctx)) body)
+  in
+  match decoded with
+  | Stdlib.Ok { id; body = (body, ctx) } -> Stdlib.Ok ({ id; body }, ctx)
+  | Stdlib.Error e -> Stdlib.Error e
 
 let decode_response payload =
   decode_payload payload ~decode_body:(fun c kind ->
@@ -343,7 +531,9 @@ let decode_response payload =
         let rows = get_list c (fun c -> get_list c get_string) in
         Some (Sql_result (Relation { cols; rows }))
       end
-      else if kind = kind_stats_report then Some (Stats_report (get_string c))
+      else if kind = kind_stats_report then
+        Some (Stats_report (get_stats_payload c))
+      else if kind = kind_spans then Some (Spans (get_list c get_remote_span))
       else if kind = kind_error then begin
         let code_byte = get_u8 c in
         let message = get_string c in

@@ -8,8 +8,14 @@
       u8   protocol version        ({!protocol_version})
       u8   frame kind
       i64  request id              (echoed verbatim in the response)
+      ...  request context         (requests only: trace id + deadline)
       ...  kind-specific body
     v}
+
+    Since v2, every request carries a {!ctx} — a client-generated trace
+    id string (empty = none) and a deadline in seconds (0 = none) —
+    between the id and the body, so trace-context propagation works
+    uniformly across all request kinds.
 
     Scalars are big-endian; a string is a u32 byte count followed by
     the bytes; a list is a u32 element count followed by the elements;
@@ -29,17 +35,73 @@ val max_payload : int
 
 (** {1 Frame bodies} *)
 
+type ctx = { trace_id : string; timeout_s : float }
+(** Per-request context carried by every v2 request: [trace_id] tags
+    all server-side spans produced while serving the request (empty
+    string = no tracing requested), and [timeout_s] is a client-set
+    deadline — a request that waits in the server queue longer than
+    this is answered with [Error Timeout] instead of being executed
+    (0 = no deadline). *)
+
+val no_ctx : ctx
+(** [{ trace_id = ""; timeout_s = 0.0 }] — no tracing, no deadline. *)
+
 type req =
   | Ping
   | Cql of { text : string; args : Icdb_cql.Exec.arg list }
       (** a CQL command string; [args] fill its %-slots in order *)
   | Sql of string  (** a SQL statement against the metadata database *)
-  | Stats          (** rendered server + network metrics *)
+  | Stats          (** full metrics registry + slow-query log *)
+  | Trace_fetch of string
+      (** retrieve the server-side spans tagged with this trace id *)
   | Shutdown       (** drain in-flight requests, checkpoint, exit *)
 
 type sql_result =
   | Affected of int
   | Relation of { cols : string list; rows : string list list }
+
+type remote_span = {
+  rs_id : int;
+  rs_parent : int option;  (** another [rs_id] in the same reply *)
+  rs_name : string;
+  rs_tag : string;
+  rs_start_ns : int;       (** server monotonic clock — not comparable
+                               across processes; align before merging *)
+  rs_dur_ns : int;
+  rs_attrs : (string * string) list;
+}
+(** A completed server-side span, flattened for the wire. *)
+
+type hist_summary = {
+  hs_name : string;
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p99 : float;
+}
+
+type slow_entry = {
+  sl_cmd : string;             (** command kind, e.g. "cql" *)
+  sl_trace : string;           (** trace id the client sent, or the
+                                   server-assigned fallback tag *)
+  sl_conn : int;
+  sl_seconds : float;
+  sl_cache : string;           (** "hit" | "miss" | "-" *)
+  sl_phases : (string * float) list;  (** per-phase seconds *)
+}
+
+type stats_payload = {
+  sp_text : string;  (** pre-rendered cache summary line *)
+  sp_counters : (string * int) list;
+  sp_gauges : (string * float) list;
+  sp_hists : hist_summary list;
+  sp_slow : slow_entry list;
+}
+(** Everything the server knows about itself: the full [Metrics]
+    registry plus the recent slow-query log. *)
 
 type error_code =
   | Parse_error       (** CQL syntax or slot/argument mismatch *)
@@ -57,7 +119,8 @@ type resp =
   | Results of (string * Icdb_cql.Exec.result) list
       (** CQL ?-slot bindings, every shape {!Icdb_cql.Exec.run} produces *)
   | Sql_result of sql_result
-  | Stats_report of string
+  | Stats_report of stats_payload
+  | Spans of remote_span list  (** answer to [Trace_fetch] *)
   | Error of { code : error_code; message : string }
   | Bye  (** the server is closing this connection deliberately *)
 
@@ -67,8 +130,9 @@ val error_code_to_string : error_code -> string
 
 (** {1 Encoding} *)
 
-val encode_request : req frame -> string
-(** Full frame bytes, length header included. *)
+val encode_request : ?ctx:ctx -> req frame -> string
+(** Full frame bytes, length header included. [ctx] defaults to
+    {!no_ctx}. *)
 
 val encode_response : resp frame -> string
 
@@ -89,7 +153,7 @@ type decode_error =
 
 val decode_error_to_string : decode_error -> string
 
-val decode_request : string -> (req frame, decode_error) result
+val decode_request : string -> (req frame * ctx, decode_error) result
 (** Decode one payload (length header already stripped). *)
 
 val decode_response : string -> (resp frame, decode_error) result
@@ -100,7 +164,7 @@ val write_frame : Unix.file_descr -> string -> unit
 (** Write all bytes, retrying on [EINTR].
     @raise Unix.Unix_error as [Unix.write] does (e.g. [EPIPE]). *)
 
-val read_request : Unix.file_descr -> (req frame, decode_error) result
+val read_request : Unix.file_descr -> (req frame * ctx, decode_error) result
 (** Read exactly one frame. Never raises on EOF — that is [Closed] or
     [Truncated] — but lets genuine socket errors escape as
     [Unix.Unix_error]. *)

@@ -1,0 +1,306 @@
+(* Prometheus text exposition and a zero-dependency HTTP/1.0 listener.
+
+   [prometheus] renders a {!Metrics} registry in the Prometheus text
+   exposition format (version 0.0.4): counters as [<name>_total],
+   gauges as-is, and histograms as cumulative [_bucket{le="..."}]
+   series with [_sum] and [_count]. Metric names are sanitized to the
+   legal charset; label values are escaped per the spec.
+
+   The HTTP side is deliberately tiny: an accept thread that answers
+   one GET per connection and closes — exactly what a scraper, a
+   load-balancer health check, or [curl] needs, with no framework and
+   no keep-alive state machine. It is an *admin* endpoint: bind it to
+   loopback (the default) or a management interface, not the world. *)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Legal metric names match [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+   (our dotted instrument names, dashes, ...) maps to '_'. *)
+let sanitize_metric_name name =
+  let ok_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  if name = "" then "_"
+  else
+    String.mapi
+      (fun i c -> if (if i = 0 then ok_first c else ok c) then c else '_')
+      name
+
+(* Label values escape backslash, double quote and newline — the three
+   characters the exposition format reserves inside ["..."]. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest float rendering that survives a round-trip; Prometheus
+   accepts Go-style floats, and %.17g is always re-parseable. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let add_histogram buf (h : Metrics.histogram) =
+  let name = sanitize_metric_name h.Metrics.hname in
+  Printf.bprintf buf "# TYPE %s histogram\n" name;
+  (* Cumulative counts at each occupied bucket's upper bound. Emitting
+     only occupied buckets keeps a 140-slot log-scale histogram to a
+     handful of lines per scrape; the boundaries remain strictly
+     monotone because bucket index order is preserved. *)
+  let cum = ref 0 in
+  for i = 0 to Metrics.n_buckets - 1 do
+    let n = h.Metrics.buckets.(i) in
+    if n > 0 then begin
+      cum := !cum + n;
+      Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" name
+        (float_str (Metrics.bucket_upper i))
+        !cum
+    end
+  done;
+  Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.hcount;
+  Printf.bprintf buf "%s_sum %s\n" name (float_str h.Metrics.hsum);
+  Printf.bprintf buf "%s_count %d\n" name h.Metrics.hcount
+
+let prometheus ?(registry = Metrics.default) () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (c : Metrics.counter) ->
+      let name = sanitize_metric_name c.Metrics.cname ^ "_total" in
+      Printf.bprintf buf "# TYPE %s counter\n%s %d\n" name name c.Metrics.count)
+    (Metrics.counters registry);
+  List.iter
+    (fun (g : Metrics.gauge) ->
+      let name = sanitize_metric_name g.Metrics.gname in
+      Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" name name
+        (float_str g.Metrics.gvalue))
+    (Metrics.gauges registry);
+  List.iter (add_histogram buf) (Metrics.histograms registry);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* HTTP/1.0 listener                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body =
+  { status; content_type = "text/plain; version=0.0.4; charset=utf-8"; body }
+
+let json ?(status = 200) body =
+  { status; content_type = "application/json"; body }
+
+(* [handler path] answers [Some response] or [None] for 404. It runs on
+   the listener thread, so it must not block indefinitely. *)
+type handler = string -> response option
+
+type http = {
+  listen_fd : Unix.file_descr;
+  http_port : int;
+  stop_flag : bool Atomic.t;
+  mutable accept_th : Thread.t option;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let write_response fd { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+  in
+  let all = head ^ body in
+  let rec go off =
+    if off < String.length all then
+      match Unix.write_substring fd all off (String.length all - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Read until the end of the request head (blank line) or 8 KiB,
+   whichever comes first; a scraper's GET fits in one segment, and
+   anything that doesn't is not traffic we serve. *)
+let read_head fd =
+  let max_head = 8192 in
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > max_head then None
+    else
+      let s = Buffer.contents buf in
+      let have_head =
+        let rec find i =
+          i + 3 < String.length s
+          && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+               && s.[i + 3] = '\n')
+              || find (i + 1))
+        in
+        find 0
+        || (let rec find_lf i =
+              i + 1 < String.length s
+              && ((s.[i] = '\n' && s.[i + 1] = '\n') || find_lf (i + 1))
+            in
+            find_lf 0)
+      in
+      if have_head then Some s
+      else
+        match Unix.select [ fd ] [] [] 5.0 with
+        | [], _, _ -> None (* slow peer: give up *)
+        | _ -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                go ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let parse_request_line head =
+  let line =
+    match String.index_opt head '\n' with
+    | Some i -> String.trim (String.sub head 0 i)
+    | None -> String.trim head
+  in
+  match String.split_on_char ' ' line with
+  | meth :: path :: _ -> Some (meth, path)
+  | _ -> None
+
+let serve_one handler fd =
+  match read_head fd with
+  | None -> ()
+  | Some head -> (
+      match parse_request_line head with
+      | None -> write_response fd (text ~status:405 "bad request\n")
+      | Some (meth, _) when meth <> "GET" && meth <> "HEAD" ->
+          write_response fd (text ~status:405 "only GET is served here\n")
+      | Some (_, path) -> (
+          (* strip any query string: /metrics?x=y scrapes /metrics *)
+          let path =
+            match String.index_opt path '?' with
+            | Some i -> String.sub path 0 i
+            | None -> path
+          in
+          match (try handler path with _ -> Some (text ~status:500 "handler error\n")) with
+          | Some resp -> write_response fd resp
+          | None -> write_response fd (text ~status:404 "no such endpoint\n")))
+
+let accept_loop t handler =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | [], _, _ -> ()
+       | _ -> (
+           match Unix.accept ~cloexec:true t.listen_fd with
+           | exception
+               Unix.Unix_error
+                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                  | Unix.ECONNABORTED), _, _) ->
+               ()
+           | fd, _ ->
+               Fun.protect
+                 ~finally:(fun () ->
+                   try Unix.close fd with Unix.Unix_error _ -> ())
+                 (fun () ->
+                   try serve_one handler fd
+                   with Unix.Unix_error _ | Sys_error _ -> ())));
+      loop ()
+    end
+  in
+  loop ();
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let http_start ?(host = "127.0.0.1") ~port handler =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen listen_fd 16
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let http_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let t =
+    { listen_fd; http_port; stop_flag = Atomic.make false; accept_th = None }
+  in
+  t.accept_th <- Some (Thread.create (fun () -> accept_loop t handler) ());
+  t
+
+let http_port t = t.http_port
+
+let http_stop t =
+  Atomic.set t.stop_flag true;
+  match t.accept_th with Some th -> Thread.join th | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* A matching one-shot client (tests, benches, CLI probes)             *)
+(* ------------------------------------------------------------------ *)
+
+(* GET [path] and return (status, body). Raises [Unix.Unix_error] on
+   connection failure and [Failure] on an unparseable response. *)
+let http_get ?(host = "127.0.0.1") ~port path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let header_end =
+        let rec find i =
+          if i + 3 >= String.length raw then None
+          else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+                  && raw.[i + 3] = '\n'
+          then Some (i + 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      match header_end with
+      | None -> failwith "http_get: no header terminator in response"
+      | Some body_at ->
+          let status =
+            match String.split_on_char ' ' raw with
+            | _ :: code :: _ -> (
+                match int_of_string_opt code with
+                | Some s -> s
+                | None -> failwith "http_get: bad status line")
+            | _ -> failwith "http_get: bad status line"
+          in
+          (status, String.sub raw body_at (String.length raw - body_at)))

@@ -42,11 +42,26 @@ let create () =
 
 let default = create ()
 
+(* One process-wide lock serializes registry *structure* — instrument
+   get-or-create and whole-registry snapshots (render, reset, the
+   sorted views) — so a scrape taken while worker threads are minting
+   new instruments never folds over a resizing hashtable. Instrument
+   *updates* (incr/observe/set) stay lock-free: they are plain mutable
+   field writes on already-created instruments, which is safe under the
+   threads library's interleaving and keeps the hot path at one or two
+   field updates. *)
+let reg_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
 (* ------------------------------------------------------------------ *)
 (* Counters and gauges                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let counter ?(registry = default) name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry.counters name with
   | Some c -> c
   | None ->
@@ -58,6 +73,7 @@ let incr ?(by = 1) c = c.count <- c.count + by
 let counter_value c = c.count
 
 let gauge ?(registry = default) name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry.gauges name with
   | Some g -> g
   | None ->
@@ -81,6 +97,7 @@ let make_histogram name =
     hmax = neg_infinity }
 
 let histogram ?(registry = default) name =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry.histograms name with
   | Some h -> h
   | None ->
@@ -108,6 +125,12 @@ let observe h v =
    for any observation that landed there. *)
 let bucket_mid i =
   floor_value *. (10.0 ** ((float_of_int i +. 0.5) /. buckets_per_decade))
+
+(* Upper bound of bucket [i] — the [le] boundary Prometheus exposition
+   reports. Strictly increasing in [i] because the ratio between
+   consecutive bounds is the constant 10^(1/10) > 1. *)
+let bucket_upper i =
+  floor_value *. (10.0 ** (float_of_int (i + 1) /. buckets_per_decade))
 
 let percentile h q =
   if h.hcount = 0 then 0.0
@@ -153,7 +176,7 @@ let summary h =
 (* ------------------------------------------------------------------ *)
 
 let sorted_by_name key tbl =
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  locked (fun () -> Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
   |> List.sort (fun a b -> String.compare (key a) (key b))
 
 let counters r = sorted_by_name (fun c -> c.cname) r.counters
@@ -163,6 +186,7 @@ let histograms r = sorted_by_name (fun h -> h.hname) r.histograms
 (* Zero every instrument in place; references held by call sites stay
    valid (and keep being bumped), only the accumulated values drop. *)
 let reset r =
+  locked @@ fun () ->
   Hashtbl.iter (fun _ c -> c.count <- 0) r.counters;
   Hashtbl.iter (fun _ g -> g.gvalue <- 0.0) r.gauges;
   Hashtbl.iter

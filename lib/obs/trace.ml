@@ -17,6 +17,7 @@ type span = {
   sid : int;
   sparent : int option;
   sname : string;
+  stag : string option;   (* owner: the request/connection this span served *)
   mutable sattrs : (string * string) list;
   sstart_ns : int;
   mutable sdur_ns : int;  (* -1 while the span is open *)
@@ -28,6 +29,20 @@ let set_enabled b = on := b
 
 let next_id = ref 0
 let stack : span list ref = ref []
+
+(* The owner tag for spans started now. Scoped, not assigned: handlers
+   wrap request execution in [with_tag], so the tag always comes from
+   the request being served, never from stale global state. The caller
+   discipline that makes one ref sound is the same one that makes the
+   span stack sound — all span traffic happens under the server lock. *)
+let tag_ctx : string option ref = ref None
+
+let current_tag () = !tag_ctx
+
+let with_tag tag f =
+  let saved = !tag_ctx in
+  tag_ctx := Some tag;
+  Fun.protect ~finally:(fun () -> tag_ctx := saved) f
 
 (* Completed-span ring. [total] counts every span ever finished; the
    ring retains the last [cap] of them. *)
@@ -67,6 +82,12 @@ let since mark =
 
 let all_finished () = since 0
 
+(* Retained completed spans owned by [tag], oldest first. This is what
+   [TraceFetch] serves: a client asking for its own request's spans
+   must never see another connection's. *)
+let tagged tag =
+  List.filter (fun s -> s.stag = Some tag) (all_finished ())
+
 (* ------------------------------------------------------------------ *)
 (* Starting and stopping                                               *)
 (* ------------------------------------------------------------------ *)
@@ -77,6 +98,7 @@ let start ?(attrs = []) name =
     { sid = !next_id;
       sparent = (match !stack with [] -> None | p :: _ -> Some p.sid);
       sname = name;
+      stag = !tag_ctx;
       sattrs = attrs;
       sstart_ns = Clock.now_ns ();
       sdur_ns = -1 }
@@ -148,30 +170,66 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* Complete ("ph":"X") events on one pid/tid: nesting is recovered by
-   the viewer from the containment of [ts, ts+dur] intervals, which our
-   single-threaded span stack guarantees. Timestamps are microseconds
-   relative to the earliest span in the export. *)
+(* Complete ("ph":"X") events, one tid per owner tag: nesting within a
+   row is recovered by the viewer from the containment of
+   [ts, ts+dur] intervals, which holds per request because each
+   request's spans form one contiguous single-threaded stack.
+   Untagged spans share tid 1 ("main"); each distinct tag gets its own
+   tid (in order of first appearance) plus a thread_name metadata event
+   so chrome://tracing labels the row with the tag. Timestamps are
+   microseconds relative to the earliest span in the export. *)
 let export_chrome ?spans () =
   let spans = match spans with Some s -> s | None -> all_finished () in
   let t0 =
     List.fold_left (fun acc s -> min acc s.sstart_ns) max_int spans
   in
+  let tids = Hashtbl.create 8 in
+  let next_tid = ref 1 in
+  let tid_of tag =
+    let key = match tag with None -> "main" | Some t -> t in
+    match Hashtbl.find_opt tids key with
+    | Some n -> n
+    | None ->
+        let n = !next_tid in
+        incr next_tid;
+        Hashtbl.replace tids key n;
+        n
+  in
+  (* assign tids in span order so the output is deterministic *)
+  List.iter (fun s -> ignore (tid_of s.stag)) spans;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"traceEvents\":[";
-  List.iteri
-    (fun i s ->
-      if i > 0 then Buffer.add_char buf ',';
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',' in
+  Hashtbl.fold (fun name tid acc -> (tid, name) :: acc) tids []
+  |> List.sort compare
+  |> List.iter (fun (tid, name) ->
+         sep ();
+         Buffer.add_string buf
+           (Printf.sprintf
+              "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+               \"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+              tid (json_escape name)));
+  List.iter
+    (fun s ->
+      sep ();
       Buffer.add_string buf
         (Printf.sprintf
            "\n{\"name\":\"%s\",\"cat\":\"icdb\",\"ph\":\"X\",\"ts\":%.3f,\
-            \"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{"
+            \"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
            (json_escape s.sname)
            (Clock.ns_to_us (s.sstart_ns - t0))
-           (Clock.ns_to_us (max 0 s.sdur_ns)));
+           (Clock.ns_to_us (max 0 s.sdur_ns))
+           (tid_of s.stag));
       Buffer.add_string buf (Printf.sprintf "\"span_id\":%d" s.sid);
       (match s.sparent with
        | Some p -> Buffer.add_string buf (Printf.sprintf ",\"parent_id\":%d" p)
+       | None -> ());
+      (match s.stag with
+       | Some t ->
+           Buffer.add_string buf
+             (Printf.sprintf ",\"tag\":\"%s\"" (json_escape t))
        | None -> ());
       List.iter
         (fun (k, v) ->

@@ -1,0 +1,300 @@
+(* Prometheus exposition tests: name sanitization, label escaping,
+   monotone cumulative buckets, _sum/_count consistency, scrapes that
+   stay parseable under concurrent instrument writers, and the tiny
+   HTTP listener that serves them. *)
+
+open Icdb_obs
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* A miniature scrape parser                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each non-comment line of the exposition format is
+   [name{labels} value] or [name value]; the parser rejects anything
+   else, which is exactly the property the tests want. *)
+type sample = { s_name : string; s_le : string option; s_value : float }
+
+let parse_line line =
+  let name_end =
+    match (String.index_opt line '{', String.index_opt line ' ') with
+    | Some b, Some sp when b < sp -> b
+    | _, Some sp -> sp
+    | _ -> Alcotest.failf "unparseable exposition line: %S" line
+  in
+  let name = String.sub line 0 name_end in
+  let le =
+    match String.index_opt line '{' with
+    | None -> None
+    | Some b ->
+        let close =
+          match String.index_from_opt line b '}' with
+          | Some c -> c
+          | None -> Alcotest.failf "unclosed label set: %S" line
+        in
+        let labels = String.sub line (b + 1) (close - b - 1) in
+        let prefix = "le=\"" in
+        if String.length labels > String.length prefix
+           && String.sub labels 0 (String.length prefix) = prefix
+        then Some (String.sub labels 4 (String.length labels - 5))
+        else None
+  in
+  let value_str =
+    match String.rindex_opt line ' ' with
+    | Some sp -> String.sub line (sp + 1) (String.length line - sp - 1)
+    | None -> Alcotest.failf "no value on line: %S" line
+  in
+  let value =
+    if value_str = "+Inf" then infinity
+    else
+      match float_of_string_opt value_str with
+      | Some v -> v
+      | None -> Alcotest.failf "unparseable value %S on line %S" value_str line
+  in
+  { s_name = name; s_le = le; s_value = value }
+
+let parse_scrape text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && not (String.length l >= 1 && l.[0] = '#'))
+  |> List.map parse_line
+
+let legal_name name =
+  name <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_' || c = ':')
+       name
+  && not (name.[0] >= '0' && name.[0] <= '9')
+
+(* ------------------------------------------------------------------ *)
+(* Format properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sanitize () =
+  check Alcotest.string "dots become underscores" "net_requests"
+    (Expo.sanitize_metric_name "net.requests");
+  check Alcotest.string "dashes become underscores" "slow_query_log"
+    (Expo.sanitize_metric_name "slow-query-log");
+  check Alcotest.string "leading digit is illegal" "_lives"
+    (Expo.sanitize_metric_name "9lives");
+  check Alcotest.string "empty name still renders" "_"
+    (Expo.sanitize_metric_name "");
+  check Alcotest.string "legal names pass through" "net_requests:rate"
+    (Expo.sanitize_metric_name "net_requests:rate");
+  check Alcotest.string "digits after the first survive" "phase2_total"
+    (Expo.sanitize_metric_name "phase2.total")
+
+let test_label_escaping () =
+  check Alcotest.string "backslash" "a\\\\b" (Expo.escape_label_value "a\\b");
+  check Alcotest.string "double quote" "say \\\"hi\\\""
+    (Expo.escape_label_value "say \"hi\"");
+  check Alcotest.string "newline" "one\\ntwo"
+    (Expo.escape_label_value "one\ntwo");
+  check Alcotest.string "plain text untouched" "net.cql"
+    (Expo.escape_label_value "net.cql")
+
+let test_counter_rendering () =
+  let r = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter ~registry:r "net.requests");
+  Metrics.incr (Metrics.counter ~registry:r "cache.miss");
+  let samples = parse_scrape (Expo.prometheus ~registry:r ()) in
+  (* counters gain the _total suffix after sanitization *)
+  let v name =
+    match List.find_opt (fun s -> s.s_name = name) samples with
+    | Some s -> s.s_value
+    | None -> Alcotest.failf "no sample named %s in scrape" name
+  in
+  check (Alcotest.float 0.0) "net.requests -> net_requests_total" 3.0
+    (v "net_requests_total");
+  check (Alcotest.float 0.0) "cache.miss -> cache_miss_total" 1.0
+    (v "cache_miss_total");
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("legal name: " ^ s.s_name) true
+        (legal_name s.s_name))
+    samples
+
+let test_histogram_monotone_and_consistent () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "net.cql.request_component" in
+  (* observations spanning decades, plus values below the bucket floor
+     and repeats, so both sparse and multiply-occupied buckets render *)
+  let obs = [ 1e-10; 3e-7; 3e-7; 4.2e-5; 0.0013; 0.0013; 0.0013; 0.25; 7.5 ] in
+  List.iter (Metrics.observe h) obs;
+  let samples = parse_scrape (Expo.prometheus ~registry:r ()) in
+  let base = "net_cql_request_component" in
+  let buckets =
+    List.filter (fun s -> s.s_name = base ^ "_bucket") samples
+  in
+  check Alcotest.bool "several bucket lines rendered" true
+    (List.length buckets >= 4);
+  (* [le] upper bounds strictly increase and counts are cumulative *)
+  let rec walk prev_le prev_cum = function
+    | [] -> Alcotest.fail "bucket series should end at +Inf"
+    | [ last ] ->
+        check Alcotest.bool "series ends at +Inf" true
+          (last.s_le = Some "+Inf");
+        check (Alcotest.float 0.0) "+Inf bucket equals _count"
+          (float_of_int (List.length obs))
+          last.s_value
+    | s :: rest ->
+        let le =
+          match s.s_le with
+          | Some le -> float_of_string le
+          | None -> Alcotest.failf "bucket line without le: %s" s.s_name
+        in
+        check Alcotest.bool "le strictly increases" true (le > prev_le);
+        check Alcotest.bool "counts are cumulative" true
+          (s.s_value >= prev_cum);
+        walk le s.s_value rest
+  in
+  walk neg_infinity 0.0 buckets;
+  let v name =
+    match List.find_opt (fun s -> s.s_name = name) samples with
+    | Some s -> s.s_value
+    | None -> Alcotest.failf "no sample named %s" name
+  in
+  check (Alcotest.float 0.0) "_count matches observations"
+    (float_of_int (List.length obs))
+    (v (base ^ "_count"));
+  check (Alcotest.float 1e-9) "_sum matches the observed total"
+    (List.fold_left ( +. ) 0.0 obs)
+    (v (base ^ "_sum"));
+  (* every observation landed in a bucket whose bound covers it *)
+  List.iter
+    (fun x ->
+      check Alcotest.bool "an enclosing bucket exists" true
+        (List.exists
+           (fun s ->
+             match s.s_le with
+             | Some "+Inf" -> true
+             | Some le -> float_of_string le >= x
+             | None -> false)
+           buckets))
+    obs
+
+let test_float_rendering () =
+  check Alcotest.string "integers render bare" "42" (Expo.float_str 42.0);
+  check Alcotest.string "negative integers too" "-3" (Expo.float_str (-3.0));
+  List.iter
+    (fun v ->
+      let s = Expo.float_str v in
+      check Alcotest.bool
+        (Printf.sprintf "%s survives a round-trip" s)
+        true
+        (float_of_string s = v))
+    [ 0.1; 1.5e-9; Float.max_float; epsilon_float; 1.0 /. 3.0; 1e15 +. 1.0 ]
+
+(* scrapes taken while 8 writer threads hammer the instruments must
+   still parse: the registry structure is locked, instrument updates
+   are monotone, so a mid-flight scrape is stale at worst, never torn *)
+let test_concurrent_writers_scrape_parses () =
+  let r = Metrics.create () in
+  let stop = Atomic.make false in
+  let writer k =
+    let c = Metrics.counter ~registry:r (Printf.sprintf "writer.%d.ops" k) in
+    let h = Metrics.histogram ~registry:r "shared.latency" in
+    let g = Metrics.gauge ~registry:r "shared.depth" in
+    let i = ref 0 in
+    while not (Atomic.get stop) do
+      incr i;
+      Metrics.incr c;
+      Metrics.observe h (1e-6 *. float_of_int (1 + (!i mod 1000)));
+      Metrics.set g (float_of_int (!i mod 32));
+      if !i mod 64 = 0 then Thread.yield ()
+    done
+  in
+  let threads = List.init 8 (fun k -> Thread.create writer k) in
+  let scrapes = ref [] in
+  for _ = 1 to 25 do
+    scrapes := Expo.prometheus ~registry:r () :: !scrapes;
+    Thread.yield ()
+  done;
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  List.iter
+    (fun scrape ->
+      let samples = parse_scrape scrape in
+      List.iter
+        (fun s ->
+          check Alcotest.bool ("legal name: " ^ s.s_name) true
+            (legal_name s.s_name);
+          check Alcotest.bool "finite or +Inf value" true
+            (Float.is_finite s.s_value || s.s_value = infinity))
+        samples)
+    !scrapes;
+  (* the final quiescent scrape accounts for every writer *)
+  let final = parse_scrape (Expo.prometheus ~registry:r ()) in
+  for k = 0 to 7 do
+    let name = Printf.sprintf "writer_%d_ops_total" k in
+    match List.find_opt (fun s -> s.s_name = name) final with
+    | Some s -> check Alcotest.bool (name ^ " counted") true (s.s_value > 0.0)
+    | None -> Alcotest.failf "writer %d's counter missing from scrape" k
+  done
+
+(* ------------------------------------------------------------------ *)
+(* HTTP listener                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_http handler f =
+  let http = Expo.http_start ~port:0 handler in
+  Fun.protect
+    ~finally:(fun () -> Expo.http_stop http)
+    (fun () -> f (Expo.http_port http))
+
+let test_http_serves () =
+  let handler = function
+    | "/ping" -> Some (Expo.text "pong\n")
+    | "/boom" -> failwith "handler crash"
+    | _ -> None
+  in
+  with_http handler @@ fun port ->
+  let status, body = Expo.http_get ~port "/ping" in
+  check Alcotest.int "200 on a served path" 200 status;
+  check Alcotest.string "body delivered intact" "pong\n" body;
+  (* query strings are stripped before dispatch, as scrapers expect *)
+  let status, _ = Expo.http_get ~port "/ping?debug=1" in
+  check Alcotest.int "query string stripped" 200 status;
+  let status, _ = Expo.http_get ~port "/nope" in
+  check Alcotest.int "404 on an unknown path" 404 status;
+  (* a crashing handler answers 500; the listener survives to serve
+     the next request *)
+  let status, _ = Expo.http_get ~port "/boom" in
+  check Alcotest.int "500 on handler crash" 500 status;
+  let status, _ = Expo.http_get ~port "/ping" in
+  check Alcotest.int "listener survives a crash" 200 status
+
+let test_http_metrics_end_to_end () =
+  let r = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter ~registry:r "net.requests");
+  let handler = function
+    | "/metrics" -> Some (Expo.text (Expo.prometheus ~registry:r ()))
+    | _ -> None
+  in
+  with_http handler @@ fun port ->
+  let status, body = Expo.http_get ~port "/metrics" in
+  check Alcotest.int "scrape status" 200 status;
+  let samples = parse_scrape body in
+  match List.find_opt (fun s -> s.s_name = "net_requests_total") samples with
+  | Some s -> check (Alcotest.float 0.0) "counter over HTTP" 7.0 s.s_value
+  | None -> Alcotest.fail "net_requests_total missing from HTTP scrape"
+
+let () =
+  Alcotest.run "expo"
+    [ ( "format",
+        [ Alcotest.test_case "name sanitization" `Quick test_sanitize;
+          Alcotest.test_case "label escaping" `Quick test_label_escaping;
+          Alcotest.test_case "counter rendering" `Quick test_counter_rendering;
+          Alcotest.test_case "histogram buckets monotone and consistent"
+            `Quick test_histogram_monotone_and_consistent;
+          Alcotest.test_case "float rendering round-trips" `Quick
+            test_float_rendering;
+          Alcotest.test_case "concurrent writers, parseable scrapes" `Quick
+            test_concurrent_writers_scrape_parses ] );
+      ( "http",
+        [ Alcotest.test_case "serves, 404s, survives crashes" `Quick
+            test_http_serves;
+          Alcotest.test_case "metrics end-to-end over HTTP" `Quick
+            test_http_metrics_end_to_end ] ) ]

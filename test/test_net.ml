@@ -16,10 +16,10 @@ let check = Alcotest.check
 
 let strip_header s = String.sub s 4 (String.length s - 4)
 
-let rt_req ?(id = 7) body =
-  let bytes = Wire.encode_request { Wire.id; body } in
+let rt_req ?(id = 7) ?ctx body =
+  let bytes = Wire.encode_request ?ctx { Wire.id; body } in
   match Wire.decode_request (strip_header bytes) with
-  | Ok f -> f
+  | Ok (f, c) -> (f, c)
   | Error e -> Alcotest.failf "decode_request: %s" (Wire.decode_error_to_string e)
 
 let rt_resp ?(id = 7) body =
@@ -41,19 +41,39 @@ let test_request_roundtrip () =
               Icdb_cql.Exec.Astrs [ "a"; ""; "tab\there\nnewline" ] ] };
       Wire.Sql "SELECT name FROM components";
       Wire.Stats;
+      Wire.Trace_fetch "cli42.7";
       Wire.Shutdown ]
   in
   List.iter
     (fun body ->
-      let f = rt_req body in
+      let f, c = rt_req body in
       check Alcotest.int "id" 7 f.Wire.id;
-      check Alcotest.bool "body round-trips" true (f.Wire.body = body))
+      check Alcotest.bool "body round-trips" true (f.Wire.body = body);
+      check Alcotest.bool "default ctx" true (c = Wire.no_ctx))
     reqs;
   (* ids survive at full width and at zero *)
-  let f = rt_req ~id:0x1234_5678_9abc Wire.Ping in
+  let f, _ = rt_req ~id:0x1234_5678_9abc Wire.Ping in
   check Alcotest.int "wide id" 0x1234_5678_9abc f.Wire.id;
-  let f = rt_req ~id:0 Wire.Ping in
+  let f, _ = rt_req ~id:0 Wire.Ping in
   check Alcotest.int "zero id" 0 f.Wire.id
+
+let test_ctx_roundtrip () =
+  (* every request kind carries its context in the same fixed slot *)
+  let ctx = { Wire.trace_id = "cli42.7"; timeout_s = 2.5 } in
+  List.iter
+    (fun body ->
+      let _, c = rt_req ~ctx body in
+      check Alcotest.bool "ctx round-trips" true (c = ctx))
+    [ Wire.Ping; Wire.Stats; Wire.Trace_fetch "x"; Wire.Shutdown;
+      Wire.Sql "SELECT 1";
+      Wire.Cql { text = "command:stats"; args = [] } ];
+  (* partial contexts: only a trace id, only a deadline *)
+  let _, c = rt_req ~ctx:{ Wire.trace_id = "t"; timeout_s = 0.0 } Wire.Ping in
+  check Alcotest.bool "trace-only ctx" true
+    (c.Wire.trace_id = "t" && c.Wire.timeout_s = 0.0);
+  let _, c = rt_req ~ctx:{ Wire.trace_id = ""; timeout_s = 0.25 } Wire.Ping in
+  check Alcotest.bool "deadline-only ctx" true
+    (c.Wire.trace_id = "" && c.Wire.timeout_s = 0.25)
 
 let all_error_codes =
   [ Wire.Parse_error; Wire.Exec_error; Wire.Sql_error; Wire.Protocol_error;
@@ -79,7 +99,31 @@ let test_response_roundtrip () =
         (Wire.Relation
            { cols = [ "name"; "area" ];
              rows = [ [ "adder"; "35.5" ]; [ "counter"; "" ] ] });
-      Wire.Stats_report "server cache: 1 hits\nnet.requests 3\n";
+      Wire.Stats_report
+        { Wire.sp_text = "server cache: 1 hits";
+          sp_counters = [ ("net.requests", 3); ("cache.miss", 1) ];
+          sp_gauges = [ ("net.connections", 2.0) ];
+          sp_hists =
+            [ { Wire.hs_name = "net.cql.request_component"; hs_count = 4;
+                hs_sum = 0.25; hs_min = 0.01; hs_max = 0.2; hs_p50 = 0.02;
+                hs_p90 = 0.19; hs_p99 = 0.2 } ];
+          sp_slow =
+            [ { Wire.sl_cmd = "net.cql.request_component"; sl_trace = "cli1.1";
+                sl_conn = 3; sl_seconds = 1.75; sl_cache = "miss";
+                sl_phases = [ ("synth", 1.5); ("verify", 0.2) ] };
+              { Wire.sl_cmd = "net.sql"; sl_trace = ""; sl_conn = 4;
+                sl_seconds = 1.01; sl_cache = "-"; sl_phases = [] } ] };
+      Wire.Stats_report
+        { Wire.sp_text = ""; sp_counters = []; sp_gauges = []; sp_hists = [];
+          sp_slow = [] };
+      Wire.Spans [];
+      Wire.Spans
+        [ { Wire.rs_id = 1; rs_parent = None; rs_name = "net.request";
+            rs_tag = "cli1.1"; rs_start_ns = 12345; rs_dur_ns = 6789;
+            rs_attrs = [ ("cmd", "request_component"); ("conn", "3") ] };
+          { Wire.rs_id = 2; rs_parent = Some 1; rs_name = "gen.synthesize";
+            rs_tag = "cli1.1"; rs_start_ns = 12400; rs_dur_ns = 500;
+            rs_attrs = [] } ];
       Wire.Bye ]
     @ List.map
         (fun code -> Wire.Error { code; message = "why: \"quoted\"\n" })
@@ -139,6 +183,20 @@ let test_decode_bad_version () =
   | Error (Wire.Bad_version { id = Some 21; got = 9 }) -> ()
   | _ -> Alcotest.fail "flipped version byte should be Bad_version with id"
 
+let test_decode_v1_recoverable () =
+  (* a pre-context (v1) frame must classify as Bad_version — with the
+     id salvaged so the server can answer it — never as Malformed,
+     which would misreport an old client as sending garbage *)
+  let good = strip_header (Wire.encode_request { Wire.id = 11; body = Wire.Ping }) in
+  let b = Bytes.of_string good in
+  Bytes.set b 0 '\x01';
+  match Wire.decode_request (Bytes.to_string b) with
+  | Error (Wire.Bad_version { id = Some 11; got = 1 }) -> ()
+  | Error e ->
+      Alcotest.failf "v1 frame should be Bad_version, got %s"
+        (Wire.decode_error_to_string e)
+  | Ok _ -> Alcotest.fail "v1 frame should not decode as v2"
+
 let test_read_framing_failures () =
   let with_pipe f =
     let r, w = Unix.pipe ~cloexec:true () in
@@ -189,8 +247,8 @@ let with_service ?(config = Service.default_config) ?(durable = false) f =
     ~finally:(fun () -> Service.shutdown svc)
     (fun () -> f svc (Service.port svc) ws)
 
-let ok_exec client ?args text =
-  match Client.exec client ?args text with
+let ok_exec client ?trace_id ?args text =
+  match Client.exec client ?trace_id ?args text with
   | Ok results -> results
   | Error (code, msg) ->
       Alcotest.failf "%s failed: %s: %s" text (Wire.error_code_to_string code) msg
@@ -255,9 +313,12 @@ let test_service_full_cql_set () =
    | Error (Wire.Sql_error, _) -> ()
    | _ -> Alcotest.fail "bad SQL should answer Sql_error");
   match Client.stats c with
-  | Ok text ->
-      check Alcotest.bool "stats mention net.requests" true
-        (String.length text > 0)
+  | Ok payload ->
+      check Alcotest.bool "stats carry a summary line" true
+        (String.length payload.Wire.sp_text > 0);
+      (match List.assoc_opt "net.requests" payload.Wire.sp_counters with
+       | Some n -> check Alcotest.bool "net.requests counted" true (n > 0)
+       | None -> Alcotest.fail "stats payload should count net.requests")
   | Error (_, msg) -> Alcotest.failf "stats failed: %s" msg
 
 (* a CQL failure is a structured reply, not a dead connection *)
@@ -333,6 +394,15 @@ let test_service_malformed_frame_survival () =
    | Ok { Wire.id = 77; body = Wire.Error { code = Wire.Version_mismatch; _ } } ->
        ()
    | _ -> Alcotest.fail "wrong version should answer Version_mismatch");
+  (* a genuine v1 client (pre trace-context) gets the same treatment:
+     the server names the mismatch and keeps the connection open *)
+  let v1 = Bytes.of_string good in
+  Bytes.set v1 4 '\x01';
+  Wire.write_frame fd (Bytes.to_string v1);
+  (match Wire.read_response fd with
+   | Ok { Wire.id = 77; body = Wire.Error { code = Wire.Version_mismatch; _ } } ->
+       ()
+   | _ -> Alcotest.fail "a v1 frame should answer Version_mismatch");
   (* the same connection still serves real requests *)
   Wire.write_frame fd good;
   match Wire.read_response fd with
@@ -379,6 +449,168 @@ let test_service_request_timeout () =
   match Client.exec c "command:function_query; function:(INC); component:?s[]" with
   | Error (Wire.Timeout, _) -> ()
   | _ -> Alcotest.fail "an already-expired deadline should answer Timeout"
+
+(* a client-sent deadline in the request context is honored even when
+   the server's own request_timeout_s is permissive *)
+let test_service_ctx_deadline () =
+  let config = { Service.default_config with workers = 1 } in
+  with_service ~config @@ fun _svc port _ws ->
+  let fd = raw_connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* pipeline two frames at the single worker: a cold component
+     generation without a deadline, then a ping whose context demands
+     an impossibly tight one. The ping waits in queue behind the
+     generation, so its deadline has expired by dequeue time. *)
+  let busy =
+    Wire.encode_request
+      { Wire.id = 1;
+        body =
+          Wire.Cql
+            { text =
+                "command:request_component; component_name:counter; \
+                 attribute:(size:9); instance:?s";
+              args = [] } }
+  in
+  let hurried =
+    Wire.encode_request
+      ~ctx:{ Wire.trace_id = ""; timeout_s = 1e-6 }
+      { Wire.id = 2; body = Wire.Ping }
+  in
+  Wire.write_frame fd busy;
+  Wire.write_frame fd hurried;
+  (match Wire.read_response fd with
+   | Ok { Wire.id = 1; body = Wire.Results _ } -> ()
+   | _ -> Alcotest.fail "the undeadlined request should be served");
+  match Wire.read_response fd with
+  | Ok { Wire.id = 2; body = Wire.Error { code = Wire.Timeout; _ } } -> ()
+  | Ok { Wire.id = 2; body = Wire.Pong } ->
+      Alcotest.fail "an expired client deadline should not be served"
+  | _ -> Alcotest.fail "the deadlined request should answer Timeout"
+
+(* a traced request's server-side spans come back tagged with exactly
+   the trace id the client sent *)
+let test_service_trace_propagation () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let tid = "t-prop-1" in
+  ignore
+    (ok_exec c ~trace_id:tid
+       "command:request_component; component_name:counter; \
+        attribute:(size:5); instance:?s");
+  match Client.fetch_trace c tid with
+  | Error (_, msg) -> Alcotest.failf "fetch_trace failed: %s" msg
+  | Ok spans ->
+      check Alcotest.bool "spans came back" true (spans <> []);
+      List.iter
+        (fun s ->
+          check Alcotest.string "tagged with our trace id" tid s.Wire.rs_tag)
+        spans;
+      check Alcotest.bool "the request envelope span is present" true
+        (List.exists (fun s -> s.Wire.rs_name = "net.request") spans);
+      (* parent ids resolve inside the reply: the span tree is closed *)
+      let ids = List.map (fun s -> s.Wire.rs_id) spans in
+      List.iter
+        (fun s ->
+          match s.Wire.rs_parent with
+          | None -> ()
+          | Some p ->
+              check Alcotest.bool "parent resolves in-reply" true
+                (List.mem p ids))
+        spans;
+      (* an unknown trace id owns nothing *)
+      (match Client.fetch_trace c "no-such-trace" with
+       | Ok [] -> ()
+       | Ok _ -> Alcotest.fail "an unknown trace id should own no spans"
+       | Error (_, msg) -> Alcotest.failf "fetch_trace failed: %s" msg);
+      (* and the merge produces a well-formed single-timeline span list *)
+      let merged = Client.merge_remote_spans ~local:[] ~remote:spans in
+      check Alcotest.int "merge keeps every server span"
+        (List.length spans) (List.length merged);
+      List.iter
+        (fun (s : Icdb_obs.Trace.span) ->
+          check Alcotest.bool "merged spans tagged server" true
+            (s.Icdb_obs.Trace.stag = Some "server"))
+        merged
+
+(* eight clients tracing concurrently each see only their own spans:
+   the attribution the tentpole promises under contention *)
+let test_service_per_client_span_isolation () =
+  with_service @@ fun _svc port _ws ->
+  let clients = 8 in
+  let failures = Mutex.create () in
+  let failed = ref [] in
+  let fail k msg =
+    Mutex.lock failures;
+    failed := Printf.sprintf "client %d: %s" k msg :: !failed;
+    Mutex.unlock failures
+  in
+  let run k =
+    let tid = Printf.sprintf "iso-%d" k in
+    try
+      let c = Client.connect ~port () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      for i = 1 to 2 do
+        ignore
+          (ok_exec c ~trace_id:tid
+             (Printf.sprintf
+                "command:request_component; component_name:counter; \
+                 attribute:(size:%d); instance:?s"
+                (10 + (k * 2) + i)))
+      done;
+      match Client.fetch_trace c tid with
+      | Error (_, msg) -> fail k ("fetch_trace: " ^ msg)
+      | Ok [] -> fail k "no spans attributed"
+      | Ok spans ->
+          List.iter
+            (fun s ->
+              if s.Wire.rs_tag <> tid then
+                fail k
+                  (Printf.sprintf "foreign span %S leaked into trace %s"
+                     s.Wire.rs_tag tid))
+            spans
+    with e -> fail k (Printexc.to_string e)
+  in
+  let threads = List.init clients (fun k -> Thread.create run k) in
+  List.iter Thread.join threads;
+  check (Alcotest.list Alcotest.string) "no isolation failures" []
+    (List.sort String.compare !failed)
+
+(* with the threshold at zero every request is "slow": the log records
+   command kind, trace id and a per-phase breakdown, and the stats
+   reply carries it to the client *)
+let test_service_slow_log () =
+  let config = { Service.default_config with slow_threshold_s = 0.0 } in
+  with_service ~config @@ fun svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore
+    (ok_exec c ~trace_id:"slow-1"
+       "command:request_component; component_name:counter; \
+        attribute:(size:7); instance:?s");
+  let entries = Service.slow_log svc in
+  check Alcotest.bool "server-side slow log is non-empty" true (entries <> []);
+  (match
+     List.find_opt (fun e -> e.Wire.sl_trace = "slow-1") entries
+   with
+   | None -> Alcotest.fail "the traced request should be in the slow log"
+   | Some e ->
+       check Alcotest.string "command kind" "net.cql.request_component"
+         e.Wire.sl_cmd;
+       check Alcotest.bool "latency recorded" true (e.Wire.sl_seconds >= 0.0);
+       check Alcotest.bool "cache disposition recorded" true
+         (e.Wire.sl_cache = "hit" || e.Wire.sl_cache = "miss");
+       check Alcotest.bool "per-phase breakdown present" true
+         (e.Wire.sl_phases <> []));
+  (* the stats reply carries the same log across the wire *)
+  match Client.stats c with
+  | Error (_, msg) -> Alcotest.failf "stats failed: %s" msg
+  | Ok payload ->
+      check Alcotest.bool "slow log crosses the wire" true
+        (List.exists
+           (fun e -> e.Wire.sl_trace = "slow-1")
+           payload.Wire.sp_slow)
 
 (* graceful shutdown drains, says Bye, and loses no journaled writes:
    the post-shutdown reopen differential the ISSUE requires *)
@@ -440,12 +672,15 @@ let () =
   Alcotest.run "net"
     [ ( "wire",
         [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "trace context round-trip" `Quick test_ctx_roundtrip;
           Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
           Alcotest.test_case "float bits exact" `Quick test_float_bits_roundtrip;
           Alcotest.test_case "malformed classification" `Quick
             test_decode_malformed;
           Alcotest.test_case "bad version classification" `Quick
             test_decode_bad_version;
+          Alcotest.test_case "v1 frame is recoverable" `Quick
+            test_decode_v1_recoverable;
           Alcotest.test_case "framing failures" `Quick test_read_framing_failures ] );
       ( "service",
         [ Alcotest.test_case "full CQL set" `Quick test_service_full_cql_set;
@@ -460,6 +695,13 @@ let () =
           Alcotest.test_case "refuses over connection limit" `Quick
             test_service_refuses_over_limit;
           Alcotest.test_case "request timeout" `Quick test_service_request_timeout;
+          Alcotest.test_case "client ctx deadline" `Quick
+            test_service_ctx_deadline;
+          Alcotest.test_case "trace propagation" `Quick
+            test_service_trace_propagation;
+          Alcotest.test_case "per-client span isolation" `Quick
+            test_service_per_client_span_isolation;
+          Alcotest.test_case "slow-query log" `Quick test_service_slow_log;
           Alcotest.test_case "durable shutdown differential" `Quick
             test_service_shutdown_durable_differential;
           Alcotest.test_case "shutdown refuses new work" `Quick
