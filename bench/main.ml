@@ -1194,6 +1194,102 @@ let admin_bench () =
   Printf.printf "trajectory -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* E20 / repl: follower catch-up rate and propagation lag              *)
+(* ------------------------------------------------------------------ *)
+
+(* The replication plane's two operational numbers: how fast a fresh
+   follower drains a backlog (records/s through subscribe, stream and
+   replay), and how long a single committed write takes to become
+   visible on a caught-up follower (bounded from below by the
+   publisher's 50 ms poll). Lands bench_out/BENCH_repl.json.
+   ICDB_SMOKE=1 shrinks the backlog. *)
+let repl_bench () =
+  header "E20 / repl: follower catch-up throughput and propagation lag";
+  let smoke = Sys.getenv_opt "ICDB_SMOKE" <> None in
+  let backlog = if smoke then 8 else 40 in
+  let probes = if smoke then 5 else 20 in
+  let sync = Icdb_net.Sync.wrap (Server.create ~verify:false ~durable:true ()) in
+  let svc =
+    Icdb_net.Service.start
+      ~config:{ Icdb_net.Service.default_config with port = 0 }
+      sync
+  in
+  let port = Icdb_net.Service.port svc in
+  (* distinct spec per call — a reuse-cache hit writes no journal
+     record and would make the follower look infinitely fast *)
+  let comps = [| "counter"; "adder"; "register"; "comparator" |] in
+  let gen k =
+    ignore
+      (Icdb_net.Sync.with_server sync (fun s ->
+           Server.request_component s
+             (Spec.make
+                (Spec.From_component
+                   { component = comps.(k mod 4);
+                     attributes = [ ("size", 2 + (k / 4)) ];
+                     functions = [] }))))
+  in
+  let primary_next () =
+    Icdb_net.Sync.with_server sync (fun s ->
+        match Icdb_reldb.Db.journal (Server.db s) with
+        | Some j -> Icdb_reldb.Journal.next_seq j
+        | None -> 0)
+  in
+  (* backlog first, so catch-up measures streaming + replay, not
+     generation *)
+  for k = 0 to backlog - 1 do gen k done;
+  let target = primary_next () in
+  let ws = Filename.temp_file "icdb_bench_repl" "" in
+  Sys.remove ws;
+  let rcfg = { Icdb_net.Replica.default_config with port } in
+  let t0 = Unix.gettimeofday () in
+  let replica = Icdb_net.Replica.create ~config:rcfg ~workspace:ws () in
+  Icdb_net.Replica.run replica;
+  let wait_until goal =
+    while Icdb_net.Replica.cursor replica < goal do
+      Thread.yield ();
+      Unix.sleepf 0.002
+    done
+  in
+  wait_until target;
+  let catchup_wall = Unix.gettimeofday () -. t0 in
+  let catchup_rate = float_of_int target /. catchup_wall in
+  (* then single-record propagation on the live stream *)
+  let lags = Array.make probes 0.0 in
+  for i = 0 to probes - 1 do
+    gen (backlog + i);
+    (* clock starts once the write is committed on the primary: the lag
+       measured is the stream's, not the synthesis pipeline's *)
+    let t0 = Unix.gettimeofday () in
+    wait_until (primary_next ());
+    lags.(i) <- Unix.gettimeofday () -. t0
+  done;
+  Icdb_net.Replica.stop replica;
+  Icdb_net.Service.shutdown svc;
+  Array.sort compare lags;
+  let p50 = lags.(probes / 2) and worst = lags.(probes - 1) in
+  Printf.printf "catch-up: %d records in %.3f s -> %.0f records/s\n" target
+    catchup_wall catchup_rate;
+  Printf.printf
+    "propagation (generate -> visible on follower): p50 %.1f ms, max %.1f ms\n"
+    (p50 *. 1e3) (worst *. 1e3);
+  Printf.printf "shape checks: follower caught up (%b), p50 <= max (%b)\n"
+    (Icdb_net.Replica.cursor replica >= target)
+    (p50 <= worst);
+  let dir = out_dir () in
+  let path = Filename.concat dir "BENCH_repl.json" in
+  Bench_json.write ~path
+    (Bench_json.Obj
+       [ ("experiment", Bench_json.Str "repl");
+         ("smoke", Bench_json.Bool smoke);
+         ("backlog_records", Bench_json.Int target);
+         ("catchup_wall_s", Bench_json.float ~prec:6 catchup_wall);
+         ("catchup_records_per_s", Bench_json.float ~prec:1 catchup_rate);
+         ("probes", Bench_json.Int probes);
+         ("propagation_p50_s", Bench_json.float ~prec:6 p50);
+         ("propagation_max_s", Bench_json.float ~prec:6 worst) ]);
+  Printf.printf "trajectory -> %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1205,7 +1301,7 @@ let experiments =
     ("ablation", ablation); ("ablation_synth", ablation_synth); ("hls", hls);
     ("wallclock", wallclock); ("cache", cache_bench);
     ("phases", phases_bench); ("serve", serve_bench); ("admin", admin_bench);
-    ("bechamel", bechamel) ]
+    ("repl", repl_bench); ("bechamel", bechamel) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -271,82 +271,6 @@ let write_port_file path value =
   Out_channel.with_open_text tmp (fun oc -> Printf.fprintf oc "%d\n" value);
   Sys.rename tmp path
 
-let serve workspace durable host port port_file admin_port admin_port_file
-    max_connections workers max_queue request_timeout idle_timeout
-    slow_threshold log_level =
-  setup_logging log_level;
-  (* a peer vanishing mid-write must surface as EPIPE, not kill icdbd *)
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  match Server.create ?workspace ~durable () with
-  | exception Server.Icdb_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
-  | server ->
-      let sync = Icdb_net.Sync.wrap server in
-      let config =
-        { Icdb_net.Service.host;
-          port;
-          max_connections;
-          workers;
-          max_queue;
-          request_timeout_s = request_timeout;
-          idle_timeout_s = idle_timeout;
-          slow_threshold_s = slow_threshold }
-      in
-      let svc =
-        try Icdb_net.Service.start ~config sync
-        with Unix.Unix_error (e, _, _) ->
-          Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
-            (Unix.error_message e);
-          exit 1
-      in
-      let bound = Icdb_net.Service.port svc in
-      Printf.printf "icdbd listening on %s:%d (workspace %s%s)\n%!" host bound
-        (Server.workspace server)
-        (if durable then ", durable" else "");
-      (match port_file with
-       | None -> ()
-       | Some path -> write_port_file path bound);
-      let admin =
-        match admin_port with
-        | None -> None
-        | Some ap -> (
-            match
-              Icdb_net.Admin.start ~host ~port:ap ~service:svc ~sync ()
-            with
-            | a ->
-                Printf.printf
-                  "admin endpoint on http://%s:%d (/healthz /readyz /metrics \
-                   /tracez /slowz)\n%!"
-                  host (Icdb_net.Admin.port a);
-                (match admin_port_file with
-                 | None -> ()
-                 | Some path -> write_port_file path (Icdb_net.Admin.port a));
-                Some a
-            | exception Unix.Unix_error (e, _, _) ->
-                Printf.eprintf "error: cannot bind admin port %d: %s\n" ap
-                  (Unix.error_message e);
-                Icdb_net.Service.shutdown svc;
-                exit 1)
-      in
-      let stop _ = Icdb_net.Service.request_shutdown svc in
-      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-      Icdb_net.Service.wait svc;
-      Option.iter Icdb_net.Admin.stop admin;
-      (* every accepted request is answered; now make recovery cheap *)
-      if durable then begin
-        match Server.checkpoint server with
-        | () -> Printf.printf "checkpointed %s\n" (Server.workspace server)
-        | exception Server.Icdb_error msg ->
-            Printf.eprintf "checkpoint failed: %s\n" msg;
-            exit 1
-      end;
-      let st = Server.stats server in
-      Printf.printf
-        "served: %d cache hits, %d reuse hits, %d misses; bye.\n"
-        st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
-
 let parse_host_port s =
   match String.rindex_opt s ':' with
   | Some i -> (
@@ -357,6 +281,140 @@ let parse_host_port s =
           Some ((if host = "" then "127.0.0.1" else host), p)
       | _ -> None)
   | None -> None
+
+(* The tail of both serve flavours: service + optional admin plane up,
+   signals routed to a graceful drain, checkpoint on the way out. *)
+let serve_loop ~host ~port_file ~admin_port ~admin_port_file ?replica ~sync
+    ~durable ~svc () =
+  let bound = Icdb_net.Service.port svc in
+  (match port_file with
+   | None -> ()
+   | Some path -> write_port_file path bound);
+  let admin =
+    match admin_port with
+    | None -> None
+    | Some ap -> (
+        match
+          Icdb_net.Admin.start ~host ?replica ~port:ap ~service:svc ~sync ()
+        with
+        | a ->
+            Printf.printf
+              "admin endpoint on http://%s:%d (/healthz /readyz /metrics \
+               /tracez /slowz)\n%!"
+              host (Icdb_net.Admin.port a);
+            (match admin_port_file with
+             | None -> ()
+             | Some path -> write_port_file path (Icdb_net.Admin.port a));
+            Some a
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "error: cannot bind admin port %d: %s\n" ap
+              (Unix.error_message e);
+            Icdb_net.Service.shutdown svc;
+            exit 1)
+  in
+  Option.iter Icdb_net.Replica.run replica;
+  let stop _ = Icdb_net.Service.request_shutdown svc in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Icdb_net.Service.wait svc;
+  Option.iter Icdb_net.Admin.stop admin;
+  Option.iter Icdb_net.Replica.stop replica;
+  (* every accepted request is answered; now make recovery cheap *)
+  if durable then begin
+    match Icdb_net.Sync.with_server sync Server.checkpoint with
+    | () ->
+        Printf.printf "checkpointed %s\n" (Icdb_net.Sync.peek_workspace sync)
+    | exception Server.Icdb_error msg ->
+        Printf.eprintf "checkpoint failed: %s\n" msg;
+        exit 1
+  end;
+  let st = Icdb_net.Sync.with_server sync Server.stats in
+  Printf.printf "served: %d cache hits, %d reuse hits, %d misses; bye.\n"
+    st.Server.st_hits st.Server.st_reuse_hits st.Server.st_misses
+
+let serve workspace durable host port port_file admin_port admin_port_file
+    max_connections workers max_queue request_timeout idle_timeout
+    slow_threshold follow log_level =
+  setup_logging log_level;
+  (* a peer vanishing mid-write must surface as EPIPE, not kill icdbd;
+     Service.start and Client.connect set this too — this earlier copy
+     covers the window before either exists, and is harmless *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let config ~read_only =
+    { Icdb_net.Service.host;
+      port;
+      max_connections;
+      workers;
+      max_queue;
+      request_timeout_s = request_timeout;
+      idle_timeout_s = idle_timeout;
+      slow_threshold_s = slow_threshold;
+      read_only;
+      repl_max_lag = Icdb_net.Service.default_config.repl_max_lag;
+      repl_batch = Icdb_net.Service.default_config.repl_batch }
+  in
+  let start_service config sync =
+    try Icdb_net.Service.start ~config sync
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot listen on %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  match follow with
+  | Some spec ->
+      (* follower: bootstrap from the primary, serve read-only *)
+      let phost, pport =
+        match parse_host_port spec with
+        | Some hp -> hp
+        | None ->
+            Printf.eprintf "error: --follow expects HOST:PORT, got %S\n" spec;
+            exit 2
+      in
+      let ws =
+        match workspace with
+        | Some ws -> ws
+        | None ->
+            Printf.eprintf
+              "error: --follow requires --workspace: the follower's durable \
+               state (journal, snapshot, netlists) lives there across \
+               restarts\n";
+            exit 2
+      in
+      let rconfig =
+        { Icdb_net.Replica.default_config with host = phost; port = pport }
+      in
+      let replica =
+        match Icdb_net.Replica.create ~config:rconfig ~workspace:ws () with
+        | r -> r
+        | exception
+            ( Icdb_net.Replica.Repl_error msg
+            | Icdb_net.Client.Net_error msg
+            | Server.Icdb_error msg ) ->
+            Printf.eprintf "error: cannot bootstrap follower: %s\n" msg;
+            exit 1
+      in
+      let sync = Icdb_net.Replica.sync replica in
+      let svc = start_service (config ~read_only:true) sync in
+      Printf.printf
+        "icdbd listening on %s:%d (workspace %s, read-only follower of \
+         %s:%d)\n%!"
+        host (Icdb_net.Service.port svc) ws phost pport;
+      serve_loop ~host ~port_file ~admin_port ~admin_port_file ~replica ~sync
+        ~durable:true ~svc ()
+  | None -> (
+      match Server.create ?workspace ~durable () with
+      | exception Server.Icdb_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | server ->
+          let sync = Icdb_net.Sync.wrap server in
+          let svc = start_service (config ~read_only:false) sync in
+          Printf.printf "icdbd listening on %s:%d (workspace %s%s)\n%!" host
+            (Icdb_net.Service.port svc)
+            (Server.workspace server)
+            (if durable then ", durable" else "");
+          serve_loop ~host ~port_file ~admin_port ~admin_port_file ~sync
+            ~durable ~svc ())
 
 let connect endpoint trace_out execs =
   match parse_host_port endpoint with
@@ -798,6 +856,17 @@ let serve_cmd =
              ~doc:"Log requests at least this slow to the slow-query log \
                    (0 logs everything, negative disables)" ~docv:"SECONDS")
   in
+  let follow =
+    Arg.(value & opt (some string) None
+         & info [ "follow" ]
+             ~doc:"Run as a read-only replication follower of the primary \
+                   icdbd at HOST:PORT: catch up from a checkpoint or the \
+                   journal stream, serve queries locally, refuse mutations \
+                   with a read_only error. Requires --workspace (the \
+                   follower's durable state lives there across restarts); \
+                   /readyz on --admin-port gates on replication lag"
+             ~docv:"HOST:PORT")
+  in
   let log_level =
     Arg.(value & opt (some string) None
          & info [ "log-level" ]
@@ -806,13 +875,14 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the component server as a network daemon (icdbd). SIGTERM \
+       ~doc:"Run the component server as a network daemon (icdbd), as a \
+             primary or (with --follow) a read-only follower. SIGTERM \
              drains in-flight requests, checkpoints a durable workspace, \
              then exits")
     Term.(const serve $ workspace $ durable $ host $ port $ port_file
           $ admin_port $ admin_port_file $ max_connections $ workers
           $ max_queue $ request_timeout $ idle_timeout $ slow_threshold
-          $ log_level)
+          $ follow $ log_level)
 
 let connect_cmd =
   let endpoint =

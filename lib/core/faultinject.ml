@@ -22,6 +22,8 @@ type site =
   | Expand           (* IIF expansion *)
   | Techmap          (* generator synthesis (optimization + mapping) *)
   | Sizing           (* transistor sizing *)
+  | Journal_stream   (* journal tail-read serving a replication batch *)
+  | Repl_replay      (* follower applying one shipped journal record *)
 
 type mode =
   | Fail of int * Fault.kind  (* first n hits raise Fault (kind, _) *)
@@ -35,6 +37,8 @@ let site_to_string = function
   | Expand -> "expand"
   | Techmap -> "techmap"
   | Sizing -> "sizing"
+  | Journal_stream -> "journal_stream"
+  | Repl_replay -> "repl_replay"
 
 let site_of_string = function
   | "file_write" -> Some File_write
@@ -42,9 +46,13 @@ let site_of_string = function
   | "expand" -> Some Expand
   | "techmap" -> Some Techmap
   | "sizing" -> Some Sizing
+  | "journal_stream" -> Some Journal_stream
+  | "repl_replay" -> Some Repl_replay
   | _ -> None
 
-let all_sites = [ File_write; Journal_append; Expand; Techmap; Sizing ]
+let all_sites =
+  [ File_write; Journal_append; Expand; Techmap; Sizing; Journal_stream;
+    Repl_replay ]
 
 let armed : (site, mode * int ref) Hashtbl.t = Hashtbl.create 8
 

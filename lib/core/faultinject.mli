@@ -14,6 +14,8 @@ type site =
   | Expand          (** IIF expansion *)
   | Techmap         (** generator synthesis (optimization + mapping) *)
   | Sizing          (** transistor sizing *)
+  | Journal_stream  (** journal tail-read serving a replication batch *)
+  | Repl_replay     (** follower applying one shipped journal record *)
 
 type mode =
   | Fail of int * Fault.kind  (** first [n] hits raise [Fault (kind, _)] *)

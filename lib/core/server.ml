@@ -58,7 +58,8 @@ let fault_boundary f =
       fail "%s fault: %s" (Fault.kind_to_string kind) msg
 
 let () =
-  Journal.append_hook := (fun () -> Faultinject.hit Faultinject.Journal_append)
+  Journal.append_hook := (fun () -> Faultinject.hit Faultinject.Journal_append);
+  Journal.stream_hook := (fun () -> Faultinject.hit Faultinject.Journal_stream)
 
 type design_book = {
   mutable kept : string list;          (* instances in the component list *)
@@ -1260,3 +1261,112 @@ let reopen ?(verify = true)
 let checkpoint t =
   if not t.durable then fail "server was not created durable";
   Db.checkpoint t.db ~snapshot:(ws_snapshot t.workspace)
+
+let durable t = t.durable
+
+(* ------------------------------------------------------------------ *)
+(* Replication (follower-side apply)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Workspace files a journal record depends on, as basenames. A row
+   alone is not enough to rebuild an instance or an implementation —
+   reopen needs the exact netlist / IIF source file — so the publisher
+   ships these contents alongside the record. *)
+let replication_files entry =
+  let file_col values i =
+    match List.nth_opt values i with
+    | Some (Value.Str file) when file <> "" -> [ Filename.basename file ]
+    | _ -> []
+  in
+  match entry with
+  | Journal.Insert ("instances", values) -> file_col values 6
+  | Journal.Insert ("implementations", values) -> file_col values 2
+  | _ -> []
+
+let bump_seq_for t id =
+  match String.rindex_opt id '_' with
+  | None -> ()
+  | Some i -> (
+      match
+        int_of_string_opt (String.sub id (i + 1) (String.length id - i - 1))
+      with
+      | Some n when n > t.seq -> t.seq <- n
+      | _ -> ())
+
+let apply_replicated t entry =
+  Faultinject.hit Faultinject.Repl_replay;
+  if not t.durable then fail "apply_replicated: server is not durable";
+  let j =
+    match Db.journal t.db with
+    | Some j -> j
+    | None -> fail "apply_replicated: no journal attached"
+  in
+  (* Apply with the journal detached, then append the shipped record
+     verbatim: exactly one local record per shipped record, whatever
+     side effects the apply has, keeps the follower's journal in
+     sequence lockstep with the primary's stream — the follower's
+     cursor IS its journal's next_seq, crash-consistent with the
+     applied state for free (a reopen replays exactly the records that
+     made it to disk and resumes from there). *)
+  Db.detach_journal t.db;
+  Fun.protect
+    ~finally:(fun () -> Db.attach_journal t.db j)
+    (fun () ->
+      match entry with
+      | Journal.Insert ("instances", values) -> (
+          Db.apply_entry t.db entry;
+          let tbl = Db.table t.db "instances" in
+          let row = Array.of_list values in
+          let id = Value.to_string (Table.get row tbl "id") in
+          match rebuild_instance t row tbl with
+          | inst ->
+              Hashtbl.replace t.instances id inst;
+              let key = Value.to_string (Table.get row tbl "spec_key") in
+              if key <> "" then Lru.put t.cache key id;
+              bump_seq_for t id
+          | exception Faultinject.Crash s -> raise (Faultinject.Crash s)
+          | exception e ->
+              (* keep the row — the same record would also journal on
+                 the primary; queries for this one instance degrade
+                 until a later Delete or a full re-sync heals it *)
+              Event.warn
+                ~fields:[ ("instance", id) ]
+                "replica: cannot rebuild instance from shipped row: %s"
+                (Printexc.to_string e))
+      | Journal.Delete ("instances", values) ->
+          (* with the journal detached this deletes the row, the
+             in-memory maps and the workspace files without logging;
+             the verbatim append below is the one local record *)
+          (match values with
+           | Value.Str id :: _ -> delete_instance t id
+           | _ -> Db.apply_entry t.db entry)
+      | Journal.Insert ("implementations", values) -> (
+          Db.apply_entry t.db entry;
+          match values with
+          | Value.Str name :: _ -> (
+              let source =
+                match List.assoc_opt name Builtin.sources with
+                | Some s -> Some s
+                | None -> (
+                    let file = Filename.concat t.workspace (name ^ ".iif") in
+                    try Some (read_file file) with Sys_error _ -> None)
+              in
+              match source with
+              | Some src -> (
+                  try Hashtbl.replace t.registry name (Parser.parse src)
+                  with _ ->
+                    Event.warn
+                      ~fields:[ ("implementation", name) ]
+                      "replica: shipped implementation does not parse")
+              | None ->
+                  Event.warn
+                    ~fields:[ ("implementation", name) ]
+                    "replica: shipped implementation source missing")
+          | _ -> ())
+      | Journal.Delete ("implementations", values) ->
+          Db.apply_entry t.db entry;
+          (match values with
+           | Value.Str name :: _ -> Hashtbl.remove t.registry name
+           | _ -> ())
+      | entry -> Db.apply_entry t.db entry);
+  Journal.append j entry

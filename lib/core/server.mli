@@ -195,3 +195,32 @@ val checkpoint : t -> unit
 (** Absorb the journal into [<workspace>/icdb.snapshot] (atomically)
     and truncate it, bounding future recovery time.
     @raise Icdb_error on a non-durable server. *)
+
+val durable : t -> bool
+(** Whether this server journals its mutations (created with
+    [~durable:true] or rebuilt by {!reopen}). *)
+
+(** {1 Replication}
+
+    A primary ships journal records (plus the workspace files they
+    depend on) to followers; a follower applies each record with
+    {!apply_replicated}, which reuses the {!reopen} machinery to
+    rebuild in-memory state and keeps the follower's own journal in
+    sequence lockstep with the primary's stream. *)
+
+val replication_files : Icdb_reldb.Journal.entry -> string list
+(** Workspace file basenames the record depends on (an instance's exact
+    netlist, an implementation's IIF source) — the publisher ships
+    their contents alongside the record, since the row alone cannot
+    rebuild the in-memory artifact. *)
+
+val apply_replicated : t -> Icdb_reldb.Journal.entry -> unit
+(** Apply one shipped journal record to a follower server: mutate the
+    metadata database, rebuild or drop the in-memory instance or
+    implementation it describes (a rebuild failure is logged and the
+    row kept, mirroring what the same damage would do at reopen), then
+    append the record verbatim to the local journal — exactly one local
+    record per shipped record, so the follower's replication cursor is
+    its journal's [next_seq] and is crash-consistent by construction.
+    Fires the [repl_replay] fault-injection site.
+    @raise Icdb_error on a non-durable server. *)

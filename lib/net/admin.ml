@@ -61,7 +61,7 @@ let tracez_limit = 256
    probe actually writes a file — a read-only disk or deleted
    workspace must turn the daemon not-ready, and only a write proves
    writability. *)
-let readiness ~service ~sync =
+let readiness ?replica ~service ~sync () =
   let cfg = Service.config service in
   let checks =
     [ ("accepting", not (Service.stopping service));
@@ -79,6 +79,20 @@ let readiness ~service ~sync =
         with
         | () -> true
         | exception Sys_error _ -> false ) ]
+    @
+    (* a follower is only failover-ready while its stream is live and
+       its lag within bounds: a load balancer probing /readyz must not
+       route reads to a stale replica *)
+    (match replica with
+     | None -> []
+     | Some r ->
+         let lag_records, lag_seconds = Replica.lag r in
+         let rc = Replica.config r in
+         [ ("repl_connected", Replica.connected r);
+           ( Printf.sprintf "repl_lag_records(%d)" lag_records,
+             lag_records <= rc.Replica.max_lag_records );
+           ( Printf.sprintf "repl_lag_seconds(%.1f)" lag_seconds,
+             lag_seconds <= rc.Replica.max_lag_seconds ) ])
   in
   let ready = List.for_all snd checks in
   let body =
@@ -90,11 +104,11 @@ let readiness ~service ~sync =
   in
   (ready, body)
 
-let handler ~service ~sync path =
+let handler ?replica ~service ~sync path =
   match path with
   | "/healthz" -> Some (Expo.text "ok\n")
   | "/readyz" ->
-      let ready, body = readiness ~service ~sync in
+      let ready, body = readiness ?replica ~service ~sync () in
       Some (Expo.text ~status:(if ready then 200 else 503) body)
   | "/metrics" -> Some (Expo.text (Expo.prometheus ()))
   | "/tracez" ->
@@ -113,14 +127,14 @@ let handler ~service ~sync path =
         (Expo.text
            "icdbd admin endpoints:\n\
             /healthz  liveness\n\
-            /readyz   readiness (accepting, queue, workspace)\n\
+            /readyz   readiness (accepting, queue, workspace, repl lag)\n\
             /metrics  Prometheus text exposition\n\
             /tracez   recent completed spans (JSON)\n\
             /slowz    slow-query log (JSON)\n")
   | _ -> None
 
-let start ?host ~port ~service ~sync () =
-  let http = Expo.http_start ?host ~port (handler ~service ~sync) in
+let start ?host ?replica ~port ~service ~sync () =
+  let http = Expo.http_start ?host ~port (handler ?replica ~service ~sync) in
   Event.info "net: admin endpoint listening on port %d" (Expo.http_port http);
   { http }
 

@@ -6,7 +6,11 @@
     - [/readyz] — readiness: 200 when the daemon is accepting (no
       shutdown requested), the request queue is below the shed
       threshold, and the workspace accepts a probe write; 503 with one
-      ["name ok|FAIL"] line per check otherwise.
+      ["name ok|FAIL"] line per check otherwise. When started with a
+      [replica], three further checks gate on the replication stream:
+      connected, record lag and staleness within the replica's bounds
+      ({!Replica.ready}) — so a follower answers 503 until its
+      catch-up drains and flips to 200 once failover-ready.
     - [/metrics] — the full {!Icdb_obs.Metrics} registry in Prometheus
       text exposition format (see {!Icdb_obs.Expo.prometheus}).
     - [/tracez] — the most recent completed spans as JSON.
@@ -19,8 +23,11 @@
 type t
 
 val start :
-  ?host:string -> port:int -> service:Service.t -> sync:Sync.t -> unit -> t
+  ?host:string ->
+  ?replica:Replica.t ->
+  port:int -> service:Service.t -> sync:Sync.t -> unit -> t
 (** Bind and start serving; [port = 0] picks an ephemeral port.
+    [replica] adds the replication-lag readiness checks.
     @raise Unix.Unix_error when the address cannot be bound. *)
 
 val port : t -> int

@@ -10,7 +10,19 @@ exception Net_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Net_error s)) fmt
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* The failures worth retrying: the server is starting up, restarting,
+   or the network hiccuped. Anything else (unreachable address family,
+   permission, resolution) fails fast. *)
+let transient = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT | Unix.EHOSTUNREACH
+  | Unix.ENETUNREACH | Unix.EAGAIN ->
+      true
+  | _ -> false
+
+let connect ?(host = "127.0.0.1") ~port ?(retries = 0) ?(backoff_s = 0.1) () =
+  (* writing to a peer that died must surface as EPIPE, not a signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (
@@ -19,13 +31,27 @@ let connect ?(host = "127.0.0.1") ~port () =
       | h -> h.Unix.h_addr_list.(0)
       | exception Not_found -> fail "cannot resolve %s" host)
   in
-  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     fail "cannot connect to %s:%d: %s" host port (Unix.error_message e));
-  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  { fd; next_id = 0; open_ = true }
+  let rec attempt tries_left delay =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+    | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        { fd; next_id = 0; open_ = true }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if tries_left > 0 && transient e then begin
+          (* capped exponential backoff with jitter, so a fleet of
+             reconnecting clients does not thunder in lockstep *)
+          Unix.sleepf (delay +. Random.float (0.25 *. delay));
+          attempt (tries_left - 1) (Float.min 5.0 (2.0 *. delay))
+        end
+        else
+          fail "cannot connect to %s:%d: %s" host port (Unix.error_message e)
+  in
+  attempt (max 0 retries) (Float.max 0.001 backoff_s)
+
+let fd t = t.fd
 
 let close t =
   if t.open_ then begin

@@ -15,8 +15,21 @@ exception Net_error of string
     errors the server reports are returned as {!Wire.Error} values,
     not exceptions. *)
 
-val connect : ?host:string -> port:int -> unit -> t
-(** @raise Net_error when the endpoint cannot be reached. *)
+val connect :
+  ?host:string -> port:int -> ?retries:int -> ?backoff_s:float -> unit -> t
+(** Connect, ignoring SIGPIPE process-wide first (a dead peer then
+    surfaces as EPIPE on the write, never a signal). [retries] (default
+    0) extra attempts are made when the failure is transient — refused,
+    reset, timed out, unreachable — sleeping a capped exponential
+    backoff starting at [backoff_s] (default 0.1 s, doubling to at most
+    5 s) with jitter between attempts; the replication follower's
+    reconnect loop rides on this.
+    @raise Net_error when the endpoint cannot be reached. *)
+
+val fd : t -> Unix.file_descr
+(** The underlying socket, for callers that need to [select] on
+    server-pushed frames (the replication follower). Reading from it
+    directly and using {!call} concurrently is a bug. *)
 
 val close : t -> unit
 (** Idempotent. *)

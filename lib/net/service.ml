@@ -25,6 +25,9 @@ type config = {
   request_timeout_s : float;
   idle_timeout_s : float;
   slow_threshold_s : float;
+  read_only : bool;
+  repl_max_lag : int;
+  repl_batch : int;
 }
 
 let default_config =
@@ -35,7 +38,10 @@ let default_config =
     max_queue = 128;
     request_timeout_s = 30.0;
     idle_timeout_s = 300.0;
-    slow_threshold_s = 1.0 }
+    slow_threshold_s = 1.0;
+    read_only = false;
+    repl_max_lag = 10_000;
+    repl_batch = 512 }
 
 type conn = {
   cid : int;
@@ -45,6 +51,28 @@ type conn = {
   mutable alive : bool;        (* false once the fd is closed *)
   mutable last_active : float; (* wall clock of the last complete frame *)
   mutable rthread : Thread.t option;
+  mutable follower : bool;     (* subscribed replication follower: exempt
+                                  from idle reaping, fed by the publisher *)
+}
+
+(* One subscribed follower, owned by the publisher. The per-follower
+   frame queue decouples journal streaming from each follower's TCP
+   backpressure: the publisher never blocks on a socket, a dedicated
+   sender thread per follower does the (possibly slow) writes, and a
+   follower whose queue grows past [repl_max_lag] records is shed. *)
+type follower = {
+  fl_conn : conn;
+  fl_rid : int;                (* subscribe request id, echoed on pushes *)
+  mutable fl_cursor : int;     (* next journal sequence number to stream *)
+  fl_qlock : Mutex.t;
+  fl_qcond : Condition.t;
+  fl_frames : (string * int) Queue.t;  (* encoded frame, record count *)
+  mutable fl_queued : int;     (* records sitting in [fl_frames] *)
+  mutable fl_sender : Thread.t option;
+  mutable fl_dead : bool;      (* shed or shutting down *)
+  mutable fl_reason : string;  (* why, for the courtesy Repl_error *)
+  mutable fl_dead_at : float;
+  mutable fl_last_sent : float;  (* heartbeat pacing *)
 }
 
 type task = {
@@ -81,6 +109,9 @@ type t = {
   mutable next_cid : int;
   mutable worker_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
+  rlock : Mutex.t;        (* guards [followers] *)
+  mutable followers : follower list;
+  mutable publisher : Thread.t option;
   ctr : counters;
   h_queue_wait : Metrics.histogram;
   (* Slow-query log: a small newest-first list of requests that took
@@ -93,6 +124,14 @@ type t = {
 let slow_cap = 64
 
 let now () = Unix.gettimeofday ()
+
+(* Primary-side replication metrics. *)
+let g_followers = Metrics.gauge "repl.followers"
+let c_batches_sent = Metrics.counter "repl.batches_sent"
+let c_records_sent = Metrics.counter "repl.records_sent"
+let c_followers_shed = Metrics.counter "repl.followers_shed"
+let c_checkpoints_sent = Metrics.counter "repl.checkpoints_sent"
+let c_readonly_rejected = Metrics.counter "repl.readonly_rejected"
 
 (* ------------------------------------------------------------------ *)
 (* Connection plumbing                                                 *)
@@ -137,6 +176,61 @@ let kill_conn t conn =
 (* ------------------------------------------------------------------ *)
 (* Request execution (worker side)                                     *)
 (* ------------------------------------------------------------------ *)
+
+(* CQL commands that mutate the database or workspace; a read-only
+   follower refuses them with a structured [Read_only] error so clients
+   can redirect to the primary. Everything else — catalog queries,
+   component/implementation/instance lookups — is served locally. *)
+let mutating_cql =
+  [ "request_component"; "start_a_design"; "start_a_transaction";
+    "put_in_component_list"; "end_a_transaction"; "end_a_design" ]
+
+let sql_first_word stmt =
+  let n = String.length stmt in
+  let i = ref 0 in
+  while
+    !i < n && (match stmt.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    incr i
+  done;
+  let j = ref !i in
+  while
+    !j < n && (match stmt.[!j] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  do
+    incr j
+  done;
+  String.uppercase_ascii (String.sub stmt !i (!j - !i))
+
+(* [Some resp] when a read-only follower must refuse the request. A CQL
+   text that does not parse is let through: the executor produces the
+   better (Parse_error) diagnostic. *)
+let read_only_reject t (body : Wire.req) =
+  if not t.cfg.read_only then None
+  else
+    let refuse what =
+      Metrics.incr c_readonly_rejected;
+      Some
+        (Wire.Error
+           { code = Wire.Read_only;
+             message =
+               Printf.sprintf
+                 "follower is read-only: %s mutates the database; send it \
+                  to the primary"
+                 what })
+    in
+    match body with
+    | Wire.Cql { text; _ } -> (
+        match Icdb_cql.Command.parse text with
+        | cmd -> (
+            match Icdb_cql.Command.command_name cmd with
+            | name when List.mem name mutating_cql -> refuse ("CQL " ^ name)
+            | _ -> None
+            | exception Icdb_cql.Command.Cql_error _ -> None)
+        | exception Icdb_cql.Command.Cql_error _ -> None)
+    | Wire.Sql stmt ->
+        if sql_first_word stmt = "SELECT" then None
+        else refuse "this SQL statement"
+    | _ -> None
 
 let cql_metric_name text =
   match Icdb_cql.Command.parse text with
@@ -257,6 +351,9 @@ let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
     [ ("conn", string_of_int conn.cid);
       ("request", string_of_int frame.id) ]
   in
+  match read_only_reject t frame.body with
+  | Some resp -> resp
+  | None -> (
   match frame.body with
   | Wire.Ping -> Wire.Pong
   | Wire.Stats -> Wire.Stats_report (stats_payload t)
@@ -297,6 +394,10 @@ let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
           Wire.Error { code = Wire.Exec_error; message = msg }
       | exception Icdb_reldb.Sql.Sql_error msg ->
           Wire.Error { code = Wire.Sql_error; message = msg })
+  | Wire.Subscribe _ ->
+      (* routed to [handle_subscribe] before execution ever reaches
+         here; answering makes the match exhaustive *)
+      Wire.Repl_error "subscribe cannot be executed as a plain request")
 
 let metric_name (frame : Wire.req Wire.frame) =
   match frame.body with
@@ -305,6 +406,7 @@ let metric_name (frame : Wire.req Wire.frame) =
   | Wire.Trace_fetch _ -> "net.trace_fetch"
   | Wire.Shutdown -> "net.shutdown"
   | Wire.Sql _ -> "net.sql"
+  | Wire.Subscribe _ -> "net.subscribe"
   | Wire.Cql { text; _ } -> cql_metric_name text
 
 let record_slow t ~cmd ~info ~conn ~seconds =
@@ -339,6 +441,291 @@ let record_slow t ~cmd ~info ~conn ~seconds =
       "net: slow request (%.3f s > %.3f s threshold)" seconds
       t.cfg.slow_threshold_s
 
+(* ------------------------------------------------------------------ *)
+(* Replication publisher (primary side)                                *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_name = "icdb.snapshot"
+let chunk_bytes = 1 lsl 20
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* What a fresh follower needs besides the journal stream: the snapshot
+   plus every netlist/IIF artifact in the workspace. *)
+let checkpoint_files workspace =
+  let all = try Sys.readdir workspace with Sys_error _ -> [||] in
+  Array.to_list all
+  |> List.filter (fun name ->
+         name = snapshot_name
+         || Filename.check_suffix name ".vhdl"
+         || Filename.check_suffix name ".iif")
+  |> List.sort compare
+
+(* Mark a follower for removal without doing anything that could block:
+   the publisher calls this, and the publisher must never wait on a
+   follower's socket. The sender thread wakes, sends the courtesy
+   [Repl_error] (its own thread may block there harmlessly) and closes
+   the connection; a sender wedged in a write is forced out when the
+   publisher shuts the socket down after a grace period. *)
+let shed_follower fl reason =
+  if not fl.fl_dead then begin
+    fl.fl_dead <- true;
+    fl.fl_reason <- reason;
+    fl.fl_dead_at <- now ();
+    Metrics.incr c_followers_shed;
+    Event.warn
+      ~fields:[ ("conn", string_of_int fl.fl_conn.cid) ]
+      "repl: dropping follower %s: %s" fl.fl_conn.peer reason;
+    Mutex.lock fl.fl_qlock;
+    Condition.broadcast fl.fl_qcond;
+    Mutex.unlock fl.fl_qlock
+  end
+
+(* Per-follower sender: drains the frame queue into the socket, so TCP
+   backpressure from one follower stalls only this thread. *)
+let sender_loop t fl =
+  let rec loop () =
+    Mutex.lock fl.fl_qlock;
+    while Queue.is_empty fl.fl_frames && not fl.fl_dead && fl.fl_conn.alive do
+      Condition.wait fl.fl_qcond fl.fl_qlock
+    done;
+    let item =
+      if Queue.is_empty fl.fl_frames then None
+      else begin
+        let bytes, n = Queue.pop fl.fl_frames in
+        fl.fl_queued <- fl.fl_queued - n;
+        Some bytes
+      end
+    in
+    Mutex.unlock fl.fl_qlock;
+    match item with
+    | Some bytes when fl.fl_conn.alive && not fl.fl_dead ->
+        send_bytes fl.fl_conn bytes;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if fl.fl_dead && fl.fl_conn.alive then
+    send_resp fl.fl_conn fl.fl_rid (Wire.Repl_error fl.fl_reason);
+  kill_conn t fl.fl_conn
+
+(* The subscribe handshake, run on the worker that picked the frame up.
+   Under the server lock, decide whether the follower's cursor is still
+   inside the journal window (stream from it) or stale/fresh (checkpoint
+   first, then stream from the post-checkpoint cursor); ship the
+   checkpoint synchronously, then hand the follower to the publisher. *)
+let handle_subscribe t conn rid cursor =
+  if t.cfg.read_only then
+    send_resp conn rid
+      (Wire.Repl_error "this node is a follower; subscribe to the primary")
+  else begin
+    let plan =
+      Sync.with_server t.sync (fun server ->
+          if not (Icdb.Server.durable server) then
+            Error "primary is not durable: start it with --durable"
+          else
+            match Icdb_reldb.Db.journal (Icdb.Server.db server) with
+            | None -> Error "primary has no journal attached"
+            | Some j ->
+                let base = Icdb_reldb.Journal.base_seq j in
+                let next = Icdb_reldb.Journal.next_seq j in
+                if cursor >= base && cursor <= next then Ok (`Stream cursor)
+                else begin
+                  (* absorb the journal so the window starts exactly at
+                     the cursor the checkpoint is handed out with *)
+                  Icdb.Server.checkpoint server;
+                  let c = Icdb_reldb.Journal.next_seq j in
+                  let ws = Icdb.Server.workspace server in
+                  let files =
+                    List.filter_map
+                      (fun name ->
+                        match read_file (Filename.concat ws name) with
+                        | data -> Some (name, data)
+                        | exception Sys_error _ -> None)
+                      (checkpoint_files ws)
+                  in
+                  Ok (`Checkpoint (c, files))
+                end)
+    in
+    match plan with
+    | Error msg -> send_resp conn rid (Wire.Repl_error msg)
+    | Ok plan ->
+        conn.follower <- true;
+        let start_cursor =
+          match plan with
+          | `Stream c ->
+              Event.info
+                ~fields:[ ("conn", string_of_int conn.cid) ]
+                "repl: follower %s subscribed at cursor %d" conn.peer c;
+              c
+          | `Checkpoint (c, files) ->
+              Metrics.incr c_checkpoints_sent;
+              Event.info
+                ~fields:[ ("conn", string_of_int conn.cid) ]
+                "repl: follower %s needs a checkpoint (%d files, cursor %d)"
+                conn.peer (List.length files) c;
+              send_resp conn rid
+                (Wire.Checkpoint_offer
+                   { co_cursor = c; co_files = List.length files });
+              let nfiles = List.length files in
+              List.iteri
+                (fun i (name, data) ->
+                  let len = String.length data in
+                  let nchunks = max 1 ((len + chunk_bytes - 1) / chunk_bytes) in
+                  for k = 0 to nchunks - 1 do
+                    let off = k * chunk_bytes in
+                    send_resp conn rid
+                      (Wire.Checkpoint_chunk
+                         { cc_name = name;
+                           cc_data =
+                             String.sub data off (min chunk_bytes (len - off));
+                           cc_last = i = nfiles - 1 && k = nchunks - 1 })
+                  done)
+                files;
+              (* an empty checkpoint still needs its terminator *)
+              if files = [] then
+                send_resp conn rid
+                  (Wire.Checkpoint_chunk
+                     { cc_name = ""; cc_data = ""; cc_last = true });
+              c
+        in
+        let fl =
+          { fl_conn = conn;
+            fl_rid = rid;
+            fl_cursor = start_cursor;
+            fl_qlock = Mutex.create ();
+            fl_qcond = Condition.create ();
+            fl_frames = Queue.create ();
+            fl_queued = 0;
+            fl_sender = None;
+            fl_dead = false;
+            fl_reason = "";
+            fl_dead_at = 0.0;
+            fl_last_sent = 0.0 }
+        in
+        fl.fl_sender <- Some (Thread.create (sender_loop t) fl);
+        Mutex.lock t.rlock;
+        t.followers <- fl :: t.followers;
+        Metrics.set g_followers (float_of_int (List.length t.followers));
+        Mutex.unlock t.rlock
+  end
+
+(* One publisher tick for one follower: stream the next batch of journal
+   records (plus the workspace files they depend on) into its queue, or
+   shed it. Empty batches are heartbeats, paced at 1 Hz, carrying the
+   primary's [next_seq] so the follower can measure its lag. *)
+let publish_one t fl =
+  if (not fl.fl_dead) && fl.fl_conn.alive then begin
+    let queued, frames =
+      Mutex.lock fl.fl_qlock;
+      let q = (fl.fl_queued, Queue.length fl.fl_frames) in
+      Mutex.unlock fl.fl_qlock;
+      q
+    in
+    if queued > t.cfg.repl_max_lag || frames > 512 then
+      shed_follower fl
+        (Printf.sprintf
+           "follower lag exceeded %d records; re-sync from a checkpoint"
+           t.cfg.repl_max_lag)
+    else
+      match
+        Sync.with_server t.sync (fun server ->
+            match Icdb_reldb.Db.journal (Icdb.Server.db server) with
+            | None -> `Gone
+            | Some j ->
+                let base = Icdb_reldb.Journal.base_seq j in
+                let next = Icdb_reldb.Journal.next_seq j in
+                if fl.fl_cursor < base || fl.fl_cursor > next then `Stale
+                else begin
+                  let s =
+                    Icdb_reldb.Journal.stream_from j ~seq:fl.fl_cursor
+                      ~max_records:t.cfg.repl_batch ()
+                  in
+                  let records =
+                    List.map Icdb_reldb.Journal.encode_line
+                      s.Icdb_reldb.Journal.st_entries
+                  in
+                  let ws = Icdb.Server.workspace server in
+                  let files =
+                    List.concat_map Icdb.Server.replication_files
+                      s.Icdb_reldb.Journal.st_entries
+                    |> List.sort_uniq compare
+                    |> List.filter_map (fun name ->
+                           match read_file (Filename.concat ws name) with
+                           | data -> Some (name, data)
+                           | exception Sys_error _ -> None)
+                  in
+                  `Batch (records, files, next)
+                end)
+      with
+      | exception e ->
+          (* the journal_stream fault site or an I/O hiccup: the cursor
+             has not moved, so just retry on the next poll *)
+          Event.warn "repl: journal stream failed: %s" (Printexc.to_string e)
+      | `Gone -> shed_follower fl "primary journal detached"
+      | `Stale ->
+          shed_follower fl
+            "cursor left the journal window (a checkpoint truncated it); \
+             reconnect for a fresh checkpoint"
+      | `Batch (records, files, jnext) ->
+          let n = List.length records in
+          if n > 0 || now () -. fl.fl_last_sent >= 1.0 then begin
+            let bytes =
+              Wire.encode_response
+                { id = fl.fl_rid;
+                  body =
+                    Wire.Journal_batch
+                      { jb_first = fl.fl_cursor;
+                        jb_next = jnext;
+                        jb_records = records;
+                        jb_files = files } }
+            in
+            Mutex.lock fl.fl_qlock;
+            Queue.push (bytes, n) fl.fl_frames;
+            fl.fl_queued <- fl.fl_queued + n;
+            Condition.signal fl.fl_qcond;
+            Mutex.unlock fl.fl_qlock;
+            fl.fl_cursor <- fl.fl_cursor + n;
+            fl.fl_last_sent <- now ();
+            Metrics.incr c_batches_sent;
+            if n > 0 then Metrics.incr ~by:n c_records_sent
+          end
+  end
+
+let publisher_loop t =
+  let rec loop () =
+    if not (Atomic.get t.want_stop) then begin
+      let fls =
+        Mutex.lock t.rlock;
+        let l = t.followers in
+        Mutex.unlock t.rlock;
+        l
+      in
+      List.iter (publish_one t) fls;
+      (* a shed follower whose sender is wedged in a write gets its
+         socket forced shut after a grace period, which unwedges the
+         sender; closed connections drop out of the registry *)
+      List.iter
+        (fun fl ->
+          if fl.fl_dead && fl.fl_conn.alive && now () -. fl.fl_dead_at > 5.0
+          then
+            try Unix.shutdown fl.fl_conn.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+        fls;
+      Mutex.lock t.rlock;
+      t.followers <- List.filter (fun fl -> fl.fl_conn.alive) t.followers;
+      Metrics.set g_followers (float_of_int (List.length t.followers));
+      Mutex.unlock t.rlock;
+      Thread.delay 0.05;
+      loop ()
+    end
+  in
+  loop ()
+
 let handle_task t task =
   let conn = task.tconn and frame = task.tframe and ctx = task.tctx in
   let wait = now () -. task.enqueued_at in
@@ -356,7 +743,15 @@ let handle_task t task =
          "request timed out after %.3f s in queue (deadline %.3f s)" wait
          bound)
   end
-  else begin
+  else
+    match frame.Wire.body with
+    | Wire.Subscribe { cursor } ->
+        (* replication handshake: sends its own frames (offer, chunks)
+           and registers with the publisher, which pushes the batches —
+           there is no single response to send here *)
+        handle_subscribe t conn frame.Wire.id cursor
+    | _ ->
+    begin
     let t0 = now () in
     let info = { xi_tag = ""; xi_cache = "-"; xi_phases = [] } in
     let resp =
@@ -427,7 +822,11 @@ let reader_loop t conn =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
       | [], _, _ ->
-          if now () -. conn.last_active > t.cfg.idle_timeout_s then begin
+          (* followers legitimately never send another frame after the
+             subscribe: the traffic is all primary→follower pushes *)
+          if (not conn.follower)
+             && now () -. conn.last_active > t.cfg.idle_timeout_s
+          then begin
             Metrics.incr t.ctr.c_idle_reaped;
             Event.info ~fields:[ ("conn", string_of_int conn.cid) ]
               "net: reaping idle connection %s" conn.peer;
@@ -500,7 +899,8 @@ let admit t fd peer_addr =
           wlock = Mutex.create ();
           alive = true;
           last_active = now ();
-          rthread = None }
+          rthread = None;
+          follower = false }
       in
       Hashtbl.replace t.conns conn.cid conn;
       Some conn
@@ -546,6 +946,32 @@ let teardown t =
   Condition.broadcast t.qcond;
   Mutex.unlock t.qlock;
   List.iter Thread.join t.worker_threads;
+  (* retire the replication plane: stop the publisher, then wake every
+     sender with the socket forced shut so a blocked send cannot wedge
+     the join *)
+  (match t.publisher with Some th -> Thread.join th | None -> ());
+  let fls =
+    Mutex.lock t.rlock;
+    let l = t.followers in
+    t.followers <- [];
+    Mutex.unlock t.rlock;
+    l
+  in
+  List.iter
+    (fun fl ->
+      fl.fl_dead <- true;
+      fl.fl_reason <- "primary shutting down";
+      fl.fl_dead_at <- now ();
+      (try Unix.shutdown fl.fl_conn.fd Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      Mutex.lock fl.fl_qlock;
+      Condition.broadcast fl.fl_qcond;
+      Mutex.unlock fl.fl_qlock)
+    fls;
+  List.iter
+    (fun fl ->
+      match fl.fl_sender with Some th -> Thread.join th | None -> ())
+    fls;
   (* every accepted request is now answered; say goodbye and unblock
      any reader parked in select/read by shutting the receive side *)
   let conns =
@@ -598,6 +1024,11 @@ let counters () =
     c_idle_reaped = Metrics.counter "net.idle_reaped" }
 
 let start ?(config = default_config) sync =
+  (* a dead peer must surface as EPIPE on the write, not kill the
+     process; set here (not only in the CLI) so library embedders and
+     the replication senders are covered *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -626,6 +1057,9 @@ let start ?(config = default_config) sync =
       next_cid = 0;
       worker_threads = [];
       accept_thread = None;
+      rlock = Mutex.create ();
+      followers = [];
+      publisher = None;
       ctr = counters ();
       h_queue_wait = Metrics.histogram "net.queue_wait";
       slock = Mutex.create ();
@@ -635,6 +1069,9 @@ let start ?(config = default_config) sync =
   t.worker_threads <-
     List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);
+  (* a follower never publishes; only primaries run the poll loop *)
+  if not config.read_only then
+    t.publisher <- Some (Thread.create publisher_loop t);
   Event.info "net: icdbd listening on %s:%d (%d workers, %d connections max)"
     config.host bound_port (max 1 config.workers) config.max_connections;
   t
@@ -654,6 +1091,12 @@ let slow_log t =
   let l = t.slow in
   Mutex.unlock t.slock;
   l
+
+let follower_count t =
+  Mutex.lock t.rlock;
+  let n = List.length t.followers in
+  Mutex.unlock t.rlock;
+  n
 
 let request_shutdown t = Atomic.set t.want_stop true
 

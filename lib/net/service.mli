@@ -54,11 +54,19 @@ type config = {
   idle_timeout_s : float;
   slow_threshold_s : float;  (** requests at least this slow are logged;
                                  0 logs everything, negative disables *)
+  read_only : bool;          (** follower mode: refuse mutating CQL/SQL
+                                 with [Error Read_only] and [Subscribe]
+                                 with [Repl_error]; queries are served
+                                 locally *)
+  repl_max_lag : int;        (** records a follower may have queued but
+                                 unsent before it is shed *)
+  repl_batch : int;          (** max journal records per pushed batch *)
 }
 
 val default_config : config
 (** 127.0.0.1:7601, 64 connections, 4 workers, queue of 128, 30 s
-    request timeout, 300 s idle timeout, 1 s slow threshold. *)
+    request timeout, 300 s idle timeout, 1 s slow threshold; not
+    read-only, 10_000-record shed bound, 512-record batches. *)
 
 type t
 
@@ -81,6 +89,25 @@ val queue_depth : t -> int
 
 val slow_log : t -> Wire.slow_entry list
 (** The slow-query log, newest first, at most its bounded capacity. *)
+
+val follower_count : t -> int
+(** Currently subscribed replication followers (primaries only;
+    always 0 on a read-only service).
+
+    A primary accepts [Subscribe {cursor}] frames: a cursor inside the
+    journal's sequence window starts a push stream of [Journal_batch]
+    frames from there (records verbatim in journal line encoding, plus
+    the workspace files they depend on); a stale or fresh cursor first
+    receives a full checkpoint ([Checkpoint_offer] + [Checkpoint_chunk]
+    frames: snapshot, netlists, IIF sources) taken under the server
+    lock. Each follower has a bounded outbound queue drained by its own
+    sender thread, so one slow follower never stalls the publisher or
+    the other followers; a follower more than [repl_max_lag] records
+    behind is shed with a terminal [Repl_error] and must reconnect.
+    Empty batches are 1 Hz heartbeats carrying the primary's next
+    sequence number so followers can measure lag. Instrumented under
+    [repl.*]: followers gauge, batches_sent / records_sent /
+    followers_shed / checkpoints_sent / readonly_rejected counters. *)
 
 val request_shutdown : t -> unit
 (** Ask for a graceful shutdown and return immediately. Safe to call

@@ -1,7 +1,11 @@
 (* Coarse-grained locking around Server.t — see sync.mli for why one
    lock is the right grain. *)
 
-type t = { server : Icdb.Server.t; lock : Mutex.t; workspace : string }
+type t = {
+  mutable server : Icdb.Server.t;
+  lock : Mutex.t;
+  mutable workspace : string;
+}
 
 let wrap server =
   { server;
@@ -11,5 +15,18 @@ let wrap server =
 let with_server t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> f t.server)
+
+(* Swap the server out under the same lock every request holds: a
+   replication follower re-syncing from a fresh checkpoint rebuilds a
+   whole new Server.t and installs it here, while queries keep
+   serializing against whichever server is current. *)
+let replace t f =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let server = f t.server in
+      t.server <- server;
+      t.workspace <- Icdb.Server.workspace server)
 
 let peek_workspace t = t.workspace

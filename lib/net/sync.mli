@@ -35,6 +35,14 @@ val with_server : t -> (Icdb.Server.t -> 'a) -> 'a
     propagate. Not reentrant — calling {!with_server} inside [f]
     deadlocks, as [Mutex.lock] on an owned mutex does. *)
 
+val replace : t -> (Icdb.Server.t -> Icdb.Server.t) -> unit
+(** [replace t f] swaps the wrapped server for [f server], holding the
+    lock for the whole exchange: in-flight requests finish against the
+    old server, later ones see the new one. A replication follower uses
+    this to install the server rebuilt from a freshly fetched
+    checkpoint. [f] must not raise after discarding the old server's
+    usability; if it raises, the old server stays installed. *)
+
 val peek_workspace : t -> string
-(** The server's workspace path (immutable after creation, so this
-    needs no lock). *)
+(** The current server's workspace path (a single mutable-field read,
+    so this needs no lock; it changes only across {!replace}). *)

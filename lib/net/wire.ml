@@ -31,6 +31,7 @@ type req =
   | Stats
   | Trace_fetch of string
   | Shutdown
+  | Subscribe of { cursor : int }
 
 type sql_result =
   | Affected of int
@@ -90,6 +91,7 @@ type error_code =
   | Timeout
   | Shutting_down
   | Internal
+  | Read_only
 
 type resp =
   | Pong
@@ -99,14 +101,33 @@ type resp =
   | Spans of remote_span list
   | Error of { code : error_code; message : string }
   | Bye
+  (* v3 replication stream frames. After a [Subscribe] the connection
+     becomes a push stream: the publisher sends [Journal_batch] frames
+     as the journal grows (empty batches double as heartbeats carrying
+     the primary's cursor), or a [Checkpoint_offer] followed by
+     [Checkpoint_chunk]s when the follower's cursor predates the
+     primary's last truncation. [Repl_error] is terminal for the
+     subscription (the follower reconnects). *)
+  | Journal_batch of {
+      jb_first : int;                  (* seq of the first record *)
+      jb_next : int;                   (* primary's next_seq at send time *)
+      jb_records : string list;        (* exact journal line encodings *)
+      jb_files : (string * string) list;  (* basename -> contents *)
+    }
+  | Checkpoint_offer of { co_cursor : int; co_files : int }
+  | Checkpoint_chunk of { cc_name : string; cc_data : string; cc_last : bool }
+  | Repl_error of string
 
 type 'a frame = { id : int; body : 'a }
 
 (* v2: requests carry a trace context (trace id + deadline) after the
    id, [Trace_fetch]/[Spans] exist, and [Stats_report] is structured.
-   v1 frames decode to the recoverable [Bad_version] so old clients get
-   a structured version-mismatch error and keep their connection. *)
-let protocol_version = 2
+   v3: the replication frames ([Subscribe], [Journal_batch],
+   [Checkpoint_offer]/[Checkpoint_chunk], [Repl_error]) and the
+   [Read_only] error code. Older frames decode to the recoverable
+   [Bad_version] so old clients get a structured version-mismatch error
+   and keep their connection. *)
+let protocol_version = 3
 let max_payload = 16 * 1024 * 1024
 
 (* Header bytes inside the payload before the body starts. *)
@@ -122,6 +143,7 @@ let error_code_to_string = function
   | Timeout -> "timeout"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
+  | Read_only -> "read_only"
 
 (* ------------------------------------------------------------------ *)
 (* Frame kinds                                                         *)
@@ -133,6 +155,7 @@ let kind_sql = 0x03
 let kind_stats = 0x04
 let kind_shutdown = 0x05
 let kind_trace_fetch = 0x06
+let kind_subscribe = 0x07
 
 let kind_pong = 0x41
 let kind_results = 0x42
@@ -142,6 +165,10 @@ let kind_stats_report = 0x45
 let kind_error = 0x46
 let kind_bye = 0x47
 let kind_spans = 0x48
+let kind_journal_batch = 0x49
+let kind_ckpt_offer = 0x4a
+let kind_ckpt_chunk = 0x4b
+let kind_repl_error = 0x4c
 
 let code_to_byte = function
   | Parse_error -> 0
@@ -153,6 +180,7 @@ let code_to_byte = function
   | Timeout -> 6
   | Shutting_down -> 7
   | Internal -> 8
+  | Read_only -> 9
 
 let code_of_byte = function
   | 0 -> Some Parse_error
@@ -164,6 +192,7 @@ let code_of_byte = function
   | 6 -> Some Timeout
   | 7 -> Some Shutting_down
   | 8 -> Some Internal
+  | 9 -> Some Read_only
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -307,6 +336,9 @@ let encode_request ?(ctx = no_ctx) { id; body } =
       frame_bytes kind_trace_fetch id
         (with_ctx (fun buf -> put_string buf tag))
   | Shutdown -> frame_bytes kind_shutdown id (with_ctx (fun _ -> ()))
+  | Subscribe { cursor } ->
+      frame_bytes kind_subscribe id
+        (with_ctx (fun buf -> put_i64 buf cursor))
 
 let encode_response { id; body } =
   match body with
@@ -328,6 +360,27 @@ let encode_response { id; body } =
           put_u8 buf (code_to_byte code);
           put_string buf message)
   | Bye -> frame_bytes kind_bye id (fun _ -> ())
+  | Journal_batch { jb_first; jb_next; jb_records; jb_files } ->
+      frame_bytes kind_journal_batch id (fun buf ->
+          put_i64 buf jb_first;
+          put_i64 buf jb_next;
+          put_list buf put_string jb_records;
+          put_list buf
+            (fun b (name, data) ->
+              put_string b name;
+              put_string b data)
+            jb_files)
+  | Checkpoint_offer { co_cursor; co_files } ->
+      frame_bytes kind_ckpt_offer id (fun buf ->
+          put_i64 buf co_cursor;
+          put_u32 buf co_files)
+  | Checkpoint_chunk { cc_name; cc_data; cc_last } ->
+      frame_bytes kind_ckpt_chunk id (fun buf ->
+          put_string buf cc_name;
+          put_string buf cc_data;
+          put_u8 buf (if cc_last then 1 else 0))
+  | Repl_error message ->
+      frame_bytes kind_repl_error id (fun buf -> put_string buf message)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -512,6 +565,8 @@ let decode_request payload =
           else if kind = kind_stats then Some Stats
           else if kind = kind_trace_fetch then Some (Trace_fetch (get_string c))
           else if kind = kind_shutdown then Some Shutdown
+          else if kind = kind_subscribe then
+            Some (Subscribe { cursor = get_i64 c })
           else None
         in
         Option.map (fun b -> (b, ctx)) body)
@@ -542,6 +597,30 @@ let decode_response payload =
         | None -> raise (Bad (Printf.sprintf "unknown error code %d" code_byte))
       end
       else if kind = kind_bye then Some Bye
+      else if kind = kind_journal_batch then begin
+        let jb_first = get_i64 c in
+        let jb_next = get_i64 c in
+        let jb_records = get_list c get_string in
+        let jb_files = get_list c (fun c -> get_pair c get_string) in
+        Some (Journal_batch { jb_first; jb_next; jb_records; jb_files })
+      end
+      else if kind = kind_ckpt_offer then begin
+        let co_cursor = get_i64 c in
+        let co_files = get_u32 c in
+        Some (Checkpoint_offer { co_cursor; co_files })
+      end
+      else if kind = kind_ckpt_chunk then begin
+        let cc_name = get_string c in
+        let cc_data = get_string c in
+        let cc_last =
+          match get_u8 c with
+          | 0 -> false
+          | 1 -> true
+          | t -> raise (Bad (Printf.sprintf "unknown chunk-last tag %d" t))
+        in
+        Some (Checkpoint_chunk { cc_name; cc_data; cc_last })
+      end
+      else if kind = kind_repl_error then Some (Repl_error (get_string c))
       else None)
 
 (* ------------------------------------------------------------------ *)

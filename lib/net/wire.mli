@@ -55,6 +55,11 @@ type req =
   | Trace_fetch of string
       (** retrieve the server-side spans tagged with this trace id *)
   | Shutdown       (** drain in-flight requests, checkpoint, exit *)
+  | Subscribe of { cursor : int }
+      (** v3: subscribe this connection to the primary's replication
+          stream from journal sequence [cursor] (-1 = no local state,
+          send a full checkpoint). The connection becomes a push
+          stream; see the replication frames in {!resp}. *)
 
 type sql_result =
   | Affected of int
@@ -113,6 +118,7 @@ type error_code =
   | Timeout           (** request aged out of the queue *)
   | Shutting_down
   | Internal
+  | Read_only         (** a mutating command sent to a follower *)
 
 type resp =
   | Pong
@@ -123,6 +129,33 @@ type resp =
   | Spans of remote_span list  (** answer to [Trace_fetch] *)
   | Error of { code : error_code; message : string }
   | Bye  (** the server is closing this connection deliberately *)
+  | Journal_batch of {
+      jb_first : int;                  (** seq of the first record *)
+      jb_next : int;                   (** primary's next_seq at send
+                                           time — the follower's lag is
+                                           [jb_next] minus its cursor *)
+      jb_records : string list;        (** exact journal line encodings,
+                                           CRC included, so followers
+                                           re-verify end to end *)
+      jb_files : (string * string) list;
+          (** workspace files the records depend on: basename ->
+              contents (exact netlists, IIF sources) *)
+    }
+      (** v3: a slice of the primary's journal, pushed to a subscribed
+          follower. An empty batch is a heartbeat carrying the
+          primary's cursor. *)
+  | Checkpoint_offer of { co_cursor : int; co_files : int }
+      (** v3: the follower's cursor predates the primary's last
+          truncation (or it asked for a full sync); [co_files]
+          {!Checkpoint_chunk} streams follow, after which the journal
+          stream continues from [co_cursor]. *)
+  | Checkpoint_chunk of { cc_name : string; cc_data : string; cc_last : bool }
+      (** v3: one piece of a checkpoint file; consecutive chunks with
+          the same [cc_name] concatenate, [cc_last] marks the end of
+          the whole checkpoint. *)
+  | Repl_error of string
+      (** v3: the subscription is over (slow-follower shed, primary not
+          durable, ...); the follower should back off and reconnect. *)
 
 type 'a frame = { id : int; body : 'a }
 

@@ -87,6 +87,12 @@ type replay_report = {
   rp_torn : bool;                     (** a torn/corrupt tail was cut *)
 }
 
+val apply_entry : t -> Journal.entry -> unit
+(** Apply one journal record directly to the tables, without logging it
+    — what replay is built from, and what a replication follower uses
+    to re-apply shipped records. Creates and drops are idempotent; a
+    delete removes the first matching row. *)
+
 val replay_journal : t -> journal_path:string -> replay_report
 (** Replay the journal over a snapshot- or bootstrap-initialised
     database: apply the longest valid, committed prefix, roll back

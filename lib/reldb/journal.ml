@@ -40,6 +40,10 @@ let journal_err fmt = Printf.ksprintf (fun s -> raise (Journal_error s)) fmt
    (lib/core/faultinject.ml) points this at its journal-append site. *)
 let append_hook : (unit -> unit) ref = ref (fun () -> ())
 
+(* Hook fired at the top of each [stream_from]; wired to the
+   journal_stream fault-injection site the same way. *)
+let stream_hook : (unit -> unit) ref = ref (fun () -> ())
+
 (* ------------------------------------------------------------------ *)
 (* CRC-32 (IEEE 802.3 polynomial, table-driven)                        *)
 (* ------------------------------------------------------------------ *)
@@ -161,15 +165,81 @@ let decode_line line =
 type t = {
   jpath : string;
   mutable oc : out_channel;
+  (* Replication cursor. Record sequence numbers are monotonic across
+     the journal's whole life, surviving checkpoint truncations: [base]
+     is the sequence number of the first record currently in the file
+     (persisted in the "<jpath>.seq" sidecar), [next] the number the
+     next append will get. A follower whose cursor is below [base] has
+     fallen behind the last truncation and must re-sync from a full
+     checkpoint. *)
+  mutable base : int;
+  mutable next : int;
 }
 
 let path t = t.jpath
+let base_seq t = t.base
+let next_seq t = t.next
+
+let seq_path jpath = jpath ^ ".seq"
+
+let read_base jpath =
+  match open_in (seq_path jpath) with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match int_of_string_opt (String.trim (input_line ic)) with
+          | Some n when n >= 0 -> n
+          | Some _ | None -> 0
+          | exception End_of_file -> 0)
+  | exception Sys_error _ -> 0
+
+(* Atomic (write-to-temp + rename) so a torn sidecar can never make the
+   cursor go backwards silently. *)
+let write_base jpath base =
+  let tmp = seq_path jpath ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Printf.fprintf oc "%d\n" base);
+  Sys.rename tmp (seq_path jpath)
+
+(* Valid records currently in the file — the same longest-valid-prefix
+   rule replay uses, so the cursor agrees with what recovery keeps. *)
+let count_records jpath =
+  if not (Sys.file_exists jpath) then 0
+  else begin
+    let ic = open_in_bin jpath in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = ref 0 in
+        (try
+           let stop = ref false in
+           while not !stop do
+             match decode_line (input_line ic) with
+             | Some _ -> incr n
+             | None -> stop := true
+           done
+         with End_of_file -> ());
+        !n)
+  end
 
 let open_append jpath =
+  let base = read_base jpath in
+  let count = count_records jpath in
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 jpath
   in
-  { jpath; oc }
+  { jpath; oc; base; next = base + count }
+
+(* Seed a journal's cursor before it exists: a follower installing a
+   checkpoint fetched at sequence [seq] writes the sidecar and an empty
+   journal so the next [open_append] continues numbering from [seq]. *)
+let install_base jpath seq =
+  write_base jpath seq;
+  if not (Sys.file_exists jpath) then
+    close_out (open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 jpath)
 
 let m_appends = Icdb_obs.Metrics.counter "journal.appends"
 
@@ -178,13 +248,20 @@ let append t e =
   Icdb_obs.Metrics.incr m_appends;
   !append_hook ();
   output_string t.oc (encode_line e);
-  flush t.oc
+  flush t.oc;
+  t.next <- t.next + 1
 
 let close t = close_out t.oc
 
-(* Atomically truncate the journal: close, reopen empty. Used after a
-   snapshot checkpoint absorbs every journaled operation. *)
+(* Truncate the journal after a snapshot checkpoint has absorbed every
+   journaled operation. The sequence base advances to [next] and is
+   persisted first: a crash between the sidecar write and the
+   truncation re-numbers the stale records, which the checkpoint
+   contract already tolerates (recovery loads the snapshot and replays
+   idempotently; see Db.checkpoint). *)
 let reset t =
+  t.base <- t.next;
+  write_base t.jpath t.base;
   close_out t.oc;
   t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.jpath
 
@@ -232,3 +309,55 @@ let rewrite jpath entries =
     ~finally:(fun () -> close_out oc)
     (fun () -> List.iter (fun e -> output_string oc (encode_line e)) entries);
   Sys.rename tmp jpath
+
+(* ------------------------------------------------------------------ *)
+(* Replication tail reads                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stream = {
+  st_first : int;
+  st_entries : entry list;
+  st_torn : bool;
+}
+
+let m_streamed = Icdb_obs.Metrics.counter "journal.streamed_entries"
+
+(* Tail-read from a global sequence number. Reads the live file, so a
+   record whose final flush is racing us decodes as torn; like replay,
+   the stream stops at the longest valid prefix and reports the torn
+   tail rather than failing — the next poll picks the record up once
+   its bytes are complete. *)
+let stream_from t ~seq ?(max_records = max_int) () =
+  Icdb_obs.Trace.with_span "journal.stream" @@ fun () ->
+  !stream_hook ();
+  if seq < t.base || seq > t.next then
+    journal_err "stream_from: seq %d outside journal window [%d, %d)" seq
+      t.base t.next;
+  flush t.oc;
+  if not (Sys.file_exists t.jpath) then
+    { st_first = seq; st_entries = []; st_torn = false }
+  else begin
+    let ic = open_in_bin t.jpath in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let idx = ref t.base in
+        let out = ref [] in
+        let torn = ref false in
+        let count = ref 0 in
+        (try
+           while (not !torn) && !count < max_records do
+             let line = input_line ic in
+             match decode_line line with
+             | Some e ->
+                 if !idx >= seq then begin
+                   out := e :: !out;
+                   incr count
+                 end;
+                 incr idx
+             | None -> torn := true
+           done
+         with End_of_file -> ());
+        Icdb_obs.Metrics.incr ~by:!count m_streamed;
+        { st_first = seq; st_entries = List.rev !out; st_torn = !torn })
+  end

@@ -42,6 +42,9 @@ let test_request_roundtrip () =
       Wire.Sql "SELECT name FROM components";
       Wire.Stats;
       Wire.Trace_fetch "cli42.7";
+      Wire.Subscribe { cursor = 0 };
+      Wire.Subscribe { cursor = 0x7edc_ba98_7654 };
+      Wire.Subscribe { cursor = -1 };
       Wire.Shutdown ]
   in
   List.iter
@@ -78,7 +81,7 @@ let test_ctx_roundtrip () =
 let all_error_codes =
   [ Wire.Parse_error; Wire.Exec_error; Wire.Sql_error; Wire.Protocol_error;
     Wire.Version_mismatch; Wire.Overloaded; Wire.Timeout; Wire.Shutting_down;
-    Wire.Internal ]
+    Wire.Internal; Wire.Read_only ]
 
 let test_response_roundtrip () =
   let resps =
@@ -124,7 +127,25 @@ let test_response_roundtrip () =
           { Wire.rs_id = 2; rs_parent = Some 1; rs_name = "gen.synthesize";
             rs_tag = "cli1.1"; rs_start_ns = 12400; rs_dur_ns = 500;
             rs_attrs = [] } ];
-      Wire.Bye ]
+      Wire.Bye;
+      (* v3 replication stream frames *)
+      Wire.Journal_batch
+        { jb_first = 0; jb_next = 0; jb_records = []; jb_files = [] };
+      Wire.Journal_batch
+        { jb_first = 41; jb_next = 44;
+          jb_records = [ "a1b2c3d4\tI\tinstances\tx"; "00000000\tD\tt\ty";
+                         "" ];
+          jb_files =
+            [ ("c1.vhdl", "entity c1 is\nend;\n"); ("empty.iif", "");
+              ("bin", String.init 256 Char.chr) ] };
+      Wire.Checkpoint_offer { co_cursor = 0; co_files = 0 };
+      Wire.Checkpoint_offer { co_cursor = 0x7edc_ba98_7654; co_files = 12 };
+      Wire.Checkpoint_chunk { cc_name = "icdb.snapshot"; cc_data = ""; cc_last = true };
+      Wire.Checkpoint_chunk
+        { cc_name = "c1.vhdl"; cc_data = String.init 256 Char.chr;
+          cc_last = false };
+      Wire.Repl_error "";
+      Wire.Repl_error "cursor left the journal window" ]
     @ List.map
         (fun code -> Wire.Error { code; message = "why: \"quoted\"\n" })
         all_error_codes

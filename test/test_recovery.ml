@@ -90,6 +90,79 @@ let test_journal_checksum () =
   check Alcotest.bool "only the prefix survives" true
     (got = [ Journal.Tx_begin "a" ])
 
+(* The record-sequence cursor: monotonic across truncations, persisted
+   in the sidecar, and rebuilt on reopen as base + records on disk. *)
+let test_journal_cursor () =
+  let path = Filename.temp_file "icdb_j" ".journal" in
+  let j = Journal.open_append path in
+  check Alcotest.int "fresh base" 0 (Journal.base_seq j);
+  check Alcotest.int "fresh next" 0 (Journal.next_seq j);
+  Journal.append j (Journal.Tx_begin "a");
+  Journal.append j (Journal.Tx_commit "a");
+  check Alcotest.int "next counts appends" 2 (Journal.next_seq j);
+  (* a checkpoint truncation absorbs the records but never rewinds the
+     sequence space *)
+  Journal.reset j;
+  check Alcotest.int "base advances to next" 2 (Journal.base_seq j);
+  check Alcotest.int "next survives reset" 2 (Journal.next_seq j);
+  Journal.append j (Journal.Tx_begin "b");
+  check Alcotest.int "appends keep counting" 3 (Journal.next_seq j);
+  Journal.close j;
+  let j2 = Journal.open_append path in
+  check Alcotest.int "base survives close/reopen" 2 (Journal.base_seq j2);
+  check Alcotest.int "next = base + records on disk" 3 (Journal.next_seq j2);
+  Journal.close j2;
+  (* seeding a follower journal pins both ends of the window *)
+  let ws = Filename.temp_file "icdb_jb" "" in
+  Sys.remove ws;
+  Unix.mkdir ws 0o755;
+  let jpath = Filename.concat ws "icdb.journal" in
+  Journal.install_base jpath 57;
+  let jb = Journal.open_append jpath in
+  check Alcotest.int "installed base" 57 (Journal.base_seq jb);
+  check Alcotest.int "installed next" 57 (Journal.next_seq jb);
+  Journal.close jb;
+  Sys.remove path;
+  Sys.remove (path ^ ".seq")
+
+let test_journal_stream_from () =
+  let path = Filename.temp_file "icdb_j" ".journal" in
+  let j = Journal.open_append path in
+  List.iter
+    (fun n -> Journal.append j (Journal.Tx_begin n))
+    [ "a"; "b"; "c"; "d" ];
+  (* a window in the middle, bounded by max_records *)
+  let s = Journal.stream_from j ~seq:1 ~max_records:2 () in
+  check Alcotest.int "first requested seq" 1 s.Journal.st_first;
+  check Alcotest.bool "exact middle slice" true
+    (s.Journal.st_entries = [ Journal.Tx_begin "b"; Journal.Tx_begin "c" ]);
+  check Alcotest.bool "clean read" false s.Journal.st_torn;
+  (* seq = next is a valid empty read (a caught-up follower) *)
+  let s = Journal.stream_from j ~seq:4 () in
+  check Alcotest.bool "caught up means empty" true (s.Journal.st_entries = []);
+  (* outside the window is the caller's bug *)
+  (try
+     ignore (Journal.stream_from j ~seq:5 ());
+     Alcotest.fail "expected Journal_error past next"
+   with Journal.Journal_error _ -> ());
+  Journal.reset j;
+  (try
+     ignore (Journal.stream_from j ~seq:0 ());
+     Alcotest.fail "expected Journal_error below base"
+   with Journal.Journal_error _ -> ());
+  (* a torn final record stops the stream at the valid prefix *)
+  Journal.append j (Journal.Tx_begin "e");
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "deadbeef\tI\tt";
+  close_out oc;
+  let s = Journal.stream_from j ~seq:4 () in
+  check Alcotest.bool "valid prefix served" true
+    (s.Journal.st_entries = [ Journal.Tx_begin "e" ]);
+  check Alcotest.bool "torn tail flagged" true s.Journal.st_torn;
+  Journal.close j;
+  Sys.remove path;
+  Sys.remove (path ^ ".seq")
+
 let test_faultinject_spec () =
   with_faults @@ fun () ->
   Faultinject.arm_from_spec "techmap:crash:2;sizing:transient:1";
@@ -207,6 +280,34 @@ let test_durable_reopen () =
     ignore (Server.create ~workspace:ws ~durable:true ());
     Alcotest.fail "expected Icdb_error"
   with Server.Icdb_error _ -> ()
+
+(* A crash mid-append leaves a partial final journal record: reopen
+   must cut it, report it, and leave a journal that appends cleanly. *)
+let test_reopen_torn_tail () =
+  let server = Server.create ~verify:false ~durable:true () in
+  let ws = Server.workspace server in
+  let a = Server.request_component server (counter_spec ~size:4 ()) in
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Filename.concat ws "icdb.journal")
+  in
+  output_string oc "deadbeef\tI\tinstances\tpart";
+  close_out oc;
+  let server2, r = Server.reopen ~verify:false ~workspace:ws () in
+  check Alcotest.bool "torn tail reported" true r.Server.rr_torn_tail;
+  check
+    (Alcotest.list Alcotest.string)
+    "full records all survive" [ a.Instance.id ]
+    (Server.instance_ids server2);
+  (* the tail was truncated, not just skipped: new writes land after a
+     valid prefix and a second reopen is clean *)
+  let b = Server.request_component server2 (counter_spec ~size:6 ()) in
+  let server3, r3 = Server.reopen ~verify:false ~workspace:ws () in
+  check Alcotest.bool "clean after truncation" false r3.Server.rr_torn_tail;
+  check
+    (Alcotest.list Alcotest.string)
+    "both instances recovered"
+    (List.sort String.compare [ a.Instance.id; b.Instance.id ])
+    (Server.instance_ids server3)
 
 let test_checkpoint () =
   let server = Server.create ~verify:false ~durable:true () in
@@ -396,6 +497,8 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
           Alcotest.test_case "checksum" `Quick test_journal_checksum;
+          Alcotest.test_case "cursor" `Quick test_journal_cursor;
+          Alcotest.test_case "stream_from" `Quick test_journal_stream_from;
           Alcotest.test_case "fault spec" `Quick test_faultinject_spec ] );
       ( "hardening",
         [ Alcotest.test_case "sql quoting" `Quick test_sql_quote;
@@ -405,6 +508,8 @@ let () =
             test_delete_instance_files ] );
       ( "reopen",
         [ Alcotest.test_case "durable reopen" `Quick test_durable_reopen;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_reopen_torn_tail;
           Alcotest.test_case "checkpoint" `Quick test_checkpoint;
           Alcotest.test_case "corrupt artifact dropped" `Quick
             test_corrupt_artifact_dropped;

@@ -1,0 +1,416 @@
+(* Replication tests: a follower bootstraps from a checkpoint, streams
+   the primary's journal, survives restarts on either side and injected
+   faults at the streaming and replay sites, refuses writes, and gates
+   its /readyz on replication lag. The differential tests assert the
+   strongest property we have: after the stream drains, the follower
+   answers CQL and SQL byte-identically to the primary. *)
+
+open Icdb
+open Icdb_net
+
+let check = Alcotest.check
+
+let quiet_events = lazy (Icdb_obs.Event.set_level Icdb_obs.Event.Error)
+
+(* A path that does not exist yet; Replica.create makes the directory. *)
+let fresh_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  path
+
+(* A durable primary with its lock wrapper exposed: the tests need the
+   journal cursor and checkpoints under the same lock the service uses. *)
+let with_primary ?(config = Service.default_config) f =
+  Lazy.force quiet_events;
+  let server = Server.create ~verify:false ~durable:true () in
+  let sync = Sync.wrap server in
+  let svc = Service.start ~config:{ config with port = 0 } sync in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () -> f svc (Service.port svc) sync)
+
+let primary_next sync =
+  Sync.with_server sync (fun server ->
+      match Icdb_reldb.Db.journal (Server.db server) with
+      | Some j -> Icdb_reldb.Journal.next_seq j
+      | None -> 0)
+
+let wait_for ?(timeout = 30.0) ~what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.05
+  done;
+  if not (pred ()) then Alcotest.failf "timed out waiting for %s" what
+
+(* Caught up = connected and the local journal has every record the
+   primary had when we looked. *)
+let wait_caught_up ?timeout replica psync =
+  let target = primary_next psync in
+  wait_for ?timeout ~what:"follower catch-up" (fun () ->
+      Replica.connected replica && Replica.cursor replica >= target)
+
+let with_client ~port f =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok_exec client ?args text =
+  match Client.exec client ?args text with
+  | Ok results -> results
+  | Error (code, msg) ->
+      Alcotest.failf "%s failed: %s: %s" text
+        (Wire.error_code_to_string code) msg
+
+let get_str results name =
+  match List.assoc_opt name results with
+  | Some (Icdb_cql.Exec.Rstr s) -> s
+  | _ -> Alcotest.failf "no string binding %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Differential probes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every instances column except [file], whose value is a primary-side
+   path: identical bytes in the replicated row, but comparing it would
+   prove nothing about the follower's own workspace. *)
+let instances_sql =
+  "SELECT id, component, gates, area, clock_width, constraints_met, \
+   degraded, spec_key FROM instances"
+
+let instance_rows port =
+  with_client ~port @@ fun c ->
+  match Client.sql c instances_sql with
+  | Ok (Wire.Relation { rows; _ }) -> List.sort compare rows
+  | Ok _ -> Alcotest.fail "instances query returned no relation"
+  | Error (_, msg) -> Alcotest.failf "sql failed: %s" msg
+
+let instance_ids port =
+  with_client ~port @@ fun c ->
+  match Client.sql c "SELECT id FROM instances" with
+  | Ok (Wire.Relation { rows; _ }) ->
+      List.sort compare (List.concat rows)
+  | Ok _ -> Alcotest.fail "id query returned no relation"
+  | Error (_, msg) -> Alcotest.failf "sql failed: %s" msg
+
+let instance_fields port id =
+  with_client ~port @@ fun c ->
+  ok_exec c ~args:[ Icdb_cql.Exec.Astr id ]
+    "command:instance_query; instance:%s; delay:?s; gates:?d; \
+     area_value:?r; shape_function:?s; VHDL_net_list:?s"
+
+(* The follower must be indistinguishable from the primary: same rows,
+   same instances, and field-for-field identical CQL answers. *)
+let assert_identical ~pport ~fport =
+  let prows = instance_rows pport and frows = instance_rows fport in
+  check Alcotest.bool "instances relation identical" true (prows = frows);
+  let pids = instance_ids pport in
+  check Alcotest.bool "some instances survived" true (pids <> []);
+  List.iter
+    (fun id ->
+      let p = instance_fields pport id and f = instance_fields fport id in
+      check Alcotest.bool
+        (Printf.sprintf "instance %s answers identically" id)
+        true (p = f))
+    pids
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let components = [| ("counter", ""); ("adder", ""); ("comparator", "") |]
+let sizes = [| 2; 3; 4; 5; 8 |]
+let design_counter = ref 0
+
+(* One randomized design round: generate a few instances inside a
+   transaction, keep a random subset, and sometimes tear the whole
+   design down — exercising both Insert and Delete journal records. *)
+let workload_round rng client =
+  incr design_counter;
+  let design = Printf.sprintf "repl_d%d" !design_counter in
+  let run text = ignore (ok_exec client text) in
+  run (Printf.sprintf "command:start_a_design; design:%s" design);
+  run (Printf.sprintf "command:start_a_transaction; design:%s" design);
+  let made = ref [] in
+  for _ = 1 to 1 + Random.State.int rng 2 do
+    let name, _ = components.(Random.State.int rng (Array.length components)) in
+    let size = sizes.(Random.State.int rng (Array.length sizes)) in
+    let r =
+      ok_exec client
+        (Printf.sprintf
+           "command:request_component; component_name:%s; \
+            attribute:(size:%d); instance:?s"
+           name size)
+    in
+    made := get_str r "instance" :: !made
+  done;
+  List.iter
+    (fun id ->
+      if Random.State.bool rng then
+        ignore
+          (ok_exec client
+             ~args:[ Icdb_cql.Exec.Astr id ]
+             (Printf.sprintf
+                "command:put_in_component_list; design:%s; instance:%%s"
+                design)))
+    !made;
+  run (Printf.sprintf "command:end_a_transaction; design:%s" design);
+  if Random.State.int rng 3 = 0 then
+    run (Printf.sprintf "command:end_a_design; design:%s" design)
+
+let workload rng client rounds =
+  for _ = 1 to rounds do
+    workload_round rng client
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint bootstrap                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* A virgin follower whose primary already checkpointed must fetch the
+   checkpoint (its cursor predates the journal window), then stream,
+   and end up byte-identical. *)
+let test_checkpoint_bootstrap () =
+  with_primary @@ fun _psvc pport psync ->
+  let rng = Random.State.make [| 11 |] in
+  with_client ~port:pport (fun c -> workload rng c 4);
+  (* absorb the journal: the window now starts at the checkpoint *)
+  Sync.with_server psync Server.checkpoint;
+  let ws = fresh_dir "icdb_repl_boot" in
+  let rcfg = { Replica.default_config with port = pport } in
+  let replica = Replica.create ~config:rcfg ~workspace:ws () in
+  Fun.protect ~finally:(fun () -> Replica.stop replica) @@ fun () ->
+  Replica.run replica;
+  (* keep writing after the checkpoint: the stream part of catch-up *)
+  with_client ~port:pport (fun c -> workload rng c 2);
+  wait_caught_up replica psync;
+  let fsvc =
+    Service.start
+      ~config:{ Service.default_config with port = 0; read_only = true }
+      (Replica.sync replica)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown fsvc) @@ fun () ->
+  assert_identical ~pport ~fport:(Service.port fsvc)
+
+(* ------------------------------------------------------------------ *)
+(* Differential workload with a follower restart mid-catch-up          *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_restart () =
+  with_primary @@ fun _psvc pport psync ->
+  let rng = Random.State.make [| 42 |] in
+  let ws = fresh_dir "icdb_repl_diff" in
+  let rcfg = { Replica.default_config with port = pport } in
+  (* first life: stream from a virgin workspace while writes flow *)
+  let r1 = Replica.create ~config:rcfg ~workspace:ws () in
+  Replica.run r1;
+  with_client ~port:pport (fun c -> workload rng c 5);
+  (* stop mid-catch-up — r1 may or may not have drained; the point is
+     the second life resumes from whatever its journal holds *)
+  Replica.stop r1;
+  with_client ~port:pport (fun c -> workload rng c 5);
+  (* force the primary's window past the stopped follower's cursor, so
+     the restart must also handle a mid-life checkpoint re-sync *)
+  Sync.with_server psync Server.checkpoint;
+  with_client ~port:pport (fun c -> workload rng c 2);
+  let r2 = Replica.create ~config:rcfg ~workspace:ws () in
+  Fun.protect ~finally:(fun () -> Replica.stop r2) @@ fun () ->
+  Replica.run r2;
+  wait_caught_up r2 psync;
+  let fsvc =
+    Service.start
+      ~config:{ Service.default_config with port = 0; read_only = true }
+      (Replica.sync r2)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown fsvc) @@ fun () ->
+  assert_identical ~pport ~fport:(Service.port fsvc)
+
+(* ------------------------------------------------------------------ *)
+(* Read-only enforcement                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_read_only () =
+  Lazy.force quiet_events;
+  let server = Server.create ~verify:false ~durable:true () in
+  (* seed one instance while still writable, for the read probes *)
+  let inst =
+    Icdb_cql.Exec.get_string
+      (Icdb_cql.Exec.run server
+         "command:request_component; component_name:counter; \
+          attribute:(size:4); instance:?s")
+      "instance"
+  in
+  let sync = Sync.wrap server in
+  let svc =
+    Service.start
+      ~config:{ Service.default_config with port = 0; read_only = true }
+      sync
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  with_client ~port:(Service.port svc) @@ fun c ->
+  (* every mutating CQL command bounces with the structured code *)
+  List.iter
+    (fun text ->
+      match Client.exec c text with
+      | Error (Wire.Read_only, msg) ->
+          check Alcotest.bool "names the command" true
+            (String.length msg > 0)
+      | Error (code, msg) ->
+          Alcotest.failf "%s: wrong code %s: %s" text
+            (Wire.error_code_to_string code) msg
+      | Ok _ -> Alcotest.failf "%s succeeded on a follower" text)
+    [ "command:request_component; component_name:counter; \
+       attribute:(size:4); instance:?s";
+      "command:start_a_design; design:chip";
+      "command:start_a_transaction; design:chip";
+      "command:put_in_component_list; design:chip; instance:x";
+      "command:end_a_transaction; design:chip";
+      "command:end_a_design; design:chip" ];
+  (* mutating SQL bounces too *)
+  (match Client.sql c "DELETE FROM instances" with
+   | Error (Wire.Read_only, _) -> ()
+   | Error (code, _) ->
+       Alcotest.failf "DELETE: wrong code %s"
+         (Wire.error_code_to_string code)
+   | Ok _ -> Alcotest.fail "DELETE succeeded on a follower");
+  (* reads still work *)
+  let r =
+    ok_exec c ~args:[ Icdb_cql.Exec.Astr inst ]
+      "command:instance_query; instance:%s; gates:?d"
+  in
+  check Alcotest.bool "instance_query allowed" true (r <> []);
+  (match Client.sql c "SELECT id FROM instances" with
+   | Ok (Wire.Relation { rows; _ }) ->
+       check Alcotest.int "select allowed" 1 (List.length rows)
+   | _ -> Alcotest.fail "SELECT failed on a follower");
+  (* a follower does not fan out: subscribing to it is refused *)
+  match Client.call c (Wire.Subscribe { cursor = 0 }) with
+  | Wire.Repl_error _ -> ()
+  | _ -> Alcotest.fail "subscribe to a follower not refused"
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection at the streaming and replay sites                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_faults f = Fun.protect ~finally:Faultinject.reset f
+
+(* Transient faults in the primary's journal tail-read and the
+   follower's replay must heal: the publisher retries its tick, the
+   follower reconnects, and catch-up still completes. *)
+let test_fault_healing () =
+  with_faults @@ fun () ->
+  with_primary @@ fun _psvc pport psync ->
+  let rng = Random.State.make [| 7 |] in
+  let ws = fresh_dir "icdb_repl_fault" in
+  let rcfg = { Replica.default_config with port = pport } in
+  let replica = Replica.create ~config:rcfg ~workspace:ws () in
+  Fun.protect ~finally:(fun () -> Replica.stop replica) @@ fun () ->
+  Replica.run replica;
+  wait_caught_up replica psync;
+  Faultinject.arm Faultinject.Journal_stream
+    (Faultinject.Fail (2, Fault.Transient));
+  Faultinject.arm Faultinject.Repl_replay
+    (Faultinject.Fail (1, Fault.Transient));
+  with_client ~port:pport (fun c -> workload rng c 3);
+  wait_caught_up replica psync;
+  check Alcotest.bool "journal_stream site fired" true
+    (Faultinject.hits Faultinject.Journal_stream > 0);
+  check Alcotest.bool "repl_replay site fired" true
+    (Faultinject.hits Faultinject.Repl_replay > 0);
+  let fsvc =
+    Service.start
+      ~config:{ Service.default_config with port = 0; read_only = true }
+      (Replica.sync replica)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown fsvc) @@ fun () ->
+  assert_identical ~pport ~fport:(Service.port fsvc)
+
+(* ------------------------------------------------------------------ *)
+(* Lag-gated readiness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_readyz_gating () =
+  with_primary @@ fun _psvc pport psync ->
+  with_client ~port:pport (fun c ->
+      ignore
+        (ok_exec c
+           "command:request_component; component_name:counter; \
+            attribute:(size:4); instance:?s"));
+  let ws = fresh_dir "icdb_repl_ready" in
+  let rcfg = { Replica.default_config with port = pport } in
+  let replica = Replica.create ~config:rcfg ~workspace:ws () in
+  Fun.protect ~finally:(fun () -> Replica.stop replica) @@ fun () ->
+  let fsvc =
+    Service.start
+      ~config:{ Service.default_config with port = 0; read_only = true }
+      (Replica.sync replica)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown fsvc) @@ fun () ->
+  let admin =
+    Admin.start ~replica ~port:0 ~service:fsvc ~sync:(Replica.sync replica) ()
+  in
+  Fun.protect ~finally:(fun () -> Admin.stop admin) @@ fun () ->
+  let aport = Admin.port admin in
+  (* stream not started: not connected, so not ready *)
+  let status, body = Icdb_obs.Expo.http_get ~port:aport "/readyz" in
+  check Alcotest.int "not ready before the stream starts" 503 status;
+  check Alcotest.bool "repl_connected is the failing check" true
+    (let rec contains i =
+       i + 19 <= String.length body
+       && (String.sub body i 19 = "repl_connected FAIL" || contains (i + 1))
+     in
+     contains 0);
+  (* start the stream: readiness flips once the lag drains *)
+  Replica.run replica;
+  wait_for ~what:"/readyz 200" (fun () ->
+      fst (Icdb_obs.Expo.http_get ~port:aport "/readyz") = 200);
+  ignore (primary_next psync)
+
+(* ------------------------------------------------------------------ *)
+(* Primary restart: the follower reconnects and drains the rest        *)
+(* ------------------------------------------------------------------ *)
+
+let test_primary_restart () =
+  Lazy.force quiet_events;
+  let server = Server.create ~verify:false ~durable:true () in
+  let sync = Sync.wrap server in
+  let svc1 =
+    Service.start ~config:{ Service.default_config with port = 0 } sync
+  in
+  let pport = Service.port svc1 in
+  let rng = Random.State.make [| 3 |] in
+  with_client ~port:pport (fun c -> workload rng c 2);
+  let ws = fresh_dir "icdb_repl_prestart" in
+  let rcfg = { Replica.default_config with port = pport } in
+  let replica = Replica.create ~config:rcfg ~workspace:ws () in
+  Fun.protect ~finally:(fun () -> Replica.stop replica) @@ fun () ->
+  Replica.run replica;
+  wait_caught_up replica sync;
+  (* take the primary's service down; its server (and journal) survive *)
+  Service.shutdown svc1;
+  wait_for ~what:"follower to notice the outage" (fun () ->
+      not (Replica.connected replica));
+  (* bring it back on the same port and keep writing *)
+  let svc2 =
+    Service.start ~config:{ Service.default_config with port = pport } sync
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc2) @@ fun () ->
+  with_client ~port:pport (fun c -> workload rng c 2);
+  wait_caught_up ~timeout:60.0 replica sync;
+  let fsvc =
+    Service.start
+      ~config:{ Service.default_config with port = 0; read_only = true }
+      (Replica.sync replica)
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown fsvc) @@ fun () ->
+  assert_identical ~pport ~fport:(Service.port fsvc)
+
+let () =
+  Alcotest.run "repl"
+    [ ( "replication",
+        [ Alcotest.test_case "checkpoint bootstrap" `Quick
+            test_checkpoint_bootstrap;
+          Alcotest.test_case "differential restart" `Quick
+            test_differential_restart;
+          Alcotest.test_case "read-only follower" `Quick test_read_only;
+          Alcotest.test_case "fault healing" `Quick test_fault_healing;
+          Alcotest.test_case "readyz gating" `Quick test_readyz_gating;
+          Alcotest.test_case "primary restart" `Quick test_primary_restart ] ) ]
