@@ -1014,7 +1014,6 @@ let serve_bench () =
   in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
-  Icdb_net.Service.shutdown svc;
   let lats = Array.concat (Array.to_list (Array.map Array.copy slots)) in
   Array.sort compare lats;
   let total = Array.length lats in
@@ -1035,6 +1034,66 @@ let serve_bench () =
   Printf.printf "shape checks: all requests answered (%b), p99 >= p50 (%b)\n"
     (total = clients * queries)
     (p99 >= p50);
+  (* E21: the batching curve. The caches are hot now (the sequential
+     sweep above generated every component), so this isolates what the
+     wire v4 [Batch] frame buys on the hit-dominated path: one framing
+     round trip and one admission decision amortized over the whole
+     batch instead of paid per request. Each client still runs the same
+     number of queries; only the grouping changes. *)
+  let batch_sizes = if smoke then [ 1; 5; 25 ] else [ 1; 4; 16; 64 ] in
+  let run_batch_client size k =
+    let c = Icdb_net.Client.connect ~port () in
+    let hot =
+      [| Printf.sprintf
+           "command:request_component; component_name:counter; \
+            attribute:(size:%d); attribute:(type:2); instance:?s"
+           (3 + k);
+         "command:function_query; function:(INC); component:?s" |]
+    in
+    let sent = ref 0 in
+    while !sent < queries do
+      let n = min size (queries - !sent) in
+      let entries =
+        List.init n (fun i ->
+            Icdb_net.Wire.Bcql
+              { text = hot.((!sent + i) mod Array.length hot); args = [] })
+      in
+      (match Icdb_net.Client.batch c entries with
+      | Ok results ->
+          List.iter
+            (function
+              | Icdb_net.Wire.Berror { message; _ } ->
+                  failwith ("serve bench batch entry failed: " ^ message)
+              | _ -> ())
+            results
+      | Error (_, msg) -> failwith ("serve bench batch failed: " ^ msg));
+      sent := !sent + n
+    done;
+    Icdb_net.Client.close c
+  in
+  let batch_curve =
+    List.map
+      (fun size ->
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun k ->
+              Thread.create (fun () -> run_batch_client size k) ())
+        in
+        List.iter Thread.join threads;
+        let bwall = Unix.gettimeofday () -. t0 in
+        let rps = float_of_int (clients * queries) /. bwall in
+        Printf.printf "batch size %3d: %d requests in %.3f s -> %.0f req/s\n"
+          size (clients * queries) bwall rps;
+        (size, bwall, rps))
+      batch_sizes
+  in
+  Icdb_net.Service.shutdown svc;
+  let batch_rps =
+    List.fold_left (fun a (_, _, r) -> Float.max a r) 0.0 batch_curve
+  in
+  let batch_speedup = if throughput > 0.0 then batch_rps /. throughput else 0.0 in
+  Printf.printf "best batched throughput: %.0f req/s (%.2fx the sequential %.0f)\n"
+    batch_rps batch_speedup throughput;
   let dir = out_dir () in
   let path = Filename.concat dir "BENCH_serve.json" in
   Bench_json.write ~path
@@ -1051,8 +1110,27 @@ let serve_bench () =
          ("p99_s", Bench_json.float ~prec:9 p99);
          ( "max_s",
            Bench_json.float ~prec:9
-             (if total = 0 then 0.0 else lats.(total - 1)) ) ]);
-  Printf.printf "trajectory -> %s\n" path
+             (if total = 0 then 0.0 else lats.(total - 1)) );
+         ( "batch_curve",
+           Bench_json.List
+             (List.map
+                (fun (size, bwall, rps) ->
+                  Bench_json.Obj
+                    [ ("batch_size", Bench_json.Int size);
+                      ("wall_s", Bench_json.float ~prec:6 bwall);
+                      ("rps", Bench_json.float ~prec:1 rps) ])
+                batch_curve) );
+         ("batch_rps", Bench_json.float ~prec:1 batch_rps);
+         ("batch_speedup", Bench_json.float ~prec:3 batch_speedup) ]);
+  Printf.printf "trajectory -> %s\n" path;
+  (* the CI gate: batching must actually pay, or the v4 frame is
+     overhead masquerading as a feature *)
+  if batch_rps <= throughput then begin
+    Printf.printf
+      "BATCH GATE FAILED: batched %.0f req/s <= sequential %.0f req/s\n"
+      batch_rps throughput;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E19 / admin: the observability plane's cost on serve throughput     *)

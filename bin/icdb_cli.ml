@@ -127,6 +127,65 @@ let print_stats_payload (p : Icdb_net.Wire.stats_payload) =
       p.sp_slow
   end
 
+(* One shell command string to one batch entry: the same "!sql " prefix
+   convention the sequential shell uses, everything else CQL. *)
+let batch_entry_of_cmd cmd =
+  if has_prefix "!sql " cmd then
+    Icdb_net.Wire.Bsql (String.sub cmd 5 (String.length cmd - 5))
+  else Icdb_net.Wire.Bcql { text = String.trim cmd; args = [] }
+
+(* Send many commands as one pipelined [Batch] frame and print the
+   per-entry results in order; [false] when the batch was refused as a
+   whole or any entry failed. *)
+let remote_batch ?trace_id client cmds =
+  match
+    Icdb_net.Client.batch client ?trace_id (List.map batch_entry_of_cmd cmds)
+  with
+  | Error (code, msg) ->
+      Printf.printf "remote error (%s): %s\n"
+        (Icdb_net.Wire.error_code_to_string code)
+        msg;
+      false
+  | Ok results ->
+      let ok = ref true in
+      List.iteri
+        (fun i r ->
+          Printf.printf "-- entry %d --\n" (i + 1);
+          match r with
+          | Icdb_net.Wire.Bresults rs -> print_results rs
+          | Icdb_net.Wire.Bsql_result (Icdb_net.Wire.Affected n) ->
+              Printf.printf "%d row(s)\n" n
+          | Icdb_net.Wire.Bsql_result (Icdb_net.Wire.Relation { cols; rows })
+            ->
+              print_relation cols rows
+          | Icdb_net.Wire.Berror { code; message } ->
+              ok := false;
+              Printf.printf "remote error (%s): %s\n"
+                (Icdb_net.Wire.error_code_to_string code)
+                message)
+        results;
+      !ok
+
+(* "!batch" shell syntax: the lines after the "!batch" header are
+   entries separated by lines holding only "--" (CQL commands span
+   lines, so a one-line-per-entry rule would not fit them). *)
+let parse_batch_cmd cmd =
+  match String.split_on_char '\n' cmd with
+  | [] -> []
+  | _header :: rest ->
+      let flush acc entry =
+        match String.trim (String.concat "\n" (List.rev entry)) with
+        | "" -> acc
+        | s -> s :: acc
+      in
+      let rec go acc entry = function
+        | [] -> List.rev (flush acc entry)
+        | line :: rest when String.trim line = "--" ->
+            go (flush acc entry) [] rest
+        | line :: rest -> go acc (line :: entry) rest
+      in
+      go [] [] rest
+
 (* The same commands against a remote icdbd. Transport failures raise
    [Client.Net_error]; server-side failures print the structured error
    frame and return [false]. [trace_id] tags the server-side spans of
@@ -137,7 +196,14 @@ let remote_run ?trace_id client cmd =
       (Icdb_net.Wire.error_code_to_string code) msg;
     false
   in
-  if has_prefix "!sql " cmd then
+  if String.trim (List.hd (String.split_on_char '\n' cmd)) = "!batch" then
+    match parse_batch_cmd cmd with
+    | [] ->
+        print_endline
+          "usage: !batch, then one entry per block separated by `--` lines";
+        false
+    | entries -> remote_batch ?trace_id client entries
+  else if has_prefix "!sql " cmd then
     match
       Icdb_net.Client.sql client ?trace_id
         (String.sub cmd 5 (String.length cmd - 5))
@@ -173,6 +239,9 @@ let shell_loop ?(interactive = true) run_one =
     print_endline
       "Lines starting with !sql query the metadata database; !stats prints \
        server metrics.";
+    print_endline
+      "Remote shells also take !batch: entries separated by `--` lines, \
+       sent as one frame.";
     print_endline "Example:";
     print_endline "  command:request_component;";
     print_endline "  component_name:counter;";
@@ -416,7 +485,11 @@ let serve workspace durable host port port_file admin_port admin_port_file
           serve_loop ~host ~port_file ~admin_port ~admin_port_file ~sync
             ~durable ~svc ())
 
-let connect endpoint trace_out execs =
+let connect endpoint trace_out batch execs =
+  if batch && execs = [] then begin
+    Printf.eprintf "error: --batch needs at least one --exec command\n";
+    exit 2
+  end;
   match parse_host_port endpoint with
   | None ->
       Printf.eprintf "error: expected HOST:PORT, got %s\n" endpoint;
@@ -451,7 +524,28 @@ let connect endpoint trace_out execs =
           in
           let code =
             try
-              if execs <> [] then run_execs run_one execs
+              if batch then begin
+                (* all --exec commands ride in one Batch frame; the
+                   trace id (when tracing) covers the whole batch *)
+                let tid =
+                  match trace_out with
+                  | None -> None
+                  | Some _ ->
+                      let tid = Printf.sprintf "cli%d.1" (Unix.getpid ()) in
+                      last_tid := Some tid;
+                      Some tid
+                in
+                let run () = remote_batch ?trace_id:tid client execs in
+                let ok =
+                  match tid with
+                  | None -> run ()
+                  | Some tid ->
+                      Icdb_obs.Trace.with_tag tid (fun () ->
+                          Icdb_obs.Trace.with_span "client.batch" run)
+                in
+                if ok then 0 else 1
+              end
+              else if execs <> [] then run_execs run_one execs
               else begin
                 let interactive = Unix.isatty Unix.stdin in
                 if interactive then
@@ -904,11 +998,18 @@ let connect_cmd =
                    repeatable, runs in order, exits non-zero at the first \
                    failure" ~docv:"CMD")
   in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:"Send all $(b,--exec) commands as one pipelined Batch \
+                   frame (wire v4): one round trip, per-entry results in \
+                   order, failures isolated to their entry")
+  in
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Interactive CQL shell against a remote icdbd — every local \
              shell workflow, over the wire")
-    Term.(const connect $ endpoint $ trace_out $ execs)
+    Term.(const connect $ endpoint $ trace_out $ batch $ execs)
 
 let recover_cmd =
   let workspace =

@@ -1,10 +1,18 @@
-(* Blocking call/response client over the icdbd wire protocol. *)
+(* Blocking client over the icdbd wire protocol, with pipelining:
+   [call_async] issues without reading, [await] collects by id and
+   stashes whatever other replies arrive first. *)
 
 type t = {
   fd : Unix.file_descr;
   mutable next_id : int;
   mutable open_ : bool;
+  (* replies that arrived while awaiting a different id, keyed by id *)
+  pending : (int, Wire.resp) Hashtbl.t;
+  (* ids issued by [call_async] and not yet redeemed by [await] *)
+  outstanding : (int, unit) Hashtbl.t;
 }
+
+type ticket = int
 
 exception Net_error of string
 
@@ -37,7 +45,11 @@ let connect ?(host = "127.0.0.1") ~port ?(retries = 0) ?(backoff_s = 0.1) () =
     | () ->
         (try Unix.setsockopt fd Unix.TCP_NODELAY true
          with Unix.Unix_error _ -> ());
-        { fd; next_id = 0; open_ = true }
+        { fd;
+          next_id = 0;
+          open_ = true;
+          pending = Hashtbl.create 16;
+          outstanding = Hashtbl.create 16 }
     | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         if tries_left > 0 && transient e then begin
@@ -59,7 +71,10 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let call ?ctx t body =
+(* Send without reading: the ticket is the request id the reply will
+   echo. Many tickets may be outstanding at once — the server answers
+   in completion order and [await] matches them back up. *)
+let call_async ?ctx t body =
   if not t.open_ then fail "connection is closed";
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
@@ -67,24 +82,46 @@ let call ?ctx t body =
    with Unix.Unix_error (e, _, _) ->
      close t;
      fail "send failed: %s" (Unix.error_message e));
-  (* skip unsolicited frames (a [Bye] raced with our request; an
-     id-0 notice) until our id answers, treating a server-initiated
-     close as the error it is for a caller awaiting a reply *)
-  let rec await () =
-    match Wire.read_response t.fd with
-    | Ok { Wire.id = rid; body } when rid = id -> body
-    | Ok { Wire.body = Wire.Bye; _ } ->
-        close t;
-        fail "server closed the connection"
-    | Ok _ -> await ()
-    | Error e ->
-        close t;
-        fail "receive failed: %s" (Wire.decode_error_to_string e)
-    | exception Unix.Unix_error (e, _, _) ->
-        close t;
-        fail "receive failed: %s" (Unix.error_message e)
-  in
-  await ()
+  Hashtbl.replace t.outstanding id ();
+  id
+
+(* Collect the reply for [ticket], in any arrival order: replies to
+   other outstanding tickets are stashed for their own [await]; id-0
+   notices are skipped; a [Bye] for anyone else means the server is
+   closing the connection, which is an error for a caller still owed a
+   reply. *)
+let await t ticket =
+  match Hashtbl.find_opt t.pending ticket with
+  | Some body ->
+      Hashtbl.remove t.pending ticket;
+      Hashtbl.remove t.outstanding ticket;
+      body
+  | None ->
+      if not (Hashtbl.mem t.outstanding ticket) then
+        fail "await: ticket %d is not outstanding (already redeemed?)" ticket;
+      if not t.open_ then fail "connection is closed";
+      let rec loop () =
+        match Wire.read_response t.fd with
+        | Ok { Wire.id = rid; body } when rid = ticket ->
+            Hashtbl.remove t.outstanding ticket;
+            body
+        | Ok { Wire.body = Wire.Bye; _ } ->
+            close t;
+            fail "server closed the connection"
+        | Ok { Wire.id = 0; _ } -> loop ()
+        | Ok { Wire.id = rid; body } ->
+            Hashtbl.replace t.pending rid body;
+            loop ()
+        | Error e ->
+            close t;
+            fail "receive failed: %s" (Wire.decode_error_to_string e)
+        | exception Unix.Unix_error (e, _, _) ->
+            close t;
+            fail "receive failed: %s" (Unix.error_message e)
+      in
+      loop ()
+
+let call ?ctx t body = await t (call_async ?ctx t body)
 
 let ctx_of ?trace_id ?timeout_s () =
   match (trace_id, timeout_s) with
@@ -106,6 +143,18 @@ let sql t ?trace_id stmt =
   | Wire.Sql_result r -> Ok r
   | Wire.Error { code; message } -> Error (code, message)
   | _ -> fail "unexpected response to a SQL request"
+
+let batch t ?trace_id ?timeout_s entries =
+  match
+    call ?ctx:(ctx_of ?trace_id ?timeout_s ()) t (Wire.Batch entries)
+  with
+  | Wire.Batch_reply results ->
+      let sent = List.length entries and got = List.length results in
+      if sent <> got then
+        fail "batch reply arity mismatch: %d entries, %d results" sent got;
+      Ok results
+  | Wire.Error { code; message } -> Error (code, message)
+  | _ -> fail "unexpected response to a batch request"
 
 let stats t =
   match call t Wire.Stats with

@@ -1,13 +1,20 @@
-(** A blocking icdbd client: one TCP connection, one outstanding
-    request at a time, responses matched to requests by id.
+(** A blocking icdbd client: one TCP connection, responses matched to
+    requests by their echoed id.
 
-    This is what [icdb connect] and the [serve] bench drive; it is
-    intentionally tiny — the protocol does support pipelining (ids are
-    echoed), but every current caller is call/response. A [t] is not
-    thread-safe; give each thread its own connection, as the bench
-    does. *)
+    Two modes share the connection machinery: plain call/response
+    ({!call} and the typed helpers), and pipelining — {!call_async}
+    issues a request without reading and returns a {!ticket};
+    {!await} collects a specific ticket's reply, stashing any other
+    replies that arrive first (the server answers in completion order).
+    {!batch} sends many statements in one frame and gets one
+    positionally-matched reply. A [t] is not thread-safe; give each
+    thread its own connection, as the bench does. *)
 
 type t
+
+type ticket
+(** An outstanding request: proof a reply is owed. Redeem exactly once
+    with {!await}. *)
 
 exception Net_error of string
 (** Transport-level failure: connect refused, connection dropped
@@ -36,8 +43,32 @@ val close : t -> unit
 
 val call : ?ctx:Wire.ctx -> t -> Wire.req -> Wire.resp
 (** Send one request and block for its response. [ctx] defaults to
-    {!Wire.no_ctx}.
+    {!Wire.no_ctx}. Equivalent to [await t (call_async t req)].
     @raise Net_error on transport failures. *)
+
+val call_async : ?ctx:Wire.ctx -> t -> Wire.req -> ticket
+(** Send one request without waiting for its reply; any number may be
+    in flight on the connection at once.
+    @raise Net_error on send failure. *)
+
+val await : t -> ticket -> Wire.resp
+(** Block until this ticket's reply is in hand. Replies arrive in the
+    server's completion order — whatever else turns up first is kept
+    for its own [await]. Awaiting the same ticket twice, or a ticket
+    from another connection, raises {!Net_error} (no reply will ever
+    match).
+    @raise Net_error on transport failures or a server-initiated
+    close ([Bye]) while replies are still owed. *)
+
+val batch :
+  t -> ?trace_id:string -> ?timeout_s:float -> Wire.batch_entry list ->
+  (Wire.batch_result list, Wire.error_code * string) result
+(** Send many CQL/SQL statements in one [Batch] frame; the reply holds
+    exactly one result per entry, in entry order, with failures
+    isolated to their entry ([Berror]). The whole batch is one
+    admission-control unit server-side: [Error] is returned when the
+    batch as a whole was refused (shed, timed out, shutting down).
+    @raise Net_error if the reply arity does not match. *)
 
 val exec :
   t -> ?trace_id:string -> ?timeout_s:float ->

@@ -1,0 +1,23 @@
+(* OCaml face of the poll(2) stub (see evpoll_stubs.c for why not
+   Unix.select: select's fd_set caps fd *values* at FD_SETSIZE, usually
+   1024, which a many-connection event loop exceeds immediately).
+
+   The spec is a flat [|fd0; ev0; fd1; ev1; ...|] int array so one
+   preallocated array can be reused tick to tick without boxing; the
+   result is one revents int per watched fd, index-aligned with the
+   spec. *)
+
+(* On Unix, Unix.file_descr is the raw int; this avoids a dependency on
+   the Unix C support headers. *)
+external fd_int : Unix.file_descr -> int = "%identity"
+
+external poll_raw : int array -> int -> int -> int array = "icdb_evpoll_poll"
+
+let rd = 1 (* readable (POLLIN; POLLHUP folds in so EOF reads out) *)
+let wr = 2 (* writable (POLLOUT) *)
+let er = 4 (* error / watched fd invalid (POLLERR | POLLNVAL) *)
+
+(* [poll spec nfds timeout_ms] watches the first [nfds] (fd, events)
+   pairs of [spec]; [timeout_ms] < 0 blocks indefinitely. EINTR is
+   absorbed and reported as "nothing ready". *)
+let poll spec nfds timeout_ms = poll_raw spec nfds timeout_ms

@@ -1,0 +1,76 @@
+/* A minimal poll(2) binding for the icdbd event loop.
+ *
+ * Unix.select is backed by select(2), whose fd_set is a fixed bitmap of
+ * FD_SETSIZE (typically 1024) bits: any fd whose *value* reaches 1024
+ * is out of range no matter how few fds are watched.  An event loop
+ * that wants thousands of mostly-idle connections needs poll(2), which
+ * has no such limit.  The interface is deliberately primitive — a flat
+ * int array of (fd, events) pairs in, an int array of revents out — so
+ * the OCaml side owns all data-structure choices and this file stays a
+ * dumb syscall wrapper.
+ *
+ * Event bits (see evpoll.ml): 1 = readable, 2 = writable; revents adds
+ * 4 = error/invalid (POLLERR | POLLNVAL) and folds POLLHUP into
+ * "readable" so the loop discovers EOF through an ordinary read().
+ */
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+CAMLprim value icdb_evpoll_poll(value v_spec, value v_nfds, value v_timeout_ms)
+{
+    CAMLparam3(v_spec, v_nfds, v_timeout_ms);
+    CAMLlocal1(v_res);
+    int nfds = Int_val(v_nfds);
+    int timeout_ms = Int_val(v_timeout_ms);
+    struct pollfd *pfds;
+    int rc, err, i;
+
+    if (nfds < 0 || 2 * nfds > Wosize_val(v_spec))
+        caml_invalid_argument("Evpoll.poll: spec too short");
+
+    pfds = malloc(sizeof(struct pollfd) * (nfds > 0 ? (size_t)nfds : 1));
+    if (pfds == NULL) caml_raise_out_of_memory();
+
+    for (i = 0; i < nfds; i++) {
+        int ev = Int_val(Field(v_spec, 2 * i + 1));
+        pfds[i].fd = Int_val(Field(v_spec, 2 * i));
+        pfds[i].events = (short)(((ev & 1) ? POLLIN : 0) |
+                                 ((ev & 2) ? POLLOUT : 0));
+        pfds[i].revents = 0;
+    }
+
+    /* poll may park the thread for the full timeout: release the OCaml
+     * runtime lock so workers keep executing requests meanwhile. */
+    caml_release_runtime_system();
+    rc = poll(pfds, (nfds_t)nfds, timeout_ms);
+    err = errno;
+    caml_acquire_runtime_system();
+
+    if (rc < 0 && err != EINTR) {
+        free(pfds);
+        caml_failwith("Evpoll.poll: poll(2) failed");
+    }
+
+    /* EINTR: report nothing ready; the caller's next tick retries. */
+    v_res = caml_alloc(nfds > 0 ? nfds : 1, 0);
+    for (i = 0; i < nfds; i++) {
+        int rev = 0;
+        if (rc > 0) {
+            short r = pfds[i].revents;
+            if (r & (POLLIN | POLLHUP)) rev |= 1;
+            if (r & POLLOUT) rev |= 2;
+            if (r & (POLLERR | POLLNVAL)) rev |= 4;
+        }
+        Store_field(v_res, i, Val_int(rev));
+    }
+    free(pfds);
+    CAMLreturn(v_res);
+}

@@ -1,18 +1,34 @@
-(* icdbd: accept loop + per-connection readers + worker pool over one
-   locked Server.t. See service.mli for the admission-control and
-   shutdown contracts, and sync.mli for the locking discipline.
+(* icdbd: a poll(2) event loop + worker pool over one locked Server.t.
+   See service.mli for the admission-control and shutdown contracts,
+   and sync.mli for the locking discipline.
+
+   One event-loop thread owns all socket readiness: it accepts,
+   reads/frames requests (via Wire.Dechunk, so frames may arrive split
+   at any byte boundary), and drains per-connection write queues with
+   nonblocking writes. Workers execute requests and *enqueue* replies;
+   they never touch a socket. Idle connections therefore cost one
+   registry entry and two ints of poll spec — no thread, no stack.
 
    Thread ownership rules, which keep the teardown free of races:
-   - the accept thread is the only one that creates connections and the
-     only one that runs [teardown];
-   - each reader thread is the only one that reads its socket and the
-     only one that closes it (via [kill_conn], also called from its
-     [Fun.protect] finalizer);
-   - any thread may write a response, serialized by the connection's
-     write lock; writes after death are silently dropped;
+   - the event-loop thread is the only one that creates connections,
+     reads sockets, writes sockets, closes fds, and runs [teardown];
+   - any thread may queue a response ([send_bytes]), serialized by the
+     connection's write lock; queueing to a dead connection is a no-op;
+   - any thread may mark a connection dead ([mark_dead]); only the
+     loop actually closes it, so a watched fd can never be recycled
+     under the running poll;
    - workers never join other threads, so a [Shutdown] frame handled in
-     a worker only flips the stop flag and lets the accept thread do
-     the teardown. *)
+     a worker only flips the stop flag and lets the loop thread do the
+     teardown.
+
+   Backpressure: responses queue per connection. Past [wq_hiwater]
+   bytes the loop stops polling that connection for reads (a client
+   that won't drain replies cannot keep submitting); past [wq_hardcap]
+   the connection is killed (a client that never reads cannot buffer
+   the server into the ground). Replication followers are exempt from
+   the hard cap — their sender threads throttle on the same high-water
+   mark, converting TCP backpressure into [fl_queued] growth and
+   eventually the [repl_max_lag] shed. *)
 
 open Icdb_obs
 
@@ -43,23 +59,40 @@ let default_config =
     repl_max_lag = 10_000;
     repl_batch = 512 }
 
+(* Stop polling a connection for reads once this many response bytes
+   are queued unsent... *)
+let wq_hiwater = 1 lsl 20
+
+(* ...and kill a non-follower connection outright at this point: the
+   peer has not read for [wq_hardcap - wq_hiwater] bytes of backlog. *)
+let wq_hardcap = 64 * (1 lsl 20)
+
+(* Bytes per read(2) on a readable connection. *)
+let rbuf_size = 1 lsl 16
+
 type conn = {
   cid : int;
   fd : Unix.file_descr;
   peer : string;
-  wlock : Mutex.t;             (* serializes writes and the close *)
-  mutable alive : bool;        (* false once the fd is closed *)
+  wlock : Mutex.t;             (* serializes queueing vs flush vs close *)
+  mutable alive : bool;        (* false = logically dead; loop reaps it *)
+  mutable closed : bool;       (* fd actually closed (loop thread only) *)
   mutable last_active : float; (* wall clock of the last complete frame *)
-  mutable rthread : Thread.t option;
   mutable follower : bool;     (* subscribed replication follower: exempt
-                                  from idle reaping, fed by the publisher *)
+                                  from idle reaping and the hard cap *)
+  dechunk : Wire.Dechunk.t;    (* reassembles partial reads; loop-owned *)
+  wq : string Queue.t;         (* encoded frames awaiting the socket *)
+  mutable wq_off : int;        (* bytes of the queue head already sent *)
+  mutable wq_bytes : int;      (* total queued bytes *)
+  mutable fatal : bool;        (* framing lost / reaped: flush, then close *)
 }
 
 (* One subscribed follower, owned by the publisher. The per-follower
    frame queue decouples journal streaming from each follower's TCP
    backpressure: the publisher never blocks on a socket, a dedicated
-   sender thread per follower does the (possibly slow) writes, and a
-   follower whose queue grows past [repl_max_lag] records is shed. *)
+   sender thread per follower feeds the connection's write queue at the
+   high-water mark, and a follower whose queue grows past
+   [repl_max_lag] records is shed. *)
 type follower = {
   fl_conn : conn;
   fl_rid : int;                (* subscribe request id, echoed on pushes *)
@@ -108,7 +141,11 @@ type t = {
   clock : Mutex.t;        (* guards [conns] and [next_cid] *)
   mutable next_cid : int;
   mutable worker_threads : Thread.t list;
-  mutable accept_thread : Thread.t option;
+  mutable loop_thread : Thread.t option;
+  (* self-pipe: any thread that queues bytes or kills a connection
+     writes one byte here so a parked poll wakes and notices *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
   rlock : Mutex.t;        (* guards [followers] *)
   mutable followers : follower list;
   mutable publisher : Thread.t option;
@@ -133,45 +170,115 @@ let c_followers_shed = Metrics.counter "repl.followers_shed"
 let c_checkpoints_sent = Metrics.counter "repl.checkpoints_sent"
 let c_readonly_rejected = Metrics.counter "repl.readonly_rejected"
 
+let g_connections = Metrics.gauge "net.connections"
+
 (* ------------------------------------------------------------------ *)
 (* Connection plumbing                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* Send pre-encoded bytes; a dead peer just marks the connection so the
-   reader notices on its next tick. *)
-let send_bytes conn bytes =
-  Mutex.lock conn.wlock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.wlock)
-    (fun () ->
-      if conn.alive then
-        try Wire.write_frame conn.fd bytes
-        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "w" 0 1)
+  with Unix.Unix_error _ | Sys_error _ -> ()
+  (* EAGAIN = pipe already full of wakeups: the loop is waking anyway *)
 
-let send_resp conn id body = send_bytes conn (Wire.encode_response { id; body })
+(* Queue pre-encoded bytes on the connection and nudge the loop; the
+   loop does the actual write when the socket is ready. Queueing to a
+   dead connection silently drops. *)
+let send_bytes t conn bytes =
+  Mutex.lock conn.wlock;
+  let queued =
+    if conn.alive then begin
+      Queue.push bytes conn.wq;
+      conn.wq_bytes <- conn.wq_bytes + String.length bytes;
+      if conn.wq_bytes > wq_hardcap && not conn.follower then
+        (* the peer stopped reading long ago; cut it loose rather than
+           buffer without bound (its queued replies are forfeit) *)
+        conn.alive <- false;
+      true
+    end
+    else false
+  in
+  Mutex.unlock conn.wlock;
+  if queued then wake t
+
+let send_resp t conn id body =
+  send_bytes t conn (Wire.encode_response { id; body })
 
 let send_error t conn id code message =
   Metrics.incr t.ctr.c_errors;
-  send_resp conn id (Wire.Error { code; message })
+  send_resp t conn id (Wire.Error { code; message })
 
-(* Close the socket and unregister; the write lock orders the close
-   against any in-flight response write. Idempotent. *)
-let kill_conn t conn =
+(* Logical death, callable from any thread. The loop notices on its
+   next tick and does the close, so a polled fd is never recycled out
+   from under the running poll(2). Idempotent. *)
+let mark_dead t conn =
   Mutex.lock conn.wlock;
   let was_alive = conn.alive in
-  if was_alive then begin
-    conn.alive <- false;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
-  end;
+  conn.alive <- false;
   Mutex.unlock conn.wlock;
-  if was_alive then begin
+  if was_alive then wake t
+
+(* Nonblocking flush of the write queue; loop/teardown thread only.
+   Stops at EAGAIN (the socket buffer is full; poll will say when);
+   a socket error marks the connection dead. *)
+let flush_writes conn =
+  Mutex.lock conn.wlock;
+  let continue = ref true in
+  while !continue && not (Queue.is_empty conn.wq) do
+    let head = Queue.peek conn.wq in
+    let off = conn.wq_off in
+    let len = String.length head - off in
+    match Unix.write_substring conn.fd head off len with
+    | n ->
+        conn.wq_bytes <- conn.wq_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop conn.wq);
+          conn.wq_off <- 0
+        end
+        else begin
+          conn.wq_off <- off + n;
+          continue := false
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        continue := false
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        conn.alive <- false;
+        continue := false
+  done;
+  Mutex.unlock conn.wlock
+
+(* Close the socket and unregister; loop/teardown thread only. A last
+   best-effort flush delivers whatever fits in the socket buffer (the
+   courtesy Bye / Repl_error frames). Idempotent. *)
+let close_conn t conn =
+  let doit =
+    Mutex.lock conn.wlock;
+    let doit = not conn.closed in
+    conn.closed <- true;
+    Mutex.unlock conn.wlock;
+    doit
+  in
+  if doit then begin
+    flush_writes conn;
+    Mutex.lock conn.wlock;
+    conn.alive <- false;
+    Mutex.unlock conn.wlock;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Mutex.lock t.clock;
     Hashtbl.remove t.conns conn.cid;
+    Metrics.set g_connections (float_of_int (Hashtbl.length t.conns));
     Mutex.unlock t.clock;
     Metrics.incr t.ctr.c_closed;
     Event.debug ~fields:[ ("conn", string_of_int conn.cid) ]
       "net: connection %s closed" conn.peer
   end
+
+let conns_snapshot t =
+  Mutex.lock t.clock;
+  let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  Mutex.unlock t.clock;
+  l
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (worker side)                                     *)
@@ -203,7 +310,9 @@ let sql_first_word stmt =
 
 (* [Some resp] when a read-only follower must refuse the request. A CQL
    text that does not parse is let through: the executor produces the
-   better (Parse_error) diagnostic. *)
+   better (Parse_error) diagnostic. Batch entries are judged one by
+   one where the batch executes, so a mutating entry poisons only
+   itself. *)
 let read_only_reject t (body : Wire.req) =
   if not t.cfg.read_only then None
   else
@@ -333,6 +442,41 @@ let with_request_trace t ~tag ~attrs info f =
           info.xi_phases <- Trace.phase_totals (Trace.since mark);
           result))
 
+(* Run one SQL statement to a response body, classifying failures. *)
+let exec_sql t ~tag ~attrs info stmt : Wire.resp =
+  match
+    with_request_trace t ~tag ~attrs info (fun server ->
+        Icdb_reldb.Sql.exec (Icdb.Server.db server) stmt)
+  with
+  | Icdb_reldb.Sql.Affected n -> Wire.Sql_result (Wire.Affected n)
+  | Icdb_reldb.Sql.Relation rel ->
+      let cols = List.map fst rel.Icdb_reldb.Query.rschema in
+      let rows =
+        List.map
+          (fun row -> Array.to_list (Array.map Icdb_reldb.Value.to_string row))
+          rel.Icdb_reldb.Query.rrows
+      in
+      Wire.Sql_result (Wire.Relation { cols; rows })
+  | exception Icdb_reldb.Sql.Sql_error msg ->
+      Wire.Error { code = Wire.Sql_error; message = msg }
+
+(* Run one CQL command to a response body, classifying failures. *)
+let exec_cql t ~tag ~attrs info text args : Wire.resp =
+  match
+    with_request_trace t ~tag ~attrs info (fun server ->
+        Icdb_cql.Exec.run server ~args text)
+  with
+  | results -> Wire.Results results
+  | exception Icdb_cql.Exec.Cql_error msg ->
+      Wire.Error { code = Wire.Parse_error; message = msg }
+  | exception Icdb.Server.Icdb_error msg ->
+      Wire.Error { code = Wire.Exec_error; message = msg }
+  | exception Icdb_reldb.Sql.Sql_error msg ->
+      Wire.Error { code = Wire.Sql_error; message = msg }
+
+let c_batches = Metrics.counter "net.batches"
+let c_batch_entries = Metrics.counter "net.batch_entries"
+
 (* Execute one framed request to a response body, classifying every
    expected failure as a structured error code. *)
 let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
@@ -364,36 +508,47 @@ let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
   | Wire.Shutdown ->
       Event.info "net: shutdown requested by %s" conn.peer;
       Atomic.set t.want_stop true;
+      wake t;
       Wire.Bye
-  | Wire.Sql stmt -> (
-      match
-        with_request_trace t ~tag ~attrs info (fun server ->
-            Icdb_reldb.Sql.exec (Icdb.Server.db server) stmt)
-      with
-      | Icdb_reldb.Sql.Affected n -> Wire.Sql_result (Wire.Affected n)
-      | Icdb_reldb.Sql.Relation rel ->
-          let cols = List.map fst rel.Icdb_reldb.Query.rschema in
-          let rows =
-            List.map
-              (fun row ->
-                Array.to_list (Array.map Icdb_reldb.Value.to_string row))
-              rel.Icdb_reldb.Query.rrows
-          in
-          Wire.Sql_result (Wire.Relation { cols; rows })
-      | exception Icdb_reldb.Sql.Sql_error msg ->
-          Wire.Error { code = Wire.Sql_error; message = msg })
-  | Wire.Cql { text; args } -> (
-      match
-        with_request_trace t ~tag ~attrs info (fun server ->
-            Icdb_cql.Exec.run server ~args text)
-      with
-      | results -> Wire.Results results
-      | exception Icdb_cql.Exec.Cql_error msg ->
-          Wire.Error { code = Wire.Parse_error; message = msg }
-      | exception Icdb.Server.Icdb_error msg ->
-          Wire.Error { code = Wire.Exec_error; message = msg }
-      | exception Icdb_reldb.Sql.Sql_error msg ->
-          Wire.Error { code = Wire.Sql_error; message = msg })
+  | Wire.Sql stmt -> exec_sql t ~tag ~attrs info stmt
+  | Wire.Cql { text; args } -> exec_cql t ~tag ~attrs info text args
+  | Wire.Batch entries ->
+      (* one worker, one queue slot, one deadline for the whole batch;
+         entries run in order and fail independently, so the reply is
+         positionally matched and errors stay isolated to their entry *)
+      Metrics.incr c_batches;
+      Metrics.incr ~by:(List.length entries) c_batch_entries;
+      let run_entry (e : Wire.batch_entry) : Wire.batch_result =
+        let body =
+          match e with
+          | Wire.Bcql { text; args } -> Wire.Cql { text; args }
+          | Wire.Bsql stmt -> Wire.Sql stmt
+        in
+        let resp =
+          match read_only_reject t body with
+          | Some resp -> resp
+          | None -> (
+              try
+                match body with
+                | Wire.Cql { text; args } ->
+                    exec_cql t ~tag ~attrs info text args
+                | Wire.Sql stmt -> exec_sql t ~tag ~attrs info stmt
+                | _ -> assert false
+              with e ->
+                Wire.Error
+                  { code = Wire.Internal;
+                    message = "internal error: " ^ Printexc.to_string e })
+        in
+        match resp with
+        | Wire.Results rs -> Wire.Bresults rs
+        | Wire.Sql_result r -> Wire.Bsql_result r
+        | Wire.Error { code; message } -> Wire.Berror { code; message }
+        | _ ->
+            Wire.Berror
+              { code = Wire.Internal;
+                message = "unexpected response shape for a batch entry" }
+      in
+      Wire.Batch_reply (List.map run_entry entries)
   | Wire.Subscribe _ ->
       (* routed to [handle_subscribe] before execution ever reaches
          here; answering makes the match exhaustive *)
@@ -407,6 +562,7 @@ let metric_name (frame : Wire.req Wire.frame) =
   | Wire.Shutdown -> "net.shutdown"
   | Wire.Sql _ -> "net.sql"
   | Wire.Subscribe _ -> "net.subscribe"
+  | Wire.Batch _ -> "net.batch"
   | Wire.Cql { text; _ } -> cql_metric_name text
 
 let record_slow t ~cmd ~info ~conn ~seconds =
@@ -467,10 +623,9 @@ let checkpoint_files workspace =
 
 (* Mark a follower for removal without doing anything that could block:
    the publisher calls this, and the publisher must never wait on a
-   follower's socket. The sender thread wakes, sends the courtesy
-   [Repl_error] (its own thread may block there harmlessly) and closes
-   the connection; a sender wedged in a write is forced out when the
-   publisher shuts the socket down after a grace period. *)
+   follower's socket. The sender thread wakes, queues the courtesy
+   [Repl_error] and marks the connection dead; the event loop flushes
+   what it can and closes. *)
 let shed_follower fl reason =
   if not fl.fl_dead then begin
     fl.fl_dead <- true;
@@ -485,8 +640,10 @@ let shed_follower fl reason =
     Mutex.unlock fl.fl_qlock
   end
 
-(* Per-follower sender: drains the frame queue into the socket, so TCP
-   backpressure from one follower stalls only this thread. *)
+(* Per-follower sender: drains the frame queue into the connection's
+   write queue, pacing on the high-water mark so TCP backpressure from
+   a slow follower surfaces as [fl_queued] growth (and eventually the
+   [repl_max_lag] shed) instead of unbounded server-side buffering. *)
 let sender_loop t fl =
   let rec loop () =
     Mutex.lock fl.fl_qlock;
@@ -504,23 +661,32 @@ let sender_loop t fl =
     Mutex.unlock fl.fl_qlock;
     match item with
     | Some bytes when fl.fl_conn.alive && not fl.fl_dead ->
-        send_bytes fl.fl_conn bytes;
+        let rec throttle () =
+          if fl.fl_conn.alive && not fl.fl_dead
+             && fl.fl_conn.wq_bytes >= wq_hiwater
+          then begin
+            Thread.delay 0.01;
+            throttle ()
+          end
+        in
+        throttle ();
+        send_bytes t fl.fl_conn bytes;
         loop ()
     | Some _ | None -> ()
   in
   loop ();
   if fl.fl_dead && fl.fl_conn.alive then
-    send_resp fl.fl_conn fl.fl_rid (Wire.Repl_error fl.fl_reason);
-  kill_conn t fl.fl_conn
+    send_resp t fl.fl_conn fl.fl_rid (Wire.Repl_error fl.fl_reason);
+  mark_dead t fl.fl_conn
 
 (* The subscribe handshake, run on the worker that picked the frame up.
    Under the server lock, decide whether the follower's cursor is still
    inside the journal window (stream from it) or stale/fresh (checkpoint
-   first, then stream from the post-checkpoint cursor); ship the
+   first, then stream from the post-checkpoint cursor); queue the
    checkpoint synchronously, then hand the follower to the publisher. *)
 let handle_subscribe t conn rid cursor =
   if t.cfg.read_only then
-    send_resp conn rid
+    send_resp t conn rid
       (Wire.Repl_error "this node is a follower; subscribe to the primary")
   else begin
     let plan =
@@ -552,7 +718,7 @@ let handle_subscribe t conn rid cursor =
                 end)
     in
     match plan with
-    | Error msg -> send_resp conn rid (Wire.Repl_error msg)
+    | Error msg -> send_resp t conn rid (Wire.Repl_error msg)
     | Ok plan ->
         conn.follower <- true;
         let start_cursor =
@@ -568,7 +734,7 @@ let handle_subscribe t conn rid cursor =
                 ~fields:[ ("conn", string_of_int conn.cid) ]
                 "repl: follower %s needs a checkpoint (%d files, cursor %d)"
                 conn.peer (List.length files) c;
-              send_resp conn rid
+              send_resp t conn rid
                 (Wire.Checkpoint_offer
                    { co_cursor = c; co_files = List.length files });
               let nfiles = List.length files in
@@ -578,7 +744,7 @@ let handle_subscribe t conn rid cursor =
                   let nchunks = max 1 ((len + chunk_bytes - 1) / chunk_bytes) in
                   for k = 0 to nchunks - 1 do
                     let off = k * chunk_bytes in
-                    send_resp conn rid
+                    send_resp t conn rid
                       (Wire.Checkpoint_chunk
                          { cc_name = name;
                            cc_data =
@@ -588,7 +754,7 @@ let handle_subscribe t conn rid cursor =
                 files;
               (* an empty checkpoint still needs its terminator *)
               if files = [] then
-                send_resp conn rid
+                send_resp t conn rid
                   (Wire.Checkpoint_chunk
                      { cc_name = ""; cc_data = ""; cc_last = true });
               c
@@ -706,9 +872,9 @@ let publisher_loop t =
         l
       in
       List.iter (publish_one t) fls;
-      (* a shed follower whose sender is wedged in a write gets its
-         socket forced shut after a grace period, which unwedges the
-         sender; closed connections drop out of the registry *)
+      (* a shed follower that lingers (its courtesy frame undeliverable)
+         gets its socket forced shut after a grace period; closed
+         connections drop out of the registry *)
       List.iter
         (fun fl ->
           if fl.fl_dead && fl.fl_conn.alive && now () -. fl.fl_dead_at > 5.0
@@ -769,7 +935,7 @@ let handle_task t task =
     (match resp with
      | Wire.Error _ -> Metrics.incr t.ctr.c_errors
      | _ -> ());
-    send_resp conn frame.Wire.id resp
+    send_resp t conn frame.Wire.id resp
   end
 
 (* Workers drain the queue completely before exiting, which is what
@@ -791,7 +957,7 @@ let worker_loop t =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Reader side                                                         *)
+(* Event loop                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let enqueue t conn frame ctx =
@@ -815,66 +981,69 @@ let enqueue t conn frame ctx =
     end
   end
 
-let reader_loop t conn =
-  let rec loop () =
-    if conn.alive && not (Atomic.get t.want_stop) then begin
-      match Unix.select [ conn.fd ] [] [] 1.0 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
-      | [], _, _ ->
-          (* followers legitimately never send another frame after the
-             subscribe: the traffic is all primary→follower pushes *)
-          if (not conn.follower)
-             && now () -. conn.last_active > t.cfg.idle_timeout_s
-          then begin
-            Metrics.incr t.ctr.c_idle_reaped;
-            Event.info ~fields:[ ("conn", string_of_int conn.cid) ]
-              "net: reaping idle connection %s" conn.peer;
-            send_resp conn 0 Wire.Bye
-          end
-          else loop ()
-      | _ -> (
-          match Wire.read_request conn.fd with
-          | Ok (frame, ctx) ->
-              conn.last_active <- now ();
-              enqueue t conn frame ctx;
-              loop ()
-          | Error Wire.Closed -> ()
-          | Error (Wire.Truncated _ as e) ->
-              Metrics.incr t.ctr.c_malformed;
-              send_error t conn 0 Wire.Protocol_error
-                (Wire.decode_error_to_string e)
-          | Error (Wire.Oversized _ as e) ->
-              (* framing is lost: error out loud, then close *)
-              Metrics.incr t.ctr.c_malformed;
-              send_error t conn 0 Wire.Protocol_error
-                (Wire.decode_error_to_string e)
-          | Error (Wire.Bad_version { id; got }) ->
-              (* the frame was fully consumed: the connection survives *)
-              Metrics.incr t.ctr.c_version_mismatch;
-              send_error t conn
-                (Option.value id ~default:0)
-                Wire.Version_mismatch
-                (Printf.sprintf
-                   "peer speaks protocol v%d, this server speaks v%d" got
-                   Wire.protocol_version);
-              conn.last_active <- now ();
-              loop ()
-          | Error (Wire.Malformed { id; reason }) ->
-              Metrics.incr t.ctr.c_malformed;
-              send_error t conn
-                (Option.value id ~default:0)
-                Wire.Protocol_error ("malformed frame: " ^ reason);
-              conn.last_active <- now ();
-              loop ()
-          | exception Unix.Unix_error _ -> ())
-    end
-  in
-  loop ()
+(* Decode and dispatch every complete frame sitting in the connection's
+   reassembly buffer. Loop thread only. The recoverable decode errors
+   (bad version, malformed body) answer a structured error and keep
+   going; the fatal ones (oversized — framing is lost) flush the error
+   and close. *)
+let rec drain_frames t conn =
+  if conn.alive && not conn.fatal then
+    match Wire.Dechunk.next conn.dechunk with
+    | `Await -> ()
+    | `Oversized n ->
+        Metrics.incr t.ctr.c_malformed;
+        send_error t conn 0 Wire.Protocol_error
+          (Wire.decode_error_to_string (Wire.Oversized n));
+        conn.fatal <- true
+    | `Payload payload ->
+        (match Wire.decode_request payload with
+         | Ok (frame, ctx) ->
+             conn.last_active <- now ();
+             enqueue t conn frame ctx
+         | Error (Wire.Bad_version { id; got }) ->
+             (* the frame was fully consumed: the connection survives *)
+             Metrics.incr t.ctr.c_version_mismatch;
+             send_error t conn
+               (Option.value id ~default:0)
+               Wire.Version_mismatch
+               (Printf.sprintf
+                  "peer speaks protocol v%d, this server speaks v%d (v%d \
+                   still accepted)"
+                  got Wire.protocol_version Wire.min_protocol_version);
+             conn.last_active <- now ()
+         | Error (Wire.Malformed { id; reason }) ->
+             Metrics.incr t.ctr.c_malformed;
+             send_error t conn
+               (Option.value id ~default:0)
+               Wire.Protocol_error ("malformed frame: " ^ reason);
+             conn.last_active <- now ()
+         | Error (Wire.Closed | Wire.Truncated _ | Wire.Oversized _) ->
+             (* transport-level classifications cannot arise from a
+                complete payload; treat as lost framing *)
+             Metrics.incr t.ctr.c_malformed;
+             conn.fatal <- true);
+        drain_frames t conn
 
-(* ------------------------------------------------------------------ *)
-(* Accept loop and lifecycle                                           *)
-(* ------------------------------------------------------------------ *)
+(* One readable connection: read what the kernel has, reassemble,
+   dispatch. EOF with a partial frame buffered is the stream-level
+   [Truncated]: answer the error out loud, then close. *)
+let handle_readable t rbuf conn =
+  match Unix.read conn.fd rbuf 0 rbuf_size with
+  | 0 ->
+      if Wire.Dechunk.buffered conn.dechunk > 0 then begin
+        Metrics.incr t.ctr.c_malformed;
+        send_error t conn 0 Wire.Protocol_error
+          (Wire.decode_error_to_string (Wire.Truncated "stream ended mid-frame"));
+        conn.fatal <- true
+      end
+      else mark_dead t conn
+  | n ->
+      Wire.Dechunk.feed conn.dechunk rbuf 0 n;
+      drain_frames t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> mark_dead t conn
 
 let admit t fd peer_addr =
   let peer =
@@ -898,11 +1067,17 @@ let admit t fd peer_addr =
           peer;
           wlock = Mutex.create ();
           alive = true;
+          closed = false;
           last_active = now ();
-          rthread = None;
-          follower = false }
+          follower = false;
+          dechunk = Wire.Dechunk.create ();
+          wq = Queue.create ();
+          wq_off = 0;
+          wq_bytes = 0;
+          fatal = false }
       in
       Hashtbl.replace t.conns conn.cid conn;
+      Metrics.set g_connections (float_of_int (Hashtbl.length t.conns));
       Some conn
     end
   in
@@ -912,6 +1087,8 @@ let admit t fd peer_addr =
       Metrics.incr t.ctr.c_refused;
       Event.warn "net: refusing %s: %d/%d connections in use" peer live
         t.cfg.max_connections;
+      (* the fd is still blocking here, so this small frame goes out
+         without joining the event loop's bookkeeping *)
       (try
          Wire.write_frame fd
            (Wire.encode_response
@@ -925,30 +1102,70 @@ let admit t fd peer_addr =
        with Unix.Unix_error _ | Sys_error _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ())
   | Some conn ->
+      Unix.set_nonblock fd;
       Metrics.incr t.ctr.c_accepted;
       Event.debug ~fields:[ ("conn", string_of_int conn.cid) ]
-        "net: accepted %s" peer;
-      let thread =
-        Thread.create
-          (fun () ->
-            Fun.protect
-              ~finally:(fun () -> kill_conn t conn)
-              (fun () -> reader_loop t conn))
-          ()
-      in
-      conn.rthread <- Some thread
+        "net: accepted %s" peer
+
+let rec accept_burst t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+      (* out of fds: stop accepting this tick; pending connections stay
+         in the listen backlog until capacity frees up *)
+      Event.warn "net: accept failed: out of file descriptors"
+  | fd, peer ->
+      admit t fd peer;
+      accept_burst t
+
+let drain_wake t buf =
+  let rec go () =
+    match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let idle_scan t =
+  List.iter
+    (fun conn ->
+      (* followers legitimately never send another frame after the
+         subscribe: the traffic is all primary→follower pushes *)
+      if conn.alive && (not conn.fatal) && (not conn.follower)
+         && now () -. conn.last_active > t.cfg.idle_timeout_s
+      then begin
+        Metrics.incr t.ctr.c_idle_reaped;
+        Event.info ~fields:[ ("conn", string_of_int conn.cid) ]
+          "net: reaping idle connection %s" conn.peer;
+        send_resp t conn 0 Wire.Bye;
+        conn.fatal <- true
+      end)
+    (conns_snapshot t)
+
+(* Drain phase of the teardown: every reply the workers produced is
+   sitting in a write queue; push the queues out (bounded — a peer that
+   refuses to read forfeits its replies after [flush_grace_s]). *)
+let flush_grace_s = 5.0
 
 let teardown t =
   (* no new connections *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (* wake idle workers so they can observe the stop flag and drain *)
+  (* wake idle workers so they can observe the stop flag and drain:
+     every accepted request gets its reply queued *)
   Mutex.lock t.qlock;
   Condition.broadcast t.qcond;
   Mutex.unlock t.qlock;
   List.iter Thread.join t.worker_threads;
-  (* retire the replication plane: stop the publisher, then wake every
-     sender with the socket forced shut so a blocked send cannot wedge
-     the join *)
+  (* retire the replication plane: the publisher exits on the stop
+     flag, then every sender is woken with its follower marked dead *)
   (match t.publisher with Some th -> Thread.join th | None -> ());
   let fls =
     Mutex.lock t.rlock;
@@ -962,8 +1179,6 @@ let teardown t =
       fl.fl_dead <- true;
       fl.fl_reason <- "primary shutting down";
       fl.fl_dead_at <- now ();
-      (try Unix.shutdown fl.fl_conn.fd Unix.SHUTDOWN_ALL
-       with Unix.Unix_error _ -> ());
       Mutex.lock fl.fl_qlock;
       Condition.broadcast fl.fl_qcond;
       Mutex.unlock fl.fl_qlock)
@@ -972,44 +1187,104 @@ let teardown t =
     (fun fl ->
       match fl.fl_sender with Some th -> Thread.join th | None -> ())
     fls;
-  (* every accepted request is now answered; say goodbye and unblock
-     any reader parked in select/read by shutting the receive side *)
-  let conns =
-    Mutex.lock t.clock;
-    let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
-    Mutex.unlock t.clock;
-    l
-  in
+  (* say goodbye, then flush all write queues out *)
   List.iter
-    (fun conn ->
-      send_resp conn 0 Wire.Bye;
-      try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
-      with Unix.Unix_error _ -> ())
-    conns;
-  List.iter
-    (fun conn -> match conn.rthread with Some th -> Thread.join th | None -> ())
-    conns;
-  Event.info "net: service stopped"
-
-let accept_loop t =
-  let rec loop () =
-    if not (Atomic.get t.want_stop) then begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-       | [], _, _ -> ()
-       | _ -> (
-           match Unix.accept ~cloexec:true t.listen_fd with
-           | exception
-               Unix.Unix_error
-                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
-                  | Unix.ECONNABORTED), _, _) ->
-               ()
-           | fd, peer -> admit t fd peer));
-      loop ()
+    (fun conn -> if conn.alive then send_resp t conn 0 Wire.Bye)
+    (conns_snapshot t);
+  let deadline = now () +. flush_grace_s in
+  let rec flush_all () =
+    let pending =
+      List.filter (fun c -> c.alive && c.wq_bytes > 0) (conns_snapshot t)
+    in
+    if pending <> [] && now () < deadline then begin
+      let arr = Array.of_list pending in
+      let n = Array.length arr in
+      let spec = Array.make (2 * n) 0 in
+      Array.iteri
+        (fun i c ->
+          spec.(2 * i) <- Evpoll.fd_int c.fd;
+          spec.((2 * i) + 1) <- Evpoll.wr)
+        arr;
+      (match Evpoll.poll spec n 100 with
+       | res ->
+           Array.iteri
+             (fun i c ->
+               if res.(i) land Evpoll.er <> 0 then mark_dead t c
+               else if res.(i) land Evpoll.wr <> 0 then flush_writes c)
+             arr
+       | exception _ -> Thread.delay 0.05);
+      flush_all ()
     end
   in
-  loop ();
+  flush_all ();
+  List.iter (fun conn -> close_conn t conn) (conns_snapshot t);
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  Event.info "net: service stopped"
+
+(* The loop: one poll(2) over the wake pipe, the listen socket, and
+   every live connection. Read-interest is withdrawn from connections
+   over the write high-water mark (backpressure) and from fatal ones
+   (flush-then-close); write-interest exists only while bytes are
+   queued, so an idle connection costs nothing but its table entry. *)
+let event_loop t =
+  let rbuf = Bytes.create rbuf_size in
+  let wakebuf = Bytes.create 256 in
+  let last_scan = ref (now ()) in
+  while not (Atomic.get t.want_stop) do
+    (* reap: close what was marked dead and what finished flushing *)
+    List.iter
+      (fun c -> if (not c.alive) || (c.fatal && c.wq_bytes = 0) then close_conn t c)
+      (conns_snapshot t);
+    let live = List.filter (fun c -> c.alive) (conns_snapshot t) in
+    let arr = Array.of_list live in
+    let nconns = Array.length arr in
+    let nfds = 2 + nconns in
+    let spec = Array.make (2 * nfds) 0 in
+    spec.(0) <- Evpoll.fd_int t.wake_r;
+    spec.(1) <- Evpoll.rd;
+    spec.(2) <- Evpoll.fd_int t.listen_fd;
+    spec.(3) <- Evpoll.rd;
+    Array.iteri
+      (fun i c ->
+        let want_read = (not c.fatal) && c.wq_bytes < wq_hiwater in
+        let ev =
+          (if want_read then Evpoll.rd else 0)
+          lor (if c.wq_bytes > 0 then Evpoll.wr else 0)
+        in
+        spec.((2 * (i + 2))) <- Evpoll.fd_int c.fd;
+        spec.((2 * (i + 2)) + 1) <- ev)
+      arr;
+    (match Evpoll.poll spec nfds 200 with
+     | res ->
+         if res.(0) land Evpoll.rd <> 0 then drain_wake t wakebuf;
+         if (not (Atomic.get t.want_stop)) && res.(1) land Evpoll.rd <> 0 then
+           accept_burst t;
+         Array.iteri
+           (fun i c ->
+             let r = res.(i + 2) in
+             if r land Evpoll.er <> 0 then mark_dead t c
+             else begin
+               if r land Evpoll.wr <> 0 then flush_writes c;
+               (* re-check interest: the flush may have erred the
+                  connection out, and POLLHUP reports as readable even
+                  on read-paused connections *)
+               if r land Evpoll.rd <> 0 && c.alive && (not c.fatal)
+                  && c.wq_bytes < wq_hiwater
+               then handle_readable t rbuf c
+             end)
+           arr
+     | exception _ -> Thread.delay 0.05);
+    if now () -. !last_scan >= 1.0 then begin
+      last_scan := now ();
+      idle_scan t
+    end
+  done;
   teardown t
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let counters () =
   { c_accepted = Metrics.counter "net.accepted";
@@ -1034,7 +1309,8 @@ let start ?(config = default_config) sync =
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
      Unix.bind listen_fd
        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
-     Unix.listen listen_fd 64
+     Unix.listen listen_fd 256;
+     Unix.set_nonblock listen_fd
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise e);
@@ -1043,6 +1319,9 @@ let start ?(config = default_config) sync =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let t =
     { cfg = config;
       sync;
@@ -1056,7 +1335,9 @@ let start ?(config = default_config) sync =
       clock = Mutex.create ();
       next_cid = 0;
       worker_threads = [];
-      accept_thread = None;
+      loop_thread = None;
+      wake_r;
+      wake_w;
       rlock = Mutex.create ();
       followers = [];
       publisher = None;
@@ -1068,11 +1349,12 @@ let start ?(config = default_config) sync =
   in
   t.worker_threads <-
     List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.loop_thread <- Some (Thread.create event_loop t);
   (* a follower never publishes; only primaries run the poll loop *)
   if not config.read_only then
     t.publisher <- Some (Thread.create publisher_loop t);
-  Event.info "net: icdbd listening on %s:%d (%d workers, %d connections max)"
+  Event.info
+    "net: icdbd listening on %s:%d (%d workers, %d connections max, event loop)"
     config.host bound_port (max 1 config.workers) config.max_connections;
   t
 
@@ -1098,10 +1380,12 @@ let follower_count t =
   Mutex.unlock t.rlock;
   n
 
-let request_shutdown t = Atomic.set t.want_stop true
+let request_shutdown t =
+  Atomic.set t.want_stop true;
+  wake t
 
 let wait t =
-  match t.accept_thread with Some th -> Thread.join th | None -> ()
+  match t.loop_thread with Some th -> Thread.join th | None -> ()
 
 let shutdown t =
   request_shutdown t;

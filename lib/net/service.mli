@@ -1,16 +1,26 @@
 (** icdbd: the concurrent TCP service over an ICDB component server.
 
-    One accept loop admits connections (refusing beyond
-    [max_connections]), one reader thread per connection frames
-    requests into a bounded queue (shedding with a structured
-    [Overloaded] error when full), and a fixed worker pool executes
-    them against the shared {!Sync.t} — so network and file I/O overlap
-    while server state stays single-writer under one lock (the
-    discipline {!Sync} documents).
+    One poll(2)-based event-loop thread owns every socket: it accepts
+    (refusing beyond [max_connections]), reads and reassembles frames
+    (via {!Wire.Dechunk}, so requests may arrive split at any byte
+    boundary) into a bounded task queue, and drains per-connection
+    write queues with nonblocking writes. A fixed worker pool executes
+    the queued requests against the shared {!Sync.t} and enqueues the
+    replies — workers never touch a socket — so network and file I/O
+    overlap while server state stays single-writer under one lock (the
+    discipline {!Sync} documents). An idle connection costs a table
+    entry and two ints of poll spec, not a thread, so thousands of
+    mostly-idle clients are cheap.
 
-    Admission control and timeouts:
+    Pipelining: responses are written in completion order, matched to
+    requests by the echoed frame id, so a client may keep many requests
+    in flight per connection; a [Batch] frame executes its entries on
+    one worker under one admission-control decision and answers with
+    one positionally-matched [Batch_reply].
+
+    Admission control, timeouts and backpressure:
     - connections beyond [max_connections] get an [Error Overloaded]
-      frame and are closed before a reader is spawned;
+      frame and are closed before entering the event loop;
     - requests landing on a full queue are shed immediately with
       [Error Overloaded];
     - a request older than [request_timeout_s] when a worker picks it
@@ -19,7 +29,18 @@
       safely interrupted), which bounds added latency by one request's
       service time per worker;
     - connections idle longer than [idle_timeout_s] are reaped with a
-      [Bye] frame.
+      [Bye] frame;
+    - a connection whose unsent replies exceed a high-water mark (1 MiB)
+      stops being polled for reads until the peer drains — a client that
+      will not read replies cannot keep submitting — and a non-follower
+      that buffers past a hard cap (64 MiB) is closed outright; slow
+      readers only ever stall themselves, never other connections.
+
+    Decode-error taxonomy on a live connection: recoverable errors
+    ([Bad_version], [Malformed] — the frame boundary was still sound)
+    are answered with a structured error and the connection survives;
+    fatal ones ([Oversized], EOF mid-frame = [Truncated] — framing is
+    lost) are answered where possible and the connection is closed.
 
     Graceful shutdown ({!request_shutdown}, a [Shutdown] frame, or
     SIGTERM routed to {!request_shutdown} by the CLI): stop accepting,
@@ -29,10 +50,11 @@
 
     Everything is instrumented through {!Icdb_obs.Metrics} under
     [net.*]: accepted/refused/closed/requests/errors/shed/timeouts/
-    malformed/version_mismatch/idle_reaped/slow_requests counters, a
+    malformed/version_mismatch/idle_reaped/slow_requests/batches/
+    batch_entries counters, a [net.connections] gauge, a
     [net.queue_wait] histogram, and one latency histogram per wire
-    command ([net.cql.<command>], [net.sql], [net.stats], [net.ping],
-    [net.trace_fetch]).
+    command ([net.cql.<command>], [net.sql], [net.batch], [net.stats],
+    [net.ping], [net.trace_fetch]).
 
     Per-request observability: a request whose {!Wire.ctx} carries a
     trace id has all of its server-side spans tagged with that id (and
@@ -71,7 +93,7 @@ val default_config : config
 type t
 
 val start : ?config:config -> Sync.t -> t
-(** Bind, listen and spawn the accept loop and worker pool; returns
+(** Bind, listen and spawn the event loop and worker pool; returns
     once the socket is accepting.
     @raise Unix.Unix_error when the address cannot be bound. *)
 

@@ -24,6 +24,12 @@ type ctx = { trace_id : string; timeout_s : float }
 
 let no_ctx = { trace_id = ""; timeout_s = 0.0 }
 
+(* One element of a v4 [Batch] request: the two query shapes a client
+   can vectorize. Each entry succeeds or fails on its own. *)
+type batch_entry =
+  | Bcql of { text : string; args : Icdb_cql.Exec.arg list }
+  | Bsql of string
+
 type req =
   | Ping
   | Cql of { text : string; args : Icdb_cql.Exec.arg list }
@@ -32,6 +38,7 @@ type req =
   | Trace_fetch of string
   | Shutdown
   | Subscribe of { cursor : int }
+  | Batch of batch_entry list
 
 type sql_result =
   | Affected of int
@@ -93,7 +100,15 @@ type error_code =
   | Internal
   | Read_only
 
-type resp =
+(* The per-entry outcome inside a v4 [Batch_reply]: one [batch_result]
+   per [batch_entry], in request order, errors isolated to their
+   entry. *)
+type batch_result =
+  | Bresults of (string * Icdb_cql.Exec.result) list
+  | Bsql_result of sql_result
+  | Berror of { code : error_code; message : string }
+
+and resp =
   | Pong
   | Results of (string * Icdb_cql.Exec.result) list
   | Sql_result of sql_result
@@ -117,6 +132,7 @@ type resp =
   | Checkpoint_offer of { co_cursor : int; co_files : int }
   | Checkpoint_chunk of { cc_name : string; cc_data : string; cc_last : bool }
   | Repl_error of string
+  | Batch_reply of batch_result list  (* v4: vectorized Batch answer *)
 
 type 'a frame = { id : int; body : 'a }
 
@@ -124,10 +140,18 @@ type 'a frame = { id : int; body : 'a }
    id, [Trace_fetch]/[Spans] exist, and [Stats_report] is structured.
    v3: the replication frames ([Subscribe], [Journal_batch],
    [Checkpoint_offer]/[Checkpoint_chunk], [Repl_error]) and the
-   [Read_only] error code. Older frames decode to the recoverable
-   [Bad_version] so old clients get a structured version-mismatch error
-   and keep their connection. *)
-let protocol_version = 3
+   [Read_only] error code.
+   v4: the pipelining protocol — [Batch]/[Batch_reply] vectorized
+   frames, and the (always latent, now contractual) permission for a
+   server to answer single requests out of order, matched by id. v4 is
+   a strict byte-level superset of v3: every v3 frame encodes
+   identically under v4, so the decoder accepts both versions
+   ([min_protocol_version]) and new servers interoperate with v3
+   peers. Frames older than v3 decode to the recoverable [Bad_version]
+   so old clients get a structured version-mismatch error and keep
+   their connection. *)
+let protocol_version = 4
+let min_protocol_version = 3
 let max_payload = 16 * 1024 * 1024
 
 (* Header bytes inside the payload before the body starts. *)
@@ -156,6 +180,7 @@ let kind_stats = 0x04
 let kind_shutdown = 0x05
 let kind_trace_fetch = 0x06
 let kind_subscribe = 0x07
+let kind_batch = 0x08
 
 let kind_pong = 0x41
 let kind_results = 0x42
@@ -169,6 +194,7 @@ let kind_journal_batch = 0x49
 let kind_ckpt_offer = 0x4a
 let kind_ckpt_chunk = 0x4b
 let kind_repl_error = 0x4c
+let kind_batch_reply = 0x4d
 
 let code_to_byte = function
   | Parse_error -> 0
@@ -202,7 +228,11 @@ let code_of_byte = function
 let put_u8 buf v = Buffer.add_uint8 buf (v land 0xff)
 
 let put_u32 buf v =
-  if v < 0 then invalid_arg "Wire.put_u32: negative";
+  (* the decoder reads this back as a signed i32 and rejects negatives,
+     so values past 2^31-1 would silently truncate into frames the
+     peer must refuse — fail loudly at the encoder instead (found by
+     the wire fuzzer: Checkpoint_offer.co_files is caller-supplied) *)
+  if v < 0 || v > 0x7fffffff then invalid_arg "Wire.put_u32: out of range";
   Buffer.add_int32_be buf (Int32.of_int v)
 
 let put_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
@@ -303,6 +333,31 @@ let put_stats_payload buf p =
   put_list buf put_hist_summary p.sp_hists;
   put_list buf put_slow_entry p.sp_slow
 
+let put_batch_entry buf = function
+  | Bcql { text; args } ->
+      put_u8 buf 0;
+      put_string buf text;
+      put_list buf put_arg args
+  | Bsql stmt ->
+      put_u8 buf 1;
+      put_string buf stmt
+
+let put_batch_result buf = function
+  | Bresults rs ->
+      put_u8 buf 0;
+      put_list buf put_result rs
+  | Bsql_result (Affected n) ->
+      put_u8 buf 1;
+      put_i64 buf n
+  | Bsql_result (Relation { cols; rows }) ->
+      put_u8 buf 2;
+      put_list buf put_string cols;
+      put_list buf (fun b row -> put_list b put_string row) rows
+  | Berror { code; message } ->
+      put_u8 buf 3;
+      put_u8 buf (code_to_byte code);
+      put_string buf message
+
 let frame_bytes kind id body_writer =
   let payload = Buffer.create 64 in
   put_u8 payload protocol_version;
@@ -339,6 +394,9 @@ let encode_request ?(ctx = no_ctx) { id; body } =
   | Subscribe { cursor } ->
       frame_bytes kind_subscribe id
         (with_ctx (fun buf -> put_i64 buf cursor))
+  | Batch entries ->
+      frame_bytes kind_batch id
+        (with_ctx (fun buf -> put_list buf put_batch_entry entries))
 
 let encode_response { id; body } =
   match body with
@@ -381,6 +439,9 @@ let encode_response { id; body } =
           put_u8 buf (if cc_last then 1 else 0))
   | Repl_error message ->
       frame_bytes kind_repl_error id (fun buf -> put_string buf message)
+  | Batch_reply results ->
+      frame_bytes kind_batch_reply id (fun buf ->
+          put_list buf put_batch_result results)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                            *)
@@ -516,6 +577,31 @@ let get_result c =
   in
   (key, r)
 
+let get_batch_entry c =
+  match get_u8 c with
+  | 0 ->
+      let text = get_string c in
+      let args = get_list c get_arg in
+      Bcql { text; args }
+  | 1 -> Bsql (get_string c)
+  | t -> raise (Bad (Printf.sprintf "unknown batch entry tag %d" t))
+
+let get_batch_result c =
+  match get_u8 c with
+  | 0 -> Bresults (get_list c get_result)
+  | 1 -> Bsql_result (Affected (get_i64 c))
+  | 2 ->
+      let cols = get_list c get_string in
+      let rows = get_list c (fun c -> get_list c get_string) in
+      Bsql_result (Relation { cols; rows })
+  | 3 -> (
+      let code_byte = get_u8 c in
+      let message = get_string c in
+      match code_of_byte code_byte with
+      | Some code -> Berror { code; message }
+      | None -> raise (Bad (Printf.sprintf "unknown error code %d" code_byte)))
+  | t -> raise (Bad (Printf.sprintf "unknown batch result tag %d" t))
+
 (* The request id sits at a fixed offset, so even a frame whose body is
    garbage usually yields the id to address the error response to. *)
 let salvage_id payload =
@@ -530,7 +616,7 @@ let decode_payload ~decode_body payload =
   else
     let c = { data = payload; pos = 0 } in
     let version = get_u8 c in
-    if version <> protocol_version then
+    if version < min_protocol_version || version > protocol_version then
       Stdlib.Error (Bad_version { id; got = version })
     else
       let kind = get_u8 c in
@@ -567,6 +653,8 @@ let decode_request payload =
           else if kind = kind_shutdown then Some Shutdown
           else if kind = kind_subscribe then
             Some (Subscribe { cursor = get_i64 c })
+          else if kind = kind_batch then
+            Some (Batch (get_list c get_batch_entry))
           else None
         in
         Option.map (fun b -> (b, ctx)) body)
@@ -621,7 +709,74 @@ let decode_response payload =
         Some (Checkpoint_chunk { cc_name; cc_data; cc_last })
       end
       else if kind = kind_repl_error then Some (Repl_error (get_string c))
+      else if kind = kind_batch_reply then
+        Some (Batch_reply (get_list c get_batch_result))
       else None)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental framing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The event loop reads whatever the kernel has — a frame can arrive
+   split at any byte boundary, or many frames can arrive glued into one
+   read. [Dechunk] reassembles the length-prefixed stream: feed it raw
+   fragments, pull out complete payloads. All field-level decoding
+   ([decode_request]/[decode_response]) happens only on complete
+   payloads, so no [get_*] accessor ever sees a partial field — the
+   partial-read problem is solved once, here, instead of at every field
+   boundary. An oversized (or negative) declared length is detected
+   from the 4 header bytes alone, before buffering the body, so a
+   hostile client cannot make the server allocate [max_payload] first.
+
+   Single-owner by design (the event loop thread); not thread-safe. *)
+module Dechunk = struct
+  type t = {
+    mutable buf : Bytes.t;   (* ring-less scratch: valid bytes are
+                                [start, start+len) *)
+    mutable start : int;
+    mutable len : int;
+  }
+
+  let create () = { buf = Bytes.create 4096; start = 0; len = 0 }
+  let buffered t = t.len
+
+  let feed t src off n =
+    if off < 0 || n < 0 || off + n > Bytes.length src then
+      invalid_arg "Wire.Dechunk.feed";
+    if n > 0 then begin
+      (if t.start + t.len + n > Bytes.length t.buf then begin
+         (* slide to offset 0; grow if the pending bytes still don't fit *)
+         if t.len > 0 then Bytes.blit t.buf t.start t.buf 0 t.len;
+         t.start <- 0;
+         if t.len + n > Bytes.length t.buf then begin
+           let cap = ref (Bytes.length t.buf) in
+           while !cap < t.len + n do cap := !cap * 2 done;
+           let grown = Bytes.create !cap in
+           Bytes.blit t.buf 0 grown 0 t.len;
+           t.buf <- grown
+         end
+       end);
+      Bytes.blit src off t.buf (t.start + t.len) n;
+      t.len <- t.len + n
+    end
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+  let next t =
+    if t.len < 4 then `Await
+    else begin
+      let declared = Int32.to_int (Bytes.get_int32_be t.buf t.start) in
+      if declared < 0 || declared > max_payload then `Oversized declared
+      else if t.len < 4 + declared then `Await
+      else begin
+        let payload = Bytes.sub_string t.buf (t.start + 4) declared in
+        t.start <- t.start + 4 + declared;
+        t.len <- t.len - 4 - declared;
+        if t.len = 0 then t.start <- 0;
+        `Payload payload
+      end
+    end
+end
 
 (* ------------------------------------------------------------------ *)
 (* Blocking transport                                                  *)

@@ -28,9 +28,23 @@
     correctly-delimited payload is {e recoverable} (the frame was fully
     consumed; the server answers with a structured [Error] frame and
     the connection lives on), while a truncated or oversized frame
-    means byte-level sync is lost and the connection must close. *)
+    means byte-level sync is lost and the connection must close.
+
+    v4 adds pipelining: a [Batch] request carries many CQL/SQL entries
+    under one framing header and is answered by one vectorized
+    [Batch_reply] (per-entry results in entry order, errors isolated
+    to their entry), and servers may answer {e single} requests out of
+    order — responses are matched to requests by the i64 id, never by
+    arrival order. v4 is a byte-level superset of v3, so the decoder
+    accepts both ({!min_protocol_version}). *)
 
 val protocol_version : int
+(** The version stamped on every encoded frame. *)
+
+val min_protocol_version : int
+(** Oldest version the decoder still accepts. Frames older than this
+    classify as the recoverable {!Bad_version}. *)
+
 val max_payload : int
 
 (** {1 Frame bodies} *)
@@ -46,6 +60,12 @@ type ctx = { trace_id : string; timeout_s : float }
 val no_ctx : ctx
 (** [{ trace_id = ""; timeout_s = 0.0 }] — no tracing, no deadline. *)
 
+type batch_entry =
+  | Bcql of { text : string; args : Icdb_cql.Exec.arg list }
+  | Bsql of string
+(** One element of a v4 {!req.Batch}: the two query shapes a client can
+    vectorize. Each entry succeeds or fails on its own. *)
+
 type req =
   | Ping
   | Cql of { text : string; args : Icdb_cql.Exec.arg list }
@@ -60,6 +80,13 @@ type req =
           stream from journal sequence [cursor] (-1 = no local state,
           send a full checkpoint). The connection becomes a push
           stream; see the replication frames in {!resp}. *)
+  | Batch of batch_entry list
+      (** v4: many queries under one framing header, answered by a
+          single {!resp.Batch_reply} with one {!batch_result} per entry
+          in entry order. The whole batch executes on one worker as one
+          admission-control unit (one queue slot, one deadline), so a
+          batch amortizes framing, syscalls, and scheduling — not just
+          latency. *)
 
 type sql_result =
   | Affected of int
@@ -120,7 +147,15 @@ type error_code =
   | Internal
   | Read_only         (** a mutating command sent to a follower *)
 
-type resp =
+type batch_result =
+  | Bresults of (string * Icdb_cql.Exec.result) list
+  | Bsql_result of sql_result
+  | Berror of { code : error_code; message : string }
+(** Per-entry outcome inside a {!resp.Batch_reply}: positionally
+    matched to the {!batch_entry} list of the request, so an error in
+    entry [k] never disturbs entries [k+1..]. *)
+
+and resp =
   | Pong
   | Results of (string * Icdb_cql.Exec.result) list
       (** CQL ?-slot bindings, every shape {!Icdb_cql.Exec.run} produces *)
@@ -156,6 +191,8 @@ type resp =
   | Repl_error of string
       (** v3: the subscription is over (slow-follower shed, primary not
           durable, ...); the follower should back off and reconnect. *)
+  | Batch_reply of batch_result list
+      (** v4: the vectorized answer to a {!req.Batch}. *)
 
 type 'a frame = { id : int; body : 'a }
 
@@ -190,6 +227,39 @@ val decode_request : string -> (req frame * ctx, decode_error) result
 (** Decode one payload (length header already stripped). *)
 
 val decode_response : string -> (resp frame, decode_error) result
+
+(** {1 Incremental framing}
+
+    The event loop reads whatever bytes the kernel has ready; a frame
+    can arrive split at any byte boundary or glued to its neighbors.
+    {!Dechunk} reassembles the length-prefixed stream so the field-level
+    decoders above only ever see complete payloads — partial reads are
+    handled once here, not at every field boundary. *)
+
+module Dechunk : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed t src off n] appends [n] raw bytes from [src] starting at
+      [off]. Amortized O(n); the internal buffer grows as needed. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> [ `Payload of string | `Await | `Oversized of int ]
+  (** Pull the next complete payload (length header stripped — feed it
+      to {!decode_request}/{!decode_response}). [`Await] = not enough
+      bytes yet. [`Oversized n] = the next length header declares [n]
+      outside [0, {!max_payload}]: byte sync is unrecoverable and the
+      connection must close ([`Oversized] is sticky — detected from the
+      4 header bytes alone, before any body is buffered). Call in a
+      loop after each [feed]: one read may complete many frames. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet returned by {!next} — nonzero at EOF means
+      the peer died mid-frame (the blocking transport's [Truncated]). *)
+end
 
 (** {1 Blocking transport helpers} *)
 

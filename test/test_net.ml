@@ -689,6 +689,216 @@ let test_service_shutdown_refuses_new_requests () =
         (Wire.error_code_to_string code) msg
   | exception Client.Net_error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Pipelining, batching, and the event loop                            *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cql size =
+  Printf.sprintf
+    "command:request_component; component_name:counter; attribute:(size:%d); \
+     instance:?s"
+    size
+
+let shuffle st arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+(* Property: with many requests in flight on one connection and awaits
+   in an order unrelated to either issue order or the server's
+   completion order (4 workers race), every reply still matches its
+   request's id and payload. *)
+let test_service_pipelining_property () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let st = Random.State.make [| 42 |] in
+  (* learn the size -> instance mapping sequentially first *)
+  let sizes = Array.init 8 (fun i -> 3 + i) in
+  let expected = Hashtbl.create 8 in
+  Array.iter
+    (fun size ->
+      Hashtbl.replace expected size (get_str (ok_exec c (gen_cql size)) "instance"))
+    sizes;
+  for _round = 1 to 3 do
+    (* issue a burst of interleaved pings and queries without reading *)
+    let n = 40 in
+    let plan =
+      Array.init n (fun _ ->
+          if Random.State.int st 4 = 0 then `Ping
+          else `Query sizes.(Random.State.int st (Array.length sizes)))
+    in
+    let tickets =
+      Array.map
+        (fun p ->
+          match p with
+          | `Ping -> (p, Client.call_async c Wire.Ping)
+          | `Query size ->
+              (p, Client.call_async c (Wire.Cql { text = gen_cql size; args = [] })))
+        plan
+    in
+    (* await in a shuffled order: most replies arrive while a different
+       ticket is being awaited, exercising the stash *)
+    shuffle st tickets;
+    Array.iter
+      (fun (p, ticket) ->
+        match (p, Client.await c ticket) with
+        | `Ping, Wire.Pong -> ()
+        | `Query size, Wire.Results r ->
+            check Alcotest.string "pipelined reply matches its request"
+              (Hashtbl.find expected size) (get_str r "instance")
+        | _, _ -> Alcotest.fail "reply shape does not match the request")
+      tickets
+  done
+
+(* A batch mixing valid and invalid entries: per-entry results come
+   back positionally, and an error in one entry never disturbs the
+   entries around it. *)
+let test_service_batch_mixed () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let entries =
+    [ Wire.Bcql { text = gen_cql 4; args = [] };
+      Wire.Bcql { text = "command:nonsense_command;"; args = [] };
+      Wire.Bsql "SELECT name FROM components";
+      Wire.Bsql "SELEKT broken";
+      Wire.Bcql
+        { text = "command:component_query; component:%s; function:?s[]";
+          args = [ Icdb_cql.Exec.Astr "counter" ] } ]
+  in
+  (match Client.batch c entries with
+   | Error (code, msg) ->
+       Alcotest.failf "batch refused: %s: %s"
+         (Wire.error_code_to_string code) msg
+   | Ok [ r0; r1; r2; r3; r4 ] ->
+       (match r0 with
+        | Wire.Bresults r ->
+            check Alcotest.bool "entry 0 generated" true
+              (String.length (get_str r "instance") > 0)
+        | _ -> Alcotest.fail "entry 0 should have succeeded");
+       (match r1 with
+        | Wire.Berror { code = Wire.Parse_error; _ } -> ()
+        | _ -> Alcotest.fail "entry 1 should be an isolated Parse_error");
+       (match r2 with
+        | Wire.Bsql_result (Wire.Relation { cols; rows }) ->
+            check (Alcotest.list Alcotest.string) "entry 2 cols" [ "name" ] cols;
+            check Alcotest.bool "entry 2 rows" true (List.mem [ "counter" ] rows)
+        | _ -> Alcotest.fail "entry 2 should be a relation");
+       (match r3 with
+        | Wire.Berror { code = Wire.Sql_error; _ } -> ()
+        | _ -> Alcotest.fail "entry 3 should be an isolated Sql_error");
+       (match r4 with
+        | Wire.Bresults r -> (
+            match List.assoc_opt "function" r with
+            | Some (Icdb_cql.Exec.Rstrs _) -> ()
+            | _ -> Alcotest.fail "entry 4 shape")
+        | _ -> Alcotest.fail "entry 4 should have succeeded after the errors")
+   | Ok rs -> Alcotest.failf "expected 5 results, got %d" (List.length rs));
+  (* the degenerate batch: zero entries, zero results, still answered *)
+  match Client.batch c [] with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty batch should answer zero results"
+  | Error (code, msg) ->
+      Alcotest.failf "empty batch refused: %s: %s"
+        (Wire.error_code_to_string code) msg
+
+let thread_count () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> -1 (* not Linux: skip the assertion *)
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | line when String.length line >= 8 && String.sub line 0 8 = "Threads:" ->
+            int_of_string (String.trim (String.sub line 8 (String.length line - 8)))
+        | _ -> go ()
+        | exception End_of_file -> -1
+      in
+      let n = go () in
+      close_in ic;
+      n
+
+(* The event-loop claims: 1000+ mostly-idle connections cost no worker
+   threads, and a client trickling its request one byte at a time
+   cannot stall anybody else. *)
+let test_service_event_loop_stress () =
+  let config =
+    { Service.default_config with max_connections = 1100; max_queue = 256 }
+  in
+  with_service ~config @@ fun _svc port _ws ->
+  let idle = Array.init 1000 (fun _ -> raw_connect port) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        idle)
+  @@ fun () ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Client.ping c (* all 1000 admissions are behind this reply *);
+  let threads_with_idle = thread_count () in
+  if threads_with_idle >= 0 then
+    (* service threads: workers + event loop + publisher; clients: this
+       one. 1000 idle connections must not have added any. *)
+    check Alcotest.bool
+      (Printf.sprintf "no thread per connection (%d threads)" threads_with_idle)
+      true
+      (threads_with_idle < 64);
+  (* a slow sender trickles a Ping one byte at a time while the hot
+     connection keeps getting answers *)
+  let trickle_fd = raw_connect port in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close trickle_fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let trickle_done = Atomic.make false in
+  let frame = Wire.encode_request { Wire.id = 5; body = Wire.Ping } in
+  let trickler =
+    Thread.create
+      (fun () ->
+        String.iter
+          (fun ch ->
+            ignore (Unix.write_substring trickle_fd (String.make 1 ch) 0 1);
+            Thread.delay 0.02)
+          frame;
+        Atomic.set trickle_done true)
+      ()
+  in
+  ignore (ok_exec c (gen_cql 4));
+  for _ = 1 to 50 do
+    ignore (ok_exec c "command:function_query; function:(INC); component:?s[]")
+  done;
+  check Alcotest.bool "hot work finished while the trickler still trickles"
+    false (Atomic.get trickle_done);
+  Thread.join trickler;
+  (* the trickled frame, once complete, still gets its answer *)
+  match Wire.read_response trickle_fd with
+  | Ok { Wire.id = 5; body = Wire.Pong } -> ()
+  | _ -> Alcotest.fail "trickled Ping should eventually answer Pong"
+
+(* Graceful drain: every request the server has read gets a reply even
+   when shutdown starts while they are still queued. *)
+let test_service_drain_answers_inflight () =
+  with_service @@ fun svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let tickets =
+    List.init 12 (fun k ->
+        Client.call_async c (Wire.Cql { text = gen_cql (3 + k); args = [] }))
+  in
+  (* let the event loop read and enqueue them, then start the drain *)
+  Thread.delay 0.2;
+  Service.request_shutdown svc;
+  List.iter
+    (fun ticket ->
+      match Client.await c ticket with
+      | Wire.Results _ | Wire.Error _ -> () (* a real reply either way *)
+      | _ -> Alcotest.fail "unexpected reply shape during drain")
+    tickets
+
 let () =
   Alcotest.run "net"
     [ ( "wire",
@@ -726,4 +936,13 @@ let () =
           Alcotest.test_case "durable shutdown differential" `Quick
             test_service_shutdown_durable_differential;
           Alcotest.test_case "shutdown refuses new work" `Quick
-            test_service_shutdown_refuses_new_requests ] ) ]
+            test_service_shutdown_refuses_new_requests ] );
+      ( "pipeline",
+        [ Alcotest.test_case "out-of-order awaits match ids" `Quick
+            test_service_pipelining_property;
+          Alcotest.test_case "mixed batch isolates errors" `Quick
+            test_service_batch_mixed;
+          Alcotest.test_case "event loop: 1000 idle conns, slow client" `Quick
+            test_service_event_loop_stress;
+          Alcotest.test_case "drain answers in-flight" `Quick
+            test_service_drain_answers_inflight ] ) ]
