@@ -85,6 +85,10 @@ type conn = {
   mutable wq_off : int;        (* bytes of the queue head already sent *)
   mutable wq_bytes : int;      (* total queued bytes *)
   mutable fatal : bool;        (* framing lost / reaped: flush, then close *)
+  mutable fatal_at : float;    (* when [fatal] flipped: starts the
+                                  flush-grace clock, after which the
+                                  connection closes even with unsent
+                                  bytes queued *)
 }
 
 (* One subscribed follower, owned by the publisher. The per-follower
@@ -207,6 +211,18 @@ let send_resp t conn id body =
 let send_error t conn id code message =
   Metrics.incr t.ctr.c_errors;
   send_resp t conn id (Wire.Error { code; message })
+
+(* Flag lost framing (or an idle reap): the loop keeps the connection
+   just long enough to flush the queued courtesy frame, then closes.
+   [fatal_at] starts that clock — a fatal connection whose peer never
+   reads is force-closed after the flush grace rather than pinning its
+   fd and [max_connections] slot behind an undrainable write queue.
+   Loop thread only (like everything else that touches [fatal]). *)
+let mark_fatal conn =
+  if not conn.fatal then begin
+    conn.fatal <- true;
+    conn.fatal_at <- now ()
+  end
 
 (* Logical death, callable from any thread. The loop notices on its
    next tick and does the close, so a polled fd is never recycled out
@@ -477,10 +493,22 @@ let exec_cql t ~tag ~attrs info text args : Wire.resp =
 let c_batches = Metrics.counter "net.batches"
 let c_batch_entries = Metrics.counter "net.batch_entries"
 
+(* A batch occupies one worker and one queue slot however many entries
+   it carries, so admission control only sees "one request"; the entry
+   cap keeps a 16 MiB frame from smuggling an unbounded amount of work
+   past that accounting. *)
+let max_batch_entries = 4096
+
 (* Execute one framed request to a response body, classifying every
-   expected failure as a structured error code. *)
-let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
-    Wire.resp =
+   expected failure as a structured error code. [deadline] is the
+   absolute wall-clock instant the request must stop consuming its
+   worker — min of the client's ctx deadline and the server's
+   [request_timeout_s], both measured from enqueue. A single query is
+   never preempted mid-execution (OCaml compute cannot be safely
+   interrupted), but a [Batch] re-checks between entries and answers
+   the remainder with [Berror Timeout]. *)
+let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) ~deadline
+    info : Wire.resp =
   (* the owner tag for this request's spans: the client's trace id when
      it sent one, else a server-assigned conn/request tag so concurrent
      requests never interleave anonymously *)
@@ -512,13 +540,27 @@ let execute t conn (frame : Wire.req Wire.frame) (ctx : Wire.ctx) info :
       Wire.Bye
   | Wire.Sql stmt -> exec_sql t ~tag ~attrs info stmt
   | Wire.Cql { text; args } -> exec_cql t ~tag ~attrs info text args
+  | Wire.Batch entries when List.length entries > max_batch_entries ->
+      Wire.Error
+        { code = Wire.Protocol_error;
+          message =
+            Printf.sprintf "batch of %d entries exceeds the %d-entry cap"
+              (List.length entries) max_batch_entries }
   | Wire.Batch entries ->
       (* one worker, one queue slot, one deadline for the whole batch;
          entries run in order and fail independently, so the reply is
-         positionally matched and errors stay isolated to their entry *)
+         positionally matched and errors stay isolated to their entry.
+         The deadline is re-checked between entries: a batch cannot
+         occupy its worker past the request's timeout the way a shed
+         or queue-aged single request never could *)
       Metrics.incr c_batches;
       Metrics.incr ~by:(List.length entries) c_batch_entries;
       let run_entry (e : Wire.batch_entry) : Wire.batch_result =
+        if now () > deadline then
+          Wire.Berror
+            { code = Wire.Timeout;
+              message = "batch deadline exceeded before this entry ran" }
+        else
         let body =
           match e with
           | Wire.Bcql { text; args } -> Wire.Cql { text; args }
@@ -920,8 +962,17 @@ let handle_task t task =
     begin
     let t0 = now () in
     let info = { xi_tag = ""; xi_cache = "-"; xi_phases = [] } in
+    (* the absolute instant this request must stop consuming a worker:
+       the tighter of the client's deadline and the server's request
+       timeout, both anchored at enqueue (re-checked mid-batch) *)
+    let deadline =
+      let server_d = task.enqueued_at +. t.cfg.request_timeout_s in
+      if ctx.Wire.timeout_s > 0.0 then
+        Float.min server_d (task.enqueued_at +. ctx.Wire.timeout_s)
+      else server_d
+    in
     let resp =
-      try execute t conn frame ctx info
+      try execute t conn frame ctx ~deadline info
       with e ->
         Wire.Error
           { code = Wire.Internal;
@@ -994,7 +1045,7 @@ let rec drain_frames t conn =
         Metrics.incr t.ctr.c_malformed;
         send_error t conn 0 Wire.Protocol_error
           (Wire.decode_error_to_string (Wire.Oversized n));
-        conn.fatal <- true
+        mark_fatal conn
     | `Payload payload ->
         (match Wire.decode_request payload with
          | Ok (frame, ctx) ->
@@ -1021,7 +1072,7 @@ let rec drain_frames t conn =
              (* transport-level classifications cannot arise from a
                 complete payload; treat as lost framing *)
              Metrics.incr t.ctr.c_malformed;
-             conn.fatal <- true);
+             mark_fatal conn);
         drain_frames t conn
 
 (* One readable connection: read what the kernel has, reassemble,
@@ -1034,7 +1085,7 @@ let handle_readable t rbuf conn =
         Metrics.incr t.ctr.c_malformed;
         send_error t conn 0 Wire.Protocol_error
           (Wire.decode_error_to_string (Wire.Truncated "stream ended mid-frame"));
-        conn.fatal <- true
+        mark_fatal conn
       end
       else mark_dead t conn
   | n ->
@@ -1074,7 +1125,8 @@ let admit t fd peer_addr =
           wq = Queue.create ();
           wq_off = 0;
           wq_bytes = 0;
-          fatal = false }
+          fatal = false;
+          fatal_at = 0.0 }
       in
       Hashtbl.replace t.conns conn.cid conn;
       Metrics.set g_connections (float_of_int (Hashtbl.length t.conns));
@@ -1118,6 +1170,11 @@ let rec accept_burst t =
       (* out of fds: stop accepting this tick; pending connections stay
          in the listen backlog until capacity frees up *)
       Event.warn "net: accept failed: out of file descriptors"
+  | exception Unix.Unix_error (err, _, _) ->
+      (* anything else (ENOMEM, EPERM, proto errors surfaced by
+         accept): log and give up on this tick rather than let the
+         exception escape and kill the event-loop thread *)
+      Event.warn "net: accept failed: %s" (Unix.error_message err)
   | fd, peer ->
       admit t fd peer;
       accept_burst t
@@ -1146,7 +1203,7 @@ let idle_scan t =
         Event.info ~fields:[ ("conn", string_of_int conn.cid) ]
           "net: reaping idle connection %s" conn.peer;
         send_resp t conn 0 Wire.Bye;
-        conn.fatal <- true
+        mark_fatal conn
       end)
     (conns_snapshot t)
 
@@ -1232,9 +1289,20 @@ let event_loop t =
   let wakebuf = Bytes.create 256 in
   let last_scan = ref (now ()) in
   while not (Atomic.get t.want_stop) do
-    (* reap: close what was marked dead and what finished flushing *)
+    (* the whole tick is guarded: an unexpected exception from any
+       dispatch path must not kill the only thread that accepts, reads,
+       writes and closes — log it and keep ticking *)
+    try
+    (* reap: close what was marked dead, what finished flushing, and
+       any fatal connection whose peer would not drain its courtesy
+       frame within the flush grace (it forfeits the frame; the fd and
+       max_connections slot must not leak behind its write queue) *)
     List.iter
-      (fun c -> if (not c.alive) || (c.fatal && c.wq_bytes = 0) then close_conn t c)
+      (fun c ->
+        if (not c.alive)
+           || (c.fatal
+               && (c.wq_bytes = 0 || now () -. c.fatal_at > flush_grace_s))
+        then close_conn t c)
       (conns_snapshot t);
     let live = List.filter (fun c -> c.alive) (conns_snapshot t) in
     let arr = Array.of_list live in
@@ -1279,6 +1347,9 @@ let event_loop t =
       last_scan := now ();
       idle_scan t
     end
+    with e ->
+      Event.warn "net: event loop tick failed: %s" (Printexc.to_string e);
+      Thread.delay 0.05
   done;
   teardown t
 

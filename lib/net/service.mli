@@ -16,7 +16,12 @@
     requests by the echoed frame id, so a client may keep many requests
     in flight per connection; a [Batch] frame executes its entries on
     one worker under one admission-control decision and answers with
-    one positionally-matched [Batch_reply].
+    one positionally-matched [Batch_reply]. Because that one decision
+    covers however much work the batch carries, batches are bounded
+    both ways: more than {!max_batch_entries} entries is refused
+    outright with [Error Protocol_error], and the request deadline is
+    re-checked between entries — entries that would start past it are
+    answered [Berror Timeout] in their slots instead of executing.
 
     Admission control, timeouts and backpressure:
     - connections beyond [max_connections] get an [Error Overloaded]
@@ -27,7 +32,9 @@
       up is answered [Error Timeout] without executing — a request
       already executing is never preempted (OCaml compute cannot be
       safely interrupted), which bounds added latency by one request's
-      service time per worker;
+      service time per worker; a [Batch] additionally re-checks the
+      deadline between entries, so one frame cannot hold a worker past
+      its timeout;
     - connections idle longer than [idle_timeout_s] are reaped with a
       [Bye] frame;
     - a connection whose unsent replies exceed a high-water mark (1 MiB)
@@ -40,7 +47,11 @@
     ([Bad_version], [Malformed] — the frame boundary was still sound)
     are answered with a structured error and the connection survives;
     fatal ones ([Oversized], EOF mid-frame = [Truncated] — framing is
-    lost) are answered where possible and the connection is closed.
+    lost) are answered where possible and the connection is closed. A
+    fatal connection whose peer will not read gets a bounded flush
+    grace (a few seconds) to drain the courtesy error frame, after
+    which it is closed anyway — an unread write queue cannot pin the
+    fd or its [max_connections] slot.
 
     Graceful shutdown ({!request_shutdown}, a [Shutdown] frame, or
     SIGTERM routed to {!request_shutdown} by the CLI): stop accepting,
@@ -89,6 +100,12 @@ val default_config : config
 (** 127.0.0.1:7601, 64 connections, 4 workers, queue of 128, 30 s
     request timeout, 300 s idle timeout, 1 s slow threshold; not
     read-only, 10_000-record shed bound, 512-record batches. *)
+
+val max_batch_entries : int
+(** Most entries a single [Batch] frame may carry; a larger batch is
+    refused whole with [Error Protocol_error] (a batch spends one
+    queue slot and one worker no matter its size, so the cap is what
+    keeps admission control's accounting honest). *)
 
 type t
 

@@ -144,12 +144,22 @@ type 'a frame = { id : int; body : 'a }
    v4: the pipelining protocol — [Batch]/[Batch_reply] vectorized
    frames, and the (always latent, now contractual) permission for a
    server to answer single requests out of order, matched by id. v4 is
-   a strict byte-level superset of v3: every v3 frame encodes
-   identically under v4, so the decoder accepts both versions
-   ([min_protocol_version]) and new servers interoperate with v3
-   peers. Frames older than v3 decode to the recoverable [Bad_version]
-   so old clients get a structured version-mismatch error and keep
-   their connection. *)
+   a strict byte-level superset of v3: it adds two frame kinds and
+   reshapes nothing, so every pre-existing kind still encodes exactly
+   as a v3 binary would.
+
+   Version stamping is therefore per kind ([version_of_kind]): the two
+   v4-only kinds carry 4, everything else stays stamped 3. This is
+   what keeps rolling upgrades honest in both directions — a real v3
+   binary's decoder accepts exactly its own version, so an upgraded
+   server answering a v3 client (or pushing replication frames to a
+   v3 follower) must keep emitting 3 on the kinds that v3 defined.
+   The v4 stamp travels only on frames a v3 peer could not interpret
+   anyway, where it classifies as the recoverable [Bad_version] and
+   earns a structured version-mismatch error on a surviving
+   connection. Our own decoder accepts the whole
+   [min_protocol_version .. protocol_version] range; frames older
+   than v3 decode to the recoverable [Bad_version]. *)
 let protocol_version = 4
 let min_protocol_version = 3
 let max_payload = 16 * 1024 * 1024
@@ -195,6 +205,13 @@ let kind_ckpt_offer = 0x4a
 let kind_ckpt_chunk = 0x4b
 let kind_repl_error = 0x4c
 let kind_batch_reply = 0x4d
+
+(* The version byte a frame of [kind] is stamped with: v4 for the two
+   kinds v4 introduced, v3 for everything that already existed — see
+   the version-history comment above [protocol_version]. *)
+let version_of_kind kind =
+  if kind = kind_batch || kind = kind_batch_reply then protocol_version
+  else min_protocol_version
 
 let code_to_byte = function
   | Parse_error -> 0
@@ -360,7 +377,7 @@ let put_batch_result buf = function
 
 let frame_bytes kind id body_writer =
   let payload = Buffer.create 64 in
-  put_u8 payload protocol_version;
+  put_u8 payload (version_of_kind kind);
   put_u8 payload kind;
   put_i64 payload id;
   body_writer payload;

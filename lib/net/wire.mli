@@ -5,7 +5,7 @@
 
     {v
       u32  payload length          (at most {!max_payload})
-      u8   protocol version        ({!protocol_version})
+      u8   protocol version        (stamped per frame kind; see below)
       u8   frame kind
       i64  request id              (echoed verbatim in the response)
       ...  request context         (requests only: trace id + deadline)
@@ -36,10 +36,18 @@
     to their entry), and servers may answer {e single} requests out of
     order — responses are matched to requests by the i64 id, never by
     arrival order. v4 is a byte-level superset of v3, so the decoder
-    accepts both ({!min_protocol_version}). *)
+    accepts both ({!min_protocol_version}).
+
+    Version stamping is per frame kind: the two kinds v4 introduced
+    ([Batch]/[Batch_reply]) are stamped 4, every pre-existing kind
+    stays stamped 3 — a real v3 binary accepts only its own version,
+    so an upgraded peer must keep emitting 3 on the kinds v3 defined
+    for rolling upgrades to work in both directions. *)
 
 val protocol_version : int
-(** The version stamped on every encoded frame. *)
+(** The newest version this codec speaks, stamped on the v4-only
+    frame kinds; pre-existing kinds are stamped
+    {!min_protocol_version} (see the stamping note above). *)
 
 val min_protocol_version : int
 (** Oldest version the decoder still accepts. Frames older than this

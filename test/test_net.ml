@@ -218,6 +218,50 @@ let test_decode_v1_recoverable () =
         (Wire.decode_error_to_string e)
   | Ok _ -> Alcotest.fail "v1 frame should not decode as v2"
 
+let test_version_stamped_per_kind () =
+  (* a real v3 binary accepts only its own version byte, so every frame
+     kind that existed in v3 must still be stamped 3 by this encoder —
+     otherwise a rolling upgrade breaks: an upgraded server's replies
+     (and replication pushes) would classify as Bad_version on every
+     not-yet-upgraded client and follower. Only the two v4-only kinds
+     carry the v4 stamp; a v3 peer receiving one answers with a
+     structured version-mismatch error and keeps its connection. *)
+  let vbyte bytes = Char.code bytes.[4] (* u32 length, then version *) in
+  let v3_reqs : Wire.req list =
+    [ Wire.Ping;
+      Wire.Cql { text = "command:stats"; args = [ Icdb_cql.Exec.Aint 1 ] };
+      Wire.Sql "SELECT 1"; Wire.Stats; Wire.Trace_fetch "t"; Wire.Shutdown;
+      Wire.Subscribe { cursor = 0 } ]
+  in
+  List.iter
+    (fun body ->
+      check Alcotest.int "pre-v4 request kinds stay stamped v3" 3
+        (vbyte (Wire.encode_request { Wire.id = 1; body })))
+    v3_reqs;
+  let v3_resps : Wire.resp list =
+    [ Wire.Pong; Wire.Results []; Wire.Sql_result (Wire.Affected 1);
+      Wire.Sql_result (Wire.Relation { cols = [ "a" ]; rows = [ [ "1" ] ] });
+      Wire.Stats_report
+        { Wire.sp_text = ""; sp_counters = []; sp_gauges = []; sp_hists = [];
+          sp_slow = [] };
+      Wire.Spans []; Wire.Error { code = Wire.Timeout; message = "m" };
+      Wire.Bye;
+      Wire.Journal_batch
+        { jb_first = 0; jb_next = 0; jb_records = []; jb_files = [] };
+      Wire.Checkpoint_offer { co_cursor = 0; co_files = 0 };
+      Wire.Checkpoint_chunk { cc_name = "f"; cc_data = "d"; cc_last = true };
+      Wire.Repl_error "e" ]
+  in
+  List.iter
+    (fun body ->
+      check Alcotest.int "pre-v4 response kinds stay stamped v3" 3
+        (vbyte (Wire.encode_response { Wire.id = 1; body })))
+    v3_resps;
+  check Alcotest.int "Batch carries the v4 stamp" 4
+    (vbyte (Wire.encode_request { Wire.id = 1; body = Wire.Batch [] }));
+  check Alcotest.int "Batch_reply carries the v4 stamp" 4
+    (vbyte (Wire.encode_response { Wire.id = 1; body = Wire.Batch_reply [] }))
+
 let test_read_framing_failures () =
   let with_pipe f =
     let r, w = Unix.pipe ~cloexec:true () in
@@ -806,6 +850,60 @@ let test_service_batch_mixed () =
       Alcotest.failf "empty batch refused: %s: %s"
         (Wire.error_code_to_string code) msg
 
+(* A batch bigger than the entry cap is refused whole — it would carry
+   an unbounded amount of work on one queue slot — while a batch at
+   exactly the cap still answers positionally. *)
+let test_service_batch_entry_cap () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let entry = Wire.Bcql { text = "command:nonsense_command;"; args = [] } in
+  (match
+     Client.batch c (List.init (Service.max_batch_entries + 1) (fun _ -> entry))
+   with
+   | Error (Wire.Protocol_error, _) -> ()
+   | Error (code, msg) ->
+       Alcotest.failf "over-cap batch: expected Protocol_error, got %s: %s"
+         (Wire.error_code_to_string code) msg
+   | Ok _ -> Alcotest.fail "a batch over the entry cap must be refused");
+  match Client.batch c (List.init Service.max_batch_entries (fun _ -> entry)) with
+  | Ok results ->
+      check Alcotest.int "at-cap batch answers every entry"
+        Service.max_batch_entries (List.length results)
+  | Error (code, msg) ->
+      Alcotest.failf "at-cap batch refused: %s: %s"
+        (Wire.error_code_to_string code) msg
+
+(* The client deadline is enforced *between* batch entries, not only at
+   dequeue: once it passes, every remaining entry answers a positional
+   [Berror Timeout]. Timing-tolerant — the batch may also finish in
+   time, or expire while still queued — but whatever happens, timeouts
+   may only form a suffix and the reply stays positionally complete. *)
+let test_service_batch_deadline_tail () =
+  with_service @@ fun _svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let n = 3000 in
+  let entries = List.init n (fun _ -> Wire.Bsql "SELECT name FROM components") in
+  match Client.batch c ~timeout_s:0.05 entries with
+  | Error (Wire.Timeout, _) -> () (* expired while still queued *)
+  | Error (code, msg) ->
+      Alcotest.failf "batch failed: %s: %s"
+        (Wire.error_code_to_string code) msg
+  | Ok results ->
+      check Alcotest.int "positionally complete" n (List.length results);
+      let seen_timeout = ref false in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Wire.Berror { code = Wire.Timeout; _ } -> seen_timeout := true
+          | Wire.Bsql_result (Wire.Relation _) ->
+              if !seen_timeout then
+                Alcotest.failf
+                  "entry %d executed after an earlier entry timed out" i
+          | _ -> Alcotest.failf "entry %d: unexpected result shape" i)
+        results
+
 let thread_count () =
   match open_in "/proc/self/status" with
   | exception Sys_error _ -> -1 (* not Linux: skip the assertion *)
@@ -912,6 +1010,8 @@ let () =
             test_decode_bad_version;
           Alcotest.test_case "v1 frame is recoverable" `Quick
             test_decode_v1_recoverable;
+          Alcotest.test_case "pre-v4 kinds stamped v3" `Quick
+            test_version_stamped_per_kind;
           Alcotest.test_case "framing failures" `Quick test_read_framing_failures ] );
       ( "service",
         [ Alcotest.test_case "full CQL set" `Quick test_service_full_cql_set;
@@ -942,6 +1042,10 @@ let () =
             test_service_pipelining_property;
           Alcotest.test_case "mixed batch isolates errors" `Quick
             test_service_batch_mixed;
+          Alcotest.test_case "batch entry cap" `Quick
+            test_service_batch_entry_cap;
+          Alcotest.test_case "batch deadline between entries" `Quick
+            test_service_batch_deadline_tail;
           Alcotest.test_case "event loop: 1000 idle conns, slow client" `Quick
             test_service_event_loop_stress;
           Alcotest.test_case "drain answers in-flight" `Quick
