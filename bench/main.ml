@@ -1272,6 +1272,116 @@ let admin_bench () =
   Printf.printf "trajectory -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* E22 / telemetry: sampler overhead on the hot serve path             *)
+(* ------------------------------------------------------------------ *)
+
+(* The continuous-telemetry sampler runs always-on in production, so
+   its cost must be within noise of zero on the hot serve workload —
+   the same A/B discipline as E19's admin bench, with the sampler
+   deliberately run at 20 Hz (50 ms), 20x the 1 s production default,
+   so the measured bound is a hard ceiling on the default's cost.
+   Lands bench_out/BENCH_telemetry.json. *)
+let telemetry_bench () =
+  header "E22 / telemetry: serve throughput with the 20 Hz sampler on vs off";
+  let smoke = Sys.getenv_opt "ICDB_SMOKE" <> None in
+  let clients = if smoke then 4 else 8 in
+  let queries = if smoke then 1000 else 2000 in
+  let runs = 5 in
+  let sampler_period = 0.05 in
+  let run_load ~telemetry () =
+    let sync = Icdb_net.Sync.wrap (Server.create ()) in
+    let config =
+      { Icdb_net.Service.default_config with
+        port = 0;
+        max_connections = clients + 4;
+        workers = 4;
+        max_queue = clients * 4;
+        telemetry_period_s = (if telemetry then sampler_period else 0.0) }
+    in
+    let svc = Icdb_net.Service.start ~config sync in
+    let port = Icdb_net.Service.port svc in
+    (* the barrier keeps cold generation out of the timed window, as in
+       E19: clients generate, park, and only the hot phase is measured *)
+    let ready = Atomic.make 0 in
+    let go = Atomic.make false in
+    let run_client k =
+      let c = Icdb_net.Client.connect ~port () in
+      let gen =
+        Printf.sprintf
+          "command:request_component; component_name:counter; \
+           attribute:(size:%d); attribute:(type:2); instance:?s"
+          (3 + k)
+      in
+      let hot =
+        [| gen; "command:function_query; function:(INC); component:?s"; gen |]
+      in
+      let exec text =
+        match Icdb_net.Client.exec c text with
+        | Ok _ -> ()
+        | Error (_, msg) -> failwith ("telemetry bench query failed: " ^ msg)
+      in
+      exec gen;
+      Atomic.incr ready;
+      while not (Atomic.get go) do
+        Thread.yield ()
+      done;
+      for i = 0 to queries - 1 do
+        exec hot.(i mod Array.length hot)
+      done;
+      Icdb_net.Client.close c
+    in
+    let threads = List.init clients (fun k -> Thread.create run_client k) in
+    while Atomic.get ready < clients do
+      Thread.yield ()
+    done;
+    let t0 = Unix.gettimeofday () in
+    Atomic.set go true;
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let samples =
+      match Icdb_net.Service.sampler svc with
+      | Some s -> Icdb_obs.Series.total_ticks s
+      | None -> 0
+    in
+    Icdb_net.Service.shutdown svc;
+    (float_of_int (clients * queries) /. wall, samples)
+  in
+  (* interleaved best-of-N, as in E19: slow machine phases bias both
+     columns alike, and each column keeps its best run *)
+  let base_tp = ref 0.0 and telem_tp = ref 0.0 and samples = ref 0 in
+  for _ = 1 to runs do
+    let t, _ = run_load ~telemetry:false () in
+    if t > !base_tp then base_tp := t;
+    let t, s = run_load ~telemetry:true () in
+    if t > !telem_tp then telem_tp := t;
+    samples := !samples + s
+  done;
+  let base_tp = !base_tp and telem_tp = !telem_tp and samples = !samples in
+  let overhead_pct = (base_tp -. telem_tp) /. base_tp *. 100.0 in
+  Printf.printf "sampler off: %.0f req/s (best of %d)\n" base_tp runs;
+  Printf.printf "sampler on:  %.0f req/s (best of %d, %d ticks sampled)\n"
+    telem_tp runs samples;
+  Printf.printf "overhead:    %.1f%%\n" overhead_pct;
+  Printf.printf
+    "shape checks: sampler ticked mid-load (%b), overhead <= 5%% (%b)\n"
+    (samples > 0) (overhead_pct <= 5.0);
+  let dir = out_dir () in
+  let path = Filename.concat dir "BENCH_telemetry.json" in
+  Bench_json.write ~path
+    (Bench_json.Obj
+       [ ("experiment", Bench_json.Str "telemetry");
+         ("smoke", Bench_json.Bool smoke);
+         ("clients", Bench_json.Int clients);
+         ("queries_per_client", Bench_json.Int queries);
+         ("runs_per_mode", Bench_json.Int runs);
+         ("sampler_period_s", Bench_json.float ~prec:3 sampler_period);
+         ("baseline_rps", Bench_json.float ~prec:1 base_tp);
+         ("telemetry_rps", Bench_json.float ~prec:1 telem_tp);
+         ("sampler_ticks", Bench_json.Int samples);
+         ("overhead_pct", Bench_json.float ~prec:2 overhead_pct) ]);
+  Printf.printf "trajectory -> %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* E20 / repl: follower catch-up rate and propagation lag              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1379,7 +1489,8 @@ let experiments =
     ("ablation", ablation); ("ablation_synth", ablation_synth); ("hls", hls);
     ("wallclock", wallclock); ("cache", cache_bench);
     ("phases", phases_bench); ("serve", serve_bench); ("admin", admin_bench);
-    ("repl", repl_bench); ("bechamel", bechamel) ]
+    ("telemetry", telemetry_bench); ("repl", repl_bench);
+    ("bechamel", bechamel) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -352,24 +352,67 @@ let parse_host_port s =
   | None -> None
 
 (* The tail of both serve flavours: service + optional admin plane up,
-   signals routed to a graceful drain, checkpoint on the way out. *)
+   the flight recorder armed, signals routed to a graceful drain,
+   checkpoint on the way out. *)
 let serve_loop ~host ~port_file ~admin_port ~admin_port_file ?replica ~sync
-    ~durable ~svc () =
+    ~durable ~blackbox_out ~svc () =
   let bound = Icdb_net.Service.port svc in
   (match port_file with
    | None -> ()
    | Some path -> write_port_file path bound);
+  (* the black box: recent events, last telemetry samples, and the live
+     connection table, dumped on SIGQUIT, on a fatal exit, and served
+     at /blackboxz for `icdb blackbox` *)
+  let recorder = Icdb_obs.Recorder.create () in
+  let blackbox_path =
+    match blackbox_out with
+    | Some path -> path
+    | None ->
+        Filename.concat (Icdb_net.Sync.peek_workspace sync)
+          "icdb.blackbox.json"
+  in
+  Icdb_obs.Recorder.set_meta recorder
+    [ ("workspace", Icdb_net.Sync.peek_workspace sync);
+      ("port", string_of_int bound);
+      ("role", if Option.is_some replica then "follower" else "primary") ];
+  (match Icdb_net.Service.sampler svc with
+   | Some s -> Icdb_obs.Recorder.set_sampler recorder s
+   | None -> ());
+  Icdb_obs.Recorder.add_table recorder "conns" (fun () ->
+      List.map
+        (fun (c : Icdb_net.Service.conn_info) ->
+          [ ("cid", string_of_int c.Icdb_net.Service.ci_cid);
+            ("peer", c.Icdb_net.Service.ci_peer);
+            ("state", c.Icdb_net.Service.ci_state);
+            ("wq_bytes", string_of_int c.Icdb_net.Service.ci_wq_bytes);
+            ("reqs", string_of_int c.Icdb_net.Service.ci_reqs);
+            ("age_s", Printf.sprintf "%.3f" c.Icdb_net.Service.ci_age_s);
+            ("idle_s", Printf.sprintf "%.3f" c.Icdb_net.Service.ci_idle_s);
+            ("paused_s", Printf.sprintf "%.3f" c.Icdb_net.Service.ci_paused_s)
+          ])
+        (Icdb_net.Service.conn_table svc));
+  let dump reason =
+    match Icdb_obs.Recorder.dump ~reason recorder ~path:blackbox_path with
+    | () -> Printf.eprintf "blackbox dump (%s): %s\n%!" reason blackbox_path
+    | exception _ -> ()
+  in
+  Sys.set_signal Sys.sigquit (Sys.Signal_handle (fun _ -> dump "sigquit"));
+  Printexc.set_uncaught_exception_handler (fun e bt ->
+      dump ("fatal: " ^ Printexc.to_string e);
+      Printf.eprintf "Fatal error: exception %s\n%s%!" (Printexc.to_string e)
+        (Printexc.raw_backtrace_to_string bt));
   let admin =
     match admin_port with
     | None -> None
     | Some ap -> (
         match
-          Icdb_net.Admin.start ~host ?replica ~port:ap ~service:svc ~sync ()
+          Icdb_net.Admin.start ~host ?replica ~recorder ~port:ap ~service:svc
+            ~sync ()
         with
         | a ->
             Printf.printf
               "admin endpoint on http://%s:%d (/healthz /readyz /metrics \
-               /tracez /slowz)\n%!"
+               /tracez /slowz /statz /connz /blackboxz)\n%!"
               host (Icdb_net.Admin.port a);
             (match admin_port_file with
              | None -> ()
@@ -403,7 +446,7 @@ let serve_loop ~host ~port_file ~admin_port ~admin_port_file ?replica ~sync
 
 let serve workspace durable host port port_file admin_port admin_port_file
     max_connections workers max_queue request_timeout idle_timeout
-    slow_threshold follow log_level =
+    slow_threshold telemetry_period blackbox_out follow log_level =
   setup_logging log_level;
   (* a peer vanishing mid-write must surface as EPIPE, not kill icdbd;
      Service.start and Client.connect set this too — this earlier copy
@@ -420,7 +463,8 @@ let serve workspace durable host port port_file admin_port admin_port_file
       slow_threshold_s = slow_threshold;
       read_only;
       repl_max_lag = Icdb_net.Service.default_config.repl_max_lag;
-      repl_batch = Icdb_net.Service.default_config.repl_batch }
+      repl_batch = Icdb_net.Service.default_config.repl_batch;
+      telemetry_period_s = telemetry_period }
   in
   let start_service config sync =
     try Icdb_net.Service.start ~config sync
@@ -469,7 +513,7 @@ let serve workspace durable host port port_file admin_port admin_port_file
          %s:%d)\n%!"
         host (Icdb_net.Service.port svc) ws phost pport;
       serve_loop ~host ~port_file ~admin_port ~admin_port_file ~replica ~sync
-        ~durable:true ~svc ()
+        ~durable:true ~blackbox_out ~svc ()
   | None -> (
       match Server.create ?workspace ~durable () with
       | exception Server.Icdb_error msg ->
@@ -483,7 +527,7 @@ let serve workspace durable host port port_file admin_port admin_port_file
             (Server.workspace server)
             (if durable then ", durable" else "");
           serve_loop ~host ~port_file ~admin_port ~admin_port_file ~sync
-            ~durable ~svc ())
+            ~durable ~blackbox_out ~svc ())
 
 let connect endpoint trace_out batch execs =
   if batch && execs = [] then begin
@@ -749,7 +793,52 @@ let workload_spec component size strategy =
    instrumented code bumped. With --connect, instead fetch the live
    metrics of a running icdbd — cache counters, net.* admission
    counters and the per-wire-command latency histograms. *)
-let remote_stats endpoint =
+(* The machine-readable flavour of `stats --connect`: the same wire
+   payload through the deterministic emitter, so CI scripts and `icdb
+   top` share one schema with bench_out artifacts. Field order is fixed
+   by construction; counter/gauge/histogram order is the registry's
+   (name-sorted) order, carried verbatim by the wire payload. *)
+let stats_payload_json (p : Icdb_net.Wire.stats_payload) =
+  let open Icdb_obs in
+  let open Icdb_net.Wire in
+  Json.Obj
+    [ ("text", Json.Str p.sp_text);
+      ( "counters",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) p.sp_counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.float v)) p.sp_gauges) );
+      ( "histograms",
+        Json.List
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [ ("name", Json.Str h.hs_name);
+                   ("count", Json.Int h.hs_count);
+                   ("sum", Json.float h.hs_sum);
+                   ("min", Json.float h.hs_min);
+                   ("max", Json.float h.hs_max);
+                   ("p50", Json.float h.hs_p50);
+                   ("p90", Json.float h.hs_p90);
+                   ("p99", Json.float h.hs_p99) ])
+             p.sp_hists) );
+      ( "slow",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [ ("cmd", Json.Str e.sl_cmd);
+                   ("trace", Json.Str e.sl_trace);
+                   ("conn", Json.Int e.sl_conn);
+                   ("seconds", Json.float e.sl_seconds);
+                   ("cache", Json.Str e.sl_cache);
+                   ( "phases",
+                     Json.Obj
+                       (List.map
+                          (fun (n, s) -> (n, Json.float s))
+                          e.sl_phases) ) ])
+             p.sp_slow) ) ]
+
+let remote_stats ~json endpoint =
   match parse_host_port endpoint with
   | None ->
       Printf.eprintf "error: expected HOST:PORT, got %s\n" endpoint;
@@ -761,7 +850,10 @@ let remote_stats endpoint =
           ~finally:(fun () -> Icdb_net.Client.close client)
           (fun () -> Icdb_net.Client.stats client)
       with
-      | Ok payload -> print_stats_payload payload
+      | Ok payload ->
+          if json then
+            print_string (Icdb_obs.Json.to_string (stats_payload_json payload))
+          else print_stats_payload payload
       | Error (code, msg) ->
           Printf.eprintf "remote error (%s): %s\n"
             (Icdb_net.Wire.error_code_to_string code) msg;
@@ -770,10 +862,15 @@ let remote_stats endpoint =
           Printf.eprintf "error: %s\n" msg;
           exit 1)
 
-let stats component requests connect =
+let stats component requests connect json =
   match connect with
-  | Some endpoint -> remote_stats endpoint
+  | Some endpoint -> remote_stats ~json endpoint
   | None ->
+  if json then begin
+    Printf.eprintf "error: --json requires --connect (the machine-readable \
+                    output mirrors the wire stats payload)\n";
+    exit 2
+  end;
   Icdb_obs.Trace.set_enabled true;
   let server = Server.create ~verify:false () in
   (try
@@ -816,6 +913,118 @@ let stats component requests connect =
          slow);
   print_newline ();
   print_string (Icdb_obs.Metrics.render ())
+
+(* Live terminal cockpit over a running icdbd: poll the wire Stats
+   payload at a fixed interval, compute rates from counter deltas, and
+   read the level gauges the telemetry sampler maintains. One
+   persistent wire connection; no admin port needed. *)
+let top connect interval iterations =
+  let open Icdb_net.Wire in
+  match parse_host_port connect with
+  | None ->
+      Printf.eprintf "error: expected HOST:PORT, got %s\n" connect;
+      exit 2
+  | Some (host, port) ->
+      let client =
+        match Icdb_net.Client.connect ~host ~port () with
+        | c -> c
+        | exception Icdb_net.Client.Net_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
+      in
+      let counter p name =
+        Option.value (List.assoc_opt name p.sp_counters) ~default:0
+      in
+      let gauge p name =
+        Option.value (List.assoc_opt name p.sp_gauges) ~default:0.0
+      in
+      let hist_p99 p name =
+        match List.find_opt (fun h -> h.hs_name = name) p.sp_hists with
+        | Some h -> Icdb_obs.Metrics.pretty_s h.hs_p99
+        | None -> "-"
+      in
+      let tty = Unix.isatty Unix.stdout in
+      let prev = ref None in
+      let rec loop i =
+        (match Icdb_net.Client.stats client with
+         | Error (code, msg) ->
+             Printf.eprintf "remote error (%s): %s\n"
+               (error_code_to_string code) msg;
+             exit 1
+         | exception Icdb_net.Client.Net_error msg ->
+             Printf.eprintf "error: %s\n" msg;
+             exit 1
+         | Ok p ->
+             let t = Unix.gettimeofday () in
+             let rate name =
+               match !prev with
+               | Some (q, tq) when t > tq ->
+                   Printf.sprintf "%.1f"
+                     (float_of_int (counter p name - counter q name)
+                     /. (t -. tq))
+               | _ -> "-"
+             in
+             if tty && iterations <> 1 then print_string "\027[2J\027[H";
+             Printf.printf "icdb top — %s  (interval %gs)\n" connect interval;
+             let tripped = gauge p "net.watchdog.tripped" > 0.5 in
+             if tripped then
+               print_string "!! STALL WATCHDOG TRIPPED (see /healthz)\n";
+             Printf.printf "req/s %-8s err/s %-8s p99(req) %-9s p99(wait) %-9s\n"
+               (rate "net.requests") (rate "net.errors")
+               (hist_p99 p "net.request_s") (hist_p99 p "net.queue_wait");
+             Printf.printf
+               "queue %-4.0f age %-6.2fs wq %-9.0fB fds %-5.0f rss %s\n"
+               (gauge p "net.queue_depth") (gauge p "net.queue_age_s")
+               (gauge p "net.wq_bytes") (gauge p "process.open_fds")
+               (let rss = gauge p "process.max_rss_bytes" in
+                if rss > 0.0 then Printf.sprintf "%.0fMiB" (rss /. 1048576.0)
+                else "-");
+             Printf.printf
+               "conns %-4.0f (active %.0f paused %.0f fatal %.0f) followers \
+                %-3.0f lag %.0frec/%.1fs\n"
+               (gauge p "net.connections") (gauge p "net.conns.active")
+               (gauge p "net.conns.paused") (gauge p "net.conns.fatal")
+               (gauge p "repl.followers") (gauge p "repl.lag_records")
+               (gauge p "repl.lag_seconds");
+             Printf.printf "loop p99: poll %-9s dispatch %s\n%!"
+               (hist_p99 p "net.loop.poll_wait")
+               (hist_p99 p "net.loop.dispatch");
+             prev := Some (p, t));
+        if iterations = 0 || i + 1 < iterations then begin
+          Thread.delay interval;
+          loop (i + 1)
+        end
+      in
+      Fun.protect
+        ~finally:(fun () -> Icdb_net.Client.close client)
+        (fun () -> loop 0)
+
+(* Pull a flight-recorder dump from a running icdbd's admin port. *)
+let blackbox connect out =
+  match parse_host_port connect with
+  | None ->
+      Printf.eprintf "error: expected HOST:ADMIN_PORT, got %s\n" connect;
+      exit 2
+  | Some (host, port) -> (
+      match Icdb_obs.Expo.http_get ~host ~port "/blackboxz" with
+      | 200, body -> (
+          match out with
+          | None -> print_string body
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc body);
+              Printf.printf "blackbox dump written to %s (%d bytes)\n" path
+                (String.length body))
+      | status, body ->
+          Printf.eprintf "error: /blackboxz answered %d: %s" status body;
+          exit 1
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: cannot reach %s: %s\n" connect
+            (Unix.error_message e);
+          exit 1
+      | exception Failure msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1)
 
 (* Trace one request end to end and write the span tree as Chrome
    trace_event JSON. *)
@@ -950,6 +1159,20 @@ let serve_cmd =
              ~doc:"Log requests at least this slow to the slow-query log \
                    (0 logs everything, negative disables)" ~docv:"SECONDS")
   in
+  let telemetry_period =
+    Arg.(value & opt float Icdb_net.Service.default_config.telemetry_period_s
+         & info [ "telemetry-period" ]
+             ~doc:"Sampling period of the continuous-telemetry time-series \
+                   rings served at /statz (and of the stall watchdog); 0 \
+                   disables both" ~docv:"SECONDS")
+  in
+  let blackbox_out =
+    Arg.(value & opt (some string) None
+         & info [ "blackbox-out" ]
+             ~doc:"Where the flight recorder dumps on SIGQUIT or a fatal \
+                   exit (default: icdb.blackbox.json in the workspace)"
+             ~docv:"FILE")
+  in
   let follow =
     Arg.(value & opt (some string) None
          & info [ "follow" ]
@@ -976,7 +1199,7 @@ let serve_cmd =
     Term.(const serve $ workspace $ durable $ host $ port $ port_file
           $ admin_port $ admin_port_file $ max_connections $ workers
           $ max_queue $ request_timeout $ idle_timeout $ slow_threshold
-          $ follow $ log_level)
+          $ telemetry_period $ blackbox_out $ follow $ log_level)
 
 let connect_cmd =
   let endpoint =
@@ -1092,12 +1315,62 @@ let stats_cmd =
                    counters, and per-wire-command latency histograms"
              ~docv:"HOST:PORT")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"With --connect, print the stats payload as deterministic \
+                   JSON (fixed field order) instead of the human tables — \
+                   the format CI scripts parse")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a traced workload and print per-phase latency histograms, \
              the slowest requests, and all pipeline counters; or --connect \
              to a live icdbd")
-    Term.(const stats $ component $ requests $ connect)
+    Term.(const stats $ component $ requests $ connect $ json)
+
+let top_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ]
+             ~doc:"Address of a running icdbd (the wire port, as in \
+                   $(b,icdb connect))" ~docv:"HOST:PORT")
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval"; "i" ] ~doc:"Seconds between refreshes"
+             ~docv:"SECONDS")
+  in
+  let iterations =
+    Arg.(value & opt int 0
+         & info [ "iterations"; "n" ]
+             ~doc:"Exit after this many refreshes (0 = run until \
+                   interrupted) — scripting/CI hook")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live terminal view of a running icdbd: request/error rates, \
+             p99 latencies, queue and write-queue pressure, connection \
+             states, replication lag, open fds")
+    Term.(const top $ connect $ interval $ iterations)
+
+let blackbox_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ]
+             ~doc:"Admin endpoint of a running icdbd (the --admin-port, \
+                   not the wire port)" ~docv:"HOST:ADMIN_PORT")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ]
+             ~doc:"Write the dump to FILE instead of stdout" ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:"Pull a flight-recorder dump (recent events, telemetry samples, \
+             connection table) from a running icdbd's /blackboxz")
+    Term.(const blackbox $ connect $ out)
 
 let trace_cmd =
   let out =
@@ -1129,4 +1402,4 @@ let () =
   exit (Cmd.eval (Cmd.group ~default info
                     [ shell_cmd; serve_cmd; connect_cmd; recover_cmd;
                       catalog_cmd; gen_cmd; cells_cmd; hls_cmd; stats_cmd;
-                      trace_cmd ]))
+                      top_cmd; blackbox_cmd; trace_cmd ]))

@@ -24,6 +24,9 @@ type site =
   | Sizing           (* transistor sizing *)
   | Journal_stream   (* journal tail-read serving a replication batch *)
   | Repl_replay      (* follower applying one shipped journal record *)
+  | Loop_stall       (* top of a service event-loop tick; armed hits
+                        become sleeps, wedging the loop for the stall
+                        watchdog tests *)
 
 type mode =
   | Fail of int * Fault.kind  (* first n hits raise Fault (kind, _) *)
@@ -39,6 +42,7 @@ let site_to_string = function
   | Sizing -> "sizing"
   | Journal_stream -> "journal_stream"
   | Repl_replay -> "repl_replay"
+  | Loop_stall -> "loop_stall"
 
 let site_of_string = function
   | "file_write" -> Some File_write
@@ -48,11 +52,12 @@ let site_of_string = function
   | "sizing" -> Some Sizing
   | "journal_stream" -> Some Journal_stream
   | "repl_replay" -> Some Repl_replay
+  | "loop_stall" -> Some Loop_stall
   | _ -> None
 
 let all_sites =
   [ File_write; Journal_append; Expand; Techmap; Sizing; Journal_stream;
-    Repl_replay ]
+    Repl_replay; Loop_stall ]
 
 let armed : (site, mode * int ref) Hashtbl.t = Hashtbl.create 8
 

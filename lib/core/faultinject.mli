@@ -16,6 +16,10 @@ type site =
   | Sizing          (** transistor sizing *)
   | Journal_stream  (** journal tail-read serving a replication batch *)
   | Repl_replay     (** follower applying one shipped journal record *)
+  | Loop_stall      (** top of a service event-loop tick — armed [Fail]
+                        hits make the loop thread sleep instead of
+                        raising, simulating a wedged loop for the stall
+                        watchdog *)
 
 type mode =
   | Fail of int * Fault.kind  (** first [n] hits raise [Fault (kind, _)] *)

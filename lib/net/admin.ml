@@ -104,37 +104,89 @@ let readiness ?replica ~service ~sync () =
   in
   (ready, body)
 
-let handler ?replica ~service ~sync path =
+(* The /connz body: Service's diagnostic connection table through the
+   shared deterministic emitter. *)
+let connz_json service =
+  let rows = Service.conn_table service in
+  Json.to_string
+    (Json.Obj
+       [ ("connections", Json.Int (List.length rows));
+         ( "conns",
+           Json.List
+             (List.map
+                (fun (c : Service.conn_info) ->
+                  Json.Obj
+                    [ ("cid", Json.Int c.Service.ci_cid);
+                      ("peer", Json.Str c.Service.ci_peer);
+                      ("state", Json.Str c.Service.ci_state);
+                      ("wq_bytes", Json.Int c.Service.ci_wq_bytes);
+                      ("reqs", Json.Int c.Service.ci_reqs);
+                      ("age_s", Json.float ~prec:3 c.Service.ci_age_s);
+                      ("idle_s", Json.float ~prec:3 c.Service.ci_idle_s);
+                      ("paused_s", Json.float ~prec:3 c.Service.ci_paused_s)
+                    ])
+                rows) ) ])
+
+let handler ?replica ?recorder ~service ~sync path =
   match path with
-  | "/healthz" -> Some (Expo.text "ok\n")
+  | "/healthz" -> (
+      (* liveness, but an honest one: a daemon whose event loop is
+         wedged is not alive in any useful sense, and the stall
+         watchdog is the component that knows *)
+      match Service.watchdog service with
+      | false, _ -> Some (Expo.text "ok\n")
+      | true, reason ->
+          Some (Expo.text ~status:503 ("stall watchdog tripped: " ^ reason ^ "\n")))
   | "/readyz" ->
       let ready, body = readiness ?replica ~service ~sync () in
       Some (Expo.text ~status:(if ready then 200 else 503) body)
-  | "/metrics" -> Some (Expo.text (Expo.prometheus ()))
+  | "/metrics" ->
+      Expo.update_process_gauges ();
+      Some (Expo.text (Expo.prometheus ()))
   | "/tracez" ->
-      (* the span ring is only consistent under the server lock *)
+      (* the span ring is only consistent under the server lock; taking
+         the tail via [since] is O(limit), not O(ring) *)
       let spans =
         Sync.with_server sync (fun _ ->
-            let all = Trace.all_finished () in
-            let n = List.length all in
-            if n <= tracez_limit then all
-            else List.filteri (fun i _ -> i >= n - tracez_limit) all)
+            Trace.since (max 0 (Trace.finished_count () - tracez_limit)))
       in
       Some (Expo.json (spans_json spans))
   | "/slowz" -> Some (Expo.json (slow_json (Service.slow_log service)))
+  | "/statz" -> (
+      match Service.sampler service with
+      | None ->
+          Some
+            (Expo.json ~status:404
+               "{\"error\": \"telemetry sampler disabled\"}\n")
+      | Some s -> Some (Expo.json (Json.to_string (Series.to_json s))))
+  | "/connz" -> Some (Expo.json (connz_json service))
+  | "/blackboxz" -> (
+      match recorder with
+      | None ->
+          Some
+            (Expo.json ~status:404 "{\"error\": \"no flight recorder\"}\n")
+      | Some r ->
+          Some
+            (Expo.json
+               (Json.to_string (Recorder.to_json ~reason:"blackboxz" r))))
   | "/" ->
       Some
         (Expo.text
            "icdbd admin endpoints:\n\
-            /healthz  liveness\n\
-            /readyz   readiness (accepting, queue, workspace, repl lag)\n\
-            /metrics  Prometheus text exposition\n\
-            /tracez   recent completed spans (JSON)\n\
-            /slowz    slow-query log (JSON)\n")
+            /healthz    liveness (503 while the stall watchdog is tripped)\n\
+            /readyz     readiness (accepting, queue, workspace, repl lag)\n\
+            /metrics    Prometheus text exposition\n\
+            /tracez     recent completed spans (JSON)\n\
+            /slowz      slow-query log (JSON)\n\
+            /statz      telemetry time-series rings (JSON)\n\
+            /connz      per-connection table (JSON)\n\
+            /blackboxz  flight-recorder dump (JSON)\n")
   | _ -> None
 
-let start ?host ?replica ~port ~service ~sync () =
-  let http = Expo.http_start ?host ~port (handler ?replica ~service ~sync) in
+let start ?host ?replica ?recorder ~port ~service ~sync () =
+  let http =
+    Expo.http_start ?host ~port (handler ?replica ?recorder ~service ~sync)
+  in
   Event.info "net: admin endpoint listening on port %d" (Expo.http_port http);
   { http }
 

@@ -70,6 +70,7 @@ let g_lag_seconds = Metrics.gauge "repl.lag_seconds"
 let g_connected = Metrics.gauge "repl.connected"
 let c_batches_applied = Metrics.counter "repl.batches_applied"
 let c_records_applied = Metrics.counter "repl.records_applied"
+let h_apply = Metrics.histogram "repl.apply_s"
 let c_reconnects = Metrics.counter "repl.reconnects"
 let c_checkpoints_fetched = Metrics.counter "repl.checkpoints_fetched"
 
@@ -247,6 +248,7 @@ let sync t = t.sync
    means the stream and our cursor diverged, so reconnect and let the
    subscribe handshake sort it out. *)
 let apply_batch t ~jb_first ~jb_next ~jb_records ~jb_files =
+  let t0 = now () in
   let applied =
     Sync.with_server t.sync (fun server ->
         let j =
@@ -293,6 +295,9 @@ let apply_batch t ~jb_first ~jb_next ~jb_records ~jb_files =
     Metrics.incr ~by:applied c_records_applied
   end;
   Metrics.incr c_batches_applied;
+  (* heartbeats (empty batches) are excluded: the histogram should show
+     what applying shipped records costs, not the idle poll cadence *)
+  if jb_records <> [] then Metrics.observe h_apply (now () -. t0);
   t.primary_next <- jb_next;
   if local_next t >= jb_next then t.caught_up_at <- now ();
   ignore (update_lag t)

@@ -44,6 +44,7 @@ type config = {
   read_only : bool;
   repl_max_lag : int;
   repl_batch : int;
+  telemetry_period_s : float;
 }
 
 let default_config =
@@ -57,7 +58,8 @@ let default_config =
     slow_threshold_s = 1.0;
     read_only = false;
     repl_max_lag = 10_000;
-    repl_batch = 512 }
+    repl_batch = 512;
+    telemetry_period_s = 1.0 }
 
 (* Stop polling a connection for reads once this many response bytes
    are queued unsent... *)
@@ -74,6 +76,7 @@ type conn = {
   cid : int;
   fd : Unix.file_descr;
   peer : string;
+  created_at : float;
   wlock : Mutex.t;             (* serializes queueing vs flush vs close *)
   mutable alive : bool;        (* false = logically dead; loop reaps it *)
   mutable closed : bool;       (* fd actually closed (loop thread only) *)
@@ -89,6 +92,10 @@ type conn = {
                                   flush-grace clock, after which the
                                   connection closes even with unsent
                                   bytes queued *)
+  mutable reqs : int;          (* complete requests enqueued (loop thread) *)
+  mutable paused_since : float;(* 0.0 = reads not paused; else when this
+                                  connection crossed the high-water mark
+                                  (loop thread; watchdog reads it) *)
 }
 
 (* One subscribed follower, owned by the publisher. The per-follower
@@ -130,6 +137,9 @@ type counters = {
   c_malformed : Metrics.counter;
   c_version_mismatch : Metrics.counter;
   c_idle_reaped : Metrics.counter;
+  c_bp_pauses : Metrics.counter;   (* read-pause transitions (hiwater) *)
+  c_bp_kills : Metrics.counter;    (* hard-cap connection kills *)
+  c_wd_trips : Metrics.counter;    (* stall-watchdog trip transitions *)
 }
 
 type t = {
@@ -155,11 +165,23 @@ type t = {
   mutable publisher : Thread.t option;
   ctr : counters;
   h_queue_wait : Metrics.histogram;
+  h_request : Metrics.histogram;    (* all-command service time *)
+  h_poll_wait : Metrics.histogram;  (* per-tick time parked in poll(2) *)
+  h_dispatch : Metrics.histogram;   (* per-tick time dispatching readiness *)
   (* Slow-query log: a small newest-first list of requests that took
      longer than [slow_threshold_s], bounded at [slow_cap]. *)
   slock : Mutex.t;
   mutable slow : Wire.slow_entry list;
   mutable last_slow_warn : float;  (* rate limit for the warn event *)
+  (* Continuous telemetry (None when [telemetry_period_s <= 0]). *)
+  mutable sampler : Series.t option;
+  mutable loop_heartbeat : float;  (* wall clock of the last completed
+                                      event-loop tick; the watchdog's
+                                      primary liveness signal *)
+  (* Stall watchdog, written only from the sampler tick hook. *)
+  mutable wd_tripped : bool;
+  mutable wd_reason : string;
+  mutable wd_missed_seen : int;    (* sampler missed-deadline highwater *)
 }
 
 let slow_cap = 64
@@ -190,19 +212,28 @@ let wake t =
    dead connection silently drops. *)
 let send_bytes t conn bytes =
   Mutex.lock conn.wlock;
+  let killed = ref false in
   let queued =
     if conn.alive then begin
       Queue.push bytes conn.wq;
       conn.wq_bytes <- conn.wq_bytes + String.length bytes;
-      if conn.wq_bytes > wq_hardcap && not conn.follower then
+      if conn.wq_bytes > wq_hardcap && not conn.follower then begin
         (* the peer stopped reading long ago; cut it loose rather than
            buffer without bound (its queued replies are forfeit) *)
         conn.alive <- false;
+        killed := true
+      end;
       true
     end
     else false
   in
   Mutex.unlock conn.wlock;
+  if !killed then begin
+    Metrics.incr t.ctr.c_bp_kills;
+    Event.warn ~fields:[ ("conn", string_of_int conn.cid) ]
+      "net: killing %s: write queue past hard cap (%d bytes unread)"
+      conn.peer conn.wq_bytes
+  end;
   if queued then wake t
 
 let send_resp t conn id body =
@@ -295,6 +326,42 @@ let conns_snapshot t =
   let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   Mutex.unlock t.clock;
   l
+
+(* One row per live connection for /connz, `icdb top` and the flight
+   recorder. Reads of the mutable conn fields are racy snapshots, which
+   is fine for a diagnostic table. *)
+type conn_info = {
+  ci_cid : int;
+  ci_peer : string;
+  ci_state : string;           (* follower | fatal | paused | active *)
+  ci_wq_bytes : int;
+  ci_reqs : int;
+  ci_age_s : float;
+  ci_idle_s : float;
+  ci_paused_s : float;         (* 0 unless reads are paused *)
+}
+
+let conn_state c =
+  if c.follower then "follower"
+  else if c.fatal then "fatal"
+  else if c.paused_since > 0.0 then "paused"
+  else "active"
+
+let conn_table t =
+  let t0 = now () in
+  conns_snapshot t
+  |> List.filter (fun c -> not c.closed)
+  |> List.map (fun c ->
+         { ci_cid = c.cid;
+           ci_peer = c.peer;
+           ci_state = conn_state c;
+           ci_wq_bytes = c.wq_bytes;
+           ci_reqs = c.reqs;
+           ci_age_s = t0 -. c.created_at;
+           ci_idle_s = t0 -. c.last_active;
+           ci_paused_s =
+             (if c.paused_since > 0.0 then t0 -. c.paused_since else 0.0) })
+  |> List.sort (fun a b -> compare a.ci_cid b.ci_cid)
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (worker side)                                     *)
@@ -981,6 +1048,7 @@ let handle_task t task =
     let elapsed = now () -. t0 in
     let cmd = metric_name frame in
     Metrics.observe (Metrics.histogram cmd) elapsed;
+    Metrics.observe t.h_request elapsed;
     if t.cfg.slow_threshold_s >= 0.0 && elapsed >= t.cfg.slow_threshold_s
     then record_slow t ~cmd ~info ~conn ~seconds:elapsed;
     (match resp with
@@ -1013,6 +1081,7 @@ let worker_loop t =
 
 let enqueue t conn frame ctx =
   Metrics.incr t.ctr.c_requests;
+  conn.reqs <- conn.reqs + 1;
   if Atomic.get t.want_stop then
     send_error t conn frame.Wire.id Wire.Shutting_down "server is shutting down"
   else begin
@@ -1116,6 +1185,7 @@ let admit t fd peer_addr =
         { cid = t.next_cid;
           fd;
           peer;
+          created_at = now ();
           wlock = Mutex.create ();
           alive = true;
           closed = false;
@@ -1126,7 +1196,9 @@ let admit t fd peer_addr =
           wq_off = 0;
           wq_bytes = 0;
           fatal = false;
-          fatal_at = 0.0 }
+          fatal_at = 0.0;
+          reqs = 0;
+          paused_since = 0.0 }
       in
       Hashtbl.replace t.conns conn.cid conn;
       Metrics.set g_connections (float_of_int (Hashtbl.length t.conns));
@@ -1275,6 +1347,13 @@ let teardown t =
   in
   flush_all ();
   List.iter (fun conn -> close_conn t conn) (conns_snapshot t);
+  (* retire the telemetry sampler (joins its thread; the watchdog hook
+     only takes short-lived locks, so this cannot deadlock) *)
+  (match t.sampler with
+   | Some s ->
+       Series.stop s;
+       t.sampler <- None
+   | None -> ());
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
   Event.info "net: service stopped"
@@ -1293,6 +1372,12 @@ let event_loop t =
        dispatch path must not kill the only thread that accepts, reads,
        writes and closes — log it and keep ticking *)
     try
+    (* stall-injection point for the watchdog tests: an armed
+       [Loop_stall] hit wedges this thread for a while instead of
+       raising, exactly the failure the watchdog exists to catch *)
+    (match Icdb.Faultinject.hit Icdb.Faultinject.Loop_stall with
+     | () -> ()
+     | exception _ -> Thread.delay 1.5);
     (* reap: close what was marked dead, what finished flushing, and
        any fatal connection whose peer would not drain its courtesy
        frame within the flush grace (it forfeits the frame; the fd and
@@ -1316,6 +1401,16 @@ let event_loop t =
     Array.iteri
       (fun i c ->
         let want_read = (not c.fatal) && c.wq_bytes < wq_hiwater in
+        (* read-pause transition bookkeeping for the watchdog and the
+           backpressure counters; reads of [paused_since] elsewhere are
+           racy snapshots, writes happen only here *)
+        if want_read then begin
+          if c.paused_since > 0.0 then c.paused_since <- 0.0
+        end
+        else if (not c.fatal) && c.paused_since = 0.0 then begin
+          c.paused_since <- now ();
+          Metrics.incr t.ctr.c_bp_pauses
+        end;
         let ev =
           (if want_read then Evpoll.rd else 0)
           lor (if c.wq_bytes > 0 then Evpoll.wr else 0)
@@ -1323,8 +1418,11 @@ let event_loop t =
         spec.((2 * (i + 2))) <- Evpoll.fd_int c.fd;
         spec.((2 * (i + 2)) + 1) <- ev)
       arr;
+    let t_poll = now () in
     (match Evpoll.poll spec nfds 200 with
      | res ->
+         let t_disp = now () in
+         Metrics.observe t.h_poll_wait (t_disp -. t_poll);
          if res.(0) land Evpoll.rd <> 0 then drain_wake t wakebuf;
          if (not (Atomic.get t.want_stop)) && res.(1) land Evpoll.rd <> 0 then
            accept_burst t;
@@ -1341,17 +1439,154 @@ let event_loop t =
                   && c.wq_bytes < wq_hiwater
                then handle_readable t rbuf c
              end)
-           arr
+           arr;
+         Metrics.observe t.h_dispatch (now () -. t_disp)
      | exception _ -> Thread.delay 0.05);
     if now () -. !last_scan >= 1.0 then begin
       last_scan := now ();
       idle_scan t
-    end
+    end;
+    t.loop_heartbeat <- now ()
     with e ->
       Event.warn "net: event loop tick failed: %s" (Printexc.to_string e);
       Thread.delay 0.05
   done;
   teardown t
+
+(* ------------------------------------------------------------------ *)
+(* Continuous telemetry & stall watchdog                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The loop heartbeat may go this many sampler periods stale before the
+   watchdog calls the loop wedged; floored at 1 s because an idle loop
+   legitimately parks in poll(2) for its 200 ms timeout per tick. *)
+let wd_stall_periods = 5
+
+(* A connection read-paused (over the write high-water mark) longer
+   than this is evidence the loop stopped draining writes — or that a
+   peer is being slowly poisoned — either way worth alarming on. *)
+let wd_pause_bound_s = 30.0
+
+let wd_stall_bound_s t =
+  Float.max 1.0 (float_of_int wd_stall_periods *. t.cfg.telemetry_period_s)
+
+let g_wd_tripped = Metrics.gauge "net.watchdog.tripped"
+
+(* Runs on every sampler tick. Detects: a stale loop heartbeat (the
+   loop is wedged), a burst of missed sampler deadlines (the whole
+   process was wedged — scheduler starvation, a stop-the-world pause),
+   or a connection paused past bound. Trip/recover transitions emit
+   structured events; the current verdict surfaces in /healthz. *)
+let watchdog_check t sampler =
+  let t0 = now () in
+  let missed = Series.missed_deadlines sampler in
+  let missed_delta = missed - t.wd_missed_seen in
+  t.wd_missed_seen <- missed;
+  let reason =
+    let stale = t0 -. t.loop_heartbeat in
+    if stale > wd_stall_bound_s t then
+      Printf.sprintf "event loop stalled: no tick for %.2f s (bound %.2f s)"
+        stale (wd_stall_bound_s t)
+    else if missed_delta >= wd_stall_periods then
+      Printf.sprintf "sampler missed %d consecutive deadlines (period %g s)"
+        missed_delta t.cfg.telemetry_period_s
+    else
+      match
+        List.find_opt
+          (fun c ->
+            c.alive && c.paused_since > 0.0
+            && t0 -. c.paused_since > wd_pause_bound_s)
+          (conns_snapshot t)
+      with
+      | Some c ->
+          Printf.sprintf
+            "connection %d (%s) read-paused for %.0f s (%d bytes unread)"
+            c.cid c.peer (t0 -. c.paused_since) c.wq_bytes
+      | None -> ""
+  in
+  if reason <> "" then begin
+    if not t.wd_tripped then begin
+      Metrics.incr t.ctr.c_wd_trips;
+      Metrics.set g_wd_tripped 1.0;
+      Event.error ~fields:[ ("reason", reason) ] "net: stall watchdog tripped"
+    end;
+    t.wd_tripped <- true;
+    t.wd_reason <- reason
+  end
+  else if t.wd_tripped then begin
+    Metrics.set g_wd_tripped 0.0;
+    Event.info ~fields:[ ("was", t.wd_reason) ]
+      "net: stall watchdog recovered";
+    t.wd_tripped <- false;
+    t.wd_reason <- ""
+  end
+
+(* Build the sampler: delta series for traffic counters, percentile
+   series for the latency ramps, and poll series that both record
+   history and refresh same-named registry gauges so /metrics shows the
+   live values. Runs only when [telemetry_period_s > 0]. *)
+let setup_telemetry t =
+  if t.cfg.telemetry_period_s > 0.0 then begin
+    let s = Series.create ~cap:600 ~period_s:t.cfg.telemetry_period_s () in
+    let add name src = ignore (Series.add s name src) in
+    let poll name f =
+      let g = Metrics.gauge name in
+      add name
+        (Series.Poll
+           (fun () ->
+             let v = f () in
+             Metrics.set g v;
+             v))
+    in
+    add "net.requests" (Series.Counter t.ctr.c_requests);
+    add "net.errors" (Series.Counter t.ctr.c_errors);
+    add "net.queue_wait.p99" (Series.Percentile (t.h_queue_wait, 0.99));
+    add "net.request_s.p99" (Series.Percentile (t.h_request, 0.99));
+    add "net.loop.poll_wait.p99" (Series.Percentile (t.h_poll_wait, 0.99));
+    add "net.loop.dispatch.p99" (Series.Percentile (t.h_dispatch, 0.99));
+    poll "net.queue_depth" (fun () ->
+        Mutex.lock t.qlock;
+        let n = Queue.length t.queue in
+        Mutex.unlock t.qlock;
+        float_of_int n);
+    poll "net.queue_age_s" (fun () ->
+        Mutex.lock t.qlock;
+        let v =
+          match Queue.peek_opt t.queue with
+          | Some task -> now () -. task.enqueued_at
+          | None -> 0.0
+        in
+        Mutex.unlock t.qlock;
+        v);
+    poll "net.wq_bytes" (fun () ->
+        float_of_int
+          (List.fold_left
+             (fun acc c -> acc + c.wq_bytes)
+             0 (conns_snapshot t)));
+    let count_state st () =
+      float_of_int
+        (List.length
+           (List.filter
+              (fun c -> c.alive && conn_state c = st)
+              (conns_snapshot t)))
+    in
+    poll "net.conns.active" (count_state "active");
+    poll "net.conns.paused" (count_state "paused");
+    poll "net.conns.fatal" (count_state "fatal");
+    add "repl.followers" (Series.Gauge g_followers);
+    (* lag gauges are written by Replica on a follower; on a primary
+       they exist and stay 0, so the series is always well-defined *)
+    add "repl.lag_records" (Series.Gauge (Metrics.gauge "repl.lag_records"));
+    add "repl.lag_seconds" (Series.Gauge (Metrics.gauge "repl.lag_seconds"));
+    add "process.open_fds"
+      (Series.Poll
+         (fun () ->
+           Expo.update_process_gauges ();
+           Expo.g_open_fds.Metrics.gvalue));
+    Series.on_tick s (fun () -> watchdog_check t s);
+    t.sampler <- Some s;
+    Series.start s
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -1367,7 +1602,10 @@ let counters () =
     c_timeouts = Metrics.counter "net.timeouts";
     c_malformed = Metrics.counter "net.malformed";
     c_version_mismatch = Metrics.counter "net.version_mismatch";
-    c_idle_reaped = Metrics.counter "net.idle_reaped" }
+    c_idle_reaped = Metrics.counter "net.idle_reaped";
+    c_bp_pauses = Metrics.counter "net.backpressure.pauses";
+    c_bp_kills = Metrics.counter "net.backpressure.kills";
+    c_wd_trips = Metrics.counter "net.watchdog.trips" }
 
 let start ?(config = default_config) sync =
   (* a dead peer must surface as EPIPE on the write, not kill the
@@ -1414,9 +1652,17 @@ let start ?(config = default_config) sync =
       publisher = None;
       ctr = counters ();
       h_queue_wait = Metrics.histogram "net.queue_wait";
+      h_request = Metrics.histogram "net.request_s";
+      h_poll_wait = Metrics.histogram "net.loop.poll_wait";
+      h_dispatch = Metrics.histogram "net.loop.dispatch";
       slock = Mutex.create ();
       slow = [];
-      last_slow_warn = 0.0 }
+      last_slow_warn = 0.0;
+      sampler = None;
+      loop_heartbeat = now ();
+      wd_tripped = false;
+      wd_reason = "";
+      wd_missed_seen = 0 }
   in
   t.worker_threads <-
     List.init (max 1 config.workers) (fun _ -> Thread.create worker_loop t);
@@ -1424,6 +1670,8 @@ let start ?(config = default_config) sync =
   (* a follower never publishes; only primaries run the poll loop *)
   if not config.read_only then
     t.publisher <- Some (Thread.create publisher_loop t);
+  Expo.update_process_gauges ();
+  setup_telemetry t;
   Event.info
     "net: icdbd listening on %s:%d (%d workers, %d connections max, event loop)"
     config.host bound_port (max 1 config.workers) config.max_connections;
@@ -1450,6 +1698,10 @@ let follower_count t =
   let n = List.length t.followers in
   Mutex.unlock t.rlock;
   n
+
+let sampler t = t.sampler
+
+let watchdog t = (t.wd_tripped, t.wd_reason)
 
 let request_shutdown t =
   Atomic.set t.want_stop true;

@@ -94,12 +94,17 @@ type config = {
   repl_max_lag : int;        (** records a follower may have queued but
                                  unsent before it is shed *)
   repl_batch : int;          (** max journal records per pushed batch *)
+  telemetry_period_s : float;
+  (** sampling period of the continuous-telemetry rings (see
+      {!Icdb_obs.Series}); zero or negative disables the sampler and
+      the stall watchdog entirely *)
 }
 
 val default_config : config
 (** 127.0.0.1:7601, 64 connections, 4 workers, queue of 128, 30 s
     request timeout, 300 s idle timeout, 1 s slow threshold; not
-    read-only, 10_000-record shed bound, 512-record batches. *)
+    read-only, 10_000-record shed bound, 512-record batches; 1 s
+    telemetry period. *)
 
 val max_batch_entries : int
 (** Most entries a single [Batch] frame may carry; a larger batch is
@@ -128,6 +133,39 @@ val queue_depth : t -> int
 
 val slow_log : t -> Wire.slow_entry list
 (** The slow-query log, newest first, at most its bounded capacity. *)
+
+type conn_info = {
+  ci_cid : int;
+  ci_peer : string;
+  ci_state : string;    (** ["active"], ["paused"] (read-paused over the
+                            write high-water mark), ["fatal"] (flushing
+                            a courtesy frame before close), or
+                            ["follower"] *)
+  ci_wq_bytes : int;
+  ci_reqs : int;
+  ci_age_s : float;
+  ci_idle_s : float;
+  ci_paused_s : float;  (** seconds read-paused so far; 0 when not *)
+}
+
+val conn_table : t -> conn_info list
+(** One row per live connection, cid-ascending: the /connz body, the
+    flight recorder's connection table, and `icdb top`'s detail view.
+    Field reads are racy snapshots — fine for diagnostics. *)
+
+val sampler : t -> Icdb_obs.Series.t option
+(** The continuous-telemetry sampler: traffic-rate deltas, latency
+    percentile ramps, queue/connection/fd level gauges, replication
+    lag — one point per [telemetry_period_s], retained for the ring's
+    capacity. [None] when the config disabled telemetry. *)
+
+val watchdog : t -> bool * string
+(** Stall-watchdog verdict [(tripped, reason)]. The watchdog runs on
+    the sampler's tick and trips on a stale event-loop heartbeat, a
+    burst of missed sampler deadlines, or a connection read-paused past
+    a bound; /healthz turns 503 while tripped, and each trip/recovery
+    emits a structured event and bumps [net.watchdog.trips]. Always
+    [(false, "")] when telemetry is disabled. *)
 
 val follower_count : t -> int
 (** Currently subscribed replication followers (primaries only;

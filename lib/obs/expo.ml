@@ -90,6 +90,58 @@ let prometheus ?(registry = Metrics.default) () =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Process-level gauges                                                *)
+(* ------------------------------------------------------------------ *)
+
+let process_started_at = Unix.gettimeofday ()
+
+(* Open fds by counting /proc/self/fd entries (Linux); NaN where /proc
+   is absent so the gauge renders but reads as unknown. *)
+let open_fd_count () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries ->
+      (* the readdir itself holds one fd open; don't count it *)
+      float_of_int (max 0 (Array.length entries - 1))
+  | exception Sys_error _ -> Float.nan
+
+(* Peak resident set from /proc/self/status VmHWM (kB); NaN elsewhere. *)
+let max_rss_bytes () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_lines with
+  | lines -> (
+      let prefix = "VmHWM:" in
+      match
+        List.find_opt
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          lines
+      with
+      | Some line -> (
+          let fields =
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          in
+          match fields with
+          | _ :: kb :: _ -> (
+              match float_of_string_opt kb with
+              | Some v -> v *. 1024.0
+              | None -> Float.nan)
+          | _ -> Float.nan)
+      | None -> Float.nan)
+  | exception Sys_error _ -> Float.nan
+
+let g_uptime = Metrics.gauge "process.uptime_seconds"
+let g_open_fds = Metrics.gauge "process.open_fds"
+let g_max_rss = Metrics.gauge "process.max_rss_bytes"
+
+(* Refresh the three process gauges; called at serve start, on each
+   telemetry-sampler tick, and before every /metrics render so scrapes
+   see live values even with the sampler disabled. *)
+let update_process_gauges () =
+  Metrics.set g_uptime (Unix.gettimeofday () -. process_started_at);
+  Metrics.set g_open_fds (open_fd_count ());
+  Metrics.set g_max_rss (max_rss_bytes ())
+
+(* ------------------------------------------------------------------ *)
 (* HTTP/1.0 listener                                                   *)
 (* ------------------------------------------------------------------ *)
 

@@ -997,6 +997,149 @@ let test_service_drain_answers_inflight () =
       | _ -> Alcotest.fail "unexpected reply shape during drain")
     tickets
 
+(* ------------------------------------------------------------------ *)
+(* Continuous telemetry: /statz, /connz, the stall watchdog            *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+let wait_for ?(timeout = 10.0) ~what pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else (Thread.delay 0.01; go ())
+  in
+  go ()
+
+(* Pull the integer after ["key": ] out of a JSON body — enough of a
+   parser for the counts these tests assert on. *)
+let json_int_field body key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let pl = String.length pat and bl = String.length body in
+  let rec find i =
+    if i + pl > bl then None
+    else if String.sub body i pl = pat then
+      let j = ref (i + pl) in
+      while !j < bl && body.[!j] >= '0' && body.[!j] <= '9' do incr j done;
+      if !j > i + pl then Some (int_of_string (String.sub body (i + pl) (!j - i - pl)))
+      else None
+    else find (i + 1)
+  in
+  find 0
+
+let telemetry_config period =
+  { Service.default_config with telemetry_period_s = period }
+
+(* /statz and /connz end to end: a fast sampler accumulates 60+ points
+   while a client works, the admin plane serves them as JSON, and the
+   connection table shows the live connection with its request count. *)
+let test_service_statz_connz () =
+  Lazy.force quiet_events;
+  let server = Server.create ~verify:false () in
+  let sync = Sync.wrap server in
+  let svc =
+    Service.start ~config:{ (telemetry_config 0.02) with port = 0 } sync
+  in
+  Fun.protect ~finally:(fun () -> Service.shutdown svc) @@ fun () ->
+  let port = Service.port svc in
+  let recorder = Icdb_obs.Recorder.create () in
+  Icdb_obs.Recorder.set_sampler recorder
+    (match Service.sampler svc with
+     | Some s -> s
+     | None -> Alcotest.fail "sampler not running with a positive period");
+  Fun.protect ~finally:(fun () -> Icdb_obs.Recorder.close recorder)
+  @@ fun () ->
+  let admin = Admin.start ~recorder ~port:0 ~service:svc ~sync () in
+  Fun.protect ~finally:(fun () -> Admin.stop admin) @@ fun () ->
+  let aport = Admin.port admin in
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _ = 1 to 10 do
+    ignore (ok_exec c "command:function_query; function:(INC); component:?s[]")
+  done;
+  (* 60 sample periods at 20 ms: the ring must hold >= 60 points *)
+  let sampler =
+    match Service.sampler svc with Some s -> s | None -> assert false
+  in
+  wait_for ~what:"60 sampler ticks" (fun () ->
+      Icdb_obs.Series.total_ticks sampler >= 60);
+  let status, body = Icdb_obs.Expo.http_get ~port:aport "/statz" in
+  check Alcotest.int "/statz answers 200" 200 status;
+  (match json_int_field body "samples" with
+   | Some n -> check Alcotest.bool "at least 60 samples retained" true (n >= 60)
+   | None -> Alcotest.fail "/statz body has no samples count");
+  check Alcotest.bool "request-rate series present" true
+    (contains body "net.requests");
+  check Alcotest.bool "event-loop series present" true
+    (contains body "net.loop.poll_wait.p99");
+  check Alcotest.bool "replication-lag series present" true
+    (contains body "repl.lag_records");
+  let status, body = Icdb_obs.Expo.http_get ~port:aport "/connz" in
+  check Alcotest.int "/connz answers 200" 200 status;
+  (match json_int_field body "connections" with
+   | Some n -> check Alcotest.int "one live connection" 1 n
+   | None -> Alcotest.fail "/connz body has no connections count");
+  check Alcotest.bool "connection is active" true
+    (contains body "\"state\": \"active\"");
+  (match json_int_field body "reqs" with
+   | Some n -> check Alcotest.bool "request count tracked" true (n >= 10)
+   | None -> Alcotest.fail "/connz body has no reqs count");
+  let status, body = Icdb_obs.Expo.http_get ~port:aport "/metrics" in
+  check Alcotest.int "/metrics answers 200" 200 status;
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " exposed") true (contains body name))
+    [ "process_uptime_seconds"; "process_open_fds"; "process_max_rss_bytes";
+      "net_loop_poll_wait"; "net_loop_dispatch"; "net_watchdog_tripped";
+      "net_queue_depth"; "net_wq_bytes" ];
+  let status, body = Icdb_obs.Expo.http_get ~port:aport "/blackboxz" in
+  check Alcotest.int "/blackboxz answers 200" 200 status;
+  check Alcotest.bool "blackbox dump identifies itself" true
+    (contains body "\"blackbox\": \"icdb\"")
+
+(* The watchdog stays quiet under healthy load, trips while the event
+   loop is wedged by an injected stall, and recovers once it unwedges. *)
+let test_service_watchdog_stall () =
+  Fun.protect ~finally:Faultinject.reset @@ fun () ->
+  with_service ~config:(telemetry_config 0.05) @@ fun svc port _ws ->
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _ = 1 to 20 do
+    ignore (ok_exec c "command:function_query; function:(INC); component:?s[]")
+  done;
+  Thread.delay 0.3;
+  check
+    (Alcotest.pair Alcotest.bool Alcotest.string)
+    "no false positive under healthy load" (false, "")
+    (Service.watchdog svc);
+  let trips = Icdb_obs.Metrics.counter "net.watchdog.trips" in
+  let before = trips.Icdb_obs.Metrics.count in
+  (* wedge the loop through the ICDB_FAULT spec syntax: the next two
+     armed hits sleep 1.5 s each, past the 1 s staleness bound the
+     watchdog enforces on the loop heartbeat *)
+  Faultinject.arm_from_spec "loop_stall:transient:2";
+  wait_for ~what:"watchdog trip" (fun () ->
+      trips.Icdb_obs.Metrics.count > before);
+  (* the trip is visible while the stall lasts; the second armed hit
+     keeps the loop wedged long enough to observe it *)
+  wait_for ~what:"watchdog reason" (fun () ->
+      match Service.watchdog svc with
+      | true, reason -> contains reason "stalled"
+      | false, _ -> false);
+  (* the fault disarms after two hits: the loop unwedges, the heartbeat
+     refreshes, and the watchdog must report recovery *)
+  wait_for ~what:"watchdog recovery" (fun () ->
+      fst (Service.watchdog svc) = false);
+  (* and the service still answers *)
+  ignore (ok_exec c "command:function_query; function:(INC); component:?s[]")
+
 let () =
   Alcotest.run "net"
     [ ( "wire",
@@ -1049,4 +1192,9 @@ let () =
           Alcotest.test_case "event loop: 1000 idle conns, slow client" `Quick
             test_service_event_loop_stress;
           Alcotest.test_case "drain answers in-flight" `Quick
-            test_service_drain_answers_inflight ] ) ]
+            test_service_drain_answers_inflight ] );
+      ( "telemetry",
+        [ Alcotest.test_case "/statz, /connz, /metrics end-to-end" `Quick
+            test_service_statz_connz;
+          Alcotest.test_case "stall watchdog trips and recovers" `Quick
+            test_service_watchdog_stall ] ) ]

@@ -307,6 +307,167 @@ let test_disabled_request () =
   check Alcotest.bool "no per-phase histograms untraced" true
     (st.Server.st_phases = [])
 
+(* ------------------------------------------------------------------ *)
+(* Time-series rings and the flight recorder                           *)
+(* ------------------------------------------------------------------ *)
+
+module Series = Icdb_obs.Series
+module Recorder = Icdb_obs.Recorder
+module Json = Icdb_obs.Json
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* Six manual ticks into a 4-slot ring: retention caps at the ring,
+   counter points are per-tick deltas, a raising poll records NaN. *)
+let test_series_ring_and_deltas () =
+  let s = Series.create ~cap:4 ~period_s:1.0 () in
+  let c = Metrics.counter "test.series.ring" in
+  let reqs = Series.add s "reqs" (Series.Counter c) in
+  let boom = Series.add s "boom" (Series.Poll (fun () -> failwith "down")) in
+  for i = 1 to 6 do
+    Metrics.incr ~by:i c;
+    Series.tick s
+  done;
+  check Alcotest.int "total ticks" 6 (Series.total_ticks s);
+  check Alcotest.int "ring caps retention" 4 (Series.sample_count s);
+  check (Alcotest.list (Alcotest.float 0.0)) "only the last four deltas survive"
+    [ 3.0; 4.0; 5.0; 6.0 ]
+    (List.map snd (Series.samples s reqs));
+  List.iter
+    (fun (_, v) ->
+      check Alcotest.bool "failed poll records NaN" true (Float.is_nan v))
+    (Series.samples s boom);
+  let times = List.map fst (Series.samples s reqs) in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  check Alcotest.bool "retained timestamps are monotone" true (mono times)
+
+(* A writer hammers the counter while the sampler ticks: deltas must
+   never go negative and must sum to exactly what the writer added. *)
+let test_series_concurrent_writer () =
+  let s = Series.create ~cap:128 ~period_s:1.0 () in
+  let c = Metrics.counter "test.series.concurrent" in
+  let sr = Series.add s "ops" (Series.Counter c) in
+  let total = 20_000 in
+  let writer =
+    Thread.create
+      (fun () ->
+        for i = 1 to total do
+          Metrics.incr c;
+          if i mod 1024 = 0 then Thread.yield ()
+        done)
+      ()
+  in
+  for _ = 1 to 60 do
+    Series.tick s;
+    Thread.yield ()
+  done;
+  Thread.join writer;
+  Series.tick s;
+  let deltas = List.map snd (Series.samples s sr) in
+  check Alcotest.bool "no negative deltas" true
+    (List.for_all (fun d -> d >= 0.0) deltas);
+  check (Alcotest.float 0.0) "deltas sum to the writer's total"
+    (float_of_int total)
+    (List.fold_left ( +. ) 0.0 deltas)
+
+(* The background thread ticks on its own, runs hooks, and joins. *)
+let test_series_sampler_thread () =
+  let s = Series.create ~cap:64 ~period_s:0.01 () in
+  let g = Metrics.gauge "test.series.level" in
+  Metrics.set g 42.0;
+  let sr = Series.add s "level" (Series.Gauge g) in
+  let hooks = ref 0 in
+  Series.on_tick s (fun () -> hooks := !hooks + 1);
+  check Alcotest.bool "not running before start" false (Series.running s);
+  Series.start s;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Series.total_ticks s < 5 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Series.stop s;
+  check Alcotest.bool "stopped after stop" false (Series.running s);
+  check Alcotest.bool "at least five ticks" true (Series.total_ticks s >= 5);
+  check Alcotest.bool "hooks ran with the ticks" true (!hooks >= 5);
+  (match Series.last_value s sr with
+   | Some (_, v) -> check (Alcotest.float 0.0) "gauge level sampled" 42.0 v
+   | None -> Alcotest.fail "no samples after the thread ran")
+
+(* The /statz body: structurally valid JSON, NaN as null, ?last bound. *)
+let test_series_json () =
+  let s = Series.create ~cap:8 ~period_s:0.5 () in
+  let c = Metrics.counter "test.series.json" in
+  ignore (Series.add s "reqs" (Series.Counter c));
+  ignore (Series.add s "nan" (Series.Poll (fun () -> Float.nan)));
+  for _ = 1 to 12 do
+    Metrics.incr c;
+    Series.tick s
+  done;
+  let body = Json.to_string (Series.to_json s) in
+  check Alcotest.bool "statz body well-formed" true (json_well_formed body);
+  check Alcotest.bool "NaN renders as null" true (contains body "null");
+  check Alcotest.bool "ring bound reported" true
+    (contains body "\"samples\": 8");
+  let limited = Json.to_string (Series.to_json ~last:3 s) in
+  check Alcotest.bool "last-limited body well-formed" true
+    (json_well_formed limited);
+  check Alcotest.bool "last bound reported" true
+    (contains limited "\"samples\": 3")
+
+(* The flight recorder: bounded event ring, oldest-first, and a dump
+   that is well-formed JSON both in memory and on disk. *)
+let test_recorder_dump () =
+  let old_level = Event.level () in
+  Event.set_level Event.Error;
+  let r = Recorder.create ~cap:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Recorder.close r;
+      Event.set_level old_level)
+    (fun () ->
+      for i = 1 to 6 do
+        Event.error "recorder test event %d" i
+      done;
+      check Alcotest.int "event ring bounded" 4 (Recorder.event_count r);
+      (match Recorder.events r with
+       | first :: _ ->
+           check Alcotest.bool "ring keeps the newest, oldest-first" true
+             (contains first "event 3")
+       | [] -> Alcotest.fail "no events retained");
+      let sampler = Series.create ~cap:8 ~period_s:1.0 () in
+      let c = Metrics.counter "test.recorder.ctr" in
+      ignore (Series.add sampler "reqs" (Series.Counter c));
+      Metrics.incr c;
+      Series.tick sampler;
+      Recorder.set_sampler r sampler;
+      Recorder.set_meta r [ ("role", "test") ];
+      Recorder.add_table r "conns" (fun () ->
+          [ [ ("cid", "1"); ("state", "active") ] ]);
+      let body = Json.to_string (Recorder.to_json ~reason:"unit" r) in
+      check Alcotest.bool "dump well-formed" true (json_well_formed body);
+      check Alcotest.bool "reason recorded" true (contains body "\"unit\"");
+      check Alcotest.bool "meta recorded" true (contains body "\"role\"");
+      check Alcotest.bool "conn table present" true (contains body "\"conns\"");
+      check Alcotest.bool "series section present" true
+        (contains body "\"series\"");
+      let path = Filename.temp_file "icdb-blackbox" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Recorder.dump ~reason:"unit" r ~path;
+          let ic = open_in_bin path in
+          let contents = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          check Alcotest.bool "on-disk dump well-formed" true
+            (json_well_formed contents)))
+
 let () =
   Alcotest.run "obs"
     [ ( "trace",
@@ -331,6 +492,17 @@ let () =
             test_ring_sink;
           Alcotest.test_case "threshold filtering" `Quick
             test_event_threshold ] );
+      ( "telemetry",
+        [ Alcotest.test_case "series ring wrap and deltas" `Quick
+            test_series_ring_and_deltas;
+          Alcotest.test_case "deltas exact under a concurrent writer" `Quick
+            test_series_concurrent_writer;
+          Alcotest.test_case "sampler thread ticks and stops" `Quick
+            test_series_sampler_thread;
+          Alcotest.test_case "statz JSON well-formed and bounded" `Quick
+            test_series_json;
+          Alcotest.test_case "flight-recorder dump" `Quick
+            test_recorder_dump ] );
       ( "pipeline",
         [ Alcotest.test_case "request covers every phase once" `Quick
             test_request_trace;
