@@ -1478,6 +1478,146 @@ let repl_bench () =
   Printf.printf "trajectory -> %s\n" path
 
 (* ------------------------------------------------------------------ *)
+(* E23 / explore: DSE sweep throughput + indexed Pareto vs scan        *)
+(* ------------------------------------------------------------------ *)
+
+(* Two halves. First the real thing: a design-space sweep through
+   Icdb_explore.Driver against a local server, persisted into a journaled
+   store, then rerun to prove resume recomputes nothing. Then the query
+   side at scale: a synthetic exploration relation (the sweep above is
+   too small to stress the planner) answers the same PARETO statement
+   with and without the secondary index on [sweep]; the rendered rows
+   must be byte-identical and, at >= 10^4 rows, the indexed plan must be
+   at least 5x faster. Both gates exit non-zero so CI can hold the
+   line. *)
+let explore_bench () =
+  header "E23 / explore: design-space sweep + indexed Pareto queries";
+  let smoke = Sys.getenv_opt "ICDB_SMOKE" <> None in
+  let module Ax = Icdb_explore.Axis in
+  let module St = Icdb_explore.Store in
+  let module Dr = Icdb_explore.Driver in
+  let module R = Icdb_reldb in
+  let dir = out_dir () in
+
+  sub "sweep throughput (local backend, journaled store)";
+  let store_dir = Filename.concat dir "explore_store" in
+  (* cold start: a stale store would turn the sweep into a no-op *)
+  List.iter
+    (fun f ->
+      let p = Filename.concat store_dir f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "explore.db"; "explore.journal" ];
+  let axes =
+    if smoke then
+      [ Ax.parse "size=2..9"; Ax.parse "strategy=fastest,cheapest,balanced";
+        Ax.parse "clock=20,none" ]
+    else
+      [ Ax.parse "size=2..13"; Ax.parse "strategy=fastest,cheapest,balanced";
+        Ax.parse "clock=10,20,none"; Ax.parse "delay=30,none" ]
+  in
+  let points = Ax.expand ~component:"counter" axes in
+  let sweep = "bench" in
+  let sweep_server = Server.create ~verify:false () in
+  let store = St.open_ store_dir in
+  let t0 = Unix.gettimeofday () in
+  let s = Dr.run ~sweep (Dr.Local sweep_server) store points in
+  let sweep_wall = Unix.gettimeofday () -. t0 in
+  let rate = float_of_int s.Dr.s_executed /. sweep_wall in
+  Printf.printf "swept %d points in %.2fs (%.1f points/s), %d failed\n"
+    s.Dr.s_executed sweep_wall rate
+    (List.length s.Dr.s_failures);
+  let s2 = Dr.run ~sweep (Dr.Local sweep_server) store points in
+  Printf.printf "rerun: %d executed, %d skipped (resume %s)\n"
+    s2.Dr.s_executed s2.Dr.s_skipped
+    (if s2.Dr.s_executed = 0 then "ok" else "BROKEN");
+  St.close store;
+  if s2.Dr.s_executed <> 0 then begin
+    Printf.eprintf "explore gate FAILED: rerun recomputed %d points\n"
+      s2.Dr.s_executed;
+    exit 1
+  end;
+
+  sub "indexed PARETO vs scan (synthetic exploration relation)";
+  let rows = if smoke then 10_000 else 40_000 in
+  let sweeps = 16 in
+  let db = R.Db.create () in
+  let tbl = R.Db.create_table db St.table_name St.schema in
+  let rng = Random.State.make [| 0x1CDB; rows |] in
+  for i = 0 to rows - 1 do
+    let area = 1000.0 +. Random.State.float rng 99000.0 in
+    let delay = 1.0 +. Random.State.float rng 99.0 in
+    R.Table.insert tbl
+      [ R.Value.Str (Printf.sprintf "k%d" i);
+        R.Value.Str (Printf.sprintf "sweep_%d" (i mod sweeps));
+        R.Value.Str "counter"; R.Value.Str "size=5"; R.Value.Str "balanced";
+        R.Value.Float 0.0; R.Value.Float 0.0;
+        R.Value.Str (Printf.sprintf "counter_%d" i);
+        R.Value.Float area; R.Value.Float delay; R.Value.Float 0.0;
+        R.Value.Int (100 + (i mod 900)); R.Value.Str "miss";
+        R.Value.Float 0.001; R.Value.Bool false; R.Value.Bool true ]
+  done;
+  let stmt =
+    Printf.sprintf "PARETO %s ON area, delay WHERE sweep = %s" St.table_name
+      (R.Sql.quote_string "sweep_7")
+  in
+  let render = function
+    | R.Sql.Relation rel ->
+        String.concat "\n"
+          (List.map
+             (fun row ->
+               String.concat "|"
+                 (Array.to_list (Array.map R.Value.to_string row)))
+             rel.R.Query.rrows)
+    | R.Sql.Affected _ -> "affected"
+  in
+  let reps = if smoke then 20 else 40 in
+  let measure () =
+    let out = ref "" in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      out := render (R.Sql.exec db stmt)
+    done;
+    ((Unix.gettimeofday () -. t0) /. float_of_int reps, !out)
+  in
+  let scan_s, scan_out = measure () in
+  (match R.Sql.exec db (Printf.sprintf "CREATE INDEX ON %s (sweep)" St.table_name) with
+  | R.Sql.Affected _ -> ()
+  | R.Sql.Relation _ -> ());
+  let indexed_s, indexed_out = measure () in
+  let identical = String.equal scan_out indexed_out in
+  let speedup = scan_s /. indexed_s in
+  Printf.printf
+    "%d rows over %d sweeps: scan %.3f ms, indexed %.3f ms, speedup %.1fx, \
+     results identical: %b\n"
+    rows sweeps (scan_s *. 1e3) (indexed_s *. 1e3) speedup identical;
+  if not identical then begin
+    Printf.eprintf "explore gate FAILED: indexed PARETO differs from scan\n";
+    exit 1
+  end;
+  if rows >= 10_000 && speedup < 5.0 then begin
+    Printf.eprintf
+      "explore gate FAILED: indexed PARETO only %.1fx faster at %d rows\n"
+      speedup rows;
+    exit 1
+  end;
+
+  let path = Filename.concat dir "BENCH_explore.json" in
+  Bench_json.write ~path
+    (Bench_json.Obj
+       [ ("experiment", Bench_json.Str "explore");
+         ("smoke", Bench_json.Bool smoke);
+         ("sweep_points", Bench_json.Int s.Dr.s_executed);
+         ("sweep_wall_s", Bench_json.float ~prec:3 sweep_wall);
+         ("sweep_points_per_s", Bench_json.float ~prec:1 rate);
+         ("resume_reexecuted", Bench_json.Int s2.Dr.s_executed);
+         ("pareto_rows", Bench_json.Int rows);
+         ("pareto_scan_s", Bench_json.float ~prec:6 scan_s);
+         ("pareto_indexed_s", Bench_json.float ~prec:6 indexed_s);
+         ("pareto_speedup", Bench_json.float ~prec:1 speedup);
+         ("results_identical", Bench_json.Bool identical) ]);
+  Printf.printf "trajectory -> %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1490,7 +1630,7 @@ let experiments =
     ("wallclock", wallclock); ("cache", cache_bench);
     ("phases", phases_bench); ("serve", serve_bench); ("admin", admin_bench);
     ("telemetry", telemetry_bench); ("repl", repl_bench);
-    ("bechamel", bechamel) ]
+    ("explore", explore_bench); ("bechamel", bechamel) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -936,12 +936,15 @@ let top connect interval iterations =
         Option.value (List.assoc_opt name p.sp_counters) ~default:0
       in
       let gauge p name =
-        Option.value (List.assoc_opt name p.sp_gauges) ~default:0.0
+        (* Never let a bad sample put nan/inf on the dashboard. *)
+        let v = Option.value (List.assoc_opt name p.sp_gauges) ~default:0.0 in
+        if Float.is_finite v then v else 0.0
       in
       let hist_p99 p name =
         match List.find_opt (fun h -> h.hs_name = name) p.sp_hists with
-        | Some h -> Icdb_obs.Metrics.pretty_s h.hs_p99
-        | None -> "-"
+        | Some h when h.hs_count > 0 && Float.is_finite h.hs_p99 ->
+            Icdb_obs.Metrics.pretty_s h.hs_p99
+        | Some _ | None -> "-"
       in
       let tty = Unix.isatty Unix.stdout in
       let prev = ref None in
@@ -957,11 +960,15 @@ let top connect interval iterations =
          | Ok p ->
              let t = Unix.gettimeofday () in
              let rate name =
+               (* "-" on the first sample, a zero/negative interval
+                  (clock step), or a counter reset (server restart):
+                  never nan/inf, never a negative rate. *)
                match !prev with
                | Some (q, tq) when t > tq ->
-                   Printf.sprintf "%.1f"
-                     (float_of_int (counter p name - counter q name)
-                     /. (t -. tq))
+                   let delta = counter p name - counter q name in
+                   let r = float_of_int delta /. (t -. tq) in
+                   if delta < 0 || not (Float.is_finite r) then "-"
+                   else Printf.sprintf "%.1f" r
                | _ -> "-"
              in
              if tty && iterations <> 1 then print_string "\027[2J\027[H";
@@ -1390,6 +1397,254 @@ let trace_cmd =
              as Chrome trace_event JSON (chrome://tracing, Perfetto)")
     Term.(const trace_run $ out $ component $ size)
 
+(* ------------------------------------------------------------------ *)
+(* explore — design-space exploration sweeps (DB4HLS workload)         *)
+(* ------------------------------------------------------------------ *)
+
+let print_sql_result = function
+  | Icdb_reldb.Sql.Affected n -> Printf.printf "%d row(s)\n" n
+  | Icdb_reldb.Sql.Relation rel ->
+      print_relation
+        (List.map fst rel.Icdb_reldb.Query.rschema)
+        (List.map
+           (fun row ->
+             Array.to_list (Array.map Icdb_reldb.Value.to_string row))
+           rel.Icdb_reldb.Query.rrows)
+
+let explore component axis_specs sweep store_dir connect batch inflight power
+    limit verify query pareto json_out log_level =
+  setup_logging log_level;
+  let module Ax = Icdb_explore.Axis in
+  let module St = Icdb_explore.Store in
+  let module Dr = Icdb_explore.Driver in
+  let fatal fmt = Printf.ksprintf (fun s -> Printf.eprintf "error: %s\n" s;
+                                    exit 1) fmt
+  in
+  let usage fmt = Printf.ksprintf (fun s -> Printf.eprintf "error: %s\n" s;
+                                    exit 2) fmt
+  in
+  let axes =
+    try List.map Ax.parse axis_specs
+    with Ax.Axis_error msg -> usage "%s" msg
+  in
+  if axis_specs = [] && query = None && pareto = None then
+    usage "nothing to do: give at least one --axis, or --query/--pareto";
+  let points =
+    if axis_specs = [] then []
+    else try Ax.expand ~component axes with Ax.Axis_error msg -> usage "%s" msg
+  in
+  let sweep = match sweep with Some s -> s | None -> component in
+  let store =
+    try St.open_ store_dir
+    with
+    | St.Store_error msg | Icdb_reldb.Db.Db_error msg -> fatal "%s" msg
+    | Icdb_reldb.Journal.Journal_error msg -> fatal "%s" msg
+  in
+  Fun.protect ~finally:(fun () -> St.close store) @@ fun () ->
+  let tty = Unix.isatty Unix.stderr in
+  let progress_printed = ref false in
+  let on_progress (pr : Dr.progress) =
+    let show =
+      tty || pr.Dr.pr_done = 0
+      || pr.Dr.pr_done mod 10 = 0
+      || pr.Dr.pr_done + pr.Dr.pr_skipped >= pr.Dr.pr_total
+    in
+    if show then begin
+      progress_printed := true;
+      let eta =
+        match pr.Dr.pr_eta_s with
+        | Some e when Float.is_finite e -> Printf.sprintf "  eta %.0fs" e
+        | _ -> ""
+      in
+      Printf.eprintf "%sexplore %s: %d/%d done, %d skipped, %d failed%s%s%!"
+        (if tty then "\r\027[K" else "") sweep pr.Dr.pr_done
+        (pr.Dr.pr_total - pr.Dr.pr_skipped) pr.Dr.pr_skipped pr.Dr.pr_failed
+        eta
+        (if tty then "" else "\n")
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  let summary =
+    if points = [] then None
+    else
+      let run backend =
+        try Dr.run ~power ?limit ~on_progress ~sweep backend store points with
+        | Dr.Driver_error msg -> fatal "%s" msg
+        | Icdb_net.Client.Net_error msg ->
+            if tty && !progress_printed then prerr_newline ();
+            fatal "connection lost: %s (completed points are persisted; \
+                   rerun to resume)" msg
+      in
+      match connect with
+      | None -> Some (run (Dr.Local (Server.create ~verify ())))
+      | Some spec -> (
+          match parse_host_port spec with
+          | None -> usage "expected HOST:PORT, got %s" spec
+          | Some (host, port) -> (
+              match Icdb_net.Client.connect ~host ~port ~retries:2 () with
+              | exception Icdb_net.Client.Net_error msg -> fatal "%s" msg
+              | client ->
+                  Fun.protect
+                    ~finally:(fun () -> Icdb_net.Client.close client)
+                    (fun () ->
+                      Some
+                        (run
+                           (Dr.Remote { client; batch; inflight })))))
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  if tty && !progress_printed then prerr_newline ();
+  (match summary with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "sweep %s: %d points — %d executed, %d skipped, %d failed (%.1fs); \
+         %d rows persisted in %s\n"
+        sweep s.Dr.s_total s.Dr.s_executed s.Dr.s_skipped
+        (List.length s.Dr.s_failures) seconds
+        (St.count store ~sweep) store_dir;
+      List.iter
+        (fun (f : Dr.failure) ->
+          Printf.printf "  failed: %s: %s\n"
+            (Ax.point_to_string f.Dr.f_point)
+            f.Dr.f_reason)
+        s.Dr.s_failures;
+      St.checkpoint store);
+  (match pareto with
+  | None -> ()
+  | Some objectives -> (
+      match String.split_on_char ',' objectives |> List.map String.trim with
+      | [ x; y ] when x <> "" && y <> "" ->
+          let stmt =
+            Printf.sprintf "PARETO %s ON %s, %s WHERE sweep = %s" St.table_name
+              x y
+              (Icdb_reldb.Sql.quote_string sweep)
+          in
+          Printf.printf "%s\n" stmt;
+          print_sql_result (St.query store stmt)
+      | _ -> usage "--pareto expects COLX,COLY (e.g. area,delay)"));
+  (match query with
+  | None -> ()
+  | Some stmt -> (
+      try print_sql_result (St.query store stmt) with
+      | Icdb_reldb.Sql.Sql_error msg
+      | Icdb_reldb.Table.Schema_error msg
+      | Icdb_reldb.Db.Db_error msg ->
+          fatal "%s" msg));
+  (match json_out, summary with
+  | Some path, Some s ->
+      let failed = List.length s.Dr.s_failures in
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc
+            "{\"sweep\": \"%s\", \"total\": %d, \"executed\": %d, \
+             \"skipped\": %d, \"failed\": %d, \"seconds\": %.3f, \
+             \"rows\": %d}\n"
+            (String.concat ""
+               (List.map
+                  (function
+                    | ('"' | '\\') as c -> Printf.sprintf "\\%c" c
+                    | c -> String.make 1 c)
+                  (List.init (String.length sweep) (String.get sweep))))
+            s.Dr.s_total s.Dr.s_executed s.Dr.s_skipped failed seconds
+            (St.count store ~sweep))
+  | _ -> ());
+  match summary with
+  | Some s when s.Dr.s_failures <> [] -> exit 1
+  | _ -> ()
+
+let explore_cmd =
+  let component =
+    Arg.(value & opt string "counter"
+         & info [ "component" ] ~doc:"Catalog component to sweep" ~docv:"NAME")
+  in
+  let axes =
+    Arg.(value & opt_all string []
+         & info [ "axis"; "a" ]
+             ~doc:"One sweep axis, $(i,name=values): $(b,size=2..9), \
+                   $(b,size=2..16..2), $(b,size=2,4,8), \
+                   $(b,strategy=fastest,cheapest,balanced), \
+                   $(b,clock=10,20,none), $(b,delay=5,7.5,none); repeatable, \
+                   the sweep is the cartesian product" ~docv:"AXIS")
+  in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ]
+             ~doc:"Sweep name results are filed under (default: the \
+                   component name); reruns with the same name skip \
+                   already-persisted points" ~docv:"NAME")
+  in
+  let store_dir =
+    Arg.(value & opt string "explore_store"
+         & info [ "store" ]
+             ~doc:"Results store directory (journal + snapshot); safe to \
+                   kill and rerun" ~docv:"DIR")
+  in
+  let connect =
+    Arg.(value & opt (some string) None
+         & info [ "connect" ]
+             ~doc:"Drive a running icdbd through the pipelined wire-v4 \
+                   batch path instead of an in-process server"
+             ~docv:"HOST:PORT")
+  in
+  let batch =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~doc:"Points per Batch frame (with --connect)")
+  in
+  let inflight =
+    Arg.(value & opt int 4
+         & info [ "inflight" ]
+             ~doc:"Batch frames in flight at once (with --connect)")
+  in
+  let power =
+    Arg.(value & flag
+         & info [ "power" ]
+             ~doc:"Also simulate and record dynamic power per point \
+                   (slower)")
+  in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ]
+             ~doc:"Execute at most N new points this run (partial sweeps \
+                   resume on rerun)" ~docv:"N")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Verify every generated netlist by simulation (local \
+                   backend only; slower)")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "query" ]
+             ~doc:"After the sweep, run this SQL (SELECT/PARETO/DOMINATED) \
+                   against the store and print the rows" ~docv:"STMT")
+  in
+  let pareto =
+    Arg.(value & opt (some string) None
+         & info [ "pareto" ]
+             ~doc:"After the sweep, print this sweep's Pareto frontier on \
+                   two numeric columns, e.g. $(b,area,delay)" ~docv:"X,Y")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ]
+             ~doc:"Write a machine-readable run summary to FILE" ~docv:"FILE")
+  in
+  let log_level =
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ]
+             ~doc:"Log structured events at this level and above to stderr \
+                   (debug|info|warn|error)" ~docv:"LEVEL")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Sweep a component's attribute/constraint lattice (design-space \
+             exploration), persist every point in an indexed, \
+             Pareto-queryable results store, and resume safely after a \
+             kill: already-persisted points are never recomputed")
+    Term.(const explore $ component $ axes $ sweep $ store_dir $ connect
+          $ batch $ inflight $ power $ limit $ verify $ query $ pareto $ json
+          $ log_level)
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -1402,4 +1657,4 @@ let () =
   exit (Cmd.eval (Cmd.group ~default info
                     [ shell_cmd; serve_cmd; connect_cmd; recover_cmd;
                       catalog_cmd; gen_cmd; cells_cmd; hls_cmd; stats_cmd;
-                      top_cmd; blackbox_cmd; trace_cmd ]))
+                      top_cmd; blackbox_cmd; trace_cmd; explore_cmd ]))

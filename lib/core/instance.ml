@@ -50,6 +50,15 @@ let vhdl_head t = Vhdl.entity_of { t.netlist with Netlist.name = t.id }
 
 let best_area t = (Shape.best_area t.shape).Shape.alt_area
 
+(* Single scalar delay figure: worst clock-to-output delay, falling
+   back to the minimum clock width for designs with no timed outputs.
+   Exploration sweeps and the CQL [delay_value] output both use this,
+   so local and remote drivers report identical figures. *)
+let worst_delay t =
+  match t.report.Sta.output_delays with
+  | [] -> t.report.Sta.clock_width
+  | ds -> List.fold_left (fun acc (_, d) -> Float.max acc d) neg_infinity ds
+
 let gate_count t = Netlist.instance_count t.netlist
 
 let power_string t = Power.report_to_string (Lazy.force t.power)

@@ -63,4 +63,9 @@ val inverted_ports_string : t -> string
 val best_area : t -> float
 (** Area of the best shape alternative, µm². *)
 
+val worst_delay : t -> float
+(** Worst clock-to-output delay (ns); the minimum clock width when the
+    design has no timed outputs. The scalar delay figure exploration
+    sweeps persist. *)
+
 val gate_count : t -> int

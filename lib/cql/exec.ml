@@ -318,6 +318,9 @@ let handle_request_component server bound =
       | Some _ -> fail "target expects a name"
     in
     let spec = Spec.make ~constraints ~target ?name_hint ?generator source in
+    let before =
+      if wants_output bound "cache" then Some (Server.stats server) else None
+    in
     let inst = Server.request_component server spec in
     let out_key =
       if wants_output bound "generated_component" then "generated_component"
@@ -329,6 +332,21 @@ let handle_request_component server bound =
       if wants_output bound "degraded" then
         [ ("degraded", Rstr (if inst.Instance.degraded then "yes" else "no")) ]
       else []
+    in
+    let extra =
+      match before with
+      | None -> extra
+      | Some b ->
+          (* The whole command runs under the server lock, so the
+             counter delta is exactly this request's classification. *)
+          let a = Server.stats server in
+          let kind =
+            if a.Server.st_hits > b.Server.st_hits then "hit"
+            else if a.Server.st_reuse_hits > b.Server.st_reuse_hits then
+              "reuse"
+            else "miss"
+          in
+          ("cache", Rstr kind) :: extra
     in
     (out_key, Rstr inst.Instance.id) :: extra
   end
@@ -360,6 +378,11 @@ let handle_instance_query server bound =
   if wants_output bound "gates" then add "gates" (Rint (Instance.gate_count inst));
   if wants_output bound "area_value" then
     add "area_value" (Rfloat (Instance.best_area inst));
+  if wants_output bound "delay_value" then
+    add "delay_value" (Rfloat (Instance.worst_delay inst));
+  if wants_output bound "power_value" then
+    add "power_value"
+      (Rfloat (Lazy.force inst.Instance.power).Icdb_timing.Power.dynamic_mw);
   if wants_output bound "constraints_met" then
     add "constraints_met"
       (Rstr (if inst.Instance.constraints_met then "yes" else "no"));

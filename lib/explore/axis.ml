@@ -1,0 +1,247 @@
+(* Sweep lattices: the attribute/constraint axes a design-space
+   exploration walks, and their expansion into concrete request points.
+   Follows DB4HLS: a sweep is the cartesian product of explicit,
+   bounded axes. *)
+
+open Icdb_timing
+
+exception Axis_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Axis_error s)) fmt
+
+type axis =
+  | Attr of { name : string; values : int list }
+      (* component attribute, e.g. size=2..9 or output_latch=0,1 *)
+  | Strategy of Sizing.strategy list
+  | Clock of float option list   (* CW upper bounds; None = unbounded *)
+  | Delay of float option list   (* WD bound on every output *)
+
+type point = {
+  p_component : string;
+  p_attrs : (string * int) list;  (* in axis order *)
+  p_strategy : Sizing.strategy;
+  p_clock : float option;
+  p_delay : float option;
+}
+
+(* Hard ceilings: sweeps are explicit and bounded by construction. *)
+let max_axis_values = 4096
+let max_points = 1_000_000
+
+let strategy_name = function
+  | Sizing.Fastest -> "fastest"
+  | Sizing.Cheapest -> "cheapest"
+  | Sizing.Balanced -> "balanced"
+
+let strategy_of_name = function
+  | "fastest" -> Sizing.Fastest
+  | "cheapest" -> Sizing.Cheapest
+  | "balanced" -> Sizing.Balanced
+  | s -> fail "unknown strategy %S (fastest, cheapest, balanced)" s
+
+(* ------------------------------------------------------------------ *)
+(* Axis spec parsing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> fail "%s: %S is not an integer" what s
+
+let parse_float_opt what s =
+  match String.trim s with
+  | "none" | "unbounded" -> None
+  | s -> (
+      match float_of_string_opt s with
+      | Some f when Float.is_finite f && f > 0.0 -> Some f
+      | Some _ -> fail "%s: bound %S must be a positive finite number" what s
+      | None -> fail "%s: %S is not a number (or 'none')" what s)
+
+let split_commas s = String.split_on_char ',' s |> List.map String.trim
+
+(* "2..9" or "2..9..2" *)
+let parse_range name s =
+  match String.split_on_char '.' s with
+  | [ a; ""; b ] ->
+      let lo = parse_int name a and hi = parse_int name b in
+      (lo, hi, 1)
+  | [ a; ""; b; ""; st ] ->
+      let lo = parse_int name a and hi = parse_int name b in
+      (lo, hi, parse_int name st)
+  | _ -> fail "axis %s: malformed range %S (want lo..hi or lo..hi..step)" name s
+
+let check_axis_size name n =
+  if n = 0 then fail "axis %s: no values" name;
+  if n > max_axis_values then
+    fail "axis %s: %d values exceeds the per-axis bound of %d" name n
+      max_axis_values
+
+(* An axis spec is "name=values":
+   - [strategy=fastest,cheapest,balanced]
+   - [clock=10,20,none] (ns upper bounds; none = unconstrained)
+   - [delay=5,7.5,none] (WD bound applied to every output)
+   - anything else is an integer component attribute, either a comma
+     list ([size=2,4,8]) or a range ([size=2..9], [size=2..16..2]). *)
+let parse spec =
+  match String.index_opt spec '=' with
+  | None -> fail "axis %S: expected name=values" spec
+  | Some i ->
+      let name = String.trim (String.sub spec 0 i) in
+      let rhs =
+        String.trim (String.sub spec (i + 1) (String.length spec - i - 1))
+      in
+      if name = "" then fail "axis %S: empty axis name" spec;
+      if rhs = "" then fail "axis %s: no values" name;
+      let axis =
+        match name with
+        | "strategy" ->
+            Strategy (List.map strategy_of_name (split_commas rhs))
+        | "clock" | "clock_width" ->
+            Clock (List.map (parse_float_opt "clock") (split_commas rhs))
+        | "delay" | "comb_delay" ->
+            Delay (List.map (parse_float_opt "delay") (split_commas rhs))
+        | _ ->
+            let values =
+              if String.length rhs >= 2 && String.contains rhs '.' then
+                let lo, hi, step = parse_range name rhs in
+                if step <= 0 then fail "axis %s: step must be positive" name;
+                if lo > hi then fail "axis %s: empty range %d..%d" name lo hi;
+                let rec up v acc =
+                  if v > hi then List.rev acc else up (v + step) (v :: acc)
+                in
+                up lo []
+              else List.map (parse_int name) (split_commas rhs)
+            in
+            List.iter
+              (fun v ->
+                if v < 0 then fail "axis %s: negative attribute value %d" name v)
+              values;
+            Attr { name; values }
+      in
+      let n =
+        match axis with
+        | Attr { values; _ } -> List.length values
+        | Strategy l -> List.length l
+        | Clock l | Delay l -> List.length l
+      in
+      check_axis_size name n;
+      axis
+
+let axis_name = function
+  | Attr { name; _ } -> name
+  | Strategy _ -> "strategy"
+  | Clock _ -> "clock"
+  | Delay _ -> "delay"
+
+let axis_length = function
+  | Attr { values; _ } -> List.length values
+  | Strategy l -> List.length l
+  | Clock l | Delay l -> List.length l
+
+(* ------------------------------------------------------------------ *)
+(* Expansion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate_axes axes =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let n = axis_name a in
+      if Hashtbl.mem seen n then fail "duplicate axis %s" n;
+      Hashtbl.add seen n ())
+    axes
+
+(* Deterministic cartesian product: the first axis varies slowest,
+   values in declaration order. *)
+let expand ~component axes =
+  validate_axes axes;
+  let total =
+    List.fold_left (fun acc a -> acc * axis_length a) 1 axes
+  in
+  if total > max_points then
+    fail "sweep has %d points, exceeding the bound of %d" total max_points;
+  let seed =
+    { p_component = component;
+      p_attrs = [];
+      p_strategy = Sizing.Balanced;
+      p_clock = None;
+      p_delay = None }
+  in
+  let apply p axis =
+    match axis with
+    | Attr { name; values } ->
+        List.map (fun v -> { p with p_attrs = p.p_attrs @ [ (name, v) ] }) values
+    | Strategy l -> List.map (fun s -> { p with p_strategy = s }) l
+    | Clock l -> List.map (fun c -> { p with p_clock = c }) l
+    | Delay l -> List.map (fun d -> { p with p_delay = d }) l
+  in
+  List.fold_left
+    (fun pts axis -> List.concat_map (fun p -> apply p axis) pts)
+    [ seed ] axes
+
+(* ------------------------------------------------------------------ *)
+(* Point -> request                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let point_constraints p =
+  { Sizing.default_constraints with
+    Sizing.clock_width = p.p_clock;
+    comb_delays = (match p.p_delay with Some d -> [ ("*", d) ] | None -> []);
+    strategy = p.p_strategy }
+
+let point_spec p =
+  Icdb.Spec.make
+    ~constraints:(point_constraints p)
+    (Icdb.Spec.From_component
+       { component = p.p_component; attributes = p.p_attrs; functions = [] })
+
+let point_key p = Icdb.Spec.cache_key (point_spec p)
+
+(* Decimal float literal the CQL lexer can read back (no exponent). *)
+let float_token f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if String.contains s 'e' || String.contains s 'E' then
+      Printf.sprintf "%.17f" f
+    else s
+
+let attrs_token attrs =
+  "("
+  ^ String.concat ", "
+      (List.map (fun (n, v) -> Printf.sprintf "%s:%d" n v) attrs)
+  ^ ")"
+
+(* The request_component command a remote driver sends for this point.
+   The spec it denotes is exactly [point_spec]: the CQL executor reads
+   clock_width/comb_delay/strategy into the same constraint record. *)
+let point_cql p =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "command:request_component";
+  Buffer.add_string buf ("; component_name:" ^ p.p_component);
+  if p.p_attrs <> [] then
+    Buffer.add_string buf ("; attribute:" ^ attrs_token p.p_attrs);
+  (match p.p_clock with
+  | Some c -> Buffer.add_string buf ("; clock_width:" ^ float_token c)
+  | None -> ());
+  (match p.p_delay with
+  | Some d -> Buffer.add_string buf ("; comb_delay:" ^ float_token d)
+  | None -> ());
+  (match p.p_strategy with
+  | Sizing.Balanced -> ()  (* the default; CQL has no name for it *)
+  | s -> Buffer.add_string buf ("; strategy:" ^ strategy_name s));
+  Buffer.add_string buf "; instance:?s; degraded:?s; cache:?s";
+  Buffer.contents buf
+
+let attrs_string attrs =
+  String.concat "," (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) attrs)
+
+let point_to_string p =
+  Printf.sprintf "%s[%s]%s%s strategy=%s" p.p_component (attrs_string p.p_attrs)
+    (match p.p_clock with
+    | Some c -> Printf.sprintf " clock<=%s" (float_token c)
+    | None -> "")
+    (match p.p_delay with
+    | Some d -> Printf.sprintf " delay<=%s" (float_token d)
+    | None -> "")
+    (strategy_name p.p_strategy)

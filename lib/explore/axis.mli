@@ -1,0 +1,67 @@
+(** Sweep lattices: explicit, bounded axes over a component's
+    attribute/constraint space, expanded into concrete request points
+    (the DB4HLS design-space shape). *)
+
+open Icdb_timing
+
+exception Axis_error of string
+
+type axis =
+  | Attr of { name : string; values : int list }
+      (** integer component attribute (size, strips, latch flags, ...) *)
+  | Strategy of Sizing.strategy list
+  | Clock of float option list
+      (** clock-width upper bounds, ns; [None] = unconstrained *)
+  | Delay of float option list
+      (** worst-delay bound applied to every output; [None] = none *)
+
+type point = {
+  p_component : string;
+  p_attrs : (string * int) list;  (** in axis order *)
+  p_strategy : Sizing.strategy;
+  p_clock : float option;
+  p_delay : float option;
+}
+
+val max_axis_values : int
+val max_points : int
+
+val parse : string -> axis
+(** Parse one axis spec, ["name=values"]:
+    [size=2..9], [size=2..16..2], [size=2,4,8],
+    [strategy=fastest,cheapest,balanced], [clock=10,20,none],
+    [delay=5,7.5,none].
+    @raise Axis_error on malformed specs, empty axes, or axes longer
+    than {!max_axis_values}. *)
+
+val axis_name : axis -> string
+val axis_length : axis -> int
+
+val expand : component:string -> axis list -> point list
+(** Deterministic cartesian product: the first axis varies slowest,
+    values in declaration order.
+    @raise Axis_error on duplicate axes or more than {!max_points}
+    points. *)
+
+val point_constraints : point -> Sizing.constraints
+
+val point_spec : point -> Icdb.Spec.t
+(** The canonical specification this point requests. *)
+
+val point_key : point -> string
+(** [Spec.cache_key (point_spec p)]: the stable identity under which
+    the point's result is persisted and resume-deduplicated. *)
+
+val point_cql : point -> string
+(** The [request_component] command a remote driver sends for this
+    point; denotes exactly {!point_spec} and asks for
+    [instance:?s; degraded:?s; cache:?s]. *)
+
+val strategy_name : Sizing.strategy -> string
+val strategy_of_name : string -> Sizing.strategy
+
+val attrs_string : (string * int) list -> string
+(** ["size=4,output_latch=1"] — the form persisted in the store. *)
+
+val point_to_string : point -> string
+(** Human-readable one-liner for progress and error reporting. *)

@@ -1,0 +1,131 @@
+(* The persistent exploration relation: one row per swept design point,
+   write-ahead-journaled through lib/reldb so a killed sweep resumes
+   from exactly the points it had persisted. *)
+
+open Icdb_reldb
+
+exception Store_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Store_error s)) fmt
+
+let table_name = "exploration"
+
+(* clock_bound/delay_bound use 0.0 for "unconstrained": the relation
+   keeps every column a concrete value so Pareto/SQL queries stay
+   simple. *)
+let schema =
+  [ ("spec_key", Value.Tstr);
+    ("sweep", Value.Tstr);
+    ("component", Value.Tstr);
+    ("attrs", Value.Tstr);
+    ("strategy", Value.Tstr);
+    ("clock_bound", Value.Tfloat);
+    ("delay_bound", Value.Tfloat);
+    ("instance", Value.Tstr);
+    ("area", Value.Tfloat);
+    ("delay", Value.Tfloat);
+    ("power", Value.Tfloat);
+    ("gates", Value.Tint);
+    ("cache", Value.Tstr);
+    ("latency_s", Value.Tfloat);
+    ("degraded", Value.Tbool);
+    ("constraints_met", Value.Tbool) ]
+
+(* Columns the CLI/bench query by equality; indexed at every open.
+   Indexes are derived state (never journaled), rebuilt here after
+   recovery. *)
+let indexed_columns = [ "spec_key"; "sweep"; "component" ]
+
+type t = {
+  dir : string;
+  db : Db.t;
+  journal : Journal.t;
+  snapshot : string;
+}
+
+type result = {
+  r_point : Axis.point;
+  r_instance : string;
+  r_area : float;
+  r_delay : float;
+  r_power : float;
+  r_gates : int;
+  r_cache : string;
+  r_latency_s : float;
+  r_degraded : bool;
+  r_constraints_met : bool;
+}
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ dir =
+  mkdir_p dir;
+  let journal_path = Filename.concat dir "explore.journal" in
+  let snapshot = Filename.concat dir "explore.db" in
+  let db, _report = Db.recover ~snapshot ~journal_path () in
+  let journal = Journal.open_append journal_path in
+  Db.attach_journal db journal;
+  (match Db.table_opt db table_name with
+  | Some tbl ->
+      if Table.schema tbl <> schema then
+        fail "%s: exploration table has an incompatible schema" dir
+  | None -> ignore (Db.create_table db table_name schema));
+  let tbl = Db.table db table_name in
+  List.iter (Table.create_index tbl) indexed_columns;
+  { dir; db; journal; snapshot }
+
+let close t =
+  Db.detach_journal t.db;
+  Journal.close t.journal
+
+let db t = t.db
+let dir t = t.dir
+let table t = Db.table t.db table_name
+
+let add t ~sweep (r : result) =
+  let p = r.r_point in
+  Db.insert t.db table_name
+    [ Value.Str (Axis.point_key p);
+      Value.Str sweep;
+      Value.Str p.Axis.p_component;
+      Value.Str (Axis.attrs_string p.Axis.p_attrs);
+      Value.Str (Axis.strategy_name p.Axis.p_strategy);
+      Value.Float (Option.value ~default:0.0 p.Axis.p_clock);
+      Value.Float (Option.value ~default:0.0 p.Axis.p_delay);
+      Value.Str r.r_instance;
+      Value.Float r.r_area;
+      Value.Float r.r_delay;
+      Value.Float r.r_power;
+      Value.Int r.r_gates;
+      Value.Str r.r_cache;
+      Value.Float r.r_latency_s;
+      Value.Bool r.r_degraded;
+      Value.Bool r.r_constraints_met ]
+
+(* The resume set: spec keys already persisted for this sweep. Served
+   by the sweep index (equality pushdown), so reopening a large store
+   does not rescan the relation. *)
+let persisted_keys t ~sweep =
+  let rel =
+    Query.select_table (table t) (Query.Eq ("sweep", Value.Str sweep))
+  in
+  let keys = Hashtbl.create 256 in
+  List.iter
+    (fun v ->
+      match v with Value.Str k -> Hashtbl.replace keys k () | _ -> ())
+    (Query.column_values rel "spec_key");
+  keys
+
+let count t ~sweep =
+  Query.count
+    (Query.select_table (table t) (Query.Eq ("sweep", Value.Str sweep)))
+
+let cardinality t = Table.cardinality (table t)
+
+let checkpoint t = Db.checkpoint t.db ~snapshot:t.snapshot
+
+let query t stmt = Sql.exec t.db stmt

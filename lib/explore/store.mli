@@ -1,0 +1,64 @@
+(** The persistent [exploration] relation: one row per swept design
+    point, write-ahead-journaled through {!Icdb_reldb.Db} so a killed
+    sweep resumes from exactly the points it had persisted.
+
+    Columns: [spec_key, sweep, component, attrs, strategy, clock_bound,
+    delay_bound, instance, area, delay, power, gates, cache, latency_s,
+    degraded, constraints_met]. [clock_bound]/[delay_bound] store [0.0]
+    for "unconstrained"; [power] stores [0.0] when power simulation was
+    not requested. [spec_key], [sweep] and [component] carry secondary
+    indexes, re-declared on every open (indexes are derived state and
+    are never journaled). *)
+
+open Icdb_reldb
+
+exception Store_error of string
+
+type t
+
+type result = {
+  r_point : Axis.point;
+  r_instance : string;
+  r_area : float;
+  r_delay : float;
+  r_power : float;   (** dynamic power, mW; 0.0 when not simulated *)
+  r_gates : int;
+  r_cache : string;  (** "hit" | "reuse" | "miss" *)
+  r_latency_s : float;
+  r_degraded : bool;
+  r_constraints_met : bool;
+}
+
+val table_name : string
+val schema : Table.schema
+
+val open_ : string -> t
+(** Open (creating the directory if needed) a store rooted at a
+    directory: recover [explore.db] + [explore.journal], attach the
+    journal, create the [exploration] table if missing, declare the
+    indexes.
+    @raise Store_error when an existing table's schema is
+    incompatible. *)
+
+val close : t -> unit
+
+val db : t -> Db.t
+val dir : t -> string
+val table : t -> Table.t
+
+val add : t -> sweep:string -> result -> unit
+(** Journaled insert of one completed point. *)
+
+val persisted_keys : t -> sweep:string -> (string, unit) Hashtbl.t
+(** Spec keys already persisted for a sweep — the resume set. Served by
+    the [sweep] index. *)
+
+val count : t -> sweep:string -> int
+val cardinality : t -> int
+
+val checkpoint : t -> unit
+(** Absorb the journal into the snapshot (atomic), truncating it. *)
+
+val query : t -> string -> Sql.result
+(** Run one SQL statement (including [PARETO]/[DOMINATED]) against the
+    store's database. *)

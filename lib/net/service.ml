@@ -419,9 +419,12 @@ let read_only_reject t (body : Wire.req) =
             | _ -> None
             | exception Icdb_cql.Command.Cql_error _ -> None)
         | exception Icdb_cql.Command.Cql_error _ -> None)
-    | Wire.Sql stmt ->
-        if sql_first_word stmt = "SELECT" then None
-        else refuse "this SQL statement"
+    | Wire.Sql stmt -> (
+        (* PARETO/DOMINATED are frontier reads, as side-effect-free as
+           SELECT. *)
+        match sql_first_word stmt with
+        | "SELECT" | "PARETO" | "DOMINATED" -> None
+        | _ -> refuse "this SQL statement")
     | _ -> None
 
 let cql_metric_name text =

@@ -1,4 +1,5 @@
 type rel = {
+  rname : string;
   rschema : Table.schema;
   rrows : Table.row list;
 }
@@ -16,16 +17,39 @@ type pred =
   | Or of pred * pred
   | Not of pred
 
-let of_table t = { rschema = Table.schema t; rrows = Table.rows t }
+let of_table t =
+  { rname = Table.name t; rschema = Table.schema t; rrows = Table.rows t }
+
+let columns_hint rschema =
+  String.concat ", " (List.map fst rschema)
+
+let no_column rel col =
+  raise
+    (Table.Schema_error
+       (Printf.sprintf "table %s: no column %s (columns: %s)" rel.rname col
+          (columns_hint rel.rschema)))
 
 let col_index rel col =
   let rec loop i = function
-    | [] -> raise (Table.Schema_error ("no column " ^ col))
+    | [] -> no_column rel col
     | (c, _) :: rest -> if String.equal c col then i else loop (i + 1) rest
   in
   loop 0 rel.rschema
 
 let field rel row col = row.(col_index rel col)
+
+(* Check every column a predicate references against the relation's
+   schema, so a WHERE on a nonexistent column is a structured error even
+   when the relation is empty (a silent always-false scan otherwise). *)
+let rec validate_pred rel = function
+  | True -> ()
+  | Eq (c, _) | Neq (c, _) | Lt (c, _) | Le (c, _) | Gt (c, _) | Ge (c, _)
+  | Like (c, _) ->
+      ignore (col_index rel c)
+  | And (a, b) | Or (a, b) ->
+      validate_pred rel a;
+      validate_pred rel b
+  | Not a -> validate_pred rel a
 
 (* Numeric-coercing comparison used by ordering predicates. *)
 let cmp_values a b =
@@ -59,13 +83,55 @@ let rec eval_pred rel p row =
   | Not a -> not (eval_pred rel a row)
 
 let select p rel =
+  validate_pred rel p;
   { rel with rrows = List.filter (eval_pred rel p) rel.rrows }
+
+(* Equality conjuncts available for index probing: [Eq] nodes reachable
+   from the root through [And] only. Under [Or]/[Not] an equality no
+   longer bounds the result set. *)
+let rec eq_conjuncts = function
+  | Eq (c, v) -> [ (c, v) ]
+  | And (a, b) -> eq_conjuncts a @ eq_conjuncts b
+  | _ -> []
+
+let c_select_indexed =
+  lazy (Icdb_obs.Metrics.counter "reldb.select.indexed")
+
+let c_select_scan = lazy (Icdb_obs.Metrics.counter "reldb.select.scan")
+
+let select_table tbl p =
+  let base =
+    { rname = Table.name tbl; rschema = Table.schema tbl; rrows = [] }
+  in
+  validate_pred base p;
+  let best =
+    List.fold_left
+      (fun acc (c, v) ->
+        match Table.index_lookup tbl c v with
+        | None -> acc
+        | Some rows -> (
+            let n = List.length rows in
+            match acc with
+            | Some (_, m) when m <= n -> acc
+            | _ -> Some (rows, n)))
+      None (eq_conjuncts p)
+  in
+  match best with
+  | Some (rows, _) ->
+      Icdb_obs.Metrics.incr (Lazy.force c_select_indexed);
+      (* The bucket is a superset of the answer (the equality is one
+         conjunct); the full predicate filters it down, so indexed and
+         scan execution agree row-for-row. *)
+      { base with rrows = List.filter (eval_pred base p) rows }
+  | None ->
+      Icdb_obs.Metrics.incr (Lazy.force c_select_scan);
+      { base with rrows = List.filter (eval_pred base p) (Table.rows tbl) }
 
 let project cols rel =
   let idxs = List.map (col_index rel) cols in
   let rschema = List.map (fun i -> List.nth rel.rschema i) idxs in
   let take row = Array.of_list (List.map (fun i -> row.(i)) idxs) in
-  { rschema; rrows = List.map take rel.rrows }
+  { rel with rschema; rrows = List.map take rel.rrows }
 
 let rename pairs rel =
   let ren (c, ty) =
@@ -91,7 +157,7 @@ let join left right ~on:(lc, rc) =
           right.rrows)
       left.rrows
   in
-  { rschema; rrows }
+  { rname = left.rname ^ "*" ^ right.rname; rschema; rrows }
 
 let order_by col ?(desc = false) rel =
   let i = col_index rel col in
@@ -126,3 +192,63 @@ let count rel = List.length rel.rrows
 let column_values rel col =
   let i = col_index rel col in
   List.map (fun row -> row.(i)) rel.rrows
+
+(* Pareto classification: minimize both objectives. Row r is dominated
+   when some row s has s.x <= r.x, s.y <= r.y with at least one strict;
+   rows with identical (x, y) never dominate each other, so duplicate
+   optima all stay on the frontier. One sort + one sweep: within a
+   sorted-by-(x, y) order, a row is frontier iff its y equals its
+   x-group minimum AND lies strictly below every strictly-smaller-x
+   group's minimum. *)
+let pareto_flags ~x ~y rel =
+  let xi = col_index rel x and yi = col_index rel y in
+  let num col v =
+    match v with
+    | Value.Int i -> float_of_int i
+    | Value.Float f -> f
+    | Value.Str _ | Value.Bool _ ->
+        raise
+          (Table.Schema_error
+             (Printf.sprintf
+                "table %s: pareto objective %s must be numeric, got %s"
+                rel.rname col
+                (Value.ty_name (Value.ty_of v))))
+  in
+  let pts =
+    List.mapi (fun i row -> (i, num x row.(xi), num y row.(yi))) rel.rrows
+  in
+  let sorted =
+    List.stable_sort
+      (fun (_, x1, y1) (_, x2, y2) ->
+        let c = Float.compare x1 x2 in
+        if c <> 0 then c else Float.compare y1 y2)
+      pts
+  in
+  let flags = Array.make (List.length pts) false in
+  let best_y = ref None (* min y over strictly-smaller-x groups *) in
+  let cur = ref None (* (group x, group min y) *) in
+  List.iter
+    (fun (i, px, py) ->
+      (match !cur with
+      | Some (gx, gmin) when Float.compare gx px <> 0 ->
+          (match !best_y with
+          | Some b when Float.compare b gmin <= 0 -> ()
+          | _ -> best_y := Some gmin);
+          cur := Some (px, py)
+      | None -> cur := Some (px, py)
+      | Some _ -> ());
+      let (_, gmin) = Option.get !cur in
+      let below_best =
+        match !best_y with None -> true | Some b -> Float.compare py b < 0
+      in
+      flags.(i) <- Float.compare py gmin = 0 && below_best)
+    sorted;
+  flags
+
+let pareto ~x ~y rel =
+  let flags = pareto_flags ~x ~y rel in
+  { rel with rrows = List.filteri (fun i _ -> flags.(i)) rel.rrows }
+
+let dominated ~x ~y rel =
+  let flags = pareto_flags ~x ~y rel in
+  { rel with rrows = List.filteri (fun i _ -> not flags.(i)) rel.rrows }

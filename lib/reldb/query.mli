@@ -5,6 +5,7 @@
     compile their requests into. *)
 
 type rel = {
+  rname : string;    (** source table name, kept for error messages *)
   rschema : Table.schema;
   rrows : Table.row list;
 }
@@ -28,12 +29,30 @@ val of_table : Table.t -> rel
 val field : rel -> Table.row -> string -> Value.t
 (** Field access by column name. @raise Table.Schema_error if unknown. *)
 
+val validate_pred : rel -> pred -> unit
+(** Check every column the predicate references against the relation's
+    schema. @raise Table.Schema_error naming the relation, the missing
+    column, and the available columns. Run before evaluation so an
+    unknown column is an error even on an empty relation. *)
+
 val eval_pred : rel -> pred -> Table.row -> bool
 (** Evaluate a predicate against a row of the given relation. Numeric
     comparisons between [Int] and [Float] coerce to float. *)
 
 val select : pred -> rel -> rel
-(** Keep the rows satisfying the predicate. *)
+(** Keep the rows satisfying the predicate. Validates the predicate
+    first ({!validate_pred}). *)
+
+val select_table : Table.t -> pred -> rel
+(** Like [select p (of_table t)] but with equality-predicate pushdown:
+    when a top-level [Eq] conjunct hits an index declared on [t]
+    ({!Table.create_index}), only that bucket is filtered instead of the
+    whole table. Guaranteed to return exactly the rows (and row order)
+    of the full scan. *)
+
+val eq_conjuncts : pred -> (string * Value.t) list
+(** The [Eq] leaves reachable from the root through [And] nodes only —
+    the equalities eligible for index probing. *)
 
 val project : string list -> rel -> rel
 (** Keep (and reorder to) the named columns. *)
@@ -59,3 +78,15 @@ val count : rel -> int
 
 val column_values : rel -> string -> Value.t list
 (** All values of one column, in row order. *)
+
+val pareto : x:string -> y:string -> rel -> rel
+(** Rows on the Pareto frontier when minimizing both [x] and [y]: no
+    other row is <= on both objectives and < on at least one. Rows with
+    identical objective values never dominate each other, so duplicate
+    optima all survive. Input row order is preserved.
+    @raise Table.Schema_error if an objective column is unknown or
+    non-numeric. *)
+
+val dominated : x:string -> y:string -> rel -> rel
+(** The complement of {!pareto}: rows strictly dominated by some other
+    row. Input row order is preserved. *)

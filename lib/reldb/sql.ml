@@ -163,7 +163,8 @@ let exec db stmt =
       | Word f :: Word tbl_name :: rest when kw_eq f "from" ->
           let tbl = Db.table db tbl_name in
           let pred, rest = parse_where rest in
-          let rel = Query.select pred (Query.of_table tbl) in
+          (* Pushdown: equality conjuncts probe declared indexes. *)
+          let rel = Query.select_table tbl pred in
           let rel, rest =
             match rest with
             | Word o :: Word b :: Word col :: rest
@@ -220,6 +221,7 @@ let exec db stmt =
       let pred, rest = parse_where rest in
       if rest <> [] then sql_err "trailing tokens after UPDATE";
       let rel = Query.of_table tbl in
+      Query.validate_pred rel pred;
       let n = Table.update tbl (Query.eval_pred rel pred) (fun _ -> sets) in
       Affected n
   | Word w :: Word f :: Word tbl_name :: rest
@@ -228,8 +230,54 @@ let exec db stmt =
       let pred, rest = parse_where rest in
       if rest <> [] then sql_err "trailing tokens after DELETE";
       let rel = Query.of_table tbl in
+      Query.validate_pred rel pred;
       let n = Table.delete tbl (Query.eval_pred rel pred) in
       Affected n
+  | Word w :: Word i :: Word o :: Word tbl_name :: rest
+    when kw_eq w "create" && kw_eq i "index" && kw_eq o "on" -> (
+      let tbl = Db.table db tbl_name in
+      match rest with
+      | Punct '(' :: Word col :: Punct ')' :: [] ->
+          Table.create_index tbl col;
+          Affected 0
+      | _ -> sql_err "expected (column) after CREATE INDEX ON <table>")
+  | Word w :: Word i :: Word o :: Word tbl_name :: rest
+    when kw_eq w "drop" && kw_eq i "index" && kw_eq o "on" -> (
+      let tbl = Db.table db tbl_name in
+      match rest with
+      | Punct '(' :: Word col :: Punct ')' :: [] ->
+          Table.drop_index tbl col;
+          Affected 0
+      | _ -> sql_err "expected (column) after DROP INDEX ON <table>")
+  | Word w :: Word tbl_name :: Word o :: rest
+    when (kw_eq w "pareto" || kw_eq w "dominated") && kw_eq o "on" -> (
+      let tbl = Db.table db tbl_name in
+      match rest with
+      | Word colx :: Punct ',' :: Word coly :: rest ->
+          let pred, rest = parse_where rest in
+          let rel, rest =
+            match rest with
+            | Word l :: Num n :: rest when kw_eq l "limit" ->
+                (* LIMIT applies after the frontier is computed. *)
+                let rel = Query.select_table tbl pred in
+                let rel =
+                  if kw_eq w "pareto" then Query.pareto ~x:colx ~y:coly rel
+                  else Query.dominated ~x:colx ~y:coly rel
+                in
+                (Query.limit (int_of_string n) rel, rest)
+            | rest ->
+                let rel = Query.select_table tbl pred in
+                let rel =
+                  if kw_eq w "pareto" then Query.pareto ~x:colx ~y:coly rel
+                  else Query.dominated ~x:colx ~y:coly rel
+                in
+                (rel, rest)
+          in
+          if rest <> [] then
+            sql_err "trailing tokens after %s" (String.uppercase_ascii w);
+          Relation rel
+      | _ -> sql_err "expected <colx>, <coly> after %s <table> ON"
+               (String.uppercase_ascii w))
   | _ -> sql_err "unsupported statement"
 
 let select db stmt =

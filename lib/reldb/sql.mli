@@ -6,6 +6,16 @@
     - [INSERT INTO table VALUES (lit, ...)]
     - [UPDATE table SET col = lit, ... [WHERE cond]]
     - [DELETE FROM table [WHERE cond]]
+    - [CREATE INDEX ON table (col)] / [DROP INDEX ON table (col)]
+    - [PARETO table ON colx, coly [WHERE cond] [LIMIT n]] — rows on the
+      area/delay-style Pareto frontier (both objectives minimized)
+    - [DOMINATED table ON colx, coly [WHERE cond] [LIMIT n]] — the
+      complement: rows strictly dominated by another row
+
+    SELECT and PARETO/DOMINATED use equality-predicate pushdown: a
+    top-level [col = literal] conjunct that hits an index declared with
+    [CREATE INDEX] scans only that hash bucket, returning exactly the
+    rows (and row order) of the full scan.
 
     Conditions combine [col op literal] atoms with [AND]/[OR]/[NOT] and
     parentheses; operators are [=], [!=], [<>], [<], [<=], [>], [>=] and

@@ -3,12 +3,23 @@ type row = Value.t array
 
 exception Schema_error of string
 
+(* A secondary hash index over one column. Buckets hold the table's
+   physical row arrays in reverse insertion order (same discipline as
+   [data]), so a lookup can restore insertion order with one reversal.
+   Row arrays are never mutated in place by the table ([update] copies),
+   which makes the aliasing between [data] and buckets safe. *)
+type index = {
+  ix_pos : int;
+  ix_buckets : (string, row list) Hashtbl.t;
+}
+
 type t = {
   tbl_name : string;
   tbl_schema : schema;
   index : (string, int) Hashtbl.t;  (* column name -> position *)
   mutable data : row list;          (* reverse insertion order *)
   mutable count : int;
+  mutable indexes : (string * index) list;  (* column name -> index *)
 }
 
 let schema_err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
@@ -22,7 +33,7 @@ let create tbl_name tbl_schema =
         schema_err "table %s: duplicate column %s" tbl_name col;
       Hashtbl.add index col i)
     tbl_schema;
-  { tbl_name; tbl_schema; index; data = []; count = 0 }
+  { tbl_name; tbl_schema; index; data = []; count = 0; indexes = [] }
 
 let name t = t.tbl_name
 let schema t = t.tbl_schema
@@ -45,10 +56,123 @@ let check_row t values =
           (Value.ty_name (Value.ty_of v)))
     t.tbl_schema values
 
+(* Index keys must agree with {!Query.cmp_values} equality: all floats
+   that compare equal under [Float.compare] share a key. [-0.] and [0.]
+   compare equal but print differently under %h, hence the
+   normalisation; every NaN payload compares equal to every other. *)
+let norm_float f =
+  if Float.is_nan f then "nan"
+  else if f = 0.0 then "0"
+  else Printf.sprintf "%h" f
+
+(* Key of a value already stored in (or type-checked against) a column
+   of type [ty]. *)
+let key_of_stored ty (v : Value.t) =
+  match ty, v with
+  | Value.Tint, Value.Int i -> "i" ^ string_of_int i
+  | Value.Tfloat, Value.Float f -> "f" ^ norm_float f
+  | Value.Tstr, Value.Str s -> "s" ^ s
+  | Value.Tbool, Value.Bool b -> if b then "bT" else "bF"
+  | _ ->
+      (* check_row guarantees stored values match their column type *)
+      invalid_arg "Table.key_of_stored: ill-typed stored value"
+
+(* Probe outcome for an equality literal against a column of type [ty].
+   [Never] means the scan-side comparison ({!Query.cmp_values}) can
+   never return 0, so the exact answer is the empty set. [Unsupported]
+   means we cannot model the scan's coercion with a hash key, so the
+   caller must fall back to a scan. *)
+type probe = Key of string | Never | Unsupported
+
+(* Largest float magnitude at which every integer is exactly
+   representable; beyond it int<->float coercion rounds and a hash key
+   can no longer mirror [Float.compare (float_of_int x) f]. *)
+let exact_int_float = 9007199254740992.0 (* 2^53 *)
+
+let probe_key ty (v : Value.t) =
+  match ty, v with
+  | Value.Tint, Value.Int _
+  | Value.Tfloat, Value.Float _
+  | Value.Tstr, Value.Str _
+  | Value.Tbool, Value.Bool _ -> Key (key_of_stored ty v)
+  | Value.Tfloat, Value.Int i ->
+      (* scan compares Float.compare x (float_of_int i) *)
+      Key ("f" ^ norm_float (float_of_int i))
+  | Value.Tint, Value.Float f ->
+      if Float.is_nan f then Never
+      else if Float.is_integer f && Float.abs f <= exact_int_float then
+        Key ("i" ^ string_of_int (int_of_float f))
+      else if Float.is_integer f then Unsupported
+      else Never
+  | _ -> Never (* cross-type comparisons are never equal *)
+
+let bucket_add ix row =
+  let key = key_of_stored (Value.ty_of row.(ix.ix_pos)) row.(ix.ix_pos) in
+  let prev = Option.value ~default:[] (Hashtbl.find_opt ix.ix_buckets key) in
+  Hashtbl.replace ix.ix_buckets key (row :: prev)
+
+(* Remove one physical row (pointer equality) from its bucket. *)
+let bucket_remove ix row =
+  let key = key_of_stored (Value.ty_of row.(ix.ix_pos)) row.(ix.ix_pos) in
+  match Hashtbl.find_opt ix.ix_buckets key with
+  | None -> ()
+  | Some rows ->
+      let removed = ref false in
+      let rows' =
+        List.filter
+          (fun r ->
+            if (not !removed) && r == row then begin
+              removed := true;
+              false
+            end
+            else true)
+          rows
+      in
+      if rows' = [] then Hashtbl.remove ix.ix_buckets key
+      else Hashtbl.replace ix.ix_buckets key rows'
+
+let build_index t pos =
+  let ix = { ix_pos = pos; ix_buckets = Hashtbl.create 256 } in
+  (* [data] is newest-first; build oldest-first so each bucket ends up
+     newest-first, matching the incremental [bucket_add] on insert. *)
+  List.iter (bucket_add ix) (List.rev t.data);
+  ix
+
+let reindex t =
+  t.indexes <- List.map (fun (col, ix) -> (col, build_index t ix.ix_pos)) t.indexes
+
+let create_index t col =
+  let pos = column_index t col in
+  if not (List.mem_assoc col t.indexes) then
+    t.indexes <- (col, build_index t pos) :: t.indexes
+
+let drop_index t col =
+  ignore (column_index t col);
+  t.indexes <- List.remove_assoc col t.indexes
+
+let has_index t col = List.mem_assoc col t.indexes
+let indexed_columns t = List.rev_map fst t.indexes
+
+let index_lookup t col v =
+  match List.assoc_opt col t.indexes with
+  | None -> None
+  | Some ix -> (
+      let (_, ty) = List.nth t.tbl_schema ix.ix_pos in
+      match probe_key ty v with
+      | Unsupported -> None
+      | Never -> Some []
+      | Key key ->
+          let bucket =
+            Option.value ~default:[] (Hashtbl.find_opt ix.ix_buckets key)
+          in
+          Some (List.rev_map Array.copy bucket))
+
 let insert t values =
   check_row t values;
-  t.data <- Array.of_list values :: t.data;
-  t.count <- t.count + 1
+  let row = Array.of_list values in
+  t.data <- row :: t.data;
+  t.count <- t.count + 1;
+  List.iter (fun (_, ix) -> bucket_add ix row) t.indexes
 
 let insert_assoc t bindings =
   let lookup (col, _ty) =
@@ -89,12 +213,14 @@ let update t pred assign =
     else row
   in
   t.data <- List.map apply t.data;
+  if !updated > 0 then reindex t;
   !updated
 
 let delete t pred =
   let before = t.count in
   t.data <- List.filter (fun r -> not (pred r)) t.data;
   t.count <- List.length t.data;
+  if t.count <> before then reindex t;
   before - t.count
 
 (* Remove a single row matching [pred] (the most recently inserted one,
@@ -103,27 +229,36 @@ let delete t pred =
 let delete_one t pred =
   let rec go = function
     | [] -> None
-    | row :: rest when pred row -> Some rest
-    | row :: rest -> Option.map (fun l -> row :: l) (go rest)
+    | row :: rest when pred row -> Some (row, rest)
+    | row :: rest ->
+        Option.map (fun (hit, l) -> (hit, row :: l)) (go rest)
   in
   match go t.data with
-  | Some data ->
+  | Some (hit, data) ->
       t.data <- data;
       t.count <- t.count - 1;
+      List.iter (fun (_, ix) -> bucket_remove ix hit) t.indexes;
       true
   | None -> false
 
 let clear t =
   t.data <- [];
-  t.count <- 0
+  t.count <- 0;
+  List.iter (fun (_, ix) -> Hashtbl.reset ix.ix_buckets) t.indexes
 
 let copy t =
-  { t with
-    data = List.map Array.copy t.data;
-    index = Hashtbl.copy t.index }
+  let t' =
+    { t with
+      data = List.map Array.copy t.data;
+      index = Hashtbl.copy t.index;
+      indexes = t.indexes }
+  in
+  reindex t';
+  t'
 
 let restore t ~from =
   if from.tbl_schema <> t.tbl_schema then
     schema_err "restore: schema mismatch for table %s" t.tbl_name;
   t.data <- List.map Array.copy from.data;
-  t.count <- from.count
+  t.count <- from.count;
+  reindex t

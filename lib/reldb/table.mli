@@ -56,6 +56,35 @@ val delete_one : t -> (row -> bool) -> bool
 
 val clear : t -> unit
 
+(** {2 Secondary indexes}
+
+    A table may carry hash indexes over individual columns. Indexes are
+    derived, in-memory state: they are not persisted or journaled, and a
+    freshly recovered table has none — callers re-declare them after
+    recovery. Every mutating operation keeps declared indexes exact. *)
+
+val create_index : t -> string -> unit
+(** Declare (and immediately build) a hash index on a column. Idempotent
+    when the index already exists.
+    @raise Schema_error if the column is unknown. *)
+
+val drop_index : t -> string -> unit
+(** Remove the index on a column, if any.
+    @raise Schema_error if the column is unknown. *)
+
+val has_index : t -> string -> bool
+
+val indexed_columns : t -> string list
+(** Columns with an index, in declaration order. *)
+
+val index_lookup : t -> string -> Value.t -> row list option
+(** [index_lookup t col v] is [Some rows] — the exact set of rows whose
+    [col] field equals [v] under the query layer's numeric-coercing
+    equality, in insertion order — when [col] has an index and the
+    lookup key can model that equality; [None] when there is no index
+    on [col] or the literal cannot be hashed faithfully (the caller
+    must fall back to a scan). The arrays are copies. *)
+
 val copy : t -> t
 (** Deep copy (used by transaction snapshots). *)
 

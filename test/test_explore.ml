@@ -1,0 +1,332 @@
+(* Tests for the design-space exploration subsystem: axis parsing and
+   lattice expansion, the journaled results store (including
+   crash-reopen), and the sweep driver — local, resumed, limited, and
+   remote through the pipelined batch path, checked differentially
+   against the local backend. *)
+
+open Icdb_explore
+
+let check = Alcotest.check
+
+let quiet_events = lazy (Icdb_obs.Event.set_level Icdb_obs.Event.Error)
+
+let tmpdir () =
+  let d = Filename.temp_file "icdb_explore" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_store f =
+  let dir = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Axis                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_axis_parse () =
+  (match Axis.parse "size=2..5" with
+  | Axis.Attr { name = "size"; values = [ 2; 3; 4; 5 ] } -> ()
+  | _ -> Alcotest.fail "range");
+  (match Axis.parse "size=2..9..3" with
+  | Axis.Attr { name = "size"; values = [ 2; 5; 8 ] } -> ()
+  | _ -> Alcotest.fail "stepped range");
+  (match Axis.parse "size=8,2,4" with
+  | Axis.Attr { name = "size"; values = [ 8; 2; 4 ] } -> ()
+  | _ -> Alcotest.fail "list keeps declaration order");
+  (match Axis.parse "strategy=fastest,balanced" with
+  | Axis.Strategy [ Icdb_timing.Sizing.Fastest; Icdb_timing.Sizing.Balanced ] -> ()
+  | _ -> Alcotest.fail "strategy");
+  (match Axis.parse "clock=10,none" with
+  | Axis.Clock [ Some 10.0; None ] -> ()
+  | _ -> Alcotest.fail "clock with none");
+  (match Axis.parse "delay=7.5,none" with
+  | Axis.Delay [ Some 7.5; None ] -> ()
+  | _ -> Alcotest.fail "delay")
+
+let test_axis_parse_errors () =
+  List.iter
+    (fun bad ->
+      try
+        ignore (Axis.parse bad);
+        Alcotest.failf "expected Axis_error on %s" bad
+      with Axis.Axis_error _ -> ())
+    [ "size"; "size="; "=2"; "size=9..2"; "size=2..9..0"; "size=a,b";
+      "strategy=warp"; "clock=fast"; "size=2..999999" ]
+
+let test_expand_deterministic () =
+  let axes = [ Axis.parse "size=2,3"; Axis.parse "strategy=fastest,cheapest" ] in
+  let pts = Axis.expand ~component:"counter" axes in
+  check Alcotest.int "cartesian size" 4 (List.length pts);
+  (* first axis varies slowest *)
+  check Alcotest.(list (pair int string)) "order"
+    [ (2, "fastest"); (2, "cheapest"); (3, "fastest"); (3, "cheapest") ]
+    (List.map
+       (fun p ->
+         (List.assoc "size" p.Axis.p_attrs, Axis.strategy_name p.Axis.p_strategy))
+       pts);
+  let pts2 = Axis.expand ~component:"counter" axes in
+  check Alcotest.(list string) "keys are stable"
+    (List.map Axis.point_key pts) (List.map Axis.point_key pts2);
+  let keys = List.sort_uniq String.compare (List.map Axis.point_key pts) in
+  check Alcotest.int "keys are distinct" 4 (List.length keys)
+
+let test_expand_bounds () =
+  (try
+     ignore
+       (Axis.expand ~component:"c" [ Axis.parse "size=1,2"; Axis.parse "size=3,4" ]);
+     Alcotest.fail "duplicate axis"
+   with Axis.Axis_error _ -> ());
+  try
+    ignore
+      (Axis.expand ~component:"c"
+         [ Axis.parse "size=1..2000"; Axis.parse "type=1..2000" ]);
+    Alcotest.fail "too many points"
+  with Axis.Axis_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_result p =
+  { Store.r_point = p;
+    r_instance = "i1";
+    r_area = 10.0;
+    r_delay = 2.0;
+    r_power = 0.0;
+    r_gates = 12;
+    r_cache = "miss";
+    r_latency_s = 0.001;
+    r_degraded = false;
+    r_constraints_met = true }
+
+let points2 () =
+  Axis.expand ~component:"counter" [ Axis.parse "size=2,3" ]
+
+let test_store_persist_reopen () =
+  with_store @@ fun dir ->
+  let pts = points2 () in
+  let s = Store.open_ dir in
+  List.iter (fun p -> Store.add s ~sweep:"sw" (sample_result p)) pts;
+  check Alcotest.int "count" 2 (Store.count s ~sweep:"sw");
+  Store.close s;
+  (* reopen without a checkpoint: rows come back from the journal *)
+  let s2 = Store.open_ dir in
+  check Alcotest.int "replayed" 2 (Store.count s2 ~sweep:"sw");
+  let keys = Store.persisted_keys s2 ~sweep:"sw" in
+  List.iter
+    (fun p ->
+      check Alcotest.bool "key persisted" true
+        (Hashtbl.mem keys (Axis.point_key p)))
+    pts;
+  check Alcotest.int "other sweeps empty" 0 (Store.count s2 ~sweep:"other");
+  Store.checkpoint s2;
+  Store.close s2;
+  let s3 = Store.open_ dir in
+  check Alcotest.int "after checkpoint" 2 (Store.count s3 ~sweep:"sw");
+  Store.close s3
+
+let test_store_pareto_query () =
+  with_store @@ fun dir ->
+  let s = Store.open_ dir in
+  List.iteri
+    (fun i p ->
+      Store.add s ~sweep:"sw"
+        { (sample_result p) with
+          r_instance = Printf.sprintf "i%d" i;
+          r_area = (if i = 0 then 10.0 else 20.0);
+          r_delay = (if i = 0 then 2.0 else 1.0) })
+    (points2 ());
+  (match
+     Store.query s
+       "PARETO exploration ON area, delay WHERE sweep = 'sw'"
+   with
+  | Icdb_reldb.Sql.Relation rel ->
+      check Alcotest.int "both on frontier" 2 (List.length rel.Icdb_reldb.Query.rrows)
+  | _ -> Alcotest.fail "expected relation");
+  match Store.query s "DOMINATED exploration ON area, delay" with
+  | Icdb_reldb.Sql.Relation rel ->
+      check Alcotest.int "none dominated" 0 (List.length rel.Icdb_reldb.Query.rrows);
+      Store.close s
+  | _ -> Alcotest.fail "expected relation"
+
+(* ------------------------------------------------------------------ *)
+(* Driver: local backend                                               *)
+(* ------------------------------------------------------------------ *)
+
+let axes_small =
+  [ "size=2,3,4"; "strategy=fastest,cheapest" ]
+
+let expand_small () =
+  Axis.expand ~component:"counter" (List.map Axis.parse axes_small)
+
+let test_driver_local_sweep_and_resume () =
+  Lazy.force quiet_events;
+  with_store @@ fun dir ->
+  let server = Icdb.Server.create ~verify:false () in
+  let store = Store.open_ dir in
+  let pts = expand_small () in
+  let updates = ref 0 in
+  let s =
+    Driver.run ~sweep:"sw" ~on_progress:(fun _ -> incr updates)
+      (Driver.Local server) store pts
+  in
+  check Alcotest.int "all executed" 6 s.Driver.s_executed;
+  check Alcotest.int "none skipped" 0 s.Driver.s_skipped;
+  check Alcotest.(list string) "no failures" []
+    (List.map (fun f -> f.Driver.f_reason) s.Driver.s_failures);
+  check Alcotest.int "every point persisted" 6 (Store.count store ~sweep:"sw");
+  check Alcotest.bool "progress fired" true (!updates >= 7);
+  (* rerun: resume recomputes nothing *)
+  let s2 = Driver.run ~sweep:"sw" (Driver.Local server) store pts in
+  check Alcotest.int "rerun executes nothing" 0 s2.Driver.s_executed;
+  check Alcotest.int "rerun skips all" 6 s2.Driver.s_skipped;
+  check Alcotest.int "no duplicate rows" 6 (Store.count store ~sweep:"sw");
+  Store.close store
+
+let test_driver_limit_then_finish () =
+  Lazy.force quiet_events;
+  with_store @@ fun dir ->
+  let server = Icdb.Server.create ~verify:false () in
+  let pts = expand_small () in
+  (* partial run, store closed (killed) without checkpoint *)
+  let store = Store.open_ dir in
+  let s = Driver.run ~sweep:"sw" ~limit:2 (Driver.Local server) store pts in
+  check Alcotest.int "limited" 2 s.Driver.s_executed;
+  Store.close store;
+  (* the rerun picks up exactly the remainder *)
+  let store2 = Store.open_ dir in
+  let s2 = Driver.run ~sweep:"sw" (Driver.Local server) store2 pts in
+  check Alcotest.int "remainder executed" 4 s2.Driver.s_executed;
+  check Alcotest.int "finished skipped" 2 s2.Driver.s_skipped;
+  check Alcotest.int "complete" 6 (Store.count store2 ~sweep:"sw");
+  Store.close store2
+
+let test_driver_sweeps_are_disjoint () =
+  Lazy.force quiet_events;
+  with_store @@ fun dir ->
+  let server = Icdb.Server.create ~verify:false () in
+  let store = Store.open_ dir in
+  let pts = points2 () in
+  ignore (Driver.run ~sweep:"a" (Driver.Local server) store pts);
+  (* the same points under another sweep name run again *)
+  let s = Driver.run ~sweep:"b" (Driver.Local server) store pts in
+  check Alcotest.int "other sweep reruns" 2 s.Driver.s_executed;
+  check Alcotest.int "a kept" 2 (Store.count store ~sweep:"a");
+  check Alcotest.int "b kept" 2 (Store.count store ~sweep:"b");
+  Store.close store
+
+(* ------------------------------------------------------------------ *)
+(* Driver: remote backend, differential against local                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_service f =
+  Lazy.force quiet_events;
+  let server = Icdb.Server.create ~verify:false () in
+  let sync = Icdb_net.Sync.wrap server in
+  let svc =
+    Icdb_net.Service.start
+      ~config:{ Icdb_net.Service.default_config with port = 0 }
+      sync
+  in
+  Fun.protect
+    ~finally:(fun () -> Icdb_net.Service.shutdown svc)
+    (fun () -> f (Icdb_net.Service.port svc))
+
+let row_metrics store sweep =
+  match
+    Store.query store
+      (Printf.sprintf
+         "SELECT spec_key, area, delay, gates FROM exploration WHERE sweep = %s"
+         (Icdb_reldb.Sql.quote_string sweep))
+  with
+  | Icdb_reldb.Sql.Relation rel ->
+      rel.Icdb_reldb.Query.rrows
+      |> List.map (fun row ->
+             Array.to_list (Array.map Icdb_reldb.Value.to_string row))
+      |> List.sort compare
+  | _ -> Alcotest.fail "expected relation"
+
+let test_driver_remote_differential () =
+  with_service @@ fun port ->
+  with_store @@ fun dir ->
+  let pts = expand_small () in
+  let store = Store.open_ dir in
+  (* local reference sweep *)
+  let local_server = Icdb.Server.create ~verify:false () in
+  let sl = Driver.run ~sweep:"local" (Driver.Local local_server) store pts in
+  check Alcotest.int "local all" 6 sl.Driver.s_executed;
+  (* remote sweep through the pipelined batch path, small frames to
+     force several inflight windows *)
+  let client = Icdb_net.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Icdb_net.Client.close client) @@ fun () ->
+  let sr =
+    Driver.run ~sweep:"remote"
+      (Driver.Remote { client; batch = 2; inflight = 2 })
+      store pts
+  in
+  check Alcotest.int "remote all" 6 sr.Driver.s_executed;
+  check Alcotest.(list string) "remote no failures" []
+    (List.map (fun f -> f.Driver.f_reason) sr.Driver.s_failures);
+  (* identical figures of merit per spec key, both backends *)
+  let strip l = List.map (function _ :: rest -> rest | [] -> []) l in
+  let local_rows = row_metrics store "local" in
+  let remote_rows = row_metrics store "remote" in
+  check Alcotest.(list (list string)) "same keys"
+    (List.map (fun r -> [ List.hd r ]) local_rows)
+    (List.map (fun r -> [ List.hd r ]) remote_rows);
+  check Alcotest.(list (list string)) "same area/delay/gates"
+    (strip local_rows) (strip remote_rows);
+  (* a remote rerun resumes off the persisted set like the local one *)
+  let sr2 =
+    Driver.run ~sweep:"remote"
+      (Driver.Remote { client; batch = 2; inflight = 2 })
+      store pts
+  in
+  check Alcotest.int "remote rerun skips" 6 sr2.Driver.s_skipped;
+  Store.close store
+
+let test_driver_remote_bad_point_isolated () =
+  with_service @@ fun port ->
+  with_store @@ fun dir ->
+  let store = Store.open_ dir in
+  let good = points2 () in
+  let bad =
+    { (List.hd good) with Axis.p_component = "no_such_component" }
+  in
+  let client = Icdb_net.Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Icdb_net.Client.close client) @@ fun () ->
+  let s =
+    Driver.run ~sweep:"sw"
+      (Driver.Remote { client; batch = 4; inflight = 1 })
+      store (bad :: good)
+  in
+  (* the bad entry fails inside its batch; the rest of the frame lands *)
+  check Alcotest.int "good points executed" 2 s.Driver.s_executed;
+  check Alcotest.int "one failure" 1 (List.length s.Driver.s_failures);
+  check Alcotest.int "good rows persisted" 2 (Store.count store ~sweep:"sw");
+  Store.close store
+
+let () =
+  Alcotest.run "explore"
+    [ ("axis",
+       [ Alcotest.test_case "parse" `Quick test_axis_parse;
+         Alcotest.test_case "parse errors" `Quick test_axis_parse_errors;
+         Alcotest.test_case "expand deterministic" `Quick test_expand_deterministic;
+         Alcotest.test_case "expand bounds" `Quick test_expand_bounds ]);
+      ("store",
+       [ Alcotest.test_case "persist/reopen/checkpoint" `Quick test_store_persist_reopen;
+         Alcotest.test_case "pareto query" `Quick test_store_pareto_query ]);
+      ("driver-local",
+       [ Alcotest.test_case "sweep then resume" `Quick test_driver_local_sweep_and_resume;
+         Alcotest.test_case "limit then finish" `Quick test_driver_limit_then_finish;
+         Alcotest.test_case "sweeps are disjoint" `Quick test_driver_sweeps_are_disjoint ]);
+      ("driver-remote",
+       [ Alcotest.test_case "differential vs local" `Quick test_driver_remote_differential;
+         Alcotest.test_case "bad point isolated" `Quick test_driver_remote_bad_point_isolated ]) ]

@@ -394,6 +394,166 @@ let test_sql_string_with_spaces () =
   check Alcotest.int "found" 1 (Query.count r)
 
 (* ------------------------------------------------------------------ *)
+(* Secondary indexes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The differential that matters everywhere below: the indexed plan and
+   the pure scan must return the same rows in the same order. *)
+let same_rows tbl p =
+  let indexed = (Query.select_table tbl p).Query.rrows in
+  let scan = (Query.select p (Query.of_table tbl)).Query.rrows in
+  List.length indexed = List.length scan
+  && List.for_all2 (fun a b -> Array.for_all2 Value.equal a b) indexed scan
+
+let test_index_basics () =
+  let t = sample_components () in
+  check Alcotest.bool "no index yet" false (Table.has_index t "size");
+  Table.create_index t "size";
+  Table.create_index t "size" (* idempotent *);
+  check Alcotest.bool "indexed" true (Table.has_index t "size");
+  check Alcotest.(list string) "indexed columns" [ "size" ]
+    (Table.indexed_columns t);
+  check Alcotest.bool "same rows, same order" true
+    (same_rows t (Query.Eq ("size", vint 8)));
+  (match Table.index_lookup t "size" (vint 8) with
+  | Some rows -> check Alcotest.int "bucket" 2 (List.length rows)
+  | None -> Alcotest.fail "expected an index hit");
+  Table.drop_index t "size";
+  check Alcotest.bool "dropped" false (Table.has_index t "size");
+  check Alcotest.bool "lookup gone" true (Table.index_lookup t "size" (vint 8) = None)
+
+let test_index_maintenance () =
+  let t = sample_components () in
+  Table.create_index t "size";
+  Table.insert t [ vstr "mux"; vint 8; vfloat 5.0; vbool false ];
+  check Alcotest.bool "after insert" true (same_rows t (Query.Eq ("size", vint 8)));
+  ignore (Table.delete_one t (fun r -> Table.get r t "name" = vstr "adder"));
+  check Alcotest.bool "after delete_one" true (same_rows t (Query.Eq ("size", vint 8)));
+  ignore (Table.delete t (fun r -> Table.get r t "sequential" = vbool true));
+  check Alcotest.bool "after bulk delete" true (same_rows t (Query.Eq ("size", vint 8)));
+  ignore (Table.update t (fun r -> Table.get r t "name" = vstr "alu")
+            (fun _ -> [ ("size", vint 4) ]));
+  check Alcotest.bool "after update (8)" true (same_rows t (Query.Eq ("size", vint 8)));
+  check Alcotest.bool "after update (4)" true (same_rows t (Query.Eq ("size", vint 4)));
+  let snap = Table.copy t in
+  ignore (Table.delete t (fun _ -> true));
+  Table.restore t ~from:snap;
+  check Alcotest.bool "after restore" true (same_rows t (Query.Eq ("size", vint 4)))
+
+let test_index_numeric_coercion () =
+  let t = sample_components () in
+  Table.create_index t "size";
+  (* Int column probed with an equal Float must coerce like the scan *)
+  check Alcotest.bool "float probe" true (same_rows t (Query.Eq ("size", vfloat 8.0)));
+  check Alcotest.bool "non-integral float" true
+    (same_rows t (Query.Eq ("size", vfloat 7.5)));
+  (* too large to round-trip exactly: the planner must fall back *)
+  check Alcotest.bool "huge float falls back" true
+    (same_rows t (Query.Eq ("size", vfloat 1e300)));
+  (* cross-type probe: empty on both plans, not an error *)
+  check Alcotest.bool "string probe" true
+    (same_rows t (Query.Eq ("size", vstr "8")))
+
+let test_index_only_eq_conjuncts () =
+  let t = sample_components () in
+  Table.create_index t "name";
+  let p =
+    Query.And
+      ( Query.Eq ("name", vstr "counter"),
+        Query.Gt ("area", vfloat 10.0) )
+  in
+  check Alcotest.bool "eq under and" true (same_rows t p);
+  (* Eq under Or must not be pushed down (it is not a conjunct) *)
+  let p2 =
+    Query.Or (Query.Eq ("name", vstr "adder"), Query.Gt ("area", vfloat 50.0))
+  in
+  check Alcotest.bool "eq under or" true (same_rows t p2)
+
+let test_where_unknown_column () =
+  let t = sample_components () in
+  Alcotest.check_raises "structured error, table named"
+    (Table.Schema_error
+       "table components: no column nosuch (columns: name, size, area, \
+        sequential)")
+    (fun () -> ignore (Query.select_table t (Query.Eq ("nosuch", vint 1))));
+  (* the empty table reports the same error instead of silently matching
+     nothing *)
+  let e = Table.create "empty" [ ("a", Value.Tint) ] in
+  Alcotest.check_raises "empty table too"
+    (Table.Schema_error "table empty: no column b (columns: a)")
+    (fun () -> ignore (Query.select_table e (Query.Eq ("b", vint 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Pareto queries                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pareto_db () =
+  let db = Db.create () in
+  let t =
+    Db.create_table db "pts"
+      [ ("name", Value.Tstr); ("area", Value.Tfloat); ("delay", Value.Tfloat);
+        ("grp", Value.Tstr) ]
+  in
+  List.iter
+    (fun (n, a, d, g) -> Table.insert t [ vstr n; vfloat a; vfloat d; vstr g ])
+    [ ("a", 1.0, 5.0, "g1"); ("b", 2.0, 3.0, "g1"); ("d", 2.0, 4.0, "g1");
+      ("c", 3.0, 1.0, "g1"); ("e", 3.0, 3.5, "g2"); ("f", 2.0, 3.0, "g2") ];
+  db
+
+let names r = Query.column_values r "name" |> List.map Value.to_string
+
+let test_sql_pareto () =
+  let r = run_select (pareto_db ()) "PARETO pts ON area, delay" in
+  (* duplicates of a frontier point stay on the frontier; original
+     insertion order is preserved *)
+  check Alcotest.(list string) "frontier" [ "a"; "b"; "c"; "f" ] (names r)
+
+let test_sql_dominated_is_complement () =
+  let db = pareto_db () in
+  let front = run_select db "PARETO pts ON area, delay" in
+  let dom = run_select db "DOMINATED pts ON area, delay" in
+  check Alcotest.(list string) "dominated" [ "d"; "e" ] (names dom);
+  check Alcotest.int "partition" 6 (Query.count front + Query.count dom)
+
+let test_sql_pareto_where_limit () =
+  let db = pareto_db () in
+  (* restricting to g2 changes the frontier: f dominates e *)
+  let r = run_select db "PARETO pts ON area, delay WHERE grp = 'g2'" in
+  check Alcotest.(list string) "per-group frontier" [ "f" ] (names r);
+  let r2 = run_select db "PARETO pts ON area, delay LIMIT 2" in
+  check Alcotest.(list string) "limit after frontier" [ "a"; "b" ] (names r2)
+
+let test_sql_pareto_non_numeric () =
+  try
+    ignore (Sql.exec (pareto_db ()) "PARETO pts ON name, delay");
+    Alcotest.fail "should raise"
+  with Table.Schema_error msg ->
+    check Alcotest.bool "names the table and objective" true
+      (String.length msg > 0
+      && String.sub msg 0 9 = "table pts")
+
+let test_sql_create_drop_index () =
+  let db = pareto_db () in
+  (match Sql.exec db "CREATE INDEX ON pts (grp)" with
+  | Sql.Affected 0 -> ()
+  | _ -> Alcotest.fail "create index");
+  check Alcotest.bool "table indexed" true (Table.has_index (Db.table db "pts") "grp");
+  let r = run_select db "SELECT name FROM pts WHERE grp = 'g2'" in
+  check Alcotest.(list string) "served by index" [ "e"; "f" ] (names r);
+  (match Sql.exec db "DROP INDEX ON pts (grp)" with
+  | Sql.Affected 0 -> ()
+  | _ -> Alcotest.fail "drop index");
+  check Alcotest.bool "dropped" false (Table.has_index (Db.table db "pts") "grp")
+
+let test_sql_where_unknown_column_message () =
+  try
+    ignore (Sql.exec (pareto_db ()) "SELECT * FROM pts WHERE nope = 1");
+    Alcotest.fail "should raise"
+  with Table.Schema_error msg ->
+    check Alcotest.string "structured error"
+      "table pts: no column nope (columns: name, area, delay, grp)" msg
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -459,10 +619,88 @@ let prop_save_load_identity =
            (fun a b -> Array.for_all2 Value.equal a b)
            orig.Query.rrows r.Query.rrows)
 
+(* The index differential, end to end: randomized inserts and deletes
+   against a journaled, indexed table; a fault-injected crash partway
+   through the tail (the same ICDB_FAULT machinery icdbd uses, spec
+   "journal_append:crash:N"); recovery by journal replay into a fresh
+   process image; indexes re-declared (they are derived state, never
+   journaled). At every stage, for every probe value — including the
+   Int/Float coercion edges the planner special-cases — the indexed plan
+   must return exactly what the scan returns. *)
+let prop_indexed_equals_scan =
+  let probes =
+    [ vint 0; vint 3; vint 7; vfloat 0.0; vfloat 3.0; vfloat 2.5;
+      vfloat 1e300; vstr "3" ]
+  in
+  let all_probes_agree tbl =
+    List.for_all (fun v -> same_rows tbl (Query.Eq ("n", v))) probes
+    && same_rows tbl
+         (Query.And (Query.Eq ("n", vint 3), Query.Gt ("n", vint (-1))))
+  in
+  QCheck.Test.make
+    ~name:"indexed select = scan across insert/delete/crash/replay" ~count:40
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_bound 25)
+           (pair (int_bound 8) (string_gen_of_size Gen.(int_bound 4) Gen.printable)))
+        (list_of_size Gen.(int_bound 8) (int_bound 8))
+        (pair
+           (list_of_size Gen.(int_bound 8)
+              (pair (int_bound 8) (string_gen_of_size Gen.(int_bound 4) Gen.printable)))
+           (int_bound 5)))
+    (fun (inserts, deletes, (tail, crash_after)) ->
+      let dir = Filename.temp_file "icdb_ixprop" "" in
+      Sys.remove dir;
+      Sys.mkdir dir 0o755;
+      let jpath = Filename.concat dir "t.journal" in
+      Fun.protect
+        ~finally:(fun () ->
+          Journal.append_hook := (fun () -> ());
+          Icdb.Faultinject.reset ();
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Sys.rmdir dir)
+      @@ fun () ->
+      let db = Db.create () in
+      let j = Journal.open_append jpath in
+      Db.attach_journal db j;
+      (* create through the journal so replay can rebuild the table *)
+      let tbl = Db.create_table db "t" [ ("n", Value.Tint); ("s", Value.Tstr) ] in
+      Table.create_index tbl "n";
+      List.iter (fun (n, s) -> Db.insert db "t" [ vint n; vstr s ]) inserts;
+      List.iter
+        (fun n ->
+          ignore (Db.delete_where db "t" (fun r -> Value.equal r.(0) (vint n))))
+        deletes;
+      let live_ok = all_probes_agree tbl in
+      (* crash partway through the tail writes, through the fault plane *)
+      Journal.append_hook :=
+        (fun () -> Icdb.Faultinject.hit Icdb.Faultinject.Journal_append);
+      Icdb.Faultinject.arm_from_spec
+        (Printf.sprintf "journal_append:crash:%d" (crash_after + 1));
+      let crashed =
+        try
+          List.iter (fun (n, s) -> Db.insert db "t" [ vint n; vstr s ]) tail;
+          false
+        with Icdb.Faultinject.Crash _ -> true
+      in
+      Icdb.Faultinject.reset ();
+      Journal.append_hook := (fun () -> ());
+      ignore crashed;
+      Journal.close j;
+      (* reopen as a recovery would: replay, then re-declare the index *)
+      let db2, _report = Db.recover ~journal_path:jpath () in
+      let tbl2 = Db.table db2 "t" in
+      let pre_index_rows = Table.cardinality tbl2 in
+      Table.create_index tbl2 "n";
+      live_ok && all_probes_agree tbl2
+      && Table.cardinality tbl2 = pre_index_rows)
+
 let props = List.map QCheck_alcotest.to_alcotest
     [ prop_value_roundtrip; prop_compare_reflexive; prop_compare_antisym;
       prop_select_idempotent; prop_project_preserves_count;
-      prop_save_load_identity ]
+      prop_save_load_identity; prop_indexed_equals_scan ]
 
 let () =
   Alcotest.run "reldb"
@@ -509,4 +747,17 @@ let () =
          Alcotest.test_case "case-insensitive keywords" `Quick test_sql_case_insensitive_keywords;
          Alcotest.test_case "syntax error" `Quick test_sql_syntax_error;
          Alcotest.test_case "string with spaces" `Quick test_sql_string_with_spaces ]);
+      ("index",
+       [ Alcotest.test_case "create/lookup/drop" `Quick test_index_basics;
+         Alcotest.test_case "maintenance through mutation" `Quick test_index_maintenance;
+         Alcotest.test_case "numeric coercion at the probe" `Quick test_index_numeric_coercion;
+         Alcotest.test_case "only eq conjuncts push down" `Quick test_index_only_eq_conjuncts;
+         Alcotest.test_case "unknown WHERE column is an error" `Quick test_where_unknown_column ]);
+      ("pareto",
+       [ Alcotest.test_case "frontier with ties" `Quick test_sql_pareto;
+         Alcotest.test_case "dominated is the complement" `Quick test_sql_dominated_is_complement;
+         Alcotest.test_case "where + limit" `Quick test_sql_pareto_where_limit;
+         Alcotest.test_case "non-numeric objective" `Quick test_sql_pareto_non_numeric;
+         Alcotest.test_case "create/drop index statements" `Quick test_sql_create_drop_index;
+         Alcotest.test_case "unknown column names the table" `Quick test_sql_where_unknown_column_message ]);
       ("properties", props) ]
