@@ -56,6 +56,10 @@ let local_run server cmd =
   try
     if has_prefix "!sql " cmd then
       run_sql server (String.sub cmd 5 (String.length cmd - 5))
+    else if has_prefix "!explain " cmd then
+      (* "!explain STMT" is sugar for "!sql EXPLAIN STMT", so
+         "!explain ANALYZE SELECT ..." composes naturally *)
+      run_sql server ("EXPLAIN " ^ String.sub cmd 9 (String.length cmd - 9))
     else if String.trim cmd = "!stats" then begin
       let st = Server.stats server in
       Printf.printf
@@ -73,7 +77,9 @@ let local_run server cmd =
   | Server.Icdb_error msg ->
       Printf.printf "ICDB error: %s\n" msg;
       false
-  | Icdb_reldb.Sql.Sql_error msg ->
+  | Icdb_reldb.Sql.Sql_error msg
+  | Icdb_reldb.Table.Schema_error msg
+  | Icdb_reldb.Db.Db_error msg ->
       Printf.printf "SQL error: %s\n" msg;
       false
 
@@ -115,10 +121,11 @@ let print_stats_payload (p : Icdb_net.Wire.stats_payload) =
     print_endline "\nslow requests (newest first):";
     List.iter
       (fun e ->
-        Printf.printf "  %10s  %-20s conn=%d cache=%-4s trace=%s\n"
+        Printf.printf "  %10s  %-20s conn=%d cache=%-4s trace=%s plan=%s\n"
           (Icdb_obs.Metrics.pretty_s e.sl_seconds)
           e.sl_cmd e.sl_conn e.sl_cache
-          (if e.sl_trace = "" then "-" else e.sl_trace);
+          (if e.sl_trace = "" then "-" else e.sl_trace)
+          (if e.sl_plan = "" then "-" else e.sl_plan);
         List.iter
           (fun (phase, seconds) ->
             Printf.printf "    %-28s %10s\n" phase
@@ -203,11 +210,12 @@ let remote_run ?trace_id client cmd =
           "usage: !batch, then one entry per block separated by `--` lines";
         false
     | entries -> remote_batch ?trace_id client entries
-  else if has_prefix "!sql " cmd then
-    match
-      Icdb_net.Client.sql client ?trace_id
-        (String.sub cmd 5 (String.length cmd - 5))
-    with
+  else if has_prefix "!sql " cmd || has_prefix "!explain " cmd then
+    let stmt =
+      if has_prefix "!sql " cmd then String.sub cmd 5 (String.length cmd - 5)
+      else "EXPLAIN " ^ String.sub cmd 9 (String.length cmd - 9)
+    in
+    match Icdb_net.Client.sql client ?trace_id stmt with
     | Ok (Icdb_net.Wire.Affected n) ->
         Printf.printf "%d row(s)\n" n;
         true
@@ -240,6 +248,9 @@ let shell_loop ?(interactive = true) run_one =
       "Lines starting with !sql query the metadata database; !stats prints \
        server metrics.";
     print_endline
+      "!explain STMT shows the query plan (!explain ANALYZE STMT also runs \
+       it with per-node timings).";
+    print_endline
       "Remote shells also take !batch: entries separated by `--` lines, \
        sent as one frame.";
     print_endline "Example:";
@@ -262,7 +273,10 @@ let shell_loop ?(interactive = true) run_one =
         if acc = [] then None else Some (String.concat "\n" (List.rev acc))
     | Some line when acc = [] && String.length (String.trim line) = 0 ->
         read_command acc
-    | Some line when acc = [] && (has_prefix "!sql " line || String.trim line = "!stats") ->
+    | Some line
+      when acc = []
+           && (has_prefix "!sql " line || has_prefix "!explain " line
+               || String.trim line = "!stats") ->
         Some line
     | Some line -> read_command (line :: acc)
   in
@@ -1493,6 +1507,25 @@ let explore component axis_specs sweep store_dir connect batch inflight power
   in
   let seconds = Unix.gettimeofday () -. t0 in
   if tty && !progress_printed then prerr_newline ();
+  (* --verify also covers the reporting queries: re-run each one under
+     EXPLAIN ANALYZE so the plan the store actually executed — index
+     probe vs. scan, with per-node actual row counts — is printed next
+     to its rows. *)
+  let explain_if_verify stmt =
+    if verify then begin
+      match St.query store ("EXPLAIN ANALYZE " ^ stmt) with
+      | Icdb_reldb.Sql.Relation rel ->
+          List.iter
+            (fun row ->
+              match row.(0) with
+              | Icdb_reldb.Value.Str line -> Printf.printf "  # %s\n" line
+              | _ -> ())
+            rel.Icdb_reldb.Query.rrows
+      | Icdb_reldb.Sql.Affected _ -> ()
+      | exception Icdb_reldb.Sql.Sql_error msg ->
+          Printf.eprintf "explain failed: %s\n" msg
+    end
+  in
   (match summary with
   | None -> ()
   | Some s ->
@@ -1520,12 +1553,16 @@ let explore component axis_specs sweep store_dir connect batch inflight power
               (Icdb_reldb.Sql.quote_string sweep)
           in
           Printf.printf "%s\n" stmt;
-          print_sql_result (St.query store stmt)
+          print_sql_result (St.query store stmt);
+          explain_if_verify stmt
       | _ -> usage "--pareto expects COLX,COLY (e.g. area,delay)"));
   (match query with
   | None -> ()
   | Some stmt -> (
-      try print_sql_result (St.query store stmt) with
+      try
+        print_sql_result (St.query store stmt);
+        explain_if_verify stmt
+      with
       | Icdb_reldb.Sql.Sql_error msg
       | Icdb_reldb.Table.Schema_error msg
       | Icdb_reldb.Db.Db_error msg ->
@@ -1610,7 +1647,8 @@ let explore_cmd =
     Arg.(value & flag
          & info [ "verify" ]
              ~doc:"Verify every generated netlist by simulation (local \
-                   backend only; slower)")
+                   backend only; slower). Also prints the EXPLAIN ANALYZE \
+                   plan under each --query/--pareto report")
   in
   let query =
     Arg.(value & opt (some string) None

@@ -76,6 +76,10 @@ let open_ dir =
   | None -> ignore (Db.create_table db table_name schema));
   let tbl = Db.table db table_name in
   List.iter (Table.create_index tbl) indexed_columns;
+  (* statistics are derived state like the indexes: recomputed from the
+     recovered rows so the planner ranks candidate index buckets from
+     real selectivities on the very first query *)
+  ignore (Table.analyze tbl);
   { dir; db; journal; snapshot }
 
 let close t =

@@ -36,7 +36,8 @@ val open_ : string -> t
 (** Open (creating the directory if needed) a store rooted at a
     directory: recover [explore.db] + [explore.journal], attach the
     journal, create the [exploration] table if missing, declare the
-    indexes.
+    indexes, and recompute table statistics (like the indexes, derived
+    state the planner consults).
     @raise Store_error when an existing table's schema is
     incompatible. *)
 

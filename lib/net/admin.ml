@@ -47,10 +47,35 @@ let slow_json entries =
           if j > 0 then Buffer.add_char buf ',';
           Printf.bprintf buf "\"%s\":%.6f" (json_escape name) seconds)
         e.Wire.sl_phases;
-      Buffer.add_string buf "}}")
+      Printf.bprintf buf "},\"plan\":\"%s\"}" (json_escape e.Wire.sl_plan))
     entries;
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
+
+(* The /queryz body: the statement-statistics plane, rendered through
+   the shared deterministic emitter in Qstats.snapshot order
+   (most-called first). *)
+let queryz_json () =
+  let entries = Icdb_reldb.Qstats.snapshot () in
+  Json.to_string
+    (Json.Obj
+       [ ("statements", Json.Int (List.length entries));
+         ( "queries",
+           Json.List
+             (List.map
+                (fun (e : Icdb_reldb.Qstats.entry) ->
+                  Json.Obj
+                    [ ("fingerprint", Json.Str e.Icdb_reldb.Qstats.qs_fingerprint);
+                      ("plan", Json.Str e.Icdb_reldb.Qstats.qs_plan);
+                      ("calls", Json.Int e.Icdb_reldb.Qstats.qs_calls);
+                      ("rows", Json.Int e.Icdb_reldb.Qstats.qs_rows);
+                      ( "total_ms",
+                        Json.float ~prec:3
+                          (e.Icdb_reldb.Qstats.qs_total_s *. 1e3) );
+                      ( "max_ms",
+                        Json.float ~prec:3
+                          (e.Icdb_reldb.Qstats.qs_max_s *. 1e3) ) ])
+                entries) ) ])
 
 (* How many recent spans /tracez returns; the ring holds far more, but
    an admin page is for a quick look, not a full export. *)
@@ -152,6 +177,7 @@ let handler ?replica ?recorder ~service ~sync path =
       in
       Some (Expo.json (spans_json spans))
   | "/slowz" -> Some (Expo.json (slow_json (Service.slow_log service)))
+  | "/queryz" -> Some (Expo.json (queryz_json ()))
   | "/statz" -> (
       match Service.sampler service with
       | None ->
@@ -177,7 +203,8 @@ let handler ?replica ?recorder ~service ~sync path =
             /readyz     readiness (accepting, queue, workspace, repl lag)\n\
             /metrics    Prometheus text exposition\n\
             /tracez     recent completed spans (JSON)\n\
-            /slowz      slow-query log (JSON)\n\
+            /slowz      slow-query log with plan summaries (JSON)\n\
+            /queryz     per-statement query statistics (JSON)\n\
             /statz      telemetry time-series rings (JSON)\n\
             /connz      per-connection table (JSON)\n\
             /blackboxz  flight-recorder dump (JSON)\n")

@@ -168,10 +168,14 @@ type t = {
   h_request : Metrics.histogram;    (* all-command service time *)
   h_poll_wait : Metrics.histogram;  (* per-tick time parked in poll(2) *)
   h_dispatch : Metrics.histogram;   (* per-tick time dispatching readiness *)
-  (* Slow-query log: a small newest-first list of requests that took
-     longer than [slow_threshold_s], bounded at [slow_cap]. *)
+  (* Slow-query log: requests that took longer than [slow_threshold_s],
+     kept in a fixed ring of [slow_cap] slots — recording is O(1)
+     (overwrite the oldest), not the O(n) list trim it used to be.
+     [slow_next] counts entries ever recorded; the live slot for the
+     next entry is [slow_next mod slow_cap]. *)
   slock : Mutex.t;
-  mutable slow : Wire.slow_entry list;
+  slow_ring : Wire.slow_entry option array;
+  mutable slow_next : int;
   mutable last_slow_warn : float;  (* rate limit for the warn event *)
   (* Continuous telemetry (None when [telemetry_period_s <= 0]). *)
   mutable sampler : Series.t option;
@@ -187,6 +191,14 @@ type t = {
 let slow_cap = 64
 
 let now () = Unix.gettimeofday ()
+
+(* Newest-first snapshot of the slow ring. Caller holds [slock]. *)
+let slow_snapshot_locked t =
+  List.filter_map
+    (fun i ->
+      let idx = t.slow_next - 1 - i in
+      if idx < 0 then None else t.slow_ring.(idx mod slow_cap))
+    (List.init slow_cap Fun.id)
 
 (* Primary-side replication metrics. *)
 let g_followers = Metrics.gauge "repl.followers"
@@ -473,7 +485,7 @@ let stats_payload t =
   in
   let sp_slow =
     Mutex.lock t.slock;
-    let l = t.slow in
+    let l = slow_snapshot_locked t in
     Mutex.unlock t.slock;
     l
   in
@@ -495,6 +507,8 @@ type exec_info = {
   mutable xi_tag : string;
   mutable xi_cache : string;
   mutable xi_phases : (string * float) list;
+  mutable xi_plan : string;  (* query-plan summary of the last SQL
+                                statement executed, "" when none *)
 }
 
 (* Run [f server] with every span tagged [tag]. A request that sent a
@@ -528,11 +542,23 @@ let with_request_trace t ~tag ~attrs info f =
           info.xi_phases <- Trace.phase_totals (Trace.since mark);
           result))
 
-(* Run one SQL statement to a response body, classifying failures. *)
+(* Run one SQL statement to a response body, classifying failures. The
+   planner's decision travels with the request: onto [info] for the
+   slow-query log and, when tracing, as a [plan] attribute on the open
+   net.request span. *)
 let exec_sql t ~tag ~attrs info stmt : Wire.resp =
   match
     with_request_trace t ~tag ~attrs info (fun server ->
-        Icdb_reldb.Sql.exec (Icdb.Server.db server) stmt)
+        let result, plan =
+          Icdb_reldb.Sql.exec_explained (Icdb.Server.db server) stmt
+        in
+        (match plan with
+        | Some p ->
+            let s = Icdb_reldb.Plan.summary p in
+            info.xi_plan <- s;
+            if tag <> "" then Trace.add_attr "plan" s
+        | None -> ());
+        result)
   with
   | Icdb_reldb.Sql.Affected n -> Wire.Sql_result (Wire.Affected n)
   | Icdb_reldb.Sql.Relation rel ->
@@ -684,13 +710,13 @@ let record_slow t ~cmd ~info ~conn ~seconds =
       sl_conn = conn.cid;
       sl_seconds = seconds;
       sl_cache = info.xi_cache;
-      sl_phases = info.xi_phases }
+      sl_phases = info.xi_phases;
+      sl_plan = info.xi_plan }
   in
   let do_warn =
     Mutex.lock t.slock;
-    t.slow <- entry :: (if List.length t.slow >= slow_cap then
-                          List.filteri (fun i _ -> i < slow_cap - 1) t.slow
-                        else t.slow);
+    t.slow_ring.(t.slow_next mod slow_cap) <- Some entry;
+    t.slow_next <- t.slow_next + 1;
     let tnow = now () in
     let warn = tnow -. t.last_slow_warn >= 1.0 in
     if warn then t.last_slow_warn <- tnow;
@@ -705,6 +731,7 @@ let record_slow t ~cmd ~info ~conn ~seconds =
           ("trace", info.xi_tag);
           ("conn", string_of_int conn.cid);
           ("cache", info.xi_cache);
+          ("plan", info.xi_plan);
           ("seconds", Printf.sprintf "%.3f" seconds) ]
       "net: slow request (%.3f s > %.3f s threshold)" seconds
       t.cfg.slow_threshold_s
@@ -1031,7 +1058,7 @@ let handle_task t task =
     | _ ->
     begin
     let t0 = now () in
-    let info = { xi_tag = ""; xi_cache = "-"; xi_phases = [] } in
+    let info = { xi_tag = ""; xi_cache = "-"; xi_phases = []; xi_plan = "" } in
     (* the absolute instant this request must stop consuming a worker:
        the tighter of the client's deadline and the server's request
        timeout, both anchored at enqueue (re-checked mid-batch) *)
@@ -1659,7 +1686,8 @@ let start ?(config = default_config) sync =
       h_poll_wait = Metrics.histogram "net.loop.poll_wait";
       h_dispatch = Metrics.histogram "net.loop.dispatch";
       slock = Mutex.create ();
-      slow = [];
+      slow_ring = Array.make slow_cap None;
+      slow_next = 0;
       last_slow_warn = 0.0;
       sampler = None;
       loop_heartbeat = now ();
@@ -1692,7 +1720,7 @@ let queue_depth t =
 
 let slow_log t =
   Mutex.lock t.slock;
-  let l = t.slow in
+  let l = slow_snapshot_locked t in
   Mutex.unlock t.slock;
   l
 

@@ -74,6 +74,7 @@ type slow_entry = {
   sl_seconds : float;
   sl_cache : string;
   sl_phases : (string * float) list;
+  sl_plan : string;  (* v5: query-plan summary, "" when none / pre-v5 *)
 }
 
 (* The full metrics registry plus the slow-query log: everything the
@@ -157,10 +158,18 @@ type 'a frame = { id : int; body : 'a }
    The v4 stamp travels only on frames a v3 peer could not interpret
    anyway, where it classifies as the recoverable [Bad_version] and
    earns a structured version-mismatch error on a surviving
-   connection. Our own decoder accepts the whole
+   connection.
+   v5: [Stats_report] slow-log entries grow a trailing query-plan
+   summary string ([sl_plan]). Unlike v4 this reshapes an existing
+   kind, so [Stats_report] itself is stamped 5 — an old peer fed the
+   longer payload classifies it as the recoverable [Bad_version]
+   instead of misparsing, while our decoder reads the plan field only
+   from frames stamped >= 5 and defaults it to "" on v3/v4 frames, so
+   an old server's reports still decode. Batch kinds keep their
+   (now historical) v4 stamp. Our own decoder accepts the whole
    [min_protocol_version .. protocol_version] range; frames older
    than v3 decode to the recoverable [Bad_version]. *)
-let protocol_version = 4
+let protocol_version = 5
 let min_protocol_version = 3
 let max_payload = 16 * 1024 * 1024
 
@@ -206,11 +215,12 @@ let kind_ckpt_chunk = 0x4b
 let kind_repl_error = 0x4c
 let kind_batch_reply = 0x4d
 
-(* The version byte a frame of [kind] is stamped with: v4 for the two
-   kinds v4 introduced, v3 for everything that already existed — see
-   the version-history comment above [protocol_version]. *)
+(* The version byte a frame of [kind] is stamped with: the version
+   that last changed the kind's payload (or introduced it) — see the
+   version-history comment above [protocol_version]. *)
 let version_of_kind kind =
-  if kind = kind_batch || kind = kind_batch_reply then protocol_version
+  if kind = kind_stats_report then 5
+  else if kind = kind_batch || kind = kind_batch_reply then 4
   else min_protocol_version
 
 let code_to_byte = function
@@ -333,7 +343,8 @@ let put_slow_entry buf e =
     (fun b (k, v) ->
       put_string b k;
       put_float b v)
-    e.sl_phases
+    e.sl_phases;
+  put_string buf e.sl_plan
 
 let put_stats_payload buf p =
   put_string buf p.sp_text;
@@ -565,21 +576,25 @@ let get_hist_summary c =
   let hs_p99 = get_float c in
   { hs_name; hs_count; hs_sum; hs_min; hs_max; hs_p50; hs_p90; hs_p99 }
 
-let get_slow_entry c =
+(* [version] is the frame's stamped version: the plan summary exists
+   only from v5 on, so a v3/v4 peer's entries decode with an empty
+   plan instead of tripping over a missing field. *)
+let get_slow_entry ~version c =
   let sl_cmd = get_string c in
   let sl_trace = get_string c in
   let sl_conn = get_i64 c in
   let sl_seconds = get_float c in
   let sl_cache = get_string c in
   let sl_phases = get_list c (fun c -> get_pair c get_float) in
-  { sl_cmd; sl_trace; sl_conn; sl_seconds; sl_cache; sl_phases }
+  let sl_plan = if version >= 5 then get_string c else "" in
+  { sl_cmd; sl_trace; sl_conn; sl_seconds; sl_cache; sl_phases; sl_plan }
 
-let get_stats_payload c =
+let get_stats_payload ~version c =
   let sp_text = get_string c in
   let sp_counters = get_list c (fun c -> get_pair c get_i64) in
   let sp_gauges = get_list c (fun c -> get_pair c get_float) in
   let sp_hists = get_list c get_hist_summary in
-  let sp_slow = get_list c get_slow_entry in
+  let sp_slow = get_list c (get_slow_entry ~version) in
   { sp_text; sp_counters; sp_gauges; sp_hists; sp_slow }
 
 let get_result c =
@@ -638,7 +653,7 @@ let decode_payload ~decode_body payload =
     else
       let kind = get_u8 c in
       let fid = get_i64 c in
-      match decode_body c kind with
+      match decode_body c version kind with
       | body -> (
           match body with
           | Some b ->
@@ -653,7 +668,7 @@ let decode_payload ~decode_body payload =
 
 let decode_request payload =
   let decoded =
-    decode_payload payload ~decode_body:(fun c kind ->
+    decode_payload payload ~decode_body:(fun c _version kind ->
         let trace_id = get_string c in
         let timeout_s = get_float c in
         let ctx = { trace_id; timeout_s } in
@@ -681,7 +696,7 @@ let decode_request payload =
   | Stdlib.Error e -> Stdlib.Error e
 
 let decode_response payload =
-  decode_payload payload ~decode_body:(fun c kind ->
+  decode_payload payload ~decode_body:(fun c version kind ->
       if kind = kind_pong then Some Pong
       else if kind = kind_results then Some (Results (get_list c get_result))
       else if kind = kind_sql_affected then
@@ -692,7 +707,7 @@ let decode_response payload =
         Some (Sql_result (Relation { cols; rows }))
       end
       else if kind = kind_stats_report then
-        Some (Stats_report (get_stats_payload c))
+        Some (Stats_report (get_stats_payload ~version c))
       else if kind = kind_spans then Some (Spans (get_list c get_remote_span))
       else if kind = kind_error then begin
         let code_byte = get_u8 c in

@@ -38,16 +38,24 @@
     arrival order. v4 is a byte-level superset of v3, so the decoder
     accepts both ({!min_protocol_version}).
 
-    Version stamping is per frame kind: the two kinds v4 introduced
-    ([Batch]/[Batch_reply]) are stamped 4, every pre-existing kind
-    stays stamped 3 — a real v3 binary accepts only its own version,
-    so an upgraded peer must keep emitting 3 on the kinds v3 defined
-    for rolling upgrades to work in both directions. *)
+    v5 appends a query-plan summary string to each slow-log entry
+    inside [Stats_report] ({!slow_entry.sl_plan}).
+
+    Version stamping is per frame kind: each kind is stamped with the
+    version that last changed its payload — [Stats_report] carries 5,
+    [Batch]/[Batch_reply] carry 4, every other kind stays stamped 3.
+    A real v3 binary accepts only its own version, so an upgraded peer
+    must keep emitting 3 on the kinds v3 defined for rolling upgrades
+    to work in both directions; the v5 stamp on [Stats_report] makes
+    an old peer classify the reshaped payload as the recoverable
+    {!Bad_version} instead of misparsing it, while this decoder reads
+    the plan field only from frames stamped >= 5 (defaulting it to
+    [""]), so an old server's reports still decode. *)
 
 val protocol_version : int
-(** The newest version this codec speaks, stamped on the v4-only
-    frame kinds; pre-existing kinds are stamped
-    {!min_protocol_version} (see the stamping note above). *)
+(** The newest version this codec speaks. Individual kinds are stamped
+    with the version that last changed them (see the stamping note
+    above). *)
 
 val min_protocol_version : int
 (** Oldest version the decoder still accepts. Frames older than this
@@ -131,6 +139,10 @@ type slow_entry = {
   sl_seconds : float;
   sl_cache : string;           (** "hit" | "miss" | "-" *)
   sl_phases : (string * float) list;  (** per-phase seconds *)
+  sl_plan : string;            (** v5: query-plan summary, e.g.
+                                   ["indexed(pts.key)"]; [""] when the
+                                   request had no plan or the entry
+                                   came from a pre-v5 peer *)
 }
 
 type stats_payload = {

@@ -1,0 +1,61 @@
+(* An explicit query-plan value, rendered by EXPLAIN and summarized on
+   slow-log entries and traced spans.
+
+   A plan is a linear pipeline of steps in execution order (this engine
+   has no plan trees yet — one access step, then filters and
+   decorators). Each step carries static text decided at plan time;
+   EXPLAIN ANALYZE execution fills in the mutable actuals, which render
+   as a trailing annotation. Rendering is deterministic: same plan,
+   same text, so golden tests and CI greps can rely on it. *)
+
+type step = {
+  s_op : string;      (* "Index Probe", "Seq Scan", "Filter", ... *)
+  s_detail : string;  (* operator-specific text, may be "" *)
+  mutable s_rows_in : int option;   (* rows entering the step *)
+  mutable s_rows_out : int option;  (* rows leaving the step *)
+  mutable s_ms : float option;      (* wall time spent in the step *)
+}
+
+type t = {
+  p_table : string;
+  p_kind : [ `Indexed | `Scan ];
+  p_column : string option;  (* the probed index column, if indexed *)
+  p_steps : step list;  (* execution order; head is the access step *)
+}
+
+let step ?(detail = "") op =
+  { s_op = op; s_detail = detail; s_rows_in = None; s_rows_out = None;
+    s_ms = None }
+
+let actuals st ~rows_in ~rows_out ~ms =
+  st.s_rows_in <- Some rows_in;
+  st.s_rows_out <- Some rows_out;
+  st.s_ms <- Some ms
+
+let kind_name = function `Indexed -> "indexed" | `Scan -> "scan"
+
+(* One-word-ish plan summary for slow-log entries, span attributes and
+   the statement-stats table: "indexed(table.column)" / "scan(table)". *)
+let summary t =
+  match t.p_kind, t.p_column with
+  | `Indexed, Some col -> Printf.sprintf "indexed(%s.%s)" t.p_table col
+  | `Indexed, None -> Printf.sprintf "indexed(%s)" t.p_table
+  | `Scan, _ -> Printf.sprintf "scan(%s)" t.p_table
+
+let render_step ~first st =
+  let buf = Buffer.create 64 in
+  if not first then Buffer.add_string buf "  ";
+  Buffer.add_string buf st.s_op;
+  if st.s_detail <> "" then begin
+    Buffer.add_string buf (if first then " " else ": ");
+    Buffer.add_string buf st.s_detail
+  end;
+  (match st.s_rows_in, st.s_rows_out, st.s_ms with
+   | Some rin, Some rout, Some ms ->
+       Buffer.add_string buf
+         (Printf.sprintf " (actual %d -> %d rows, %.3f ms)" rin rout ms)
+   | _ -> ());
+  Buffer.contents buf
+
+let render t =
+  List.mapi (fun i st -> render_step ~first:(i = 0) st) t.p_steps

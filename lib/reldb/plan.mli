@@ -1,0 +1,43 @@
+(** An explicit query-plan value: what the planner decided, rendered by
+    [EXPLAIN] and summarized on slow-log entries and traced spans.
+
+    A plan is a linear pipeline of steps in execution order (one access
+    step, then filter/frontier/order/limit/project decorators). The
+    static text is fixed at plan time; [EXPLAIN ANALYZE] execution
+    fills in per-step actuals ({!actuals}), which render as a trailing
+    [(actual N -> M rows, X ms)] annotation. Rendering is deterministic
+    — same plan, same text — so golden tests and CI greps can rely on
+    it. *)
+
+type step = {
+  s_op : string;      (** operator name, e.g. ["Index Probe on pts"] *)
+  s_detail : string;  (** operator-specific text, may be [""] *)
+  mutable s_rows_in : int option;
+  mutable s_rows_out : int option;
+  mutable s_ms : float option;
+}
+
+type t = {
+  p_table : string;
+  p_kind : [ `Indexed | `Scan ];
+  p_column : string option;  (** the probed index column, if indexed *)
+  p_steps : step list;       (** execution order; head is the access step *)
+}
+
+val step : ?detail:string -> string -> step
+(** A step with no actuals yet. *)
+
+val actuals : step -> rows_in:int -> rows_out:int -> ms:float -> unit
+(** Install EXPLAIN ANALYZE's measured row counts and wall time. *)
+
+val kind_name : [ `Indexed | `Scan ] -> string
+(** ["indexed"] / ["scan"]. *)
+
+val summary : t -> string
+(** Compact one-line form: ["indexed(table.column)"] or
+    ["scan(table)"]. *)
+
+val render : t -> string list
+(** One line per step: the access step unindented as ["Op detail"],
+    every later step as ["  Op: detail"], each with its actuals
+    appended when present. *)

@@ -1,0 +1,105 @@
+(* A pg_stat_statements-style aggregator: per-fingerprint statement
+   statistics, process-wide.
+
+   The SQL layer normalizes each statement to a fingerprint (literals
+   become [?], whitespace collapses, keywords lowercase) and records
+   one observation per execution. The table is bounded: at [cap]
+   distinct fingerprints the least-called entry is evicted to admit a
+   new one, so a workload of unbounded distinct statements (which
+   normalization is designed to prevent, but hostile input can force)
+   degrades to rotating the long tail instead of growing without
+   bound.
+
+   State is global on purpose — like the {!Icdb_obs.Metrics} registry,
+   a process has one statement-stats plane regardless of how many [Db]
+   values it holds — and mutex-guarded because the server's workers
+   record from many threads. *)
+
+type entry = {
+  qs_fingerprint : string;
+  qs_plan : string;  (* plan summary of the most recent execution *)
+  qs_calls : int;
+  qs_rows : int;
+  qs_total_s : float;
+  qs_max_s : float;
+}
+
+type cell = {
+  mutable c_plan : string;
+  mutable c_calls : int;
+  mutable c_rows : int;
+  mutable c_total_s : float;
+  mutable c_max_s : float;
+}
+
+let cap = 512
+let lock = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 256
+
+let c_evicted = lazy (Icdb_obs.Metrics.counter "reldb.qstats.evicted")
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Drop the least-called fingerprint (ties broken by fingerprint order
+   so eviction is deterministic). Called with the lock held. *)
+let evict_one () =
+  let victim =
+    Hashtbl.fold
+      (fun fp cell acc ->
+        match acc with
+        | Some (best_fp, best) when
+            best.c_calls < cell.c_calls
+            || (best.c_calls = cell.c_calls
+                && String.compare best_fp fp <= 0) ->
+            acc
+        | _ -> Some (fp, cell))
+      table None
+  in
+  match victim with
+  | Some (fp, _) ->
+      Hashtbl.remove table fp;
+      Icdb_obs.Metrics.incr (Lazy.force c_evicted)
+  | None -> ()
+
+let record ~fingerprint ~plan ~rows ~seconds =
+  locked (fun () ->
+      match Hashtbl.find_opt table fingerprint with
+      | Some c ->
+          c.c_plan <- plan;
+          c.c_calls <- c.c_calls + 1;
+          c.c_rows <- c.c_rows + rows;
+          c.c_total_s <- c.c_total_s +. seconds;
+          if seconds > c.c_max_s then c.c_max_s <- seconds
+      | None ->
+          if Hashtbl.length table >= cap then evict_one ();
+          Hashtbl.add table fingerprint
+            { c_plan = plan; c_calls = 1; c_rows = rows;
+              c_total_s = seconds; c_max_s = seconds })
+
+(* Sorted most-called first (total time as tiebreak, then fingerprint)
+   so every rendering — QUERY STATS, /queryz — is deterministic for a
+   given set of observations. *)
+let snapshot () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun fp c acc ->
+          { qs_fingerprint = fp; qs_plan = c.c_plan; qs_calls = c.c_calls;
+            qs_rows = c.c_rows; qs_total_s = c.c_total_s;
+            qs_max_s = c.c_max_s }
+          :: acc)
+        table []
+      |> List.sort (fun a b ->
+             let c = Int.compare b.qs_calls a.qs_calls in
+             if c <> 0 then c
+             else
+               let c = Float.compare b.qs_total_s a.qs_total_s in
+               if c <> 0 then c
+               else String.compare a.qs_fingerprint b.qs_fingerprint))
+
+let reset () =
+  locked (fun () ->
+      let n = Hashtbl.length table in
+      Hashtbl.reset table;
+      n)

@@ -1,0 +1,36 @@
+(** A pg_stat_statements-style statement-statistics plane.
+
+    The SQL layer fingerprints each executed statement (literals
+    normalized away) and records one observation per execution; this
+    module aggregates them per fingerprint in a bounded, process-wide
+    table. [QUERY STATS] and the [/queryz] admin endpoint render
+    {!snapshot}. Thread-safe. *)
+
+type entry = {
+  qs_fingerprint : string;
+  qs_plan : string;   (** plan summary of the most recent execution,
+                          e.g. ["indexed(pts.grp)"], ["scan(pts)"],
+                          ["write"], ["ddl"] *)
+  qs_calls : int;
+  qs_rows : int;      (** cumulative rows returned / affected *)
+  qs_total_s : float; (** cumulative execution wall time *)
+  qs_max_s : float;   (** slowest single execution *)
+}
+
+val cap : int
+(** Maximum distinct fingerprints retained (512). Admitting a new
+    fingerprint to a full table evicts the least-called entry and bumps
+    the [reldb.qstats.evicted] counter. *)
+
+val record :
+  fingerprint:string -> plan:string -> rows:int -> seconds:float -> unit
+(** Fold one execution into the table. *)
+
+val snapshot : unit -> entry list
+(** Consistent copy, sorted most-called first (total time, then
+    fingerprint, as tiebreaks) — deterministic for a given set of
+    observations. *)
+
+val reset : unit -> int
+(** Drop everything; returns how many entries were discarded
+    ([QUERY STATS RESET]). *)

@@ -86,6 +86,37 @@ let select p rel =
   validate_pred rel p;
   { rel with rrows = List.filter (eval_pred rel p) rel.rrows }
 
+(* Stable text for a predicate, used by EXPLAIN. Parenthesization is
+   explicit everywhere so the rendering is unambiguous without
+   precedence knowledge (and golden tests stay trivially stable). *)
+let value_literal = function
+  | Value.Str s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''"
+          else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+  | v -> Value.to_string v
+
+let rec pred_to_string = function
+  | True -> "true"
+  | Eq (c, v) -> Printf.sprintf "%s = %s" c (value_literal v)
+  | Neq (c, v) -> Printf.sprintf "%s != %s" c (value_literal v)
+  | Lt (c, v) -> Printf.sprintf "%s < %s" c (value_literal v)
+  | Le (c, v) -> Printf.sprintf "%s <= %s" c (value_literal v)
+  | Gt (c, v) -> Printf.sprintf "%s > %s" c (value_literal v)
+  | Ge (c, v) -> Printf.sprintf "%s >= %s" c (value_literal v)
+  | Like (c, pat) -> Printf.sprintf "%s LIKE '%s'" c pat
+  | And (a, b) ->
+      Printf.sprintf "(%s AND %s)" (pred_to_string a) (pred_to_string b)
+  | Or (a, b) ->
+      Printf.sprintf "(%s OR %s)" (pred_to_string a) (pred_to_string b)
+  | Not a -> Printf.sprintf "(NOT %s)" (pred_to_string a)
+
 (* Equality conjuncts available for index probing: [Eq] nodes reachable
    from the root through [And] only. Under [Or]/[Not] an equality no
    longer bounds the result set. *)
@@ -99,33 +130,73 @@ let c_select_indexed =
 
 let c_select_scan = lazy (Icdb_obs.Metrics.counter "reldb.select.scan")
 
-let select_table tbl p =
+type access =
+  | Scan
+  | Probe of {
+      ap_col : string;
+      ap_value : Value.t;
+      ap_est : int;
+      ap_stats : bool;
+    }
+
+(* Choose the access path without touching any row: every eligible
+   equality conjunct is costed via {!Table.probe_estimate} (O(1) when
+   statistics exist, one bucket-length walk otherwise) and the smallest
+   estimate wins. Only the winner is ever materialized — the old
+   planner copied every candidate bucket just to measure it. *)
+let plan_access tbl p =
+  let best =
+    List.fold_left
+      (fun acc (c, v) ->
+        match Table.probe_estimate tbl c v with
+        | None -> acc
+        | Some est -> (
+            let n, from_stats =
+              match est with `Stats n -> (n, true) | `Bucket n -> (n, false)
+            in
+            match acc with
+            | Some (_, _, m, _) when m <= n -> acc
+            | _ -> Some (c, v, n, from_stats)))
+      None (eq_conjuncts p)
+  in
+  match best with
+  | Some (ap_col, ap_value, ap_est, ap_stats) ->
+      Probe { ap_col; ap_value; ap_est; ap_stats }
+  | None -> Scan
+
+(* Materialize a chosen access path: the rows the access produces
+   before the predicate filters them (the whole table for a scan, one
+   bucket's copies for a probe). Bumps the select counters — this is
+   the execution step, where plan_access is the decision. Kept separate
+   so EXPLAIN ANALYZE can time access and refilter as distinct plan
+   nodes. *)
+let run_access tbl p access =
   let base =
     { rname = Table.name tbl; rschema = Table.schema tbl; rrows = [] }
   in
   validate_pred base p;
-  let best =
-    List.fold_left
-      (fun acc (c, v) ->
-        match Table.index_lookup tbl c v with
-        | None -> acc
-        | Some rows -> (
-            let n = List.length rows in
-            match acc with
-            | Some (_, m) when m <= n -> acc
-            | _ -> Some (rows, n)))
-      None (eq_conjuncts p)
-  in
-  match best with
-  | Some (rows, _) ->
-      Icdb_obs.Metrics.incr (Lazy.force c_select_indexed);
-      (* The bucket is a superset of the answer (the equality is one
-         conjunct); the full predicate filters it down, so indexed and
-         scan execution agree row-for-row. *)
-      { base with rrows = List.filter (eval_pred base p) rows }
-  | None ->
+  match access with
+  | Probe { ap_col; ap_value; _ } -> (
+      match Table.index_lookup tbl ap_col ap_value with
+      | Some rows ->
+          Icdb_obs.Metrics.incr (Lazy.force c_select_indexed);
+          { base with rrows = rows }
+      | None ->
+          (* unreachable while the table is unchanged between plan and
+             execution (both run under the caller's lock), but fall
+             back to the scan rather than assert *)
+          Icdb_obs.Metrics.incr (Lazy.force c_select_scan);
+          { base with rrows = Table.rows tbl })
+  | Scan ->
       Icdb_obs.Metrics.incr (Lazy.force c_select_scan);
-      { base with rrows = List.filter (eval_pred base p) (Table.rows tbl) }
+      { base with rrows = Table.rows tbl }
+
+let select_table tbl p =
+  let acc = run_access tbl p (plan_access tbl p) in
+  (* The bucket is a superset of the answer (the equality is one
+     conjunct); the full predicate filters it down, so indexed and scan
+     execution agree row-for-row. *)
+  { acc with rrows = List.filter (eval_pred acc p) acc.rrows }
 
 let project cols rel =
   let idxs = List.map (col_index rel) cols in

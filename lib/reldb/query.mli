@@ -29,6 +29,10 @@ val of_table : Table.t -> rel
 val field : rel -> Table.row -> string -> Value.t
 (** Field access by column name. @raise Table.Schema_error if unknown. *)
 
+val col_index : rel -> string -> int
+(** Position of a column in the relation's schema.
+    @raise Table.Schema_error if unknown. *)
+
 val validate_pred : rel -> pred -> unit
 (** Check every column the predicate references against the relation's
     schema. @raise Table.Schema_error naming the relation, the missing
@@ -43,16 +47,51 @@ val select : pred -> rel -> rel
 (** Keep the rows satisfying the predicate. Validates the predicate
     first ({!validate_pred}). *)
 
+type access =
+  | Scan
+  | Probe of {
+      ap_col : string;     (** the index column chosen *)
+      ap_value : Value.t;  (** the equality literal probed *)
+      ap_est : int;        (** estimated rows in the bucket *)
+      ap_stats : bool;     (** [true] when the estimate came from
+                               {!Table.analyze} statistics rather than
+                               an exact bucket length *)
+    }
+(** The planner's access-path decision for one table predicate: either
+    a full scan or an equality probe of one declared index. *)
+
+val plan_access : Table.t -> pred -> access
+(** Choose the access path {!select_table} will take, without reading
+    any row: each eligible equality conjunct ([Eq] under [And] only)
+    that hits a declared index is costed with {!Table.probe_estimate}
+    and the smallest estimate wins. This is the plan EXPLAIN renders,
+    and calling it does not bump any counter. *)
+
+val run_access : Table.t -> pred -> access -> rel
+(** Materialize a chosen access path: the rows it produces {e before}
+    the predicate filters them (the whole table for [Scan], one
+    bucket's copies for [Probe]). Validates the predicate and bumps the
+    select counters — this is the execution half of {!plan_access}'s
+    decision, split out so EXPLAIN ANALYZE can time access and refilter
+    as distinct plan nodes. A [Probe] whose index vanished between plan
+    and execution falls back to the scan. *)
+
 val select_table : Table.t -> pred -> rel
 (** Like [select p (of_table t)] but with equality-predicate pushdown:
-    when a top-level [Eq] conjunct hits an index declared on [t]
-    ({!Table.create_index}), only that bucket is filtered instead of the
-    whole table. Guaranteed to return exactly the rows (and row order)
-    of the full scan. *)
+    executes the {!plan_access} decision, so when a top-level [Eq]
+    conjunct hits an index declared on [t] ({!Table.create_index}),
+    only that bucket is filtered instead of the whole table. Guaranteed
+    to return exactly the rows (and row order) of the full scan. Bumps
+    [reldb.select.indexed] or [reldb.select.scan], plus the chosen
+    index's per-index hit counter. *)
 
 val eq_conjuncts : pred -> (string * Value.t) list
 (** The [Eq] leaves reachable from the root through [And] nodes only —
     the equalities eligible for index probing. *)
+
+val pred_to_string : pred -> string
+(** Stable, fully parenthesized text for a predicate (EXPLAIN's
+    [Filter:] lines). *)
 
 val project : string list -> rel -> rel
 (** Keep (and reorder to) the named columns. *)

@@ -78,6 +78,53 @@ let tokenize s =
 let kw_eq w kw = String.lowercase_ascii w = kw
 
 (* ------------------------------------------------------------------ *)
+(* Literal quoting                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every statement assembled with Printf.sprintf must pass dynamic
+   strings through here: embedded quotes are doubled so the value can
+   never escape the literal and splice into the statement. *)
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+(* A typed value as a SQL literal. *)
+let quote = function
+  | Value.Str s -> quote_string s
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Bool b -> string_of_bool b
+
+(* ------------------------------------------------------------------ *)
+(* Statement fingerprints                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* pg_stat_statements-style normalization over the token stream:
+   keywords and identifiers lowercase, every literal replaced by [?],
+   whitespace canonicalized — so "SELECT x FROM t WHERE id = 3" and
+   "select x from t where id=4" share one fingerprint. *)
+let fingerprint_of_tokens toks =
+  String.concat " "
+    (List.map
+       (function
+         | Word w -> String.lowercase_ascii w
+         | Str_lit _ | Num _ -> "?"
+         | Punct c -> String.make 1 c
+         | Op o -> o)
+       toks)
+
+let fingerprint stmt =
+  match tokenize stmt with
+  | toks -> fingerprint_of_tokens toks
+  | exception Sql_error _ -> String.trim stmt
+
+(* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -149,45 +196,273 @@ let rec parse_column_list acc = function
   | Word col :: rest -> (List.rev (col :: acc), rest)
   | _ -> sql_err "expected a column name"
 
-let exec db stmt =
-  match tokenize stmt with
-  | Word w :: rest when kw_eq w "select" -> (
-      let cols, rest =
+(* A parsed read query — the shared description SELECT and
+   PARETO/DOMINATED compile to, and the unit the planner works on. *)
+type qshape =
+  | Q_select of string list option  (* projection; None = * *)
+  | Q_frontier of [ `Pareto | `Dominated ] * string * string
+
+type qdesc = {
+  q_shape : qshape;
+  q_table : string;
+  q_pred : Query.pred;
+  q_order : (string * bool) option;  (* column, DESC? *)
+  q_limit : int option;
+}
+
+let parse_limit toks =
+  match toks with
+  | Word l :: Num n :: rest when kw_eq l "limit" ->
+      (Some (int_of_string n), rest)
+  | _ -> (None, toks)
+
+(* After the SELECT keyword. *)
+let parse_select rest =
+  let cols, rest =
+    match rest with
+    | Punct '*' :: rest -> (None, rest)
+    | rest ->
+        let cols, rest = parse_column_list [] rest in
+        (Some cols, rest)
+  in
+  match rest with
+  | Word f :: Word tbl :: rest when kw_eq f "from" ->
+      let pred, rest = parse_where rest in
+      let order, rest =
         match rest with
-        | Punct '*' :: rest -> (None, rest)
-        | rest ->
-            let cols, rest = parse_column_list [] rest in
-            (Some cols, rest)
+        | Word o :: Word b :: Word col :: rest
+          when kw_eq o "order" && kw_eq b "by" -> (
+            match rest with
+            | Word d :: rest when kw_eq d "desc" -> (Some (col, true), rest)
+            | rest -> (Some (col, false), rest))
+        | rest -> (None, rest)
       in
+      let lim, rest = parse_limit rest in
+      if rest <> [] then sql_err "trailing tokens after SELECT";
+      { q_shape = Q_select cols; q_table = tbl; q_pred = pred;
+        q_order = order; q_limit = lim }
+  | _ -> sql_err "expected FROM <table>"
+
+(* After the PARETO / DOMINATED keyword. *)
+let parse_frontier kind rest =
+  let kname = match kind with `Pareto -> "PARETO" | `Dominated -> "DOMINATED" in
+  match rest with
+  | Word tbl :: Word o :: rest when kw_eq o "on" -> (
       match rest with
-      | Word f :: Word tbl_name :: rest when kw_eq f "from" ->
-          let tbl = Db.table db tbl_name in
+      | Word colx :: Punct ',' :: Word coly :: rest ->
           let pred, rest = parse_where rest in
-          (* Pushdown: equality conjuncts probe declared indexes. *)
-          let rel = Query.select_table tbl pred in
-          let rel, rest =
-            match rest with
-            | Word o :: Word b :: Word col :: rest
-              when kw_eq o "order" && kw_eq b "by" -> (
-                match rest with
-                | Word d :: rest when kw_eq d "desc" ->
-                    (Query.order_by col ~desc:true rel, rest)
-                | rest -> (Query.order_by col rel, rest))
-            | rest -> (rel, rest)
-          in
-          let rel, rest =
-            match rest with
-            | Word l :: Num n :: rest when kw_eq l "limit" ->
-                (Query.limit (int_of_string n) rel, rest)
-            | rest -> (rel, rest)
-          in
-          if rest <> [] then sql_err "trailing tokens after SELECT";
-          (* Project last so ORDER BY may reference unselected columns. *)
-          let rel =
-            match cols with Some cols -> Query.project cols rel | None -> rel
-          in
-          Relation rel
-      | _ -> sql_err "expected FROM <table>")
+          let lim, rest = parse_limit rest in
+          if rest <> [] then sql_err "trailing tokens after %s" kname;
+          { q_shape = Q_frontier (kind, colx, coly); q_table = tbl;
+            q_pred = pred; q_order = None; q_limit = lim }
+      | _ -> sql_err "expected <colx>, <coly> after %s <table> ON" kname)
+  | _ -> sql_err "expected %s <table> ON <colx>, <coly>" kname
+
+(* ------------------------------------------------------------------ *)
+(* Planning and execution of read queries                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile a query description against a table: the plan value EXPLAIN
+   renders, the access decision, and the post-access stages in
+   execution order, each paired with its plan step so EXPLAIN ANALYZE
+   can attach per-step actuals. Building a plan reads no rows and bumps
+   no counters. *)
+let build_query tbl q =
+  let tname = Table.name tbl in
+  (* validate every referenced column against the schema up front:
+     EXPLAIN never reads rows, but a typo'd column — in the predicate,
+     projection, ORDER BY, or frontier axes — must still be an error,
+     not a plausible-looking plan *)
+  let empty =
+    { Query.rname = tname; rschema = Table.schema tbl; rrows = [] }
+  in
+  Query.validate_pred empty q.q_pred;
+  let check col = ignore (Query.col_index empty col) in
+  (match q.q_shape with
+  | Q_select (Some cols) -> List.iter check cols
+  | Q_frontier (_, x, y) -> check x; check y
+  | Q_select None -> ());
+  (match q.q_order with Some (col, _) -> check col | None -> ());
+  let access = Query.plan_access tbl q.q_pred in
+  let access_step, kind, column =
+    match access with
+    | Query.Probe { ap_col; ap_value; ap_est; ap_stats } ->
+        ( Plan.step
+            ~detail:
+              (Printf.sprintf "%s = %s (est %d rows via %s)" ap_col
+                 (quote ap_value) ap_est
+                 (if ap_stats then "stats" else "bucket"))
+            (Printf.sprintf "Index Probe on %s" tname),
+          `Indexed, Some ap_col )
+    | Query.Scan ->
+        (Plan.step (Printf.sprintf "Seq Scan on %s" tname), `Scan, None)
+  in
+  let rev_stages = ref [] in
+  let add step f = rev_stages := (step, f) :: !rev_stages in
+  (match q.q_pred with
+  | Query.True -> ()
+  | p -> add (Plan.step "Filter" ~detail:(Query.pred_to_string p))
+           (Query.select p));
+  (match q.q_shape with
+  | Q_frontier (`Pareto, x, y) ->
+      add (Plan.step "Pareto Frontier"
+             ~detail:(Printf.sprintf "minimize (%s, %s)" x y))
+        (Query.pareto ~x ~y)
+  | Q_frontier (`Dominated, x, y) ->
+      add (Plan.step "Dominated Set"
+             ~detail:(Printf.sprintf "minimize (%s, %s)" x y))
+        (Query.dominated ~x ~y)
+  | Q_select _ -> ());
+  (match q.q_order with
+  | Some (col, desc) ->
+      add (Plan.step "Sort" ~detail:(if desc then col ^ " DESC" else col))
+        (fun rel -> Query.order_by col ~desc rel)
+  | None -> ());
+  (match q.q_limit with
+  | Some n -> add (Plan.step "Limit" ~detail:(string_of_int n))
+                (Query.limit n)
+  | None -> ());
+  (* Project last so ORDER BY may reference unselected columns. *)
+  (match q.q_shape with
+  | Q_select (Some cols) ->
+      add (Plan.step "Project" ~detail:(String.concat ", " cols))
+        (Query.project cols)
+  | Q_select None | Q_frontier _ -> ());
+  let stages = List.rev !rev_stages in
+  let plan =
+    { Plan.p_table = tname; p_kind = kind; p_column = column;
+      p_steps = access_step :: List.map fst stages }
+  in
+  (plan, access, access_step, stages)
+
+let ms_between t0 t1 = float_of_int (t1 - t0) *. 1e-6
+
+(* Execute a query description. [timed] is EXPLAIN ANALYZE: each plan
+   step additionally gets actual rows in/out and wall time (which costs
+   a couple of clock reads and row counts per step — plain execution
+   pays none of it). *)
+let run_query db q ~timed =
+  let tbl = Db.table db q.q_table in
+  let plan, access, access_step, stages = build_query tbl q in
+  if timed then begin
+    (* thread each stage's output count into the next stage's input so a
+       row list is only ever counted once *)
+    let t0 = Icdb_obs.Clock.now_ns () in
+    let rel0 = Query.run_access tbl q.q_pred access in
+    let t1 = Icdb_obs.Clock.now_ns () in
+    (* a scan's output is the whole table, so its count is O(1); only a
+       probe's bucket needs measuring *)
+    let n0 =
+      match access with
+      | Query.Scan -> Table.cardinality tbl
+      | Query.Probe _ -> Query.count rel0
+    in
+    Plan.actuals access_step ~rows_in:(Table.cardinality tbl) ~rows_out:n0
+      ~ms:(ms_between t0 t1);
+    let rel, _ =
+      List.fold_left
+        (fun (rel, n_in) (step, f) ->
+          let t0 = Icdb_obs.Clock.now_ns () in
+          let out = f rel in
+          let t1 = Icdb_obs.Clock.now_ns () in
+          let n_out = Query.count out in
+          Plan.actuals step ~rows_in:n_in ~rows_out:n_out
+            ~ms:(ms_between t0 t1);
+          (out, n_out))
+        (rel0, n0) stages
+    in
+    (rel, plan)
+  end
+  else
+    let rel =
+      List.fold_left
+        (fun rel (_, f) -> f rel)
+        (Query.run_access tbl q.q_pred access)
+        stages
+    in
+    (rel, plan)
+
+(* The EXPLAIN result relation: one [plan] column, one row per rendered
+   plan line. *)
+let explain_rel plan =
+  { Query.rname = "explain";
+    rschema = [ ("plan", Value.Tstr) ];
+    rrows = List.map (fun l -> [| Value.Str l |]) (Plan.render plan) }
+
+let query_stats_rel () =
+  let entries = Qstats.snapshot () in
+  { Query.rname = "query_stats";
+    rschema =
+      [ ("fingerprint", Value.Tstr); ("plan", Value.Tstr);
+        ("calls", Value.Tint); ("rows", Value.Tint);
+        ("total_ms", Value.Tfloat); ("max_ms", Value.Tfloat) ];
+    rrows =
+      List.map
+        (fun e ->
+          [| Value.Str e.Qstats.qs_fingerprint; Value.Str e.Qstats.qs_plan;
+             Value.Int e.Qstats.qs_calls; Value.Int e.Qstats.qs_rows;
+             Value.Float (e.Qstats.qs_total_s *. 1e3);
+             Value.Float (e.Qstats.qs_max_s *. 1e3) |])
+        entries }
+
+(* ------------------------------------------------------------------ *)
+(* Statement dispatch                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_query = function
+  | Word w :: rest when kw_eq w "select" -> parse_select rest
+  | Word w :: rest when kw_eq w "pareto" -> parse_frontier `Pareto rest
+  | Word w :: rest when kw_eq w "dominated" -> parse_frontier `Dominated rest
+  | _ -> sql_err "EXPLAIN supports SELECT, PARETO and DOMINATED"
+
+(* Run one tokenized statement. Returns the result, the executed
+   query's plan (when there is one), the plan label for the statement
+   stats, and whether the statement should be recorded there at all
+   (QUERY STATS itself is not, so inspecting the stats plane does not
+   pollute it). *)
+let exec_toks db toks =
+  match toks with
+  | Word w :: rest when kw_eq w "explain" -> (
+      let analyze, rest =
+        match rest with
+        | Word a :: rest' when kw_eq a "analyze" -> (true, rest')
+        | _ -> (false, rest)
+      in
+      let q = parse_query rest in
+      if analyze then begin
+        (* Execute for real — counters, timings and row counts are the
+           point — but return the annotated plan, not the rows. *)
+        let _rel, plan = run_query db q ~timed:true in
+        (Relation (explain_rel plan), Some plan, Plan.summary plan, true)
+      end
+      else
+        let tbl = Db.table db q.q_table in
+        let plan, _, _, _ = build_query tbl q in
+        (Relation (explain_rel plan), Some plan, "explain", true))
+  | Word w :: rest when kw_eq w "analyze" ->
+      let tables =
+        match rest with
+        | [] -> Db.table_names db
+        | [ Word tbl ] -> [ tbl ]
+        | _ -> sql_err "expected ANALYZE [table]"
+      in
+      List.iter (fun name -> ignore (Table.analyze (Db.table db name))) tables;
+      (Affected (List.length tables), None, "ddl", true)
+  | Word q :: Word s :: rest when kw_eq q "query" && kw_eq s "stats" -> (
+      match rest with
+      | [] -> (Relation (query_stats_rel ()), None, "", false)
+      | [ Word r ] when kw_eq r "reset" ->
+          (Affected (Qstats.reset ()), None, "", false)
+      | _ -> sql_err "expected QUERY STATS [RESET]")
+  | Word w :: rest when kw_eq w "select" ->
+      let q = parse_select rest in
+      let rel, plan = run_query db q ~timed:false in
+      (Relation rel, Some plan, Plan.summary plan, true)
+  | Word w :: rest when kw_eq w "pareto" || kw_eq w "dominated" ->
+      let kind = if kw_eq w "pareto" then `Pareto else `Dominated in
+      let q = parse_frontier kind rest in
+      let rel, plan = run_query db q ~timed:false in
+      (Relation rel, Some plan, Plan.summary plan, true)
   | Word w :: Word i :: Word tbl_name :: rest
     when kw_eq w "insert" && kw_eq i "into" -> (
       let tbl = Db.table db tbl_name in
@@ -203,7 +478,7 @@ let exec db stmt =
           let vals, rest = values [] rest in
           if rest <> [] then sql_err "trailing tokens after INSERT";
           Table.insert tbl vals;
-          Affected 1
+          (Affected 1, None, "write", true)
       | _ -> sql_err "expected VALUES (...)")
   | Word w :: Word tbl_name :: Word s :: rest
     when kw_eq w "update" && kw_eq s "set" ->
@@ -223,7 +498,7 @@ let exec db stmt =
       let rel = Query.of_table tbl in
       Query.validate_pred rel pred;
       let n = Table.update tbl (Query.eval_pred rel pred) (fun _ -> sets) in
-      Affected n
+      (Affected n, None, "write", true)
   | Word w :: Word f :: Word tbl_name :: rest
     when kw_eq w "delete" && kw_eq f "from" ->
       let tbl = Db.table db tbl_name in
@@ -232,14 +507,14 @@ let exec db stmt =
       let rel = Query.of_table tbl in
       Query.validate_pred rel pred;
       let n = Table.delete tbl (Query.eval_pred rel pred) in
-      Affected n
+      (Affected n, None, "write", true)
   | Word w :: Word i :: Word o :: Word tbl_name :: rest
     when kw_eq w "create" && kw_eq i "index" && kw_eq o "on" -> (
       let tbl = Db.table db tbl_name in
       match rest with
       | Punct '(' :: Word col :: Punct ')' :: [] ->
           Table.create_index tbl col;
-          Affected 0
+          (Affected 0, None, "ddl", true)
       | _ -> sql_err "expected (column) after CREATE INDEX ON <table>")
   | Word w :: Word i :: Word o :: Word tbl_name :: rest
     when kw_eq w "drop" && kw_eq i "index" && kw_eq o "on" -> (
@@ -247,64 +522,27 @@ let exec db stmt =
       match rest with
       | Punct '(' :: Word col :: Punct ')' :: [] ->
           Table.drop_index tbl col;
-          Affected 0
+          (Affected 0, None, "ddl", true)
       | _ -> sql_err "expected (column) after DROP INDEX ON <table>")
-  | Word w :: Word tbl_name :: Word o :: rest
-    when (kw_eq w "pareto" || kw_eq w "dominated") && kw_eq o "on" -> (
-      let tbl = Db.table db tbl_name in
-      match rest with
-      | Word colx :: Punct ',' :: Word coly :: rest ->
-          let pred, rest = parse_where rest in
-          let rel, rest =
-            match rest with
-            | Word l :: Num n :: rest when kw_eq l "limit" ->
-                (* LIMIT applies after the frontier is computed. *)
-                let rel = Query.select_table tbl pred in
-                let rel =
-                  if kw_eq w "pareto" then Query.pareto ~x:colx ~y:coly rel
-                  else Query.dominated ~x:colx ~y:coly rel
-                in
-                (Query.limit (int_of_string n) rel, rest)
-            | rest ->
-                let rel = Query.select_table tbl pred in
-                let rel =
-                  if kw_eq w "pareto" then Query.pareto ~x:colx ~y:coly rel
-                  else Query.dominated ~x:colx ~y:coly rel
-                in
-                (rel, rest)
-          in
-          if rest <> [] then
-            sql_err "trailing tokens after %s" (String.uppercase_ascii w);
-          Relation rel
-      | _ -> sql_err "expected <colx>, <coly> after %s <table> ON"
-               (String.uppercase_ascii w))
   | _ -> sql_err "unsupported statement"
+
+let exec_explained db stmt =
+  let toks = tokenize stmt in
+  let t0 = Icdb_obs.Clock.now_ns () in
+  let result, plan, qplan, record = exec_toks db toks in
+  let t1 = Icdb_obs.Clock.now_ns () in
+  if record then begin
+    let rows =
+      match result with Relation r -> Query.count r | Affected n -> n
+    in
+    Qstats.record ~fingerprint:(fingerprint_of_tokens toks) ~plan:qplan
+      ~rows ~seconds:(Icdb_obs.Clock.ns_to_s (t1 - t0))
+  end;
+  (result, plan)
+
+let exec db stmt = fst (exec_explained db stmt)
 
 let select db stmt =
   match exec db stmt with
   | Relation rel -> rel
   | Affected _ -> sql_err "expected a SELECT statement"
-
-(* ------------------------------------------------------------------ *)
-(* Literal quoting                                                     *)
-(* ------------------------------------------------------------------ *)
-
-(* Every statement assembled with Printf.sprintf must pass dynamic
-   strings through here: embedded quotes are doubled so the value can
-   never escape the literal and splice into the statement. *)
-let quote_string s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '\'';
-  String.iter
-    (fun c ->
-      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '\'';
-  Buffer.contents buf
-
-(* A typed value as a SQL literal. *)
-let quote = function
-  | Value.Str s -> quote_string s
-  | Value.Int i -> string_of_int i
-  | Value.Float f -> Printf.sprintf "%.17g" f
-  | Value.Bool b -> string_of_bool b

@@ -11,11 +11,25 @@
       area/delay-style Pareto frontier (both objectives minimized)
     - [DOMINATED table ON colx, coly [WHERE cond] [LIMIT n]] — the
       complement: rows strictly dominated by another row
+    - [EXPLAIN <query>] — the {!Plan} the planner chose for a SELECT /
+      PARETO / DOMINATED, rendered one line per plan step, without
+      executing it
+    - [EXPLAIN ANALYZE <query>] — execute the query and render the plan
+      with per-step actual rows in/out and wall time
+    - [ANALYZE [table]] — collect optimizer statistics
+      ({!Table.analyze}) for one table or every table; like indexes,
+      statistics are derived state, re-collected after recovery
+    - [QUERY STATS] — the pg_stat_statements-style per-fingerprint
+      aggregation ({!Qstats}): fingerprint, plan, calls, rows,
+      total_ms, max_ms; [QUERY STATS RESET] clears it
 
     SELECT and PARETO/DOMINATED use equality-predicate pushdown: a
     top-level [col = literal] conjunct that hits an index declared with
     [CREATE INDEX] scans only that hash bucket, returning exactly the
-    rows (and row order) of the full scan.
+    rows (and row order) of the full scan. When several indexed
+    equality conjuncts compete, the planner ranks them by
+    {!Table.probe_estimate} — O(1) rows/distinct estimates once
+    [ANALYZE] has run, exact bucket lengths otherwise.
 
     Conditions combine [col op literal] atoms with [AND]/[OR]/[NOT] and
     parentheses; operators are [=], [!=], [<>], [<], [<=], [>], [>=] and
@@ -30,10 +44,25 @@ exception Sql_error of string
 
 val exec : Db.t -> string -> result
 (** Parse and run one statement. @raise Sql_error on syntax errors,
-    [Db.Db_error] / [Table.Schema_error] on semantic ones. *)
+    [Db.Db_error] / [Table.Schema_error] on semantic ones. Every
+    successfully executed statement (except [QUERY STATS] itself) is
+    folded into the {!Qstats} plane under its {!fingerprint}. *)
+
+val exec_explained : Db.t -> string -> result * Plan.t option
+(** Like {!exec} but also returns the plan of the executed read query,
+    when the statement had one (SELECT / PARETO / DOMINATED, and both
+    EXPLAIN forms). Write and DDL statements return [None]. Callers
+    that surface plan summaries (slow-query log, traced spans) use
+    this; {!exec} is [fun db s -> fst (exec_explained db s)]. *)
 
 val select : Db.t -> string -> Query.rel
 (** Like {!exec} but requires a SELECT. @raise Sql_error otherwise. *)
+
+val fingerprint : string -> string
+(** The statement's normalized form used as its {!Qstats} key: keywords
+    and identifiers lowercased, literals replaced by [?], whitespace
+    canonicalized. A statement that does not tokenize fingerprints as
+    its trimmed text. *)
 
 val quote_string : string -> string
 (** [quote_string s] is [s] as a SQL string literal, with embedded

@@ -11,6 +11,23 @@ exception Schema_error of string
 type index = {
   ix_pos : int;
   ix_buckets : (string, row list) Hashtbl.t;
+  ix_hits : Icdb_obs.Metrics.counter;
+      (* per-index usage: bumped once per probe the index answers, so
+         /metrics can say which indexes earn their maintenance cost *)
+}
+
+(* Optimizer statistics for one column, computed by {!analyze}. *)
+type col_stats = {
+  cs_column : string;
+  cs_distinct : int;
+  cs_null_frac : float;
+  cs_min : Value.t option;
+  cs_max : Value.t option;
+}
+
+type stats = {
+  st_rows : int;
+  st_cols : col_stats list;
 }
 
 type t = {
@@ -20,6 +37,9 @@ type t = {
   mutable data : row list;          (* reverse insertion order *)
   mutable count : int;
   mutable indexes : (string * index) list;  (* column name -> index *)
+  mutable tbl_stats : stats option; (* derived state, like indexes: a
+                                       snapshot from the last [analyze],
+                                       never journaled or persisted *)
 }
 
 let schema_err fmt = Printf.ksprintf (fun s -> raise (Schema_error s)) fmt
@@ -33,7 +53,8 @@ let create tbl_name tbl_schema =
         schema_err "table %s: duplicate column %s" tbl_name col;
       Hashtbl.add index col i)
     tbl_schema;
-  { tbl_name; tbl_schema; index; data = []; count = 0; indexes = [] }
+  { tbl_name; tbl_schema; index; data = []; count = 0; indexes = [];
+    tbl_stats = None }
 
 let name t = t.tbl_name
 let schema t = t.tbl_schema
@@ -131,20 +152,28 @@ let bucket_remove ix row =
       if rows' = [] then Hashtbl.remove ix.ix_buckets key
       else Hashtbl.replace ix.ix_buckets key rows'
 
-let build_index t pos =
-  let ix = { ix_pos = pos; ix_buckets = Hashtbl.create 256 } in
+let hits_counter t col =
+  Icdb_obs.Metrics.counter
+    (Printf.sprintf "reldb.index.%s.%s.hits" t.tbl_name col)
+
+let build_index t col pos =
+  let ix =
+    { ix_pos = pos; ix_buckets = Hashtbl.create 256;
+      ix_hits = hits_counter t col }
+  in
   (* [data] is newest-first; build oldest-first so each bucket ends up
      newest-first, matching the incremental [bucket_add] on insert. *)
   List.iter (bucket_add ix) (List.rev t.data);
   ix
 
 let reindex t =
-  t.indexes <- List.map (fun (col, ix) -> (col, build_index t ix.ix_pos)) t.indexes
+  t.indexes <-
+    List.map (fun (col, ix) -> (col, build_index t col ix.ix_pos)) t.indexes
 
 let create_index t col =
   let pos = column_index t col in
   if not (List.mem_assoc col t.indexes) then
-    t.indexes <- (col, build_index t pos) :: t.indexes
+    t.indexes <- (col, build_index t col pos) :: t.indexes
 
 let drop_index t col =
   ignore (column_index t col);
@@ -160,12 +189,102 @@ let index_lookup t col v =
       let (_, ty) = List.nth t.tbl_schema ix.ix_pos in
       match probe_key ty v with
       | Unsupported -> None
-      | Never -> Some []
+      | Never ->
+          Icdb_obs.Metrics.incr ix.ix_hits;
+          Some []
       | Key key ->
+          Icdb_obs.Metrics.incr ix.ix_hits;
           let bucket =
             Option.value ~default:[] (Hashtbl.find_opt ix.ix_buckets key)
           in
           Some (List.rev_map Array.copy bucket))
+
+(* How many rows an equality probe would return, without materializing
+   (or copying) the bucket: the planner calls this once per candidate
+   index, and only the winner pays {!index_lookup}'s copy. When the
+   table carries {!analyze} statistics the estimate is
+   rows / distinct(col) — O(1), no bucket walk at all — which is what
+   lets a skewed-selectivity index lose to a finer one even before any
+   bucket is touched. *)
+let probe_estimate t col v =
+  match List.assoc_opt col t.indexes with
+  | None -> None
+  | Some ix -> (
+      let (_, ty) = List.nth t.tbl_schema ix.ix_pos in
+      match probe_key ty v with
+      | Unsupported -> None
+      | Never -> Some (`Bucket 0)
+      | Key key -> (
+          let from_stats =
+            match t.tbl_stats with
+            | None -> None
+            | Some st ->
+                List.find_map
+                  (fun cs ->
+                    if String.equal cs.cs_column col && cs.cs_distinct > 0
+                    then Some (`Stats (st.st_rows / cs.cs_distinct))
+                    else None)
+                  st.st_cols
+          in
+          match from_stats with
+          | Some est -> Some est
+          | None ->
+              Some
+                (`Bucket
+                   (match Hashtbl.find_opt ix.ix_buckets key with
+                    | None -> 0
+                    | Some rows -> List.length rows))))
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* "Null" in a schema with no NULLs: the values a generator leaves
+   behind when it has nothing to say — NaN floats and empty strings. *)
+let value_is_nullish = function
+  | Value.Float f -> Float.is_nan f
+  | Value.Str "" -> true
+  | _ -> false
+
+let analyze t =
+  let ncols = List.length t.tbl_schema in
+  let seen = Array.init ncols (fun _ -> Hashtbl.create 64) in
+  let nulls = Array.make ncols 0 in
+  let mins = Array.make ncols None in
+  let maxs = Array.make ncols None in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i v ->
+          Hashtbl.replace seen.(i) (key_of_stored (Value.ty_of v) v) ();
+          if value_is_nullish v then nulls.(i) <- nulls.(i) + 1;
+          (match mins.(i) with
+           | Some m when Value.compare v m >= 0 -> ()
+           | _ -> mins.(i) <- Some v);
+          match maxs.(i) with
+          | Some m when Value.compare v m <= 0 -> ()
+          | _ -> maxs.(i) <- Some v)
+        row)
+    t.data;
+  let rows = t.count in
+  let st_cols =
+    List.mapi
+      (fun i (cs_column, _ty) ->
+        { cs_column;
+          cs_distinct = Hashtbl.length seen.(i);
+          cs_null_frac =
+            (if rows = 0 then 0.0
+             else float_of_int nulls.(i) /. float_of_int rows);
+          cs_min = mins.(i);
+          cs_max = maxs.(i) })
+      t.tbl_schema
+  in
+  let st = { st_rows = rows; st_cols } in
+  t.tbl_stats <- Some st;
+  st
+
+let stats t = t.tbl_stats
+let clear_stats t = t.tbl_stats <- None
 
 let insert t values =
   check_row t values;
@@ -244,6 +363,7 @@ let delete_one t pred =
 let clear t =
   t.data <- [];
   t.count <- 0;
+  t.tbl_stats <- None;
   List.iter (fun (_, ix) -> Hashtbl.reset ix.ix_buckets) t.indexes
 
 let copy t =
@@ -261,4 +381,5 @@ let restore t ~from =
     schema_err "restore: schema mismatch for table %s" t.tbl_name;
   t.data <- List.map Array.copy from.data;
   t.count <- from.count;
+  t.tbl_stats <- from.tbl_stats;
   reindex t

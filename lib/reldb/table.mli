@@ -83,7 +83,53 @@ val index_lookup : t -> string -> Value.t -> row list option
     equality, in insertion order — when [col] has an index and the
     lookup key can model that equality; [None] when there is no index
     on [col] or the literal cannot be hashed faithfully (the caller
-    must fall back to a scan). The arrays are copies. *)
+    must fall back to a scan). The arrays are copies. Every answered
+    lookup bumps the index's [reldb.index.<table>.<col>.hits] counter. *)
+
+val probe_estimate :
+  t -> string -> Value.t -> [ `Stats of int | `Bucket of int ] option
+(** How many rows [index_lookup t col v] would return, without copying
+    (or, with statistics, even touching) the bucket. [`Stats n] is the
+    rows/distinct estimate from the last {!analyze}; [`Bucket n] is the
+    exact bucket length when no statistics exist. [None] exactly when
+    {!index_lookup} would return [None]. Does not count as an index
+    hit. *)
+
+(** {2 Statistics}
+
+    Optimizer statistics, in the spirit of [ANALYZE]: a per-table
+    snapshot of row count and per-column distinct count, min/max, and
+    null fraction ("null" meaning NaN floats and empty strings — the
+    schema has no NULL). Like indexes they are derived, in-memory
+    state: never journaled or persisted, absent on a freshly recovered
+    table until somebody runs {!analyze} again. They are consulted by
+    the query planner ({!Query.select_table}) when choosing among
+    candidate equality indexes. *)
+
+type col_stats = {
+  cs_column : string;
+  cs_distinct : int;        (** distinct values actually present *)
+  cs_null_frac : float;     (** fraction of NaN / empty-string fields *)
+  cs_min : Value.t option;  (** [None] on an empty table *)
+  cs_max : Value.t option;
+}
+
+type stats = {
+  st_rows : int;
+  st_cols : col_stats list;  (** in schema column order *)
+}
+
+val analyze : t -> stats
+(** Compute fresh statistics over the current rows and install them on
+    the table (one O(rows x cols) pass). *)
+
+val stats : t -> stats option
+(** The snapshot installed by the last {!analyze}, if any. Statistics
+    go stale silently as the table mutates — they are estimates, and
+    the planner only uses them to rank candidate buckets, never to
+    decide membership. *)
+
+val clear_stats : t -> unit
 
 val copy : t -> t
 (** Deep copy (used by transaction snapshots). *)

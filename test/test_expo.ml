@@ -198,12 +198,17 @@ let test_concurrent_writers_scrape_parses () =
     let h = Metrics.histogram ~registry:r "shared.latency" in
     let g = Metrics.gauge ~registry:r "shared.depth" in
     let i = ref 0 in
-    while not (Atomic.get stop) do
+    (* body-first loop: the final scrape asserts every writer counted,
+       so each thread must increment at least once even if [stop] flips
+       before it is first scheduled *)
+    let continue = ref true in
+    while !continue do
       incr i;
       Metrics.incr c;
       Metrics.observe h (1e-6 *. float_of_int (1 + (!i mod 1000)));
       Metrics.set g (float_of_int (!i mod 32));
-      if !i mod 64 = 0 then Thread.yield ()
+      if !i mod 64 = 0 then Thread.yield ();
+      continue := not (Atomic.get stop)
     done
   in
   let threads = List.init 8 (fun k -> Thread.create writer k) in

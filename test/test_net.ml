@@ -113,9 +113,11 @@ let test_response_roundtrip () =
           sp_slow =
             [ { Wire.sl_cmd = "net.cql.request_component"; sl_trace = "cli1.1";
                 sl_conn = 3; sl_seconds = 1.75; sl_cache = "miss";
-                sl_phases = [ ("synth", 1.5); ("verify", 0.2) ] };
+                sl_phases = [ ("synth", 1.5); ("verify", 0.2) ];
+                sl_plan = "" };
               { Wire.sl_cmd = "net.sql"; sl_trace = ""; sl_conn = 4;
-                sl_seconds = 1.01; sl_cache = "-"; sl_phases = [] } ] };
+                sl_seconds = 1.01; sl_cache = "-"; sl_phases = [];
+                sl_plan = "indexed(instances.component)" } ] };
       Wire.Stats_report
         { Wire.sp_text = ""; sp_counters = []; sp_gauges = []; sp_hists = [];
           sp_slow = [] };
@@ -220,12 +222,14 @@ let test_decode_v1_recoverable () =
 
 let test_version_stamped_per_kind () =
   (* a real v3 binary accepts only its own version byte, so every frame
-     kind that existed in v3 must still be stamped 3 by this encoder —
-     otherwise a rolling upgrade breaks: an upgraded server's replies
-     (and replication pushes) would classify as Bad_version on every
-     not-yet-upgraded client and follower. Only the two v4-only kinds
-     carry the v4 stamp; a v3 peer receiving one answers with a
-     structured version-mismatch error and keeps its connection. *)
+     kind that existed in v3 and kept its v3 payload must still be
+     stamped 3 by this encoder — otherwise a rolling upgrade breaks: an
+     upgraded server's replies (and replication pushes) would classify
+     as Bad_version on every not-yet-upgraded client and follower. A
+     kind is stamped higher only when that version changed its payload:
+     the v4-only Batch kinds carry 4, and Stats_report — whose slow
+     entries grew a plan field in v5 — carries 5, so an old peer
+     classifies the reshaped payload instead of misparsing it. *)
   let vbyte bytes = Char.code bytes.[4] (* u32 length, then version *) in
   let v3_reqs : Wire.req list =
     [ Wire.Ping;
@@ -241,9 +245,6 @@ let test_version_stamped_per_kind () =
   let v3_resps : Wire.resp list =
     [ Wire.Pong; Wire.Results []; Wire.Sql_result (Wire.Affected 1);
       Wire.Sql_result (Wire.Relation { cols = [ "a" ]; rows = [ [ "1" ] ] });
-      Wire.Stats_report
-        { Wire.sp_text = ""; sp_counters = []; sp_gauges = []; sp_hists = [];
-          sp_slow = [] };
       Wire.Spans []; Wire.Error { code = Wire.Timeout; message = "m" };
       Wire.Bye;
       Wire.Journal_batch
@@ -254,13 +255,61 @@ let test_version_stamped_per_kind () =
   in
   List.iter
     (fun body ->
-      check Alcotest.int "pre-v4 response kinds stay stamped v3" 3
+      check Alcotest.int "unchanged response kinds stay stamped v3" 3
         (vbyte (Wire.encode_response { Wire.id = 1; body })))
     v3_resps;
   check Alcotest.int "Batch carries the v4 stamp" 4
     (vbyte (Wire.encode_request { Wire.id = 1; body = Wire.Batch [] }));
   check Alcotest.int "Batch_reply carries the v4 stamp" 4
-    (vbyte (Wire.encode_response { Wire.id = 1; body = Wire.Batch_reply [] }))
+    (vbyte (Wire.encode_response { Wire.id = 1; body = Wire.Batch_reply [] }));
+  check Alcotest.int "Stats_report carries the v5 stamp" 5
+    (vbyte
+       (Wire.encode_response
+          { Wire.id = 1;
+            body =
+              Wire.Stats_report
+                { Wire.sp_text = ""; sp_counters = []; sp_gauges = [];
+                  sp_hists = []; sp_slow = [] } }))
+
+let test_legacy_stats_report_decodes () =
+  (* A v3/v4 peer's Stats_report has no plan field on slow entries. We
+     fabricate one by encoding a v5 report whose single entry carries an
+     empty plan — the plan's u32 length is the last 4 bytes of the
+     payload — stripping those bytes and rewriting the version byte.
+     The decoder must accept it and default the plan to "". *)
+  let entry =
+    { Wire.sl_cmd = "net.sql"; sl_trace = "t"; sl_conn = 9;
+      sl_seconds = 1.5; sl_cache = "-"; sl_phases = [ ("exec", 1.4) ];
+      sl_plan = "" }
+  in
+  let body =
+    Wire.Stats_report
+      { Wire.sp_text = "x"; sp_counters = [ ("c", 1) ]; sp_gauges = [];
+        sp_hists = []; sp_slow = [ entry ] }
+  in
+  let bytes = Wire.encode_response { Wire.id = 3; body } in
+  (* strip the length header, drop the trailing empty-plan length,
+     restamp as v3, and hand the payload to the decoder directly *)
+  let payload = String.sub bytes 4 (String.length bytes - 4) in
+  let legacy = Bytes.of_string (String.sub payload 0 (String.length payload - 4)) in
+  Bytes.set legacy 0 '\003';
+  (match Wire.decode_response (Bytes.to_string legacy) with
+  | Ok { Wire.id = 3; body = Wire.Stats_report p } -> (
+      match p.Wire.sp_slow with
+      | [ e ] ->
+          check Alcotest.string "legacy entry decodes fields" "net.sql"
+            e.Wire.sl_cmd;
+          check Alcotest.string "plan defaults to empty" "" e.Wire.sl_plan
+      | _ -> Alcotest.fail "slow entry list reshaped")
+  | Ok _ -> Alcotest.fail "unexpected response shape"
+  | Error e -> Alcotest.failf "legacy v3 stats report rejected: %s"
+                 (Wire.decode_error_to_string e));
+  (* and the same v5 payload decodes with the plan intact *)
+  match Wire.decode_response payload with
+  | Ok { Wire.body = Wire.Stats_report p; _ } ->
+      check Alcotest.int "v5 decode keeps the entry" 1
+        (List.length p.Wire.sp_slow)
+  | _ -> Alcotest.fail "v5 stats report did not decode"
 
 let test_read_framing_failures () =
   let with_pipe f =
@@ -666,8 +715,22 @@ let test_service_slow_log () =
        check Alcotest.bool "latency recorded" true (e.Wire.sl_seconds >= 0.0);
        check Alcotest.bool "cache disposition recorded" true
          (e.Wire.sl_cache = "hit" || e.Wire.sl_cache = "miss");
+       check Alcotest.string "CQL request has no query plan" "" e.Wire.sl_plan;
        check Alcotest.bool "per-phase breakdown present" true
          (e.Wire.sl_phases <> []));
+  (* a SQL request carries the planner's decision into its entry *)
+  (match Client.sql c ~trace_id:"slow-sql" "SELECT id FROM instances" with
+  | Ok _ -> ()
+  | Error (_, msg) -> Alcotest.failf "sql failed: %s" msg);
+  (match
+     List.find_opt
+       (fun e -> e.Wire.sl_trace = "slow-sql")
+       (Service.slow_log svc)
+   with
+  | None -> Alcotest.fail "the SQL request should be in the slow log"
+  | Some e ->
+      check Alcotest.string "plan summary recorded" "scan(instances)"
+        e.Wire.sl_plan);
   (* the stats reply carries the same log across the wire *)
   match Client.stats c with
   | Error (_, msg) -> Alcotest.failf "stats failed: %s" msg
@@ -675,6 +738,10 @@ let test_service_slow_log () =
       check Alcotest.bool "slow log crosses the wire" true
         (List.exists
            (fun e -> e.Wire.sl_trace = "slow-1")
+           payload.Wire.sp_slow);
+      check Alcotest.bool "plan summary crosses the wire" true
+        (List.exists
+           (fun e -> e.Wire.sl_plan = "scan(instances)")
            payload.Wire.sp_slow)
 
 (* graceful shutdown drains, says Bye, and loses no journaled writes:
@@ -1155,6 +1222,8 @@ let () =
             test_decode_v1_recoverable;
           Alcotest.test_case "pre-v4 kinds stamped v3" `Quick
             test_version_stamped_per_kind;
+          Alcotest.test_case "legacy v3 stats report decodes" `Quick
+            test_legacy_stats_report_decodes;
           Alcotest.test_case "framing failures" `Quick test_read_framing_failures ] );
       ( "service",
         [ Alcotest.test_case "full CQL set" `Quick test_service_full_cql_set;

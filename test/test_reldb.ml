@@ -557,6 +557,178 @@ let test_sql_where_unknown_column_message () =
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Query observability: EXPLAIN, ANALYZE, QUERY STATS                  *)
+(* ------------------------------------------------------------------ *)
+
+let plan_lines db stmt =
+  List.map
+    (fun row ->
+      match row.(0) with Value.Str s -> s | v -> Value.to_string v)
+    (run_select db stmt).Query.rrows
+
+let counter_value name =
+  Icdb_obs.Metrics.counter_value (Icdb_obs.Metrics.counter name)
+
+(* The rendered plan text is a stable, golden surface: CI greps and the
+   docs both quote it verbatim. *)
+let test_explain_golden () =
+  let db = sqldb () in
+  check Alcotest.(list string) "scan plan"
+    [ "Seq Scan on impls"; "  Filter: comp = 'counter'"; "  Project: name" ]
+    (plan_lines db "EXPLAIN SELECT name FROM impls WHERE comp = 'counter'");
+  ignore (Sql.exec db "CREATE INDEX ON impls (comp)");
+  check Alcotest.(list string) "indexed plan"
+    [ "Index Probe on impls comp = 'counter' (est 3 rows via bucket)";
+      "  Filter: comp = 'counter'"; "  Project: name" ]
+    (plan_lines db "EXPLAIN SELECT name FROM impls WHERE comp = 'counter'");
+  check Alcotest.(list string) "decorated plan"
+    [ "Index Probe on impls comp = 'counter' (est 3 rows via bucket)";
+      "  Filter: comp = 'counter'"; "  Sort: area DESC"; "  Limit: 2";
+      "  Project: name" ]
+    (plan_lines db
+       "EXPLAIN SELECT name FROM impls WHERE comp = 'counter' \
+        ORDER BY area DESC LIMIT 2");
+  check Alcotest.(list string) "frontier plan"
+    [ "Seq Scan on impls"; "  Pareto Frontier: minimize (size, area)" ]
+    (plan_lines db "EXPLAIN PARETO impls ON size, area");
+  (* a typo'd column must be an error, not a plausible plan *)
+  check Alcotest.bool "unknown column rejected" true
+    (match Sql.exec db "EXPLAIN SELECT name FROM impls WHERE nope = 1" with
+     | exception Table.Schema_error _ -> true
+     | _ -> false);
+  (* EXPLAIN reads no rows, so projection and ORDER BY columns must be
+     validated at plan time too — not only when a stage executes *)
+  check Alcotest.bool "unknown projection rejected" true
+    (match Sql.exec db "EXPLAIN SELECT nope FROM impls" with
+     | exception Table.Schema_error _ -> true
+     | _ -> false);
+  check Alcotest.bool "unknown order-by rejected" true
+    (match Sql.exec db "EXPLAIN SELECT name FROM impls ORDER BY nope" with
+     | exception Table.Schema_error _ -> true
+     | _ -> false)
+
+let test_explain_analyze_actuals () =
+  let db = sqldb () in
+  ignore (Sql.exec db "CREATE INDEX ON impls (comp)");
+  let lines =
+    plan_lines db
+      "EXPLAIN ANALYZE SELECT name FROM impls WHERE comp = 'counter'"
+  in
+  let contains needle hay =
+    let nn = String.length needle and nh = String.length hay in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check Alcotest.int "three steps" 3 (List.length lines);
+  List.iter
+    (fun l -> check Alcotest.bool ("actuals on: " ^ l) true (contains "actual" l))
+    lines;
+  (* 4 rows considered, 3 in the comp='counter' bucket, 3 survive *)
+  check Alcotest.bool "probe actuals" true
+    (contains "(actual 4 -> 3 rows," (List.nth lines 0));
+  check Alcotest.bool "filter actuals" true
+    (contains "(actual 3 -> 3 rows," (List.nth lines 1))
+
+let test_sql_analyze_stats () =
+  let db = sqldb () in
+  (match Sql.exec db "ANALYZE impls" with
+   | Sql.Affected 1 -> ()
+   | _ -> Alcotest.fail "ANALYZE impls should report 1 table");
+  let st =
+    match Table.stats (Db.table db "impls") with
+    | Some st -> st
+    | None -> Alcotest.fail "no stats installed"
+  in
+  check Alcotest.int "row count" 4 st.Table.st_rows;
+  let col name =
+    List.find (fun c -> c.Table.cs_column = name) st.Table.st_cols
+  in
+  check Alcotest.int "comp distinct" 2 (col "comp").Table.cs_distinct;
+  check Alcotest.int "name distinct" 4 (col "name").Table.cs_distinct;
+  check Alcotest.(float 1e-9) "no nulls" 0.0 (col "comp").Table.cs_null_frac;
+  check Alcotest.bool "size min/max" true
+    (match (col "size").Table.cs_min, (col "size").Table.cs_max with
+     | Some (Value.Int 5), Some (Value.Int 8) -> true
+     | _ -> false);
+  (* empty strings count as nulls; stats refresh on re-ANALYZE *)
+  Table.insert (Db.table db "impls")
+    [ vstr ""; vstr "counter"; vint 5; vfloat 1.0 ];
+  ignore (Sql.exec db "ANALYZE impls");
+  let st2 = Option.get (Table.stats (Db.table db "impls")) in
+  let name2 = List.find (fun c -> c.Table.cs_column = "name") st2.Table.st_cols in
+  check Alcotest.(float 1e-9) "null fraction" 0.2 name2.Table.cs_null_frac
+
+(* Two candidate equality indexes, very different selectivity: before
+   ANALYZE the planner ranks exact bucket lengths, after ANALYZE the
+   statistics estimates — either way the probe must go through the
+   selective column, and the per-index hit counters prove which index
+   actually served it. *)
+let test_stats_driven_choice () =
+  let db = Db.create () in
+  let t =
+    Db.create_table db "pts" [ ("grp", Value.Tstr); ("key", Value.Tstr) ]
+  in
+  for i = 0 to 99 do
+    Table.insert t
+      [ vstr (Printf.sprintf "g%d" (i mod 2));
+        vstr (Printf.sprintf "k%d" (i mod 50)) ]
+  done;
+  ignore (Sql.exec db "CREATE INDEX ON pts (grp)");
+  ignore (Sql.exec db "CREATE INDEX ON pts (key)");
+  let stmt = "SELECT * FROM pts WHERE grp = 'g1' AND key = 'k7'" in
+  let plan_line () = List.hd (plan_lines db ("EXPLAIN " ^ stmt)) in
+  check Alcotest.string "bucket-ranked probe"
+    "Index Probe on pts key = 'k7' (est 2 rows via bucket)" (plan_line ());
+  ignore (Sql.exec db "ANALYZE pts");
+  check Alcotest.string "stats-ranked probe"
+    "Index Probe on pts key = 'k7' (est 2 rows via stats)" (plan_line ());
+  let key_b = counter_value "reldb.index.pts.key.hits" in
+  let grp_b = counter_value "reldb.index.pts.grp.hits" in
+  let indexed = run_select db stmt in
+  check Alcotest.int "key index served the probe" (key_b + 1)
+    (counter_value "reldb.index.pts.key.hits");
+  check Alcotest.int "grp index untouched" grp_b
+    (counter_value "reldb.index.pts.grp.hits");
+  ignore (Sql.exec db "DROP INDEX ON pts (grp)");
+  ignore (Sql.exec db "DROP INDEX ON pts (key)");
+  let scanned = run_select db stmt in
+  check Alcotest.int "same count as scan" (Query.count scanned)
+    (Query.count indexed);
+  check Alcotest.bool "same rows as scan" true
+    (List.for_all2
+       (fun a b -> Array.for_all2 Value.equal a b)
+       indexed.Query.rrows scanned.Query.rrows)
+
+let test_query_stats_sql () =
+  let db = sqldb () in
+  ignore (Sql.exec db "QUERY STATS RESET");
+  let stmt = "SELECT name FROM impls WHERE comp = 'counter'" in
+  ignore (Sql.exec db stmt);
+  ignore (Sql.exec db "SELECT name FROM impls WHERE comp = 'adder'");
+  let r = run_select db "QUERY STATS" in
+  check Alcotest.(list string) "columns"
+    [ "fingerprint"; "plan"; "calls"; "rows"; "total_ms"; "max_ms" ]
+    (List.map fst r.Query.rschema);
+  (* both literals normalize to one fingerprint with two calls *)
+  check Alcotest.int "one statement" 1 (Query.count r);
+  let row = List.hd r.Query.rrows in
+  check Alcotest.bool "normalized fingerprint" true
+    (Value.equal row.(0) (vstr (Sql.fingerprint stmt)));
+  check Alcotest.bool "two calls" true (Value.equal row.(2) (vint 2));
+  (* 3 counter rows + 1 adder row flowed through it *)
+  check Alcotest.bool "rows aggregated" true (Value.equal row.(3) (vint 4));
+  check Alcotest.bool "plan label" true
+    (Value.equal row.(1) (vstr "scan(impls)"));
+  (* reading the stats plane does not pollute it; RESET empties it *)
+  check Alcotest.int "QUERY STATS not self-recorded" 1
+    (Query.count (run_select db "QUERY STATS"));
+  (match Sql.exec db "QUERY STATS RESET" with
+   | Sql.Affected 1 -> ()
+   | _ -> Alcotest.fail "RESET should report 1 dropped statement");
+  check Alcotest.int "empty after reset" 0
+    (Query.count (run_select db "QUERY STATS"))
+
 let value_gen =
   QCheck.Gen.(
     oneof
@@ -637,6 +809,23 @@ let prop_indexed_equals_scan =
     && same_rows tbl
          (Query.And (Query.Eq ("n", vint 3), Query.Gt ("n", vint (-1))))
   in
+  (* the plan kind EXPLAIN reports must be the plan that then executes:
+     an Index Probe plan bumps exactly the indexed counter, a Seq Scan
+     plan exactly the scan counter *)
+  let plan_kind_matches db =
+    let stmt = "SELECT * FROM t WHERE n = 3" in
+    match Sql.exec_explained db ("EXPLAIN " ^ stmt) with
+    | _, None -> false
+    | _, Some plan -> (
+        let ix0 = counter_value "reldb.select.indexed"
+        and sc0 = counter_value "reldb.select.scan" in
+        ignore (Sql.exec db stmt);
+        let ix = counter_value "reldb.select.indexed" - ix0
+        and sc = counter_value "reldb.select.scan" - sc0 in
+        match plan.Plan.p_kind with
+        | `Indexed -> ix = 1 && sc = 0
+        | `Scan -> ix = 0 && sc = 1)
+  in
   QCheck.Test.make
     ~name:"indexed select = scan across insert/delete/crash/replay" ~count:40
     QCheck.(
@@ -673,7 +862,7 @@ let prop_indexed_equals_scan =
         (fun n ->
           ignore (Db.delete_where db "t" (fun r -> Value.equal r.(0) (vint n))))
         deletes;
-      let live_ok = all_probes_agree tbl in
+      let live_ok = all_probes_agree tbl && plan_kind_matches db in
       (* crash partway through the tail writes, through the fault plane *)
       Journal.append_hook :=
         (fun () -> Icdb.Faultinject.hit Icdb.Faultinject.Journal_append);
@@ -694,7 +883,7 @@ let prop_indexed_equals_scan =
       let tbl2 = Db.table db2 "t" in
       let pre_index_rows = Table.cardinality tbl2 in
       Table.create_index tbl2 "n";
-      live_ok && all_probes_agree tbl2
+      live_ok && all_probes_agree tbl2 && plan_kind_matches db2
       && Table.cardinality tbl2 = pre_index_rows)
 
 let props = List.map QCheck_alcotest.to_alcotest
@@ -760,4 +949,10 @@ let () =
          Alcotest.test_case "non-numeric objective" `Quick test_sql_pareto_non_numeric;
          Alcotest.test_case "create/drop index statements" `Quick test_sql_create_drop_index;
          Alcotest.test_case "unknown column names the table" `Quick test_sql_where_unknown_column_message ]);
+      ("queryobs",
+       [ Alcotest.test_case "golden EXPLAIN text" `Quick test_explain_golden;
+         Alcotest.test_case "EXPLAIN ANALYZE actuals" `Quick test_explain_analyze_actuals;
+         Alcotest.test_case "ANALYZE statistics values" `Quick test_sql_analyze_stats;
+         Alcotest.test_case "statistics-driven index choice" `Quick test_stats_driven_choice;
+         Alcotest.test_case "QUERY STATS aggregation/reset" `Quick test_query_stats_sql ]);
       ("properties", props) ]

@@ -135,7 +135,8 @@ let gen_slow () : Wire.slow_entry =
     sl_conn = gen_int ();
     sl_seconds = gen_float ();
     sl_cache = gen_string ();
-    sl_phases = gen_list (fun () -> (gen_string (), gen_float ())) }
+    sl_phases = gen_list (fun () -> (gen_string (), gen_float ()));
+    sl_plan = gen_string () }
 
 let gen_stats_payload () : Wire.stats_payload =
   { sp_text = gen_string ();
@@ -393,7 +394,8 @@ let one_of_each () : (string * string) list =
             sp_slow =
               [ { sl_cmd = "net.cql.x"; sl_trace = "t"; sl_conn = 1;
                   sl_seconds = 2.0; sl_cache = "hit";
-                  sl_phases = [ ("gen", 1.5) ] } ] } );
+                  sl_phases = [ ("gen", 1.5) ];
+                  sl_plan = "scan(components)" } ] } );
       ( "spans",
         Spans
           [ { rs_id = 1; rs_parent = Some 0; rs_name = "n"; rs_tag = "t";
